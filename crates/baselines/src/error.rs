@@ -1,0 +1,78 @@
+//! Error type for the baselines crate.
+
+use std::fmt;
+
+/// Errors produced by the baseline methods.
+#[derive(Debug, Clone, PartialEq)]
+pub enum BaselineError {
+    /// An invalid hyper-parameter.
+    InvalidConfig(String),
+    /// Inputs had inconsistent sizes.
+    DimensionMismatch {
+        /// Description of the offending input.
+        what: &'static str,
+        /// Provided size.
+        got: usize,
+        /// Expected size.
+        expected: usize,
+    },
+    /// A model method was called before `fit`.
+    NotFitted,
+    /// An error bubbled up from the optimization substrate.
+    Optimization(String),
+    /// An error bubbled up from the linear-algebra substrate.
+    Linalg(String),
+    /// An error bubbled up from the graph substrate.
+    Graph(String),
+}
+
+impl fmt::Display for BaselineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            BaselineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            BaselineError::DimensionMismatch { what, got, expected } => {
+                write!(f, "{what} has size {got}, expected {expected}")
+            }
+            BaselineError::NotFitted => write!(f, "model must be fitted before use"),
+            BaselineError::Optimization(msg) => write!(f, "optimization error: {msg}"),
+            BaselineError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+            BaselineError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for BaselineError {}
+
+impl From<pfr_opt::OptError> for BaselineError {
+    fn from(e: pfr_opt::OptError) -> Self {
+        BaselineError::Optimization(e.to_string())
+    }
+}
+
+impl From<pfr_linalg::LinalgError> for BaselineError {
+    fn from(e: pfr_linalg::LinalgError) -> Self {
+        BaselineError::Linalg(e.to_string())
+    }
+}
+
+impl From<pfr_graph::GraphError> for BaselineError {
+    fn from(e: pfr_graph::GraphError) -> Self {
+        BaselineError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversions() {
+        assert!(BaselineError::NotFitted.to_string().contains("fitted"));
+        let a: BaselineError = pfr_opt::OptError::NotFitted.into();
+        assert!(matches!(a, BaselineError::Optimization(_)));
+        let b: BaselineError = pfr_linalg::LinalgError::Singular { op: "x" }.into();
+        assert!(matches!(b, BaselineError::Linalg(_)));
+        let c: BaselineError = pfr_graph::GraphError::SelfLoop { node: 0 }.into();
+        assert!(matches!(c, BaselineError::Graph(_)));
+    }
+}

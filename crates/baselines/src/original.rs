@@ -1,0 +1,74 @@
+//! The "Original" baseline: the input representation with protected
+//! attributes masked.
+//!
+//! Because the `pfr-data` feature matrices already exclude the protected
+//! attribute, this baseline is the identity map. It exists so the evaluation
+//! harness can treat it exactly like every other representation learner.
+
+use crate::representation::{FitContext, Representation, RepresentationMethod};
+use crate::Result;
+use pfr_linalg::Matrix;
+
+/// The identity representation (protected attributes are masked upstream).
+#[derive(Debug, Clone, Default)]
+pub struct OriginalRepresentation;
+
+/// Fitted identity representation; remembers the expected feature count so
+/// that dimension mistakes surface as errors rather than silent truncation.
+#[derive(Debug, Clone)]
+pub struct FittedOriginal {
+    num_features: usize,
+}
+
+impl RepresentationMethod for OriginalRepresentation {
+    fn name(&self) -> String {
+        "Original".to_string()
+    }
+
+    fn fit(&self, ctx: &FitContext<'_>) -> Result<Box<dyn Representation>> {
+        ctx.validate()?;
+        Ok(Box::new(FittedOriginal {
+            num_features: ctx.x.cols(),
+        }))
+    }
+}
+
+impl Representation for FittedOriginal {
+    fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.num_features {
+            return Err(crate::BaselineError::DimensionMismatch {
+                what: "feature columns",
+                got: x.cols(),
+                expected: self.num_features,
+            });
+        }
+        Ok(x.clone())
+    }
+
+    fn output_dim(&self) -> usize {
+        self.num_features
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr_graph::SparseGraph;
+
+    #[test]
+    fn identity_transform() {
+        let x = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let wx = SparseGraph::new(2);
+        let ctx = FitContext {
+            x: &x,
+            labels: &[0, 1],
+            groups: &[0, 1],
+            wx: &wx,
+        };
+        let rep = OriginalRepresentation.fit(&ctx).unwrap();
+        assert_eq!(rep.transform(&x).unwrap(), x);
+        assert_eq!(rep.output_dim(), 2);
+        assert!(rep.transform(&Matrix::zeros(1, 3)).is_err());
+        assert_eq!(OriginalRepresentation.name(), "Original");
+    }
+}

@@ -1,0 +1,288 @@
+//! Shared prototype-softmax machinery for the iFair and LFR baselines.
+//!
+//! Both methods map every individual `x_i` to a probability vector over `K`
+//! learned prototypes `v_1 … v_K`:
+//!
+//! ```text
+//! d_ik = ‖x_i − v_k‖²,     u_ik = softmax_k(−d_ik),     x̂_i = Σ_k u_ik v_k
+//! ```
+//!
+//! Their objectives differ only in what they do with `U` and `X̂`. This
+//! module provides the forward pass and the exact backward pass
+//! (`∂L/∂V` given `∂L/∂U` and `∂L/∂X̂`), verified against numerical
+//! differentiation in the tests.
+
+use pfr_linalg::Matrix;
+use pfr_opt::math::softmax;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Intermediate quantities of the prototype forward pass.
+#[derive(Debug, Clone)]
+pub struct PrototypeForward {
+    /// Soft assignments `U` (n x K); rows sum to 1.
+    pub u: Matrix,
+    /// Reconstructions `X̂ = U V` (n x m).
+    pub x_hat: Matrix,
+}
+
+/// Runs the forward pass for data `x` (n x m) and prototypes `v` (K x m).
+pub fn forward(x: &Matrix, prototypes: &Matrix) -> PrototypeForward {
+    let n = x.rows();
+    let k = prototypes.rows();
+    let mut u = Matrix::zeros(n, k);
+    for i in 0..n {
+        let xi = x.row(i);
+        let neg_d: Vec<f64> = (0..k)
+            .map(|p| {
+                let vp = prototypes.row(p);
+                -xi.iter()
+                    .zip(vp.iter())
+                    .map(|(a, b)| {
+                        let d = a - b;
+                        d * d
+                    })
+                    .sum::<f64>()
+            })
+            .collect();
+        let probs = softmax(&neg_d);
+        u.row_mut(i).copy_from_slice(&probs);
+    }
+    let x_hat = u
+        .matmul(prototypes)
+        .expect("U (n x K) times V (K x m) is always conformable");
+    PrototypeForward { u, x_hat }
+}
+
+/// Backward pass: given the forward results and the upstream gradients
+/// `∂L/∂U` (n x K) and `∂L/∂X̂` (n x m), returns `∂L/∂V` (K x m).
+///
+/// The chain has two paths into `V`: directly through the reconstruction
+/// `X̂ = U V`, and through the soft assignments `U = softmax(−D)` whose
+/// distances depend on `V`.
+pub fn backward(
+    x: &Matrix,
+    prototypes: &Matrix,
+    fwd: &PrototypeForward,
+    grad_u: &Matrix,
+    grad_x_hat: &Matrix,
+) -> Matrix {
+    let n = x.rows();
+    let k = prototypes.rows();
+    let m = x.cols();
+
+    // Total gradient flowing into U: the explicit ∂L/∂U plus the path through
+    // X̂ = U V (∂L/∂U_ik += Σ_j ∂L/∂X̂_ij V_kj).
+    let mut total_grad_u = grad_u.clone();
+    for i in 0..n {
+        let gx_row = grad_x_hat.row(i);
+        for p in 0..k {
+            let vp = prototypes.row(p);
+            let add: f64 = gx_row.iter().zip(vp.iter()).map(|(a, b)| a * b).sum();
+            total_grad_u[(i, p)] += add;
+        }
+    }
+
+    let mut grad_v = Matrix::zeros(k, m);
+
+    // Path 1: X̂ = U V ⇒ ∂L/∂V_kj += Σ_i ∂L/∂X̂_ij U_ik.
+    for i in 0..n {
+        let gx_row = grad_x_hat.row(i);
+        for p in 0..k {
+            let uik = fwd.u[(i, p)];
+            if uik == 0.0 {
+                continue;
+            }
+            let gv_row = grad_v.row_mut(p);
+            for (j, &g) in gx_row.iter().enumerate() {
+                gv_row[j] += g * uik;
+            }
+        }
+    }
+
+    // Path 2: U = softmax(−D), D_ik = ‖x_i − v_k‖².
+    // Softmax backward: ∂L/∂(−D)_ik = u_ik (G_ik − Σ_l G_il u_il)
+    // ⇒ ∂L/∂D_ik = −u_ik (G_ik − s_i).
+    // ∂D_ik/∂V_kj = −2 (x_ij − v_kj).
+    for i in 0..n {
+        let xi = x.row(i);
+        let s_i: f64 = (0..k).map(|p| total_grad_u[(i, p)] * fwd.u[(i, p)]).sum();
+        for p in 0..k {
+            let dl_dd = -fwd.u[(i, p)] * (total_grad_u[(i, p)] - s_i);
+            if dl_dd == 0.0 {
+                continue;
+            }
+            let vp = prototypes.row(p);
+            let gv_row = grad_v.row_mut(p);
+            for j in 0..m {
+                gv_row[j] += dl_dd * (-2.0) * (xi[j] - vp[j]);
+            }
+        }
+    }
+
+    grad_v
+}
+
+/// Initializes `K` prototypes by sampling rows of `x` with small Gaussian
+/// jitter, which keeps the initial soft assignments informative.
+pub fn init_prototypes(x: &Matrix, k: usize, seed: u64) -> Matrix {
+    use rand::Rng;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let n = x.rows();
+    let m = x.cols();
+    let mut v = Matrix::zeros(k, m);
+    for p in 0..k {
+        let src = rng.gen_range(0..n);
+        let row = x.row(src);
+        let v_row = v.row_mut(p);
+        for j in 0..m {
+            // Box–Muller-free jitter: a small uniform perturbation suffices
+            // to break ties between prototypes initialized from equal rows.
+            let jitter: f64 = rng.gen::<f64>() * 0.2 - 0.1;
+            v_row[j] = row[j] + jitter;
+        }
+    }
+    v
+}
+
+/// Flattens a prototype matrix into a parameter vector (row-major).
+pub fn flatten(prototypes: &Matrix) -> Vec<f64> {
+    prototypes.as_slice().to_vec()
+}
+
+/// Restores a prototype matrix from a flat parameter vector.
+pub fn unflatten(params: &[f64], k: usize, m: usize) -> Matrix {
+    Matrix::from_vec(k, m, params[..k * m].to_vec())
+        .expect("parameter vector has exactly k*m prototype entries")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_x() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.2],
+            vec![1.0, 0.8],
+            vec![2.0, 2.1],
+            vec![3.0, 2.9],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_rows_sum_to_one_and_reconstruction_is_convex_combination() {
+        let x = toy_x();
+        let v = init_prototypes(&x, 2, 7);
+        let fwd = forward(&x, &v);
+        for i in 0..x.rows() {
+            let s: f64 = fwd.u.row(i).iter().sum();
+            assert!((s - 1.0).abs() < 1e-12);
+            for &p in fwd.u.row(i) {
+                assert!((0.0..=1.0).contains(&p));
+            }
+        }
+        // Reconstructions lie in the convex hull of the prototypes
+        // (coordinate-wise between the min and max prototype values).
+        for j in 0..x.cols() {
+            let col = v.col(j);
+            let min = col.iter().cloned().fold(f64::INFINITY, f64::min);
+            let max = col.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+            for i in 0..x.rows() {
+                assert!(fwd.x_hat[(i, j)] >= min - 1e-9 && fwd.x_hat[(i, j)] <= max + 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn closest_prototype_receives_the_largest_weight() {
+        let x = Matrix::from_rows(&[vec![0.0, 0.0], vec![5.0, 5.0]]).unwrap();
+        let v = Matrix::from_rows(&[vec![0.1, 0.1], vec![4.9, 4.9]]).unwrap();
+        let fwd = forward(&x, &v);
+        assert!(fwd.u[(0, 0)] > 0.9);
+        assert!(fwd.u[(1, 1)] > 0.9);
+    }
+
+    /// Verifies the analytic gradient against central finite differences for
+    /// a composite loss exercising both the `U` path and the `X̂` path.
+    #[test]
+    fn backward_matches_numerical_gradient() {
+        let x = toy_x();
+        let k = 3;
+        let m = x.cols();
+        let v0 = init_prototypes(&x, k, 3);
+
+        // Loss: L = Σ_ij (X̂_ij − x_ij)² + Σ_ik c_ik U_ik with fixed
+        // pseudo-random coefficients c.
+        let coeff = {
+            let mut c = Matrix::zeros(x.rows(), k);
+            let mut val = 0.3;
+            for i in 0..x.rows() {
+                for p in 0..k {
+                    val = (val * 7.13 + 0.17) % 1.0;
+                    c[(i, p)] = val - 0.5;
+                }
+            }
+            c
+        };
+        let loss = |v: &Matrix| -> f64 {
+            let fwd = forward(&x, v);
+            let mut l = 0.0;
+            for i in 0..x.rows() {
+                for j in 0..m {
+                    let d = fwd.x_hat[(i, j)] - x[(i, j)];
+                    l += d * d;
+                }
+                for p in 0..k {
+                    l += coeff[(i, p)] * fwd.u[(i, p)];
+                }
+            }
+            l
+        };
+
+        // Analytic gradient.
+        let fwd = forward(&x, &v0);
+        let mut grad_xhat = Matrix::zeros(x.rows(), m);
+        for i in 0..x.rows() {
+            for j in 0..m {
+                grad_xhat[(i, j)] = 2.0 * (fwd.x_hat[(i, j)] - x[(i, j)]);
+            }
+        }
+        let analytic = backward(&x, &v0, &fwd, &coeff, &grad_xhat);
+
+        // Numerical gradient.
+        let eps = 1e-5;
+        for p in 0..k {
+            for j in 0..m {
+                let mut plus = v0.clone();
+                plus[(p, j)] += eps;
+                let mut minus = v0.clone();
+                minus[(p, j)] -= eps;
+                let numeric = (loss(&plus) - loss(&minus)) / (2.0 * eps);
+                let a = analytic[(p, j)];
+                assert!(
+                    (a - numeric).abs() < 1e-4 * (1.0 + numeric.abs()),
+                    "gradient mismatch at ({p},{j}): analytic {a}, numeric {numeric}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn flatten_unflatten_round_trip() {
+        let v = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let flat = flatten(&v);
+        assert_eq!(unflatten(&flat, 2, 2), v);
+    }
+
+    #[test]
+    fn init_prototypes_shape_and_determinism() {
+        let x = toy_x();
+        let a = init_prototypes(&x, 5, 11);
+        let b = init_prototypes(&x, 5, 11);
+        assert_eq!(a.shape(), (5, 2));
+        assert_eq!(a, b);
+        let c = init_prototypes(&x, 5, 12);
+        assert_ne!(a, c);
+    }
+}

@@ -1,0 +1,114 @@
+//! Uniform interface over representation learners.
+//!
+//! The evaluation harness fits every method on the same training context and
+//! then transforms both the training and the test split; the trait below is
+//! that contract. `pfr-eval` adapts the PFR model to the same trait.
+
+use crate::Result;
+use pfr_graph::SparseGraph;
+use pfr_linalg::Matrix;
+
+/// Everything a representation learner may need at training time.
+///
+/// * `x` — the (standardized) feature matrix, one row per individual, with
+///   protected attributes excluded.
+/// * `labels` — binary training labels (used only by supervised methods such
+///   as LFR).
+/// * `groups` — protected-group memberships (used by methods that optimize a
+///   group-fairness term).
+/// * `wx` — the k-NN similarity graph over `x` (used by iFair and PFR).
+#[derive(Debug, Clone, Copy)]
+pub struct FitContext<'a> {
+    /// Standardized training features (n x m).
+    pub x: &'a Matrix,
+    /// Binary labels, one per row of `x`.
+    pub labels: &'a [u8],
+    /// Protected-group memberships, one per row of `x`.
+    pub groups: &'a [usize],
+    /// The similarity graph `WX` over the rows of `x`.
+    pub wx: &'a SparseGraph,
+}
+
+impl<'a> FitContext<'a> {
+    /// Validates that the per-record slices match the feature matrix.
+    pub fn validate(&self) -> Result<()> {
+        let n = self.x.rows();
+        if self.labels.len() != n {
+            return Err(crate::BaselineError::DimensionMismatch {
+                what: "labels",
+                got: self.labels.len(),
+                expected: n,
+            });
+        }
+        if self.groups.len() != n {
+            return Err(crate::BaselineError::DimensionMismatch {
+                what: "groups",
+                got: self.groups.len(),
+                expected: n,
+            });
+        }
+        if self.wx.num_nodes() != n {
+            return Err(crate::BaselineError::DimensionMismatch {
+                what: "similarity graph WX",
+                got: self.wx.num_nodes(),
+                expected: n,
+            });
+        }
+        Ok(())
+    }
+}
+
+/// A fitted representation: a map from the original feature space to the
+/// learned space, applicable to unseen individuals.
+pub trait Representation {
+    /// Maps a feature matrix (same columns as the training data) into the
+    /// learned representation.
+    fn transform(&self, x: &Matrix) -> Result<Matrix>;
+
+    /// Dimensionality of the output representation.
+    fn output_dim(&self) -> usize;
+}
+
+/// An (unfitted) representation-learning method.
+pub trait RepresentationMethod {
+    /// Short human-readable name used in experiment tables (e.g. `"LFR"`).
+    fn name(&self) -> String;
+
+    /// Fits the method on the training context.
+    fn fit(&self, ctx: &FitContext<'_>) -> Result<Box<dyn Representation>>;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr_graph::SparseGraph;
+
+    #[test]
+    fn validate_catches_mismatches() {
+        let x = Matrix::zeros(3, 2);
+        let wx = SparseGraph::new(3);
+        let ok = FitContext {
+            x: &x,
+            labels: &[0, 1, 0],
+            groups: &[0, 0, 1],
+            wx: &wx,
+        };
+        assert!(ok.validate().is_ok());
+        let bad_labels = FitContext {
+            labels: &[0, 1],
+            ..ok
+        };
+        assert!(bad_labels.validate().is_err());
+        let bad_groups = FitContext {
+            groups: &[0],
+            ..ok
+        };
+        assert!(bad_groups.validate().is_err());
+        let small_graph = SparseGraph::new(2);
+        let bad_graph = FitContext {
+            wx: &small_graph,
+            ..ok
+        };
+        assert!(bad_graph.validate().is_err());
+    }
+}

@@ -1,0 +1,101 @@
+//! One Criterion benchmark per paper artifact (Table 1, Figures 1–10 and the
+//! three ablations from DESIGN.md).
+//!
+//! Each benchmark runs the corresponding `pfr-eval` experiment driver in fast
+//! mode (reduced dataset sizes, same pipeline), so `cargo bench` both
+//! regenerates every row/series the paper reports and measures what it costs.
+//! The rendered tables of the *full-size* runs are produced by
+//! `cargo run --release -p pfr-eval -- --all` and recorded in
+//! `EXPERIMENTS.md`.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfr_eval::experiments::run_by_name;
+use std::hint::black_box;
+
+fn bench_artifact(c: &mut Criterion, bench_name: &str, experiment: &str) {
+    let mut group = c.benchmark_group("paper_artifacts");
+    group.sample_size(10);
+    group.bench_function(bench_name, |b| {
+        b.iter(|| {
+            let report = run_by_name(black_box(experiment), true, 42).expect("experiment runs");
+            assert!(!report.is_empty());
+            report
+        })
+    });
+    group.finish();
+}
+
+fn table1_datasets(c: &mut Criterion) {
+    bench_artifact(c, "table1_datasets", "table1");
+}
+
+fn figure1_representations(c: &mut Criterion) {
+    bench_artifact(c, "figure1_representations", "figure1");
+}
+
+fn figure2_synthetic_tradeoff(c: &mut Criterion) {
+    bench_artifact(c, "figure2_synthetic_tradeoff", "figure2");
+}
+
+fn figure3_synthetic_group_fairness(c: &mut Criterion) {
+    bench_artifact(c, "figure3_synthetic_group_fairness", "figure3");
+}
+
+fn figure4_gamma_sweep_synthetic(c: &mut Criterion) {
+    bench_artifact(c, "figure4_gamma_sweep_synthetic", "figure4");
+}
+
+fn figure5_crime_tradeoff(c: &mut Criterion) {
+    bench_artifact(c, "figure5_crime_tradeoff", "figure5");
+}
+
+fn figure6_crime_group_fairness(c: &mut Criterion) {
+    bench_artifact(c, "figure6_crime_group_fairness", "figure6");
+}
+
+fn figure7_gamma_sweep_crime(c: &mut Criterion) {
+    bench_artifact(c, "figure7_gamma_sweep_crime", "figure7");
+}
+
+fn figure8_compas_tradeoff(c: &mut Criterion) {
+    bench_artifact(c, "figure8_compas_tradeoff", "figure8");
+}
+
+fn figure9_compas_group_fairness(c: &mut Criterion) {
+    bench_artifact(c, "figure9_compas_group_fairness", "figure9");
+}
+
+fn figure10_gamma_sweep_compas(c: &mut Criterion) {
+    bench_artifact(c, "figure10_gamma_sweep_compas", "figure10");
+}
+
+fn ablation_sparsity(c: &mut Criterion) {
+    bench_artifact(c, "ablation_sparsity", "ablation-sparsity");
+}
+
+fn ablation_kernel(c: &mut Criterion) {
+    bench_artifact(c, "ablation_kernel", "ablation-kernel");
+}
+
+fn ablation_quantiles(c: &mut Criterion) {
+    bench_artifact(c, "ablation_quantiles", "ablation-quantiles");
+}
+
+criterion_group!(
+    tables_and_figures,
+    table1_datasets,
+    figure1_representations,
+    figure2_synthetic_tradeoff,
+    figure3_synthetic_group_fairness,
+    figure4_gamma_sweep_synthetic,
+    figure5_crime_tradeoff,
+    figure6_crime_group_fairness,
+    figure7_gamma_sweep_crime,
+    figure8_compas_tradeoff,
+    figure9_compas_group_fairness,
+    figure10_gamma_sweep_compas,
+    ablation_sparsity,
+    ablation_kernel,
+    ablation_quantiles
+);
+criterion_main!(tables_and_figures);

@@ -1,0 +1,87 @@
+//! # pfr-bench
+//!
+//! Criterion benchmark harness for the PFR reproduction.
+//!
+//! Two bench binaries are provided:
+//!
+//! * `substrates` — micro-benchmarks of the building blocks (eigensolvers,
+//!   k-NN graph construction, Laplacian quadratic forms, logistic
+//!   regression), including the eigensolver-choice ablation from
+//!   `DESIGN.md` §6.
+//! * `tables_and_figures` — one benchmark per paper artifact (Table 1,
+//!   Figures 1–10 and the three ablations), each running the corresponding
+//!   experiment driver from `pfr-eval` in fast mode so that `cargo bench`
+//!   regenerates every row/series the paper reports while also measuring its
+//!   cost.
+//!
+//! This library crate only exposes small helpers shared by the two bench
+//! binaries.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+use pfr_data::Dataset;
+use pfr_graph::{KnnGraphBuilder, SparseGraph};
+use pfr_linalg::stats::Standardizer;
+use pfr_linalg::Matrix;
+
+/// Prepares a standardized feature matrix, its k-NN graph and its fairness
+/// graph for a dataset spec — the common setup cost shared by the substrate
+/// benchmarks.
+pub fn bench_setup(dataset: &Dataset, k: usize, quantiles: usize) -> (Matrix, SparseGraph, SparseGraph) {
+    let (_, x) = Standardizer::fit_transform(dataset.features()).expect("standardization succeeds");
+    let wx = KnnGraphBuilder::new(k.min(x.rows() - 1).max(1))
+        .build(&x)
+        .expect("k-NN graph construction succeeds");
+    let groups = dataset.groups().to_vec();
+    let scores: Vec<f64> = dataset
+        .side_information()
+        .iter()
+        .map(|s| s.unwrap_or(0.0))
+        .collect();
+    let wf = pfr_graph::fairness::between_group_quantile_graph(&groups, &scores, quantiles)
+        .expect("fairness graph construction succeeds");
+    (x, wx, wf)
+}
+
+/// A deterministic pseudo-random symmetric matrix for eigensolver benches.
+pub fn random_symmetric(n: usize, seed: u64) -> Matrix {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let mut a = Matrix::zeros(n, n);
+    for i in 0..n {
+        for j in i..n {
+            let v = next();
+            a[(i, j)] = v;
+            a[(j, i)] = v;
+        }
+    }
+    a
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr_data::synthetic;
+
+    #[test]
+    fn bench_setup_produces_consistent_shapes() {
+        let ds = synthetic::generate_default(1).unwrap();
+        let (x, wx, wf) = bench_setup(&ds, 5, 5);
+        assert_eq!(x.rows(), ds.len());
+        assert_eq!(wx.num_nodes(), ds.len());
+        assert_eq!(wf.num_nodes(), ds.len());
+        assert!(wf.num_edges() > 0);
+    }
+
+    #[test]
+    fn random_symmetric_is_symmetric() {
+        let a = random_symmetric(10, 3);
+        assert!(a.is_symmetric(1e-12));
+    }
+}

@@ -1,0 +1,79 @@
+//! Error type for the PFR core.
+
+use std::fmt;
+
+/// Errors produced while fitting or applying PFR models.
+#[derive(Debug, Clone, PartialEq)]
+pub enum PfrError {
+    /// A hyper-parameter was outside its valid range.
+    InvalidConfig(String),
+    /// Inputs (data matrix, graphs) had inconsistent sizes.
+    DimensionMismatch {
+        /// Description of the offending input.
+        what: &'static str,
+        /// Provided size.
+        got: usize,
+        /// Expected size.
+        expected: usize,
+    },
+    /// A model method was called before `fit`.
+    NotFitted,
+    /// An error bubbled up from the linear-algebra substrate.
+    Linalg(String),
+    /// An error bubbled up from the graph substrate.
+    Graph(String),
+}
+
+impl fmt::Display for PfrError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PfrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
+            PfrError::DimensionMismatch { what, got, expected } => {
+                write!(f, "{what} has size {got}, expected {expected}")
+            }
+            PfrError::NotFitted => write!(f, "model must be fitted before use"),
+            PfrError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+            PfrError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PfrError {}
+
+impl From<pfr_linalg::LinalgError> for PfrError {
+    fn from(e: pfr_linalg::LinalgError) -> Self {
+        PfrError::Linalg(e.to_string())
+    }
+}
+
+impl From<pfr_graph::GraphError> for PfrError {
+    fn from(e: pfr_graph::GraphError) -> Self {
+        PfrError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(PfrError::InvalidConfig("gamma".into()).to_string().contains("gamma"));
+        assert!(PfrError::NotFitted.to_string().contains("fitted"));
+        assert!(PfrError::DimensionMismatch {
+            what: "fairness graph",
+            got: 3,
+            expected: 5
+        }
+        .to_string()
+        .contains("fairness graph"));
+    }
+
+    #[test]
+    fn conversions() {
+        let a: PfrError = pfr_linalg::LinalgError::Singular { op: "x" }.into();
+        assert!(matches!(a, PfrError::Linalg(_)));
+        let b: PfrError = pfr_graph::GraphError::SelfLoop { node: 1 }.into();
+        assert!(matches!(b, PfrError::Graph(_)));
+    }
+}

@@ -1,0 +1,345 @@
+//! Kernelized PFR (Section 3.3.4 of the paper, Equation 8).
+//!
+//! The paper derives the non-linear extension `Z = Vᵀ Φ(X)` with
+//! `V = Σ αᵢ Φ(xᵢ)`, which leads to the eigenproblem
+//! `K ((1−γ)Lˣ + γLᶠ) K α = λ α` on the Mercer kernel matrix `K`. The paper
+//! evaluates only the linear model and leaves the kernel variant to future
+//! work; it is implemented here as an extension and exercised by the
+//! `ablation-kernel` experiment.
+//!
+//! Because the eigenproblem is `n x n`, this variant is intended for datasets
+//! of at most a few thousand records (the synthetic and Crime-sized
+//! workloads); the linear [`crate::Pfr`] remains the right tool for COMPAS-
+//! sized data.
+
+use crate::error::PfrError;
+use crate::Result;
+use pfr_graph::{LaplacianKind, SparseGraph};
+use pfr_linalg::vector::squared_distance;
+use pfr_linalg::{Eigen, EigenMethod, Matrix};
+
+/// Mercer kernels supported by [`KernelPfr`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelType {
+    /// The linear kernel `k(x, y) = xᵀy`; kernel PFR with this kernel spans
+    /// the same representations as linear PFR.
+    Linear,
+    /// The RBF kernel `k(x, y) = exp(−‖x − y‖² / (2σ²))`.
+    Rbf {
+        /// Bandwidth σ (must be positive).
+        sigma: f64,
+    },
+}
+
+/// Hyper-parameters of the kernel PFR model.
+#[derive(Debug, Clone)]
+pub struct KernelPfrConfig {
+    /// Trade-off between `WX` and `WF`, in `[0, 1]`.
+    pub gamma: f64,
+    /// Dimensionality of the learned representation (`d ≤ n`).
+    pub dim: usize,
+    /// The kernel.
+    pub kernel: KernelType,
+    /// Which Laplacian to use.
+    pub laplacian: LaplacianKind,
+    /// Ridge added to `K` for numerical stability of the eigenproblem.
+    pub ridge: f64,
+}
+
+impl Default for KernelPfrConfig {
+    fn default() -> Self {
+        KernelPfrConfig {
+            gamma: 0.5,
+            dim: 2,
+            kernel: KernelType::Rbf { sigma: 1.0 },
+            laplacian: LaplacianKind::Unnormalized,
+            ridge: 1e-8,
+        }
+    }
+}
+
+/// The (unfitted) kernel PFR estimator.
+#[derive(Debug, Clone, Default)]
+pub struct KernelPfr {
+    config: KernelPfrConfig,
+}
+
+impl KernelPfr {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: KernelPfrConfig) -> Self {
+        KernelPfr { config }
+    }
+
+    /// The configuration this estimator will fit with.
+    pub fn config(&self) -> &KernelPfrConfig {
+        &self.config
+    }
+
+    /// Fits kernel PFR. `x` has one row per individual; `wx` and `wf` are the
+    /// similarity and fairness graphs over the same individuals.
+    pub fn fit(&self, x: &Matrix, wx: &SparseGraph, wf: &SparseGraph) -> Result<KernelPfrModel> {
+        let n = x.rows();
+        if !(0.0..=1.0).contains(&self.config.gamma) {
+            return Err(PfrError::InvalidConfig(format!(
+                "gamma = {} must lie in [0, 1]",
+                self.config.gamma
+            )));
+        }
+        if self.config.dim == 0 || self.config.dim > n {
+            return Err(PfrError::InvalidConfig(format!(
+                "dim = {} must lie in 1..={n}",
+                self.config.dim
+            )));
+        }
+        if let KernelType::Rbf { sigma } = self.config.kernel {
+            if sigma <= 0.0 {
+                return Err(PfrError::InvalidConfig(format!(
+                    "RBF bandwidth must be positive, got {sigma}"
+                )));
+            }
+        }
+        if wx.num_nodes() != n {
+            return Err(PfrError::DimensionMismatch {
+                what: "similarity graph WX",
+                got: wx.num_nodes(),
+                expected: n,
+            });
+        }
+        if wf.num_nodes() != n {
+            return Err(PfrError::DimensionMismatch {
+                what: "fairness graph WF",
+                got: wf.num_nodes(),
+                expected: n,
+            });
+        }
+
+        // K with a tiny ridge on the diagonal for stability.
+        let mut k = kernel_matrix(x, x, self.config.kernel);
+        for i in 0..n {
+            k[(i, i)] += self.config.ridge;
+        }
+
+        // M = K ((1−γ)Lˣ + γLᶠ) K. Using the quadratic-form identity on the
+        // *columns* of K: K L K = Σ_(i,j) w_ij (k_i − k_j)(k_i − k_j)ᵀ where
+        // k_i is the i-th column (= row, K is symmetric) of K. As in linear
+        // PFR, each term is normalized by its graph's total weight so the
+        // γ trade-off is between comparable scales.
+        let scale_of = |g: &SparseGraph| {
+            let w = g.total_weight();
+            if w > 0.0 {
+                1.0 / w
+            } else {
+                0.0
+            }
+        };
+        let qx = wx
+            .quadratic_form(&k, self.config.laplacian)?
+            .scale(scale_of(wx));
+        let qf = wf
+            .quadratic_form(&k, self.config.laplacian)?
+            .scale(scale_of(wf));
+        let mut m_mat = qx.scale(1.0 - self.config.gamma);
+        m_mat.axpy(self.config.gamma, &qf)?;
+        let m_mat = m_mat.symmetrize()?;
+
+        let eigen = Eigen::decompose_with(&m_mat, EigenMethod::TridiagonalQl)?;
+        let alphas = eigen.smallest_eigenvectors(self.config.dim)?;
+        let eigenvalues = eigen.eigenvalues[..self.config.dim].to_vec();
+
+        Ok(KernelPfrModel {
+            config: self.config.clone(),
+            training_data: x.clone(),
+            alphas,
+            eigenvalues,
+        })
+    }
+}
+
+/// A fitted kernel PFR model: the dual coefficients `A ∈ R^{n x d}` together
+/// with the stored training data needed to evaluate the kernel on new points.
+#[derive(Debug, Clone)]
+pub struct KernelPfrModel {
+    config: KernelPfrConfig,
+    training_data: Matrix,
+    alphas: Matrix,
+    eigenvalues: Vec<f64>,
+}
+
+impl KernelPfrModel {
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &KernelPfrConfig {
+        &self.config
+    }
+
+    /// The dual coefficient matrix `A = [α₁ … α_d]`.
+    pub fn alphas(&self) -> &Matrix {
+        &self.alphas
+    }
+
+    /// The `d` smallest eigenvalues of `K ((1−γ)Lˣ + γLᶠ) K`.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// Dimensionality of the learned representation.
+    pub fn dim(&self) -> usize {
+        self.alphas.cols()
+    }
+
+    /// Maps (possibly unseen) data into the learned representation:
+    /// `Z = K(X_new, X_train) A`.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.training_data.cols() {
+            return Err(PfrError::DimensionMismatch {
+                what: "feature columns",
+                got: x.cols(),
+                expected: self.training_data.cols(),
+            });
+        }
+        let k = kernel_matrix(x, &self.training_data, self.config.kernel);
+        Ok(k.matmul(&self.alphas)?)
+    }
+}
+
+/// Computes the kernel matrix between the rows of `a` and the rows of `b`.
+pub fn kernel_matrix(a: &Matrix, b: &Matrix, kernel: KernelType) -> Matrix {
+    let mut k = Matrix::zeros(a.rows(), b.rows());
+    for i in 0..a.rows() {
+        let ai = a.row(i);
+        for j in 0..b.rows() {
+            let bj = b.row(j);
+            k[(i, j)] = match kernel {
+                KernelType::Linear => ai.iter().zip(bj.iter()).map(|(x, y)| x * y).sum(),
+                KernelType::Rbf { sigma } => {
+                    (-squared_distance(ai, bj) / (2.0 * sigma * sigma)).exp()
+                }
+            };
+        }
+    }
+    k
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr_graph::KnnGraphBuilder;
+
+    fn toy_problem() -> (Matrix, SparseGraph, SparseGraph) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.5, 0.4],
+            vec![1.0, 0.9],
+            vec![5.0, 5.1],
+            vec![5.5, 5.4],
+            vec![6.0, 5.9],
+        ])
+        .unwrap();
+        let wx = KnnGraphBuilder::new(2).build(&x).unwrap();
+        let mut wf = SparseGraph::new(6);
+        wf.add_edge(0, 3, 1.0).unwrap();
+        wf.add_edge(1, 4, 1.0).unwrap();
+        wf.add_edge(2, 5, 1.0).unwrap();
+        (x, wx, wf)
+    }
+
+    #[test]
+    fn kernel_matrix_properties() {
+        let (x, _, _) = toy_problem();
+        let k = kernel_matrix(&x, &x, KernelType::Rbf { sigma: 1.0 });
+        // Symmetric with unit diagonal.
+        assert!(k.is_symmetric(1e-12));
+        for i in 0..x.rows() {
+            assert!((k[(i, i)] - 1.0).abs() < 1e-12);
+        }
+        // Linear kernel matches the Gram matrix.
+        let kl = kernel_matrix(&x, &x, KernelType::Linear);
+        let gram = x.matmul_transpose(&x).unwrap();
+        assert!(kl.sub(&gram).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn fit_transform_shapes() {
+        let (x, wx, wf) = toy_problem();
+        let model = KernelPfr::new(KernelPfrConfig {
+            dim: 2,
+            ..KernelPfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let z = model.transform(&x).unwrap();
+        assert_eq!(z.shape(), (6, 2));
+        assert_eq!(model.dim(), 2);
+        let unseen = Matrix::from_rows(&[vec![0.2, 0.2]]).unwrap();
+        assert_eq!(model.transform(&unseen).unwrap().shape(), (1, 2));
+        assert!(model.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn config_validation() {
+        let (x, wx, wf) = toy_problem();
+        let bad_gamma = KernelPfr::new(KernelPfrConfig {
+            gamma: 2.0,
+            ..KernelPfrConfig::default()
+        });
+        assert!(bad_gamma.fit(&x, &wx, &wf).is_err());
+        let bad_dim = KernelPfr::new(KernelPfrConfig {
+            dim: 0,
+            ..KernelPfrConfig::default()
+        });
+        assert!(bad_dim.fit(&x, &wx, &wf).is_err());
+        let bad_sigma = KernelPfr::new(KernelPfrConfig {
+            kernel: KernelType::Rbf { sigma: 0.0 },
+            ..KernelPfrConfig::default()
+        });
+        assert!(bad_sigma.fit(&x, &wx, &wf).is_err());
+        let wrong_graph = SparseGraph::new(3);
+        assert!(KernelPfr::default().fit(&x, &wx, &wrong_graph).is_err());
+    }
+
+    #[test]
+    fn higher_gamma_reduces_fairness_loss_in_kernel_space() {
+        let (x, wx, wf) = toy_problem();
+        let fit = |gamma: f64| {
+            KernelPfr::new(KernelPfrConfig {
+                gamma,
+                dim: 1,
+                kernel: KernelType::Rbf { sigma: 2.0 },
+                ..KernelPfrConfig::default()
+            })
+            .fit(&x, &wx, &wf)
+            .unwrap()
+        };
+        let z_low = fit(0.05).transform(&x).unwrap();
+        let z_high = fit(0.95).transform(&x).unwrap();
+        // Normalize scale before comparing the smoothness losses (eigenvector
+        // scaling differs between fits).
+        let normalize = |z: &Matrix| {
+            let norm = z.frobenius_norm().max(1e-12);
+            z.scale(1.0 / norm)
+        };
+        let lf_low = wf.smoothness_loss(&normalize(&z_low)).unwrap();
+        let lf_high = wf.smoothness_loss(&normalize(&z_high)).unwrap();
+        assert!(
+            lf_high <= lf_low + 1e-9,
+            "fairness loss should not increase with gamma ({lf_high} vs {lf_low})"
+        );
+    }
+
+    #[test]
+    fn eigenvalues_are_sorted_and_nonnegative() {
+        let (x, wx, wf) = toy_problem();
+        let model = KernelPfr::new(KernelPfrConfig {
+            dim: 3,
+            ..KernelPfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let ev = model.eigenvalues();
+        for w in ev.windows(2) {
+            assert!(w[0] <= w[1] + 1e-12);
+        }
+        for &l in ev {
+            assert!(l > -1e-6);
+        }
+    }
+}

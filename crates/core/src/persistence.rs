@@ -1,0 +1,242 @@
+//! Saving and loading fitted PFR models.
+//!
+//! A fitted linear PFR model is just its projection matrix plus a handful of
+//! hyper-parameters, so it serializes to a small, human-readable text format
+//! (one header line, one line per projection row). This lets a model trained
+//! offline on judgments-enriched data be shipped to a decision service that
+//! only ever sees regular attribute vectors — the deployment story the paper
+//! sketches in Section 1.2.
+
+use crate::error::PfrError;
+use crate::pfr::{PfrConfig, PfrModel};
+use crate::Result;
+use pfr_graph::LaplacianKind;
+use pfr_linalg::{EigenMethod, Matrix};
+use std::path::Path;
+
+/// Magic tag identifying the serialization format.
+const FORMAT_TAG: &str = "pfr-linear-v1";
+
+/// Serializes a fitted model to the textual format.
+pub fn to_string(model: &PfrModel) -> String {
+    let v = model.projection();
+    let mut out = String::new();
+    out.push_str(&format!(
+        "{FORMAT_TAG} gamma={} dim={} features={} laplacian={} objective={}\n",
+        model.config().gamma,
+        model.dim(),
+        model.num_features(),
+        match model.config().laplacian {
+            LaplacianKind::Unnormalized => "unnormalized",
+            LaplacianKind::SymmetricNormalized => "normalized",
+        },
+        model.objective(),
+    ));
+    out.push_str("eigenvalues");
+    for ev in model.eigenvalues() {
+        out.push_str(&format!(" {ev}"));
+    }
+    out.push('\n');
+    for r in 0..v.rows() {
+        let row: Vec<String> = v.row(r).iter().map(|x| format!("{x}")).collect();
+        out.push_str(&row.join(" "));
+        out.push('\n');
+    }
+    out
+}
+
+/// Reconstructs a fitted model from the textual format.
+pub fn from_string(text: &str) -> Result<PfrModel> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| PfrError::InvalidConfig("empty model file".to_string()))?;
+    let mut parts = header.split_whitespace();
+    let tag = parts.next().unwrap_or_default();
+    if tag != FORMAT_TAG {
+        return Err(PfrError::InvalidConfig(format!(
+            "unknown model format '{tag}', expected '{FORMAT_TAG}'"
+        )));
+    }
+    let mut gamma = None;
+    let mut dim = None;
+    let mut features = None;
+    let mut laplacian = LaplacianKind::Unnormalized;
+    for kv in parts {
+        let (key, value) = kv
+            .split_once('=')
+            .ok_or_else(|| PfrError::InvalidConfig(format!("malformed header entry '{kv}'")))?;
+        match key {
+            "gamma" => gamma = value.parse::<f64>().ok(),
+            "dim" => dim = value.parse::<usize>().ok(),
+            "features" => features = value.parse::<usize>().ok(),
+            "laplacian" => {
+                laplacian = if value == "normalized" {
+                    LaplacianKind::SymmetricNormalized
+                } else {
+                    LaplacianKind::Unnormalized
+                }
+            }
+            "objective" => {}
+            other => {
+                return Err(PfrError::InvalidConfig(format!(
+                    "unknown header key '{other}'"
+                )))
+            }
+        }
+    }
+    let gamma = gamma.ok_or_else(|| PfrError::InvalidConfig("missing gamma".to_string()))?;
+    let dim = dim.ok_or_else(|| PfrError::InvalidConfig("missing dim".to_string()))?;
+    let features =
+        features.ok_or_else(|| PfrError::InvalidConfig("missing feature count".to_string()))?;
+
+    let eigen_line = lines
+        .next()
+        .ok_or_else(|| PfrError::InvalidConfig("missing eigenvalue line".to_string()))?;
+    let mut eigen_parts = eigen_line.split_whitespace();
+    if eigen_parts.next() != Some("eigenvalues") {
+        return Err(PfrError::InvalidConfig(
+            "second line must start with 'eigenvalues'".to_string(),
+        ));
+    }
+    let eigenvalues: Vec<f64> = eigen_parts
+        .map(|v| {
+            v.parse::<f64>()
+                .map_err(|_| PfrError::InvalidConfig(format!("bad eigenvalue '{v}'")))
+        })
+        .collect::<Result<Vec<f64>>>()?;
+    if eigenvalues.len() != dim {
+        return Err(PfrError::InvalidConfig(format!(
+            "expected {dim} eigenvalues, found {}",
+            eigenvalues.len()
+        )));
+    }
+
+    let mut rows = Vec::with_capacity(features);
+    for line in lines {
+        let row: Vec<f64> = line
+            .split_whitespace()
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| PfrError::InvalidConfig(format!("bad projection entry '{v}'")))
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        if row.len() != dim {
+            return Err(PfrError::InvalidConfig(format!(
+                "projection row has {} entries, expected {dim}",
+                row.len()
+            )));
+        }
+        rows.push(row);
+    }
+    if rows.len() != features {
+        return Err(PfrError::InvalidConfig(format!(
+            "projection has {} rows, expected {features}",
+            rows.len()
+        )));
+    }
+    let projection = Matrix::from_rows(&rows)?;
+    let config = PfrConfig {
+        gamma,
+        dim,
+        laplacian,
+        eigen_method: EigenMethod::Jacobi,
+    };
+    Ok(PfrModel::from_parts(config, projection, eigenvalues))
+}
+
+/// Writes a fitted model to a file.
+pub fn save(model: &PfrModel, path: &Path) -> Result<()> {
+    std::fs::write(path, to_string(model))
+        .map_err(|e| PfrError::InvalidConfig(format!("cannot write model file: {e}")))
+}
+
+/// Reads a fitted model from a file.
+pub fn load(path: &Path) -> Result<PfrModel> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| PfrError::InvalidConfig(format!("cannot read model file: {e}")))?;
+    from_string(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::pfr::Pfr;
+    use pfr_graph::{KnnGraphBuilder, SparseGraph};
+
+    fn fitted_model() -> (PfrModel, Matrix) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.1, 1.0],
+            vec![0.5, 0.4, 0.0],
+            vec![1.0, 0.9, 1.0],
+            vec![5.0, 5.1, 0.0],
+            vec![5.5, 5.4, 1.0],
+            vec![6.0, 5.9, 0.0],
+        ])
+        .unwrap();
+        let wx = KnnGraphBuilder::new(2).build(&x).unwrap();
+        let mut wf = SparseGraph::new(6);
+        wf.add_edge(0, 3, 1.0).unwrap();
+        wf.add_edge(2, 5, 1.0).unwrap();
+        let model = Pfr::new(PfrConfig {
+            gamma: 0.7,
+            dim: 2,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        (model, x)
+    }
+
+    #[test]
+    fn round_trips_through_string() {
+        let (model, x) = fitted_model();
+        let text = to_string(&model);
+        let restored = from_string(&text).unwrap();
+        assert_eq!(restored.dim(), model.dim());
+        assert_eq!(restored.num_features(), model.num_features());
+        assert!((restored.config().gamma - 0.7).abs() < 1e-12);
+        // Transformation is identical.
+        let a = model.transform(&x).unwrap();
+        let b = restored.transform(&x).unwrap();
+        assert!(a.sub(&b).unwrap().max_abs() < 1e-12);
+    }
+
+    #[test]
+    fn round_trips_through_a_file() {
+        let (model, _) = fitted_model();
+        let path = std::env::temp_dir().join("pfr_model_roundtrip.txt");
+        save(&model, &path).unwrap();
+        let restored = load(&path).unwrap();
+        assert_eq!(restored.dim(), model.dim());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        assert!(from_string("").is_err());
+        assert!(from_string("other-format gamma=0.5 dim=1 features=2\n").is_err());
+        assert!(from_string("pfr-linear-v1 gamma=0.5 dim=1\n").is_err());
+        assert!(from_string("pfr-linear-v1 gamma=0.5 dim=1 features=2\neigenvalues 0.1 0.2\n1.0\n0.0\n").is_err());
+        assert!(from_string(
+            "pfr-linear-v1 gamma=0.5 dim=1 features=2\neigenvalues 0.1\n1.0 2.0\n0.0\n"
+        )
+        .is_err());
+        assert!(from_string(
+            "pfr-linear-v1 gamma=0.5 dim=1 features=2 bogus=1\neigenvalues 0.1\n1.0\n0.0\n"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn laplacian_kind_survives_the_round_trip() {
+        let (model, _) = fitted_model();
+        let mut text = to_string(&model);
+        text = text.replace("laplacian=unnormalized", "laplacian=normalized");
+        let restored = from_string(&text).unwrap();
+        assert_eq!(
+            restored.config().laplacian,
+            LaplacianKind::SymmetricNormalized
+        );
+    }
+}

@@ -1,0 +1,426 @@
+//! Linear Pairwise Fair Representations (Sections 3.3.1–3.3.3 of the paper).
+
+use crate::error::PfrError;
+use crate::Result;
+use pfr_graph::{LaplacianKind, SparseGraph};
+use pfr_linalg::{Eigen, EigenMethod, Matrix};
+
+/// Hyper-parameters of the linear PFR model.
+#[derive(Debug, Clone)]
+pub struct PfrConfig {
+    /// Trade-off between the data graph `WX` (γ = 0) and the fairness graph
+    /// `WF` (γ = 1). Must lie in `[0, 1]`.
+    pub gamma: f64,
+    /// Dimensionality `d` of the learned representation (`d ≤ m`).
+    pub dim: usize,
+    /// Which Laplacian to use (the paper uses the unnormalized one).
+    pub laplacian: LaplacianKind,
+    /// Which eigensolver to use.
+    pub eigen_method: EigenMethod,
+}
+
+impl Default for PfrConfig {
+    fn default() -> Self {
+        PfrConfig {
+            gamma: 0.5,
+            dim: 2,
+            laplacian: LaplacianKind::Unnormalized,
+            eigen_method: EigenMethod::Jacobi,
+        }
+    }
+}
+
+/// The (unfitted) linear PFR estimator.
+#[derive(Debug, Clone, Default)]
+pub struct Pfr {
+    config: PfrConfig,
+}
+
+impl Pfr {
+    /// Creates an estimator with the given configuration.
+    pub fn new(config: PfrConfig) -> Self {
+        Pfr { config }
+    }
+
+    /// The configuration this estimator will fit with.
+    pub fn config(&self) -> &PfrConfig {
+        &self.config
+    }
+
+    /// Fits PFR on a data matrix (one row per individual, protected
+    /// attributes excluded and typically standardized), the similarity graph
+    /// `WX` and the fairness graph `WF`.
+    ///
+    /// The number of nodes in both graphs must match the number of rows of
+    /// `x`. The fairness graph may be sparse or even empty (in which case
+    /// the model degenerates to a purely neighbourhood-preserving embedding,
+    /// the γ = 0 behaviour).
+    pub fn fit(&self, x: &Matrix, wx: &SparseGraph, wf: &SparseGraph) -> Result<PfrModel> {
+        let n = x.rows();
+        let m = x.cols();
+        if !(0.0..=1.0).contains(&self.config.gamma) {
+            return Err(PfrError::InvalidConfig(format!(
+                "gamma = {} must lie in [0, 1]",
+                self.config.gamma
+            )));
+        }
+        if self.config.dim == 0 || self.config.dim > m {
+            return Err(PfrError::InvalidConfig(format!(
+                "dim = {} must lie in 1..={m}",
+                self.config.dim
+            )));
+        }
+        if n == 0 {
+            return Err(PfrError::InvalidConfig(
+                "cannot fit PFR on an empty data matrix".to_string(),
+            ));
+        }
+        if wx.num_nodes() != n {
+            return Err(PfrError::DimensionMismatch {
+                what: "similarity graph WX",
+                got: wx.num_nodes(),
+                expected: n,
+            });
+        }
+        if wf.num_nodes() != n {
+            return Err(PfrError::DimensionMismatch {
+                what: "fairness graph WF",
+                got: wf.num_nodes(),
+                expected: n,
+            });
+        }
+
+        // The m x m quadratic forms Xᵀ Lˣ X and Xᵀ Lᶠ X, computed without
+        // ever materializing the n x n Laplacians. Each term is normalized by
+        // its graph's total edge weight so that γ interpolates between two
+        // losses of comparable scale — without this, a dense fairness graph
+        // (e.g. the quantile graph on COMPAS, millions of unit edges) would
+        // dominate the k-NN graph for any γ > 0 and the trade-off would
+        // degenerate into a step function.
+        let scale_of = |g: &SparseGraph| {
+            let w = g.total_weight();
+            if w > 0.0 {
+                1.0 / w
+            } else {
+                0.0
+            }
+        };
+        let qx = wx
+            .quadratic_form(x, self.config.laplacian)?
+            .scale(scale_of(wx));
+        let qf = wf
+            .quadratic_form(x, self.config.laplacian)?
+            .scale(scale_of(wf));
+
+        // M = (1 − γ) Xᵀ Lˣ X + γ Xᵀ Lᶠ X  (Equation 7, transposed data
+        // convention). M is symmetric positive semi-definite.
+        let mut m_mat = qx.scale(1.0 - self.config.gamma);
+        m_mat.axpy(self.config.gamma, &qf)?;
+        let m_mat = m_mat.symmetrize()?;
+
+        let eigen = Eigen::decompose_with(&m_mat, self.config.eigen_method)?;
+        let projection = eigen.smallest_eigenvectors(self.config.dim)?;
+        let eigenvalues = eigen.eigenvalues[..self.config.dim].to_vec();
+        let objective = eigenvalues.iter().sum();
+
+        Ok(PfrModel {
+            config: self.config.clone(),
+            projection,
+            eigenvalues,
+            objective,
+            num_features: m,
+        })
+    }
+}
+
+/// A fitted linear PFR model: the projection `V ∈ R^{m x d}`.
+#[derive(Debug, Clone)]
+pub struct PfrModel {
+    config: PfrConfig,
+    projection: Matrix,
+    eigenvalues: Vec<f64>,
+    objective: f64,
+    num_features: usize,
+}
+
+impl PfrModel {
+    /// Reassembles a model from its parts (used by
+    /// [`crate::persistence`] when loading a saved model).
+    ///
+    /// The caller is responsible for providing a projection whose columns are
+    /// orthonormal; models produced by [`Pfr::fit`] always satisfy this.
+    pub fn from_parts(config: PfrConfig, projection: Matrix, eigenvalues: Vec<f64>) -> PfrModel {
+        let objective = eigenvalues.iter().sum();
+        let num_features = projection.rows();
+        PfrModel {
+            config,
+            projection,
+            eigenvalues,
+            objective,
+            num_features,
+        }
+    }
+
+    /// The configuration the model was fitted with.
+    pub fn config(&self) -> &PfrConfig {
+        &self.config
+    }
+
+    /// The learned projection matrix `V` (features x dim). Columns are
+    /// orthonormal: `VᵀV = I`.
+    pub fn projection(&self) -> &Matrix {
+        &self.projection
+    }
+
+    /// The `d` smallest eigenvalues of `X ((1−γ)Lˣ + γLᶠ) Xᵀ`, i.e. the
+    /// per-dimension contributions to the objective.
+    pub fn eigenvalues(&self) -> &[f64] {
+        &self.eigenvalues
+    }
+
+    /// The achieved objective value `Tr(Vᵀ M V)` (sum of the selected
+    /// eigenvalues; lower is better).
+    pub fn objective(&self) -> f64 {
+        self.objective
+    }
+
+    /// Number of input features the model expects.
+    pub fn num_features(&self) -> usize {
+        self.num_features
+    }
+
+    /// Dimensionality of the learned representation.
+    pub fn dim(&self) -> usize {
+        self.projection.cols()
+    }
+
+    /// Maps a data matrix (one row per individual, same feature space as
+    /// training) into the learned representation `Z = X V`.
+    ///
+    /// This works for *unseen* individuals too — the crucial property that
+    /// lets PFR be applied at decision time when no pairwise judgments are
+    /// available (Section 1.2 of the paper).
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.num_features {
+            return Err(PfrError::DimensionMismatch {
+                what: "feature columns",
+                got: x.cols(),
+                expected: self.num_features,
+            });
+        }
+        Ok(x.matmul(&self.projection)?)
+    }
+
+    /// Evaluates the two loss terms of Equation 5 on a representation `z`
+    /// (usually `self.transform(x)`): `(LossX, LossF)`.
+    pub fn losses(&self, z: &Matrix, wx: &SparseGraph, wf: &SparseGraph) -> Result<(f64, f64)> {
+        Ok((wx.smoothness_loss(z)?, wf.smoothness_loss(z)?))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr_graph::KnnGraphBuilder;
+
+    /// Two well-separated clusters of three points; the fairness graph pairs
+    /// up corresponding points across the clusters.
+    fn toy_problem() -> (Matrix, SparseGraph, SparseGraph) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.1],
+            vec![0.5, 0.4],
+            vec![1.0, 0.9],
+            vec![5.0, 5.1],
+            vec![5.5, 5.4],
+            vec![6.0, 5.9],
+        ])
+        .unwrap();
+        let wx = KnnGraphBuilder::new(2).build(&x).unwrap();
+        let mut wf = SparseGraph::new(6);
+        wf.add_edge(0, 3, 1.0).unwrap();
+        wf.add_edge(1, 4, 1.0).unwrap();
+        wf.add_edge(2, 5, 1.0).unwrap();
+        (x, wx, wf)
+    }
+
+    #[test]
+    fn config_validation() {
+        let (x, wx, wf) = toy_problem();
+        assert!(Pfr::new(PfrConfig {
+            gamma: -0.1,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .is_err());
+        assert!(Pfr::new(PfrConfig {
+            gamma: 1.1,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .is_err());
+        assert!(Pfr::new(PfrConfig {
+            dim: 0,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .is_err());
+        assert!(Pfr::new(PfrConfig {
+            dim: 3,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .is_err());
+    }
+
+    #[test]
+    fn graph_size_validation() {
+        let (x, wx, _) = toy_problem();
+        let wrong = SparseGraph::new(5);
+        assert!(matches!(
+            Pfr::default().fit(&x, &wx, &wrong),
+            Err(PfrError::DimensionMismatch { .. })
+        ));
+        let wrong_x = SparseGraph::new(4);
+        assert!(Pfr::default().fit(&x, &wrong_x, &SparseGraph::new(6)).is_err());
+    }
+
+    #[test]
+    fn projection_is_orthonormal() {
+        let (x, wx, wf) = toy_problem();
+        let model = Pfr::new(PfrConfig {
+            gamma: 0.5,
+            dim: 2,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let v = model.projection();
+        let vtv = v.transpose_matmul(v).unwrap();
+        let err = vtv.sub(&Matrix::identity(2)).unwrap().max_abs();
+        assert!(err < 1e-9, "VᵀV deviates from identity by {err}");
+    }
+
+    #[test]
+    fn transform_shape_and_new_data() {
+        let (x, wx, wf) = toy_problem();
+        let model = Pfr::new(PfrConfig {
+            dim: 1,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let z = model.transform(&x).unwrap();
+        assert_eq!(z.shape(), (6, 1));
+        // Unseen individuals can be transformed as well.
+        let unseen = Matrix::from_rows(&[vec![0.3, 0.2], vec![5.2, 5.3]]).unwrap();
+        let zu = model.transform(&unseen).unwrap();
+        assert_eq!(zu.shape(), (2, 1));
+        // Wrong feature count is rejected.
+        assert!(model.transform(&Matrix::zeros(2, 3)).is_err());
+        assert_eq!(model.num_features(), 2);
+        assert_eq!(model.dim(), 1);
+    }
+
+    #[test]
+    fn higher_gamma_pulls_fairness_pairs_closer() {
+        let (x, wx, wf) = toy_problem();
+        let fit = |gamma: f64| {
+            Pfr::new(PfrConfig {
+                gamma,
+                dim: 1,
+                ..PfrConfig::default()
+            })
+            .fit(&x, &wx, &wf)
+            .unwrap()
+        };
+        let low = fit(0.0);
+        let high = fit(1.0);
+        let z_low = low.transform(&x).unwrap();
+        let z_high = high.transform(&x).unwrap();
+        let (_, loss_f_low) = low.losses(&z_low, &wx, &wf).unwrap();
+        let (_, loss_f_high) = high.losses(&z_high, &wx, &wf).unwrap();
+        assert!(
+            loss_f_high <= loss_f_low + 1e-9,
+            "γ=1 should reduce the fairness loss ({loss_f_high} vs {loss_f_low})"
+        );
+    }
+
+    #[test]
+    fn gamma_one_maps_paired_individuals_to_nearby_points() {
+        let (x, wx, wf) = toy_problem();
+        let model = Pfr::new(PfrConfig {
+            gamma: 1.0,
+            dim: 1,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let z = model.transform(&x).unwrap();
+        // Each fairness pair (i, i+3) should be closer in Z than the average
+        // distance between unpaired points from different clusters.
+        let dist = |a: usize, b: usize| (z[(a, 0)] - z[(b, 0)]).abs();
+        let paired = (dist(0, 3) + dist(1, 4) + dist(2, 5)) / 3.0;
+        let unpaired = (dist(0, 4) + dist(0, 5) + dist(1, 5) + dist(2, 3)) / 4.0;
+        assert!(
+            paired <= unpaired + 1e-9,
+            "paired distance {paired} should not exceed unpaired distance {unpaired}"
+        );
+    }
+
+    #[test]
+    fn objective_equals_sum_of_selected_eigenvalues() {
+        let (x, wx, wf) = toy_problem();
+        let model = Pfr::default().fit(&x, &wx, &wf).unwrap();
+        let sum: f64 = model.eigenvalues().iter().sum();
+        assert!((model.objective() - sum).abs() < 1e-12);
+        // Eigenvalues of a PSD matrix are non-negative.
+        for &l in model.eigenvalues() {
+            assert!(l > -1e-8);
+        }
+    }
+
+    #[test]
+    fn empty_fairness_graph_degenerates_gracefully() {
+        let (x, wx, _) = toy_problem();
+        let wf = SparseGraph::new(6);
+        let model = Pfr::new(PfrConfig {
+            gamma: 0.5,
+            dim: 2,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let z = model.transform(&x).unwrap();
+        assert_eq!(z.shape(), (6, 2));
+    }
+
+    #[test]
+    fn both_eigen_methods_produce_equivalent_objectives() {
+        let (x, wx, wf) = toy_problem();
+        let jac = Pfr::new(PfrConfig {
+            eigen_method: EigenMethod::Jacobi,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let ql = Pfr::new(PfrConfig {
+            eigen_method: EigenMethod::TridiagonalQl,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        assert!((jac.objective() - ql.objective()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn normalized_laplacian_variant_runs() {
+        let (x, wx, wf) = toy_problem();
+        let model = Pfr::new(PfrConfig {
+            laplacian: LaplacianKind::SymmetricNormalized,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        assert_eq!(model.transform(&x).unwrap().shape(), (6, 2));
+    }
+}

@@ -1,0 +1,173 @@
+//! Minimal CSV reading and writing.
+//!
+//! Used to export experiment artifacts (figure series, learned 2-D
+//! representations for Figure 1) and to load numeric tables if a user wants
+//! to run the pipeline on their own data. Only numeric tables with a header
+//! row are supported; this is deliberately small — the workspace does not
+//! need a general CSV engine.
+
+use crate::error::DataError;
+use crate::Result;
+use pfr_linalg::Matrix;
+use std::io::{BufRead, Write};
+use std::path::Path;
+
+/// A numeric table with named columns.
+#[derive(Debug, Clone, PartialEq)]
+pub struct NumericTable {
+    /// Column names, in order.
+    pub columns: Vec<String>,
+    /// Row-major data, one inner `Vec` per row.
+    pub rows: Vec<Vec<f64>>,
+}
+
+impl NumericTable {
+    /// Creates a table, validating that every row matches the header width.
+    pub fn new(columns: Vec<String>, rows: Vec<Vec<f64>>) -> Result<Self> {
+        for (i, row) in rows.iter().enumerate() {
+            if row.len() != columns.len() {
+                return Err(DataError::LengthMismatch {
+                    what: "csv row",
+                    got: row.len(),
+                    expected: columns.len(),
+                });
+            }
+            let _ = i;
+        }
+        Ok(NumericTable { columns, rows })
+    }
+
+    /// Converts the table body into a [`Matrix`].
+    pub fn to_matrix(&self) -> Result<Matrix> {
+        if self.rows.is_empty() {
+            return Err(DataError::InvalidParameter(
+                "cannot convert an empty table to a matrix".to_string(),
+            ));
+        }
+        Ok(Matrix::from_rows(&self.rows)?)
+    }
+
+    /// Builds a table from a matrix and column names.
+    pub fn from_matrix(columns: Vec<String>, m: &Matrix) -> Result<Self> {
+        if columns.len() != m.cols() {
+            return Err(DataError::LengthMismatch {
+                what: "column names",
+                got: columns.len(),
+                expected: m.cols(),
+            });
+        }
+        let rows = m.iter_rows().map(|r| r.to_vec()).collect();
+        NumericTable::new(columns, rows)
+    }
+}
+
+/// Serializes a table to CSV text.
+pub fn to_csv_string(table: &NumericTable) -> String {
+    let mut out = String::new();
+    out.push_str(&table.columns.join(","));
+    out.push('\n');
+    for row in &table.rows {
+        let cells: Vec<String> = row.iter().map(|v| format!("{v}")).collect();
+        out.push_str(&cells.join(","));
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses CSV text (header + numeric body) into a table.
+pub fn from_csv_string(text: &str) -> Result<NumericTable> {
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+    let header = lines
+        .next()
+        .ok_or_else(|| DataError::Parse("empty CSV input".to_string()))?;
+    let columns: Vec<String> = header.split(',').map(|c| c.trim().to_string()).collect();
+    let mut rows = Vec::new();
+    for (lineno, line) in lines.enumerate() {
+        let mut row = Vec::with_capacity(columns.len());
+        for cell in line.split(',') {
+            let v: f64 = cell.trim().parse().map_err(|_| {
+                DataError::Parse(format!(
+                    "line {}: cannot parse '{}' as a number",
+                    lineno + 2,
+                    cell.trim()
+                ))
+            })?;
+            row.push(v);
+        }
+        if row.len() != columns.len() {
+            return Err(DataError::LengthMismatch {
+                what: "csv row",
+                got: row.len(),
+                expected: columns.len(),
+            });
+        }
+        rows.push(row);
+    }
+    NumericTable::new(columns, rows)
+}
+
+/// Writes a table to a file.
+pub fn write_csv(path: &Path, table: &NumericTable) -> Result<()> {
+    let file = std::fs::File::create(path)?;
+    let mut writer = std::io::BufWriter::new(file);
+    writer.write_all(to_csv_string(table).as_bytes())?;
+    Ok(())
+}
+
+/// Reads a table from a file.
+pub fn read_csv(path: &Path) -> Result<NumericTable> {
+    let file = std::fs::File::open(path)?;
+    let reader = std::io::BufReader::new(file);
+    let mut text = String::new();
+    for line in reader.lines() {
+        text.push_str(&line?);
+        text.push('\n');
+    }
+    from_csv_string(&text)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn round_trips_through_string() {
+        let table = NumericTable::new(
+            vec!["a".into(), "b".into()],
+            vec![vec![1.0, 2.5], vec![-3.0, 4.0]],
+        )
+        .unwrap();
+        let text = to_csv_string(&table);
+        let parsed = from_csv_string(&text).unwrap();
+        assert_eq!(parsed, table);
+    }
+
+    #[test]
+    fn rejects_ragged_rows_and_bad_numbers() {
+        assert!(NumericTable::new(vec!["a".into()], vec![vec![1.0, 2.0]]).is_err());
+        assert!(from_csv_string("a,b\n1.0\n").is_err());
+        assert!(from_csv_string("a,b\n1.0,zzz\n").is_err());
+        assert!(from_csv_string("").is_err());
+    }
+
+    #[test]
+    fn matrix_conversions() {
+        let m = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let t = NumericTable::from_matrix(vec!["x".into(), "y".into()], &m).unwrap();
+        assert_eq!(t.to_matrix().unwrap(), m);
+        assert!(NumericTable::from_matrix(vec!["x".into()], &m).is_err());
+        let empty = NumericTable::new(vec!["x".into()], vec![]).unwrap();
+        assert!(empty.to_matrix().is_err());
+    }
+
+    #[test]
+    fn file_round_trip() {
+        let dir = std::env::temp_dir();
+        let path = dir.join("pfr_test_table.csv");
+        let table = NumericTable::new(vec!["v".into()], vec![vec![42.0]]).unwrap();
+        write_csv(&path, &table).unwrap();
+        let back = read_csv(&path).unwrap();
+        assert_eq!(back, table);
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,462 @@
+//! The [`Dataset`] type: tabular features, binary labels, protected groups
+//! and optional side information.
+//!
+//! Conventions used throughout the workspace:
+//!
+//! * Features are stored with **one row per individual** (`n x m`), the
+//!   transpose of the paper's `X ∈ R^{m x n}` notation. The PFR optimizer
+//!   transposes internally where needed.
+//! * The protected attribute is **not** part of the feature matrix; it is
+//!   carried separately in [`Dataset::groups`]. This matches the paper's
+//!   "Original representation ... wherein the protected attributes are
+//!   masked" baseline and the `WX` definition ("excluding the protected
+//!   attributes").
+//! * `side_information[i]` is an optional per-individual score used to build
+//!   the fairness graph (a simulated resident rating, a COMPAS decile score,
+//!   a latent deservingness score, ...). It is never available at test time.
+
+use crate::error::DataError;
+use crate::Result;
+use pfr_linalg::Matrix;
+
+/// A tabular dataset for a binary classification task with a protected
+/// attribute.
+#[derive(Debug, Clone)]
+pub struct Dataset {
+    /// Human-readable dataset name (e.g. `"synthetic-admissions"`).
+    pub name: String,
+    features: Matrix,
+    feature_names: Vec<String>,
+    labels: Vec<u8>,
+    groups: Vec<usize>,
+    side_information: Vec<Option<f64>>,
+}
+
+impl Dataset {
+    /// Assembles a dataset, validating that all per-record vectors have the
+    /// same length and that labels are binary.
+    pub fn new(
+        name: impl Into<String>,
+        features: Matrix,
+        feature_names: Vec<String>,
+        labels: Vec<u8>,
+        groups: Vec<usize>,
+        side_information: Vec<Option<f64>>,
+    ) -> Result<Self> {
+        let n = features.rows();
+        if n == 0 {
+            return Err(DataError::InvalidParameter(
+                "a dataset needs at least one record".to_string(),
+            ));
+        }
+        if feature_names.len() != features.cols() {
+            return Err(DataError::LengthMismatch {
+                what: "feature names",
+                got: feature_names.len(),
+                expected: features.cols(),
+            });
+        }
+        if labels.len() != n {
+            return Err(DataError::LengthMismatch {
+                what: "labels",
+                got: labels.len(),
+                expected: n,
+            });
+        }
+        if groups.len() != n {
+            return Err(DataError::LengthMismatch {
+                what: "groups",
+                got: groups.len(),
+                expected: n,
+            });
+        }
+        if side_information.len() != n {
+            return Err(DataError::LengthMismatch {
+                what: "side information",
+                got: side_information.len(),
+                expected: n,
+            });
+        }
+        if labels.iter().any(|&y| y > 1) {
+            return Err(DataError::InvalidParameter(
+                "labels must be binary (0 or 1)".to_string(),
+            ));
+        }
+        Ok(Dataset {
+            name: name.into(),
+            features,
+            feature_names,
+            labels,
+            groups,
+            side_information,
+        })
+    }
+
+    /// Number of records.
+    pub fn len(&self) -> usize {
+        self.features.rows()
+    }
+
+    /// Returns `true` when the dataset holds no records (never true for a
+    /// successfully constructed dataset, provided for API completeness).
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Number of feature columns (protected attribute excluded).
+    pub fn num_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The feature matrix (one row per individual, protected attribute
+    /// excluded).
+    pub fn features(&self) -> &Matrix {
+        &self.features
+    }
+
+    /// Feature column names.
+    pub fn feature_names(&self) -> &[String] {
+        &self.feature_names
+    }
+
+    /// Binary labels (0/1), one per individual.
+    pub fn labels(&self) -> &[u8] {
+        &self.labels
+    }
+
+    /// Labels as `f64` values, convenient for the numeric pipelines.
+    pub fn labels_f64(&self) -> Vec<f64> {
+        self.labels.iter().map(|&y| y as f64).collect()
+    }
+
+    /// Protected-group membership per individual (`0` = non-protected,
+    /// `1` = protected in the two-group datasets; more values are allowed).
+    pub fn groups(&self) -> &[usize] {
+        &self.groups
+    }
+
+    /// Optional per-individual side information (ratings, decile scores, ...).
+    pub fn side_information(&self) -> &[Option<f64>] {
+        &self.side_information
+    }
+
+    /// The distinct group ids present, in ascending order.
+    pub fn group_ids(&self) -> Vec<usize> {
+        let mut ids: Vec<usize> = self.groups.clone();
+        ids.sort_unstable();
+        ids.dedup();
+        ids
+    }
+
+    /// Number of individuals in the given group.
+    pub fn group_size(&self, group: usize) -> usize {
+        self.groups.iter().filter(|&&g| g == group).count()
+    }
+
+    /// Fraction of positive labels in the given group (the paper's
+    /// "base-rate" column of Table 1). Returns `None` for an empty group.
+    pub fn base_rate(&self, group: usize) -> Option<f64> {
+        let members: Vec<usize> = self.indices_of_group(group);
+        if members.is_empty() {
+            return None;
+        }
+        let positives = members.iter().filter(|&&i| self.labels[i] == 1).count();
+        Some(positives as f64 / members.len() as f64)
+    }
+
+    /// Overall fraction of positive labels.
+    pub fn overall_base_rate(&self) -> f64 {
+        self.labels.iter().filter(|&&y| y == 1).count() as f64 / self.len() as f64
+    }
+
+    /// Indices of the members of `group`.
+    pub fn indices_of_group(&self, group: usize) -> Vec<usize> {
+        self.groups
+            .iter()
+            .enumerate()
+            .filter_map(|(i, &g)| if g == group { Some(i) } else { None })
+            .collect()
+    }
+
+    /// Returns the sub-dataset given by `indices` (in that order). Side
+    /// information and groups are carried over.
+    pub fn subset(&self, indices: &[usize]) -> Result<Dataset> {
+        for &i in indices {
+            if i >= self.len() {
+                return Err(DataError::InvalidParameter(format!(
+                    "record index {i} out of range ({} records)",
+                    self.len()
+                )));
+            }
+        }
+        let features = self.features.select_rows(indices)?;
+        Dataset::new(
+            self.name.clone(),
+            features,
+            self.feature_names.clone(),
+            indices.iter().map(|&i| self.labels[i]).collect(),
+            indices.iter().map(|&i| self.groups[i]).collect(),
+            indices.iter().map(|&i| self.side_information[i]).collect(),
+        )
+    }
+
+    /// Returns a copy of the dataset whose feature matrix has an extra column
+    /// containing the side information (missing values imputed with the mean
+    /// of the observed ones, or 0.0 if none are observed).
+    ///
+    /// This implements the paper's "augmented baselines" (`+` suffix): every
+    /// competitor is given access to the information behind the fairness
+    /// graph as an additional numerical feature.
+    pub fn with_side_information_feature(&self) -> Result<Dataset> {
+        let observed: Vec<f64> = self.side_information.iter().filter_map(|&s| s).collect();
+        let fill = if observed.is_empty() {
+            0.0
+        } else {
+            observed.iter().sum::<f64>() / observed.len() as f64
+        };
+        let col: Vec<f64> = self
+            .side_information
+            .iter()
+            .map(|s| s.unwrap_or(fill))
+            .collect();
+        let col_matrix = Matrix::from_vec(self.len(), 1, col)?;
+        let features = self.features.hstack(&col_matrix)?;
+        let mut names = self.feature_names.clone();
+        names.push("side_information".to_string());
+        Dataset::new(
+            format!("{}+side", self.name),
+            features,
+            names,
+            self.labels.clone(),
+            self.groups.clone(),
+            self.side_information.clone(),
+        )
+    }
+
+    /// Returns the feature matrix with the protected attribute appended as an
+    /// extra numeric column (the group id), together with the corresponding
+    /// column names.
+    ///
+    /// The paper masks the protected attribute only for the *Original*
+    /// baseline and for the `WX` neighbourhood graph; the representation
+    /// learners (iFair, LFR, PFR) see the full attribute vector — that is
+    /// what allows PFR's "fair affirmative action" effect of aligning
+    /// equally deserving individuals across groups.
+    pub fn features_with_protected(&self) -> Result<(Matrix, Vec<String>)> {
+        let group_col: Vec<f64> = self.groups.iter().map(|&g| g as f64).collect();
+        let col = Matrix::from_vec(self.len(), 1, group_col)?;
+        let features = self.features.hstack(&col)?;
+        let mut names = self.feature_names.clone();
+        names.push("protected_attribute".to_string());
+        Ok((features, names))
+    }
+
+    /// Returns a copy with a different feature matrix (used by representation
+    /// learners to substitute a learned representation while keeping labels,
+    /// groups and side information aligned).
+    pub fn with_features(&self, features: Matrix, feature_names: Vec<String>) -> Result<Dataset> {
+        if features.rows() != self.len() {
+            return Err(DataError::LengthMismatch {
+                what: "replacement features",
+                got: features.rows(),
+                expected: self.len(),
+            });
+        }
+        Dataset::new(
+            self.name.clone(),
+            features,
+            feature_names,
+            self.labels.clone(),
+            self.groups.clone(),
+            self.side_information.clone(),
+        )
+    }
+
+    /// Summary statistics in the shape of the paper's Table 1 row.
+    pub fn summary(&self) -> DatasetSummary {
+        let ids = self.group_ids();
+        let per_group = ids
+            .iter()
+            .map(|&g| GroupSummary {
+                group: g,
+                size: self.group_size(g),
+                base_rate: self.base_rate(g).unwrap_or(0.0),
+            })
+            .collect();
+        DatasetSummary {
+            name: self.name.clone(),
+            num_records: self.len(),
+            num_features: self.num_features(),
+            overall_base_rate: self.overall_base_rate(),
+            side_information_coverage: self
+                .side_information
+                .iter()
+                .filter(|s| s.is_some())
+                .count() as f64
+                / self.len() as f64,
+            per_group,
+        }
+    }
+}
+
+/// Per-group size and base rate, part of [`DatasetSummary`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupSummary {
+    /// Group identifier.
+    pub group: usize,
+    /// Number of individuals in the group.
+    pub size: usize,
+    /// Fraction of positive labels within the group.
+    pub base_rate: f64,
+}
+
+/// Table-1-style summary of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetSummary {
+    /// Dataset name.
+    pub name: String,
+    /// Total number of records.
+    pub num_records: usize,
+    /// Number of feature columns.
+    pub num_features: usize,
+    /// Overall fraction of positive labels.
+    pub overall_base_rate: f64,
+    /// Fraction of records that carry side information.
+    pub side_information_coverage: f64,
+    /// Per-group statistics.
+    pub per_group: Vec<GroupSummary>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn toy_dataset() -> Dataset {
+        let features = Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap();
+        Dataset::new(
+            "toy",
+            features,
+            vec!["a".into(), "b".into()],
+            vec![1, 0, 1, 1],
+            vec![0, 0, 1, 1],
+            vec![Some(1.0), None, Some(3.0), Some(4.0)],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn construction_validates_lengths_and_labels() {
+        let features = Matrix::zeros(2, 2);
+        assert!(Dataset::new(
+            "x",
+            features.clone(),
+            vec!["a".into()],
+            vec![0, 1],
+            vec![0, 1],
+            vec![None, None]
+        )
+        .is_err());
+        assert!(Dataset::new(
+            "x",
+            features.clone(),
+            vec!["a".into(), "b".into()],
+            vec![0],
+            vec![0, 1],
+            vec![None, None]
+        )
+        .is_err());
+        assert!(Dataset::new(
+            "x",
+            features.clone(),
+            vec!["a".into(), "b".into()],
+            vec![0, 2],
+            vec![0, 1],
+            vec![None, None]
+        )
+        .is_err());
+        assert!(Dataset::new(
+            "x",
+            features,
+            vec!["a".into(), "b".into()],
+            vec![0, 1],
+            vec![0],
+            vec![None, None]
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn accessors_and_group_statistics() {
+        let ds = toy_dataset();
+        assert_eq!(ds.len(), 4);
+        assert!(!ds.is_empty());
+        assert_eq!(ds.num_features(), 2);
+        assert_eq!(ds.group_ids(), vec![0, 1]);
+        assert_eq!(ds.group_size(0), 2);
+        assert_eq!(ds.group_size(1), 2);
+        assert_eq!(ds.base_rate(0), Some(0.5));
+        assert_eq!(ds.base_rate(1), Some(1.0));
+        assert_eq!(ds.base_rate(7), None);
+        assert_eq!(ds.overall_base_rate(), 0.75);
+        assert_eq!(ds.indices_of_group(1), vec![2, 3]);
+        assert_eq!(ds.labels_f64(), vec![1.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn subset_preserves_alignment() {
+        let ds = toy_dataset();
+        let sub = ds.subset(&[3, 0]).unwrap();
+        assert_eq!(sub.len(), 2);
+        assert_eq!(sub.labels(), &[1, 1]);
+        assert_eq!(sub.groups(), &[1, 0]);
+        assert_eq!(sub.features().row(0), &[4.0, 40.0]);
+        assert_eq!(sub.side_information()[0], Some(4.0));
+        assert!(ds.subset(&[9]).is_err());
+    }
+
+    #[test]
+    fn augmented_dataset_adds_side_information_column() {
+        let ds = toy_dataset();
+        let aug = ds.with_side_information_feature().unwrap();
+        assert_eq!(aug.num_features(), 3);
+        assert_eq!(aug.feature_names().last().unwrap(), "side_information");
+        // Missing value imputed with the mean of (1 + 3 + 4)/3.
+        let expected_fill = 8.0 / 3.0;
+        assert!((aug.features()[(1, 2)] - expected_fill).abs() < 1e-12);
+        assert_eq!(aug.features()[(0, 2)], 1.0);
+    }
+
+    #[test]
+    fn features_with_protected_appends_group_column() {
+        let ds = toy_dataset();
+        let (x, names) = ds.features_with_protected().unwrap();
+        assert_eq!(x.cols(), 3);
+        assert_eq!(names.last().unwrap(), "protected_attribute");
+        assert_eq!(x.col(2), vec![0.0, 0.0, 1.0, 1.0]);
+    }
+
+    #[test]
+    fn with_features_swaps_representation() {
+        let ds = toy_dataset();
+        let z = Matrix::zeros(4, 3);
+        let swapped = ds.with_features(z, vec!["z1".into(), "z2".into(), "z3".into()]).unwrap();
+        assert_eq!(swapped.num_features(), 3);
+        assert_eq!(swapped.labels(), ds.labels());
+        assert!(ds.with_features(Matrix::zeros(2, 2), vec!["a".into(), "b".into()]).is_err());
+    }
+
+    #[test]
+    fn summary_matches_expectations() {
+        let ds = toy_dataset();
+        let s = ds.summary();
+        assert_eq!(s.num_records, 4);
+        assert_eq!(s.per_group.len(), 2);
+        assert!((s.side_information_coverage - 0.75).abs() < 1e-12);
+    }
+}

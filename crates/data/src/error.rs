@@ -1,0 +1,80 @@
+//! Error type for the dataset substrate.
+
+use std::fmt;
+
+/// Errors produced while constructing, transforming or splitting datasets.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DataError {
+    /// Per-record vectors (labels, groups, side information) had inconsistent
+    /// lengths.
+    LengthMismatch {
+        /// What the offending vector describes.
+        what: &'static str,
+        /// Provided length.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// An invalid parameter (empty dataset, bad split fraction, ...).
+    InvalidParameter(String),
+    /// A parsing problem while reading CSV data.
+    Parse(String),
+    /// An I/O problem while reading or writing files.
+    Io(String),
+    /// An error bubbled up from the linear-algebra substrate.
+    Linalg(String),
+}
+
+impl fmt::Display for DataError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataError::LengthMismatch { what, got, expected } => {
+                write!(f, "{what} has length {got}, expected {expected}")
+            }
+            DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            DataError::Parse(msg) => write!(f, "parse error: {msg}"),
+            DataError::Io(msg) => write!(f, "I/O error: {msg}"),
+            DataError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for DataError {}
+
+impl From<pfr_linalg::LinalgError> for DataError {
+    fn from(e: pfr_linalg::LinalgError) -> Self {
+        DataError::Linalg(e.to_string())
+    }
+}
+
+impl From<std::io::Error> for DataError {
+    fn from(e: std::io::Error) -> Self {
+        DataError::Io(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(DataError::LengthMismatch {
+            what: "labels",
+            got: 3,
+            expected: 5
+        }
+        .to_string()
+        .contains("labels"));
+        assert!(DataError::InvalidParameter("x".into()).to_string().contains('x'));
+        assert!(DataError::Parse("bad".into()).to_string().contains("bad"));
+    }
+
+    #[test]
+    fn conversions() {
+        let e: DataError = pfr_linalg::LinalgError::NotSquare { shape: (1, 2) }.into();
+        assert!(matches!(e, DataError::Linalg(_)));
+        let io: DataError = std::io::Error::new(std::io::ErrorKind::NotFound, "missing").into();
+        assert!(matches!(io, DataError::Io(_)));
+    }
+}

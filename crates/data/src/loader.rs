@@ -1,0 +1,241 @@
+//! Loading user-supplied tabular data into a [`Dataset`].
+//!
+//! The generators in this crate replace the paper's proprietary data, but a
+//! downstream user with access to the real COMPAS or Communities & Crime CSV
+//! files (or any other tabular dataset) should be able to run the exact same
+//! pipeline. [`DatasetLoader`] maps a [`NumericTable`] (or a CSV file) onto a
+//! [`Dataset`] by naming the label column, the protected-attribute column and
+//! optionally a side-information column; everything else becomes a feature.
+
+use crate::csv::{read_csv, NumericTable};
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+use pfr_linalg::Matrix;
+use std::path::Path;
+
+/// Declarative mapping from table columns to dataset roles.
+#[derive(Debug, Clone)]
+pub struct DatasetLoader {
+    /// Name given to the resulting dataset.
+    pub name: String,
+    /// Column holding the binary label (values must be 0/1).
+    pub label_column: String,
+    /// Column holding the protected group (values are truncated to integers).
+    pub group_column: String,
+    /// Optional column holding per-record side information; negative values
+    /// are treated as "missing".
+    pub side_information_column: Option<String>,
+    /// Columns to exclude from the feature matrix (identifiers, leakage
+    /// columns, ...). The label/group/side columns are always excluded.
+    pub drop_columns: Vec<String>,
+}
+
+impl DatasetLoader {
+    /// Creates a loader with the mandatory column roles.
+    pub fn new(
+        name: impl Into<String>,
+        label_column: impl Into<String>,
+        group_column: impl Into<String>,
+    ) -> Self {
+        DatasetLoader {
+            name: name.into(),
+            label_column: label_column.into(),
+            group_column: group_column.into(),
+            side_information_column: None,
+            drop_columns: Vec::new(),
+        }
+    }
+
+    /// Declares a side-information column.
+    pub fn with_side_information(mut self, column: impl Into<String>) -> Self {
+        self.side_information_column = Some(column.into());
+        self
+    }
+
+    /// Declares columns to drop from the feature matrix.
+    pub fn with_dropped_columns(mut self, columns: Vec<String>) -> Self {
+        self.drop_columns = columns;
+        self
+    }
+
+    /// Builds a [`Dataset`] from an in-memory numeric table.
+    pub fn from_table(&self, table: &NumericTable) -> Result<Dataset> {
+        let col_index = |name: &str| -> Result<usize> {
+            table
+                .columns
+                .iter()
+                .position(|c| c == name)
+                .ok_or_else(|| DataError::InvalidParameter(format!("column '{name}' not found")))
+        };
+        let label_idx = col_index(&self.label_column)?;
+        let group_idx = col_index(&self.group_column)?;
+        let side_idx = match &self.side_information_column {
+            Some(c) => Some(col_index(c)?),
+            None => None,
+        };
+        for dropped in &self.drop_columns {
+            // Validate early so typos do not silently keep a leakage column.
+            col_index(dropped)?;
+        }
+
+        let mut feature_columns: Vec<usize> = Vec::new();
+        let mut feature_names: Vec<String> = Vec::new();
+        for (i, name) in table.columns.iter().enumerate() {
+            let is_role_column = i == label_idx
+                || i == group_idx
+                || Some(i) == side_idx
+                || self.drop_columns.contains(name);
+            if !is_role_column {
+                feature_columns.push(i);
+                feature_names.push(name.clone());
+            }
+        }
+        if feature_columns.is_empty() {
+            return Err(DataError::InvalidParameter(
+                "no feature columns remain after removing the role columns".to_string(),
+            ));
+        }
+        if table.rows.is_empty() {
+            return Err(DataError::InvalidParameter(
+                "the table has no rows".to_string(),
+            ));
+        }
+
+        let mut labels = Vec::with_capacity(table.rows.len());
+        let mut groups = Vec::with_capacity(table.rows.len());
+        let mut side = Vec::with_capacity(table.rows.len());
+        let mut features = Matrix::zeros(table.rows.len(), feature_columns.len());
+        for (r, row) in table.rows.iter().enumerate() {
+            let label = row[label_idx];
+            if label != 0.0 && label != 1.0 {
+                return Err(DataError::Parse(format!(
+                    "row {r}: label value {label} is not binary"
+                )));
+            }
+            labels.push(label as u8);
+            let group = row[group_idx];
+            if group < 0.0 {
+                return Err(DataError::Parse(format!(
+                    "row {r}: group value {group} must be non-negative"
+                )));
+            }
+            groups.push(group as usize);
+            side.push(side_idx.and_then(|i| {
+                let v = row[i];
+                if v < 0.0 {
+                    None
+                } else {
+                    Some(v)
+                }
+            }));
+            for (out_c, &src_c) in feature_columns.iter().enumerate() {
+                features[(r, out_c)] = row[src_c];
+            }
+        }
+
+        Dataset::new(
+            self.name.clone(),
+            features,
+            feature_names,
+            labels,
+            groups,
+            side,
+        )
+    }
+
+    /// Builds a [`Dataset`] from a CSV file on disk (numeric columns with a
+    /// header row; encode categoricals upstream with
+    /// [`crate::encode::FeatureEncoder`]).
+    pub fn from_csv_file(&self, path: &Path) -> Result<Dataset> {
+        let table = read_csv(path)?;
+        self.from_table(&table)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> NumericTable {
+        NumericTable::new(
+            vec![
+                "id".into(),
+                "age".into(),
+                "priors".into(),
+                "race".into(),
+                "decile".into(),
+                "rearrested".into(),
+            ],
+            vec![
+                vec![100.0, 25.0, 2.0, 1.0, 7.0, 1.0],
+                vec![101.0, 40.0, 0.0, 0.0, 2.0, 0.0],
+                vec![102.0, 31.0, 5.0, 1.0, -1.0, 1.0],
+                vec![103.0, 55.0, 1.0, 0.0, 4.0, 0.0],
+            ],
+        )
+        .unwrap()
+    }
+
+    fn loader() -> DatasetLoader {
+        DatasetLoader::new("compas-csv", "rearrested", "race")
+            .with_side_information("decile")
+            .with_dropped_columns(vec!["id".into()])
+    }
+
+    #[test]
+    fn loads_roles_and_features_correctly() {
+        let ds = loader().from_table(&table()).unwrap();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.feature_names(), &["age".to_string(), "priors".to_string()]);
+        assert_eq!(ds.labels(), &[1, 0, 1, 0]);
+        assert_eq!(ds.groups(), &[1, 0, 1, 0]);
+        assert_eq!(ds.side_information()[0], Some(7.0));
+        // Negative side information is treated as missing.
+        assert_eq!(ds.side_information()[2], None);
+        assert_eq!(ds.features()[(0, 0)], 25.0);
+        assert_eq!(ds.features()[(2, 1)], 5.0);
+    }
+
+    #[test]
+    fn missing_columns_and_bad_values_are_rejected() {
+        let t = table();
+        assert!(DatasetLoader::new("x", "nope", "race").from_table(&t).is_err());
+        assert!(DatasetLoader::new("x", "rearrested", "nope").from_table(&t).is_err());
+        assert!(loader()
+            .with_dropped_columns(vec!["ghost".into()])
+            .from_table(&t)
+            .is_err());
+
+        let bad_label = NumericTable::new(
+            vec!["f".into(), "race".into(), "y".into()],
+            vec![vec![1.0, 0.0, 2.0]],
+        )
+        .unwrap();
+        assert!(DatasetLoader::new("x", "y", "race").from_table(&bad_label).is_err());
+
+        let bad_group = NumericTable::new(
+            vec!["f".into(), "race".into(), "y".into()],
+            vec![vec![1.0, -1.0, 1.0]],
+        )
+        .unwrap();
+        assert!(DatasetLoader::new("x", "y", "race").from_table(&bad_group).is_err());
+
+        let no_features = NumericTable::new(
+            vec!["race".into(), "y".into()],
+            vec![vec![0.0, 1.0]],
+        )
+        .unwrap();
+        assert!(DatasetLoader::new("x", "y", "race").from_table(&no_features).is_err());
+    }
+
+    #[test]
+    fn csv_file_round_trip() {
+        let path = std::env::temp_dir().join("pfr_loader_test.csv");
+        crate::csv::write_csv(&path, &table()).unwrap();
+        let ds = loader().from_csv_file(&path).unwrap();
+        assert_eq!(ds.len(), 4);
+        assert_eq!(ds.name, "compas-csv");
+        let _ = std::fs::remove_file(&path);
+    }
+}

@@ -1,0 +1,169 @@
+//! Random sampling helpers built on top of the `rand` crate.
+//!
+//! `rand` is available offline but `rand_distr` is not, so the Gaussian and
+//! multivariate-Gaussian samplers needed by the dataset generators are
+//! implemented here (Box–Muller transform plus a Cholesky factor for
+//! correlated draws).
+
+use crate::error::DataError;
+use crate::Result;
+use pfr_linalg::{CholeskyDecomposition, Matrix};
+use rand::Rng;
+
+/// Draws a single standard-normal sample using the Box–Muller transform.
+pub fn standard_normal<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+    // Avoid log(0) by sampling u1 from the open interval (0, 1].
+    let u1: f64 = 1.0 - rng.gen::<f64>();
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (std::f64::consts::TAU * u2).cos()
+}
+
+/// Draws a normal sample with the given mean and standard deviation.
+pub fn normal<R: Rng + ?Sized>(rng: &mut R, mean: f64, std_dev: f64) -> f64 {
+    mean + std_dev * standard_normal(rng)
+}
+
+/// Samples from a multivariate normal distribution `N(mean, cov)`.
+///
+/// The covariance matrix must be symmetric positive definite; its Cholesky
+/// factor is computed once per call, so for bulk sampling prefer
+/// [`MultivariateNormal`].
+pub fn multivariate_normal<R: Rng + ?Sized>(
+    rng: &mut R,
+    mean: &[f64],
+    cov: &Matrix,
+) -> Result<Vec<f64>> {
+    MultivariateNormal::new(mean.to_vec(), cov)?.sample(rng)
+}
+
+/// A reusable multivariate-normal sampler (mean vector + Cholesky factor).
+#[derive(Debug, Clone)]
+pub struct MultivariateNormal {
+    mean: Vec<f64>,
+    chol_l: Matrix,
+}
+
+impl MultivariateNormal {
+    /// Prepares a sampler for `N(mean, cov)`.
+    pub fn new(mean: Vec<f64>, cov: &Matrix) -> Result<Self> {
+        if cov.rows() != mean.len() || cov.cols() != mean.len() {
+            return Err(DataError::InvalidParameter(format!(
+                "covariance of shape {}x{} does not match mean of length {}",
+                cov.rows(),
+                cov.cols(),
+                mean.len()
+            )));
+        }
+        let chol = CholeskyDecomposition::new(cov).map_err(|e| {
+            DataError::InvalidParameter(format!("covariance must be positive definite: {e}"))
+        })?;
+        Ok(MultivariateNormal {
+            mean,
+            chol_l: chol.l,
+        })
+    }
+
+    /// Dimensionality of the distribution.
+    pub fn dim(&self) -> usize {
+        self.mean.len()
+    }
+
+    /// Draws one sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> Result<Vec<f64>> {
+        let d = self.mean.len();
+        let z: Vec<f64> = (0..d).map(|_| standard_normal(rng)).collect();
+        let correlated = self.chol_l.matvec(&z)?;
+        Ok(correlated
+            .iter()
+            .zip(self.mean.iter())
+            .map(|(c, m)| c + m)
+            .collect())
+    }
+
+    /// Draws `n` samples as the rows of an `n x d` matrix.
+    pub fn sample_matrix<R: Rng + ?Sized>(&self, rng: &mut R, n: usize) -> Result<Matrix> {
+        let d = self.dim();
+        let mut out = Matrix::zeros(n, d);
+        for i in 0..n {
+            let s = self.sample(rng)?;
+            out.row_mut(i).copy_from_slice(&s);
+        }
+        Ok(out)
+    }
+}
+
+/// Draws a Bernoulli sample with success probability `p` (clamped to [0, 1]).
+pub fn bernoulli<R: Rng + ?Sized>(rng: &mut R, p: f64) -> bool {
+    rng.gen::<f64>() < p.clamp(0.0, 1.0)
+}
+
+/// Samples an integer uniformly from `0..n`.
+pub fn uniform_index<R: Rng + ?Sized>(rng: &mut R, n: usize) -> usize {
+    rng.gen_range(0..n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn standard_normal_moments() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let samples: Vec<f64> = (0..20_000).map(|_| standard_normal(&mut rng)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        let var = samples.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / samples.len() as f64;
+        assert!(mean.abs() < 0.05, "mean {mean} too far from 0");
+        assert!((var - 1.0).abs() < 0.05, "variance {var} too far from 1");
+    }
+
+    #[test]
+    fn normal_respects_mean_and_std() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let samples: Vec<f64> = (0..20_000).map(|_| normal(&mut rng, 10.0, 2.0)).collect();
+        let mean = samples.iter().sum::<f64>() / samples.len() as f64;
+        assert!((mean - 10.0).abs() < 0.1);
+    }
+
+    #[test]
+    fn multivariate_normal_reproduces_covariance() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // The paper's synthetic covariance: [[25, -5], [-5, 25]].
+        let cov = Matrix::from_rows(&[vec![25.0, -5.0], vec![-5.0, 25.0]]).unwrap();
+        let mvn = MultivariateNormal::new(vec![100.0, 110.0], &cov).unwrap();
+        let samples = mvn.sample_matrix(&mut rng, 20_000).unwrap();
+        let sample_cov = pfr_linalg::stats::covariance(&samples).unwrap();
+        assert!((sample_cov[(0, 0)] - 25.0).abs() < 1.5);
+        assert!((sample_cov[(0, 1)] + 5.0).abs() < 1.0);
+        let means = pfr_linalg::stats::column_means(&samples);
+        assert!((means[0] - 100.0).abs() < 0.2);
+        assert!((means[1] - 110.0).abs() < 0.2);
+    }
+
+    #[test]
+    fn multivariate_normal_rejects_bad_inputs() {
+        let cov = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // indefinite
+        assert!(MultivariateNormal::new(vec![0.0, 0.0], &cov).is_err());
+        let ok_cov = Matrix::identity(2);
+        assert!(MultivariateNormal::new(vec![0.0], &ok_cov).is_err());
+    }
+
+    #[test]
+    fn bernoulli_frequency_matches_probability() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let hits = (0..10_000).filter(|_| bernoulli(&mut rng, 0.3)).count();
+        let rate = hits as f64 / 10_000.0;
+        assert!((rate - 0.3).abs() < 0.02);
+        assert!(!bernoulli(&mut rng, -1.0));
+        assert!(bernoulli(&mut rng, 2.0));
+    }
+
+    #[test]
+    fn uniform_index_stays_in_range() {
+        let mut rng = StdRng::seed_from_u64(5);
+        for _ in 0..1000 {
+            assert!(uniform_index(&mut rng, 7) < 7);
+        }
+    }
+}

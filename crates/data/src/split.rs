@@ -1,0 +1,209 @@
+//! Train/test splits and k-fold cross-validation.
+//!
+//! The paper splits each dataset into training and test sets and performs
+//! 5-fold cross-validation on the training split to tune hyper-parameters
+//! (Section 4.1). Splits here are stratified jointly by label and protected
+//! group so that the small groups keep representative base rates in every
+//! fold.
+
+use crate::dataset::Dataset;
+use crate::error::DataError;
+use crate::Result;
+use rand::seq::SliceRandom;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// A train/test split of record indices.
+#[derive(Debug, Clone)]
+pub struct TrainTestSplit {
+    /// Indices of the training records.
+    pub train: Vec<usize>,
+    /// Indices of the test records.
+    pub test: Vec<usize>,
+}
+
+/// Produces a stratified train/test split with the given test fraction.
+///
+/// Stratification is on the joint `(label, group)` cell so both base rates
+/// and group proportions are preserved. The split is deterministic for a
+/// given seed.
+pub fn train_test_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> Result<TrainTestSplit> {
+    if !(0.0 < test_fraction && test_fraction < 1.0) {
+        return Err(DataError::InvalidParameter(format!(
+            "test fraction {test_fraction} must lie strictly between 0 and 1"
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let cells = stratification_cells(dataset);
+    let mut train = Vec::new();
+    let mut test = Vec::new();
+    for mut members in cells.into_values() {
+        members.shuffle(&mut rng);
+        let n_test = ((members.len() as f64) * test_fraction).round() as usize;
+        let n_test = n_test.min(members.len());
+        test.extend_from_slice(&members[..n_test]);
+        train.extend_from_slice(&members[n_test..]);
+    }
+    train.sort_unstable();
+    test.sort_unstable();
+    if train.is_empty() || test.is_empty() {
+        return Err(DataError::InvalidParameter(
+            "split produced an empty train or test set; adjust the test fraction".to_string(),
+        ));
+    }
+    Ok(TrainTestSplit { train, test })
+}
+
+/// Stratified k-fold cross-validation over the records of a dataset.
+///
+/// Returns `k` folds of `(train_indices, validation_indices)`.
+pub fn k_fold(dataset: &Dataset, k: usize, seed: u64) -> Result<Vec<TrainTestSplit>> {
+    if k < 2 {
+        return Err(DataError::InvalidParameter(format!(
+            "k-fold cross-validation requires k >= 2, got {k}"
+        )));
+    }
+    if k > dataset.len() {
+        return Err(DataError::InvalidParameter(format!(
+            "cannot split {} records into {k} folds",
+            dataset.len()
+        )));
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    // Assign each record a fold id, stratified per (label, group) cell.
+    let mut fold_of = vec![0usize; dataset.len()];
+    for mut members in stratification_cells(dataset).into_values() {
+        members.shuffle(&mut rng);
+        for (pos, idx) in members.into_iter().enumerate() {
+            fold_of[idx] = pos % k;
+        }
+    }
+    let mut folds = Vec::with_capacity(k);
+    for f in 0..k {
+        let mut train = Vec::new();
+        let mut validation = Vec::new();
+        for (idx, &fi) in fold_of.iter().enumerate() {
+            if fi == f {
+                validation.push(idx);
+            } else {
+                train.push(idx);
+            }
+        }
+        if validation.is_empty() || train.is_empty() {
+            return Err(DataError::InvalidParameter(format!(
+                "fold {f} is degenerate; use fewer folds"
+            )));
+        }
+        folds.push(TrainTestSplit {
+            train,
+            test: validation,
+        });
+    }
+    Ok(folds)
+}
+
+/// Groups record indices into joint `(label, group)` stratification cells.
+fn stratification_cells(dataset: &Dataset) -> std::collections::BTreeMap<(u8, usize), Vec<usize>> {
+    let mut cells: std::collections::BTreeMap<(u8, usize), Vec<usize>> =
+        std::collections::BTreeMap::new();
+    for i in 0..dataset.len() {
+        cells
+            .entry((dataset.labels()[i], dataset.groups()[i]))
+            .or_default()
+            .push(i);
+    }
+    cells
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pfr_linalg::Matrix;
+
+    fn dataset_with(n: usize) -> Dataset {
+        let rows: Vec<Vec<f64>> = (0..n).map(|i| vec![i as f64, (i * i) as f64]).collect();
+        let labels: Vec<u8> = (0..n).map(|i| (i % 2) as u8).collect();
+        let groups: Vec<usize> = (0..n).map(|i| usize::from(i % 3 == 0)).collect();
+        Dataset::new(
+            "test",
+            Matrix::from_rows(&rows).unwrap(),
+            vec!["x".into(), "x2".into()],
+            labels,
+            groups,
+            vec![None; n],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn split_partitions_all_records() {
+        let ds = dataset_with(100);
+        let split = train_test_split(&ds, 0.3, 7).unwrap();
+        let mut all: Vec<usize> = split.train.iter().chain(split.test.iter()).copied().collect();
+        all.sort_unstable();
+        assert_eq!(all, (0..100).collect::<Vec<_>>());
+        // Roughly 30% test.
+        assert!((split.test.len() as f64 - 30.0).abs() <= 4.0);
+    }
+
+    #[test]
+    fn split_is_deterministic_per_seed() {
+        let ds = dataset_with(60);
+        let a = train_test_split(&ds, 0.25, 11).unwrap();
+        let b = train_test_split(&ds, 0.25, 11).unwrap();
+        assert_eq!(a.train, b.train);
+        assert_eq!(a.test, b.test);
+        let c = train_test_split(&ds, 0.25, 12).unwrap();
+        assert_ne!(a.test, c.test);
+    }
+
+    #[test]
+    fn split_preserves_base_rates_approximately() {
+        let ds = dataset_with(200);
+        let split = train_test_split(&ds, 0.3, 3).unwrap();
+        let train_ds = ds.subset(&split.train).unwrap();
+        let test_ds = ds.subset(&split.test).unwrap();
+        assert!((train_ds.overall_base_rate() - ds.overall_base_rate()).abs() < 0.05);
+        assert!((test_ds.overall_base_rate() - ds.overall_base_rate()).abs() < 0.05);
+    }
+
+    #[test]
+    fn split_rejects_bad_fractions() {
+        let ds = dataset_with(10);
+        assert!(train_test_split(&ds, 0.0, 1).is_err());
+        assert!(train_test_split(&ds, 1.0, 1).is_err());
+        assert!(train_test_split(&ds, -0.5, 1).is_err());
+    }
+
+    #[test]
+    fn k_fold_covers_every_record_exactly_once_as_validation() {
+        let ds = dataset_with(50);
+        let folds = k_fold(&ds, 5, 9).unwrap();
+        assert_eq!(folds.len(), 5);
+        let mut seen = vec![0usize; 50];
+        for fold in &folds {
+            assert_eq!(fold.train.len() + fold.test.len(), 50);
+            for &i in &fold.test {
+                seen[i] += 1;
+            }
+        }
+        assert!(seen.iter().all(|&c| c == 1));
+    }
+
+    #[test]
+    fn k_fold_rejects_bad_k() {
+        let ds = dataset_with(10);
+        assert!(k_fold(&ds, 1, 0).is_err());
+        assert!(k_fold(&ds, 11, 0).is_err());
+    }
+
+    #[test]
+    fn k_fold_folds_have_balanced_sizes() {
+        let ds = dataset_with(103);
+        let folds = k_fold(&ds, 5, 13).unwrap();
+        let sizes: Vec<usize> = folds.iter().map(|f| f.test.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        assert!(max - min <= 4, "fold sizes too unbalanced: {sizes:?}");
+    }
+}

@@ -1,0 +1,90 @@
+//! Error type for the experiment harness.
+
+use std::fmt;
+
+/// Errors produced while running experiments.
+#[derive(Debug, Clone)]
+pub enum EvalError {
+    /// An invalid experiment parameter or unknown experiment name.
+    InvalidParameter(String),
+    /// An error from the dataset substrate.
+    Data(String),
+    /// An error from the graph substrate.
+    Graph(String),
+    /// An error from the linear-algebra substrate.
+    Linalg(String),
+    /// An error from a representation method or the classifier.
+    Model(String),
+    /// An error from the metrics crate.
+    Metrics(String),
+}
+
+impl fmt::Display for EvalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EvalError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            EvalError::Data(msg) => write!(f, "data error: {msg}"),
+            EvalError::Graph(msg) => write!(f, "graph error: {msg}"),
+            EvalError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+            EvalError::Model(msg) => write!(f, "model error: {msg}"),
+            EvalError::Metrics(msg) => write!(f, "metrics error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EvalError {}
+
+impl From<pfr_data::DataError> for EvalError {
+    fn from(e: pfr_data::DataError) -> Self {
+        EvalError::Data(e.to_string())
+    }
+}
+
+impl From<pfr_graph::GraphError> for EvalError {
+    fn from(e: pfr_graph::GraphError) -> Self {
+        EvalError::Graph(e.to_string())
+    }
+}
+
+impl From<pfr_linalg::LinalgError> for EvalError {
+    fn from(e: pfr_linalg::LinalgError) -> Self {
+        EvalError::Linalg(e.to_string())
+    }
+}
+
+impl From<pfr_core::PfrError> for EvalError {
+    fn from(e: pfr_core::PfrError) -> Self {
+        EvalError::Model(e.to_string())
+    }
+}
+
+impl From<pfr_baselines::BaselineError> for EvalError {
+    fn from(e: pfr_baselines::BaselineError) -> Self {
+        EvalError::Model(e.to_string())
+    }
+}
+
+impl From<pfr_opt::OptError> for EvalError {
+    fn from(e: pfr_opt::OptError) -> Self {
+        EvalError::Model(e.to_string())
+    }
+}
+
+impl From<pfr_metrics::MetricsError> for EvalError {
+    fn from(e: pfr_metrics::MetricsError) -> Self {
+        EvalError::Metrics(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_preserve_messages() {
+        let e: EvalError = pfr_data::DataError::InvalidParameter("boom".into()).into();
+        assert!(e.to_string().contains("boom"));
+        let e: EvalError = pfr_metrics::MetricsError::Undefined("one class".into()).into();
+        assert!(e.to_string().contains("one class"));
+    }
+}

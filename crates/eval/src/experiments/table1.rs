@@ -1,0 +1,107 @@
+//! Table 1 — experimental setting and statistics of the datasets.
+
+use crate::pipeline::DatasetSpec;
+use crate::report::{fmt3, TextTable};
+use crate::Result;
+
+/// One row of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1Row {
+    /// Dataset name.
+    pub dataset: String,
+    /// Total number of records.
+    pub total: usize,
+    /// Size of the non-protected group (`s = 0`).
+    pub size_s0: usize,
+    /// Size of the protected group (`s = 1`).
+    pub size_s1: usize,
+    /// Base rate of the non-protected group.
+    pub base_rate_s0: f64,
+    /// Base rate of the protected group.
+    pub base_rate_s1: f64,
+    /// The downstream classification task.
+    pub task: &'static str,
+    /// The protected attribute.
+    pub protected_attribute: &'static str,
+}
+
+/// The full reproduction of Table 1.
+#[derive(Debug, Clone)]
+pub struct Table1 {
+    /// One row per dataset.
+    pub rows: Vec<Table1Row>,
+}
+
+impl Table1 {
+    /// Renders the table in the paper's column order.
+    pub fn render(&self) -> String {
+        let mut t = TextTable::new(&[
+            "Dataset",
+            "|X|",
+            "|Xs=0|",
+            "|Xs=1|",
+            "Base-rate (s=0)",
+            "Base-rate (s=1)",
+            "Classification task",
+            "Protected attribute",
+        ]);
+        for row in &self.rows {
+            t.add_row(vec![
+                row.dataset.clone(),
+                row.total.to_string(),
+                row.size_s0.to_string(),
+                row.size_s1.to_string(),
+                fmt3(row.base_rate_s0),
+                fmt3(row.base_rate_s1),
+                row.task.to_string(),
+                row.protected_attribute.to_string(),
+            ]);
+        }
+        format!("Table 1: dataset statistics\n{}", t.render())
+    }
+}
+
+/// Generates all three datasets and collects their statistics.
+pub fn run(fast: bool, seed: u64) -> Result<Table1> {
+    let specs = [
+        (DatasetSpec::Synthetic, "Is successful", "Race"),
+        (DatasetSpec::Crime, "Is violent", "Race"),
+        (DatasetSpec::Compas, "Is rearrested", "Race"),
+    ];
+    let mut rows = Vec::new();
+    for (spec, task, protected) in specs {
+        let ds = spec.generate(seed, fast)?;
+        rows.push(Table1Row {
+            dataset: spec.name().to_string(),
+            total: ds.len(),
+            size_s0: ds.group_size(0),
+            size_s1: ds.group_size(1),
+            base_rate_s0: ds.base_rate(0).unwrap_or(0.0),
+            base_rate_s1: ds.base_rate(1).unwrap_or(0.0),
+            task,
+            protected_attribute: protected,
+        });
+    }
+    Ok(Table1 { rows })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fast_table_has_three_rows_with_correct_proportions() {
+        let table = run(true, 3).unwrap();
+        assert_eq!(table.rows.len(), 3);
+        let compas = &table.rows[2];
+        assert_eq!(compas.dataset, "Compas");
+        // Protected group is larger than the non-protected group in COMPAS.
+        assert!(compas.size_s1 > compas.size_s0);
+        // Crime has the striking base-rate gap.
+        let crime = &table.rows[1];
+        assert!(crime.base_rate_s1 > crime.base_rate_s0 + 0.3);
+        let rendered = table.render();
+        assert!(rendered.contains("Compas"));
+        assert!(rendered.contains("Is violent"));
+    }
+}

@@ -1,0 +1,87 @@
+//! Command-line driver that regenerates every table and figure of the paper.
+//!
+//! ```text
+//! pfr-eval [--fast] [--seed N] <experiment> [<experiment> ...]
+//! pfr-eval --all [--fast] [--seed N]
+//! pfr-eval --list
+//! ```
+//!
+//! Experiments: `table1`, `figure1` … `figure10`, `ablation-sparsity`,
+//! `ablation-kernel`, `ablation-quantiles`.
+
+use pfr_eval::experiments::{run_by_name, EXPERIMENT_NAMES};
+use std::process::ExitCode;
+
+fn print_usage() {
+    eprintln!("usage: pfr-eval [--fast] [--seed N] (--all | --list | <experiment>...)");
+    eprintln!("experiments: {}", EXPERIMENT_NAMES.join(", "));
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    let mut fast = false;
+    let mut seed = 42u64;
+    let mut run_all = false;
+    let mut list = false;
+    let mut experiments: Vec<String> = Vec::new();
+    let mut iter = args.into_iter();
+    while let Some(arg) = iter.next() {
+        match arg.as_str() {
+            "--fast" => fast = true,
+            "--all" => run_all = true,
+            "--list" => list = true,
+            "--seed" => match iter.next().and_then(|s| s.parse::<u64>().ok()) {
+                Some(s) => seed = s,
+                None => {
+                    eprintln!("--seed requires an integer argument");
+                    return ExitCode::FAILURE;
+                }
+            },
+            "--help" | "-h" => {
+                print_usage();
+                return ExitCode::SUCCESS;
+            }
+            other if other.starts_with('-') => {
+                eprintln!("unknown flag: {other}");
+                print_usage();
+                return ExitCode::FAILURE;
+            }
+            other => experiments.push(other.to_string()),
+        }
+    }
+
+    if list {
+        for name in EXPERIMENT_NAMES {
+            println!("{name}");
+        }
+        return ExitCode::SUCCESS;
+    }
+    if run_all {
+        experiments = EXPERIMENT_NAMES.iter().map(|s| s.to_string()).collect();
+    }
+    if experiments.is_empty() {
+        print_usage();
+        return ExitCode::FAILURE;
+    }
+
+    for name in &experiments {
+        let started = std::time::Instant::now();
+        match run_by_name(name, fast, seed) {
+            Ok(report) => {
+                println!("{report}");
+                println!("[{name} finished in {:.1?}]", started.elapsed());
+                println!();
+            }
+            Err(err) => {
+                eprintln!("experiment {name} failed: {err}");
+                return ExitCode::FAILURE;
+            }
+        }
+    }
+    ExitCode::SUCCESS
+}

@@ -1,0 +1,121 @@
+//! Connected components and simple structural statistics.
+//!
+//! Used by the experiment harness to report how well a fairness graph covers
+//! the population (number of individuals with at least one judgment, size of
+//! the largest component, ...), which mirrors the paper's discussion of
+//! sparse pairwise judgments.
+
+use crate::sparse::SparseGraph;
+
+/// Labels each node with the id of its connected component (0-based, in
+/// order of discovery). Isolated nodes get their own component.
+pub fn connected_components(graph: &SparseGraph) -> Vec<usize> {
+    let n = graph.num_nodes();
+    let adj = graph.adjacency_list();
+    let mut labels = vec![usize::MAX; n];
+    let mut current = 0usize;
+    let mut stack = Vec::new();
+    for start in 0..n {
+        if labels[start] != usize::MAX {
+            continue;
+        }
+        labels[start] = current;
+        stack.push(start);
+        while let Some(u) = stack.pop() {
+            for &(v, _) in &adj[u] {
+                if labels[v] == usize::MAX {
+                    labels[v] = current;
+                    stack.push(v);
+                }
+            }
+        }
+        current += 1;
+    }
+    labels
+}
+
+/// Summary statistics of a graph's structure.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GraphStats {
+    /// Number of nodes.
+    pub num_nodes: usize,
+    /// Number of undirected edges.
+    pub num_edges: usize,
+    /// Number of nodes with at least one incident edge.
+    pub covered_nodes: usize,
+    /// Number of connected components (isolated nodes each count as one).
+    pub num_components: usize,
+    /// Size of the largest connected component.
+    pub largest_component: usize,
+    /// Mean unweighted degree.
+    pub mean_degree: f64,
+    /// Sum of all edge weights.
+    pub total_weight: f64,
+}
+
+/// Computes [`GraphStats`] for a graph.
+pub fn graph_stats(graph: &SparseGraph) -> GraphStats {
+    let labels = connected_components(graph);
+    let num_components = labels.iter().copied().max().map_or(0, |m| m + 1);
+    let mut sizes = vec![0usize; num_components];
+    for &l in &labels {
+        sizes[l] += 1;
+    }
+    let degrees = graph.degrees();
+    let covered_nodes = degrees.iter().filter(|&&d| d > 0.0).count();
+    GraphStats {
+        num_nodes: graph.num_nodes(),
+        num_edges: graph.num_edges(),
+        covered_nodes,
+        num_components,
+        largest_component: sizes.iter().copied().max().unwrap_or(0),
+        mean_degree: graph.mean_degree(),
+        total_weight: graph.total_weight(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn components_of_two_triangles_and_an_isolated_node() {
+        let mut g = SparseGraph::new(7);
+        for (a, b) in [(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3)] {
+            g.add_edge(a, b, 1.0).unwrap();
+        }
+        let labels = connected_components(&g);
+        assert_eq!(labels[0], labels[1]);
+        assert_eq!(labels[1], labels[2]);
+        assert_eq!(labels[3], labels[4]);
+        assert_ne!(labels[0], labels[3]);
+        assert_ne!(labels[6], labels[0]);
+        assert_ne!(labels[6], labels[3]);
+
+        let stats = graph_stats(&g);
+        assert_eq!(stats.num_components, 3);
+        assert_eq!(stats.largest_component, 3);
+        assert_eq!(stats.covered_nodes, 6);
+        assert_eq!(stats.num_edges, 6);
+    }
+
+    #[test]
+    fn empty_graph_stats() {
+        let g = SparseGraph::new(0);
+        let stats = graph_stats(&g);
+        assert_eq!(stats.num_nodes, 0);
+        assert_eq!(stats.num_components, 0);
+        assert_eq!(stats.largest_component, 0);
+    }
+
+    #[test]
+    fn fully_isolated_nodes_form_singleton_components() {
+        let g = SparseGraph::new(5);
+        let labels = connected_components(&g);
+        let unique: std::collections::BTreeSet<usize> = labels.into_iter().collect();
+        assert_eq!(unique.len(), 5);
+        let stats = graph_stats(&g);
+        assert_eq!(stats.covered_nodes, 0);
+        assert_eq!(stats.largest_component, 1);
+    }
+}

@@ -1,0 +1,83 @@
+//! Error type shared by the graph substrate.
+
+use std::fmt;
+
+/// Errors produced by graph construction and graph algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GraphError {
+    /// A node index was out of range for the graph.
+    NodeOutOfRange {
+        /// The offending node index.
+        node: usize,
+        /// Number of nodes in the graph.
+        n: usize,
+    },
+    /// A self-loop was requested where none is allowed.
+    SelfLoop {
+        /// The node for which a self-loop was attempted.
+        node: usize,
+    },
+    /// Inputs describing per-node attributes had the wrong length.
+    LengthMismatch {
+        /// What the input describes.
+        what: &'static str,
+        /// Provided length.
+        got: usize,
+        /// Expected length (number of nodes).
+        expected: usize,
+    },
+    /// An invalid parameter (k = 0, empty data, negative weight, ...).
+    InvalidParameter(String),
+    /// An error bubbled up from the linear-algebra substrate.
+    Linalg(String),
+}
+
+impl fmt::Display for GraphError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GraphError::NodeOutOfRange { node, n } => {
+                write!(f, "node index {node} out of range for a graph with {n} nodes")
+            }
+            GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
+            GraphError::LengthMismatch { what, got, expected } => {
+                write!(f, "{what} has length {got}, expected {expected}")
+            }
+            GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            GraphError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for GraphError {}
+
+impl From<pfr_linalg::LinalgError> for GraphError {
+    fn from(e: pfr_linalg::LinalgError) -> Self {
+        GraphError::Linalg(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_messages_are_informative() {
+        assert!(GraphError::NodeOutOfRange { node: 7, n: 3 }
+            .to_string()
+            .contains('7'));
+        assert!(GraphError::SelfLoop { node: 2 }.to_string().contains('2'));
+        assert!(GraphError::LengthMismatch {
+            what: "groups",
+            got: 4,
+            expected: 9
+        }
+        .to_string()
+        .contains("groups"));
+    }
+
+    #[test]
+    fn converts_from_linalg_error() {
+        let e: GraphError = pfr_linalg::LinalgError::NotSquare { shape: (2, 3) }.into();
+        assert!(matches!(e, GraphError::Linalg(_)));
+    }
+}

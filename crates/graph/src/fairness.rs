@@ -1,0 +1,244 @@
+//! Fairness-graph construction (Section 3.2 of the paper).
+//!
+//! The fairness graph `WF` encodes side-information about *equally deserving*
+//! individuals who should receive similar outcomes. The paper proposes three
+//! elicitation models, all implemented here:
+//!
+//! 1. **Direct pairwise judgments** — a human marks specific pairs as equally
+//!    deserving ([`pairwise_judgment_graph`]).
+//! 2. **Equivalence classes** (Definition 1) — individuals are grouped into
+//!    discrete classes (e.g. rounded star ratings of neighbourhoods); all
+//!    members of a class are linked ([`equivalence_class_graph`]).
+//! 3. **Between-group quantile graphs** (Definitions 2 and 3) — when groups
+//!    are incomparable, within-group rankings are pooled into `k` quantiles
+//!    and individuals in the same quantile of *different* groups are linked
+//!    ([`between_group_quantile_graph`]).
+
+use crate::error::GraphError;
+use crate::sparse::SparseGraph;
+use crate::Result;
+use pfr_linalg::stats::quantile_buckets;
+
+/// Builds a fairness graph from explicit pairwise judgments.
+///
+/// Each `(i, j)` pair receives an edge of weight 1.0. Duplicate pairs are
+/// merged (weight capped at 1.0), self-pairs are rejected.
+pub fn pairwise_judgment_graph(n: usize, pairs: &[(usize, usize)]) -> Result<SparseGraph> {
+    let mut g = SparseGraph::new(n);
+    for &(i, j) in pairs {
+        g.add_edge(i, j, 1.0)?;
+    }
+    g.coalesce_max();
+    Ok(g)
+}
+
+/// Builds the equivalence-class graph of Definition 1.
+///
+/// `classes[i]` is the (optional) equivalence class of individual `i`;
+/// individuals without a judgment (`None`) stay isolated. Two individuals are
+/// linked with weight 1.0 iff they belong to the same class.
+///
+/// Note that a class with `c` members produces a clique with `c(c-1)/2`
+/// edges; for very large classes consider following up with
+/// [`SparseGraph::subsample_edges`].
+pub fn equivalence_class_graph(classes: &[Option<usize>]) -> Result<SparseGraph> {
+    let n = classes.len();
+    let mut g = SparseGraph::new(n);
+    // Bucket members per class, then emit cliques.
+    let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, class) in classes.iter().enumerate() {
+        if let Some(c) = class {
+            buckets.entry(*c).or_default().push(i);
+        }
+    }
+    for members in buckets.values() {
+        for (a_idx, &a) in members.iter().enumerate() {
+            for &b in members.iter().skip(a_idx + 1) {
+                g.add_edge(a, b, 1.0)?;
+            }
+        }
+    }
+    Ok(g)
+}
+
+/// Builds the between-group quantile graph of Definition 3.
+///
+/// * `groups[i]` is the group membership of individual `i` (arbitrary small
+///   integers, more than two groups are supported as in the paper).
+/// * `scores[i]` is the individual's *within-group* ranking score (e.g. a
+///   COMPAS decile score or a per-group model score). Scores are only ever
+///   compared within a group.
+/// * `num_quantiles` is the number of quantile buckets `k`.
+///
+/// Within each group, individuals are assigned to equal-probability quantile
+/// buckets of their own group's score distribution; every pair of individuals
+/// in the *same* bucket but *different* groups is connected with weight 1.0.
+/// Same-group pairs are never connected — exactly Equation 2 of the paper.
+pub fn between_group_quantile_graph(
+    groups: &[usize],
+    scores: &[f64],
+    num_quantiles: usize,
+) -> Result<SparseGraph> {
+    let n = groups.len();
+    if scores.len() != n {
+        return Err(GraphError::LengthMismatch {
+            what: "scores",
+            got: scores.len(),
+            expected: n,
+        });
+    }
+    if num_quantiles == 0 {
+        return Err(GraphError::InvalidParameter(
+            "the number of quantiles must be positive".to_string(),
+        ));
+    }
+
+    // Partition indices by group.
+    let mut by_group: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    for (i, &g) in groups.iter().enumerate() {
+        by_group.entry(g).or_default().push(i);
+    }
+
+    // Assign a quantile bucket to every individual, *within its own group*.
+    let mut bucket_of = vec![0usize; n];
+    for members in by_group.values() {
+        let group_scores: Vec<f64> = members.iter().map(|&i| scores[i]).collect();
+        let buckets = quantile_buckets(&group_scores, num_quantiles)
+            .map_err(|e| GraphError::Linalg(e.to_string()))?;
+        for (&i, &b) in members.iter().zip(buckets.iter()) {
+            bucket_of[i] = b;
+        }
+    }
+
+    // Connect cross-group pairs in the same bucket.
+    let group_ids: Vec<usize> = by_group.keys().copied().collect();
+    let mut graph = SparseGraph::new(n);
+    for q in 0..num_quantiles {
+        // Members of this quantile per group.
+        let mut members_per_group: Vec<Vec<usize>> = Vec::with_capacity(group_ids.len());
+        for gid in &group_ids {
+            let members: Vec<usize> = by_group[gid]
+                .iter()
+                .copied()
+                .filter(|&i| bucket_of[i] == q)
+                .collect();
+            members_per_group.push(members);
+        }
+        for a in 0..members_per_group.len() {
+            for b in (a + 1)..members_per_group.len() {
+                for &i in &members_per_group[a] {
+                    for &j in &members_per_group[b] {
+                        graph.add_edge(i, j, 1.0)?;
+                    }
+                }
+            }
+        }
+    }
+    Ok(graph)
+}
+
+/// Builds an equivalence-class graph from continuous ratings by rounding them
+/// to the nearest integer "star" value (the Crime & Communities construction
+/// in Section 4.3.1, where 1–5 star resident reviews are averaged per
+/// neighbourhood).
+///
+/// `ratings[i] = None` models a neighbourhood for which no reviews could be
+/// collected (the paper covers ~1500 of ~2000 communities).
+pub fn rating_equivalence_graph(ratings: &[Option<f64>]) -> Result<SparseGraph> {
+    let classes: Vec<Option<usize>> = ratings
+        .iter()
+        .map(|r| {
+            r.map(|v| {
+                let clamped = v.clamp(0.0, 10.0);
+                clamped.round() as usize
+            })
+        })
+        .collect();
+    equivalence_class_graph(&classes)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pairwise_graph_basic() {
+        let g = pairwise_judgment_graph(4, &[(0, 1), (1, 0), (2, 3)]).unwrap();
+        assert_eq!(g.num_edges(), 2);
+        assert!(pairwise_judgment_graph(2, &[(0, 5)]).is_err());
+        assert!(pairwise_judgment_graph(2, &[(1, 1)]).is_err());
+    }
+
+    #[test]
+    fn equivalence_classes_form_cliques() {
+        let classes = vec![Some(0), Some(0), Some(0), Some(1), Some(1), None];
+        let g = equivalence_class_graph(&classes).unwrap();
+        // Class 0 clique: 3 edges; class 1 clique: 1 edge; None: isolated.
+        assert_eq!(g.num_edges(), 4);
+        let adj = g.adjacency_list();
+        assert!(adj[5].is_empty());
+        assert_eq!(adj[0].len(), 2);
+    }
+
+    #[test]
+    fn quantile_graph_links_only_cross_group_same_quantile() {
+        // Two groups of 4; scores are group-internal ranks.
+        let groups = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let scores = vec![1.0, 2.0, 3.0, 4.0, 10.0, 20.0, 30.0, 40.0];
+        let g = between_group_quantile_graph(&groups, &scores, 4).unwrap();
+        // Each quantile holds exactly one individual per group → 4 edges.
+        assert_eq!(g.num_edges(), 4);
+        let w = g.adjacency_dense();
+        // Lowest of group 0 (idx 0) pairs with lowest of group 1 (idx 4).
+        assert_eq!(w[(0, 4)], 1.0);
+        assert_eq!(w[(3, 7)], 1.0);
+        // Never a same-group edge.
+        for i in 0..4 {
+            for j in 0..4 {
+                if i != j {
+                    assert_eq!(w[(i, j)], 0.0);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn quantile_graph_supports_more_than_two_groups() {
+        let groups = vec![0, 0, 1, 1, 2, 2];
+        let scores = vec![1.0, 2.0, 5.0, 6.0, -1.0, 4.0];
+        let g = between_group_quantile_graph(&groups, &scores, 2).unwrap();
+        // Each quantile has one member per group → 3 cross-group pairs per
+        // quantile, 2 quantiles → 6 edges.
+        assert_eq!(g.num_edges(), 6);
+    }
+
+    #[test]
+    fn quantile_graph_validates_inputs() {
+        assert!(between_group_quantile_graph(&[0, 1], &[1.0], 2).is_err());
+        assert!(between_group_quantile_graph(&[0, 1], &[1.0, 2.0], 0).is_err());
+    }
+
+    #[test]
+    fn quantile_graph_scores_are_group_relative() {
+        // Group 1 scores are systematically lower, mirroring the paper's SAT
+        // example. The *top* individual of each group must still be linked.
+        let groups = vec![0, 0, 1, 1];
+        let scores = vec![100.0, 200.0, 10.0, 20.0];
+        let g = between_group_quantile_graph(&groups, &scores, 2).unwrap();
+        let w = g.adjacency_dense();
+        assert_eq!(w[(1, 3)], 1.0); // both are the best of their group
+        assert_eq!(w[(0, 2)], 1.0); // both are the weakest of their group
+        assert_eq!(w[(1, 2)], 0.0);
+    }
+
+    #[test]
+    fn rating_graph_rounds_to_stars_and_skips_missing() {
+        let ratings = vec![Some(4.4), Some(3.6), Some(3.9), None, Some(1.2)];
+        let g = rating_equivalence_graph(&ratings).unwrap();
+        // 4.4 → 4, 3.6 → 4, 3.9 → 4 form a clique of 3; others isolated.
+        assert_eq!(g.num_edges(), 3);
+        let adj = g.adjacency_list();
+        assert!(adj[3].is_empty());
+        assert!(adj[4].is_empty());
+    }
+}

@@ -1,0 +1,260 @@
+//! k-nearest-neighbour similarity graph `WX` (Section 3.1 of the paper).
+//!
+//! The paper defines
+//!
+//! ```text
+//! WX_ij = exp(−‖x_i − x_j‖² / t)   if x_i ∈ Np(x_j) or x_j ∈ Np(x_i)
+//!         0                         otherwise
+//! ```
+//!
+//! where `Np(x)` is the set of `p` nearest neighbours in Euclidean space
+//! *excluding the protected attributes*, and `t` is a scalar kernel-width
+//! hyper-parameter. Excluding the protected attribute is the caller's
+//! responsibility (see `pfr-data`'s feature selection); this builder operates
+//! on whatever feature matrix it is given.
+
+use crate::error::GraphError;
+use crate::sparse::SparseGraph;
+use crate::Result;
+use pfr_linalg::vector::squared_distance;
+use pfr_linalg::Matrix;
+
+/// How the RBF kernel width `t` is chosen.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum KernelWidth {
+    /// A fixed, caller-supplied width.
+    Fixed(f64),
+    /// The median of the squared distances to the selected neighbours
+    /// (a standard, scale-free heuristic). This is the default.
+    MedianHeuristic,
+}
+
+/// Builder for the k-nearest-neighbour RBF similarity graph.
+#[derive(Debug, Clone)]
+pub struct KnnGraphBuilder {
+    k: usize,
+    width: KernelWidth,
+}
+
+impl KnnGraphBuilder {
+    /// Creates a builder that connects each point to its `k` nearest
+    /// neighbours with the median-heuristic kernel width.
+    pub fn new(k: usize) -> Self {
+        KnnGraphBuilder {
+            k,
+            width: KernelWidth::MedianHeuristic,
+        }
+    }
+
+    /// Overrides the kernel width selection strategy.
+    pub fn with_kernel_width(mut self, width: KernelWidth) -> Self {
+        self.width = width;
+        self
+    }
+
+    /// Number of neighbours per point.
+    pub fn k(&self) -> usize {
+        self.k
+    }
+
+    /// Builds the similarity graph from a data matrix with one row per
+    /// individual.
+    ///
+    /// The graph contains an edge `{i, j}` iff `i` is among the `k` nearest
+    /// neighbours of `j` or vice versa, weighted by
+    /// `exp(−‖x_i − x_j‖² / t)`. The returned graph has duplicate candidate
+    /// edges already merged.
+    pub fn build(&self, x: &Matrix) -> Result<SparseGraph> {
+        let n = x.rows();
+        if n == 0 {
+            return Err(GraphError::InvalidParameter(
+                "cannot build a k-NN graph from an empty data matrix".to_string(),
+            ));
+        }
+        if self.k == 0 {
+            return Err(GraphError::InvalidParameter(
+                "k must be at least 1".to_string(),
+            ));
+        }
+        if self.k >= n {
+            return Err(GraphError::InvalidParameter(format!(
+                "k = {} must be smaller than the number of points ({n})",
+                self.k
+            )));
+        }
+        if let KernelWidth::Fixed(t) = self.width {
+            if t <= 0.0 {
+                return Err(GraphError::InvalidParameter(format!(
+                    "kernel width must be positive, got {t}"
+                )));
+            }
+        }
+
+        // For every point, find its k nearest neighbours by brute force.
+        // The datasets in the paper have at most ~9k records, for which the
+        // O(n² m) scan is fast enough and exact.
+        let mut neighbour_pairs: Vec<(usize, usize, f64)> = Vec::with_capacity(n * self.k);
+        let mut dists: Vec<(f64, usize)> = Vec::with_capacity(n - 1);
+        for i in 0..n {
+            dists.clear();
+            let xi = x.row(i);
+            for j in 0..n {
+                if i == j {
+                    continue;
+                }
+                dists.push((squared_distance(xi, x.row(j)), j));
+            }
+            // Partial selection of the k smallest distances.
+            dists.select_nth_unstable_by(self.k - 1, |a, b| {
+                a.0.partial_cmp(&b.0).unwrap_or(std::cmp::Ordering::Equal)
+            });
+            for &(d2, j) in dists.iter().take(self.k) {
+                neighbour_pairs.push((i, j, d2));
+            }
+        }
+
+        let t = match self.width {
+            KernelWidth::Fixed(t) => t,
+            KernelWidth::MedianHeuristic => {
+                let mut d2s: Vec<f64> = neighbour_pairs.iter().map(|&(_, _, d)| d).collect();
+                d2s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+                let median = d2s[d2s.len() / 2];
+                if median > 1e-12 {
+                    median
+                } else {
+                    1.0
+                }
+            }
+        };
+
+        let mut graph = SparseGraph::new(n);
+        for (i, j, d2) in neighbour_pairs {
+            let w = (-d2 / t).exp();
+            graph.add_edge(i, j, w)?;
+        }
+        // The same pair may appear from both directions; keep the kernel
+        // weight (identical in both) rather than doubling it.
+        graph.coalesce_max();
+        Ok(graph)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Three tight points near the origin plus one far away.
+    fn clustered_data() -> Matrix {
+        Matrix::from_rows(&[
+            vec![0.0, 0.0],
+            vec![0.1, 0.0],
+            vec![0.0, 0.1],
+            vec![10.0, 10.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_bad_parameters() {
+        let x = clustered_data();
+        assert!(KnnGraphBuilder::new(0).build(&x).is_err());
+        assert!(KnnGraphBuilder::new(4).build(&x).is_err());
+        assert!(KnnGraphBuilder::new(1)
+            .with_kernel_width(KernelWidth::Fixed(0.0))
+            .build(&x)
+            .is_err());
+        assert!(KnnGraphBuilder::new(1).build(&Matrix::zeros(0, 2)).is_err());
+    }
+
+    #[test]
+    fn each_node_has_at_least_k_neighbours() {
+        // Use a wide kernel so that even the distant point keeps weights that
+        // do not underflow to zero (zero-weight edges are dropped).
+        let x = clustered_data();
+        let g = KnnGraphBuilder::new(2)
+            .with_kernel_width(KernelWidth::Fixed(1000.0))
+            .build(&x)
+            .unwrap();
+        let adj = g.adjacency_list();
+        for (i, neigh) in adj.iter().enumerate() {
+            assert!(
+                neigh.len() >= 2,
+                "node {i} has only {} neighbours",
+                neigh.len()
+            );
+        }
+    }
+
+    #[test]
+    fn nearby_points_get_larger_weights_than_distant_ones() {
+        let x = clustered_data();
+        let g = KnnGraphBuilder::new(1)
+            .with_kernel_width(KernelWidth::Fixed(1.0))
+            .build(&x)
+            .unwrap();
+        let w = g.adjacency_dense();
+        // Points 0 and 1 are close: weight close to exp(-0.01) ≈ 0.99.
+        assert!(w[(0, 1)] > 0.9);
+        // Point 3 is far from everything; its single edge has a tiny weight.
+        let w3: f64 = (0..3).map(|j| w[(3, j)]).sum();
+        assert!(w3 < 1e-10);
+    }
+
+    #[test]
+    fn weights_are_symmetric_and_not_doubled() {
+        let x = clustered_data();
+        let g = KnnGraphBuilder::new(2)
+            .with_kernel_width(KernelWidth::Fixed(0.5))
+            .build(&x)
+            .unwrap();
+        let w = g.adjacency_dense();
+        for i in 0..4 {
+            for j in 0..4 {
+                assert!((w[(i, j)] - w[(j, i)]).abs() < 1e-12);
+                // exp(-d²/t) ≤ 1, so any doubling would exceed 1.
+                assert!(w[(i, j)] <= 1.0 + 1e-12);
+            }
+        }
+    }
+
+    #[test]
+    fn median_heuristic_produces_moderate_weights() {
+        let x = clustered_data();
+        let g = KnnGraphBuilder::new(1).build(&x).unwrap();
+        // With the median heuristic at least one edge weight should be
+        // macroscopic (the kernel width adapts to the data scale).
+        let max_w = g
+            .edges()
+            .iter()
+            .map(|e| e.weight)
+            .fold(0.0_f64, f64::max);
+        assert!(max_w > 0.3);
+    }
+
+    #[test]
+    fn identical_points_are_handled() {
+        let x = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let g = KnnGraphBuilder::new(1).build(&x).unwrap();
+        // All distances are zero; median heuristic falls back to width 1.0
+        // and weights are exp(0) = 1.
+        for e in g.edges() {
+            assert!((e.weight - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn larger_dataset_smoke_test() {
+        // A ring of 50 points; k = 3.
+        let rows: Vec<Vec<f64>> = (0..50)
+            .map(|i| {
+                let a = i as f64 / 50.0 * std::f64::consts::TAU;
+                vec![a.cos(), a.sin()]
+            })
+            .collect();
+        let x = Matrix::from_rows(&rows).unwrap();
+        let g = KnnGraphBuilder::new(3).build(&x).unwrap();
+        assert_eq!(g.num_nodes(), 50);
+        // Between 50*3/2 (fully mutual) and 50*3 (no mutual pairs) edges.
+        assert!(g.num_edges() >= 75 && g.num_edges() <= 150);
+    }
+}

@@ -1,0 +1,597 @@
+//! Undirected weighted sparse graph with Laplacian algebra.
+//!
+//! The key operation for PFR is the quadratic form `Xᵀ L X` (an `m x m`
+//! matrix, `m` = number of features) where `L = D - W` is the graph Laplacian
+//! of either the similarity graph `WX` or the fairness graph `WF`. Because
+//! `L` is `n x n` (and `n` can be several thousand), we never build it
+//! densely for real workloads; instead we exploit
+//!
+//! ```text
+//! Xᵀ L X = Σ_{(i,j) ∈ E} w_ij (x_i - x_j)(x_i - x_j)ᵀ
+//! ```
+//!
+//! which streams over the edge list and accumulates an `m x m` matrix.
+
+use crate::error::GraphError;
+use crate::Result;
+use pfr_linalg::Matrix;
+
+/// Which graph Laplacian to use.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LaplacianKind {
+    /// `L = D - W`, the combinatorial Laplacian used by the paper.
+    #[default]
+    Unnormalized,
+    /// `L = I - D^{-1/2} W D^{-1/2}`, the symmetric normalized Laplacian
+    /// (provided for the ablation in DESIGN.md §6).
+    SymmetricNormalized,
+}
+
+/// A single undirected weighted edge.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Edge {
+    /// Smaller endpoint.
+    pub i: u32,
+    /// Larger endpoint.
+    pub j: u32,
+    /// Non-negative edge weight.
+    pub weight: f64,
+}
+
+/// An undirected, weighted graph over `n` nodes stored as an edge list.
+///
+/// Edges are stored once with `i < j`. Duplicate insertions of the same pair
+/// accumulate weight (see [`SparseGraph::add_edge`]).
+#[derive(Debug, Clone, Default)]
+pub struct SparseGraph {
+    n: usize,
+    edges: Vec<Edge>,
+}
+
+impl SparseGraph {
+    /// Creates an empty graph over `n` nodes.
+    pub fn new(n: usize) -> Self {
+        SparseGraph { n, edges: Vec::new() }
+    }
+
+    /// Number of nodes.
+    #[inline]
+    pub fn num_nodes(&self) -> usize {
+        self.n
+    }
+
+    /// Number of (undirected) edges.
+    #[inline]
+    pub fn num_edges(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// Returns `true` when the graph has no edges.
+    #[inline]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+
+    /// Immutable view of the edge list.
+    #[inline]
+    pub fn edges(&self) -> &[Edge] {
+        &self.edges
+    }
+
+    /// Adds an undirected edge `{i, j}` with the given weight.
+    ///
+    /// Self-loops and out-of-range nodes are rejected; a weight of exactly
+    /// zero is silently ignored; negative weights are rejected (similarity
+    /// and fairness graphs are non-negative by construction).
+    pub fn add_edge(&mut self, i: usize, j: usize, weight: f64) -> Result<()> {
+        if i >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: i, n: self.n });
+        }
+        if j >= self.n {
+            return Err(GraphError::NodeOutOfRange { node: j, n: self.n });
+        }
+        if i == j {
+            return Err(GraphError::SelfLoop { node: i });
+        }
+        if weight < 0.0 {
+            return Err(GraphError::InvalidParameter(format!(
+                "edge weight must be non-negative, got {weight}"
+            )));
+        }
+        if weight == 0.0 {
+            return Ok(());
+        }
+        let (a, b) = if i < j { (i, j) } else { (j, i) };
+        self.edges.push(Edge {
+            i: a as u32,
+            j: b as u32,
+            weight,
+        });
+        Ok(())
+    }
+
+    /// Merges duplicate edges by summing their weights. Useful after bulk
+    /// construction where the same pair may have been inserted repeatedly.
+    pub fn coalesce(&mut self) {
+        if self.edges.is_empty() {
+            return;
+        }
+        self.edges
+            .sort_by_key(|e| (e.i, e.j));
+        let mut out: Vec<Edge> = Vec::with_capacity(self.edges.len());
+        for e in self.edges.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.i == e.i && last.j == e.j => last.weight += e.weight,
+                _ => out.push(e),
+            }
+        }
+        self.edges = out;
+    }
+
+    /// Caps duplicate edges at the maximum weight rather than the sum.
+    ///
+    /// Used by the k-NN builder, where `i ∈ Np(j)` and `j ∈ Np(i)` would
+    /// otherwise double the kernel weight.
+    pub fn coalesce_max(&mut self) {
+        if self.edges.is_empty() {
+            return;
+        }
+        self.edges
+            .sort_by_key(|e| (e.i, e.j));
+        let mut out: Vec<Edge> = Vec::with_capacity(self.edges.len());
+        for e in self.edges.drain(..) {
+            match out.last_mut() {
+                Some(last) if last.i == e.i && last.j == e.j => {
+                    last.weight = last.weight.max(e.weight)
+                }
+                _ => out.push(e),
+            }
+        }
+        self.edges = out;
+    }
+
+    /// Weighted node degrees `d_i = Σ_j w_ij`.
+    pub fn degrees(&self) -> Vec<f64> {
+        let mut deg = vec![0.0; self.n];
+        for e in &self.edges {
+            deg[e.i as usize] += e.weight;
+            deg[e.j as usize] += e.weight;
+        }
+        deg
+    }
+
+    /// Sum of all edge weights.
+    pub fn total_weight(&self) -> f64 {
+        self.edges.iter().map(|e| e.weight).sum()
+    }
+
+    /// Adjacency list representation: for each node, its `(neighbour, weight)`
+    /// pairs.
+    pub fn adjacency_list(&self) -> Vec<Vec<(usize, f64)>> {
+        let mut adj = vec![Vec::new(); self.n];
+        for e in &self.edges {
+            adj[e.i as usize].push((e.j as usize, e.weight));
+            adj[e.j as usize].push((e.i as usize, e.weight));
+        }
+        adj
+    }
+
+    /// Dense adjacency matrix `W`. Only intended for small graphs
+    /// (tests, the synthetic dataset, visualization).
+    pub fn adjacency_dense(&self) -> Matrix {
+        let mut w = Matrix::zeros(self.n, self.n);
+        for e in &self.edges {
+            let (i, j) = (e.i as usize, e.j as usize);
+            w[(i, j)] += e.weight;
+            w[(j, i)] += e.weight;
+        }
+        w
+    }
+
+    /// Dense graph Laplacian of the requested kind. Only intended for small
+    /// graphs; real workloads should use [`SparseGraph::quadratic_form`].
+    pub fn laplacian_dense(&self, kind: LaplacianKind) -> Matrix {
+        let w = self.adjacency_dense();
+        let deg = self.degrees();
+        let mut l = Matrix::zeros(self.n, self.n);
+        match kind {
+            LaplacianKind::Unnormalized => {
+                for i in 0..self.n {
+                    for j in 0..self.n {
+                        l[(i, j)] = if i == j { deg[i] - w[(i, j)] } else { -w[(i, j)] };
+                    }
+                }
+            }
+            LaplacianKind::SymmetricNormalized => {
+                let inv_sqrt: Vec<f64> = deg
+                    .iter()
+                    .map(|&d| if d > 0.0 { 1.0 / d.sqrt() } else { 0.0 })
+                    .collect();
+                for i in 0..self.n {
+                    for j in 0..self.n {
+                        let norm_w = w[(i, j)] * inv_sqrt[i] * inv_sqrt[j];
+                        l[(i, j)] = if i == j {
+                            if deg[i] > 0.0 {
+                                1.0 - norm_w
+                            } else {
+                                0.0
+                            }
+                        } else {
+                            -norm_w
+                        };
+                    }
+                }
+            }
+        }
+        l
+    }
+
+    /// Computes the quadratic form `Xᵀ L X` without materializing `L`, where
+    /// `x` has one row per node (`n x m`) and the result is `m x m`.
+    ///
+    /// For the unnormalized Laplacian this is
+    /// `Σ_{(i,j) ∈ E} w_ij (x_i - x_j)(x_i - x_j)ᵀ`; for the normalized
+    /// Laplacian the rows are first scaled by `d_i^{-1/2}` and an additional
+    /// `Σ_i 1·x̃_i x̃_iᵀ - Σ edges` structure applies — we implement it via the
+    /// equivalent edge sum on the scaled features plus the isolated-node
+    /// correction.
+    pub fn quadratic_form(&self, x: &Matrix, kind: LaplacianKind) -> Result<Matrix> {
+        if x.rows() != self.n {
+            return Err(GraphError::LengthMismatch {
+                what: "data matrix rows",
+                got: x.rows(),
+                expected: self.n,
+            });
+        }
+        let m = x.cols();
+        let mut acc = Matrix::zeros(m, m);
+        match kind {
+            LaplacianKind::Unnormalized => {
+                let mut diff = vec![0.0; m];
+                for e in &self.edges {
+                    let xi = x.row(e.i as usize);
+                    let xj = x.row(e.j as usize);
+                    for ((d, &a), &b) in diff.iter_mut().zip(xi.iter()).zip(xj.iter()) {
+                        *d = a - b;
+                    }
+                    accumulate_outer(&mut acc, &diff, e.weight);
+                }
+            }
+            LaplacianKind::SymmetricNormalized => {
+                // L_sym = I - D^{-1/2} W D^{-1/2} restricted to nodes with
+                // positive degree. Xᵀ L_sym X = Σ_i∈V+ x_i x_iᵀ
+                //   - Σ_{(i,j)} w_ij/(√d_i √d_j) (x_i x_jᵀ + x_j x_iᵀ).
+                // We compute it as the edge-difference form on scaled rows
+                // plus a correction because the scaled degree is not 1 in
+                // general: instead, use the direct definition.
+                let deg = self.degrees();
+                for (i, &d) in deg.iter().enumerate() {
+                    if d > 0.0 {
+                        accumulate_outer(&mut acc, x.row(i), 1.0);
+                    }
+                }
+                for e in &self.edges {
+                    let (i, j) = (e.i as usize, e.j as usize);
+                    let scale = e.weight / (deg[i].sqrt() * deg[j].sqrt());
+                    accumulate_outer_cross(&mut acc, x.row(i), x.row(j), -scale);
+                }
+            }
+        }
+        Ok(acc)
+    }
+
+    /// Smoothness loss `Σ_{(i,j) ∈ E} w_ij ‖z_i − z_j‖²` of a representation
+    /// `z` (one row per node). This is exactly `LossX` / `LossF` from
+    /// Equations 3 and 4 of the paper (with each unordered pair counted once).
+    pub fn smoothness_loss(&self, z: &Matrix) -> Result<f64> {
+        if z.rows() != self.n {
+            return Err(GraphError::LengthMismatch {
+                what: "representation rows",
+                got: z.rows(),
+                expected: self.n,
+            });
+        }
+        let mut loss = 0.0;
+        for e in &self.edges {
+            let zi = z.row(e.i as usize);
+            let zj = z.row(e.j as usize);
+            let d2: f64 = zi
+                .iter()
+                .zip(zj.iter())
+                .map(|(a, b)| {
+                    let d = a - b;
+                    d * d
+                })
+                .sum();
+            loss += e.weight * d2;
+        }
+        Ok(loss)
+    }
+
+    /// Weighted average absolute disagreement `Σ w_ij |y_i − y_j| / Σ w_ij`
+    /// of a per-node score vector. This is the complement of the paper's
+    /// *consistency* metric: `Consistency = 1 − disagreement`.
+    ///
+    /// Returns 0.0 for a graph without edges (perfectly consistent by
+    /// convention).
+    pub fn weighted_disagreement(&self, y: &[f64]) -> Result<f64> {
+        if y.len() != self.n {
+            return Err(GraphError::LengthMismatch {
+                what: "score vector",
+                got: y.len(),
+                expected: self.n,
+            });
+        }
+        let total = self.total_weight();
+        if total == 0.0 {
+            return Ok(0.0);
+        }
+        let mut dis = 0.0;
+        for e in &self.edges {
+            dis += e.weight * (y[e.i as usize] - y[e.j as usize]).abs();
+        }
+        Ok(dis / total)
+    }
+
+    /// Keeps each edge independently with probability `rate`, using a small
+    /// deterministic xorshift generator seeded by `seed`. Models the paper's
+    /// observation that pairwise judgments may only be available for a sparse
+    /// sample of pairs.
+    pub fn subsample_edges(&self, rate: f64, seed: u64) -> Result<SparseGraph> {
+        if !(0.0..=1.0).contains(&rate) {
+            return Err(GraphError::InvalidParameter(format!(
+                "subsampling rate {rate} must lie in [0, 1]"
+            )));
+        }
+        let mut state = seed.max(1);
+        let mut next01 = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state >> 11) as f64 / (1u64 << 53) as f64
+        };
+        let mut out = SparseGraph::new(self.n);
+        for e in &self.edges {
+            if next01() < rate {
+                out.edges.push(*e);
+            }
+        }
+        Ok(out)
+    }
+
+    /// Restricts the graph to the sub-population given by `indices` (the new
+    /// node `k` corresponds to old node `indices[k]`); edges with an endpoint
+    /// outside the sub-population are dropped.
+    ///
+    /// Used to carry a fairness graph defined on the full dataset over to a
+    /// train split.
+    pub fn induced_subgraph(&self, indices: &[usize]) -> Result<SparseGraph> {
+        let mut position = vec![usize::MAX; self.n];
+        for (new_idx, &old_idx) in indices.iter().enumerate() {
+            if old_idx >= self.n {
+                return Err(GraphError::NodeOutOfRange {
+                    node: old_idx,
+                    n: self.n,
+                });
+            }
+            position[old_idx] = new_idx;
+        }
+        let mut out = SparseGraph::new(indices.len());
+        for e in &self.edges {
+            let pi = position[e.i as usize];
+            let pj = position[e.j as usize];
+            if pi != usize::MAX && pj != usize::MAX {
+                let (a, b) = if pi < pj { (pi, pj) } else { (pj, pi) };
+                out.edges.push(Edge {
+                    i: a as u32,
+                    j: b as u32,
+                    weight: e.weight,
+                });
+            }
+        }
+        Ok(out)
+    }
+
+    /// Average node degree (number of incident edges, unweighted).
+    pub fn mean_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        2.0 * self.edges.len() as f64 / self.n as f64
+    }
+}
+
+/// `acc += weight * v vᵀ` for a symmetric accumulator.
+fn accumulate_outer(acc: &mut Matrix, v: &[f64], weight: f64) {
+    let m = v.len();
+    for a in 0..m {
+        let va = v[a] * weight;
+        if va == 0.0 {
+            continue;
+        }
+        let row = acc.row_mut(a);
+        for (b, &vb) in v.iter().enumerate() {
+            row[b] += va * vb;
+        }
+    }
+}
+
+/// `acc += weight * (u vᵀ + v uᵀ)`.
+fn accumulate_outer_cross(acc: &mut Matrix, u: &[f64], v: &[f64], weight: f64) {
+    let m = u.len();
+    for a in 0..m {
+        let ua = u[a] * weight;
+        let va = v[a] * weight;
+        let row = acc.row_mut(a);
+        for b in 0..m {
+            row[b] += ua * v[b] + va * u[b];
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Path graph 0 - 1 - 2 with unit weights.
+    fn path3() -> SparseGraph {
+        let mut g = SparseGraph::new(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn add_edge_validation() {
+        let mut g = SparseGraph::new(3);
+        assert!(g.add_edge(0, 3, 1.0).is_err());
+        assert!(g.add_edge(3, 0, 1.0).is_err());
+        assert!(g.add_edge(1, 1, 1.0).is_err());
+        assert!(g.add_edge(0, 1, -0.5).is_err());
+        g.add_edge(0, 1, 0.0).unwrap();
+        assert_eq!(g.num_edges(), 0);
+        g.add_edge(2, 0, 2.0).unwrap();
+        assert_eq!(g.edges()[0].i, 0);
+        assert_eq!(g.edges()[0].j, 2);
+    }
+
+    #[test]
+    fn coalesce_sums_and_max_caps() {
+        let mut g = SparseGraph::new(2);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 0, 2.0).unwrap();
+        let mut summed = g.clone();
+        summed.coalesce();
+        assert_eq!(summed.num_edges(), 1);
+        assert!((summed.edges()[0].weight - 3.0).abs() < 1e-12);
+        g.coalesce_max();
+        assert_eq!(g.num_edges(), 1);
+        assert!((g.edges()[0].weight - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degrees_and_total_weight() {
+        let g = path3();
+        assert_eq!(g.degrees(), vec![1.0, 2.0, 1.0]);
+        assert_eq!(g.total_weight(), 2.0);
+        assert!((g.mean_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dense_laplacian_row_sums_are_zero() {
+        let g = path3();
+        let l = g.laplacian_dense(LaplacianKind::Unnormalized);
+        for i in 0..3 {
+            let s: f64 = (0..3).map(|j| l[(i, j)]).sum();
+            assert!(s.abs() < 1e-12);
+        }
+        assert_eq!(l[(1, 1)], 2.0);
+        assert_eq!(l[(0, 1)], -1.0);
+    }
+
+    #[test]
+    fn normalized_laplacian_diagonal_is_one_for_connected_nodes() {
+        let g = path3();
+        let l = g.laplacian_dense(LaplacianKind::SymmetricNormalized);
+        for i in 0..3 {
+            assert!((l[(i, i)] - 1.0).abs() < 1e-12);
+        }
+        // Isolated node gets a zero row.
+        let mut g2 = SparseGraph::new(2);
+        g2.add_edge(0, 1, 0.0).unwrap();
+        let l2 = g2.laplacian_dense(LaplacianKind::SymmetricNormalized);
+        assert_eq!(l2[(0, 0)], 0.0);
+    }
+
+    #[test]
+    fn quadratic_form_matches_dense_laplacian() {
+        let g = path3();
+        let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, -1.0]]).unwrap();
+        for kind in [LaplacianKind::Unnormalized, LaplacianKind::SymmetricNormalized] {
+            let fast = g.quadratic_form(&x, kind).unwrap();
+            let dense = g.laplacian_dense(kind);
+            let explicit = x.transpose_matmul(&dense.matmul(&x).unwrap()).unwrap();
+            assert!(
+                fast.sub(&explicit).unwrap().max_abs() < 1e-10,
+                "mismatch for {kind:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn quadratic_form_rejects_wrong_row_count() {
+        let g = path3();
+        let x = Matrix::zeros(2, 2);
+        assert!(g.quadratic_form(&x, LaplacianKind::Unnormalized).is_err());
+    }
+
+    #[test]
+    fn smoothness_loss_matches_manual_computation() {
+        let g = path3();
+        let z = Matrix::from_rows(&[vec![0.0], vec![1.0], vec![3.0]]).unwrap();
+        // (0-1)^2 + (1-3)^2 = 1 + 4 = 5
+        assert!((g.smoothness_loss(&z).unwrap() - 5.0).abs() < 1e-12);
+        assert!(g.smoothness_loss(&Matrix::zeros(2, 1)).is_err());
+    }
+
+    #[test]
+    fn weighted_disagreement_and_consistency() {
+        let g = path3();
+        let perfectly_consistent = vec![1.0, 1.0, 1.0];
+        assert_eq!(g.weighted_disagreement(&perfectly_consistent).unwrap(), 0.0);
+        let y = vec![0.0, 1.0, 1.0];
+        // |0-1|*1 + |1-1|*1 = 1, total weight 2 → 0.5
+        assert!((g.weighted_disagreement(&y).unwrap() - 0.5).abs() < 1e-12);
+        let empty = SparseGraph::new(3);
+        assert_eq!(empty.weighted_disagreement(&y).unwrap(), 0.0);
+        assert!(g.weighted_disagreement(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn subsample_rate_extremes() {
+        let g = path3();
+        assert_eq!(g.subsample_edges(1.0, 7).unwrap().num_edges(), 2);
+        assert_eq!(g.subsample_edges(0.0, 7).unwrap().num_edges(), 0);
+        assert!(g.subsample_edges(1.5, 7).is_err());
+    }
+
+    #[test]
+    fn subsample_is_deterministic_per_seed() {
+        let mut g = SparseGraph::new(100);
+        for i in 0..99 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let a = g.subsample_edges(0.5, 11).unwrap();
+        let b = g.subsample_edges(0.5, 11).unwrap();
+        assert_eq!(a.num_edges(), b.num_edges());
+        let c = g.subsample_edges(0.5, 12).unwrap();
+        // Different seeds will almost surely give a different edge count or
+        // at least the same count; we only check that the call succeeds and
+        // stays within bounds.
+        assert!(c.num_edges() <= 99);
+        // Roughly half the edges should survive.
+        assert!(a.num_edges() > 25 && a.num_edges() < 75);
+    }
+
+    #[test]
+    fn induced_subgraph_keeps_internal_edges_only() {
+        let mut g = SparseGraph::new(4);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 2.0).unwrap();
+        g.add_edge(2, 3, 3.0).unwrap();
+        let sub = g.induced_subgraph(&[1, 2]).unwrap();
+        assert_eq!(sub.num_nodes(), 2);
+        assert_eq!(sub.num_edges(), 1);
+        assert!((sub.edges()[0].weight - 2.0).abs() < 1e-12);
+        assert!(g.induced_subgraph(&[9]).is_err());
+    }
+
+    #[test]
+    fn adjacency_list_is_symmetric() {
+        let g = path3();
+        let adj = g.adjacency_list();
+        assert_eq!(adj[0], vec![(1, 1.0)]);
+        assert_eq!(adj[1].len(), 2);
+        assert_eq!(adj[2], vec![(1, 1.0)]);
+    }
+}

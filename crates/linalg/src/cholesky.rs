@@ -1,0 +1,220 @@
+//! Cholesky factorization of symmetric positive-definite matrices.
+//!
+//! Used by the Newton / IRLS steps of the downstream logistic-regression
+//! classifier (`pfr-opt`) and available for whitening transforms.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Lower-triangular Cholesky factor `L` with `A = L Lᵀ`.
+#[derive(Debug, Clone)]
+pub struct CholeskyDecomposition {
+    /// The lower-triangular factor (entries above the diagonal are zero).
+    pub l: Matrix,
+}
+
+impl CholeskyDecomposition {
+    /// Factorizes a symmetric positive-definite matrix.
+    ///
+    /// Returns [`LinalgError::Singular`] when a non-positive pivot is
+    /// encountered (the matrix is not positive definite) and
+    /// [`LinalgError::NotSquare`] for rectangular input.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut l = Matrix::zeros(n, n);
+        for i in 0..n {
+            for j in 0..=i {
+                let mut sum = a[(i, j)];
+                for k in 0..j {
+                    sum -= l[(i, k)] * l[(j, k)];
+                }
+                if i == j {
+                    if sum <= 0.0 {
+                        return Err(LinalgError::Singular { op: "cholesky" });
+                    }
+                    l[(i, j)] = sum.sqrt();
+                } else {
+                    l[(i, j)] = sum / l[(j, j)];
+                }
+            }
+        }
+        Ok(CholeskyDecomposition { l })
+    }
+
+    /// Solves `A x = b` using the precomputed factorization.
+    #[allow(clippy::needless_range_loop)] // index form mirrors the textbook substitution
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.l.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "cholesky solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Forward substitution: L y = b.
+        let mut y = vec![0.0; n];
+        for i in 0..n {
+            let mut sum = b[i];
+            for k in 0..i {
+                sum -= self.l[(i, k)] * y[k];
+            }
+            y[i] = sum / self.l[(i, i)];
+        }
+        // Back substitution: Lᵀ x = y.
+        let mut x = vec![0.0; n];
+        for i in (0..n).rev() {
+            let mut sum = y[i];
+            for k in (i + 1)..n {
+                sum -= self.l[(k, i)] * x[k];
+            }
+            x[i] = sum / self.l[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Log-determinant of `A` computed from the factor
+    /// (`log det A = 2 Σ log L_ii`).
+    pub fn log_det(&self) -> f64 {
+        (0..self.l.rows()).map(|i| self.l[(i, i)].ln()).sum::<f64>() * 2.0
+    }
+
+    /// Computes the inverse of `A` column by column. Intended for small
+    /// matrices (e.g. Fisher-information matrices in the classifier).
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.l.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            inv.set_col(j, &col)?;
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// Convenience wrapper: solves the SPD system `A x = b` with a ridge fallback.
+///
+/// If `A` is not positive definite, `ridge * I` is added with exponentially
+/// increasing `ridge` until the factorization succeeds (at most 8 attempts).
+/// This is the standard damping trick used by Newton-type optimizers.
+pub fn solve_spd_with_ridge(a: &Matrix, b: &[f64], initial_ridge: f64) -> Result<Vec<f64>> {
+    match CholeskyDecomposition::new(a) {
+        Ok(chol) => return chol.solve(b),
+        Err(LinalgError::Singular { .. }) => {}
+        Err(e) => return Err(e),
+    }
+    let n = a.rows();
+    let mut ridge = initial_ridge.max(1e-10);
+    for _ in 0..8 {
+        let mut damped = a.clone();
+        for i in 0..n {
+            damped[(i, i)] += ridge;
+        }
+        if let Ok(chol) = CholeskyDecomposition::new(&damped) {
+            return chol.solve(b);
+        }
+        ridge *= 10.0;
+    }
+    Err(LinalgError::Singular {
+        op: "ridge-damped cholesky",
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spd_example() -> Matrix {
+        Matrix::from_rows(&[
+            vec![4.0, 12.0, -16.0],
+            vec![12.0, 37.0, -43.0],
+            vec![-16.0, -43.0, 98.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn factorizes_known_example() {
+        // Classic example: L = [[2,0,0],[6,1,0],[-8,5,3]].
+        let chol = CholeskyDecomposition::new(&spd_example()).unwrap();
+        assert!((chol.l[(0, 0)] - 2.0).abs() < 1e-12);
+        assert!((chol.l[(1, 0)] - 6.0).abs() < 1e-12);
+        assert!((chol.l[(1, 1)] - 1.0).abs() < 1e-12);
+        assert!((chol.l[(2, 0)] + 8.0).abs() < 1e-12);
+        assert!((chol.l[(2, 1)] - 5.0).abs() < 1e-12);
+        assert!((chol.l[(2, 2)] - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn reconstructs_a() {
+        let a = spd_example();
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let rec = chol.l.matmul_transpose(&chol.l).unwrap();
+        assert!(rec.sub(&a).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn solve_matches_direct_substitution() {
+        let a = spd_example();
+        let b = vec![1.0, 2.0, 3.0];
+        let chol = CholeskyDecomposition::new(&a).unwrap();
+        let x = chol.solve(&b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn rejects_non_spd() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 1.0]]).unwrap(); // indefinite
+        assert!(matches!(
+            CholeskyDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square() {
+        assert!(CholeskyDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+    }
+
+    #[test]
+    fn solve_rejects_wrong_length() {
+        let chol = CholeskyDecomposition::new(&spd_example()).unwrap();
+        assert!(chol.solve(&[1.0]).is_err());
+    }
+
+    #[test]
+    fn log_det_matches_known_value() {
+        // det = (2*1*3)^2 = 36.
+        let chol = CholeskyDecomposition::new(&spd_example()).unwrap();
+        assert!((chol.log_det() - 36.0_f64.ln()).abs() < 1e-10);
+    }
+
+    #[test]
+    fn inverse_times_a_is_identity() {
+        let a = spd_example();
+        let inv = CholeskyDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn ridge_fallback_handles_singular_matrix() {
+        // Rank-deficient PSD matrix.
+        let a = Matrix::from_rows(&[vec![1.0, 1.0], vec![1.0, 1.0]]).unwrap();
+        let x = solve_spd_with_ridge(&a, &[1.0, 1.0], 1e-6).unwrap();
+        // The damped solution should approximately satisfy A x ≈ b.
+        let ax = a.matvec(&x).unwrap();
+        assert!((ax[0] - 1.0).abs() < 1e-3);
+        assert!((ax[1] - 1.0).abs() < 1e-3);
+    }
+}

@@ -1,0 +1,109 @@
+//! Error type shared by all linear-algebra routines in this crate.
+
+use std::fmt;
+
+/// Errors that can be produced by the dense linear-algebra routines.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LinalgError {
+    /// Two operands had incompatible shapes for the requested operation.
+    ShapeMismatch {
+        /// Human-readable description of the operation that failed.
+        op: &'static str,
+        /// Shape of the left/first operand as `(rows, cols)`.
+        lhs: (usize, usize),
+        /// Shape of the right/second operand as `(rows, cols)`.
+        rhs: (usize, usize),
+    },
+    /// The operation requires a square matrix but got a rectangular one.
+    NotSquare {
+        /// Shape of the offending matrix.
+        shape: (usize, usize),
+    },
+    /// The operation requires a symmetric matrix but the input was not
+    /// symmetric within the given tolerance.
+    NotSymmetric {
+        /// Largest absolute asymmetry `|a_ij - a_ji|` that was observed.
+        max_asymmetry: f64,
+    },
+    /// A factorization failed because the matrix is singular (or not positive
+    /// definite for Cholesky).
+    Singular {
+        /// Description of the factorization that failed.
+        op: &'static str,
+    },
+    /// An iterative algorithm failed to converge within its iteration budget.
+    NoConvergence {
+        /// Description of the algorithm.
+        op: &'static str,
+        /// Number of iterations that were performed.
+        iterations: usize,
+    },
+    /// An argument was outside its valid domain (e.g. an empty matrix where a
+    /// non-empty one is required, or an out-of-range index).
+    InvalidArgument(String),
+}
+
+impl fmt::Display for LinalgError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LinalgError::ShapeMismatch { op, lhs, rhs } => write!(
+                f,
+                "shape mismatch in {op}: left operand is {}x{}, right operand is {}x{}",
+                lhs.0, lhs.1, rhs.0, rhs.1
+            ),
+            LinalgError::NotSquare { shape } => {
+                write!(f, "matrix must be square, but has shape {}x{}", shape.0, shape.1)
+            }
+            LinalgError::NotSymmetric { max_asymmetry } => write!(
+                f,
+                "matrix must be symmetric, largest asymmetry is {max_asymmetry:e}"
+            ),
+            LinalgError::Singular { op } => write!(f, "{op} failed: matrix is singular or not positive definite"),
+            LinalgError::NoConvergence { op, iterations } => {
+                write!(f, "{op} did not converge after {iterations} iterations")
+            }
+            LinalgError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LinalgError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_shape_mismatch_mentions_both_shapes() {
+        let err = LinalgError::ShapeMismatch {
+            op: "matmul",
+            lhs: (2, 3),
+            rhs: (4, 5),
+        };
+        let msg = err.to_string();
+        assert!(msg.contains("matmul"));
+        assert!(msg.contains("2x3"));
+        assert!(msg.contains("4x5"));
+    }
+
+    #[test]
+    fn display_not_square() {
+        let err = LinalgError::NotSquare { shape: (3, 4) };
+        assert!(err.to_string().contains("3x4"));
+    }
+
+    #[test]
+    fn display_no_convergence_mentions_iterations() {
+        let err = LinalgError::NoConvergence {
+            op: "jacobi",
+            iterations: 100,
+        };
+        assert!(err.to_string().contains("100"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_error<E: std::error::Error>(_: &E) {}
+        assert_error(&LinalgError::Singular { op: "cholesky" });
+    }
+}

@@ -1,0 +1,47 @@
+//! # pfr-linalg
+//!
+//! Dense linear-algebra substrate for the Pairwise Fair Representations (PFR)
+//! reproduction.
+//!
+//! The original paper solves its trace-optimization problem with
+//! `scipy.linalg.lapack`. No LAPACK binding (nor `ndarray`/`nalgebra`) is
+//! available in this offline environment, so this crate provides everything
+//! the rest of the workspace needs, implemented from scratch:
+//!
+//! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual algebraic
+//!   operations (multiplication, transposition, slicing, norms, …).
+//! * [`eigen`] — symmetric eigensolvers: a cyclic Jacobi rotation solver and a
+//!   Householder-tridiagonalization + implicit-QL solver, both returning full
+//!   eigen-decompositions sorted by eigenvalue.
+//! * [`cholesky`] — Cholesky factorization and SPD linear solves (used by the
+//!   Newton/IRLS steps of the downstream logistic-regression classifier).
+//! * [`solve`] — LU factorization with partial pivoting for general square
+//!   systems.
+//! * [`stats`] — column statistics, standardization, covariance/correlation
+//!   and quantiles.
+//!
+//! The sizes involved in the paper are modest (at most a few thousand records
+//! and on the order of a hundred features), so the dense `O(n^3)` algorithms
+//! here are entirely adequate and keep the code dependency-free and easy to
+//! audit.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod cholesky;
+pub mod eigen;
+pub mod error;
+pub mod matrix;
+pub mod pca;
+pub mod solve;
+pub mod stats;
+pub mod vector;
+
+pub use cholesky::CholeskyDecomposition;
+pub use eigen::{Eigen, EigenMethod};
+pub use error::LinalgError;
+pub use matrix::Matrix;
+pub use solve::LuDecomposition;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, LinalgError>;

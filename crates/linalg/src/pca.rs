@@ -1,0 +1,193 @@
+//! Principal component analysis on top of the symmetric eigensolver.
+//!
+//! PCA is not part of the paper's method, but it is the natural "utility-only
+//! dimensionality reduction" reference point for the learned-representation
+//! experiments and a good end-to-end exercise of the covariance + eigen
+//! machinery, so it ships with the substrate.
+
+use crate::eigen::Eigen;
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::stats::{column_means, covariance};
+use crate::Result;
+
+/// A fitted PCA transform.
+#[derive(Debug, Clone)]
+pub struct Pca {
+    means: Vec<f64>,
+    /// Principal axes as columns (features x components), ordered by
+    /// decreasing explained variance.
+    components: Matrix,
+    explained_variance: Vec<f64>,
+}
+
+impl Pca {
+    /// Fits a PCA with `num_components` components on a data matrix with one
+    /// row per observation.
+    pub fn fit(x: &Matrix, num_components: usize) -> Result<Self> {
+        let m = x.cols();
+        if num_components == 0 || num_components > m {
+            return Err(LinalgError::InvalidArgument(format!(
+                "number of components {num_components} must lie in 1..={m}"
+            )));
+        }
+        if x.rows() < 2 {
+            return Err(LinalgError::InvalidArgument(
+                "PCA requires at least two observations".to_string(),
+            ));
+        }
+        let means = column_means(x);
+        let cov = covariance(x)?;
+        let eigen = Eigen::decompose(&cov)?;
+        // Largest eigenvalues first.
+        let components = eigen.largest_eigenvectors(num_components)?;
+        let n = eigen.eigenvalues.len();
+        let explained_variance: Vec<f64> = (0..num_components)
+            .map(|i| eigen.eigenvalues[n - 1 - i].max(0.0))
+            .collect();
+        Ok(Pca {
+            means,
+            components,
+            explained_variance,
+        })
+    }
+
+    /// Number of components.
+    pub fn num_components(&self) -> usize {
+        self.components.cols()
+    }
+
+    /// Variance explained by each retained component (descending).
+    pub fn explained_variance(&self) -> &[f64] {
+        &self.explained_variance
+    }
+
+    /// Fraction of the total variance captured by the retained components.
+    /// Requires the total variance of the training data as input when only a
+    /// subset of components is kept; here it is computed against the sum of
+    /// retained variances plus nothing else, so it equals 1.0 when all
+    /// components are kept.
+    pub fn explained_variance_ratio(&self, total_variance: f64) -> Vec<f64> {
+        if total_variance <= 0.0 {
+            return vec![0.0; self.explained_variance.len()];
+        }
+        self.explained_variance
+            .iter()
+            .map(|v| v / total_variance)
+            .collect()
+    }
+
+    /// The principal axes as the columns of a (features x components) matrix.
+    pub fn components(&self) -> &Matrix {
+        &self.components
+    }
+
+    /// Projects observations onto the principal components.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pca transform",
+                lhs: (x.rows(), x.cols()),
+                rhs: (1, self.means.len()),
+            });
+        }
+        let mut centered = x.clone();
+        for r in 0..centered.rows() {
+            let row = centered.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v -= self.means[c];
+            }
+        }
+        centered.matmul(&self.components)
+    }
+
+    /// Reconstructs observations from their projections (inverse transform up
+    /// to the discarded components).
+    pub fn inverse_transform(&self, z: &Matrix) -> Result<Matrix> {
+        if z.cols() != self.num_components() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "pca inverse transform",
+                lhs: (z.rows(), z.cols()),
+                rhs: (1, self.num_components()),
+            });
+        }
+        let mut x = z.matmul_transpose(&self.components)?;
+        for r in 0..x.rows() {
+            let row = x.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v += self.means[c];
+            }
+        }
+        Ok(x)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Data spread along the direction (1, 1) with tiny orthogonal noise.
+    fn elongated_data() -> Matrix {
+        let rows: Vec<Vec<f64>> = (0..40)
+            .map(|i| {
+                let t = i as f64 / 4.0;
+                let noise = if i % 2 == 0 { 0.05 } else { -0.05 };
+                vec![t + noise, t - noise]
+            })
+            .collect();
+        Matrix::from_rows(&rows).unwrap()
+    }
+
+    #[test]
+    fn first_component_captures_the_elongated_direction() {
+        let x = elongated_data();
+        let pca = Pca::fit(&x, 1).unwrap();
+        let axis = pca.components().col(0);
+        // The principal axis is ±(1, 1)/√2.
+        let ratio = (axis[0] / axis[1]).abs();
+        assert!((ratio - 1.0).abs() < 0.05, "axis ratio {ratio}");
+        assert!(pca.explained_variance()[0] > 1.0);
+    }
+
+    #[test]
+    fn full_rank_pca_reconstructs_exactly() {
+        let x = elongated_data();
+        let pca = Pca::fit(&x, 2).unwrap();
+        let z = pca.transform(&x).unwrap();
+        let back = pca.inverse_transform(&z).unwrap();
+        assert!(back.sub(&x).unwrap().max_abs() < 1e-9);
+    }
+
+    #[test]
+    fn truncated_pca_reduces_reconstruction_error_gracefully() {
+        let x = elongated_data();
+        let pca = Pca::fit(&x, 1).unwrap();
+        let z = pca.transform(&x).unwrap();
+        assert_eq!(z.shape(), (40, 1));
+        let back = pca.inverse_transform(&z).unwrap();
+        // Residual is on the order of the injected noise.
+        assert!(back.sub(&x).unwrap().max_abs() < 0.2);
+    }
+
+    #[test]
+    fn explained_variance_ratio_sums_to_one_for_full_rank() {
+        let x = elongated_data();
+        let pca = Pca::fit(&x, 2).unwrap();
+        let total: f64 = pca.explained_variance().iter().sum();
+        let ratios = pca.explained_variance_ratio(total);
+        assert!((ratios.iter().sum::<f64>() - 1.0).abs() < 1e-9);
+        assert!(ratios[0] > ratios[1]);
+        assert_eq!(pca.explained_variance_ratio(0.0), vec![0.0, 0.0]);
+    }
+
+    #[test]
+    fn input_validation() {
+        let x = elongated_data();
+        assert!(Pca::fit(&x, 0).is_err());
+        assert!(Pca::fit(&x, 3).is_err());
+        assert!(Pca::fit(&Matrix::zeros(1, 2), 1).is_err());
+        let pca = Pca::fit(&x, 1).unwrap();
+        assert!(pca.transform(&Matrix::zeros(1, 3)).is_err());
+        assert!(pca.inverse_transform(&Matrix::zeros(1, 2)).is_err());
+    }
+}

@@ -1,0 +1,209 @@
+//! LU factorization with partial pivoting for general square linear systems.
+//!
+//! The substrates mostly need SPD solves (see [`crate::cholesky`]), but the
+//! LFR and iFair baselines occasionally need a general solver (e.g. for
+//! least-squares style sub-problems), and the harness uses it for numerical
+//! sanity checks.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// LU factorization `P A = L U` with partial pivoting.
+#[derive(Debug, Clone)]
+pub struct LuDecomposition {
+    /// Packed LU factors: the strict lower triangle stores `L` (unit
+    /// diagonal implied), the upper triangle stores `U`.
+    lu: Matrix,
+    /// Row permutation applied to `A`.
+    perm: Vec<usize>,
+    /// Sign of the permutation (+1.0 or -1.0), used for the determinant.
+    perm_sign: f64,
+}
+
+impl LuDecomposition {
+    /// Factorizes a square matrix. Returns [`LinalgError::Singular`] when a
+    /// zero pivot is encountered.
+    pub fn new(a: &Matrix) -> Result<Self> {
+        if !a.is_square() {
+            return Err(LinalgError::NotSquare { shape: a.shape() });
+        }
+        let n = a.rows();
+        let mut lu = a.clone();
+        let mut perm: Vec<usize> = (0..n).collect();
+        let mut perm_sign = 1.0;
+
+        for k in 0..n {
+            // Partial pivoting: find the largest pivot in column k.
+            let mut pivot_row = k;
+            let mut pivot_val = lu[(k, k)].abs();
+            for i in (k + 1)..n {
+                let v = lu[(i, k)].abs();
+                if v > pivot_val {
+                    pivot_val = v;
+                    pivot_row = i;
+                }
+            }
+            if pivot_val < 1e-300 {
+                return Err(LinalgError::Singular { op: "lu" });
+            }
+            if pivot_row != k {
+                for j in 0..n {
+                    let tmp = lu[(k, j)];
+                    lu[(k, j)] = lu[(pivot_row, j)];
+                    lu[(pivot_row, j)] = tmp;
+                }
+                perm.swap(k, pivot_row);
+                perm_sign = -perm_sign;
+            }
+            let pivot = lu[(k, k)];
+            for i in (k + 1)..n {
+                let factor = lu[(i, k)] / pivot;
+                lu[(i, k)] = factor;
+                for j in (k + 1)..n {
+                    let delta = factor * lu[(k, j)];
+                    lu[(i, j)] -= delta;
+                }
+            }
+        }
+
+        Ok(LuDecomposition { lu, perm, perm_sign })
+    }
+
+    /// Solves `A x = b`.
+    pub fn solve(&self, b: &[f64]) -> Result<Vec<f64>> {
+        let n = self.lu.rows();
+        if b.len() != n {
+            return Err(LinalgError::ShapeMismatch {
+                op: "lu solve",
+                lhs: (n, n),
+                rhs: (b.len(), 1),
+            });
+        }
+        // Apply the permutation then forward substitution with unit-lower L.
+        let mut y: Vec<f64> = self.perm.iter().map(|&p| b[p]).collect();
+        for i in 0..n {
+            for k in 0..i {
+                y[i] -= self.lu[(i, k)] * y[k];
+            }
+        }
+        // Back substitution with U.
+        let mut x = y;
+        for i in (0..n).rev() {
+            for k in (i + 1)..n {
+                x[i] -= self.lu[(i, k)] * x[k];
+            }
+            x[i] /= self.lu[(i, i)];
+        }
+        Ok(x)
+    }
+
+    /// Determinant of the original matrix.
+    pub fn det(&self) -> f64 {
+        let diag_prod: f64 = (0..self.lu.rows()).map(|i| self.lu[(i, i)]).product();
+        self.perm_sign * diag_prod
+    }
+
+    /// Inverse of the original matrix, built column by column.
+    pub fn inverse(&self) -> Result<Matrix> {
+        let n = self.lu.rows();
+        let mut inv = Matrix::zeros(n, n);
+        let mut e = vec![0.0; n];
+        for j in 0..n {
+            e[j] = 1.0;
+            let col = self.solve(&e)?;
+            inv.set_col(j, &col)?;
+            e[j] = 0.0;
+        }
+        Ok(inv)
+    }
+}
+
+/// One-shot solve of `A x = b` for square `A`.
+pub fn solve(a: &Matrix, b: &[f64]) -> Result<Vec<f64>> {
+    LuDecomposition::new(a)?.solve(b)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn solves_simple_system() {
+        let a = Matrix::from_rows(&[vec![2.0, 1.0], vec![1.0, 3.0]]).unwrap();
+        let x = solve(&a, &[3.0, 5.0]).unwrap();
+        // Solution: x = [0.8, 1.4]
+        assert!((x[0] - 0.8).abs() < 1e-12);
+        assert!((x[1] - 1.4).abs() < 1e-12);
+    }
+
+    #[test]
+    fn solves_system_requiring_pivoting() {
+        let a = Matrix::from_rows(&[vec![0.0, 1.0], vec![1.0, 0.0]]).unwrap();
+        let x = solve(&a, &[2.0, 3.0]).unwrap();
+        assert_eq!(x, vec![3.0, 2.0]);
+    }
+
+    #[test]
+    fn det_known_values() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![3.0, 4.0]]).unwrap();
+        let lu = LuDecomposition::new(&a).unwrap();
+        assert!((lu.det() + 2.0).abs() < 1e-12);
+        let id = LuDecomposition::new(&Matrix::identity(4)).unwrap();
+        assert!((id.det() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverse_round_trip() {
+        let a = Matrix::from_rows(&[
+            vec![4.0, 3.0, 0.0],
+            vec![3.0, 4.0, -1.0],
+            vec![0.0, -1.0, 4.0],
+        ])
+        .unwrap();
+        let inv = LuDecomposition::new(&a).unwrap().inverse().unwrap();
+        let prod = a.matmul(&inv).unwrap();
+        assert!(prod.sub(&Matrix::identity(3)).unwrap().max_abs() < 1e-10);
+    }
+
+    #[test]
+    fn rejects_singular() {
+        let a = Matrix::from_rows(&[vec![1.0, 2.0], vec![2.0, 4.0]]).unwrap();
+        assert!(matches!(
+            LuDecomposition::new(&a),
+            Err(LinalgError::Singular { .. })
+        ));
+    }
+
+    #[test]
+    fn rejects_non_square_and_bad_rhs() {
+        assert!(LuDecomposition::new(&Matrix::zeros(2, 3)).is_err());
+        let lu = LuDecomposition::new(&Matrix::identity(2)).unwrap();
+        assert!(lu.solve(&[1.0, 2.0, 3.0]).is_err());
+    }
+
+    #[test]
+    fn random_system_residual_is_small() {
+        let n = 12;
+        let mut a = Matrix::zeros(n, n);
+        let mut state = 7u64;
+        let mut next = || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            (state as f64 / u64::MAX as f64) - 0.5
+        };
+        for i in 0..n {
+            for j in 0..n {
+                a[(i, j)] = next();
+            }
+            a[(i, i)] += 3.0; // diagonally dominant => nonsingular
+        }
+        let b: Vec<f64> = (0..n).map(|_| next()).collect();
+        let x = solve(&a, &b).unwrap();
+        let ax = a.matvec(&x).unwrap();
+        for (got, want) in ax.iter().zip(b.iter()) {
+            assert!((got - want).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,335 @@
+//! Column statistics, standardization, covariance and quantiles.
+//!
+//! The paper standardizes features to zero mean / unit variance before
+//! learning representations (Figure 1's caption), ranks individuals to build
+//! between-group quantile graphs (Definition 2/3), and tunes hyper-parameters
+//! by cross-validation. The helpers here implement the numerical pieces of
+//! that pipeline.
+
+use crate::error::LinalgError;
+use crate::matrix::Matrix;
+use crate::Result;
+
+/// Per-column mean and standard deviation produced by [`Standardizer::fit`].
+///
+/// The standardizer is fit on training data and then applied to unseen test
+/// data, matching the paper's train/test protocol (the representation and all
+/// preprocessing are learned on the training split only).
+#[derive(Debug, Clone)]
+pub struct Standardizer {
+    means: Vec<f64>,
+    stds: Vec<f64>,
+}
+
+impl Standardizer {
+    /// Computes per-column means and standard deviations of `x`.
+    ///
+    /// Columns with (near-)zero variance get a standard deviation of 1.0 so
+    /// that transforming them maps every value to zero rather than dividing
+    /// by zero.
+    pub fn fit(x: &Matrix) -> Result<Self> {
+        if x.rows() == 0 {
+            return Err(LinalgError::InvalidArgument(
+                "cannot standardize an empty matrix".to_string(),
+            ));
+        }
+        let means = column_means(x);
+        let mut stds = column_stds(x, &means);
+        for s in stds.iter_mut() {
+            if *s < 1e-12 {
+                *s = 1.0;
+            }
+        }
+        Ok(Standardizer { means, stds })
+    }
+
+    /// Applies the fitted transform: `(x - mean) / std`, column-wise.
+    pub fn transform(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.means.len() {
+            return Err(LinalgError::ShapeMismatch {
+                op: "standardizer transform",
+                lhs: (x.rows(), x.cols()),
+                rhs: (1, self.means.len()),
+            });
+        }
+        let mut out = x.clone();
+        for r in 0..out.rows() {
+            let row = out.row_mut(r);
+            for (c, v) in row.iter_mut().enumerate() {
+                *v = (*v - self.means[c]) / self.stds[c];
+            }
+        }
+        Ok(out)
+    }
+
+    /// Fits on `x` and immediately transforms it.
+    pub fn fit_transform(x: &Matrix) -> Result<(Self, Matrix)> {
+        let s = Self::fit(x)?;
+        let t = s.transform(x)?;
+        Ok((s, t))
+    }
+
+    /// The fitted per-column means.
+    pub fn means(&self) -> &[f64] {
+        &self.means
+    }
+
+    /// The fitted per-column standard deviations.
+    pub fn stds(&self) -> &[f64] {
+        &self.stds
+    }
+}
+
+/// Per-column means of a matrix.
+pub fn column_means(x: &Matrix) -> Vec<f64> {
+    let n = x.rows() as f64;
+    let mut means = vec![0.0; x.cols()];
+    for row in x.iter_rows() {
+        for (m, &v) in means.iter_mut().zip(row.iter()) {
+            *m += v;
+        }
+    }
+    for m in means.iter_mut() {
+        *m /= n;
+    }
+    means
+}
+
+/// Per-column population standard deviations given precomputed means.
+pub fn column_stds(x: &Matrix, means: &[f64]) -> Vec<f64> {
+    let n = x.rows() as f64;
+    let mut vars = vec![0.0; x.cols()];
+    for row in x.iter_rows() {
+        for ((v, &m), &xi) in vars.iter_mut().zip(means.iter()).zip(row.iter()) {
+            let d = xi - m;
+            *v += d * d;
+        }
+    }
+    vars.iter().map(|v| (v / n).sqrt()).collect()
+}
+
+/// Sample covariance matrix (rows are observations, columns are variables).
+pub fn covariance(x: &Matrix) -> Result<Matrix> {
+    let n = x.rows();
+    if n < 2 {
+        return Err(LinalgError::InvalidArgument(
+            "covariance requires at least two observations".to_string(),
+        ));
+    }
+    let means = column_means(x);
+    let mut centered = x.clone();
+    for r in 0..n {
+        let row = centered.row_mut(r);
+        for (c, v) in row.iter_mut().enumerate() {
+            *v -= means[c];
+        }
+    }
+    let cov = centered.transpose_matmul(&centered)?;
+    Ok(cov.scale(1.0 / (n as f64 - 1.0)))
+}
+
+/// Pearson correlation between two equally long slices. Returns 0.0 when
+/// either input has zero variance.
+pub fn pearson(a: &[f64], b: &[f64]) -> f64 {
+    assert_eq!(a.len(), b.len(), "pearson requires equal lengths");
+    let n = a.len() as f64;
+    if a.is_empty() {
+        return 0.0;
+    }
+    let ma = a.iter().sum::<f64>() / n;
+    let mb = b.iter().sum::<f64>() / n;
+    let mut cov = 0.0;
+    let mut va = 0.0;
+    let mut vb = 0.0;
+    for (&x, &y) in a.iter().zip(b.iter()) {
+        cov += (x - ma) * (y - mb);
+        va += (x - ma) * (x - ma);
+        vb += (y - mb) * (y - mb);
+    }
+    if va < 1e-24 || vb < 1e-24 {
+        0.0
+    } else {
+        cov / (va.sqrt() * vb.sqrt())
+    }
+}
+
+/// Empirical quantile of `values` at probability `p ∈ [0, 1]` using linear
+/// interpolation between order statistics (the "type 7" definition used by
+/// NumPy's default).
+pub fn quantile(values: &[f64], p: f64) -> Result<f64> {
+    if values.is_empty() {
+        return Err(LinalgError::InvalidArgument(
+            "quantile of an empty slice is undefined".to_string(),
+        ));
+    }
+    if !(0.0..=1.0).contains(&p) {
+        return Err(LinalgError::InvalidArgument(format!(
+            "quantile probability {p} must lie in [0, 1]"
+        )));
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
+    let h = p * (sorted.len() as f64 - 1.0);
+    let lo = h.floor() as usize;
+    let hi = h.ceil() as usize;
+    let frac = h - lo as f64;
+    Ok(sorted[lo] * (1.0 - frac) + sorted[hi] * frac)
+}
+
+/// Assigns each value its quantile bucket in `0..k` (equal-probability
+/// buckets over the empirical distribution of `values`).
+///
+/// This is the building block for the paper's Definition 3 (between-group
+/// quantile graph): within each group, scores are pooled into `k` quantiles
+/// and individuals in the same quantile of *different* groups are linked.
+pub fn quantile_buckets(values: &[f64], k: usize) -> Result<Vec<usize>> {
+    if k == 0 {
+        return Err(LinalgError::InvalidArgument(
+            "quantile bucket count must be positive".to_string(),
+        ));
+    }
+    if values.is_empty() {
+        return Ok(Vec::new());
+    }
+    // Rank-based bucketing: ties get the same average rank treatment by using
+    // a stable sort on (value, index).
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    let mut buckets = vec![0usize; n];
+    for (rank, &idx) in order.iter().enumerate() {
+        let b = (rank * k) / n;
+        buckets[idx] = b.min(k - 1);
+    }
+    Ok(buckets)
+}
+
+/// Ranks values in ascending order (0 = smallest), breaking ties by index.
+pub fn rank(values: &[f64]) -> Vec<usize> {
+    let n = values.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        values[i]
+            .partial_cmp(&values[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+            .then(i.cmp(&j))
+    });
+    let mut ranks = vec![0usize; n];
+    for (r, &idx) in order.iter().enumerate() {
+        ranks[idx] = r;
+    }
+    ranks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_matrix() -> Matrix {
+        Matrix::from_rows(&[
+            vec![1.0, 10.0],
+            vec![2.0, 20.0],
+            vec![3.0, 30.0],
+            vec![4.0, 40.0],
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn column_means_and_stds() {
+        let x = sample_matrix();
+        let means = column_means(&x);
+        assert_eq!(means, vec![2.5, 25.0]);
+        let stds = column_stds(&x, &means);
+        assert!((stds[0] - (1.25_f64).sqrt()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn standardizer_zero_mean_unit_variance() {
+        let x = sample_matrix();
+        let (_, z) = Standardizer::fit_transform(&x).unwrap();
+        let means = column_means(&z);
+        let stds = column_stds(&z, &means);
+        for m in means {
+            assert!(m.abs() < 1e-12);
+        }
+        for s in stds {
+            assert!((s - 1.0).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn standardizer_constant_column_maps_to_zero() {
+        let x = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]).unwrap();
+        let (_, z) = Standardizer::fit_transform(&x).unwrap();
+        assert!(z.col(0).iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn standardizer_applies_training_statistics_to_test_data() {
+        let train = sample_matrix();
+        let s = Standardizer::fit(&train).unwrap();
+        let test = Matrix::from_rows(&[vec![2.5, 25.0]]).unwrap();
+        let z = s.transform(&test).unwrap();
+        assert!(z.row(0).iter().all(|&v| v.abs() < 1e-12));
+        assert!(s.transform(&Matrix::zeros(1, 3)).is_err());
+    }
+
+    #[test]
+    fn covariance_of_perfectly_correlated_columns() {
+        let x = sample_matrix();
+        let cov = covariance(&x).unwrap();
+        // var(col0) = 5/3, cov = 50/3, var(col1) = 500/3 (sample, n-1 = 3).
+        assert!((cov[(0, 0)] - 5.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(0, 1)] - 50.0 / 3.0).abs() < 1e-12);
+        assert!((cov[(1, 1)] - 500.0 / 3.0).abs() < 1e-12);
+        assert!(covariance(&Matrix::zeros(1, 2)).is_err());
+    }
+
+    #[test]
+    fn pearson_correlations() {
+        let a = [1.0, 2.0, 3.0, 4.0];
+        let b = [2.0, 4.0, 6.0, 8.0];
+        assert!((pearson(&a, &b) - 1.0).abs() < 1e-12);
+        let c = [8.0, 6.0, 4.0, 2.0];
+        assert!((pearson(&a, &c) + 1.0).abs() < 1e-12);
+        let constant = [3.0, 3.0, 3.0, 3.0];
+        assert_eq!(pearson(&a, &constant), 0.0);
+    }
+
+    #[test]
+    fn quantile_interpolation() {
+        let v = [1.0, 2.0, 3.0, 4.0];
+        assert_eq!(quantile(&v, 0.0).unwrap(), 1.0);
+        assert_eq!(quantile(&v, 1.0).unwrap(), 4.0);
+        assert!((quantile(&v, 0.5).unwrap() - 2.5).abs() < 1e-12);
+        assert!(quantile(&[], 0.5).is_err());
+        assert!(quantile(&v, 1.5).is_err());
+    }
+
+    #[test]
+    fn quantile_buckets_are_balanced() {
+        let values: Vec<f64> = (0..100).map(|i| i as f64).collect();
+        let buckets = quantile_buckets(&values, 10).unwrap();
+        for b in 0..10 {
+            let count = buckets.iter().filter(|&&x| x == b).count();
+            assert_eq!(count, 10);
+        }
+        // Values must be assigned monotonically.
+        assert_eq!(buckets[0], 0);
+        assert_eq!(buckets[99], 9);
+        assert!(quantile_buckets(&values, 0).is_err());
+        assert!(quantile_buckets(&[], 3).unwrap().is_empty());
+    }
+
+    #[test]
+    fn rank_breaks_ties_deterministically() {
+        let r = rank(&[3.0, 1.0, 2.0, 1.0]);
+        assert_eq!(r, vec![3, 0, 2, 1]);
+    }
+}

@@ -1,0 +1,204 @@
+//! Area under the ROC curve and ROC points.
+//!
+//! AUC is computed with the rank-based (Mann–Whitney U) estimator, which
+//! handles tied scores by assigning average ranks — the same convention as
+//! scikit-learn's `roc_auc_score` used by the original implementation.
+
+use crate::error::MetricsError;
+use crate::Result;
+
+/// Computes the area under the ROC curve for binary labels and real-valued
+/// scores (higher score = more likely positive).
+///
+/// Returns an error when inputs are empty, lengths mismatch, labels are not
+/// binary, or only one class is present (AUC is undefined then).
+pub fn roc_auc(labels: &[u8], scores: &[f64]) -> Result<f64> {
+    if labels.len() != scores.len() {
+        return Err(MetricsError::LengthMismatch {
+            what: "scores",
+            got: scores.len(),
+            expected: labels.len(),
+        });
+    }
+    if labels.is_empty() {
+        return Err(MetricsError::InvalidArgument("empty input".to_string()));
+    }
+    if labels.iter().any(|&y| y > 1) {
+        return Err(MetricsError::InvalidArgument(
+            "labels must be binary (0 or 1)".to_string(),
+        ));
+    }
+    let n_pos = labels.iter().filter(|&&y| y == 1).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MetricsError::Undefined(
+            "AUC requires both classes to be present".to_string(),
+        ));
+    }
+
+    // Average ranks with tie handling.
+    let n = scores.len();
+    let mut order: Vec<usize> = (0..n).collect();
+    order.sort_by(|&i, &j| {
+        scores[i]
+            .partial_cmp(&scores[j])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut ranks = vec![0.0_f64; n];
+    let mut idx = 0;
+    while idx < n {
+        let mut end = idx;
+        while end + 1 < n && scores[order[end + 1]] == scores[order[idx]] {
+            end += 1;
+        }
+        // Ranks are 1-based; ties share the average rank.
+        let avg_rank = (idx + end) as f64 / 2.0 + 1.0;
+        for &o in order.iter().take(end + 1).skip(idx) {
+            ranks[o] = avg_rank;
+        }
+        idx = end + 1;
+    }
+
+    let rank_sum_pos: f64 = labels
+        .iter()
+        .zip(ranks.iter())
+        .filter_map(|(&y, &r)| if y == 1 { Some(r) } else { None })
+        .sum();
+    let u = rank_sum_pos - (n_pos as f64 * (n_pos as f64 + 1.0)) / 2.0;
+    Ok(u / (n_pos as f64 * n_neg as f64))
+}
+
+/// A single point of the ROC curve.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RocPoint {
+    /// Decision threshold that produces this point.
+    pub threshold: f64,
+    /// False positive rate at the threshold.
+    pub fpr: f64,
+    /// True positive rate at the threshold.
+    pub tpr: f64,
+}
+
+/// Computes the full ROC curve (one point per distinct score, descending).
+pub fn roc_curve(labels: &[u8], scores: &[f64]) -> Result<Vec<RocPoint>> {
+    if labels.len() != scores.len() {
+        return Err(MetricsError::LengthMismatch {
+            what: "scores",
+            got: scores.len(),
+            expected: labels.len(),
+        });
+    }
+    let n_pos = labels.iter().filter(|&&y| y == 1).count();
+    let n_neg = labels.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return Err(MetricsError::Undefined(
+            "ROC requires both classes to be present".to_string(),
+        ));
+    }
+    let mut order: Vec<usize> = (0..labels.len()).collect();
+    order.sort_by(|&i, &j| {
+        scores[j]
+            .partial_cmp(&scores[i])
+            .unwrap_or(std::cmp::Ordering::Equal)
+    });
+    let mut points = Vec::new();
+    let mut tp = 0usize;
+    let mut fp = 0usize;
+    let mut idx = 0usize;
+    while idx < order.len() {
+        let threshold = scores[order[idx]];
+        // Consume all examples with this score.
+        while idx < order.len() && scores[order[idx]] == threshold {
+            if labels[order[idx]] == 1 {
+                tp += 1;
+            } else {
+                fp += 1;
+            }
+            idx += 1;
+        }
+        points.push(RocPoint {
+            threshold,
+            fpr: fp as f64 / n_neg as f64,
+            tpr: tp as f64 / n_pos as f64,
+        });
+    }
+    Ok(points)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn perfect_ranking_gives_auc_one() {
+        let labels = [0, 0, 1, 1];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!((roc_auc(&labels, &scores).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn inverted_ranking_gives_auc_zero() {
+        let labels = [1, 1, 0, 0];
+        let scores = [0.1, 0.2, 0.8, 0.9];
+        assert!(roc_auc(&labels, &scores).unwrap() < 1e-12);
+    }
+
+    #[test]
+    fn random_constant_scores_give_half() {
+        let labels = [0, 1, 0, 1, 0, 1];
+        let scores = [0.5; 6];
+        assert!((roc_auc(&labels, &scores).unwrap() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn known_mixed_case() {
+        // scores: pos {0.8, 0.4}, neg {0.6, 0.2}
+        // pairs: (0.8 beats both) = 2, (0.4 beats 0.2) = 1 → 3/4.
+        let labels = [1, 0, 1, 0];
+        let scores = [0.8, 0.6, 0.4, 0.2];
+        assert!((roc_auc(&labels, &scores).unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn auc_is_invariant_under_monotone_transforms() {
+        let labels = [1, 0, 1, 0, 1, 0, 0, 1];
+        let scores = [0.9, 0.3, 0.6, 0.5, 0.7, 0.1, 0.45, 0.2];
+        let base = roc_auc(&labels, &scores).unwrap();
+        let transformed: Vec<f64> = scores.iter().map(|&s| (5.0 * s).exp()).collect();
+        let after = roc_auc(&labels, &transformed).unwrap();
+        assert!((base - after).abs() < 1e-12);
+    }
+
+    #[test]
+    fn error_cases() {
+        assert!(roc_auc(&[], &[]).is_err());
+        assert!(roc_auc(&[1, 0], &[0.5]).is_err());
+        assert!(roc_auc(&[1, 2], &[0.5, 0.5]).is_err());
+        assert!(roc_auc(&[1, 1], &[0.5, 0.6]).is_err());
+        assert!(roc_auc(&[0, 0], &[0.5, 0.6]).is_err());
+    }
+
+    #[test]
+    fn roc_curve_is_monotone_and_ends_at_one_one() {
+        let labels = [1, 0, 1, 0, 1, 0];
+        let scores = [0.9, 0.8, 0.7, 0.4, 0.3, 0.1];
+        let curve = roc_curve(&labels, &scores).unwrap();
+        let last = curve.last().unwrap();
+        assert!((last.fpr - 1.0).abs() < 1e-12);
+        assert!((last.tpr - 1.0).abs() < 1e-12);
+        for w in curve.windows(2) {
+            assert!(w[1].fpr >= w[0].fpr - 1e-12);
+            assert!(w[1].tpr >= w[0].tpr - 1e-12);
+        }
+    }
+
+    #[test]
+    fn roc_curve_handles_tied_scores() {
+        let labels = [1, 0, 1, 0];
+        let scores = [0.5, 0.5, 0.5, 0.5];
+        let curve = roc_curve(&labels, &scores).unwrap();
+        assert_eq!(curve.len(), 1);
+        assert!((curve[0].tpr - 1.0).abs() < 1e-12);
+        assert!((curve[0].fpr - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,166 @@
+//! Confusion-matrix derived metrics.
+
+use crate::error::MetricsError;
+use crate::Result;
+
+/// Counts of a binary confusion matrix plus derived rates.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ConfusionMatrix {
+    /// True positives.
+    pub tp: usize,
+    /// False positives.
+    pub fp: usize,
+    /// True negatives.
+    pub tn: usize,
+    /// False negatives.
+    pub fn_: usize,
+}
+
+impl ConfusionMatrix {
+    /// Builds the confusion matrix from binary labels and binary predictions.
+    pub fn from_predictions(labels: &[u8], predictions: &[u8]) -> Result<Self> {
+        if labels.len() != predictions.len() {
+            return Err(MetricsError::LengthMismatch {
+                what: "predictions",
+                got: predictions.len(),
+                expected: labels.len(),
+            });
+        }
+        if labels.is_empty() {
+            return Err(MetricsError::InvalidArgument("empty input".to_string()));
+        }
+        if labels.iter().chain(predictions.iter()).any(|&v| v > 1) {
+            return Err(MetricsError::InvalidArgument(
+                "labels and predictions must be binary (0 or 1)".to_string(),
+            ));
+        }
+        let mut cm = ConfusionMatrix::default();
+        for (&y, &p) in labels.iter().zip(predictions.iter()) {
+            match (y, p) {
+                (1, 1) => cm.tp += 1,
+                (0, 1) => cm.fp += 1,
+                (0, 0) => cm.tn += 1,
+                (1, 0) => cm.fn_ += 1,
+                _ => unreachable!("labels validated to be binary"),
+            }
+        }
+        Ok(cm)
+    }
+
+    /// Total number of examples.
+    pub fn total(&self) -> usize {
+        self.tp + self.fp + self.tn + self.fn_
+    }
+
+    /// Accuracy `(tp + tn) / total`.
+    pub fn accuracy(&self) -> f64 {
+        (self.tp + self.tn) as f64 / self.total() as f64
+    }
+
+    /// Rate of positive predictions `(tp + fp) / total` — the quantity behind
+    /// demographic parity.
+    pub fn positive_prediction_rate(&self) -> f64 {
+        (self.tp + self.fp) as f64 / self.total() as f64
+    }
+
+    /// False positive rate `fp / (fp + tn)`; `None` when there are no
+    /// negatives.
+    pub fn false_positive_rate(&self) -> Option<f64> {
+        let negatives = self.fp + self.tn;
+        if negatives == 0 {
+            None
+        } else {
+            Some(self.fp as f64 / negatives as f64)
+        }
+    }
+
+    /// False negative rate `fn / (fn + tp)`; `None` when there are no
+    /// positives.
+    pub fn false_negative_rate(&self) -> Option<f64> {
+        let positives = self.fn_ + self.tp;
+        if positives == 0 {
+            None
+        } else {
+            Some(self.fn_ as f64 / positives as f64)
+        }
+    }
+
+    /// True positive rate (recall) `tp / (tp + fn)`; `None` when there are no
+    /// positives.
+    pub fn true_positive_rate(&self) -> Option<f64> {
+        self.false_negative_rate().map(|fnr| 1.0 - fnr)
+    }
+
+    /// Precision `tp / (tp + fp)`; `None` when nothing was predicted
+    /// positive.
+    pub fn precision(&self) -> Option<f64> {
+        let predicted_pos = self.tp + self.fp;
+        if predicted_pos == 0 {
+            None
+        } else {
+            Some(self.tp as f64 / predicted_pos as f64)
+        }
+    }
+
+    /// F1 score; `None` when precision or recall is undefined.
+    pub fn f1(&self) -> Option<f64> {
+        let p = self.precision()?;
+        let r = self.true_positive_rate()?;
+        if p + r == 0.0 {
+            Some(0.0)
+        } else {
+            Some(2.0 * p * r / (p + r))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn example() -> ConfusionMatrix {
+        // labels:      1 1 1 0 0 0 0 1
+        // predictions: 1 0 1 1 0 0 0 1
+        ConfusionMatrix::from_predictions(&[1, 1, 1, 0, 0, 0, 0, 1], &[1, 0, 1, 1, 0, 0, 0, 1])
+            .unwrap()
+    }
+
+    #[test]
+    fn counts_are_correct() {
+        let cm = example();
+        assert_eq!(cm.tp, 3);
+        assert_eq!(cm.fn_, 1);
+        assert_eq!(cm.fp, 1);
+        assert_eq!(cm.tn, 3);
+        assert_eq!(cm.total(), 8);
+    }
+
+    #[test]
+    fn derived_rates() {
+        let cm = example();
+        assert!((cm.accuracy() - 0.75).abs() < 1e-12);
+        assert!((cm.positive_prediction_rate() - 0.5).abs() < 1e-12);
+        assert!((cm.false_positive_rate().unwrap() - 0.25).abs() < 1e-12);
+        assert!((cm.false_negative_rate().unwrap() - 0.25).abs() < 1e-12);
+        assert!((cm.true_positive_rate().unwrap() - 0.75).abs() < 1e-12);
+        assert!((cm.precision().unwrap() - 0.75).abs() < 1e-12);
+        assert!((cm.f1().unwrap() - 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn degenerate_cases_return_none() {
+        let all_pos = ConfusionMatrix::from_predictions(&[1, 1], &[1, 0]).unwrap();
+        assert!(all_pos.false_positive_rate().is_none());
+        assert!(all_pos.false_negative_rate().is_some());
+        let all_neg = ConfusionMatrix::from_predictions(&[0, 0], &[0, 0]).unwrap();
+        assert!(all_neg.false_negative_rate().is_none());
+        assert!(all_neg.precision().is_none());
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(ConfusionMatrix::from_predictions(&[1], &[1, 0]).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[], &[]).is_err());
+        assert!(ConfusionMatrix::from_predictions(&[2], &[1]).is_err());
+    }
+}

@@ -1,0 +1,90 @@
+//! Individual-fairness consistency (Section 4.1 of the paper).
+//!
+//! ```text
+//! Consistency = 1 − Σ_ij |ŷ_i − ŷ_j| · W_ij / Σ_ij W_ij      (i ≠ j)
+//! ```
+//!
+//! The measure is reported twice in the paper: once with `W = WX` (data-space
+//! neighbours get similar outcomes) and once with `W = WF` (equally deserving
+//! individuals get similar outcomes). It accepts either hard 0/1 predictions
+//! or probabilities; the paper uses hard classifier decisions.
+
+use crate::error::MetricsError;
+use crate::Result;
+use pfr_graph::SparseGraph;
+
+/// Computes the consistency of `predictions` with respect to the similarity
+/// graph. An empty graph yields 1.0 (nothing to be inconsistent with).
+pub fn consistency(graph: &SparseGraph, predictions: &[f64]) -> Result<f64> {
+    if predictions.len() != graph.num_nodes() {
+        return Err(MetricsError::LengthMismatch {
+            what: "predictions",
+            got: predictions.len(),
+            expected: graph.num_nodes(),
+        });
+    }
+    let disagreement = graph.weighted_disagreement(predictions)?;
+    Ok(1.0 - disagreement)
+}
+
+/// Convenience wrapper for hard binary predictions.
+pub fn consistency_binary(graph: &SparseGraph, predictions: &[u8]) -> Result<f64> {
+    let as_f64: Vec<f64> = predictions.iter().map(|&p| p as f64).collect();
+    consistency(graph, &as_f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn triangle() -> SparseGraph {
+        let mut g = SparseGraph::new(3);
+        g.add_edge(0, 1, 1.0).unwrap();
+        g.add_edge(1, 2, 1.0).unwrap();
+        g.add_edge(0, 2, 2.0).unwrap();
+        g
+    }
+
+    #[test]
+    fn identical_predictions_are_perfectly_consistent() {
+        let g = triangle();
+        assert!((consistency_binary(&g, &[1, 1, 1]).unwrap() - 1.0).abs() < 1e-12);
+        assert!((consistency_binary(&g, &[0, 0, 0]).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn maximally_inconsistent_predictions_score_low() {
+        let mut g = SparseGraph::new(2);
+        g.add_edge(0, 1, 1.0).unwrap();
+        assert!(consistency_binary(&g, &[0, 1]).unwrap().abs() < 1e-12);
+    }
+
+    #[test]
+    fn weighted_edges_count_proportionally() {
+        let g = triangle();
+        // Disagreement only on the weight-2 edge {0,2}: 2/(1+1+2) = 0.5.
+        let c = consistency_binary(&g, &[1, 1, 0]).unwrap();
+        // |1-1|*1 + |1-0|*1 + |1-0|*2 = 3 → 3/4 disagreement → 0.25.
+        assert!((c - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn probabilistic_predictions_are_supported() {
+        let mut g = SparseGraph::new(2);
+        g.add_edge(0, 1, 1.0).unwrap();
+        let c = consistency(&g, &[0.7, 0.2]).unwrap();
+        assert!((c - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_graph_is_perfectly_consistent() {
+        let g = SparseGraph::new(4);
+        assert_eq!(consistency_binary(&g, &[0, 1, 0, 1]).unwrap(), 1.0);
+    }
+
+    #[test]
+    fn length_mismatch_is_an_error() {
+        let g = triangle();
+        assert!(consistency_binary(&g, &[0, 1]).is_err());
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the metrics crate.
+
+use std::fmt;
+
+/// Errors produced when computing evaluation metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricsError {
+    /// Prediction and label vectors had different lengths.
+    LengthMismatch {
+        /// What the offending vector describes.
+        what: &'static str,
+        /// Provided length.
+        got: usize,
+        /// Expected length.
+        expected: usize,
+    },
+    /// The metric is undefined for the given input (e.g. AUC with a single
+    /// class, FPR with no negatives).
+    Undefined(String),
+    /// An invalid argument (empty input, non-binary labels, ...).
+    InvalidArgument(String),
+    /// An error bubbled up from the graph substrate.
+    Graph(String),
+}
+
+impl fmt::Display for MetricsError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MetricsError::LengthMismatch { what, got, expected } => {
+                write!(f, "{what} has length {got}, expected {expected}")
+            }
+            MetricsError::Undefined(msg) => write!(f, "metric undefined: {msg}"),
+            MetricsError::InvalidArgument(msg) => write!(f, "invalid argument: {msg}"),
+            MetricsError::Graph(msg) => write!(f, "graph error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetricsError {}
+
+impl From<pfr_graph::GraphError> for MetricsError {
+    fn from(e: pfr_graph::GraphError) -> Self {
+        MetricsError::Graph(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(MetricsError::Undefined("single class".into())
+            .to_string()
+            .contains("single class"));
+        assert!(MetricsError::LengthMismatch {
+            what: "scores",
+            got: 1,
+            expected: 2
+        }
+        .to_string()
+        .contains("scores"));
+    }
+
+    #[test]
+    fn converts_from_graph_error() {
+        let e: MetricsError = pfr_graph::GraphError::SelfLoop { node: 0 }.into();
+        assert!(matches!(e, MetricsError::Graph(_)));
+    }
+}

@@ -1,0 +1,253 @@
+//! Group-fairness metrics: disparate impact and disparate mistreatment
+//! (Section 4.1 of the paper, Figures 3, 6 and 9).
+//!
+//! For every protected group the report collects the rate of positive
+//! predictions, the false positive rate and the false negative rate, plus the
+//! per-group AUC used in the γ-sweep plots (Figures 4c, 7c, 10c). Gap
+//! summaries (max pairwise difference across groups) quantify how far a
+//! classifier is from demographic parity / equalized odds.
+
+use crate::auc::roc_auc;
+use crate::confusion::ConfusionMatrix;
+use crate::error::MetricsError;
+use crate::Result;
+
+/// Per-group slice of a [`GroupFairnessReport`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupMetrics {
+    /// Group identifier.
+    pub group: usize,
+    /// Number of individuals in the group.
+    pub size: usize,
+    /// Rate of positive predictions `P(Ŷ=1 | S=group)`.
+    pub positive_prediction_rate: f64,
+    /// False positive rate within the group (`None` if the group has no
+    /// negatives).
+    pub false_positive_rate: Option<f64>,
+    /// False negative rate within the group (`None` if the group has no
+    /// positives).
+    pub false_negative_rate: Option<f64>,
+    /// Accuracy within the group.
+    pub accuracy: f64,
+    /// AUC within the group (`None` if only one class is present or scores
+    /// were not provided).
+    pub auc: Option<f64>,
+    /// Base rate (fraction of true positives) within the group.
+    pub base_rate: f64,
+}
+
+/// Group-fairness report over all protected groups.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GroupFairnessReport {
+    /// Per-group metrics, ordered by group id.
+    pub per_group: Vec<GroupMetrics>,
+}
+
+impl GroupFairnessReport {
+    /// Computes the report from true labels, hard predictions, group
+    /// memberships and (optionally) real-valued scores for per-group AUC.
+    pub fn compute(
+        labels: &[u8],
+        predictions: &[u8],
+        groups: &[usize],
+        scores: Option<&[f64]>,
+    ) -> Result<Self> {
+        let n = labels.len();
+        if predictions.len() != n {
+            return Err(MetricsError::LengthMismatch {
+                what: "predictions",
+                got: predictions.len(),
+                expected: n,
+            });
+        }
+        if groups.len() != n {
+            return Err(MetricsError::LengthMismatch {
+                what: "groups",
+                got: groups.len(),
+                expected: n,
+            });
+        }
+        if let Some(s) = scores {
+            if s.len() != n {
+                return Err(MetricsError::LengthMismatch {
+                    what: "scores",
+                    got: s.len(),
+                    expected: n,
+                });
+            }
+        }
+        if n == 0 {
+            return Err(MetricsError::InvalidArgument("empty input".to_string()));
+        }
+
+        let mut group_ids: Vec<usize> = groups.to_vec();
+        group_ids.sort_unstable();
+        group_ids.dedup();
+
+        let mut per_group = Vec::with_capacity(group_ids.len());
+        for &g in &group_ids {
+            let idx: Vec<usize> = (0..n).filter(|&i| groups[i] == g).collect();
+            let g_labels: Vec<u8> = idx.iter().map(|&i| labels[i]).collect();
+            let g_preds: Vec<u8> = idx.iter().map(|&i| predictions[i]).collect();
+            let cm = ConfusionMatrix::from_predictions(&g_labels, &g_preds)?;
+            let auc = scores.and_then(|s| {
+                let g_scores: Vec<f64> = idx.iter().map(|&i| s[i]).collect();
+                roc_auc(&g_labels, &g_scores).ok()
+            });
+            let base_rate =
+                g_labels.iter().filter(|&&y| y == 1).count() as f64 / g_labels.len() as f64;
+            per_group.push(GroupMetrics {
+                group: g,
+                size: idx.len(),
+                positive_prediction_rate: cm.positive_prediction_rate(),
+                false_positive_rate: cm.false_positive_rate(),
+                false_negative_rate: cm.false_negative_rate(),
+                accuracy: cm.accuracy(),
+                auc,
+                base_rate,
+            });
+        }
+        Ok(GroupFairnessReport { per_group })
+    }
+
+    /// Largest pairwise difference in positive-prediction rates — the
+    /// *demographic parity gap* (0 = perfect parity).
+    pub fn demographic_parity_gap(&self) -> f64 {
+        max_gap(self.per_group.iter().map(|g| g.positive_prediction_rate))
+    }
+
+    /// Largest pairwise difference in false positive rates across groups that
+    /// have negatives.
+    pub fn fpr_gap(&self) -> f64 {
+        max_gap(self.per_group.iter().filter_map(|g| g.false_positive_rate))
+    }
+
+    /// Largest pairwise difference in false negative rates across groups that
+    /// have positives.
+    pub fn fnr_gap(&self) -> f64 {
+        max_gap(self.per_group.iter().filter_map(|g| g.false_negative_rate))
+    }
+
+    /// Equalized-odds gap: the maximum of the FPR gap and the FNR gap
+    /// (0 = perfectly equalized odds, the Hardt et al. objective).
+    pub fn equalized_odds_gap(&self) -> f64 {
+        self.fpr_gap().max(self.fnr_gap())
+    }
+
+    /// Largest pairwise difference in per-group AUC (only over groups where
+    /// AUC is defined).
+    pub fn auc_gap(&self) -> f64 {
+        max_gap(self.per_group.iter().filter_map(|g| g.auc))
+    }
+
+    /// Metrics for a specific group id, if present.
+    pub fn group(&self, group: usize) -> Option<&GroupMetrics> {
+        self.per_group.iter().find(|g| g.group == group)
+    }
+}
+
+fn max_gap(values: impl Iterator<Item = f64>) -> f64 {
+    let vals: Vec<f64> = values.collect();
+    if vals.len() < 2 {
+        return 0.0;
+    }
+    let min = vals.iter().cloned().fold(f64::INFINITY, f64::min);
+    let max = vals.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    max - min
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// Group 0 gets mostly positive predictions, group 1 mostly negative.
+    fn biased_setup() -> (Vec<u8>, Vec<u8>, Vec<usize>, Vec<f64>) {
+        let labels = vec![1, 0, 1, 0, 1, 0, 1, 0];
+        let preds = vec![1, 1, 1, 0, 0, 0, 1, 0];
+        let groups = vec![0, 0, 0, 0, 1, 1, 1, 1];
+        let scores = vec![0.9, 0.8, 0.7, 0.2, 0.4, 0.3, 0.6, 0.1];
+        (labels, preds, groups, scores)
+    }
+
+    #[test]
+    fn per_group_rates_are_correct() {
+        let (labels, preds, groups, scores) = biased_setup();
+        let report =
+            GroupFairnessReport::compute(&labels, &preds, &groups, Some(&scores)).unwrap();
+        assert_eq!(report.per_group.len(), 2);
+        let g0 = report.group(0).unwrap();
+        let g1 = report.group(1).unwrap();
+        assert_eq!(g0.size, 4);
+        assert!((g0.positive_prediction_rate - 0.75).abs() < 1e-12);
+        assert!((g1.positive_prediction_rate - 0.25).abs() < 1e-12);
+        // Group 0: labels 1,0,1,0 preds 1,1,1,0 → FPR = 1/2, FNR = 0.
+        assert!((g0.false_positive_rate.unwrap() - 0.5).abs() < 1e-12);
+        assert!((g0.false_negative_rate.unwrap() - 0.0).abs() < 1e-12);
+        // Group 1: labels 1,0,1,0 preds 0,0,1,0 → FPR = 0, FNR = 1/2.
+        assert!((g1.false_positive_rate.unwrap() - 0.0).abs() < 1e-12);
+        assert!((g1.false_negative_rate.unwrap() - 0.5).abs() < 1e-12);
+        assert!((g0.base_rate - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn gaps_summarize_the_disparity() {
+        let (labels, preds, groups, scores) = biased_setup();
+        let report =
+            GroupFairnessReport::compute(&labels, &preds, &groups, Some(&scores)).unwrap();
+        assert!((report.demographic_parity_gap() - 0.5).abs() < 1e-12);
+        assert!((report.fpr_gap() - 0.5).abs() < 1e-12);
+        assert!((report.fnr_gap() - 0.5).abs() < 1e-12);
+        assert!((report.equalized_odds_gap() - 0.5).abs() < 1e-12);
+        assert!(report.auc_gap() >= 0.0);
+    }
+
+    #[test]
+    fn fair_classifier_has_zero_gaps() {
+        let labels = vec![1, 0, 1, 0];
+        let preds = vec![1, 0, 1, 0];
+        let groups = vec![0, 0, 1, 1];
+        let report = GroupFairnessReport::compute(&labels, &preds, &groups, None).unwrap();
+        assert_eq!(report.demographic_parity_gap(), 0.0);
+        assert_eq!(report.equalized_odds_gap(), 0.0);
+        // No scores → no AUC.
+        assert!(report.per_group.iter().all(|g| g.auc.is_none()));
+    }
+
+    #[test]
+    fn single_group_has_zero_gaps() {
+        let report =
+            GroupFairnessReport::compute(&[1, 0], &[1, 1], &[0, 0], None).unwrap();
+        assert_eq!(report.demographic_parity_gap(), 0.0);
+        assert_eq!(report.equalized_odds_gap(), 0.0);
+    }
+
+    #[test]
+    fn degenerate_group_rates_are_none_but_do_not_crash_gaps() {
+        // Group 1 has only positives → FPR undefined there.
+        let labels = vec![1, 0, 1, 1];
+        let preds = vec![1, 0, 1, 0];
+        let groups = vec![0, 0, 1, 1];
+        let report = GroupFairnessReport::compute(&labels, &preds, &groups, None).unwrap();
+        assert!(report.group(1).unwrap().false_positive_rate.is_none());
+        // The gap only considers groups with defined rates.
+        assert_eq!(report.fpr_gap(), 0.0);
+    }
+
+    #[test]
+    fn input_validation() {
+        assert!(GroupFairnessReport::compute(&[1], &[1, 0], &[0], None).is_err());
+        assert!(GroupFairnessReport::compute(&[1], &[1], &[0, 1], None).is_err());
+        assert!(GroupFairnessReport::compute(&[1], &[1], &[0], Some(&[0.1, 0.2])).is_err());
+        assert!(GroupFairnessReport::compute(&[], &[], &[], None).is_err());
+    }
+
+    #[test]
+    fn more_than_two_groups_are_supported() {
+        let labels = vec![1, 0, 1, 0, 1, 0];
+        let preds = vec![1, 0, 0, 0, 1, 1];
+        let groups = vec![0, 0, 1, 1, 2, 2];
+        let report = GroupFairnessReport::compute(&labels, &preds, &groups, None).unwrap();
+        assert_eq!(report.per_group.len(), 3);
+        assert!(report.demographic_parity_gap() > 0.0);
+    }
+}

@@ -1,0 +1,34 @@
+//! # pfr-metrics
+//!
+//! Evaluation metrics for the Pairwise Fair Representations (PFR)
+//! reproduction, covering everything Section 4.1 of the paper measures:
+//!
+//! * **Utility** — the area under the ROC curve ([`auc::roc_auc`]).
+//! * **Individual fairness** — the *consistency* of outcomes between
+//!   individuals connected in a similarity graph (`WX` or `WF`), defined as
+//!   `1 − Σ w_ij |ŷ_i − ŷ_j| / Σ w_ij` ([`consistency::consistency`]).
+//! * **Group fairness** — disparate impact (per-group rates of positive
+//!   predictions) and disparate mistreatment (per-group FPR/FNR), plus the
+//!   derived parity gaps ([`group::GroupFairnessReport`]).
+//!
+//! All metrics operate on plain slices and the [`pfr_graph::SparseGraph`]
+//! type so they can score any model in the workspace (PFR, the baselines or
+//! a user's own classifier).
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod auc;
+pub mod confusion;
+pub mod consistency;
+pub mod error;
+pub mod group;
+
+pub use auc::roc_auc;
+pub use confusion::ConfusionMatrix;
+pub use consistency::consistency;
+pub use error::MetricsError;
+pub use group::GroupFairnessReport;
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, MetricsError>;

@@ -1,0 +1,76 @@
+//! Error type for the optimization substrate.
+
+use std::fmt;
+
+/// Errors produced by optimizers and the logistic-regression classifier.
+#[derive(Debug, Clone, PartialEq)]
+pub enum OptError {
+    /// Inputs had incompatible dimensions.
+    DimensionMismatch {
+        /// Description of the offending input.
+        what: &'static str,
+        /// Provided size.
+        got: usize,
+        /// Expected size.
+        expected: usize,
+    },
+    /// An invalid hyper-parameter (negative learning rate, zero iterations, ...).
+    InvalidParameter(String),
+    /// The optimizer diverged (NaN/∞ in the objective or the parameters).
+    Diverged {
+        /// Iteration at which divergence was detected.
+        iteration: usize,
+    },
+    /// A model method was called before `fit`.
+    NotFitted,
+    /// An error bubbled up from the linear-algebra substrate.
+    Linalg(String),
+}
+
+impl fmt::Display for OptError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            OptError::DimensionMismatch { what, got, expected } => {
+                write!(f, "{what} has size {got}, expected {expected}")
+            }
+            OptError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
+            OptError::Diverged { iteration } => {
+                write!(f, "optimization diverged at iteration {iteration}")
+            }
+            OptError::NotFitted => write!(f, "model must be fitted before use"),
+            OptError::Linalg(msg) => write!(f, "linear algebra error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for OptError {}
+
+impl From<pfr_linalg::LinalgError> for OptError {
+    fn from(e: pfr_linalg::LinalgError) -> Self {
+        OptError::Linalg(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        assert!(OptError::NotFitted.to_string().contains("fitted"));
+        assert!(OptError::Diverged { iteration: 3 }.to_string().contains('3'));
+        assert!(OptError::DimensionMismatch {
+            what: "labels",
+            got: 1,
+            expected: 2
+        }
+        .to_string()
+        .contains("labels"));
+    }
+
+    #[test]
+    fn converts_from_linalg() {
+        let e: OptError = pfr_linalg::LinalgError::Singular { op: "lu" }.into();
+        assert!(matches!(e, OptError::Linalg(_)));
+    }
+}

@@ -1,0 +1,83 @@
+//! Small numeric helpers shared by the optimizers and models.
+
+/// Numerically stable logistic sigmoid `1 / (1 + exp(-z))`.
+#[inline]
+pub fn sigmoid(z: f64) -> f64 {
+    if z >= 0.0 {
+        let e = (-z).exp();
+        1.0 / (1.0 + e)
+    } else {
+        let e = z.exp();
+        e / (1.0 + e)
+    }
+}
+
+/// Natural logarithm clamped away from zero for use in cross-entropy losses.
+#[inline]
+pub fn safe_ln(x: f64) -> f64 {
+    x.max(1e-300).ln()
+}
+
+/// Binary cross-entropy of a single prediction.
+#[inline]
+pub fn binary_cross_entropy(y: f64, p: f64) -> f64 {
+    -(y * safe_ln(p) + (1.0 - y) * safe_ln(1.0 - p))
+}
+
+/// Softmax of a slice, numerically stabilized by subtracting the maximum.
+pub fn softmax(z: &[f64]) -> Vec<f64> {
+    if z.is_empty() {
+        return Vec::new();
+    }
+    let max = z.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let exps: Vec<f64> = z.iter().map(|&v| (v - max).exp()).collect();
+    let sum: f64 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+/// Logit (inverse sigmoid) with clamping to avoid infinities.
+#[inline]
+pub fn logit(p: f64) -> f64 {
+    let p = p.clamp(1e-12, 1.0 - 1e-12);
+    (p / (1.0 - p)).ln()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sigmoid_basic_values() {
+        assert!((sigmoid(0.0) - 0.5).abs() < 1e-12);
+        assert!(sigmoid(100.0) > 0.999_999);
+        assert!(sigmoid(-100.0) < 1e-6);
+        // No NaN for extreme inputs.
+        assert!(sigmoid(-1e6).is_finite());
+        assert!(sigmoid(1e6).is_finite());
+    }
+
+    #[test]
+    fn sigmoid_and_logit_are_inverses() {
+        for &p in &[0.1, 0.25, 0.5, 0.75, 0.9] {
+            assert!((sigmoid(logit(p)) - p).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn cross_entropy_is_zero_for_perfect_predictions() {
+        assert!(binary_cross_entropy(1.0, 1.0) < 1e-9);
+        assert!(binary_cross_entropy(0.0, 0.0) < 1e-9);
+        assert!(binary_cross_entropy(1.0, 0.0).is_finite());
+    }
+
+    #[test]
+    fn softmax_sums_to_one_and_orders_correctly() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f64>() - 1.0).abs() < 1e-12);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        assert!(softmax(&[]).is_empty());
+        // Large inputs do not overflow.
+        let q = softmax(&[1000.0, 1000.0]);
+        assert!((q[0] - 0.5).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,402 @@
+//! First-order optimizers over caller-supplied objectives.
+//!
+//! The iFair and LFR baselines minimize non-convex objectives over prototype
+//! locations and feature weights; their original implementations call
+//! `scipy.optimize` (L-BFGS). Here they are driven by [`Adam`] (default) or
+//! plain [`GradientDescent`] with an optional momentum term. Both operate on
+//! an [`Objective`] that reports the loss and its gradient at a parameter
+//! vector.
+
+use crate::error::OptError;
+use crate::Result;
+
+/// A differentiable objective `f: Rᵈ → R` to be minimized.
+pub trait Objective {
+    /// Number of parameters.
+    fn dim(&self) -> usize;
+
+    /// Evaluates the loss and its gradient at `params`.
+    ///
+    /// The returned gradient must have length [`Objective::dim`].
+    fn value_and_grad(&self, params: &[f64]) -> (f64, Vec<f64>);
+}
+
+/// Result of an optimization run.
+#[derive(Debug, Clone)]
+pub struct OptimizationResult {
+    /// The best parameter vector found.
+    pub params: Vec<f64>,
+    /// Objective value at [`OptimizationResult::params`].
+    pub value: f64,
+    /// Number of iterations performed.
+    pub iterations: usize,
+    /// Whether the gradient-norm/absolute-improvement criterion was met
+    /// before the iteration budget ran out.
+    pub converged: bool,
+    /// Loss trace (one entry per iteration), useful for diagnostics.
+    pub history: Vec<f64>,
+}
+
+/// Shared convergence options.
+#[derive(Debug, Clone)]
+pub struct StoppingCriteria {
+    /// Maximum number of iterations.
+    pub max_iterations: usize,
+    /// Stop when the absolute improvement between iterations falls below
+    /// this threshold.
+    pub tolerance: f64,
+}
+
+impl Default for StoppingCriteria {
+    fn default() -> Self {
+        StoppingCriteria {
+            max_iterations: 500,
+            tolerance: 1e-7,
+        }
+    }
+}
+
+fn validate_start<O: Objective>(objective: &O, start: &[f64]) -> Result<()> {
+    if start.len() != objective.dim() {
+        return Err(OptError::DimensionMismatch {
+            what: "initial parameters",
+            got: start.len(),
+            expected: objective.dim(),
+        });
+    }
+    Ok(())
+}
+
+/// Plain gradient descent with optional classical momentum.
+#[derive(Debug, Clone)]
+pub struct GradientDescent {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Momentum coefficient in `[0, 1)`; 0 disables momentum.
+    pub momentum: f64,
+    /// Convergence options.
+    pub stopping: StoppingCriteria,
+}
+
+impl Default for GradientDescent {
+    fn default() -> Self {
+        GradientDescent {
+            learning_rate: 0.01,
+            momentum: 0.9,
+            stopping: StoppingCriteria::default(),
+        }
+    }
+}
+
+impl GradientDescent {
+    /// Minimizes `objective` starting from `start`.
+    pub fn minimize<O: Objective>(&self, objective: &O, start: &[f64]) -> Result<OptimizationResult> {
+        if self.learning_rate <= 0.0 {
+            return Err(OptError::InvalidParameter(
+                "learning rate must be positive".to_string(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.momentum) {
+            return Err(OptError::InvalidParameter(
+                "momentum must lie in [0, 1)".to_string(),
+            ));
+        }
+        validate_start(objective, start)?;
+
+        let mut params = start.to_vec();
+        let mut velocity = vec![0.0; params.len()];
+        let mut history = Vec::with_capacity(self.stopping.max_iterations);
+        let mut prev_value = f64::INFINITY;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..self.stopping.max_iterations {
+            iterations = iter + 1;
+            let (value, grad) = objective.value_and_grad(&params);
+            if !value.is_finite() {
+                return Err(OptError::Diverged { iteration: iter });
+            }
+            history.push(value);
+            if (prev_value - value).abs() < self.stopping.tolerance {
+                converged = true;
+                break;
+            }
+            prev_value = value;
+            for ((p, v), g) in params.iter_mut().zip(velocity.iter_mut()).zip(grad.iter()) {
+                *v = self.momentum * *v - self.learning_rate * g;
+                *p += *v;
+            }
+        }
+
+        let (final_value, _) = objective.value_and_grad(&params);
+        Ok(OptimizationResult {
+            params,
+            value: final_value,
+            iterations,
+            converged,
+            history,
+        })
+    }
+}
+
+/// The Adam optimizer (Kingma & Ba, 2015).
+#[derive(Debug, Clone)]
+pub struct Adam {
+    /// Step size.
+    pub learning_rate: f64,
+    /// Exponential decay for the first-moment estimate.
+    pub beta1: f64,
+    /// Exponential decay for the second-moment estimate.
+    pub beta2: f64,
+    /// Numerical-stability constant.
+    pub epsilon: f64,
+    /// Convergence options.
+    pub stopping: StoppingCriteria,
+}
+
+impl Default for Adam {
+    fn default() -> Self {
+        Adam {
+            learning_rate: 0.05,
+            beta1: 0.9,
+            beta2: 0.999,
+            epsilon: 1e-8,
+            stopping: StoppingCriteria::default(),
+        }
+    }
+}
+
+impl Adam {
+    /// Minimizes `objective` starting from `start`.
+    pub fn minimize<O: Objective>(&self, objective: &O, start: &[f64]) -> Result<OptimizationResult> {
+        if self.learning_rate <= 0.0 {
+            return Err(OptError::InvalidParameter(
+                "learning rate must be positive".to_string(),
+            ));
+        }
+        if !(0.0..1.0).contains(&self.beta1) || !(0.0..1.0).contains(&self.beta2) {
+            return Err(OptError::InvalidParameter(
+                "beta1/beta2 must lie in [0, 1)".to_string(),
+            ));
+        }
+        validate_start(objective, start)?;
+
+        let d = start.len();
+        let mut params = start.to_vec();
+        let mut m = vec![0.0; d];
+        let mut v = vec![0.0; d];
+        let mut history = Vec::with_capacity(self.stopping.max_iterations);
+        let mut best_params = params.clone();
+        let mut best_value = f64::INFINITY;
+        let mut prev_value = f64::INFINITY;
+        let mut converged = false;
+        let mut iterations = 0;
+
+        for iter in 0..self.stopping.max_iterations {
+            iterations = iter + 1;
+            let (value, grad) = objective.value_and_grad(&params);
+            if !value.is_finite() {
+                return Err(OptError::Diverged { iteration: iter });
+            }
+            history.push(value);
+            if value < best_value {
+                best_value = value;
+                best_params.copy_from_slice(&params);
+            }
+            if (prev_value - value).abs() < self.stopping.tolerance {
+                converged = true;
+                break;
+            }
+            prev_value = value;
+
+            let t = (iter + 1) as f64;
+            let bias1 = 1.0 - self.beta1.powf(t);
+            let bias2 = 1.0 - self.beta2.powf(t);
+            for i in 0..d {
+                m[i] = self.beta1 * m[i] + (1.0 - self.beta1) * grad[i];
+                v[i] = self.beta2 * v[i] + (1.0 - self.beta2) * grad[i] * grad[i];
+                let m_hat = m[i] / bias1;
+                let v_hat = v[i] / bias2;
+                params[i] -= self.learning_rate * m_hat / (v_hat.sqrt() + self.epsilon);
+            }
+        }
+
+        // Return the best parameters seen, not necessarily the last ones.
+        let (final_value, _) = objective.value_and_grad(&best_params);
+        Ok(OptimizationResult {
+            params: best_params,
+            value: final_value,
+            iterations,
+            converged,
+            history,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// `f(x) = Σ (x_i - target_i)²`, a strictly convex bowl.
+    struct Quadratic {
+        target: Vec<f64>,
+    }
+
+    impl Objective for Quadratic {
+        fn dim(&self) -> usize {
+            self.target.len()
+        }
+        fn value_and_grad(&self, params: &[f64]) -> (f64, Vec<f64>) {
+            let mut value = 0.0;
+            let mut grad = vec![0.0; params.len()];
+            for i in 0..params.len() {
+                let d = params[i] - self.target[i];
+                value += d * d;
+                grad[i] = 2.0 * d;
+            }
+            (value, grad)
+        }
+    }
+
+    /// The Rosenbrock banana function, a classic hard non-convex test case.
+    struct Rosenbrock;
+
+    impl Objective for Rosenbrock {
+        fn dim(&self) -> usize {
+            2
+        }
+        fn value_and_grad(&self, p: &[f64]) -> (f64, Vec<f64>) {
+            let (x, y) = (p[0], p[1]);
+            let value = (1.0 - x).powi(2) + 100.0 * (y - x * x).powi(2);
+            let gx = -2.0 * (1.0 - x) - 400.0 * x * (y - x * x);
+            let gy = 200.0 * (y - x * x);
+            (value, vec![gx, gy])
+        }
+    }
+
+    #[test]
+    fn gradient_descent_solves_quadratic() {
+        let obj = Quadratic {
+            target: vec![3.0, -1.0, 0.5],
+        };
+        let gd = GradientDescent {
+            learning_rate: 0.1,
+            momentum: 0.0,
+            stopping: StoppingCriteria {
+                max_iterations: 500,
+                tolerance: 1e-12,
+            },
+        };
+        let result = gd.minimize(&obj, &[0.0, 0.0, 0.0]).unwrap();
+        assert!(result.value < 1e-6);
+        for (p, t) in result.params.iter().zip(obj.target.iter()) {
+            assert!((p - t).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn momentum_accelerates_convergence() {
+        let obj = Quadratic {
+            target: vec![5.0; 10],
+        };
+        let plain = GradientDescent {
+            learning_rate: 0.01,
+            momentum: 0.0,
+            stopping: StoppingCriteria {
+                max_iterations: 200,
+                tolerance: 0.0,
+            },
+        };
+        let with_momentum = GradientDescent {
+            learning_rate: 0.01,
+            momentum: 0.9,
+            stopping: StoppingCriteria {
+                max_iterations: 200,
+                tolerance: 0.0,
+            },
+        };
+        let start = vec![0.0; 10];
+        let a = plain.minimize(&obj, &start).unwrap();
+        let b = with_momentum.minimize(&obj, &start).unwrap();
+        assert!(b.value < a.value);
+    }
+
+    #[test]
+    fn adam_solves_quadratic_and_rosenbrock() {
+        let obj = Quadratic {
+            target: vec![2.0, -3.0],
+        };
+        let adam = Adam {
+            stopping: StoppingCriteria {
+                max_iterations: 2000,
+                tolerance: 1e-14,
+            },
+            ..Adam::default()
+        };
+        let result = adam.minimize(&obj, &[0.0, 0.0]).unwrap();
+        assert!(result.value < 1e-4);
+
+        let rosen = Adam {
+            learning_rate: 0.02,
+            stopping: StoppingCriteria {
+                max_iterations: 20_000,
+                tolerance: 0.0,
+            },
+            ..Adam::default()
+        };
+        let r = rosen.minimize(&Rosenbrock, &[-1.2, 1.0]).unwrap();
+        assert!(r.value < 1e-2, "Rosenbrock value {} too large", r.value);
+    }
+
+    #[test]
+    fn loss_history_is_recorded_and_mostly_decreasing() {
+        let obj = Quadratic {
+            target: vec![1.0, 1.0],
+        };
+        let adam = Adam::default();
+        let result = adam.minimize(&obj, &[10.0, -10.0]).unwrap();
+        assert!(!result.history.is_empty());
+        assert!(result.history.first().unwrap() > result.history.last().unwrap());
+    }
+
+    #[test]
+    fn invalid_parameters_are_rejected() {
+        let obj = Quadratic { target: vec![0.0] };
+        assert!(GradientDescent {
+            learning_rate: -1.0,
+            ..GradientDescent::default()
+        }
+        .minimize(&obj, &[0.0])
+        .is_err());
+        assert!(GradientDescent {
+            momentum: 1.5,
+            ..GradientDescent::default()
+        }
+        .minimize(&obj, &[0.0])
+        .is_err());
+        assert!(Adam {
+            learning_rate: 0.0,
+            ..Adam::default()
+        }
+        .minimize(&obj, &[0.0])
+        .is_err());
+        assert!(Adam::default().minimize(&obj, &[0.0, 0.0]).is_err());
+    }
+
+    #[test]
+    fn divergence_is_detected() {
+        struct Explodes;
+        impl Objective for Explodes {
+            fn dim(&self) -> usize {
+                1
+            }
+            fn value_and_grad(&self, _p: &[f64]) -> (f64, Vec<f64>) {
+                (f64::NAN, vec![0.0])
+            }
+        }
+        assert!(matches!(
+            Adam::default().minimize(&Explodes, &[0.0]),
+            Err(OptError::Diverged { .. })
+        ));
+    }
+}

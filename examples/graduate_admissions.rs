@@ -1,0 +1,47 @@
+//! The paper's Section 1.1 motivating scenario end-to-end: US graduate
+//! admissions where one group's SAT scores are inflated by access to test
+//! re-takes and tutoring.
+//!
+//! The example compares the Original representation against PFR across a γ
+//! sweep and shows how the pairwise fairness judgments ("a candidate from the
+//! disadvantaged group with a slightly lower SAT score is equally deserving")
+//! simultaneously improve individual fairness, group fairness *and* utility —
+//! because on this dataset the judgments agree with the ground truth.
+//!
+//! ```bash
+//! cargo run --release --example graduate_admissions
+//! ```
+
+use pfr::eval::experiments::{gamma, tradeoff};
+use pfr::eval::pipeline::DatasetSpec;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    println!("=== Graduate admissions (synthetic, Section 4.2 of the paper) ===\n");
+
+    // Method comparison at the tuned γ (Figures 2 and 3).
+    let results = tradeoff::run_tradeoff(DatasetSpec::Synthetic, false, 42)?;
+    println!("{}", results.render_tradeoff());
+    println!("{}", results.render_group_fairness());
+
+    // How the trade-off evolves with γ (Figure 4).
+    let sweep = gamma::run(DatasetSpec::Synthetic, false, 42)?;
+    println!("{}", sweep.render());
+
+    // A short narrative summary of the paper's key observations.
+    let original = results.method("Original").expect("Original always runs");
+    let pfr = results.method("PFR").expect("PFR always runs");
+    println!("Summary:");
+    println!(
+        "  PFR raises Consistency(WF) from {:.3} to {:.3} while the AUC moves from {:.3} to {:.3}.",
+        original.consistency_wf, pfr.consistency_wf, original.auc, pfr.auc
+    );
+    println!(
+        "  The demographic-parity gap shrinks from {:.3} to {:.3} and the equalized-odds gap from {:.3} to {:.3},",
+        original.group_report.demographic_parity_gap(),
+        pfr.group_report.demographic_parity_gap(),
+        original.group_report.equalized_odds_gap(),
+        pfr.group_report.equalized_odds_gap()
+    );
+    println!("  even though PFR never optimizes group fairness explicitly — the pairwise judgments do the work.");
+    Ok(())
+}

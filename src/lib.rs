@@ -1,0 +1,79 @@
+//! # pfr — Pairwise Fair Representations
+//!
+//! A complete Rust reproduction of *"Operationalizing Individual Fairness
+//! with Pairwise Fair Representations"* (Lahoti, Gummadi, Weikum — VLDB
+//! 2019).
+//!
+//! This facade crate re-exports every sub-crate of the workspace so that an
+//! application can depend on a single crate:
+//!
+//! * [`linalg`] — dense matrices, symmetric eigensolvers, decompositions.
+//! * [`graph`] — sparse graphs, k-NN similarity graphs, fairness graphs,
+//!   Laplacian algebra.
+//! * [`data`] — datasets, preprocessing, splits, the paper's three
+//!   (synthetic) benchmarks.
+//! * [`opt`] — optimizers and the downstream logistic-regression classifier.
+//! * [`core`] — the PFR and kernel-PFR models.
+//! * [`baselines`] — Original, iFair, LFR and Hardt et al. post-processing.
+//! * [`metrics`] — AUC, individual-fairness consistency, group fairness.
+//! * [`eval`] — the experiment harness that regenerates every table and
+//!   figure of the paper.
+//!
+//! ## Quick start
+//!
+//! ```
+//! use pfr::core::{Pfr, PfrConfig};
+//! use pfr::data::synthetic;
+//! use pfr::graph::{fairness, KnnGraphBuilder};
+//! use pfr::linalg::stats::Standardizer;
+//!
+//! // 1. Generate the paper's synthetic admissions data.
+//! let dataset = synthetic::generate_default(42).unwrap();
+//! let (_, x) = Standardizer::fit_transform(dataset.features()).unwrap();
+//!
+//! // 2. Build the similarity graph WX and a fairness graph WF from the
+//! //    within-group deservingness rankings.
+//! let wx = KnnGraphBuilder::new(10).build(&x).unwrap();
+//! let scores: Vec<f64> = dataset
+//!     .side_information()
+//!     .iter()
+//!     .map(|s| s.unwrap_or(0.0))
+//!     .collect();
+//! let wf = fairness::between_group_quantile_graph(dataset.groups(), &scores, 10).unwrap();
+//!
+//! // 3. Learn a pairwise fair representation.
+//! let model = Pfr::new(PfrConfig { gamma: 0.9, dim: 2, ..PfrConfig::default() })
+//!     .fit(&x, &wx, &wf)
+//!     .unwrap();
+//! let z = model.transform(&x).unwrap();
+//! assert_eq!(z.shape(), (dataset.len(), 2));
+//! ```
+//!
+//! See the `examples/` directory for end-to-end pipelines (quickstart,
+//! graduate admissions, recidivism, crime neighbourhoods) and `DESIGN.md` /
+//! `EXPERIMENTS.md` for the reproduction methodology and results.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod pipeline;
+
+pub use pfr_baselines as baselines;
+pub use pfr_core as core;
+pub use pfr_data as data;
+pub use pfr_eval as eval;
+pub use pfr_graph as graph;
+pub use pfr_linalg as linalg;
+pub use pfr_metrics as metrics;
+pub use pfr_opt as opt;
+
+/// The version of the reproduction workspace.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_exposed() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

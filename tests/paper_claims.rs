@@ -1,0 +1,118 @@
+//! Integration tests asserting the paper's *qualitative* findings using the
+//! experiment drivers (fast mode), i.e. the "shape" of the evaluation:
+//! who wins on which metric and in which direction the γ knob moves things.
+
+use pfr::eval::experiments::{gamma, representations, table1, tradeoff};
+use pfr::eval::pipeline::DatasetSpec;
+
+#[test]
+fn table1_statistics_match_the_papers_setting() {
+    let table = table1::run(true, 42).unwrap();
+    assert_eq!(table.rows.len(), 3);
+    let synthetic = &table.rows[0];
+    assert_eq!(synthetic.size_s0, synthetic.size_s1);
+    // Base rates near 0.5 on the synthetic data.
+    assert!((synthetic.base_rate_s0 - 0.5).abs() < 0.1);
+    // Crime: protected group has the much higher base rate (0.86 vs 0.35).
+    let crime = &table.rows[1];
+    assert!(crime.base_rate_s1 > 0.75);
+    assert!(crime.base_rate_s0 < 0.45);
+    // Compas: protected group base rate is higher (0.55 vs 0.41).
+    let compas = &table.rows[2];
+    assert!(compas.base_rate_s1 > compas.base_rate_s0);
+}
+
+#[test]
+fn figure1_pfr_maps_equally_deserving_individuals_closest() {
+    let fig = representations::run(true, 42).unwrap();
+    let original = fig
+        .per_method
+        .iter()
+        .find(|g| g.method == "Original")
+        .unwrap();
+    let pfr = fig.per_method.iter().find(|g| g.method == "PFR").unwrap();
+    // The paper's two observations: learned representations mix the groups,
+    // and PFR places equally deserving individuals of different groups close.
+    assert!(pfr.group_separation <= original.group_separation + 1e-9);
+    assert!(pfr.deserving_pair_distance < original.deserving_pair_distance);
+}
+
+#[test]
+fn figure2_and_3_pfr_wins_on_fairness_without_losing_utility_on_synthetic_data() {
+    let results = tradeoff::run_tradeoff(DatasetSpec::Synthetic, true, 42).unwrap();
+    let original = results.method("Original").unwrap();
+    let pfr = results.method("PFR").unwrap();
+    // Individual fairness w.r.t. WF improves markedly.
+    assert!(
+        pfr.consistency_wf > original.consistency_wf,
+        "PFR Consistency(WF) {} should beat Original {}",
+        pfr.consistency_wf,
+        original.consistency_wf
+    );
+    // Utility does not collapse (the fairness edges agree with ground truth).
+    assert!(pfr.auc >= original.auc - 0.05);
+    // Group fairness improves even though PFR does not optimize it.
+    assert!(
+        pfr.group_report.demographic_parity_gap()
+            < original.group_report.demographic_parity_gap()
+    );
+    assert!(
+        pfr.group_report.equalized_odds_gap() < original.group_report.equalized_odds_gap()
+    );
+}
+
+#[test]
+fn figure4_gamma_increases_fairness_consistency_on_synthetic_data() {
+    let sweep = gamma::run(DatasetSpec::Synthetic, true, 42).unwrap();
+    let first = sweep.rows.first().unwrap();
+    let last = sweep.rows.last().unwrap();
+    assert!(last.consistency_wf >= first.consistency_wf - 1e-9);
+    // Consistency w.r.t. WX moves the other way (or stays flat).
+    assert!(last.consistency_wx <= first.consistency_wx + 0.05);
+}
+
+#[test]
+fn figure5_6_crime_pfr_narrows_group_gaps() {
+    let results = tradeoff::run_tradeoff(DatasetSpec::Crime, true, 42).unwrap();
+    let original = results.method("Original +").unwrap();
+    let pfr = results.method("PFR").unwrap();
+    let hardt = results.method("Hardt +").unwrap();
+    // PFR narrows the equalized-odds gap relative to the Original baseline.
+    assert!(
+        pfr.group_report.equalized_odds_gap()
+            <= original.group_report.equalized_odds_gap() + 0.05
+    );
+    // Hardt post-processing reduces the equalized-odds gap, as designed.
+    assert!(
+        hardt.group_report.equalized_odds_gap()
+            <= original.group_report.equalized_odds_gap() + 0.02
+    );
+    // The utility / individual-fairness numbers are in a sane range.
+    assert!(pfr.auc > 0.55);
+    assert!(pfr.consistency_wf > 0.5);
+}
+
+#[test]
+fn figure8_9_compas_pfr_keeps_utility_and_improves_parity() {
+    let results = tradeoff::run_tradeoff(DatasetSpec::Compas, true, 42).unwrap();
+    let original = results.method("Original +").unwrap();
+    let pfr = results.method("PFR").unwrap();
+    // The paper: "PFR performs similarly as the other representation learning
+    // methods in terms of utility" — allow a modest slack.
+    assert!(pfr.auc >= original.auc - 0.08);
+    // And improves demographic parity relative to the Original baseline.
+    assert!(
+        pfr.group_report.demographic_parity_gap()
+            <= original.group_report.demographic_parity_gap() + 0.02
+    );
+}
+
+#[test]
+fn figure10_gamma_sweep_on_compas_is_monotone_in_the_expected_directions() {
+    let sweep = gamma::run(DatasetSpec::Compas, true, 42).unwrap();
+    let first = sweep.rows.first().unwrap();
+    let last = sweep.rows.last().unwrap();
+    // Consistency(WF) does not decrease; AUC does not collapse.
+    assert!(last.consistency_wf >= first.consistency_wf - 0.03);
+    assert!(last.auc_any >= first.auc_any - 0.08);
+}

@@ -1,0 +1,145 @@
+//! Property-based integration tests (proptest) on the core invariants that
+//! span multiple crates.
+
+use pfr::core::{Pfr, PfrConfig};
+use pfr::graph::{fairness, KnnGraphBuilder, LaplacianKind, SparseGraph};
+use pfr::linalg::{Eigen, Matrix};
+use pfr::metrics::{consistency, roc_auc, ConfusionMatrix};
+use proptest::prelude::*;
+
+/// Strategy: a small data matrix with values in a sane range.
+fn data_matrix(max_rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    (4..max_rows).prop_flat_map(move |rows| {
+        proptest::collection::vec(-50.0..50.0_f64, rows * cols).prop_map(move |data| {
+            Matrix::from_vec(rows, cols, data).expect("shape matches the generated buffer")
+        })
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// The symmetric eigendecomposition reconstructs the matrix and produces
+    /// orthonormal eigenvectors for arbitrary symmetric matrices.
+    #[test]
+    fn eigendecomposition_reconstructs(symmetric_seed in proptest::collection::vec(-10.0..10.0_f64, 36)) {
+        let mut a = Matrix::zeros(6, 6);
+        let mut idx = 0;
+        for i in 0..6 {
+            for j in i..6 {
+                a[(i, j)] = symmetric_seed[idx];
+                a[(j, i)] = symmetric_seed[idx];
+                idx += 1;
+            }
+        }
+        let eig = Eigen::decompose(&a).unwrap();
+        let rec = eig.reconstruct().unwrap();
+        prop_assert!(rec.sub(&a).unwrap().max_abs() < 1e-7);
+        let vtv = eig.eigenvectors.transpose_matmul(&eig.eigenvectors).unwrap();
+        prop_assert!(vtv.sub(&Matrix::identity(6)).unwrap().max_abs() < 1e-8);
+    }
+
+    /// Graph Laplacians are positive semi-definite: the smoothness loss and
+    /// the quadratic form are non-negative for any representation.
+    #[test]
+    fn laplacian_quadratic_form_is_psd(x in data_matrix(12, 3), k in 1usize..3) {
+        let k = k.min(x.rows() - 1).max(1);
+        let wx = KnnGraphBuilder::new(k).build(&x).unwrap();
+        prop_assert!(wx.smoothness_loss(&x).unwrap() >= -1e-9);
+        let q = wx.quadratic_form(&x, LaplacianKind::Unnormalized).unwrap();
+        // Diagonal of a PSD matrix is non-negative.
+        for d in q.diag() {
+            prop_assert!(d >= -1e-9);
+        }
+    }
+
+    /// PFR's projection is orthonormal and its objective is non-negative for
+    /// any data, any valid gamma and any fairness pairing.
+    #[test]
+    fn pfr_projection_is_orthonormal(
+        x in data_matrix(16, 3),
+        gamma in 0.0..=1.0_f64,
+        pair_seed in any::<u64>(),
+    ) {
+        let n = x.rows();
+        let wx = KnnGraphBuilder::new(2.min(n - 1).max(1)).build(&x).unwrap();
+        // Build a pseudo-random sparse fairness graph.
+        let mut wf = SparseGraph::new(n);
+        let mut state = pair_seed | 1;
+        for i in 0..n {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            let j = (state as usize) % n;
+            if i != j {
+                wf.add_edge(i, j, 1.0).unwrap();
+            }
+        }
+        let model = Pfr::new(PfrConfig { gamma, dim: 2, ..PfrConfig::default() })
+            .fit(&x, &wx, &wf)
+            .unwrap();
+        let v = model.projection();
+        let vtv = v.transpose_matmul(v).unwrap();
+        prop_assert!(vtv.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-8);
+        prop_assert!(model.objective() >= -1e-9);
+        // Transform stays finite.
+        let z = model.transform(&x).unwrap();
+        prop_assert!(z.as_slice().iter().all(|v| v.is_finite()));
+    }
+
+    /// Consistency is always in [0, 1] and equals 1 for constant predictions.
+    #[test]
+    fn consistency_bounds(
+        preds in proptest::collection::vec(0u8..=1, 8),
+        constant in 0u8..=1,
+    ) {
+        let n = preds.len();
+        let mut g = SparseGraph::new(n);
+        for i in 0..n - 1 {
+            g.add_edge(i, i + 1, 1.0).unwrap();
+        }
+        let as_f: Vec<f64> = preds.iter().map(|&p| p as f64).collect();
+        let c = consistency(&g, &as_f).unwrap();
+        prop_assert!((0.0..=1.0).contains(&c));
+        let constant_preds = vec![constant as f64; n];
+        prop_assert!((consistency(&g, &constant_preds).unwrap() - 1.0).abs() < 1e-12);
+    }
+
+    /// AUC is invariant under strictly monotone transformations of the score.
+    #[test]
+    fn auc_is_rank_based(scores in proptest::collection::vec(0.0..1.0_f64, 10)) {
+        let labels: Vec<u8> = (0..10).map(|i| (i % 2) as u8).collect();
+        let base = roc_auc(&labels, &scores).unwrap();
+        let transformed: Vec<f64> = scores.iter().map(|s| (3.0 * s).exp()).collect();
+        let after = roc_auc(&labels, &transformed).unwrap();
+        prop_assert!((base - after).abs() < 1e-9);
+        prop_assert!((0.0..=1.0).contains(&base));
+    }
+
+    /// Confusion-matrix counts always sum to the number of examples and the
+    /// derived rates stay in [0, 1].
+    #[test]
+    fn confusion_matrix_counts_are_consistent(
+        labels in proptest::collection::vec(0u8..=1, 1..40),
+    ) {
+        let preds: Vec<u8> = labels.iter().map(|&y| 1 - y).collect();
+        let cm = ConfusionMatrix::from_predictions(&labels, &preds).unwrap();
+        prop_assert_eq!(cm.total(), labels.len());
+        prop_assert!((0.0..=1.0).contains(&cm.accuracy()));
+        prop_assert!((0.0..=1.0).contains(&cm.positive_prediction_rate()));
+    }
+
+    /// The between-group quantile graph never links individuals of the same
+    /// group, for arbitrary group assignments and scores.
+    #[test]
+    fn quantile_graph_is_strictly_cross_group(
+        groups in proptest::collection::vec(0usize..3, 6..24),
+        quantiles in 1usize..6,
+    ) {
+        let scores: Vec<f64> = (0..groups.len()).map(|i| (i as f64 * 7.3) % 5.0).collect();
+        let g = fairness::between_group_quantile_graph(&groups, &scores, quantiles).unwrap();
+        for e in g.edges() {
+            prop_assert_ne!(groups[e.i as usize], groups[e.j as usize]);
+        }
+    }
+}
