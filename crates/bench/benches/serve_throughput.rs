@@ -1,0 +1,125 @@
+//! Serving throughput: micro-batched scoring vs. one-vector-at-a-time.
+//!
+//! Scores the same 256 request vectors through a `ServableModel` at batch
+//! sizes 1, 8 and 64. The work per vector is identical; what changes is how
+//! much per-call overhead (matrix assembly, standardize/project/classify
+//! dispatch) amortizes across a batch — the reason `pfr-serve` coalesces
+//! requests before touching the linear-algebra kernels. Besides the
+//! Criterion timings, the bench prints an explicit requests/sec comparison.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfr_core::persistence::{ClassifierSection, ModelBundle, StandardizerParams};
+use pfr_core::{Pfr, PfrConfig};
+use pfr_data::synthetic;
+use pfr_linalg::stats::Standardizer;
+use pfr_linalg::Matrix;
+use pfr_opt::LogisticRegression;
+use pfr_serve::ServableModel;
+use std::hint::black_box;
+use std::time::Instant;
+
+/// Number of request vectors scored per measured iteration.
+const TOTAL_REQUESTS: usize = 256;
+
+/// Trains a small fair pipeline on synthetic data and packages it the way a
+/// decision service would receive it.
+fn servable_model() -> (ServableModel, Vec<Vec<f64>>) {
+    let ds = synthetic::generate_default(31).expect("synthetic data generates");
+    let raw = ds.features();
+    let (standardizer, x) = Standardizer::fit_transform(raw).expect("standardization succeeds");
+    let (x_graph, wx, wf) = pfr_bench::bench_setup(&ds, 10, 5);
+    assert_eq!(x.shape(), x_graph.shape());
+    let model = Pfr::new(PfrConfig {
+        gamma: 0.5,
+        dim: 2,
+        ..PfrConfig::default()
+    })
+    .fit(&x, &wx, &wf)
+    .expect("PFR fits");
+    let z = model.transform(&x).expect("transform succeeds");
+    let mut clf = LogisticRegression::default();
+    clf.fit(&z, ds.labels()).expect("classifier fits");
+    let bundle = ModelBundle {
+        model,
+        standardizer: Some(StandardizerParams {
+            means: standardizer.means().to_vec(),
+            stds: standardizer.stds().to_vec(),
+        }),
+        classifier: Some(ClassifierSection {
+            threshold: 0.5,
+            text: clf.to_text().expect("classifier serializes"),
+        }),
+    };
+    let servable = ServableModel::from_bundle("bench@1", &bundle).expect("bundle materializes");
+    let requests: Vec<Vec<f64>> = (0..TOTAL_REQUESTS)
+        .map(|i| raw.row(i % raw.rows()).to_vec())
+        .collect();
+    (servable, requests)
+}
+
+/// Scores all request vectors in chunks of `batch_size`; returns the scores
+/// so the optimizer cannot elide the work.
+fn score_all(model: &ServableModel, requests: &[Vec<f64>], batch_size: usize) -> Vec<f64> {
+    let cols = requests[0].len();
+    let mut scores = Vec::with_capacity(requests.len());
+    for chunk in requests.chunks(batch_size) {
+        let mut data = Vec::with_capacity(chunk.len() * cols);
+        for r in chunk {
+            data.extend_from_slice(r);
+        }
+        let batch = Matrix::from_vec(chunk.len(), cols, data).expect("chunk forms a matrix");
+        scores.extend(model.score_batch(&batch).expect("scoring succeeds"));
+    }
+    scores
+}
+
+fn bench_batched_scoring(c: &mut Criterion) {
+    let (model, requests) = servable_model();
+
+    // Sanity: batching must not change a single bit of any score.
+    let unbatched = score_all(&model, &requests, 1);
+    for &b in &[8usize, 64] {
+        let batched = score_all(&model, &requests, b);
+        assert_eq!(unbatched.len(), batched.len());
+        for (a, z) in unbatched.iter().zip(batched.iter()) {
+            assert_eq!(a.to_bits(), z.to_bits(), "batch size {b} changed a score");
+        }
+    }
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(20);
+    for &batch_size in &[1usize, 8, 64] {
+        group.bench_with_input(
+            BenchmarkId::new("score_256_requests", batch_size),
+            &batch_size,
+            |bench, &batch_size| {
+                bench.iter(|| score_all(black_box(&model), black_box(&requests), batch_size))
+            },
+        );
+    }
+    group.finish();
+
+    // Explicit requests/sec comparison (the acceptance check for batching).
+    println!("serve_throughput: requests/sec by batch size over {TOTAL_REQUESTS} requests");
+    let mut rps = Vec::new();
+    for &batch_size in &[1usize, 8, 64] {
+        let reps = 20;
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(score_all(&model, &requests, batch_size));
+        }
+        let elapsed = start.elapsed();
+        let requests_per_sec = (reps * TOTAL_REQUESTS) as f64 / elapsed.as_secs_f64();
+        println!("  B={batch_size:>2}: {requests_per_sec:>12.0} req/s");
+        rps.push((batch_size, requests_per_sec));
+    }
+    let b1 = rps.iter().find(|(b, _)| *b == 1).expect("B=1 measured").1;
+    let b64 = rps.iter().find(|(b, _)| *b == 64).expect("B=64 measured").1;
+    println!(
+        "  batched (B=64) is {:.2}x the unbatched (B=1) throughput",
+        b64 / b1
+    );
+}
+
+criterion_group!(serve_throughput, bench_batched_scoring);
+criterion_main!(serve_throughput);

@@ -145,6 +145,219 @@ pub fn from_string(text: &str) -> Result<PfrModel> {
     Ok(PfrModel::from_parts(config, projection, eigenvalues))
 }
 
+/// Magic tag identifying the bundle serialization format.
+const BUNDLE_TAG: &str = "pfr-bundle-v1";
+
+/// Per-column standardization statistics shipped with a bundle, so a serving
+/// process can map raw attribute vectors into the space the projection was
+/// learned in.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StandardizerParams {
+    /// Per-column means subtracted before projecting.
+    pub means: Vec<f64>,
+    /// Per-column standard deviations divided out before projecting.
+    pub stds: Vec<f64>,
+}
+
+/// The downstream classifier section of a bundle.
+///
+/// The classifier text is treated as an opaque payload here (it is written
+/// and parsed by `pfr-opt`, which this crate deliberately does not depend
+/// on); the decision threshold travels alongside it because the bundle, not
+/// the classifier, owns the deployment decision rule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ClassifierSection {
+    /// Probability threshold for hard decisions.
+    pub threshold: f64,
+    /// Serialized classifier (e.g. `pfr-opt`'s `pfr-logreg-v1` format).
+    pub text: String,
+}
+
+/// A deployable model bundle: the PFR projection plus (optionally) the
+/// standardizer statistics and the downstream classifier weights, i.e.
+/// everything a decision service needs to score raw attribute vectors.
+#[derive(Debug, Clone)]
+pub struct ModelBundle {
+    /// The fitted PFR projection.
+    pub model: PfrModel,
+    /// Standardization statistics fitted on the training split.
+    pub standardizer: Option<StandardizerParams>,
+    /// Serialized downstream classifier and its decision threshold.
+    pub classifier: Option<ClassifierSection>,
+}
+
+impl ModelBundle {
+    /// A bundle holding only the projection.
+    pub fn from_model(model: PfrModel) -> Self {
+        ModelBundle {
+            model,
+            standardizer: None,
+            classifier: None,
+        }
+    }
+}
+
+/// Serializes a bundle to the textual format: the `pfr-linear-v1` model text
+/// wrapped in `@`-framed sections, one per component.
+pub fn bundle_to_string(bundle: &ModelBundle) -> String {
+    let mut out = format!("{BUNDLE_TAG}\n@model\n");
+    out.push_str(&to_string(&bundle.model));
+    if let Some(std) = &bundle.standardizer {
+        out.push_str("@standardizer\n");
+        let join = |v: &[f64]| {
+            v.iter()
+                .map(|x| format!("{x}"))
+                .collect::<Vec<_>>()
+                .join(" ")
+        };
+        out.push_str(&format!("means {}\n", join(&std.means)));
+        out.push_str(&format!("stds {}\n", join(&std.stds)));
+    }
+    if let Some(clf) = &bundle.classifier {
+        out.push_str(&format!("@classifier threshold={}\n", clf.threshold));
+        out.push_str(&clf.text);
+        if !clf.text.ends_with('\n') {
+            out.push('\n');
+        }
+    }
+    out.push_str("@end\n");
+    out
+}
+
+/// Reconstructs a bundle from the textual format.
+pub fn bundle_from_string(text: &str) -> Result<ModelBundle> {
+    let bad = |msg: String| PfrError::InvalidConfig(msg);
+    let mut lines = text.lines().filter(|l| !l.trim().is_empty()).peekable();
+    let header = lines.next().ok_or_else(|| bad("empty bundle".to_string()))?;
+    if header.split_whitespace().next() != Some(BUNDLE_TAG) {
+        return Err(bad(format!(
+            "unknown bundle format '{header}', expected '{BUNDLE_TAG}'"
+        )));
+    }
+
+    let mut model = None;
+    let mut standardizer = None;
+    let mut classifier = None;
+    let mut saw_end = false;
+    while let Some(marker) = lines.next() {
+        let mut section_lines = Vec::new();
+        while let Some(l) = lines.peek() {
+            if l.trim_start().starts_with('@') {
+                break;
+            }
+            section_lines.push(*l);
+            lines.next();
+        }
+        let mut marker_parts = marker.split_whitespace();
+        match marker_parts.next() {
+            Some("@model") => {
+                if model.is_some() {
+                    return Err(bad("duplicate '@model' section".to_string()));
+                }
+                model = Some(from_string(&section_lines.join("\n"))?);
+            }
+            Some("@standardizer") => {
+                if standardizer.is_some() {
+                    return Err(bad("duplicate '@standardizer' section".to_string()));
+                }
+                let parse_row = |line: Option<&&str>, what: &str| -> Result<Vec<f64>> {
+                    let line =
+                        line.ok_or_else(|| bad(format!("standardizer misses '{what}' line")))?;
+                    let mut parts = line.split_whitespace();
+                    if parts.next() != Some(what) {
+                        return Err(bad(format!("standardizer line must start with '{what}'")));
+                    }
+                    parts
+                        .map(|v| {
+                            v.parse::<f64>()
+                                .map_err(|_| bad(format!("bad standardizer entry '{v}'")))
+                        })
+                        .collect()
+                };
+                let means = parse_row(section_lines.first(), "means")?;
+                let stds = parse_row(section_lines.get(1), "stds")?;
+                if means.len() != stds.len() {
+                    return Err(bad(format!(
+                        "{} means but {} standard deviations",
+                        means.len(),
+                        stds.len()
+                    )));
+                }
+                standardizer = Some(StandardizerParams { means, stds });
+            }
+            Some("@classifier") => {
+                if classifier.is_some() {
+                    return Err(bad("duplicate '@classifier' section".to_string()));
+                }
+                let mut threshold = 0.5;
+                for kv in marker_parts.by_ref() {
+                    let (key, value) = kv
+                        .split_once('=')
+                        .ok_or_else(|| bad(format!("malformed classifier entry '{kv}'")))?;
+                    match key {
+                        "threshold" => {
+                            threshold = value
+                                .parse::<f64>()
+                                .map_err(|_| bad(format!("bad threshold '{value}'")))?
+                        }
+                        other => {
+                            return Err(bad(format!("unknown classifier key '{other}'")));
+                        }
+                    }
+                }
+                // Normalize to a trailing newline so serialization is
+                // canonical regardless of how the payload was produced.
+                classifier = Some(ClassifierSection {
+                    threshold,
+                    text: section_lines.join("\n") + "\n",
+                });
+            }
+            Some("@end") => {
+                saw_end = true;
+                // Nothing may follow the end marker — not even another
+                // '@'-framed section (e.g. two bundles concatenated by a
+                // botched ops script must not half-parse).
+                if !section_lines.is_empty() || lines.next().is_some() {
+                    return Err(bad("content after '@end'".to_string()));
+                }
+                break;
+            }
+            _ => return Err(bad(format!("unknown bundle section '{marker}'"))),
+        }
+    }
+    if !saw_end {
+        return Err(bad("bundle is truncated (missing '@end')".to_string()));
+    }
+    let model = model.ok_or_else(|| bad("bundle has no '@model' section".to_string()))?;
+    if let Some(std) = &standardizer {
+        if std.means.len() != model.num_features() {
+            return Err(bad(format!(
+                "standardizer covers {} columns but the projection expects {}",
+                std.means.len(),
+                model.num_features()
+            )));
+        }
+    }
+    Ok(ModelBundle {
+        model,
+        standardizer,
+        classifier,
+    })
+}
+
+/// Writes a bundle to a file.
+pub fn save_bundle(bundle: &ModelBundle, path: &Path) -> Result<()> {
+    std::fs::write(path, bundle_to_string(bundle))
+        .map_err(|e| PfrError::InvalidConfig(format!("cannot write bundle file: {e}")))
+}
+
+/// Reads a bundle from a file.
+pub fn load_bundle(path: &Path) -> Result<ModelBundle> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| PfrError::InvalidConfig(format!("cannot read bundle file: {e}")))?;
+    bundle_from_string(&text)
+}
+
 /// Writes a fitted model to a file.
 pub fn save(model: &PfrModel, path: &Path) -> Result<()> {
     std::fs::write(path, to_string(model))
@@ -226,6 +439,86 @@ mod tests {
             "pfr-linear-v1 gamma=0.5 dim=1 features=2 bogus=1\neigenvalues 0.1\n1.0\n0.0\n"
         )
         .is_err());
+    }
+
+    fn fitted_bundle() -> (ModelBundle, Matrix) {
+        let (model, x) = fitted_model();
+        let bundle = ModelBundle {
+            model,
+            standardizer: Some(StandardizerParams {
+                means: vec![2.0, 1.5, 0.5],
+                stds: vec![1.0, 2.0, 0.25],
+            }),
+            classifier: Some(ClassifierSection {
+                threshold: 0.625,
+                text: "pfr-logreg-v1 intercept=0.5 features=2\nweights -0.25 1.75\n".to_string(),
+            }),
+        };
+        (bundle, x)
+    }
+
+    #[test]
+    fn bundle_round_trips_through_string_with_identical_transforms() {
+        let (bundle, x) = fitted_bundle();
+        let text = bundle_to_string(&bundle);
+        let restored = bundle_from_string(&text).unwrap();
+        assert_eq!(restored.standardizer, bundle.standardizer);
+        assert_eq!(restored.classifier, bundle.classifier);
+        let a = bundle.model.transform(&x).unwrap();
+        let b = restored.model.transform(&x).unwrap();
+        assert!(a.sub(&b).unwrap().max_abs() == 0.0);
+        // A second round trip is byte-identical (the format is canonical).
+        assert_eq!(bundle_to_string(&restored), text);
+    }
+
+    #[test]
+    fn bundle_with_only_a_model_round_trips() {
+        let (model, x) = fitted_model();
+        let bundle = ModelBundle::from_model(model);
+        let restored = bundle_from_string(&bundle_to_string(&bundle)).unwrap();
+        assert!(restored.standardizer.is_none());
+        assert!(restored.classifier.is_none());
+        let a = bundle.model.transform(&x).unwrap();
+        let b = restored.model.transform(&x).unwrap();
+        assert!(a.sub(&b).unwrap().max_abs() == 0.0);
+    }
+
+    #[test]
+    fn bundle_round_trips_through_a_file() {
+        let (bundle, _) = fitted_bundle();
+        let path = std::env::temp_dir().join("pfr_bundle_roundtrip.txt");
+        save_bundle(&bundle, &path).unwrap();
+        let restored = load_bundle(&path).unwrap();
+        assert_eq!(restored.classifier, bundle.classifier);
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn bundle_rejects_corrupted_input() {
+        let (bundle, _) = fitted_bundle();
+        let text = bundle_to_string(&bundle);
+        // Corrupted top-level header.
+        assert!(bundle_from_string(&text.replace(super::BUNDLE_TAG, "pfr-bundle-v9")).is_err());
+        // Corrupted inner model header.
+        assert!(bundle_from_string(&text.replace("pfr-linear-v1", "pfr-linear-v9")).is_err());
+        // Unknown section marker.
+        assert!(bundle_from_string(&text.replace("@standardizer", "@nonsense")).is_err());
+        // Truncation (no @end).
+        let truncated = text.replace("@end\n", "");
+        assert!(bundle_from_string(&truncated).is_err());
+        // Mismatched standardizer width.
+        assert!(bundle_from_string(&text.replace(
+            "means 2 1.5 0.5",
+            "means 2 1.5"
+        ))
+        .is_err());
+        // Empty input.
+        assert!(bundle_from_string("").is_err());
+        // Two bundles concatenated (duplicate sections / content after @end).
+        let doubled = format!("{text}{text}");
+        assert!(bundle_from_string(&doubled).is_err());
+        let dup_model = text.replace("@end\n", "") + &bundle_to_string(&bundle);
+        assert!(bundle_from_string(&dup_model).is_err());
     }
 
     #[test]

@@ -69,6 +69,34 @@ impl Standardizer {
         Ok((s, t))
     }
 
+    /// Reassembles a standardizer from previously fitted means and standard
+    /// deviations (e.g. read back from a persisted model bundle).
+    pub fn from_parts(means: Vec<f64>, stds: Vec<f64>) -> Result<Self> {
+        if means.len() != stds.len() {
+            return Err(LinalgError::InvalidArgument(format!(
+                "{} means but {} standard deviations",
+                means.len(),
+                stds.len()
+            )));
+        }
+        if means.is_empty() {
+            return Err(LinalgError::InvalidArgument(
+                "standardizer needs at least one column".to_string(),
+            ));
+        }
+        if stds.iter().any(|s| *s <= 0.0 || !s.is_finite()) {
+            return Err(LinalgError::InvalidArgument(
+                "standard deviations must be finite and positive".to_string(),
+            ));
+        }
+        if means.iter().any(|m| !m.is_finite()) {
+            return Err(LinalgError::InvalidArgument(
+                "means must be finite".to_string(),
+            ));
+        }
+        Ok(Standardizer { means, stds })
+    }
+
     /// The fitted per-column means.
     pub fn means(&self) -> &[f64] {
         &self.means
@@ -268,6 +296,23 @@ mod tests {
         let x = Matrix::from_rows(&[vec![5.0, 1.0], vec![5.0, 2.0], vec![5.0, 3.0]]).unwrap();
         let (_, z) = Standardizer::fit_transform(&x).unwrap();
         assert!(z.col(0).iter().all(|&v| v.abs() < 1e-12));
+    }
+
+    #[test]
+    fn standardizer_from_parts_round_trips_and_validates() {
+        let x = sample_matrix();
+        let fitted = Standardizer::fit(&x).unwrap();
+        let rebuilt =
+            Standardizer::from_parts(fitted.means().to_vec(), fitted.stds().to_vec()).unwrap();
+        let a = fitted.transform(&x).unwrap();
+        let b = rebuilt.transform(&x).unwrap();
+        assert!(a.sub(&b).unwrap().max_abs() == 0.0);
+        assert!(Standardizer::from_parts(vec![0.0], vec![1.0, 1.0]).is_err());
+        assert!(Standardizer::from_parts(vec![], vec![]).is_err());
+        assert!(Standardizer::from_parts(vec![0.0], vec![0.0]).is_err());
+        assert!(Standardizer::from_parts(vec![0.0], vec![f64::NAN]).is_err());
+        assert!(Standardizer::from_parts(vec![f64::INFINITY], vec![1.0]).is_err());
+        assert!(Standardizer::from_parts(vec![f64::NAN], vec![1.0]).is_err());
     }
 
     #[test]

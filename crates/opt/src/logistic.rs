@@ -53,6 +53,9 @@ impl Default for LogisticRegression {
     }
 }
 
+/// Magic tag identifying the classifier serialization format.
+const FORMAT_TAG: &str = "pfr-logreg-v1";
+
 impl LogisticRegression {
     /// Creates an unfitted classifier with the given configuration.
     pub fn new(config: LogisticRegressionConfig) -> Self {
@@ -62,6 +65,127 @@ impl LogisticRegression {
             intercept: 0.0,
             iterations_run: 0,
         }
+    }
+
+    /// Reassembles a fitted classifier from its weights and intercept, as
+    /// produced by [`LogisticRegression::weights`] /
+    /// [`LogisticRegression::intercept`] — the deserialization counterpart
+    /// used by model bundles and the serving layer.
+    pub fn from_parts(
+        config: LogisticRegressionConfig,
+        weights: Vec<f64>,
+        intercept: f64,
+    ) -> Result<Self> {
+        if weights.is_empty() {
+            return Err(OptError::InvalidParameter(
+                "a fitted classifier needs at least one weight".to_string(),
+            ));
+        }
+        if weights.iter().any(|w| !w.is_finite()) || !intercept.is_finite() {
+            return Err(OptError::InvalidParameter(
+                "classifier parameters must be finite".to_string(),
+            ));
+        }
+        Ok(LogisticRegression {
+            config,
+            weights: Some(weights),
+            intercept,
+            iterations_run: 0,
+        })
+    }
+
+    /// Serializes a fitted classifier to a compact, human-readable text
+    /// format (one header line, one weight line). Errors if called before
+    /// `fit`.
+    pub fn to_text(&self) -> Result<String> {
+        let weights = self.weights.as_ref().ok_or(OptError::NotFitted)?;
+        let mut out = format!(
+            "{FORMAT_TAG} l2={} intercept={} fit_intercept={} features={}\n",
+            self.config.l2,
+            self.intercept,
+            self.config.fit_intercept,
+            weights.len(),
+        );
+        out.push_str("weights");
+        for w in weights {
+            out.push_str(&format!(" {w}"));
+        }
+        out.push('\n');
+        Ok(out)
+    }
+
+    /// Reconstructs a fitted classifier from the textual format produced by
+    /// [`LogisticRegression::to_text`].
+    pub fn from_text(text: &str) -> Result<Self> {
+        let bad = |msg: String| OptError::InvalidParameter(msg);
+        let mut lines = text.lines().filter(|l| !l.trim().is_empty());
+        let header = lines
+            .next()
+            .ok_or_else(|| bad("empty classifier text".to_string()))?;
+        let mut parts = header.split_whitespace();
+        let tag = parts.next().unwrap_or_default();
+        if tag != FORMAT_TAG {
+            return Err(bad(format!(
+                "unknown classifier format '{tag}', expected '{FORMAT_TAG}'"
+            )));
+        }
+        let mut config = LogisticRegressionConfig::default();
+        let mut intercept = None;
+        let mut features = None;
+        for kv in parts {
+            let (key, value) = kv
+                .split_once('=')
+                .ok_or_else(|| bad(format!("malformed header entry '{kv}'")))?;
+            match key {
+                "l2" => {
+                    config.l2 = value
+                        .parse::<f64>()
+                        .map_err(|_| bad(format!("bad l2 '{value}'")))?
+                }
+                "intercept" => {
+                    intercept = Some(
+                        value
+                            .parse::<f64>()
+                            .map_err(|_| bad(format!("bad intercept '{value}'")))?,
+                    )
+                }
+                "fit_intercept" => {
+                    config.fit_intercept = value
+                        .parse::<bool>()
+                        .map_err(|_| bad(format!("bad fit_intercept '{value}'")))?
+                }
+                "features" => {
+                    features = Some(
+                        value
+                            .parse::<usize>()
+                            .map_err(|_| bad(format!("bad feature count '{value}'")))?,
+                    )
+                }
+                other => return Err(bad(format!("unknown header key '{other}'"))),
+            }
+        }
+        let intercept = intercept.ok_or_else(|| bad("missing intercept".to_string()))?;
+        let features = features.ok_or_else(|| bad("missing feature count".to_string()))?;
+        let weight_line = lines
+            .next()
+            .ok_or_else(|| bad("missing weight line".to_string()))?;
+        let mut weight_parts = weight_line.split_whitespace();
+        if weight_parts.next() != Some("weights") {
+            return Err(bad("second line must start with 'weights'".to_string()));
+        }
+        let weights: Vec<f64> = weight_parts
+            .map(|v| {
+                v.parse::<f64>()
+                    .map_err(|_| bad(format!("bad weight '{v}'")))
+            })
+            .collect::<Result<Vec<f64>>>()?;
+        if weights.len() != features {
+            return Err(bad(format!(
+                "expected {features} weights, found {}",
+                weights.len()
+            )));
+        }
+        Self::from_parts(config, weights, intercept)
     }
 
     /// Fits the classifier on `x` (one row per example) and binary labels.
@@ -358,6 +482,43 @@ mod tests {
             vals.iter().sum::<f64>() / vals.len() as f64
         };
         assert!(mean_of(1) > mean_of(0));
+    }
+
+    #[test]
+    fn text_round_trip_preserves_predictions_exactly() {
+        let (x, y) = separable_data();
+        let mut model = LogisticRegression::default();
+        model.fit(&x, &y).unwrap();
+        let text = model.to_text().unwrap();
+        let restored = LogisticRegression::from_text(&text).unwrap();
+        let a = model.predict_proba(&x).unwrap();
+        let b = restored.predict_proba(&x).unwrap();
+        assert_eq!(a, b, "decimal round-trip must reproduce scores bitwise");
+        assert_eq!(restored.weights().unwrap(), model.weights().unwrap());
+        assert_eq!(restored.intercept(), model.intercept());
+    }
+
+    #[test]
+    fn from_text_rejects_malformed_input() {
+        assert!(LogisticRegression::from_text("").is_err());
+        assert!(LogisticRegression::from_text("other-tag intercept=0 features=1\nweights 1\n").is_err());
+        assert!(LogisticRegression::from_text("pfr-logreg-v1 features=1\nweights 1\n").is_err());
+        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=2\nweights 1\n").is_err());
+        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=1\nbogus 1\n").is_err());
+        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=1 evil=1\nweights 1\n").is_err());
+        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=nan features=1\nweights 1\n").is_err());
+        assert!(LogisticRegression::default().to_text().is_err());
+    }
+
+    #[test]
+    fn from_parts_validates_inputs() {
+        let cfg = LogisticRegressionConfig::default();
+        assert!(LogisticRegression::from_parts(cfg.clone(), vec![], 0.0).is_err());
+        assert!(LogisticRegression::from_parts(cfg.clone(), vec![f64::INFINITY], 0.0).is_err());
+        assert!(LogisticRegression::from_parts(cfg.clone(), vec![1.0], f64::NAN).is_err());
+        let ok = LogisticRegression::from_parts(cfg, vec![1.0, -2.0], 0.5).unwrap();
+        assert_eq!(ok.weights().unwrap(), &[1.0, -2.0]);
+        assert_eq!(ok.intercept(), 0.5);
     }
 
     #[test]

@@ -1,0 +1,256 @@
+//! A loaded, immutable, ready-to-score model: the serving-side counterpart
+//! of a persisted [`ModelBundle`].
+//!
+//! A [`ServableModel`] owns the standardizer statistics, the PFR projection
+//! and the downstream classifier, and exposes *batch* entry points only: a
+//! batch of `B` raw attribute vectors goes through standardization, the
+//! `B x m · m x d` projection and the classifier as three dense passes, which
+//! is exactly the shape `pfr_linalg`'s row-major kernels are fastest at. The
+//! micro-batcher (`crate::batcher`) exists to feed this interface.
+
+use crate::error::ServeError;
+use crate::Result;
+use pfr_core::persistence::ModelBundle;
+use pfr_core::PfrModel;
+use pfr_linalg::stats::Standardizer;
+use pfr_linalg::Matrix;
+use pfr_opt::LogisticRegression;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Global source of unique model generation numbers. Score-cache keys embed
+/// the generation, so hot-swapping a model under the same name implicitly
+/// invalidates every cached score of the old generation.
+static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
+
+/// An immutable, fully materialized model ready to score attribute vectors.
+#[derive(Debug)]
+pub struct ServableModel {
+    version: String,
+    generation: u64,
+    standardizer: Option<Standardizer>,
+    model: PfrModel,
+    classifier: Option<LogisticRegression>,
+    threshold: f64,
+}
+
+impl ServableModel {
+    /// Materializes a persisted bundle under a human-readable version label.
+    ///
+    /// The standardizer and classifier sections are optional in the bundle
+    /// format; scoring requires the classifier, transforming does not.
+    pub fn from_bundle(version: impl Into<String>, bundle: &ModelBundle) -> Result<Self> {
+        let standardizer = match &bundle.standardizer {
+            Some(s) => Some(
+                Standardizer::from_parts(s.means.clone(), s.stds.clone())
+                    .map_err(ServeError::model)?,
+            ),
+            None => None,
+        };
+        let (classifier, threshold) = match &bundle.classifier {
+            Some(c) => (
+                Some(LogisticRegression::from_text(&c.text).map_err(ServeError::model)?),
+                c.threshold,
+            ),
+            None => (None, 0.5),
+        };
+        if let Some(clf) = &classifier {
+            let clf_features = clf
+                .weights()
+                .expect("from_text always produces a fitted classifier")
+                .len();
+            if clf_features != bundle.model.dim() {
+                return Err(ServeError::Model(format!(
+                    "classifier expects {clf_features} features but the projection produces {}",
+                    bundle.model.dim()
+                )));
+            }
+        }
+        Ok(ServableModel {
+            version: version.into(),
+            generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            standardizer,
+            model: bundle.model.clone(),
+            classifier,
+            threshold,
+        })
+    }
+
+    /// The version label this model was registered under.
+    pub fn version(&self) -> &str {
+        &self.version
+    }
+
+    /// Rewrites the version label (used by the registry, which only knows
+    /// the final `name@generation` label after construction).
+    pub(crate) fn set_version(&mut self, version: String) {
+        self.version = version;
+    }
+
+    /// The process-unique generation number (cache-key component).
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
+    /// Number of raw input features a request vector must carry.
+    pub fn num_features(&self) -> usize {
+        self.model.num_features()
+    }
+
+    /// Dimensionality of the fair representation.
+    pub fn dim(&self) -> usize {
+        self.model.dim()
+    }
+
+    /// The decision threshold shipped with the bundle.
+    pub fn threshold(&self) -> f64 {
+        self.threshold
+    }
+
+    /// Whether this model can produce scores (has a classifier).
+    pub fn can_score(&self) -> bool {
+        self.classifier.is_some()
+    }
+
+    /// Embeds a batch of raw attribute vectors (one per row) into the fair
+    /// representation: standardize, then project in one dense pass.
+    pub fn transform_batch(&self, x: &Matrix) -> Result<Matrix> {
+        if x.cols() != self.num_features() {
+            return Err(ServeError::Model(format!(
+                "request vectors have {} features but the model expects {}",
+                x.cols(),
+                self.num_features()
+            )));
+        }
+        let standardized;
+        let input = match &self.standardizer {
+            Some(s) => {
+                standardized = s.transform(x).map_err(ServeError::model)?;
+                &standardized
+            }
+            None => x,
+        };
+        self.model.transform(input).map_err(ServeError::model)
+    }
+
+    /// Scores a batch of raw attribute vectors: probability of the positive
+    /// class per row, via one standardize + project + classify pass.
+    pub fn score_batch(&self, x: &Matrix) -> Result<Vec<f64>> {
+        let classifier = self.classifier.as_ref().ok_or_else(|| {
+            ServeError::Model(format!(
+                "model '{}' carries no classifier and cannot score",
+                self.version
+            ))
+        })?;
+        let z = self.transform_batch(x)?;
+        classifier.predict_proba(&z).map_err(ServeError::model)
+    }
+
+    /// Scores a single raw attribute vector.
+    pub fn score_one(&self, features: &[f64]) -> Result<f64> {
+        let x = Matrix::from_vec(1, features.len(), features.to_vec())
+            .map_err(ServeError::model)?;
+        Ok(self.score_batch(&x)?[0])
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests {
+    use super::*;
+    use pfr_core::persistence::{ClassifierSection, StandardizerParams};
+    use pfr_core::{Pfr, PfrConfig};
+    use pfr_graph::{KnnGraphBuilder, SparseGraph};
+
+    pub(crate) fn toy_bundle() -> (ModelBundle, Matrix) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.1, 1.0],
+            vec![0.5, 0.4, 0.0],
+            vec![1.0, 0.9, 1.0],
+            vec![5.0, 5.1, 0.0],
+            vec![5.5, 5.4, 1.0],
+            vec![6.0, 5.9, 0.0],
+        ])
+        .unwrap();
+        let wx = KnnGraphBuilder::new(2).build(&x).unwrap();
+        let mut wf = SparseGraph::new(6);
+        wf.add_edge(0, 3, 1.0).unwrap();
+        wf.add_edge(2, 5, 1.0).unwrap();
+        let model = Pfr::new(PfrConfig {
+            gamma: 0.6,
+            dim: 2,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let bundle = ModelBundle {
+            model,
+            standardizer: Some(StandardizerParams {
+                means: vec![3.0, 3.0, 0.5],
+                stds: vec![2.5, 2.5, 0.5],
+            }),
+            classifier: Some(ClassifierSection {
+                threshold: 0.5,
+                text: "pfr-logreg-v1 intercept=0.25 features=2\nweights 1.5 -0.75\n".to_string(),
+            }),
+        };
+        (bundle, x)
+    }
+
+    #[test]
+    fn batch_scores_match_single_vector_scores_bitwise() {
+        let (bundle, x) = toy_bundle();
+        let model = ServableModel::from_bundle("toy@1", &bundle).unwrap();
+        let batch = model.score_batch(&x).unwrap();
+        for (i, batched) in batch.iter().enumerate() {
+            let single = model.score_one(x.row(i)).unwrap();
+            assert_eq!(single.to_bits(), batched.to_bits(), "row {i}");
+        }
+    }
+
+    #[test]
+    fn transform_batch_matches_offline_standardize_then_project() {
+        let (bundle, x) = toy_bundle();
+        let servable = ServableModel::from_bundle("toy@1", &bundle).unwrap();
+        let z = servable.transform_batch(&x).unwrap();
+        let std = bundle.standardizer.as_ref().unwrap();
+        let offline_standardizer =
+            Standardizer::from_parts(std.means.clone(), std.stds.clone()).unwrap();
+        let expected = bundle
+            .model
+            .transform(&offline_standardizer.transform(&x).unwrap())
+            .unwrap();
+        assert!(z.sub(&expected).unwrap().max_abs() == 0.0);
+        assert_eq!(z.shape(), (x.rows(), servable.dim()));
+    }
+
+    #[test]
+    fn rejects_wrong_feature_count_and_missing_classifier() {
+        let (mut bundle, _) = toy_bundle();
+        let model = ServableModel::from_bundle("toy@1", &bundle).unwrap();
+        assert!(model.score_one(&[1.0, 2.0]).is_err());
+        bundle.classifier = None;
+        let projector = ServableModel::from_bundle("toy@2", &bundle).unwrap();
+        assert!(!projector.can_score());
+        assert!(projector.score_one(&[1.0, 2.0, 3.0]).is_err());
+        assert!(projector
+            .transform_batch(&Matrix::zeros(2, 3))
+            .is_ok());
+    }
+
+    #[test]
+    fn rejects_classifier_projection_dimension_mismatch() {
+        let (mut bundle, _) = toy_bundle();
+        bundle.classifier = Some(ClassifierSection {
+            threshold: 0.5,
+            text: "pfr-logreg-v1 intercept=0 features=3\nweights 1 2 3\n".to_string(),
+        });
+        assert!(ServableModel::from_bundle("toy@bad", &bundle).is_err());
+    }
+
+    #[test]
+    fn generations_are_unique_and_monotonic() {
+        let (bundle, _) = toy_bundle();
+        let a = ServableModel::from_bundle("toy@1", &bundle).unwrap();
+        let b = ServableModel::from_bundle("toy@2", &bundle).unwrap();
+        assert!(b.generation() > a.generation());
+    }
+}

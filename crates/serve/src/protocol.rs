@@ -1,0 +1,207 @@
+//! The line-delimited text protocol spoken over TCP.
+//!
+//! One request per line, one response line per request:
+//!
+//! ```text
+//! LOAD <name> <path>            -> OK loaded <name>@<gen> features=<m> dim=<d>
+//! SCORE <name> v1 v2 ... vm     -> OK <probability> <hard-label>
+//! TRANSFORM <name> v1 ... vm    -> OK z1 z2 ... zd
+//! STATS                         -> OK key=value key=value ...
+//! QUIT                          -> OK bye (server closes the connection)
+//! anything else                 -> ERR <message>
+//! ```
+//!
+//! Numbers are rendered with Rust's shortest-round-trip `{}` formatting, so
+//! an `f64` survives the text protocol bit-exactly — the end-to-end tests
+//! rely on scores being *bitwise* equal to offline inference.
+
+use crate::error::ServeError;
+use crate::Result;
+
+/// A parsed request line.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Request {
+    /// Load (or hot-swap) the bundle file at `path` under `name`.
+    Load {
+        /// Registry name to serve the model under.
+        name: String,
+        /// Filesystem path of the serialized bundle.
+        path: String,
+    },
+    /// Score one raw attribute vector with the named model.
+    Score {
+        /// Registry name of the model.
+        name: String,
+        /// The raw attribute vector.
+        features: Vec<f64>,
+    },
+    /// Embed one raw attribute vector with the named model.
+    Transform {
+        /// Registry name of the model.
+        name: String,
+        /// The raw attribute vector.
+        features: Vec<f64>,
+    },
+    /// Report serving statistics.
+    Stats,
+    /// Close the connection.
+    Quit,
+}
+
+/// Parses one request line.
+pub fn parse_request(line: &str) -> Result<Request> {
+    let mut parts = Vec::new();
+    let mut words = line.split_whitespace();
+    let verb = words
+        .next()
+        .ok_or_else(|| ServeError::Protocol("empty request line".to_string()))?
+        .to_ascii_uppercase();
+    parts.extend(words);
+    match verb.as_str() {
+        "LOAD" => {
+            if parts.len() != 2 {
+                return Err(ServeError::Protocol(
+                    "usage: LOAD <name> <path>".to_string(),
+                ));
+            }
+            Ok(Request::Load {
+                name: parts[0].to_string(),
+                path: parts[1].to_string(),
+            })
+        }
+        "SCORE" | "TRANSFORM" => {
+            if parts.len() < 2 {
+                return Err(ServeError::Protocol(format!(
+                    "usage: {verb} <name> <v1> ... <vm>"
+                )));
+            }
+            let name = parts[0].to_string();
+            let features = parts[1..]
+                .iter()
+                .map(|v| {
+                    v.parse::<f64>().map_err(|_| {
+                        ServeError::Protocol(format!("'{v}' is not a number"))
+                    })
+                })
+                .collect::<Result<Vec<f64>>>()?;
+            if verb == "SCORE" {
+                Ok(Request::Score { name, features })
+            } else {
+                Ok(Request::Transform { name, features })
+            }
+        }
+        "STATS" => {
+            if !parts.is_empty() {
+                return Err(ServeError::Protocol("STATS takes no arguments".to_string()));
+            }
+            Ok(Request::Stats)
+        }
+        "QUIT" => Ok(Request::Quit),
+        other => Err(ServeError::Protocol(format!("unknown verb '{other}'"))),
+    }
+}
+
+/// Renders a successful response payload.
+pub fn ok_response(payload: &str) -> String {
+    if payload.is_empty() {
+        "OK".to_string()
+    } else {
+        format!("OK {payload}")
+    }
+}
+
+/// Renders an error response.
+pub fn err_response(err: &ServeError) -> String {
+    // Keep responses single-line whatever the error contains.
+    let msg = err.to_string().replace('\n', " ");
+    format!("ERR {msg}")
+}
+
+/// Renders a vector of numbers with shortest-round-trip formatting.
+pub fn format_numbers(values: &[f64]) -> String {
+    values
+        .iter()
+        .map(|v| format!("{v}"))
+        .collect::<Vec<_>>()
+        .join(" ")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_every_verb() {
+        assert_eq!(
+            parse_request("LOAD risk /tmp/m.bundle").unwrap(),
+            Request::Load {
+                name: "risk".to_string(),
+                path: "/tmp/m.bundle".to_string()
+            }
+        );
+        assert_eq!(
+            parse_request("SCORE risk 1 -2.5 3e-4").unwrap(),
+            Request::Score {
+                name: "risk".to_string(),
+                features: vec![1.0, -2.5, 3e-4]
+            }
+        );
+        assert_eq!(
+            parse_request("TRANSFORM risk 0.5").unwrap(),
+            Request::Transform {
+                name: "risk".to_string(),
+                features: vec![0.5]
+            }
+        );
+        assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
+        // Verbs are case-insensitive, arguments are not.
+        assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "",
+            "   ",
+            "LOAD",
+            "LOAD onlyname",
+            "LOAD a b c",
+            "SCORE",
+            "SCORE risk",
+            "SCORE risk notanumber",
+            "STATS extra",
+            "FROB risk 1 2",
+        ] {
+            assert!(parse_request(bad).is_err(), "'{bad}' should be rejected");
+        }
+    }
+
+    #[test]
+    fn float_round_trip_through_the_wire_format_is_bit_exact() {
+        let values = [
+            0.1 + 0.2,
+            1.0 / 3.0,
+            f64::MIN_POSITIVE,
+            -1e308,
+            6.02214076e23,
+        ];
+        let line = format_numbers(&values);
+        let parsed = match parse_request(&format!("SCORE m {line}")).unwrap() {
+            Request::Score { features, .. } => features,
+            _ => unreachable!(),
+        };
+        for (a, b) in values.iter().zip(parsed.iter()) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+    }
+
+    #[test]
+    fn responses_are_single_line() {
+        assert_eq!(ok_response(""), "OK");
+        assert_eq!(ok_response("0.5 1"), "OK 0.5 1");
+        let err = ServeError::Model("multi\nline".to_string());
+        assert!(!err_response(&err).contains('\n'));
+        assert!(err_response(&err).starts_with("ERR "));
+    }
+}

@@ -1,0 +1,547 @@
+//! The TCP serving front end: accept loop, per-connection protocol threads,
+//! and the request paths that tie registry, cache, batcher and pool together.
+//!
+//! ```text
+//!            ┌────────────┐   SCORE    ┌─────────────┐      ┌────────────┐
+//! client ──► │ conn thread│ ──miss───► │ MicroBatcher│ ───► │ WorkerPool │
+//!            │ (protocol) │ ◄──reply── │  (coalesce) │      │  (GEMM)    │
+//!            └─────┬──────┘            └─────────────┘      └────────────┘
+//!                  │ hit                       ▲
+//!                  ▼                           │
+//!            ┌────────────┐              ┌───────────┐
+//!            │ ScoreCache │              │ Registry  │ (LOAD hot-swap)
+//!            └────────────┘              └───────────┘
+//! ```
+//!
+//! The cache sits in front of the batcher: a hit answers on the connection
+//! thread without touching the pool; a miss pays one batched scoring pass
+//! and populates the cache for every identical future request against the
+//! same model generation.
+
+use crate::batcher::{BatcherConfig, MicroBatcher};
+use crate::cache::{ScoreCache, ScoreKey};
+use crate::error::ServeError;
+use crate::protocol::{self, Request};
+use crate::registry::ModelRegistry;
+use crate::stats::ServerStats;
+use crate::Result;
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Arc, Mutex};
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+/// Configuration of a serving instance.
+#[derive(Debug, Clone)]
+pub struct ServerConfig {
+    /// Bind address; use port 0 for an ephemeral port.
+    pub addr: String,
+    /// Worker threads executing scoring/transform jobs.
+    pub workers: usize,
+    /// Micro-batching parameters.
+    pub batcher: BatcherConfig,
+    /// LRU score-cache capacity (0 disables caching).
+    pub cache_capacity: usize,
+    /// Directory the network-facing `LOAD` verb may read bundles from.
+    /// `None` allows any path — acceptable on the default loopback bind,
+    /// but a server exposed beyond localhost should restrict `LOAD` (the
+    /// verb otherwise lets any client probe arbitrary filesystem paths).
+    /// In-process loading via [`Server::registry`] is never restricted.
+    pub bundle_dir: Option<std::path::PathBuf>,
+}
+
+impl Default for ServerConfig {
+    fn default() -> Self {
+        ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            workers: 4,
+            batcher: BatcherConfig::default(),
+            cache_capacity: 4096,
+            bundle_dir: None,
+        }
+    }
+}
+
+/// Everything the request paths share.
+struct ServeContext {
+    registry: ModelRegistry,
+    cache: Mutex<ScoreCache>,
+    batcher: MicroBatcher,
+    pool: Arc<crate::pool::WorkerPool>,
+    stats: Arc<ServerStats>,
+    bundle_dir: Option<std::path::PathBuf>,
+}
+
+/// A running server: address, shared state handles, and shutdown control.
+pub struct Server {
+    addr: SocketAddr,
+    context: Arc<ServeContext>,
+    shutdown: Arc<AtomicBool>,
+    accept_thread: Option<JoinHandle<()>>,
+}
+
+impl std::fmt::Debug for Server {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Server").field("addr", &self.addr).finish()
+    }
+}
+
+impl Server {
+    /// Binds, spawns the accept loop and returns the running server.
+    pub fn spawn(config: ServerConfig) -> Result<Server> {
+        let listener = TcpListener::bind(&config.addr)?;
+        let addr = listener.local_addr()?;
+        let stats = Arc::new(ServerStats::new());
+        let pool = Arc::new(crate::pool::WorkerPool::new(config.workers));
+        let batcher = MicroBatcher::new(
+            config.batcher.clone(),
+            Arc::clone(&pool),
+            Arc::clone(&stats),
+        );
+        let context = Arc::new(ServeContext {
+            registry: ModelRegistry::new(),
+            cache: Mutex::new(ScoreCache::new(config.cache_capacity)),
+            batcher,
+            pool,
+            stats,
+            bundle_dir: config.bundle_dir.clone(),
+        });
+        let shutdown = Arc::new(AtomicBool::new(false));
+        let accept_thread = {
+            let context = Arc::clone(&context);
+            let shutdown = Arc::clone(&shutdown);
+            std::thread::Builder::new()
+                .name("pfr-serve-accept".to_string())
+                .spawn(move || {
+                    for stream in listener.incoming() {
+                        if shutdown.load(Ordering::SeqCst) {
+                            break;
+                        }
+                        let stream = match stream {
+                            Ok(stream) => stream,
+                            Err(_) => {
+                                // Persistent accept errors (EMFILE under fd
+                                // exhaustion) return without consuming the
+                                // pending connection; retrying immediately
+                                // would busy-spin a core.
+                                std::thread::sleep(std::time::Duration::from_millis(10));
+                                continue;
+                            }
+                        };
+                        // The protocol is one short line each way per
+                        // request; Nagle + delayed ACK would serialize that
+                        // into ~40ms round trips.
+                        let _ = stream.set_nodelay(true);
+                        let context = Arc::clone(&context);
+                        context.stats.record_connection();
+                        let _ = std::thread::Builder::new()
+                            .name("pfr-serve-conn".to_string())
+                            .spawn(move || handle_connection(stream, &context));
+                    }
+                })
+                .expect("spawning the accept thread never fails on this platform")
+        };
+        Ok(Server {
+            addr,
+            context,
+            shutdown,
+            accept_thread: Some(accept_thread),
+        })
+    }
+
+    /// The bound address (resolves the ephemeral port).
+    pub fn addr(&self) -> SocketAddr {
+        self.addr
+    }
+
+    /// The server's model registry — loading a model here is equivalent to a
+    /// `LOAD` request, which lets a process pre-load models before exposing
+    /// the port to clients.
+    pub fn registry(&self) -> &ModelRegistry {
+        &self.context.registry
+    }
+
+    /// Live serving statistics.
+    pub fn stats(&self) -> &ServerStats {
+        &self.context.stats
+    }
+
+    /// Signals the accept loop to stop and joins it. Established
+    /// connections finish their current request and close with their
+    /// clients.
+    pub fn shutdown(mut self) {
+        self.stop_accepting();
+    }
+
+    fn stop_accepting(&mut self) {
+        if self.shutdown.swap(true, Ordering::SeqCst) {
+            return;
+        }
+        // Wake the blocking accept with a throwaway connection.
+        let _ = TcpStream::connect(self.addr);
+        if let Some(t) = self.accept_thread.take() {
+            let _ = t.join();
+        }
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        self.stop_accepting();
+    }
+}
+
+/// Reads request lines until EOF/QUIT, writing one response line each.
+fn handle_connection(stream: TcpStream, context: &ServeContext) {
+    let Ok(peer_half) = stream.try_clone() else {
+        return;
+    };
+    let mut reader = BufReader::new(peer_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        line.clear();
+        match reader.read_line(&mut line) {
+            Ok(0) | Err(_) => return, // client closed
+            Ok(_) => {}
+        }
+        if line.trim().is_empty() {
+            continue;
+        }
+        let (response, quit) = respond(&line, context);
+        if writer.write_all(response.as_bytes()).is_err()
+            || writer.write_all(b"\n").is_err()
+            || writer.flush().is_err()
+            || quit
+        {
+            return;
+        }
+    }
+}
+
+/// Executes one request line; returns the response and whether to close.
+fn respond(line: &str, context: &ServeContext) -> (String, bool) {
+    match protocol::parse_request(line) {
+        Ok(Request::Quit) => (protocol::ok_response("bye"), true),
+        Ok(request) => {
+            let start = Instant::now();
+            let (verb_stats, outcome) = match request {
+                Request::Load { name, path } => (
+                    &context.stats.load,
+                    handle_load(context, &name, Path::new(&path)),
+                ),
+                Request::Score { name, features } => {
+                    (&context.stats.score, handle_score(context, &name, features))
+                }
+                Request::Transform { name, features } => (
+                    &context.stats.transform,
+                    handle_transform(context, &name, features),
+                ),
+                Request::Stats => (
+                    &context.stats.stats,
+                    Ok(context.stats.to_line()),
+                ),
+                Request::Quit => unreachable!("handled above"),
+            };
+            verb_stats.record(start.elapsed(), outcome.is_ok());
+            match outcome {
+                Ok(payload) => (protocol::ok_response(&payload), false),
+                Err(e) => (protocol::err_response(&e), false),
+            }
+        }
+        Err(e) => (protocol::err_response(&e), false),
+    }
+}
+
+fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Result<String> {
+    if let Some(dir) = &context.bundle_dir {
+        // Canonicalize both sides so `..` segments and symlinks cannot
+        // escape the configured bundle directory.
+        let canonical = path
+            .canonicalize()
+            .map_err(|_| ServeError::Model(format!("no bundle at '{}'", path.display())))?;
+        let dir = dir
+            .canonicalize()
+            .map_err(|_| ServeError::Model("bundle directory is unavailable".to_string()))?;
+        if !canonical.starts_with(&dir) {
+            return Err(ServeError::Model(format!(
+                "'{}' is outside the served bundle directory",
+                path.display()
+            )));
+        }
+    }
+    let model = context.registry.load_from_file(name, path)?;
+    Ok(format!(
+        "loaded {} features={} dim={}",
+        model.version(),
+        model.num_features(),
+        model.dim()
+    ))
+}
+
+fn handle_score(context: &ServeContext, name: &str, features: Vec<f64>) -> Result<String> {
+    let model = context.registry.resolve(name)?;
+    let key = ScoreKey::new(model.generation(), &features);
+    if let Some(key) = &key {
+        let cached = context
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .get(key);
+        if let Some(score) = cached {
+            context.stats.record_cache_hit();
+            return Ok(score_payload(score, model.threshold()));
+        }
+    }
+    context.stats.record_cache_miss();
+    let threshold = model.threshold();
+    let score = context.batcher.score(model, features)?;
+    if let Some(key) = key {
+        context
+            .cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, score);
+    }
+    Ok(score_payload(score, threshold))
+}
+
+fn score_payload(score: f64, threshold: f64) -> String {
+    format!("{score} {}", u8::from(score >= threshold))
+}
+
+fn handle_transform(context: &ServeContext, name: &str, features: Vec<f64>) -> Result<String> {
+    let model = context.registry.resolve(name)?;
+    // Transforms are not micro-batched (they are an offline/debugging verb);
+    // they still run on the pool so connection threads never do linear
+    // algebra.
+    let receiver = context.pool.submit(move || -> Result<Vec<f64>> {
+        let x = pfr_linalg::Matrix::from_vec(1, features.len(), features)
+            .map_err(ServeError::model)?;
+        let z = model.transform_batch(&x)?;
+        Ok(z.row(0).to_vec())
+    })?;
+    let z = receiver.recv().map_err(|_| ServeError::Shutdown)??;
+    Ok(protocol::format_numbers(&z))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::toy_bundle;
+    use pfr_core::persistence;
+
+    fn start_with_model() -> (Server, String, pfr_linalg::Matrix) {
+        let (bundle, x) = toy_bundle();
+        let server = Server::spawn(ServerConfig::default()).unwrap();
+        let text = persistence::bundle_to_string(&bundle);
+        server.registry().load_from_str("risk", &text).unwrap();
+        (server, text, x)
+    }
+
+    fn request(addr: SocketAddr, lines: &[String]) -> Vec<String> {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        let mut out = Vec::new();
+        for line in lines {
+            writeln!(writer, "{line}").unwrap();
+            writer.flush().unwrap();
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            out.push(response.trim_end().to_string());
+        }
+        out
+    }
+
+    #[test]
+    fn score_over_tcp_matches_offline_inference_bitwise() {
+        let (server, _, x) = start_with_model();
+        let model = server.registry().get("risk").unwrap();
+        let expected = model.score_batch(&x).unwrap();
+        let lines: Vec<String> = (0..x.rows())
+            .map(|i| format!("SCORE risk {}", protocol::format_numbers(x.row(i))))
+            .collect();
+        let responses = request(server.addr(), &lines);
+        for (i, response) in responses.iter().enumerate() {
+            let mut parts = response.split_whitespace();
+            assert_eq!(parts.next(), Some("OK"), "response {response}");
+            let score: f64 = parts.next().unwrap().parse().unwrap();
+            assert_eq!(score.to_bits(), expected[i].to_bits(), "row {i}");
+            let label: u8 = parts.next().unwrap().parse().unwrap();
+            assert_eq!(label, u8::from(expected[i] >= model.threshold()));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn repeated_scores_hit_the_cache() {
+        let (server, _, x) = start_with_model();
+        let line = format!("SCORE risk {}", protocol::format_numbers(x.row(0)));
+        let responses = request(server.addr(), &[line.clone(), line.clone(), line]);
+        assert_eq!(responses[0], responses[1]);
+        assert_eq!(responses[1], responses[2]);
+        assert!(server.stats().cache_hits() >= 2);
+        assert_eq!(server.stats().cache_misses(), 1);
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_verb_loads_from_disk_and_reports_the_version() {
+        let (bundle, _) = toy_bundle();
+        let dir = std::env::temp_dir();
+        let path = dir.join("pfr_serve_load_test.bundle");
+        persistence::save_bundle(&bundle, &path).unwrap();
+        let server = Server::spawn(ServerConfig::default()).unwrap();
+        let responses = request(
+            server.addr(),
+            &[format!("LOAD risk {}", path.display())],
+        );
+        assert!(
+            responses[0].starts_with("OK loaded risk@"),
+            "{}",
+            responses[0]
+        );
+        assert!(responses[0].contains("features=3"));
+        assert!(responses[0].contains("dim=2"));
+        assert!(server.registry().get("risk").is_some());
+        let _ = std::fs::remove_file(&path);
+        server.shutdown();
+    }
+
+    #[test]
+    fn transform_stats_and_errors_speak_the_protocol() {
+        let (server, _, x) = start_with_model();
+        let responses = request(
+            server.addr(),
+            &[
+                format!("TRANSFORM risk {}", protocol::format_numbers(x.row(0))),
+                "STATS".to_string(),
+                "SCORE missing 1 2 3".to_string(),
+                "SCORE risk 1".to_string(),
+                "GIBBERISH".to_string(),
+            ],
+        );
+        // TRANSFORM returns dim() numbers.
+        let z: Vec<f64> = responses[0]
+            .strip_prefix("OK ")
+            .unwrap()
+            .split_whitespace()
+            .map(|v| v.parse().unwrap())
+            .collect();
+        assert_eq!(z.len(), 2);
+        let model = server.registry().get("risk").unwrap();
+        let expected = model
+            .transform_batch(
+                &pfr_linalg::Matrix::from_vec(1, 3, x.row(0).to_vec()).unwrap(),
+            )
+            .unwrap();
+        for (a, b) in z.iter().zip(expected.row(0)) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        assert!(responses[1].starts_with("OK "));
+        assert!(responses[1].contains("score_requests="));
+        assert!(responses[2].starts_with("ERR no model named"));
+        assert!(responses[3].starts_with("ERR"), "{}", responses[3]);
+        assert!(responses[4].starts_with("ERR") && responses[4].contains("unknown verb"));
+        server.shutdown();
+    }
+
+    #[test]
+    fn load_respects_the_configured_bundle_directory() {
+        let (bundle, _) = toy_bundle();
+        let dir = std::env::temp_dir().join("pfr_serve_bundle_dir_test");
+        std::fs::create_dir_all(&dir).unwrap();
+        let inside = dir.join("ok.bundle");
+        persistence::save_bundle(&bundle, &inside).unwrap();
+        let outside = std::env::temp_dir().join("pfr_serve_outside.bundle");
+        persistence::save_bundle(&bundle, &outside).unwrap();
+
+        let server = Server::spawn(ServerConfig {
+            bundle_dir: Some(dir.clone()),
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let responses = request(
+            server.addr(),
+            &[
+                format!("LOAD good {}", inside.display()),
+                format!("LOAD evil {}", outside.display()),
+                format!("LOAD sneaky {}/../pfr_serve_outside.bundle", dir.display()),
+                "LOAD ghost /definitely/not/there".to_string(),
+            ],
+        );
+        assert!(responses[0].starts_with("OK loaded good@"), "{}", responses[0]);
+        assert!(
+            responses[1].starts_with("ERR") && responses[1].contains("outside"),
+            "{}",
+            responses[1]
+        );
+        assert!(
+            responses[2].starts_with("ERR") && responses[2].contains("outside"),
+            "{}",
+            responses[2]
+        );
+        // Nonexistent paths are reported without leaking io details.
+        assert!(
+            responses[3].starts_with("ERR") && responses[3].contains("no bundle at"),
+            "{}",
+            responses[3]
+        );
+        assert!(server.registry().get("evil").is_none());
+        assert!(server.registry().get("sneaky").is_none());
+        server.shutdown();
+        let _ = std::fs::remove_file(&inside);
+        let _ = std::fs::remove_file(&outside);
+        let _ = std::fs::remove_dir(&dir);
+    }
+
+    #[test]
+    fn quit_closes_the_connection_politely() {
+        let (server, _, _) = start_with_model();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        writeln!(writer, "QUIT").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert_eq!(response.trim_end(), "OK bye");
+        // Server closed its end: the next read returns EOF.
+        response.clear();
+        assert_eq!(reader.read_line(&mut response).unwrap(), 0);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_unblocks_the_accept_loop() {
+        let server = Server::spawn(ServerConfig::default()).unwrap();
+        let addr = server.addr();
+        server.shutdown();
+        // After shutdown the listener is gone; connecting either fails or
+        // yields a connection nobody serves.
+        if let Ok(stream) = TcpStream::connect(addr) {
+            let mut reader = BufReader::new(stream);
+            let mut buf = String::new();
+            // Either EOF immediately or an error; never a served response.
+            let _ = reader.read_line(&mut buf);
+            assert!(!buf.starts_with("OK"));
+        }
+    }
+
+    #[test]
+    fn hot_swap_over_the_wire_keeps_serving() {
+        let (server, text, x) = start_with_model();
+        let before = server.registry().get("risk").unwrap().generation();
+        server.registry().load_from_str("risk", &text).unwrap();
+        let after = server.registry().get("risk").unwrap().generation();
+        assert_ne!(before, after);
+        let line = format!("SCORE risk {}", protocol::format_numbers(x.row(0)));
+        let responses = request(server.addr(), &[line]);
+        assert!(responses[0].starts_with("OK "));
+        server.shutdown();
+    }
+}

@@ -1,0 +1,222 @@
+//! Lock-free serving statistics: per-verb request/latency counters, cache
+//! hit rates and batch-shape telemetry, all `AtomicU64`.
+//!
+//! Latencies are accumulated as (total nanoseconds, count) pairs per verb so
+//! the mean is derivable without histograms; that keeps the hot path at two
+//! relaxed atomic adds. A `STATS` response renders a snapshot as one
+//! `key=value` line.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// One verb's counters: how many requests, how many errors, total time.
+#[derive(Debug, Default)]
+pub struct VerbStats {
+    requests: AtomicU64,
+    errors: AtomicU64,
+    total_nanos: AtomicU64,
+}
+
+impl VerbStats {
+    /// Records one completed request and its wall-clock latency.
+    pub fn record(&self, latency: Duration, ok: bool) {
+        self.requests.fetch_add(1, Ordering::Relaxed);
+        if !ok {
+            self.errors.fetch_add(1, Ordering::Relaxed);
+        }
+        self.total_nanos
+            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+    }
+
+    /// Number of requests seen.
+    pub fn requests(&self) -> u64 {
+        self.requests.load(Ordering::Relaxed)
+    }
+
+    /// Number of requests that returned an error.
+    pub fn errors(&self) -> u64 {
+        self.errors.load(Ordering::Relaxed)
+    }
+
+    /// Mean latency in nanoseconds (0 when no requests were seen).
+    pub fn mean_latency_nanos(&self) -> u64 {
+        self.total_nanos
+            .load(Ordering::Relaxed)
+            .checked_div(self.requests())
+            .unwrap_or(0)
+    }
+}
+
+/// Aggregate statistics for a serving instance.
+#[derive(Debug, Default)]
+pub struct ServerStats {
+    /// `LOAD` verb counters.
+    pub load: VerbStats,
+    /// `SCORE` verb counters.
+    pub score: VerbStats,
+    /// `TRANSFORM` verb counters.
+    pub transform: VerbStats,
+    /// `STATS` verb counters.
+    pub stats: VerbStats,
+    cache_hits: AtomicU64,
+    cache_misses: AtomicU64,
+    batches: AtomicU64,
+    batched_requests: AtomicU64,
+    max_batch: AtomicU64,
+    connections: AtomicU64,
+}
+
+impl ServerStats {
+    /// Fresh, zeroed statistics.
+    pub fn new() -> Self {
+        ServerStats::default()
+    }
+
+    /// Records a score served straight from the cache.
+    pub fn record_cache_hit(&self) {
+        self.cache_hits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a score that had to be computed.
+    pub fn record_cache_miss(&self) {
+        self.cache_misses.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one executed micro-batch of `size` coalesced requests.
+    pub fn record_batch(&self, size: usize) {
+        self.batches.fetch_add(1, Ordering::Relaxed);
+        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
+    }
+
+    /// Records an accepted client connection.
+    pub fn record_connection(&self) {
+        self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Cache hits so far.
+    pub fn cache_hits(&self) -> u64 {
+        self.cache_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cache misses so far.
+    pub fn cache_misses(&self) -> u64 {
+        self.cache_misses.load(Ordering::Relaxed)
+    }
+
+    /// Number of micro-batches executed.
+    pub fn batches(&self) -> u64 {
+        self.batches.load(Ordering::Relaxed)
+    }
+
+    /// Largest micro-batch executed.
+    pub fn max_batch(&self) -> u64 {
+        self.max_batch.load(Ordering::Relaxed)
+    }
+
+    /// Accepted connections.
+    pub fn connections(&self) -> u64 {
+        self.connections.load(Ordering::Relaxed)
+    }
+
+    /// Renders the whole snapshot as a single `key=value` line — the payload
+    /// of a `STATS` response.
+    pub fn to_line(&self) -> String {
+        let batches = self.batches.load(Ordering::Relaxed);
+        let batched = self.batched_requests.load(Ordering::Relaxed);
+        let mean_batch = batched.checked_div(batches).unwrap_or(0);
+        format!(
+            "connections={} load_requests={} load_errors={} load_mean_ns={} \
+             score_requests={} score_errors={} score_mean_ns={} \
+             transform_requests={} transform_errors={} transform_mean_ns={} \
+             stats_requests={} cache_hits={} cache_misses={} \
+             batches={} mean_batch={} max_batch={}",
+            self.connections(),
+            self.load.requests(),
+            self.load.errors(),
+            self.load.mean_latency_nanos(),
+            self.score.requests(),
+            self.score.errors(),
+            self.score.mean_latency_nanos(),
+            self.transform.requests(),
+            self.transform.errors(),
+            self.transform.mean_latency_nanos(),
+            self.stats.requests(),
+            self.cache_hits(),
+            self.cache_misses(),
+            batches,
+            mean_batch,
+            self.max_batch(),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn verb_stats_accumulate_and_average() {
+        let v = VerbStats::default();
+        assert_eq!(v.mean_latency_nanos(), 0);
+        v.record(Duration::from_nanos(100), true);
+        v.record(Duration::from_nanos(300), false);
+        assert_eq!(v.requests(), 2);
+        assert_eq!(v.errors(), 1);
+        assert_eq!(v.mean_latency_nanos(), 200);
+    }
+
+    #[test]
+    fn batch_telemetry_tracks_mean_and_max() {
+        let s = ServerStats::new();
+        s.record_batch(1);
+        s.record_batch(7);
+        s.record_batch(4);
+        assert_eq!(s.batches(), 3);
+        assert_eq!(s.max_batch(), 7);
+        let line = s.to_line();
+        assert!(line.contains("batches=3"));
+        assert!(line.contains("mean_batch=4"));
+        assert!(line.contains("max_batch=7"));
+    }
+
+    #[test]
+    fn stats_line_is_single_line_key_value() {
+        let s = ServerStats::new();
+        s.record_cache_hit();
+        s.record_cache_miss();
+        s.record_connection();
+        s.score.record(Duration::from_micros(5), true);
+        let line = s.to_line();
+        assert!(!line.contains('\n'));
+        assert!(line.contains("cache_hits=1"));
+        assert!(line.contains("cache_misses=1"));
+        assert!(line.contains("connections=1"));
+        assert!(line.contains("score_requests=1"));
+        for pair in line.split_whitespace() {
+            assert!(pair.contains('='), "malformed pair '{pair}'");
+        }
+    }
+
+    #[test]
+    fn counters_are_safe_under_concurrency() {
+        use std::sync::Arc;
+        let s = Arc::new(ServerStats::new());
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let s = Arc::clone(&s);
+                std::thread::spawn(move || {
+                    for _ in 0..1000 {
+                        s.record_cache_hit();
+                        s.score.record(Duration::from_nanos(10), true);
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(s.cache_hits(), 4000);
+        assert_eq!(s.score.requests(), 4000);
+    }
+}

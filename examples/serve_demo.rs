@@ -1,0 +1,125 @@
+//! Demo of the serving subsystem: train a fair pipeline offline, persist it
+//! as a bundle, serve it over TCP, and hammer it from concurrent client
+//! threads — then print the server's own statistics.
+//!
+//! ```text
+//! cargo run --release --example serve_demo
+//! ```
+
+use pfr::pipeline::{FairPipeline, FairPipelineConfig};
+use pfr::serve::protocol::format_numbers;
+use pfr::serve::{BatcherConfig, Server, ServerConfig};
+use pfr_data::{split, synthetic, Dataset};
+use pfr_graph::{fairness, SparseGraph};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fairness_graph(ds: &Dataset) -> SparseGraph {
+    let scores: Vec<f64> = ds
+        .side_information()
+        .iter()
+        .map(|s| s.unwrap_or(0.0))
+        .collect();
+    fairness::between_group_quantile_graph(ds.groups(), &scores, 5)
+        .expect("fairness graph construction succeeds")
+}
+
+fn main() {
+    // 1. Train offline on the paper's synthetic admissions data.
+    println!("training a fair pipeline on synthetic admissions data ...");
+    let dataset = synthetic::generate_default(42).expect("synthetic data generates");
+    let split = split::train_test_split(&dataset, 0.3, 42).expect("split succeeds");
+    let train = dataset.subset(&split.train).expect("train subset");
+    let test = dataset.subset(&split.test).expect("test subset");
+    let fitted = FairPipeline::new(FairPipelineConfig {
+        gamma: 0.9,
+        ..FairPipelineConfig::default()
+    })
+    .fit(&train, &fairness_graph(&train))
+    .expect("pipeline fits");
+
+    // 2. Persist the deployable bundle.
+    let bundle = fitted.into_bundle().expect("bundle assembles");
+    let path = std::env::temp_dir().join("pfr_serve_demo.bundle");
+    pfr::core::persistence::save_bundle(&bundle, &path).expect("bundle saves");
+    println!("bundle persisted to {}", path.display());
+
+    // 3. Serve it on an ephemeral port.
+    let server = Server::spawn(ServerConfig {
+        workers: 4,
+        batcher: BatcherConfig {
+            max_batch: 32,
+            linger: Duration::from_micros(300),
+        },
+        ..ServerConfig::default()
+    })
+    .expect("server spawns");
+    let addr = server.addr();
+    println!("serving on {addr}");
+
+    // 4. A client loads the model over the wire ...
+    {
+        let stream = TcpStream::connect(addr).expect("client connects");
+    stream.set_nodelay(true).expect("nodelay sets");
+        let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        let mut writer = stream;
+        writeln!(writer, "LOAD admissions {}", path.display()).expect("request writes");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response reads");
+        println!("LOAD -> {}", response.trim_end());
+    }
+
+    // 5. ... and four client threads score the whole test split concurrently.
+    let (raw, _) = test.features_with_protected().expect("raw features");
+    let rows: Arc<Vec<Vec<f64>>> = Arc::new((0..raw.rows()).map(|i| raw.row(i).to_vec()).collect());
+    let started = Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let rows = Arc::clone(&rows);
+            std::thread::spawn(move || {
+                let stream = TcpStream::connect(addr).expect("client connects");
+                stream.set_nodelay(true).expect("nodelay sets");
+                let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
+                let mut writer = stream;
+                let mut positives = 0usize;
+                for i in 0..rows.len() {
+                    let row = &rows[(i + t * 13) % rows.len()];
+                    writeln!(writer, "SCORE admissions {}", format_numbers(row))
+                        .expect("request writes");
+                    let mut response = String::new();
+                    reader.read_line(&mut response).expect("response reads");
+                    let label: u8 = response
+                        .split_whitespace()
+                        .nth(2)
+                        .expect("OK <score> <label>")
+                        .parse()
+                        .expect("label parses");
+                    positives += label as usize;
+                }
+                positives
+            })
+        })
+        .collect();
+    let positives: usize = handles.into_iter().map(|h| h.join().expect("client joins")).sum();
+    let total = 4 * rows.len();
+    let elapsed = started.elapsed();
+    println!(
+        "{total} scores in {elapsed:?} ({:.0} requests/sec), {positives} positive decisions",
+        total as f64 / elapsed.as_secs_f64()
+    );
+
+    // 6. The server reports its own telemetry.
+    let stream = TcpStream::connect(addr).expect("client connects");
+    stream.set_nodelay(true).expect("nodelay sets");
+    let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
+    let mut writer = stream;
+    writeln!(writer, "STATS").expect("request writes");
+    let mut stats = String::new();
+    reader.read_line(&mut stats).expect("response reads");
+    println!("STATS -> {}", stats.trim_end());
+
+    server.shutdown();
+    let _ = std::fs::remove_file(&path);
+}

@@ -1,0 +1,276 @@
+//! A std-only stand-in for the subset of the `criterion` benchmark harness
+//! API this workspace uses.
+//!
+//! The build environment is fully offline with no crates.io registry, so the
+//! real `criterion` crate cannot be resolved. This shim provides the same
+//! surface (`Criterion`, `BenchmarkGroup`, `BenchmarkId`, `Bencher`,
+//! `criterion_group!`, `criterion_main!`) with a simple wall-clock measurement
+//! loop, so `cargo bench` runs the workspace's bench binaries unmodified and
+//! prints mean time per iteration for every benchmark.
+//!
+//! Supported command-line flags (everything else is ignored for
+//! compatibility with the real harness):
+//!
+//! * `--test` — run every benchmark routine exactly once and report `ok`,
+//!   without timing (this is what CI's smoke run uses);
+//! * a positional `<filter>` substring — only run benchmarks whose
+//!   `group/id` contains the filter.
+
+#![deny(missing_docs)]
+
+use std::fmt::Display;
+use std::time::Instant;
+
+/// Re-export of [`std::hint::black_box`] under the name the real criterion
+/// exposes.
+pub use std::hint::black_box;
+
+/// Top-level benchmark driver; hands out [`BenchmarkGroup`]s.
+#[derive(Default)]
+pub struct Criterion {
+    test_mode: bool,
+    filter: Option<String>,
+    benchmarks_run: u64,
+}
+
+impl Criterion {
+    /// Builds a driver from the process arguments (see the crate docs for the
+    /// supported flags).
+    pub fn from_args() -> Self {
+        let mut c = Criterion::default();
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => c.test_mode = true,
+                "--bench" | "--verbose" | "--quiet" => {}
+                other if other.starts_with('-') => {}
+                other => c.filter = Some(other.to_string()),
+            }
+        }
+        c
+    }
+
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 10,
+        }
+    }
+
+    /// Runs a standalone benchmark outside any group.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, f: F)
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut group = self.benchmark_group("ungrouped");
+        group.bench_function(id, f);
+        group.finish();
+    }
+
+    /// Prints the closing summary line (called by `criterion_main!`).
+    pub fn final_summary(&self) {
+        if self.test_mode {
+            println!("criterion-shim: {} benchmarks ran once (test mode)", self.benchmarks_run);
+        } else {
+            println!("criterion-shim: {} benchmarks measured", self.benchmarks_run);
+        }
+    }
+}
+
+/// Identifier of a single benchmark: a function name plus an optional
+/// parameter rendered into the displayed id.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// An id made of a function name and a parameter value.
+    pub fn new(function_name: impl Into<String>, parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: format!("{}/{}", function_name.into(), parameter),
+        }
+    }
+
+    /// An id carrying only a parameter value.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId { id: s.to_string() }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { id: s }
+    }
+}
+
+/// A named group of benchmarks sharing configuration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark (minimum 1).
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs a benchmark with no extra input.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        self.run(id.into(), |b| f(b));
+        self
+    }
+
+    /// Runs a benchmark parameterized by a borrowed input value.
+    pub fn bench_with_input<I, F>(&mut self, id: BenchmarkId, input: &I, mut f: F) -> &mut Self
+    where
+        I: ?Sized,
+        F: FnMut(&mut Bencher, &I),
+    {
+        self.run(id, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group. (The real criterion renders plots here; the shim has
+    /// nothing left to do.)
+    pub fn finish(self) {}
+
+    fn run(&mut self, id: BenchmarkId, mut routine: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, id.id);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let mut bencher = Bencher {
+            samples: if self.criterion.test_mode { 1 } else { self.sample_size },
+            total_nanos: 0,
+            iterations: 0,
+        };
+        routine(&mut bencher);
+        self.criterion.benchmarks_run += 1;
+        if self.criterion.test_mode {
+            println!("bench {full}: ok (ran once)");
+        } else {
+            match bencher.total_nanos.checked_div(bencher.iterations) {
+                Some(mean) => {
+                    println!("bench {full}: {mean} ns/iter ({} iters)", bencher.iterations)
+                }
+                None => println!("bench {full}: no iterations recorded"),
+            }
+        }
+    }
+}
+
+/// Handed to every benchmark routine; [`Bencher::iter`] measures the closure.
+pub struct Bencher {
+    samples: usize,
+    total_nanos: u128,
+    iterations: u128,
+}
+
+impl Bencher {
+    /// Runs `routine` `sample_size` times (once in `--test` mode), recording
+    /// wall-clock time per call.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            let out = routine();
+            self.total_nanos += start.elapsed().as_nanos();
+            self.iterations += 1;
+            black_box(out);
+        }
+    }
+}
+
+/// Bundles benchmark functions into a single group function, mirroring
+/// criterion's macro of the same name.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name(c: &mut $crate::Criterion) {
+            $( $target(c); )+
+        }
+    };
+}
+
+/// Generates `main` for a bench binary built with `harness = false`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            let mut criterion = $crate::Criterion::from_args();
+            $( $group(&mut criterion); )+
+            criterion.final_summary();
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn groups_run_and_count_benchmarks() {
+        let mut c = Criterion::default();
+        let mut group = c.benchmark_group("g");
+        group.sample_size(3);
+        let mut calls = 0usize;
+        group.bench_function("f", |b| b.iter(|| calls += 1));
+        group.bench_with_input(BenchmarkId::new("with", 7), &7usize, |b, &x| {
+            b.iter(|| black_box(x * 2))
+        });
+        group.finish();
+        assert_eq!(calls, 3);
+        assert_eq!(c.benchmarks_run, 2);
+    }
+
+    #[test]
+    fn test_mode_runs_exactly_once() {
+        let mut c = Criterion {
+            test_mode: true,
+            ..Criterion::default()
+        };
+        let mut calls = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.sample_size(50);
+        group.bench_function("once", |b| b.iter(|| calls += 1));
+        group.finish();
+        assert_eq!(calls, 1);
+    }
+
+    #[test]
+    fn filter_skips_non_matching_benchmarks() {
+        let mut c = Criterion {
+            filter: Some("keep".to_string()),
+            ..Criterion::default()
+        };
+        let mut kept = 0usize;
+        let mut skipped = 0usize;
+        let mut group = c.benchmark_group("g");
+        group.bench_function("keep_me", |b| b.iter(|| kept += 1));
+        group.bench_function("drop_me", |b| b.iter(|| skipped += 1));
+        group.finish();
+        assert!(kept > 0);
+        assert_eq!(skipped, 0);
+        assert_eq!(c.benchmarks_run, 1);
+    }
+}

@@ -1,0 +1,236 @@
+//! A std-only stand-in for the subset of the `rand` crate (0.8 API) this
+//! workspace uses.
+//!
+//! The build environment is fully offline with no crates.io registry, so the
+//! real `rand` crate cannot be resolved. This shim provides [`Rng`]
+//! (`gen`, `gen_range`, `gen_bool`), [`SeedableRng::seed_from_u64`],
+//! [`rngs::StdRng`] and [`seq::SliceRandom::shuffle`] on top of a
+//! splitmix64-seeded xorshift64* generator.
+//!
+//! The generated *stream* differs from the real `StdRng` (which is ChaCha12),
+//! so code relying on exact values for a given seed would observe different
+//! numbers — the workspace only relies on determinism per seed and on
+//! uniformity, both of which hold here.
+
+#![deny(missing_docs)]
+
+use std::ops::Range;
+
+/// Types samplable uniformly from their "standard" distribution
+/// (`[0, 1)` for floats, the full domain for integers).
+pub trait Standard: Sized {
+    /// Draws one value from `rng`.
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> Self;
+}
+
+impl Standard for f64 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f64 {
+        (rng.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> f32 {
+        ((rng.next_u64() >> 40) as f32) / (1u32 << 24) as f32
+    }
+}
+
+impl Standard for bool {
+    fn sample<R: Rng + ?Sized>(rng: &mut R) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! impl_standard_int {
+    ($($t:ty),*) => {$(
+        impl Standard for $t {
+            fn sample<R: Rng + ?Sized>(rng: &mut R) -> $t {
+                rng.next_u64() as $t
+            }
+        }
+    )*};
+}
+
+impl_standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Types usable as `gen_range` bounds.
+pub trait SampleRange: Sized {
+    /// Draws a value uniformly from `[range.start, range.end)`.
+    fn sample_range<R: Rng + ?Sized>(range: Range<Self>, rng: &mut R) -> Self;
+}
+
+macro_rules! impl_sample_range_uint {
+    ($($t:ty),*) => {$(
+        impl SampleRange for $t {
+            fn sample_range<R: Rng + ?Sized>(range: Range<$t>, rng: &mut R) -> $t {
+                assert!(range.start < range.end, "cannot sample from an empty range");
+                let span = (range.end - range.start) as u64;
+                range.start + (rng.next_u64() % span) as $t
+            }
+        }
+    )*};
+}
+
+impl_sample_range_uint!(u8, u16, u32, u64, usize);
+
+impl SampleRange for f64 {
+    fn sample_range<R: Rng + ?Sized>(range: Range<f64>, rng: &mut R) -> f64 {
+        assert!(range.start < range.end, "cannot sample from an empty range");
+        range.start + f64::sample(rng) * (range.end - range.start)
+    }
+}
+
+/// The random-generator interface (subset of `rand::Rng`).
+pub trait Rng {
+    /// Next raw 64-bit value; everything else derives from this.
+    fn next_u64(&mut self) -> u64;
+
+    /// Draws a value from the standard distribution of `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a value uniformly from a half-open range.
+    fn gen_range<T: SampleRange>(&mut self, range: Range<T>) -> T {
+        T::sample_range(range, self)
+    }
+
+    /// Returns `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p.clamp(0.0, 1.0)
+    }
+}
+
+impl<R: Rng + ?Sized> Rng for &mut R {
+    fn next_u64(&mut self) -> u64 {
+        (**self).next_u64()
+    }
+}
+
+/// Seedable construction (subset of `rand::SeedableRng`).
+pub trait SeedableRng: Sized {
+    /// Builds a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Concrete generators (`rand::rngs`).
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// The workspace's standard generator: xorshift64* over a
+    /// splitmix64-expanded seed. Deterministic per seed, passes basic
+    /// uniformity checks, and is *not* the real ChaCha12 `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            // Splitmix64 step decorrelates small consecutive seeds.
+            let mut z = seed.wrapping_add(0x9E3779B97F4A7C15);
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58476D1CE4E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D049BB133111EB);
+            z ^= z >> 31;
+            StdRng { state: z.max(1) }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            self.state ^= self.state << 13;
+            self.state ^= self.state >> 7;
+            self.state ^= self.state << 17;
+            self.state.wrapping_mul(0x2545F4914F6CDD1D)
+        }
+    }
+}
+
+/// Slice helpers (`rand::seq`).
+pub mod seq {
+    use super::Rng;
+
+    /// Subset of `rand::seq::SliceRandom`: in-place Fisher–Yates shuffle.
+    pub trait SliceRandom {
+        /// Shuffles the slice uniformly at random.
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng + ?Sized>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = (rng.next_u64() % (i as u64 + 1)) as usize;
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed_and_distinct_across_seeds() {
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        let mut c = StdRng::seed_from_u64(43);
+        let xs: Vec<u64> = (0..8).map(|_| a.next_u64()).collect();
+        let ys: Vec<u64> = (0..8).map(|_| b.next_u64()).collect();
+        let zs: Vec<u64> = (0..8).map(|_| c.next_u64()).collect();
+        assert_eq!(xs, ys);
+        assert_ne!(xs, zs);
+    }
+
+    #[test]
+    fn gen_f64_is_roughly_uniform_on_unit_interval() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 20_000;
+        let mut sum = 0.0;
+        let mut below_half = 0usize;
+        for _ in 0..n {
+            let v: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&v));
+            sum += v;
+            if v < 0.5 {
+                below_half += 1;
+            }
+        }
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.01, "mean {mean}");
+        let frac = below_half as f64 / n as f64;
+        assert!((frac - 0.5).abs() < 0.02, "below-half fraction {frac}");
+    }
+
+    #[test]
+    fn gen_range_stays_in_bounds_and_hits_all_values() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut seen = [false; 5];
+        for _ in 0..200 {
+            let v = rng.gen_range(0usize..5);
+            seen[v] = true;
+        }
+        assert!(seen.iter().all(|&s| s));
+    }
+
+    #[test]
+    fn shuffle_permutes_without_losing_elements() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let mut v: Vec<usize> = (0..50).collect();
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.3)).count();
+        let frac = hits as f64 / 10_000.0;
+        assert!((frac - 0.3).abs() < 0.02, "fraction {frac}");
+    }
+}

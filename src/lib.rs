@@ -18,6 +18,8 @@
 //! * [`metrics`] — AUC, individual-fairness consistency, group fairness.
 //! * [`eval`] — the experiment harness that regenerates every table and
 //!   figure of the paper.
+//! * [`serve`] — the concurrent model-serving subsystem (registry, worker
+//!   pool, micro-batching, score cache, TCP protocol).
 //!
 //! ## Quick start
 //!
@@ -66,6 +68,7 @@ pub use pfr_graph as graph;
 pub use pfr_linalg as linalg;
 pub use pfr_metrics as metrics;
 pub use pfr_opt as opt;
+pub use pfr_serve as serve;
 
 /// The version of the reproduction workspace.
 pub const VERSION: &str = env!("CARGO_PKG_VERSION");

@@ -8,6 +8,7 @@
 //! pairwise fairness judgments — and which can score unseen individuals from
 //! their regular attributes alone.
 
+use pfr_core::persistence::{ClassifierSection, ModelBundle, StandardizerParams};
 use pfr_core::{Pfr, PfrConfig, PfrModel};
 use pfr_data::Dataset;
 use pfr_graph::{KnnGraphBuilder, SparseGraph};
@@ -159,6 +160,60 @@ impl FittedFairPipeline {
         &self.model
     }
 
+    /// Packages the fitted pipeline into a deployable [`ModelBundle`]:
+    /// standardizer statistics, PFR projection and classifier weights plus
+    /// the decision threshold — everything `pfr-serve` needs to score raw
+    /// attribute vectors, with no training-time machinery attached.
+    pub fn into_bundle(self) -> Result<ModelBundle> {
+        let text = self
+            .classifier
+            .to_text()
+            .map_err(PipelineError::from_display)?;
+        Ok(ModelBundle {
+            model: self.model,
+            standardizer: Some(StandardizerParams {
+                means: self.standardizer.means().to_vec(),
+                stds: self.standardizer.stds().to_vec(),
+            }),
+            classifier: Some(ClassifierSection {
+                threshold: self.config.threshold,
+                text,
+            }),
+        })
+    }
+
+    /// Reassembles a fitted pipeline from a bundle.
+    ///
+    /// `config` supplies the fit-time settings a bundle does not carry
+    /// (`knn_k`, `use_protected_attribute`, …); the representation-relevant
+    /// fields (`gamma`, `dim`, decision threshold) are taken from the bundle
+    /// itself. The bundle must contain a standardizer and a classifier —
+    /// a projection-only bundle cannot score anyone.
+    pub fn from_bundle(bundle: &ModelBundle, config: FairPipelineConfig) -> Result<Self> {
+        let std = bundle.standardizer.as_ref().ok_or_else(|| {
+            PipelineError("bundle has no standardizer section".to_string())
+        })?;
+        let clf = bundle.classifier.as_ref().ok_or_else(|| {
+            PipelineError("bundle has no classifier section".to_string())
+        })?;
+        let standardizer = Standardizer::from_parts(std.means.clone(), std.stds.clone())
+            .map_err(PipelineError::from_display)?;
+        let classifier =
+            LogisticRegression::from_text(&clf.text).map_err(PipelineError::from_display)?;
+        let model_config = bundle.model.config();
+        Ok(FittedFairPipeline {
+            config: FairPipelineConfig {
+                gamma: model_config.gamma,
+                dim: Some(bundle.model.dim()),
+                threshold: clf.threshold,
+                ..config
+            },
+            standardizer,
+            model: bundle.model.clone(),
+            classifier,
+        })
+    }
+
     /// Embeds a dataset into the learned fair representation.
     pub fn transform(&self, dataset: &Dataset) -> Result<Matrix> {
         let raw = FairPipeline {
@@ -229,6 +284,52 @@ mod tests {
         let z = fitted.transform(&test).unwrap();
         assert_eq!(z.rows(), test.len());
         assert_eq!(z.cols(), fitted.model().dim());
+    }
+
+    #[test]
+    fn bundle_round_trip_reproduces_predictions_bitwise() {
+        let dataset = synthetic::generate_default(24).unwrap();
+        let split = split::train_test_split(&dataset, 0.3, 24).unwrap();
+        let train = dataset.subset(&split.train).unwrap();
+        let test = dataset.subset(&split.test).unwrap();
+
+        let config = FairPipelineConfig {
+            gamma: 0.8,
+            threshold: 0.55,
+            ..FairPipelineConfig::default()
+        };
+        let fitted = FairPipeline::new(config.clone())
+            .fit(&train, &fairness_graph(&train))
+            .unwrap();
+        let expected = fitted.predict_proba(&test).unwrap();
+        let expected_hard = fitted.predict(&test).unwrap();
+
+        let bundle = fitted.into_bundle().unwrap();
+        let text = pfr_core::persistence::bundle_to_string(&bundle);
+        let restored_bundle = pfr_core::persistence::bundle_from_string(&text).unwrap();
+        let restored =
+            FittedFairPipeline::from_bundle(&restored_bundle, config).unwrap();
+
+        let probs = restored.predict_proba(&test).unwrap();
+        assert_eq!(probs, expected, "decimal round-trip must be exact");
+        assert_eq!(restored.predict(&test).unwrap(), expected_hard);
+    }
+
+    #[test]
+    fn from_bundle_rejects_projection_only_bundles() {
+        let dataset = synthetic::generate_default(25).unwrap();
+        let fitted = FairPipeline::default()
+            .fit(&dataset, &fairness_graph(&dataset))
+            .unwrap();
+        let mut bundle = fitted.into_bundle().unwrap();
+        bundle.classifier = None;
+        assert!(
+            FittedFairPipeline::from_bundle(&bundle, FairPipelineConfig::default()).is_err()
+        );
+        bundle.standardizer = None;
+        assert!(
+            FittedFairPipeline::from_bundle(&bundle, FairPipelineConfig::default()).is_err()
+        );
     }
 
     #[test]
