@@ -1,0 +1,152 @@
+//! Routing-tier throughput: scores routed through a 3-shard local cluster,
+//! single-vector vs. scatter-gathered batches.
+//!
+//! The interesting quantity is the *router overhead*: the backends cache
+//! repeated vectors, so the measured path is parse → route → pool → TCP →
+//! cache-hit → reply — the part the routing tier adds on top of `pfr-serve`
+//! (whose own scoring throughput `serve_throughput` measures). Besides the
+//! Criterion timings, the bench prints requests/sec and writes them to
+//! `BENCH_router.json` at the workspace root so the perf trajectory of the
+//! tier is recorded PR over PR.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfr_core::persistence::{ClassifierSection, ModelBundle, StandardizerParams};
+use pfr_core::{Pfr, PfrConfig};
+use pfr_data::synthetic;
+use pfr_linalg::stats::Standardizer;
+use pfr_opt::LogisticRegression;
+use pfr_router::{LocalCluster, Router, RouterConfig};
+use pfr_serve::ServerConfig;
+use std::hint::black_box;
+use std::io::Write;
+use std::time::Instant;
+
+/// Request vectors scored per measured iteration.
+const TOTAL_REQUESTS: usize = 256;
+
+/// Scatter-gather batch size for the batched path.
+const BATCH: usize = 64;
+
+/// Trains a small fair pipeline and returns its deployable bundle plus the
+/// raw request vectors a client would send.
+fn bundle_and_requests() -> (ModelBundle, Vec<Vec<f64>>) {
+    let ds = synthetic::generate_default(47).expect("synthetic data generates");
+    let raw = ds.features();
+    let (standardizer, x) = Standardizer::fit_transform(raw).expect("standardization succeeds");
+    let (x_graph, wx, wf) = pfr_bench::bench_setup(&ds, 10, 5);
+    assert_eq!(x.shape(), x_graph.shape());
+    let model = Pfr::new(PfrConfig {
+        gamma: 0.5,
+        dim: 2,
+        ..PfrConfig::default()
+    })
+    .fit(&x, &wx, &wf)
+    .expect("PFR fits");
+    let z = model.transform(&x).expect("transform succeeds");
+    let mut clf = LogisticRegression::default();
+    clf.fit(&z, ds.labels()).expect("classifier fits");
+    let bundle = ModelBundle {
+        model,
+        standardizer: Some(StandardizerParams {
+            means: standardizer.means().to_vec(),
+            stds: standardizer.stds().to_vec(),
+        }),
+        classifier: Some(ClassifierSection {
+            threshold: 0.5,
+            text: clf.to_text().expect("classifier serializes"),
+        }),
+    };
+    let requests: Vec<Vec<f64>> = (0..TOTAL_REQUESTS)
+        .map(|i| raw.row(i % raw.rows()).to_vec())
+        .collect();
+    (bundle, requests)
+}
+
+/// Routes every request one vector at a time.
+fn route_singles(router: &Router, requests: &[Vec<f64>]) -> Vec<f64> {
+    requests
+        .iter()
+        .map(|row| router.score("bench", row).expect("routed score succeeds"))
+        .collect()
+}
+
+/// Routes every request in scatter-gathered chunks of `batch`.
+fn route_batches(router: &Router, requests: &[Vec<f64>], batch: usize) -> Vec<f64> {
+    let mut scores = Vec::with_capacity(requests.len());
+    for chunk in requests.chunks(batch) {
+        scores.extend(
+            router
+                .score_batch("bench", chunk)
+                .expect("routed batch succeeds"),
+        );
+    }
+    scores
+}
+
+fn bench_router_throughput(c: &mut Criterion) {
+    let (bundle, requests) = bundle_and_requests();
+    let mut cluster =
+        LocalCluster::boot(3, ServerConfig::default()).expect("local cluster boots");
+    let router = cluster
+        .router(RouterConfig::default())
+        .expect("router connects");
+    cluster
+        .place(&router, "bench", &bundle)
+        .expect("placement succeeds");
+    router.verify("bench").expect("replicas agree on content");
+
+    // Sanity: routing must not change a single bit of any score.
+    let singles = route_singles(&router, &requests);
+    let batched = route_batches(&router, &requests, BATCH);
+    for (i, (a, b)) in singles.iter().zip(batched.iter()).enumerate() {
+        assert_eq!(a.to_bits(), b.to_bits(), "scatter changed score {i}");
+    }
+
+    let mut group = c.benchmark_group("router_throughput");
+    group.sample_size(10);
+    group.bench_with_input(
+        BenchmarkId::new("route_256_requests", "single"),
+        &(),
+        |bench, ()| bench.iter(|| route_singles(black_box(&router), black_box(&requests))),
+    );
+    group.bench_with_input(
+        BenchmarkId::new("route_256_requests", format!("batch{BATCH}")),
+        &(),
+        |bench, ()| {
+            bench.iter(|| route_batches(black_box(&router), black_box(&requests), BATCH))
+        },
+    );
+    group.finish();
+
+    // Explicit requests/sec, also persisted as the PR-over-PR perf record.
+    let reps = 10;
+    let rps = |f: &dyn Fn() -> Vec<f64>| -> f64 {
+        let start = Instant::now();
+        for _ in 0..reps {
+            black_box(f());
+        }
+        (reps * TOTAL_REQUESTS) as f64 / start.elapsed().as_secs_f64()
+    };
+    let single = rps(&|| route_singles(&router, &requests));
+    let batch = rps(&|| route_batches(&router, &requests, BATCH));
+    println!("router_throughput: 3 shards, replication 2, {TOTAL_REQUESTS} requests");
+    println!("  single-vector: {single:>12.0} req/s");
+    println!("  batch={BATCH}:    {batch:>12.0} req/s ({:.2}x)", batch / single);
+
+    let json = format!(
+        "{{\n  \"bench\": \"router_throughput\",\n  \"shards\": 3,\n  \"replication\": 2,\n  \"requests\": {TOTAL_REQUESTS},\n  \"single_req_per_sec\": {single:.0},\n  \"batch{BATCH}_req_per_sec\": {batch:.0},\n  \"batch_speedup\": {:.3}\n}}\n",
+        batch / single
+    );
+    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
+    match std::fs::File::create(path) {
+        Ok(mut file) => {
+            file.write_all(json.as_bytes())
+                .expect("BENCH_router.json writes");
+            println!("  wrote {path}");
+        }
+        Err(e) => println!("  could not write {path}: {e}"),
+    }
+}
+
+criterion_group!(router_throughput, bench_router_throughput);
+criterion_main!(router_throughput);

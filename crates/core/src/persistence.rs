@@ -345,6 +345,45 @@ pub fn bundle_from_string(text: &str) -> Result<ModelBundle> {
     })
 }
 
+/// A 64-bit FNV-1a digest of a bundle's *canonical* serialized text.
+///
+/// Two bundles that serialize to the same `pfr-bundle-v1` text — the same
+/// projection bits, standardizer statistics, classifier weights and
+/// threshold — share a digest regardless of where or when they were parsed.
+/// A routing tier uses this to verify that every replica of a shard is
+/// serving the same model generation before trusting their scores to be
+/// interchangeable; process-local generation counters cannot do that job
+/// because they differ across processes by construction.
+pub fn bundle_digest(bundle: &ModelBundle) -> u64 {
+    fnv1a(bundle_to_string(bundle).as_bytes())
+}
+
+/// Digest of serialized bundle text: parses and re-serializes so that
+/// formatting differences (blank lines, trailing whitespace) do not change
+/// the digest, then hashes the canonical form.
+pub fn bundle_text_digest(text: &str) -> Result<u64> {
+    Ok(bundle_digest(&bundle_from_string(text)?))
+}
+
+/// Renders a digest the way the serving protocol reports it.
+pub fn digest_hex(digest: u64) -> String {
+    format!("{digest:016x}")
+}
+
+/// The 64-bit FNV-1a hash — tiny, dependency-free, and stable across
+/// platforms and processes, which is all a replica-consistency check needs
+/// (this is an integrity fingerprint, not a cryptographic commitment).
+/// Public so downstream tiers (the router's consistent-hash ring) reuse
+/// the same primitive instead of re-implementing the constants.
+pub fn fnv1a(bytes: &[u8]) -> u64 {
+    let mut h = 0xcbf29ce484222325u64;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    h
+}
+
 /// Writes a bundle to a file.
 pub fn save_bundle(bundle: &ModelBundle, path: &Path) -> Result<()> {
     std::fs::write(path, bundle_to_string(bundle))
@@ -519,6 +558,25 @@ mod tests {
         assert!(bundle_from_string(&doubled).is_err());
         let dup_model = text.replace("@end\n", "") + &bundle_to_string(&bundle);
         assert!(bundle_from_string(&dup_model).is_err());
+    }
+
+    #[test]
+    fn digests_are_stable_across_round_trips_and_sensitive_to_content() {
+        let (bundle, _) = fitted_bundle();
+        let d = bundle_digest(&bundle);
+        assert_eq!(digest_hex(d).len(), 16);
+        // Round-tripping through text does not change the digest.
+        let text = bundle_to_string(&bundle);
+        assert_eq!(bundle_text_digest(&text).unwrap(), d);
+        // Formatting noise does not change the digest (canonicalized).
+        let noisy = text.replace("@standardizer\n", "@standardizer\n\n");
+        assert_eq!(bundle_text_digest(&noisy).unwrap(), d);
+        // Content changes do.
+        let mut other = bundle.clone();
+        other.classifier.as_mut().unwrap().threshold = 0.75;
+        assert_ne!(bundle_digest(&other), d);
+        // Garbage is rejected, not hashed.
+        assert!(bundle_text_digest("not a bundle").is_err());
     }
 
     #[test]

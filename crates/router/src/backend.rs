@@ -1,0 +1,331 @@
+//! One routed-to backend: its connection pool and its circuit breaker.
+//!
+//! The breaker is the router's memory of backend failures. It closes (lets
+//! traffic through) while a backend behaves, opens (ejects the backend from
+//! routing) after `failure_threshold` *consecutive* failures, and after a
+//! probation period lets one trial request through (half-open): success
+//! re-admits the backend, failure re-opens it for another probation. Both
+//! the health prober and the request path feed the same breaker, so a
+//! backend dying under traffic is ejected after K failed requests even
+//! before the next probe runs.
+
+use crate::conn::{ConnConfig, ConnPool};
+use std::net::SocketAddr;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::{Duration, Instant};
+
+/// Circuit-breaker tuning.
+#[derive(Debug, Clone, Copy)]
+pub struct BreakerConfig {
+    /// Consecutive failures that open the breaker (eject the backend).
+    pub failure_threshold: u32,
+    /// How long an open breaker blocks traffic before allowing one
+    /// half-open trial request.
+    pub probation: Duration,
+}
+
+impl Default for BreakerConfig {
+    fn default() -> Self {
+        BreakerConfig {
+            failure_threshold: 3,
+            probation: Duration::from_millis(500),
+        }
+    }
+}
+
+/// Breaker state machine.
+#[derive(Debug, Clone, Copy, PartialEq)]
+enum BreakerState {
+    /// Healthy; counts consecutive failures toward the threshold.
+    Closed { failures: u32 },
+    /// Ejected until the deadline passes.
+    Open { until: Instant },
+    /// Probation expired; one trial request decides re-admit vs re-eject.
+    HalfOpen,
+}
+
+/// A consecutive-failure circuit breaker with probation and re-admission.
+#[derive(Debug)]
+pub struct CircuitBreaker {
+    config: BreakerConfig,
+    state: Mutex<BreakerState>,
+    ejections: AtomicU64,
+    readmissions: AtomicU64,
+}
+
+impl CircuitBreaker {
+    /// A closed (healthy) breaker.
+    pub fn new(config: BreakerConfig) -> Self {
+        CircuitBreaker {
+            config,
+            state: Mutex::new(BreakerState::Closed { failures: 0 }),
+            ejections: AtomicU64::new(0),
+            readmissions: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether the backend may receive traffic right now. An open breaker
+    /// whose probation has expired flips to half-open and answers yes — the
+    /// caller's next request is the trial.
+    pub fn available(&self) -> bool {
+        let mut state = self.state.lock().expect("breaker lock poisoned");
+        match *state {
+            BreakerState::Closed { .. } | BreakerState::HalfOpen => true,
+            BreakerState::Open { until } => {
+                if Instant::now() >= until {
+                    *state = BreakerState::HalfOpen;
+                    true
+                } else {
+                    false
+                }
+            }
+        }
+    }
+
+    /// Whether the breaker currently blocks traffic (no half-open
+    /// transition is performed, unlike [`CircuitBreaker::available`]).
+    pub fn is_open(&self) -> bool {
+        matches!(
+            *self.state.lock().expect("breaker lock poisoned"),
+            BreakerState::Open { .. }
+        )
+    }
+
+    /// Records a successful exchange: resets the failure count; a half-open
+    /// trial success re-admits the backend.
+    pub fn record_success(&self) {
+        let mut state = self.state.lock().expect("breaker lock poisoned");
+        if *state == BreakerState::HalfOpen {
+            self.readmissions.fetch_add(1, Ordering::Relaxed);
+        }
+        *state = BreakerState::Closed { failures: 0 };
+    }
+
+    /// Records a failed exchange: one more consecutive failure in closed
+    /// state (opening at the threshold); a half-open trial failure re-opens
+    /// immediately.
+    pub fn record_failure(&self) {
+        let mut state = self.state.lock().expect("breaker lock poisoned");
+        let open = |this: &Self| {
+            this.ejections.fetch_add(1, Ordering::Relaxed);
+            BreakerState::Open {
+                until: Instant::now() + this.config.probation,
+            }
+        };
+        *state = match *state {
+            BreakerState::Closed { failures } => {
+                let failures = failures + 1;
+                if failures >= self.config.failure_threshold.max(1) {
+                    open(self)
+                } else {
+                    BreakerState::Closed { failures }
+                }
+            }
+            BreakerState::HalfOpen => open(self),
+            // Already open: keep the original deadline (failures while
+            // ejected come from callers who raced the ejection).
+            BreakerState::Open { until } => BreakerState::Open { until },
+        };
+    }
+
+    /// How many times this breaker has opened.
+    pub fn ejections(&self) -> u64 {
+        self.ejections.load(Ordering::Relaxed)
+    }
+
+    /// How many times a half-open trial has re-admitted the backend.
+    pub fn readmissions(&self) -> u64 {
+        self.readmissions.load(Ordering::Relaxed)
+    }
+}
+
+/// One backend of the routing tier.
+#[derive(Debug)]
+pub struct Backend {
+    id: usize,
+    pool: ConnPool,
+    breaker: CircuitBreaker,
+}
+
+impl Backend {
+    /// A backend with a fresh pool and a closed breaker.
+    pub fn new(id: usize, addr: SocketAddr, conn: ConnConfig, breaker: BreakerConfig) -> Self {
+        Backend {
+            id,
+            pool: ConnPool::new(addr, conn),
+            breaker: CircuitBreaker::new(breaker),
+        }
+    }
+
+    /// Ring id of this backend.
+    pub fn id(&self) -> usize {
+        self.id
+    }
+
+    /// The backend's address.
+    pub fn addr(&self) -> SocketAddr {
+        self.pool.addr()
+    }
+
+    /// The backend's connection pool.
+    pub fn pool(&self) -> &ConnPool {
+        &self.pool
+    }
+
+    /// The backend's circuit breaker.
+    pub fn breaker(&self) -> &CircuitBreaker {
+        &self.breaker
+    }
+
+    /// One protocol exchange with breaker bookkeeping: io failures feed the
+    /// breaker and drain the pool (pooled sockets to a dead backend are all
+    /// equally broken); success feeds the breaker too, which is what
+    /// re-admits a half-open backend.
+    pub fn exchange(&self, line: &str) -> std::io::Result<String> {
+        match self.pool.run(|conn| conn.request(line)) {
+            Ok(response) => {
+                self.breaker.record_success();
+                Ok(response)
+            }
+            Err(e) => {
+                self.breaker.record_failure();
+                self.pool.drain();
+                Err(e)
+            }
+        }
+    }
+
+    /// A pipelined burst with the same breaker bookkeeping as
+    /// [`Backend::exchange`].
+    pub fn exchange_burst<S: AsRef<str>>(&self, lines: &[S]) -> std::io::Result<Vec<String>> {
+        match self.pool.run(|conn| conn.pipeline(lines)) {
+            Ok(responses) => {
+                self.breaker.record_success();
+                Ok(responses)
+            }
+            Err(e) => {
+                self.breaker.record_failure();
+                self.pool.drain();
+                Err(e)
+            }
+        }
+    }
+
+    /// A health-probe exchange: the breaker outcome is decided by the
+    /// *response content*, not just io success. This matters for the state
+    /// machine — interleaving a success for "socket worked" with a failure
+    /// for "payload was garbage" would reset the consecutive-failure count
+    /// every probe and a hijacked or misbehaving port could never be
+    /// ejected.
+    pub fn probe(&self, line: &str, expect_prefix: &str) -> bool {
+        match self.pool.run(|conn| conn.request(line)) {
+            Ok(response) if response.starts_with(expect_prefix) => {
+                self.breaker.record_success();
+                true
+            }
+            Ok(_) => {
+                self.breaker.record_failure();
+                false
+            }
+            Err(_) => {
+                self.breaker.record_failure();
+                self.pool.drain();
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn breaker(threshold: u32, probation_ms: u64) -> CircuitBreaker {
+        CircuitBreaker::new(BreakerConfig {
+            failure_threshold: threshold,
+            probation: Duration::from_millis(probation_ms),
+        })
+    }
+
+    #[test]
+    fn opens_after_k_consecutive_failures_only() {
+        let b = breaker(3, 10_000);
+        b.record_failure();
+        b.record_failure();
+        assert!(b.available(), "two of three failures must not eject");
+        // A success resets the consecutive count.
+        b.record_success();
+        b.record_failure();
+        b.record_failure();
+        assert!(b.available());
+        b.record_failure();
+        assert!(!b.available(), "third consecutive failure ejects");
+        assert!(b.is_open());
+        assert_eq!(b.ejections(), 1);
+    }
+
+    #[test]
+    fn probation_leads_to_half_open_then_readmission() {
+        let b = breaker(1, 30);
+        b.record_failure();
+        assert!(!b.available());
+        std::thread::sleep(Duration::from_millis(45));
+        // Probation over: one trial allowed.
+        assert!(b.available());
+        assert!(!b.is_open());
+        b.record_success();
+        assert!(b.available());
+        assert_eq!(b.readmissions(), 1);
+        assert_eq!(b.ejections(), 1);
+    }
+
+    #[test]
+    fn half_open_failure_re_ejects_for_another_probation() {
+        let b = breaker(1, 30);
+        b.record_failure();
+        std::thread::sleep(Duration::from_millis(45));
+        assert!(b.available()); // half-open trial
+        b.record_failure();
+        assert!(!b.available(), "failed trial re-opens immediately");
+        assert_eq!(b.ejections(), 2);
+        assert_eq!(b.readmissions(), 0);
+    }
+
+    #[test]
+    fn failures_while_open_keep_the_original_deadline() {
+        let b = breaker(1, 40);
+        b.record_failure();
+        let _ = b.available();
+        b.record_failure(); // racer reporting after the ejection
+        assert_eq!(b.ejections(), 1, "racing failures do not re-eject");
+        std::thread::sleep(Duration::from_millis(60));
+        assert!(b.available(), "deadline was not pushed out by the racer");
+    }
+
+    #[test]
+    fn backend_exchange_feeds_the_breaker() {
+        // A dead address: every exchange fails, breaker opens at K=2.
+        let addr = {
+            let l = std::net::TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let backend = Backend::new(
+            0,
+            addr,
+            ConnConfig {
+                connect_timeout: Duration::from_millis(100),
+                ..ConnConfig::default()
+            },
+            BreakerConfig {
+                failure_threshold: 2,
+                probation: Duration::from_secs(10),
+            },
+        );
+        assert!(backend.exchange("HEALTH").is_err());
+        assert!(backend.breaker().available());
+        assert!(backend.exchange("HEALTH").is_err());
+        assert!(!backend.breaker().available());
+        assert_eq!(backend.breaker().ejections(), 1);
+    }
+}

@@ -1,0 +1,273 @@
+//! An in-process cluster harness: N real `pfr-serve` servers on ephemeral
+//! loopback ports, plus helpers to build a router over them, place model
+//! bundles on the right replicas, and kill backends mid-test.
+//!
+//! This is the zero-infrastructure way to exercise the routing tier: every
+//! component is the production code path (real sockets, real protocol,
+//! real breakers) — only process boundaries are simulated by threads.
+
+use crate::router::{Router, RouterConfig};
+use crate::Result;
+use pfr_core::persistence::{self, ModelBundle};
+use pfr_serve::{Server, ServerConfig};
+use std::net::SocketAddr;
+use std::path::PathBuf;
+
+/// A booted set of serve backends, killable one by one.
+#[derive(Debug)]
+pub struct LocalCluster {
+    servers: Vec<Option<Server>>,
+    addrs: Vec<SocketAddr>,
+    scratch: Vec<PathBuf>,
+}
+
+impl LocalCluster {
+    /// Boots `n` backends, each from its own copy of `config` (the bind
+    /// address is forced to an ephemeral loopback port).
+    pub fn boot(n: usize, config: ServerConfig) -> Result<LocalCluster> {
+        let mut servers = Vec::with_capacity(n);
+        let mut addrs = Vec::with_capacity(n);
+        for _ in 0..n {
+            let server = Server::spawn(ServerConfig {
+                addr: "127.0.0.1:0".to_string(),
+                ..config.clone()
+            })
+            .map_err(|e| crate::RouterError::Backend(e.to_string()))?;
+            addrs.push(server.addr());
+            servers.push(Some(server));
+        }
+        Ok(LocalCluster {
+            servers,
+            addrs,
+            scratch: Vec::new(),
+        })
+    }
+
+    /// Backend addresses in ring-id order.
+    pub fn addrs(&self) -> &[SocketAddr] {
+        &self.addrs
+    }
+
+    /// Number of booted backends (killed ones included).
+    pub fn len(&self) -> usize {
+        self.addrs.len()
+    }
+
+    /// Whether the cluster has no backends.
+    pub fn is_empty(&self) -> bool {
+        self.addrs.is_empty()
+    }
+
+    /// Backends still alive.
+    pub fn live(&self) -> usize {
+        self.servers.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// The `i`-th backend's server handle, if still alive.
+    pub fn server(&self, i: usize) -> Option<&Server> {
+        self.servers.get(i).and_then(|s| s.as_ref())
+    }
+
+    /// A router fronting every backend of this cluster.
+    pub fn router(&self, config: RouterConfig) -> Result<Router> {
+        Router::connect(&self.addrs, config)
+    }
+
+    /// Places `bundle` under `model` via the router's own placement: the
+    /// bundle is written to a scratch file and `LOAD`ed onto the replica
+    /// set the ring picks. Returns how many replicas loaded it.
+    pub fn place(&mut self, router: &Router, model: &str, bundle: &ModelBundle) -> Result<usize> {
+        // The filename carries a process-wide counter besides pid and model
+        // name: concurrent clusters in one test binary may place the same
+        // model name, and sharing a scratch path would race save/LOAD/drop.
+        static PLACEMENTS: std::sync::atomic::AtomicU64 = std::sync::atomic::AtomicU64::new(0);
+        let unique = PLACEMENTS.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        let path = std::env::temp_dir().join(format!(
+            "pfr_router_cluster_{}_{unique}_{model}.bundle",
+            std::process::id()
+        ));
+        persistence::save_bundle(bundle, &path)
+            .map_err(|e| crate::RouterError::Backend(e.to_string()))?;
+        self.scratch.push(path.clone());
+        router.load(model, &path)
+    }
+
+    /// Kills backend `i`: its server shuts down (closing every established
+    /// connection), its port goes dead. Returns whether it was alive.
+    pub fn kill(&mut self, i: usize) -> bool {
+        match self.servers.get_mut(i).and_then(Option::take) {
+            Some(server) => {
+                server.shutdown();
+                true
+            }
+            None => false,
+        }
+    }
+}
+
+impl Drop for LocalCluster {
+    fn drop(&mut self) {
+        for server in self.servers.iter_mut().filter_map(Option::take) {
+            server.shutdown();
+        }
+        for path in &self.scratch {
+            let _ = std::fs::remove_file(path);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::backend::BreakerConfig;
+    use crate::conn::ConnConfig;
+    use pfr_core::persistence::{ClassifierSection, StandardizerParams};
+    use pfr_core::{Pfr, PfrConfig};
+    use pfr_graph::{KnnGraphBuilder, SparseGraph};
+    use pfr_linalg::Matrix;
+    use std::time::Duration;
+
+    pub(crate) fn toy_bundle() -> (ModelBundle, Matrix) {
+        let x = Matrix::from_rows(&[
+            vec![0.0, 0.1, 1.0],
+            vec![0.5, 0.4, 0.0],
+            vec![1.0, 0.9, 1.0],
+            vec![5.0, 5.1, 0.0],
+            vec![5.5, 5.4, 1.0],
+            vec![6.0, 5.9, 0.0],
+        ])
+        .unwrap();
+        let wx = KnnGraphBuilder::new(2).build(&x).unwrap();
+        let mut wf = SparseGraph::new(6);
+        wf.add_edge(0, 3, 1.0).unwrap();
+        wf.add_edge(2, 5, 1.0).unwrap();
+        let model = Pfr::new(PfrConfig {
+            gamma: 0.6,
+            dim: 2,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        let bundle = ModelBundle {
+            model,
+            standardizer: Some(StandardizerParams {
+                means: vec![3.0, 3.0, 0.5],
+                stds: vec![2.5, 2.5, 0.5],
+            }),
+            classifier: Some(ClassifierSection {
+                threshold: 0.5,
+                text: "pfr-logreg-v1 intercept=0.25 features=2\nweights 1.5 -0.75\n".to_string(),
+            }),
+        };
+        (bundle, x)
+    }
+
+    pub(crate) fn quick_router_config() -> RouterConfig {
+        RouterConfig {
+            replication: 2,
+            breaker: BreakerConfig {
+                failure_threshold: 2,
+                probation: Duration::from_millis(200),
+            },
+            conn: ConnConfig {
+                connect_timeout: Duration::from_millis(200),
+                io_timeout: Duration::from_secs(2),
+                max_idle: 4,
+            },
+            health_interval: Some(Duration::from_millis(25)),
+            ..RouterConfig::default()
+        }
+    }
+
+    #[test]
+    fn placement_loads_onto_exactly_the_replica_set() {
+        let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
+        let router = cluster.router(quick_router_config()).unwrap();
+        let (bundle, _) = toy_bundle();
+        let loaded = cluster.place(&router, "toy", &bundle).unwrap();
+        assert_eq!(loaded, 2, "replication factor 2 places two copies");
+        let replicas = router.replica_set("toy");
+        for id in 0..cluster.len() {
+            let has_model = cluster.server(id).unwrap().registry().get("toy").is_some();
+            assert_eq!(
+                has_model,
+                replicas.contains(&id),
+                "backend {id}: placement must follow the ring"
+            );
+        }
+        // All replicas serve identical content.
+        let digest = router.verify("toy").unwrap();
+        assert_eq!(digest.len(), 16);
+    }
+
+    #[test]
+    fn routed_scores_match_direct_scores_bitwise() {
+        let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
+        let router = cluster.router(quick_router_config()).unwrap();
+        let (bundle, x) = toy_bundle();
+        cluster.place(&router, "toy", &bundle).unwrap();
+        let replica = router.replica_set("toy")[0];
+        let expected = cluster
+            .server(replica)
+            .unwrap()
+            .registry()
+            .get("toy")
+            .unwrap()
+            .score_batch(&x)
+            .unwrap();
+        // Single-vector path.
+        for (i, want) in expected.iter().enumerate() {
+            let got = router.score("toy", x.row(i)).unwrap();
+            assert_eq!(got.to_bits(), want.to_bits(), "row {i}");
+        }
+        // Scatter-gather path.
+        let rows: Vec<Vec<f64>> = (0..x.rows()).map(|i| x.row(i).to_vec()).collect();
+        let got = router.score_batch("toy", &rows).unwrap();
+        for (i, (a, b)) in got.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(a.to_bits(), b.to_bits(), "batch row {i}");
+        }
+        assert!(router.stats().scatters() >= 1);
+    }
+
+    #[test]
+    fn unknown_model_and_malformed_vectors_error_without_failover_storms() {
+        let mut cluster = LocalCluster::boot(2, ServerConfig::default()).unwrap();
+        let router = cluster.router(quick_router_config()).unwrap();
+        assert!(matches!(
+            router.score("ghost", &[1.0, 2.0, 3.0]),
+            Err(crate::RouterError::Unavailable(_))
+        ));
+        let (bundle, _) = toy_bundle();
+        cluster.place(&router, "toy", &bundle).unwrap();
+        // Wrong arity is a deterministic request error.
+        assert!(matches!(
+            router.score("toy", &[1.0]),
+            Err(crate::RouterError::Backend(_))
+        ));
+        assert!(matches!(
+            router.verify("ghost"),
+            Err(crate::RouterError::Unavailable(_))
+        ));
+    }
+
+    #[test]
+    fn killing_a_replica_fails_over_and_keeps_scores_identical() {
+        let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
+        let router = cluster.router(quick_router_config()).unwrap();
+        let (bundle, x) = toy_bundle();
+        cluster.place(&router, "toy", &bundle).unwrap();
+        let expected = router.score("toy", x.row(0)).unwrap();
+        let victim = router.replica_set("toy")[0];
+        assert!(cluster.kill(victim));
+        // Every request still answers, identically, while the dead replica
+        // is discovered, ejected and routed around.
+        for _ in 0..20 {
+            let got = router.score("toy", x.row(0)).unwrap();
+            assert_eq!(got.to_bits(), expected.to_bits());
+        }
+        let rows: Vec<Vec<f64>> = (0..x.rows()).map(|i| x.row(i).to_vec()).collect();
+        let batch = router.score_batch("toy", &rows).unwrap();
+        assert_eq!(batch.len(), rows.len());
+        assert_eq!(cluster.live(), 2);
+    }
+}

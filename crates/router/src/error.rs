@@ -1,0 +1,85 @@
+//! Error type shared by the routing tier.
+
+use std::fmt;
+
+/// Errors produced by the routing tier.
+#[derive(Debug)]
+pub enum RouterError {
+    /// A socket operation failed against every candidate backend.
+    Io(std::io::Error),
+    /// A backend replied with something the protocol does not allow.
+    Protocol(String),
+    /// The ring has no members (or none that are admissible).
+    NoBackends,
+    /// No live replica could serve the named model.
+    Unavailable(String),
+    /// A backend rejected the request at the model level (`ERR ...`); such
+    /// errors are deterministic across replicas, so the router does not
+    /// fail over on them.
+    Backend(String),
+    /// Live replicas of one model disagree on their content digest.
+    ReplicaDivergence(String),
+}
+
+impl fmt::Display for RouterError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            RouterError::Io(e) => write!(f, "io error: {e}"),
+            RouterError::Protocol(msg) => write!(f, "protocol error: {msg}"),
+            RouterError::NoBackends => write!(f, "the ring has no backends"),
+            RouterError::Unavailable(model) => {
+                write!(f, "no live replica can serve model '{model}'")
+            }
+            RouterError::Backend(msg) => write!(f, "backend error: {msg}"),
+            RouterError::ReplicaDivergence(msg) => {
+                write!(f, "replica divergence: {msg}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RouterError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            RouterError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for RouterError {
+    fn from(e: std::io::Error) -> Self {
+        RouterError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_every_variant() {
+        let io: RouterError = std::io::Error::other("boom").into();
+        for (err, needle) in [
+            (io, "boom"),
+            (RouterError::Protocol("eh".into()), "protocol error"),
+            (RouterError::NoBackends, "no backends"),
+            (RouterError::Unavailable("m".into()), "no live replica"),
+            (RouterError::Backend("bad".into()), "backend error"),
+            (
+                RouterError::ReplicaDivergence("a != b".into()),
+                "divergence",
+            ),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn io_errors_expose_a_source() {
+        use std::error::Error;
+        let err: RouterError = std::io::Error::other("x").into();
+        assert!(err.source().is_some());
+        assert!(RouterError::NoBackends.source().is_none());
+    }
+}

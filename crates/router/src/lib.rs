@@ -1,0 +1,73 @@
+//! # pfr-router
+//!
+//! A sharded, fault-tolerant routing tier over multiple `pfr-serve`
+//! backends — the scale-out half of the serving story. One `pfr-serve`
+//! process (PR 1) owns a registry, a cache and a worker pool; this crate
+//! makes *N* of them behave like one service that grows capacity by adding
+//! shards, in the style of scale-out serving designs like Noria and the
+//! partitioned LSST/Qserv architecture:
+//!
+//! * [`HashRing`] — a consistent-hash ring with virtual nodes mapping model
+//!   names to an ordered backend preference list; replica sets are its
+//!   first `R` entries, membership changes remap only `~1/N` of keys.
+//! * [`ConnPool`] / [`Conn`] — per-backend TCP connection pools speaking
+//!   the `pfr-serve` line protocol, with pipelined bursts for sub-batches.
+//! * [`CircuitBreaker`] / [`Backend`] — consecutive-failure ejection with
+//!   probation and half-open re-admission; the request path and the
+//!   background [`HealthChecker`] feed the same breaker.
+//! * [`Router`] — placement (`LOAD` onto the replica set), single-vector
+//!   scoring with failover, scatter-gather batch scoring that stripes rows
+//!   over live replicas and reassembles in order, and `EPOCH`-digest
+//!   verification that all replicas serve bit-identical model content.
+//! * [`LocalCluster`] — an in-process harness booting real servers on
+//!   ephemeral ports for tests, benches and demos.
+//!
+//! Failure model: io errors fail over (and count toward ejection);
+//! deterministic request errors (`ERR` other than "no model named") do
+//! not; scores are bit-exact regardless of which replica answers, because
+//! serving is deterministic and replicas are digest-verified to hold the
+//! same content. Killing one backend of an `R ≥ 2` tier degrades capacity,
+//! never correctness — the cluster end-to-end test kills a replica under
+//! concurrent load and asserts every response stays bitwise identical to
+//! offline inference.
+//!
+//! ## Quick start
+//!
+//! ```no_run
+//! use pfr_router::{LocalCluster, RouterConfig};
+//! use pfr_serve::ServerConfig;
+//!
+//! let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
+//! let router = cluster.router(RouterConfig::default()).unwrap();
+//! # let bundle: pfr_core::persistence::ModelBundle = unimplemented!();
+//! cluster.place(&router, "admissions", &bundle).unwrap();
+//! router.verify("admissions").unwrap(); // replicas agree on content
+//! let score = router.score("admissions", &[0.3, 1.2, 1.0]).unwrap();
+//! # let _ = score;
+//! ```
+//!
+//! See `DESIGN.md` in this crate for the ring, replication and failover
+//! decisions, and `examples/router_demo.rs` at the workspace root for a
+//! full train → place → route → kill-a-backend walkthrough.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod backend;
+pub mod cluster;
+pub mod conn;
+pub mod error;
+pub mod health;
+pub mod ring;
+pub mod router;
+
+pub use backend::{Backend, BreakerConfig, CircuitBreaker};
+pub use cluster::LocalCluster;
+pub use conn::{Conn, ConnConfig, ConnPool};
+pub use error::RouterError;
+pub use health::HealthChecker;
+pub use ring::{HashRing, DEFAULT_VNODES};
+pub use router::{Router, RouterConfig, RouterStats};
+
+/// Convenient result alias used across the crate.
+pub type Result<T> = std::result::Result<T, RouterError>;

@@ -1,0 +1,483 @@
+//! The router proper: consistent-hash placement, replica failover,
+//! scatter-gather batch scoring and replica-consistency verification.
+//!
+//! ```text
+//!                    ┌──────────────────────────────┐
+//!   score(model, x)  │ Router                       │     ┌───────────┐
+//!  ─────────────────►│  ring.preference(model)      │────►│ backend 2 │
+//!                    │  skip ejected (breaker open) │     └───────────┘
+//!   score_batch(...) │  scatter rows over replicas  │────►┌───────────┐
+//!  ─────────────────►│  gather + per-row retry      │     │ backend 0 │
+//!                    └──────────────────────────────┘     └───────────┘
+//! ```
+//!
+//! Failure semantics: io errors (dead socket, timeout) are *backend*
+//! failures — they feed the breaker and the router fails over to the next
+//! backend in the key's preference order. `ERR` responses are *request*
+//! failures — deterministic across replicas (a malformed vector is
+//! malformed everywhere), so the router returns them without failover. The
+//! one exception is `ERR no model named ...`, which only means "this
+//! backend is not a replica of that model" and continues the walk.
+
+use crate::backend::{Backend, BreakerConfig};
+use crate::conn::ConnConfig;
+use crate::error::RouterError;
+use crate::health::HealthChecker;
+use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::Result;
+use std::net::SocketAddr;
+use std::path::Path;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Configuration of a routing tier.
+#[derive(Debug, Clone)]
+pub struct RouterConfig {
+    /// Replicas per model: how many backends (in ring preference order)
+    /// hold and serve each model. 1 disables redundancy; 2 survives any
+    /// single backend failure.
+    pub replication: usize,
+    /// Virtual nodes per backend on the ring.
+    pub vnodes: usize,
+    /// Circuit-breaker tuning shared by every backend.
+    pub breaker: BreakerConfig,
+    /// Socket tuning shared by every backend's connection pool.
+    pub conn: ConnConfig,
+    /// Health-probe period (`None` disables the background prober; the
+    /// request path still feeds the breakers).
+    pub health_interval: Option<Duration>,
+}
+
+/// Rows per pipelined burst within one scatter sub-batch. `SCORE` lines
+/// run a few hundred bytes, so 128 lines stay far under the combined
+/// client/server socket buffers — past those, write-all-then-read-all
+/// pipelining deadlocks until the io timeout.
+const MAX_BURST: usize = 128;
+
+impl Default for RouterConfig {
+    fn default() -> Self {
+        RouterConfig {
+            replication: 2,
+            vnodes: DEFAULT_VNODES,
+            breaker: BreakerConfig::default(),
+            conn: ConnConfig::default(),
+            health_interval: Some(Duration::from_millis(100)),
+        }
+    }
+}
+
+/// Routing-tier counters (all relaxed atomics, mirroring `ServerStats`).
+#[derive(Debug, Default)]
+pub struct RouterStats {
+    routed: AtomicU64,
+    failovers: AtomicU64,
+    scatters: AtomicU64,
+    retried_rows: AtomicU64,
+    probes: Arc<AtomicU64>,
+}
+
+impl RouterStats {
+    /// Requests (single or batch) that entered the routing path.
+    pub fn routed(&self) -> u64 {
+        self.routed.load(Ordering::Relaxed)
+    }
+
+    /// Times the router moved past a backend after an io failure.
+    pub fn failovers(&self) -> u64 {
+        self.failovers.load(Ordering::Relaxed)
+    }
+
+    /// Batch requests that were scattered over more than one replica.
+    pub fn scatters(&self) -> u64 {
+        self.scatters.load(Ordering::Relaxed)
+    }
+
+    /// Rows re-routed individually after their scatter sub-batch failed.
+    pub fn retried_rows(&self) -> u64 {
+        self.retried_rows.load(Ordering::Relaxed)
+    }
+
+    /// Health probes sent by the background prober.
+    pub fn probes(&self) -> u64 {
+        self.probes.load(Ordering::Relaxed)
+    }
+}
+
+/// A sharded, fault-tolerant routing tier over `pfr-serve` backends.
+#[derive(Debug)]
+pub struct Router {
+    config: RouterConfig,
+    backends: Vec<Arc<Backend>>,
+    ring: HashRing,
+    stats: RouterStats,
+    health: Option<HealthChecker>,
+}
+
+impl Router {
+    /// Builds the tier over `addrs` and starts the health prober (if
+    /// configured). Backend `i` of the ring is `addrs[i]`.
+    pub fn connect(addrs: &[SocketAddr], config: RouterConfig) -> Result<Router> {
+        if addrs.is_empty() {
+            return Err(RouterError::NoBackends);
+        }
+        let backends: Vec<Arc<Backend>> = addrs
+            .iter()
+            .enumerate()
+            .map(|(id, &addr)| Arc::new(Backend::new(id, addr, config.conn, config.breaker)))
+            .collect();
+        let mut ring = HashRing::new(config.vnodes);
+        for id in 0..backends.len() {
+            ring.add(id);
+        }
+        let stats = RouterStats::default();
+        let health = config.health_interval.map(|interval| {
+            HealthChecker::spawn(backends.clone(), interval, Arc::clone(&stats.probes))
+        });
+        Ok(Router {
+            config,
+            backends,
+            ring,
+            stats,
+            health,
+        })
+    }
+
+    /// The tier's configuration.
+    pub fn config(&self) -> &RouterConfig {
+        &self.config
+    }
+
+    /// Every backend, indexed by ring id.
+    pub fn backends(&self) -> &[Arc<Backend>] {
+        &self.backends
+    }
+
+    /// The consistent-hash ring.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// Routing counters.
+    pub fn stats(&self) -> &RouterStats {
+        &self.stats
+    }
+
+    /// `model`'s full failover order (ring preference, ignoring health).
+    pub fn preference(&self, model: &str) -> Vec<usize> {
+        self.ring.preference(model)
+    }
+
+    /// `model`'s replica set: the first `replication` backends of its
+    /// preference order (health-blind — this is *placement*, not routing).
+    pub fn replica_set(&self, model: &str) -> Vec<usize> {
+        self.ring.replicas(model, self.config.replication.max(1))
+    }
+
+    /// Sends `LOAD` to every backend of `model`'s replica set. Returns how
+    /// many replicas loaded it; errors only if none did. The path must be
+    /// readable by the backend processes (shared filesystem or local
+    /// cluster).
+    pub fn load(&self, model: &str, path: &Path) -> Result<usize> {
+        let line = format!("LOAD {model} {}", path.display());
+        let mut loaded = 0;
+        let mut last_error: Option<RouterError> = None;
+        for id in self.replica_set(model) {
+            match self.backends[id].exchange(&line) {
+                Ok(response) => match classify(&response) {
+                    Reply::Payload(_) => loaded += 1,
+                    Reply::NotLoaded | Reply::Rejected(_) => {
+                        last_error = Some(RouterError::Backend(response));
+                    }
+                },
+                Err(e) => last_error = Some(RouterError::Io(e)),
+            }
+        }
+        if loaded == 0 {
+            Err(last_error.unwrap_or(RouterError::NoBackends))
+        } else {
+            Ok(loaded)
+        }
+    }
+
+    /// Scores one vector, failing over along `model`'s preference order.
+    pub fn score(&self, model: &str, features: &[f64]) -> Result<f64> {
+        self.stats.routed.fetch_add(1, Ordering::Relaxed);
+        let line = score_line(model, features);
+        let response = self.route_line(model, &line)?;
+        parse_score(&response)
+    }
+
+    /// Scores a batch of vectors with scatter-gather: rows are striped over
+    /// the live replicas of `model`'s shard, each sub-batch ships as one
+    /// pipelined burst, and the results reassemble in request order. Rows
+    /// whose sub-batch fails (a replica died mid-stream) are re-routed
+    /// individually, so a single backend loss degrades throughput, never
+    /// correctness.
+    pub fn score_batch(&self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        if rows.is_empty() {
+            return Ok(Vec::new());
+        }
+        self.stats.routed.fetch_add(1, Ordering::Relaxed);
+        let lines: Vec<String> = rows.iter().map(|row| score_line(model, row)).collect();
+        let live: Vec<Arc<Backend>> = self
+            .replica_set(model)
+            .into_iter()
+            .filter(|&id| self.backends[id].breaker().available())
+            .map(|id| Arc::clone(&self.backends[id]))
+            .collect();
+        let mut scores: Vec<Option<f64>> = vec![None; rows.len()];
+        if live.len() > 1 {
+            self.stats.scatters.fetch_add(1, Ordering::Relaxed);
+        }
+        if !live.is_empty() {
+            // Stripe row indices over the live replicas.
+            let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
+            for i in 0..lines.len() {
+                assignment[i % live.len()].push(i);
+            }
+            let gathered: Vec<(Vec<usize>, Vec<String>)> = std::thread::scope(|scope| {
+                let handles: Vec<_> = assignment
+                    .into_iter()
+                    .zip(live.iter())
+                    .map(|(indices, backend)| {
+                        // Borrowed lines: the scoped threads join before
+                        // `lines` drops, so no per-row copies are needed.
+                        let chunk: Vec<&str> =
+                            indices.iter().map(|&i| lines[i].as_str()).collect();
+                        scope.spawn(move || {
+                            // Bound each pipelined burst: an unbounded
+                            // write-all-then-read-all would deadlock both
+                            // sides once the batch outgrows the combined
+                            // socket buffers (the server stops reading
+                            // when its writes block).
+                            let mut responses = Vec::with_capacity(chunk.len());
+                            for burst in chunk.chunks(MAX_BURST) {
+                                match backend.exchange_burst(burst) {
+                                    Ok(mut replies) => responses.append(&mut replies),
+                                    // Remaining rows retry individually;
+                                    // earlier bursts' scores are kept.
+                                    Err(_) => break,
+                                }
+                            }
+                            (indices, responses)
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .map(|h| h.join().expect("scatter thread never panics"))
+                    .collect()
+            });
+            for (indices, responses) in gathered {
+                // `zip` truncates to the responses actually received; ERR
+                // rows and missing tails fall through to the retry below.
+                for (&i, response) in indices.iter().zip(responses.iter()) {
+                    if let Reply::Payload(payload) = classify(response) {
+                        if let Ok(score) = parse_score(payload) {
+                            scores[i] = Some(score);
+                        }
+                    }
+                }
+            }
+        }
+        // Gather pass: any row still unscored is re-routed individually
+        // along the full preference order (and a deterministic ERR is
+        // surfaced from here).
+        for (i, slot) in scores.iter_mut().enumerate() {
+            if slot.is_none() {
+                self.stats.retried_rows.fetch_add(1, Ordering::Relaxed);
+                let response = self.route_line(model, &lines[i])?;
+                *slot = Some(parse_score(&response)?);
+            }
+        }
+        Ok(scores
+            .into_iter()
+            .map(|s| s.expect("every row scored or the retry errored"))
+            .collect())
+    }
+
+    /// Verifies that every reachable replica of `model` serves the same
+    /// bundle content, via the `EPOCH` digest. Returns the agreed digest
+    /// (hex). Replicas that are dead or not holding the model are skipped;
+    /// at least one must answer.
+    pub fn verify(&self, model: &str) -> Result<String> {
+        let line = format!("EPOCH {model}");
+        let mut digests: Vec<(usize, String)> = Vec::new();
+        for id in self.preference(model) {
+            let backend = &self.backends[id];
+            if !backend.breaker().available() {
+                continue;
+            }
+            let Ok(response) = backend.exchange(&line) else {
+                continue;
+            };
+            if let Reply::Payload(payload) = classify(&response) {
+                let digest = payload
+                    .split_whitespace()
+                    .find_map(|kv| kv.strip_prefix("digest="))
+                    .ok_or_else(|| {
+                        RouterError::Protocol(format!("EPOCH response without digest: {response}"))
+                    })?;
+                digests.push((id, digest.to_string()));
+            }
+        }
+        let Some((first_id, first)) = digests.first().cloned() else {
+            return Err(RouterError::Unavailable(model.to_string()));
+        };
+        for (id, digest) in &digests[1..] {
+            if *digest != first {
+                return Err(RouterError::ReplicaDivergence(format!(
+                    "model '{model}': backend {first_id} serves {first}, backend {id} serves {digest}"
+                )));
+            }
+        }
+        Ok(first)
+    }
+
+    /// Routes one request line along `model`'s preference order: ejected
+    /// backends are skipped (then retried as a last resort if nobody else
+    /// answered), io failures fail over, `ERR no model named` continues,
+    /// and any other `ERR` is returned without failover. The `routed`
+    /// counter is incremented by the public entry points, not here — batch
+    /// retries funnel through this path and must not double-count.
+    fn route_line(&self, model: &str, line: &str) -> Result<String> {
+        let preference = self.preference(model);
+        if preference.is_empty() {
+            return Err(RouterError::NoBackends);
+        }
+        let mut skipped: Vec<usize> = Vec::new();
+        let mut last_io: Option<std::io::Error> = None;
+        for &id in &preference {
+            if !self.backends[id].breaker().available() {
+                skipped.push(id);
+                continue;
+            }
+            match self.attempt(id, line, &mut last_io)? {
+                Some(payload) => return Ok(payload),
+                None => continue,
+            }
+        }
+        // Last resort: every admissible backend failed or lacked the
+        // model. Try the ejected ones once — a stale breaker must degrade
+        // latency, not turn a servable request into an error.
+        for id in skipped {
+            match self.attempt(id, line, &mut last_io)? {
+                Some(payload) => return Ok(payload),
+                None => continue,
+            }
+        }
+        match last_io {
+            Some(e) => Err(RouterError::Io(e)),
+            None => Err(RouterError::Unavailable(model.to_string())),
+        }
+    }
+
+    /// One routing attempt. `Ok(Some(payload))` is success, `Ok(None)`
+    /// means keep walking (io failure or model-not-here), `Err` is a
+    /// deterministic request error that must not fail over.
+    fn attempt(
+        &self,
+        id: usize,
+        line: &str,
+        last_io: &mut Option<std::io::Error>,
+    ) -> Result<Option<String>> {
+        match self.backends[id].exchange(line) {
+            Ok(response) => match classify(&response) {
+                Reply::Payload(payload) => Ok(Some(payload.to_string())),
+                Reply::NotLoaded => Ok(None),
+                Reply::Rejected(msg) => Err(RouterError::Backend(msg.to_string())),
+            },
+            Err(e) => {
+                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                *last_io = Some(e);
+                Ok(None)
+            }
+        }
+    }
+}
+
+impl Drop for Router {
+    fn drop(&mut self) {
+        if let Some(health) = &mut self.health {
+            health.stop();
+        }
+    }
+}
+
+/// A backend's one-line reply, classified for routing.
+enum Reply<'a> {
+    /// `OK <payload>` — success.
+    Payload(&'a str),
+    /// `ERR no model named ...` — this backend is not a replica; walk on.
+    NotLoaded,
+    /// Any other `ERR` — deterministic request error; do not fail over.
+    Rejected(&'a str),
+}
+
+fn classify(response: &str) -> Reply<'_> {
+    if let Some(payload) = response.strip_prefix("OK ") {
+        Reply::Payload(payload)
+    } else if response == "OK" {
+        Reply::Payload("")
+    } else if response
+        .strip_prefix("ERR ")
+        .is_some_and(|msg| msg.starts_with(pfr_serve::protocol::MODEL_NOT_FOUND_PREFIX))
+    {
+        Reply::NotLoaded
+    } else {
+        Reply::Rejected(response)
+    }
+}
+
+fn score_line(model: &str, features: &[f64]) -> String {
+    format!(
+        "SCORE {model} {}",
+        pfr_serve::protocol::format_numbers(features)
+    )
+}
+
+/// Parses the score out of a `SCORE` payload (`<probability> <label>`).
+fn parse_score(payload: &str) -> Result<f64> {
+    payload
+        .split_whitespace()
+        .next()
+        .and_then(|v| v.parse::<f64>().ok())
+        .ok_or_else(|| RouterError::Protocol(format!("unparseable score payload '{payload}'")))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn classify_separates_success_absence_and_rejection() {
+        assert!(matches!(classify("OK 0.5 1"), Reply::Payload("0.5 1")));
+        assert!(matches!(classify("OK"), Reply::Payload("")));
+        assert!(matches!(
+            classify("ERR no model named 'm' is loaded"),
+            Reply::NotLoaded
+        ));
+        assert!(matches!(classify("ERR protocol error"), Reply::Rejected(_)));
+        // A response that is neither OK nor ERR is still a rejection (the
+        // router never trusts garbage).
+        assert!(matches!(classify("banana"), Reply::Rejected(_)));
+    }
+
+    #[test]
+    fn parse_score_round_trips_shortest_float_formatting() {
+        let v: f64 = 0.1 + 0.2;
+        let payload = format!("{v} 1");
+        assert_eq!(parse_score(&payload).unwrap().to_bits(), v.to_bits());
+        assert!(parse_score("").is_err());
+        assert!(parse_score("notanumber 1").is_err());
+    }
+
+    #[test]
+    fn connect_rejects_an_empty_backend_list() {
+        assert!(matches!(
+            Router::connect(&[], RouterConfig::default()),
+            Err(RouterError::NoBackends)
+        ));
+    }
+}

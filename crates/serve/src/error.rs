@@ -23,7 +23,11 @@ impl fmt::Display for ServeError {
             ServeError::Model(msg) => write!(f, "model error: {msg}"),
             ServeError::Io(e) => write!(f, "io error: {e}"),
             ServeError::Protocol(msg) => write!(f, "protocol error: {msg}"),
-            ServeError::ModelNotFound(name) => write!(f, "no model named '{name}' is loaded"),
+            ServeError::ModelNotFound(name) => write!(
+                f,
+                "{} '{name}' is loaded",
+                crate::protocol::MODEL_NOT_FOUND_PREFIX
+            ),
             ServeError::Shutdown => write!(f, "serving subsystem is shut down"),
         }
     }

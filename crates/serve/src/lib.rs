@@ -18,10 +18,14 @@
 //!   `pfr_linalg` instead of `B` scalar passes.
 //! * [`ScoreCache`] — a fixed-capacity LRU keyed by (model generation,
 //!   exact feature bits); deterministic scoring makes hits exact, and
-//!   hot swaps invalidate implicitly via the generation.
+//!   hot swaps invalidate implicitly via the generation. Optional TTL
+//!   expiry and per-model capacity bounds via [`CachePolicy`].
 //! * [`Server`] — a line-delimited TCP protocol (`LOAD` / `SCORE` /
-//!   `TRANSFORM` / `STATS` / `QUIT`) with per-verb latency and hit-rate
-//!   counters ([`ServerStats`]), one thread per connection.
+//!   `TRANSFORM` / `STATS` / `HEALTH` / `EPOCH` / `QUIT`) with per-verb
+//!   latency and hit-rate counters ([`ServerStats`]), one thread per
+//!   connection, and a graceful shutdown that closes and joins every
+//!   connection. `HEALTH` and `EPOCH` exist for the `pfr-router` tier:
+//!   liveness/queue-depth probes and cross-process model-content digests.
 //!
 //! ## Quick start
 //!
@@ -56,14 +60,14 @@ pub mod server;
 pub mod stats;
 
 pub use batcher::{BatcherConfig, MicroBatcher};
-pub use cache::{ScoreCache, ScoreKey};
+pub use cache::{CachePolicy, ScoreCache, ScoreKey};
 pub use error::ServeError;
 pub use model::ServableModel;
 pub use pool::WorkerPool;
 pub use protocol::Request;
 pub use registry::ModelRegistry;
 pub use server::{Server, ServerConfig};
-pub use stats::{ServerStats, VerbStats};
+pub use stats::{InflightGuard, ServerStats, VerbStats};
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, ServeError>;

@@ -27,6 +27,7 @@ static NEXT_GENERATION: AtomicU64 = AtomicU64::new(1);
 pub struct ServableModel {
     version: String,
     generation: u64,
+    digest: u64,
     standardizer: Option<Standardizer>,
     model: PfrModel,
     classifier: Option<LogisticRegression>,
@@ -68,6 +69,7 @@ impl ServableModel {
         Ok(ServableModel {
             version: version.into(),
             generation: NEXT_GENERATION.fetch_add(1, Ordering::Relaxed),
+            digest: pfr_core::persistence::bundle_digest(bundle),
             standardizer,
             model: bundle.model.clone(),
             classifier,
@@ -89,6 +91,15 @@ impl ServableModel {
     /// The process-unique generation number (cache-key component).
     pub fn generation(&self) -> u64 {
         self.generation
+    }
+
+    /// The content digest of the bundle this model was materialized from
+    /// ([`pfr_core::persistence::bundle_digest`]). Unlike the generation,
+    /// the digest is comparable *across* processes: two backends serving
+    /// bit-identical model content report the same digest, which is how a
+    /// routing tier verifies replica consistency.
+    pub fn digest(&self) -> u64 {
+        self.digest
     }
 
     /// Number of raw input features a request vector must carry.
@@ -252,5 +263,19 @@ pub(crate) mod tests {
         let a = ServableModel::from_bundle("toy@1", &bundle).unwrap();
         let b = ServableModel::from_bundle("toy@2", &bundle).unwrap();
         assert!(b.generation() > a.generation());
+    }
+
+    #[test]
+    fn digest_tracks_content_not_generation() {
+        let (bundle, _) = toy_bundle();
+        let a = ServableModel::from_bundle("toy@1", &bundle).unwrap();
+        let b = ServableModel::from_bundle("toy@2", &bundle).unwrap();
+        // Two materializations of the same content share a digest even
+        // though their generations differ.
+        assert_eq!(a.digest(), b.digest());
+        let mut other = bundle.clone();
+        other.classifier.as_mut().unwrap().threshold = 0.9;
+        let c = ServableModel::from_bundle("toy@3", &other).unwrap();
+        assert_ne!(c.digest(), a.digest());
     }
 }

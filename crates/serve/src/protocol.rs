@@ -7,9 +7,19 @@
 //! SCORE <name> v1 v2 ... vm     -> OK <probability> <hard-label>
 //! TRANSFORM <name> v1 ... vm    -> OK z1 z2 ... zd
 //! STATS                         -> OK key=value key=value ...
+//! HEALTH                        -> OK up models=<n> swaps=<s> queue=<q>
+//! EPOCH <name>                  -> OK <name> generation=<g> digest=<hex>
 //! QUIT                          -> OK bye (server closes the connection)
 //! anything else                 -> ERR <message>
 //! ```
+//!
+//! `HEALTH` and `EPOCH` exist for the routing tier (`pfr-router`): `HEALTH`
+//! is the liveness probe its circuit breakers feed on (`queue=` is the
+//! number of requests currently in flight, a cheap load signal), and
+//! `EPOCH`'s digest lets the router verify that every replica of a shard
+//! serves bit-identical model content before treating their scores as
+//! interchangeable — process-local generation counters cannot be compared
+//! across backends.
 //!
 //! Numbers are rendered with Rust's shortest-round-trip `{}` formatting, so
 //! an `f64` survives the text protocol bit-exactly — the end-to-end tests
@@ -17,6 +27,13 @@
 
 use crate::error::ServeError;
 use crate::Result;
+
+/// Prefix of the `ERR` message a server sends when the requested model is
+/// not in its registry. This is a **wire contract**: the routing tier
+/// distinguishes "this backend is not a replica of that model" (keep
+/// walking the ring) from every other `ERR` (deterministic request
+/// failure, do not fail over) by exactly this prefix.
+pub const MODEL_NOT_FOUND_PREFIX: &str = "no model named";
 
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
@@ -44,6 +61,13 @@ pub enum Request {
     },
     /// Report serving statistics.
     Stats,
+    /// Liveness probe: model count, hot-swap count and in-flight queue depth.
+    Health,
+    /// Report the named model's generation and content digest.
+    Epoch {
+        /// Registry name of the model.
+        name: String,
+    },
     /// Close the connection.
     Quit,
 }
@@ -95,6 +119,22 @@ pub fn parse_request(line: &str) -> Result<Request> {
                 return Err(ServeError::Protocol("STATS takes no arguments".to_string()));
             }
             Ok(Request::Stats)
+        }
+        "HEALTH" => {
+            if !parts.is_empty() {
+                return Err(ServeError::Protocol(
+                    "HEALTH takes no arguments".to_string(),
+                ));
+            }
+            Ok(Request::Health)
+        }
+        "EPOCH" => {
+            if parts.len() != 1 {
+                return Err(ServeError::Protocol("usage: EPOCH <name>".to_string()));
+            }
+            Ok(Request::Epoch {
+                name: parts[0].to_string(),
+            })
         }
         "QUIT" => Ok(Request::Quit),
         other => Err(ServeError::Protocol(format!("unknown verb '{other}'"))),
@@ -154,9 +194,17 @@ mod tests {
             }
         );
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
+        assert_eq!(parse_request("HEALTH").unwrap(), Request::Health);
+        assert_eq!(
+            parse_request("EPOCH risk").unwrap(),
+            Request::Epoch {
+                name: "risk".to_string()
+            }
+        );
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
         // Verbs are case-insensitive, arguments are not.
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
+        assert_eq!(parse_request("health").unwrap(), Request::Health);
     }
 
     #[test]
@@ -171,6 +219,9 @@ mod tests {
             "SCORE risk",
             "SCORE risk notanumber",
             "STATS extra",
+            "HEALTH now",
+            "EPOCH",
+            "EPOCH a b",
             "FROB risk 1 2",
         ] {
             assert!(parse_request(bad).is_err(), "'{bad}' should be rejected");

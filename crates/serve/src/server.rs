@@ -19,19 +19,20 @@
 //! same model generation.
 
 use crate::batcher::{BatcherConfig, MicroBatcher};
-use crate::cache::{ScoreCache, ScoreKey};
+use crate::cache::{CachePolicy, ScoreCache, ScoreKey};
 use crate::error::ServeError;
 use crate::protocol::{self, Request};
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use crate::Result;
+use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 /// Configuration of a serving instance.
 #[derive(Debug, Clone)]
@@ -44,6 +45,12 @@ pub struct ServerConfig {
     pub batcher: BatcherConfig,
     /// LRU score-cache capacity (0 disables caching).
     pub cache_capacity: usize,
+    /// Score-cache entries expire this long after insertion (`None` =
+    /// never; see [`CachePolicy::ttl`]).
+    pub cache_ttl: Option<Duration>,
+    /// Per-model-generation score-cache bound (`None` = none; see
+    /// [`CachePolicy::per_model`]).
+    pub cache_per_model: Option<usize>,
     /// Directory the network-facing `LOAD` verb may read bundles from.
     /// `None` allows any path — acceptable on the default loopback bind,
     /// but a server exposed beyond localhost should restrict `LOAD` (the
@@ -59,7 +66,73 @@ impl Default for ServerConfig {
             workers: 4,
             batcher: BatcherConfig::default(),
             cache_capacity: 4096,
+            cache_ttl: None,
+            cache_per_model: None,
             bundle_dir: None,
+        }
+    }
+}
+
+/// How often the accept loop re-checks the shutdown flag while no
+/// connection is pending. Bounds both shutdown latency and the worst-case
+/// extra accept latency of the non-blocking loop.
+const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Live client connections: their streams (so shutdown can unblock the
+/// reads) and their thread handles (so shutdown can join instead of leak).
+#[derive(Debug, Default)]
+struct ConnectionTable {
+    next_id: AtomicU64,
+    streams: Mutex<HashMap<u64, TcpStream>>,
+    threads: Mutex<Vec<(u64, JoinHandle<()>)>>,
+}
+
+impl ConnectionTable {
+    /// Registers a connection; returns its id for deregistration.
+    fn register(&self, stream: TcpStream) -> u64 {
+        let id = self.next_id.fetch_add(1, Ordering::Relaxed);
+        self.streams
+            .lock()
+            .expect("connection table lock poisoned")
+            .insert(id, stream);
+        id
+    }
+
+    /// Removes a finished connection's stream (called by its own thread).
+    fn deregister(&self, id: u64) {
+        self.streams
+            .lock()
+            .expect("connection table lock poisoned")
+            .remove(&id);
+    }
+
+    /// Records a connection thread's handle and drops already-finished
+    /// handles (dropping a finished thread's handle just detaches it), so
+    /// the table stays bounded by the number of *live* connections, not the
+    /// number ever accepted.
+    fn track(&self, id: u64, handle: JoinHandle<()>) {
+        let mut threads = self.threads.lock().expect("connection table lock poisoned");
+        threads.retain(|(_, h)| !h.is_finished());
+        threads.push((id, handle));
+    }
+
+    /// Half-closes every live connection so blocked `read_line`s return,
+    /// then joins every connection thread.
+    fn close_and_join(&self) {
+        for stream in self
+            .streams
+            .lock()
+            .expect("connection table lock poisoned")
+            .values()
+        {
+            let _ = stream.shutdown(Shutdown::Both);
+        }
+        let handles: Vec<_> = {
+            let mut threads = self.threads.lock().expect("connection table lock poisoned");
+            threads.drain(..).collect()
+        };
+        for (_, handle) in handles {
+            let _ = handle.join();
         }
     }
 }
@@ -72,6 +145,7 @@ struct ServeContext {
     pool: Arc<crate::pool::WorkerPool>,
     stats: Arc<ServerStats>,
     bundle_dir: Option<std::path::PathBuf>,
+    connections: ConnectionTable,
 }
 
 /// A running server: address, shared state handles, and shutdown control.
@@ -93,6 +167,11 @@ impl Server {
     pub fn spawn(config: ServerConfig) -> Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
+        // A non-blocking listener lets the accept loop poll the shutdown
+        // flag and exit on its own, instead of relying on a wake-up
+        // connection that can silently fail and leave the thread (and the
+        // bound port) alive forever.
+        listener.set_nonblocking(true)?;
         let stats = Arc::new(ServerStats::new());
         let pool = Arc::new(crate::pool::WorkerPool::new(config.workers));
         let batcher = MicroBatcher::new(
@@ -102,11 +181,16 @@ impl Server {
         );
         let context = Arc::new(ServeContext {
             registry: ModelRegistry::new(),
-            cache: Mutex::new(ScoreCache::new(config.cache_capacity)),
+            cache: Mutex::new(ScoreCache::with_policy(CachePolicy {
+                capacity: config.cache_capacity,
+                ttl: config.cache_ttl,
+                per_model: config.cache_per_model,
+            })),
             batcher,
             pool,
             stats,
             bundle_dir: config.bundle_dir.clone(),
+            connections: ConnectionTable::default(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let accept_thread = {
@@ -114,33 +198,7 @@ impl Server {
             let shutdown = Arc::clone(&shutdown);
             std::thread::Builder::new()
                 .name("pfr-serve-accept".to_string())
-                .spawn(move || {
-                    for stream in listener.incoming() {
-                        if shutdown.load(Ordering::SeqCst) {
-                            break;
-                        }
-                        let stream = match stream {
-                            Ok(stream) => stream,
-                            Err(_) => {
-                                // Persistent accept errors (EMFILE under fd
-                                // exhaustion) return without consuming the
-                                // pending connection; retrying immediately
-                                // would busy-spin a core.
-                                std::thread::sleep(std::time::Duration::from_millis(10));
-                                continue;
-                            }
-                        };
-                        // The protocol is one short line each way per
-                        // request; Nagle + delayed ACK would serialize that
-                        // into ~40ms round trips.
-                        let _ = stream.set_nodelay(true);
-                        let context = Arc::clone(&context);
-                        context.stats.record_connection();
-                        let _ = std::thread::Builder::new()
-                            .name("pfr-serve-conn".to_string())
-                            .spawn(move || handle_connection(stream, &context));
-                    }
-                })
+                .spawn(move || accept_loop(listener, &context, &shutdown))
                 .expect("spawning the accept thread never fails on this platform")
         };
         Ok(Server {
@@ -168,33 +226,82 @@ impl Server {
         &self.context.stats
     }
 
-    /// Signals the accept loop to stop and joins it. Established
-    /// connections finish their current request and close with their
-    /// clients.
+    /// Gracefully shuts the server down: stops accepting, closes every
+    /// established connection (in-flight requests finish; blocked reads are
+    /// unblocked by the socket close) and joins the accept and connection
+    /// threads. No thread or socket outlives this call.
     pub fn shutdown(mut self) {
-        self.stop_accepting();
+        self.stop();
     }
 
-    fn stop_accepting(&mut self) {
+    fn stop(&mut self) {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        // Wake the blocking accept with a throwaway connection.
-        let _ = TcpStream::connect(self.addr);
         if let Some(t) = self.accept_thread.take() {
             let _ = t.join();
         }
+        self.context.connections.close_and_join();
     }
 }
 
 impl Drop for Server {
     fn drop(&mut self) {
-        self.stop_accepting();
+        self.stop();
     }
 }
 
-/// Reads request lines until EOF/QUIT, writing one response line each.
-fn handle_connection(stream: TcpStream, context: &ServeContext) {
+/// Accepts connections until the shutdown flag flips, polling every
+/// [`ACCEPT_POLL`] while idle; each accepted stream gets a registered,
+/// joinable connection thread.
+fn accept_loop(listener: TcpListener, context: &Arc<ServeContext>, shutdown: &Arc<AtomicBool>) {
+    while !shutdown.load(Ordering::SeqCst) {
+        let stream = match listener.accept() {
+            Ok((stream, _)) => stream,
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(ACCEPT_POLL);
+                continue;
+            }
+            Err(_) => {
+                // Persistent accept errors (EMFILE under fd exhaustion)
+                // return without consuming the pending connection; retrying
+                // immediately would busy-spin a core.
+                std::thread::sleep(Duration::from_millis(10));
+                continue;
+            }
+        };
+        // Accepted sockets must block: the connection thread parks in
+        // read_line between requests. (Linux does not inherit O_NONBLOCK
+        // across accept, but other platforms may.)
+        if stream.set_nonblocking(false).is_err() {
+            continue;
+        }
+        // The protocol is one short line each way per request; Nagle +
+        // delayed ACK would serialize that into ~40ms round trips.
+        let _ = stream.set_nodelay(true);
+        let Ok(tracked) = stream.try_clone() else {
+            continue;
+        };
+        context.stats.record_connection();
+        let id = context.connections.register(tracked);
+        let thread_context = Arc::clone(context);
+        let thread_shutdown = Arc::clone(shutdown);
+        let spawned = std::thread::Builder::new()
+            .name("pfr-serve-conn".to_string())
+            .spawn(move || {
+                handle_connection(stream, &thread_context, &thread_shutdown);
+                thread_context.connections.deregister(id);
+            });
+        match spawned {
+            Ok(handle) => context.connections.track(id, handle),
+            Err(_) => context.connections.deregister(id),
+        }
+    }
+}
+
+/// Reads request lines until EOF/QUIT/shutdown, writing one response line
+/// each.
+fn handle_connection(stream: TcpStream, context: &ServeContext, shutdown: &AtomicBool) {
     let Ok(peer_half) = stream.try_clone() else {
         return;
     };
@@ -204,8 +311,14 @@ fn handle_connection(stream: TcpStream, context: &ServeContext) {
     loop {
         line.clear();
         match reader.read_line(&mut line) {
-            Ok(0) | Err(_) => return, // client closed
+            Ok(0) | Err(_) => return, // client closed (or shutdown closed us)
             Ok(_) => {}
+        }
+        // A line that raced the shutdown close is dropped rather than
+        // served: the socket is already shut in both directions, so the
+        // response could not reach the client anyway.
+        if shutdown.load(Ordering::SeqCst) {
+            return;
         }
         if line.trim().is_empty() {
             continue;
@@ -227,6 +340,7 @@ fn respond(line: &str, context: &ServeContext) -> (String, bool) {
         Ok(Request::Quit) => (protocol::ok_response("bye"), true),
         Ok(request) => {
             let start = Instant::now();
+            let _inflight = context.stats.track_inflight();
             let (verb_stats, outcome) = match request {
                 Request::Load { name, path } => (
                     &context.stats.load,
@@ -243,6 +357,10 @@ fn respond(line: &str, context: &ServeContext) -> (String, bool) {
                     &context.stats.stats,
                     Ok(context.stats.to_line()),
                 ),
+                Request::Health => (&context.stats.health, Ok(handle_health(context))),
+                Request::Epoch { name } => {
+                    (&context.stats.epoch, handle_epoch(context, &name))
+                }
                 Request::Quit => unreachable!("handled above"),
             };
             verb_stats.record(start.elapsed(), outcome.is_ok());
@@ -253,6 +371,30 @@ fn respond(line: &str, context: &ServeContext) -> (String, bool) {
         }
         Err(e) => (protocol::err_response(&e), false),
     }
+}
+
+/// `HEALTH`: liveness plus the signals a routing tier keys decisions on —
+/// how many models are loaded, how often they have been swapped, and the
+/// instantaneous queue depth. The `queue=` figure includes this HEALTH
+/// request itself, so an idle server reports `queue=1`.
+fn handle_health(context: &ServeContext) -> String {
+    format!(
+        "up models={} swaps={} queue={}",
+        context.registry.len(),
+        context.registry.hot_swaps(),
+        context.stats.queue_depth(),
+    )
+}
+
+/// `EPOCH <name>`: the model's process-local generation and its
+/// cross-process-comparable content digest.
+fn handle_epoch(context: &ServeContext, name: &str) -> Result<String> {
+    let model = context.registry.resolve(name)?;
+    Ok(format!(
+        "{name} generation={} digest={}",
+        model.generation(),
+        pfr_core::persistence::digest_hex(model.digest()),
+    ))
 }
 
 fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Result<String> {
@@ -529,6 +671,60 @@ mod tests {
             // Either EOF immediately or an error; never a served response.
             let _ = reader.read_line(&mut buf);
             assert!(!buf.starts_with("OK"));
+        }
+    }
+
+    #[test]
+    fn health_and_epoch_speak_the_protocol() {
+        let (server, text, _) = start_with_model();
+        let responses = request(
+            server.addr(),
+            &[
+                "HEALTH".to_string(),
+                "EPOCH risk".to_string(),
+                "EPOCH missing".to_string(),
+            ],
+        );
+        assert!(responses[0].starts_with("OK up models=1 swaps=0 queue="), "{}", responses[0]);
+        let model = server.registry().get("risk").unwrap();
+        assert_eq!(
+            responses[1],
+            format!(
+                "OK risk generation={} digest={}",
+                model.generation(),
+                pfr_core::persistence::digest_hex(model.digest())
+            )
+        );
+        assert!(responses[2].starts_with("ERR no model named"), "{}", responses[2]);
+        // A hot swap changes the generation but not the digest (same
+        // content), and HEALTH reports the swap.
+        server.registry().load_from_str("risk", &text).unwrap();
+        let swapped = server.registry().get("risk").unwrap();
+        assert_ne!(swapped.generation(), model.generation());
+        assert_eq!(swapped.digest(), model.digest());
+        let responses = request(server.addr(), &["HEALTH".to_string()]);
+        assert!(responses[0].contains("swaps=1"), "{}", responses[0]);
+        server.shutdown();
+    }
+
+    #[test]
+    fn shutdown_closes_established_connections_and_joins_their_threads() {
+        let (server, _, _) = start_with_model();
+        // Park two idle connections in read_line.
+        let idle: Vec<TcpStream> = (0..2)
+            .map(|_| TcpStream::connect(server.addr()).unwrap())
+            .collect();
+        // Give the accept loop time to register both.
+        std::thread::sleep(std::time::Duration::from_millis(50));
+        server.shutdown();
+        // shutdown() returned, which means it joined the connection threads
+        // — only possible because it closed their sockets. The clients see
+        // EOF rather than a hang.
+        for stream in idle {
+            let mut reader = BufReader::new(stream);
+            let mut buf = String::new();
+            let n = reader.read_line(&mut buf).unwrap_or(0);
+            assert_eq!(n, 0, "expected EOF after shutdown, got '{buf}'");
         }
     }
 

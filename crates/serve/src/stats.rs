@@ -58,12 +58,18 @@ pub struct ServerStats {
     pub transform: VerbStats,
     /// `STATS` verb counters.
     pub stats: VerbStats,
+    /// `HEALTH` verb counters (router probes land here, not under
+    /// `stats`, so probe traffic cannot distort the `STATS` figures).
+    pub health: VerbStats,
+    /// `EPOCH` verb counters.
+    pub epoch: VerbStats,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     batches: AtomicU64,
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
     connections: AtomicU64,
+    inflight: AtomicU64,
 }
 
 impl ServerStats {
@@ -92,6 +98,20 @@ impl ServerStats {
     /// Records an accepted client connection.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Marks one request as entering the serving path. Returns a guard that
+    /// decrements the gauge when dropped, so early returns and panics cannot
+    /// leak queue depth.
+    pub fn track_inflight(&self) -> InflightGuard<'_> {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+        InflightGuard { stats: self }
+    }
+
+    /// Requests currently being parsed, queued or scored — the `queue=`
+    /// load signal a `HEALTH` probe reports to the routing tier.
+    pub fn queue_depth(&self) -> u64 {
+        self.inflight.load(Ordering::Relaxed)
     }
 
     /// Cache hits so far.
@@ -129,7 +149,8 @@ impl ServerStats {
             "connections={} load_requests={} load_errors={} load_mean_ns={} \
              score_requests={} score_errors={} score_mean_ns={} \
              transform_requests={} transform_errors={} transform_mean_ns={} \
-             stats_requests={} cache_hits={} cache_misses={} \
+             stats_requests={} health_requests={} epoch_requests={} \
+             cache_hits={} cache_misses={} \
              batches={} mean_batch={} max_batch={}",
             self.connections(),
             self.load.requests(),
@@ -142,6 +163,8 @@ impl ServerStats {
             self.transform.errors(),
             self.transform.mean_latency_nanos(),
             self.stats.requests(),
+            self.health.requests(),
+            self.epoch.requests(),
             self.cache_hits(),
             self.cache_misses(),
             batches,
@@ -151,9 +174,35 @@ impl ServerStats {
     }
 }
 
+/// RAII guard for the in-flight request gauge (see
+/// [`ServerStats::track_inflight`]).
+#[derive(Debug)]
+pub struct InflightGuard<'a> {
+    stats: &'a ServerStats,
+}
+
+impl Drop for InflightGuard<'_> {
+    fn drop(&mut self) {
+        self.stats.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn inflight_gauge_rises_and_falls_with_guards() {
+        let s = ServerStats::new();
+        assert_eq!(s.queue_depth(), 0);
+        let a = s.track_inflight();
+        let b = s.track_inflight();
+        assert_eq!(s.queue_depth(), 2);
+        drop(a);
+        assert_eq!(s.queue_depth(), 1);
+        drop(b);
+        assert_eq!(s.queue_depth(), 0);
+    }
 
     #[test]
     fn verb_stats_accumulate_and_average() {

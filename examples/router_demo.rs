@@ -1,0 +1,132 @@
+//! Demo of the routing tier: train a fair pipeline offline, place its
+//! bundle on a 3-shard local cluster through a router, verify all replicas
+//! serve identical content, hammer the tier from concurrent client threads,
+//! kill a backend mid-traffic — and watch capacity degrade while every
+//! score stays bit-exact.
+//!
+//! ```text
+//! cargo run --release --example router_demo
+//! ```
+
+use pfr::pipeline::{FairPipeline, FairPipelineConfig};
+use pfr::router::{BreakerConfig, LocalCluster, RouterConfig};
+use pfr::serve::ServerConfig;
+use pfr_data::{split, synthetic, Dataset};
+use pfr_graph::{fairness, SparseGraph};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+fn fairness_graph(ds: &Dataset) -> SparseGraph {
+    let scores: Vec<f64> = ds
+        .side_information()
+        .iter()
+        .map(|s| s.unwrap_or(0.0))
+        .collect();
+    fairness::between_group_quantile_graph(ds.groups(), &scores, 5)
+        .expect("fairness graph construction succeeds")
+}
+
+fn main() {
+    // 1. Train offline on the paper's synthetic admissions data.
+    println!("training a fair pipeline on synthetic admissions data ...");
+    let dataset = synthetic::generate_default(42).expect("synthetic data generates");
+    let split = split::train_test_split(&dataset, 0.3, 42).expect("split succeeds");
+    let train = dataset.subset(&split.train).expect("train subset");
+    let test = dataset.subset(&split.test).expect("test subset");
+    let fitted = FairPipeline::new(FairPipelineConfig {
+        gamma: 0.9,
+        ..FairPipelineConfig::default()
+    })
+    .fit(&train, &fairness_graph(&train))
+    .expect("pipeline fits");
+    let expected = fitted.predict_proba(&test).expect("offline predictions");
+    let (raw, _) = test.features_with_protected().expect("raw features");
+    let bundle = fitted.into_bundle().expect("bundle assembles");
+
+    // 2. Boot a 3-shard cluster and a replicated router over it.
+    let mut cluster =
+        LocalCluster::boot(3, ServerConfig::default()).expect("cluster boots");
+    let router = Arc::new(
+        cluster
+            .router(RouterConfig {
+                replication: 2,
+                breaker: BreakerConfig {
+                    failure_threshold: 2,
+                    probation: Duration::from_millis(250),
+                },
+                health_interval: Some(Duration::from_millis(25)),
+                ..RouterConfig::default()
+            })
+            .expect("router connects"),
+    );
+    println!("cluster up on {:?}", cluster.addrs());
+
+    // 3. Place the model: the ring picks the replica set, LOAD ships it.
+    let replicas = cluster
+        .place(&router, "admissions", &bundle)
+        .expect("placement succeeds");
+    let digest = router.verify("admissions").expect("replicas agree");
+    println!(
+        "placed 'admissions' on {replicas} replicas {:?}, digest {digest}",
+        router.replica_set("admissions")
+    );
+
+    // 4. Concurrent traffic; a replica dies halfway through.
+    let rows: Vec<Vec<f64>> = (0..raw.rows()).map(|i| raw.row(i).to_vec()).collect();
+    let rows = Arc::new(rows);
+    let expected = Arc::new(expected);
+    let victim = router.replica_set("admissions")[0];
+    println!("scoring from 4 client threads, killing backend {victim} mid-stream ...");
+    let start = Instant::now();
+    let handles: Vec<_> = (0..4)
+        .map(|t| {
+            let router = Arc::clone(&router);
+            let rows = Arc::clone(&rows);
+            let expected = Arc::clone(&expected);
+            std::thread::spawn(move || {
+                for round in 0..50 {
+                    let idx = (round * 7 + t * 13) % rows.len();
+                    let score = router
+                        .score("admissions", &rows[idx])
+                        .expect("every request survives the kill");
+                    assert_eq!(
+                        score.to_bits(),
+                        expected[idx].to_bits(),
+                        "routed score must be bit-exact"
+                    );
+                }
+            })
+        })
+        .collect();
+    std::thread::sleep(Duration::from_millis(5));
+    cluster.kill(victim);
+    for handle in handles {
+        handle.join().expect("client thread succeeds");
+    }
+    println!(
+        "200 requests, one backend killed, 0 errors, {:.1} ms total",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // 5. The tier's own accounting.
+    let stats = router.stats();
+    println!(
+        "router stats: routed={} failovers={} scatters={} retried_rows={} probes={}",
+        stats.routed(),
+        stats.failovers(),
+        stats.scatters(),
+        stats.retried_rows(),
+        stats.probes()
+    );
+    for backend in router.backends() {
+        println!(
+            "  backend {} at {}: open={} ejections={} readmissions={}",
+            backend.id(),
+            backend.addr(),
+            backend.breaker().is_open(),
+            backend.breaker().ejections(),
+            backend.breaker().readmissions()
+        );
+    }
+    println!("surviving backends: {}/3", cluster.live());
+}

@@ -20,6 +20,8 @@
 //!   figure of the paper.
 //! * [`serve`] — the concurrent model-serving subsystem (registry, worker
 //!   pool, micro-batching, score cache, TCP protocol).
+//! * [`router`] — the sharded routing tier over multiple serve backends
+//!   (consistent hashing, replication, scatter-gather, circuit breakers).
 //!
 //! ## Quick start
 //!
@@ -68,6 +70,7 @@ pub use pfr_graph as graph;
 pub use pfr_linalg as linalg;
 pub use pfr_metrics as metrics;
 pub use pfr_opt as opt;
+pub use pfr_router as router;
 pub use pfr_serve as serve;
 
 /// The version of the reproduction workspace.

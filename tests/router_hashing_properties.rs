@@ -1,0 +1,91 @@
+//! Property tests for the router's consistent-hash ring (via the offline
+//! `proptest` shim): load balance within ±25% of uniform across 8 shards,
+//! and minimal remapping — removing one shard moves at most `2/N` of keys,
+//! every one of them *off the removed shard only*.
+
+use pfr::router::HashRing;
+use proptest::prelude::*;
+
+fn ring_of(n: usize) -> HashRing {
+    let mut ring = HashRing::with_default_vnodes();
+    for b in 0..n {
+        ring.add(b);
+    }
+    ring
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Random key populations spread within ±25% of uniform over 8 shards.
+    #[test]
+    fn keys_distribute_within_25_percent_of_uniform(
+        seeds in proptest::collection::vec(any::<u64>(), 2000..4000)
+    ) {
+        let ring = ring_of(8);
+        let mut counts = [0usize; 8];
+        for seed in &seeds {
+            let key = format!("model-{seed:x}");
+            counts[ring.primary(&key).unwrap()] += 1;
+        }
+        let ideal = seeds.len() as f64 / 8.0;
+        for (shard, &count) in counts.iter().enumerate() {
+            let skew = (count as f64 - ideal).abs() / ideal;
+            prop_assert!(
+                skew <= 0.25,
+                "shard {} owns {} of {} keys, {:.1}% off uniform",
+                shard, count, seeds.len(), skew * 100.0
+            );
+        }
+    }
+
+    /// Removing one of 8 shards remaps at most 2/N of keys, and only keys
+    /// that lived on the removed shard move at all.
+    #[test]
+    fn removing_a_shard_remaps_at_most_2_over_n_of_keys(
+        seeds in proptest::collection::vec(any::<u64>(), 500..1500),
+        removed in 0usize..8
+    ) {
+        let n = 8usize;
+        let mut ring = ring_of(n);
+        let keys: Vec<String> = seeds.iter().map(|s| format!("model-{s:x}")).collect();
+        let before: Vec<usize> = keys.iter().map(|k| ring.primary(k).unwrap()).collect();
+        ring.remove(removed);
+        let mut remapped = 0usize;
+        for (key, &was) in keys.iter().zip(before.iter()) {
+            let now = ring.primary(key).unwrap();
+            if was == removed {
+                prop_assert!(now != removed, "{} still on the removed shard", key);
+                remapped += 1;
+            } else {
+                prop_assert_eq!(now, was, "{} moved although shard {} survived", key, was);
+            }
+        }
+        let bound = 2.0 * keys.len() as f64 / n as f64;
+        prop_assert!(
+            (remapped as f64) <= bound,
+            "removing shard {} remapped {} of {} keys (bound {:.0})",
+            removed, remapped, keys.len(), bound
+        );
+    }
+
+    /// Replica sets are distinct backends, in preference order, and stable
+    /// for a fixed membership (routing is deterministic).
+    #[test]
+    fn replica_sets_are_distinct_stable_prefixes(
+        seed in any::<u64>(),
+        r in 1usize..=4
+    ) {
+        let ring = ring_of(5);
+        let key = format!("model-{seed:x}");
+        let replicas = ring.replicas(&key, r);
+        prop_assert_eq!(replicas.len(), r.min(5));
+        let mut sorted = replicas.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), replicas.len(), "replica set has duplicates");
+        let preference = ring.preference(&key);
+        prop_assert_eq!(&replicas[..], &preference[..replicas.len()]);
+        prop_assert_eq!(replicas, ring.replicas(&key, r));
+    }
+}
