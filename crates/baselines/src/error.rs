@@ -30,7 +30,11 @@ impl fmt::Display for BaselineError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             BaselineError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            BaselineError::DimensionMismatch { what, got, expected } => {
+            BaselineError::DimensionMismatch {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "{what} has size {got}, expected {expected}")
             }
             BaselineError::NotFitted => write!(f, "model must be fitted before use"),

@@ -92,7 +92,10 @@ impl HardtPostProcessor {
         let candidates: Vec<Vec<f64>> = group_ids
             .iter()
             .map(|&g| {
-                let mut s: Vec<f64> = (0..n).filter(|&i| groups[i] == g).map(|i| scores[i]).collect();
+                let mut s: Vec<f64> = (0..n)
+                    .filter(|&i| groups[i] == g)
+                    .map(|i| scores[i])
+                    .collect();
                 s.sort_by(|a, b| a.partial_cmp(b).unwrap_or(std::cmp::Ordering::Equal));
                 let mut cand = Vec::with_capacity(config.num_thresholds + 2);
                 cand.push(f64::NEG_INFINITY);
@@ -126,7 +129,11 @@ impl HardtPostProcessor {
                 }
             }
             let fpr = if fp + tn > 0.0 { fp / (fp + tn) } else { 0.0 };
-            let fnr = if fn_ + tp > 0.0 { fn_ / (fn_ + tp) } else { 0.0 };
+            let fnr = if fn_ + tp > 0.0 {
+                fn_ / (fn_ + tp)
+            } else {
+                0.0
+            };
             let total = tp + fp + tn + fn_;
             let acc = if total > 0.0 { (tp + tn) / total } else { 0.0 };
             (fpr, fnr, acc)
@@ -309,7 +316,11 @@ mod tests {
         }
         let post = HardtPostProcessor::fit_default(&scores, &labels, &groups).unwrap();
         let preds = post.predict(&scores, &groups).unwrap();
-        let correct = preds.iter().zip(labels.iter()).filter(|(a, b)| a == b).count();
+        let correct = preds
+            .iter()
+            .zip(labels.iter())
+            .filter(|(a, b)| a == b)
+            .count();
         assert!(correct as f64 / labels.len() as f64 > 0.95);
     }
 }

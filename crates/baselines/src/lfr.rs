@@ -132,7 +132,8 @@ impl Objective for LfrObjective<'_> {
             }
             let y_hat_clamped = y_hat.clamp(1e-9, 1.0 - 1e-9);
             loss_y += -(y * y_hat_clamped.ln() + (1.0 - y) * (1.0 - y_hat_clamped).ln());
-            let dly_dyhat = (y_hat_clamped - y) / (y_hat_clamped * (1.0 - y_hat_clamped)) / n as f64;
+            let dly_dyhat =
+                (y_hat_clamped - y) / (y_hat_clamped * (1.0 - y_hat_clamped)) / n as f64;
             for (p, &pk) in p_k.iter().enumerate() {
                 grad_u[(i, p)] += self.config.a_y * dly_dyhat * pk;
                 grad_w[p] += self.config.a_y * dly_dyhat * fwd.u[(i, p)] * pk * (1.0 - pk);
@@ -300,10 +301,8 @@ impl Lfr {
         };
         let result = adam.minimize(&objective, &start)?;
         let prototypes = prototype::unflatten(&result.params, k, m);
-        let prototype_scores: Vec<f64> = result.params[k * m..]
-            .iter()
-            .map(|&w| sigmoid(w))
-            .collect();
+        let prototype_scores: Vec<f64> =
+            result.params[k * m..].iter().map(|&w| sigmoid(w)).collect();
         Ok(FittedLfr {
             prototypes,
             prototype_scores,

@@ -99,10 +99,7 @@ mod tests {
             ..ok
         };
         assert!(bad_labels.validate().is_err());
-        let bad_groups = FitContext {
-            groups: &[0],
-            ..ok
-        };
+        let bad_groups = FitContext { groups: &[0], ..ok };
         assert!(bad_groups.validate().is_err());
         let small_graph = SparseGraph::new(2);
         let bad_graph = FitContext {

@@ -1,0 +1,144 @@
+//! GEMM kernel throughput: the blocked, multi-threaded `pfr_linalg::gemm`
+//! kernel against the retained naive `i-k-j` reference.
+//!
+//! Measures square `f64` products at 64/256/512/1024, single-threaded and
+//! at the machine's parallelism, in GFLOP/s (`2·n³` flops per product).
+//! Every dense hot path in the system — PFR's `Xᵀ L X` assembly, PCA/eigen,
+//! the serving tier's micro-batched scoring pass — funnels through this
+//! kernel, so its GFLOP/s line is the single most leveraged perf number in
+//! the workspace. Besides the Criterion timings, the bench prints the
+//! explicit GFLOP/s table and records it to `BENCH_gemm.json` at the
+//! workspace root, which CI's `perf_gate` step compares against the
+//! checked-in baseline.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pfr_linalg::gemm::{gemm_into, MatRef};
+use pfr_linalg::Matrix;
+use std::hint::black_box;
+use std::num::NonZeroUsize;
+
+/// Square sizes measured and recorded.
+const SIZES: [usize; 4] = [64, 256, 512, 1024];
+/// The size the ≥3x blocked-vs-naive acceptance is asserted at.
+const SPEEDUP_SIZE: usize = 512;
+
+/// Deterministic pseudo-random matrix (xorshift, same generator as the
+/// eigensolver benches).
+fn random_matrix(rows: usize, cols: usize, seed: u64) -> Matrix {
+    let mut state = seed.max(1);
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    let data: Vec<f64> = (0..rows * cols).map(|_| next()).collect();
+    Matrix::from_vec(rows, cols, data).expect("shape matches the generated buffer")
+}
+
+/// One blocked product with a forced worker count, returning the output so
+/// the optimizer cannot elide it.
+fn blocked(a: &Matrix, b: &Matrix, threads: usize) -> Vec<f64> {
+    let (m, k) = a.shape();
+    let n = b.cols();
+    let mut c = vec![0.0f64; m * n];
+    gemm_into(
+        m,
+        n,
+        k,
+        MatRef::new(a.as_slice(), k, 1),
+        MatRef::new(b.as_slice(), n, 1),
+        &mut c,
+        Some(NonZeroUsize::new(threads).expect("thread count is non-zero")),
+    );
+    c
+}
+
+/// GFLOP/s of `f` at size `n`, with repetitions scaled so every size runs a
+/// comparable wall-clock slice.
+fn gflops(n: usize, reps: usize, mut f: impl FnMut()) -> f64 {
+    let flops = 2.0 * (n as f64).powi(3);
+    pfr_bench::measure_rate(reps, 1, &mut f) * flops / 1e9
+}
+
+/// Repetition count keeping each measurement near a fixed flop budget.
+fn reps_for(n: usize, budget_flops: f64) -> usize {
+    (budget_flops / (2.0 * (n as f64).powi(3))).ceil().max(1.0) as usize
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let hw_threads = std::thread::available_parallelism().map_or(1, NonZeroUsize::get);
+
+    let mut group = c.benchmark_group("gemm");
+    group.sample_size(10);
+    for &n in &SIZES {
+        let a = random_matrix(n, n, 42 + n as u64);
+        let b = random_matrix(n, n, 1042 + n as u64);
+        group.bench_with_input(BenchmarkId::new("blocked_1t", n), &n, |bench, _| {
+            bench.iter(|| blocked(black_box(&a), black_box(&b), 1))
+        });
+        if hw_threads > 1 {
+            group.bench_with_input(
+                BenchmarkId::new(format!("blocked_{hw_threads}t"), n),
+                &n,
+                |bench, _| bench.iter(|| blocked(black_box(&a), black_box(&b), hw_threads)),
+            );
+        }
+        if n <= SPEEDUP_SIZE {
+            group.bench_with_input(BenchmarkId::new("naive", n), &n, |bench, _| {
+                bench.iter(|| black_box(&a).matmul_naive(black_box(&b)).unwrap())
+            });
+        }
+    }
+    group.finish();
+
+    // Explicit GFLOP/s table, recorded as the PR-over-PR perf trajectory.
+    println!("gemm: square f64 products, GFLOP/s (2n^3 flops per product)");
+    let mut metrics: Vec<(String, f64)> = Vec::new();
+    for &n in &SIZES {
+        let a = random_matrix(n, n, 42 + n as u64);
+        let b = random_matrix(n, n, 1042 + n as u64);
+        let reps = reps_for(n, 2e9);
+        let one = gflops(n, reps, || {
+            black_box(blocked(&a, &b, 1));
+        });
+        metrics.push((format!("gflops_{n}_threads1"), one));
+        if hw_threads > 1 {
+            let many = gflops(n, reps, || {
+                black_box(blocked(&a, &b, hw_threads));
+            });
+            println!("  n={n:>5}: 1 thread {one:>7.2}   {hw_threads} threads {many:>7.2}");
+            // The key deliberately does not embed the core count: a record
+            // produced on an M-core machine must stay key-compatible with a
+            // baseline produced on an N-core one, or perf_gate would report
+            // the metric as disappeared instead of comparing it.
+            metrics.push((format!("gflops_{n}_threads_max"), many));
+        } else {
+            println!("  n={n:>5}: 1 thread {one:>7.2}");
+        }
+    }
+
+    // Blocked (auto threads) vs the seed's naive i-k-j loop at 512.
+    let n = SPEEDUP_SIZE;
+    let a = random_matrix(n, n, 42 + n as u64);
+    let b = random_matrix(n, n, 1042 + n as u64);
+    let reps = reps_for(n, 2e9);
+    let blocked_rate = gflops(n, reps, || {
+        black_box(a.matmul(&b).unwrap());
+    });
+    let naive_rate = gflops(n, reps_for(n, 5e8), || {
+        black_box(a.matmul_naive(&b).unwrap());
+    });
+    let speedup = blocked_rate / naive_rate;
+    println!(
+        "  blocked vs naive at {n}: {blocked_rate:.2} vs {naive_rate:.2} GFLOP/s ({speedup:.2}x)"
+    );
+    metrics.push((format!("naive_gflops_{n}"), naive_rate));
+    metrics.push((format!("blocked_vs_naive_speedup_{n}"), speedup));
+
+    let metric_refs: Vec<(&str, f64)> = metrics.iter().map(|(k, v)| (k.as_str(), *v)).collect();
+    pfr_bench::write_bench_json("BENCH_gemm.json", "gemm", &metric_refs);
+}
+
+criterion_group!(gemm, bench_gemm);
+criterion_main!(gemm);

@@ -18,8 +18,6 @@ use pfr_opt::LogisticRegression;
 use pfr_router::{LocalCluster, Router, RouterConfig};
 use pfr_serve::ServerConfig;
 use std::hint::black_box;
-use std::io::Write;
-use std::time::Instant;
 
 /// Request vectors scored per measured iteration.
 const TOTAL_REQUESTS: usize = 256;
@@ -85,8 +83,7 @@ fn route_batches(router: &Router, requests: &[Vec<f64>], batch: usize) -> Vec<f6
 
 fn bench_router_throughput(c: &mut Criterion) {
     let (bundle, requests) = bundle_and_requests();
-    let mut cluster =
-        LocalCluster::boot(3, ServerConfig::default()).expect("local cluster boots");
+    let mut cluster = LocalCluster::boot(3, ServerConfig::default()).expect("local cluster boots");
     let router = cluster
         .router(RouterConfig::default())
         .expect("router connects");
@@ -112,40 +109,36 @@ fn bench_router_throughput(c: &mut Criterion) {
     group.bench_with_input(
         BenchmarkId::new("route_256_requests", format!("batch{BATCH}")),
         &(),
-        |bench, ()| {
-            bench.iter(|| route_batches(black_box(&router), black_box(&requests), BATCH))
-        },
+        |bench, ()| bench.iter(|| route_batches(black_box(&router), black_box(&requests), BATCH)),
     );
     group.finish();
 
     // Explicit requests/sec, also persisted as the PR-over-PR perf record.
-    let reps = 10;
-    let rps = |f: &dyn Fn() -> Vec<f64>| -> f64 {
-        let start = Instant::now();
-        for _ in 0..reps {
-            black_box(f());
-        }
-        (reps * TOTAL_REQUESTS) as f64 / start.elapsed().as_secs_f64()
-    };
-    let single = rps(&|| route_singles(&router, &requests));
-    let batch = rps(&|| route_batches(&router, &requests, BATCH));
+    let single = pfr_bench::measure_rate(10, TOTAL_REQUESTS, || {
+        black_box(route_singles(&router, &requests));
+    });
+    let batch = pfr_bench::measure_rate(10, TOTAL_REQUESTS, || {
+        black_box(route_batches(&router, &requests, BATCH));
+    });
     println!("router_throughput: 3 shards, replication 2, {TOTAL_REQUESTS} requests");
     println!("  single-vector: {single:>12.0} req/s");
-    println!("  batch={BATCH}:    {batch:>12.0} req/s ({:.2}x)", batch / single);
-
-    let json = format!(
-        "{{\n  \"bench\": \"router_throughput\",\n  \"shards\": 3,\n  \"replication\": 2,\n  \"requests\": {TOTAL_REQUESTS},\n  \"single_req_per_sec\": {single:.0},\n  \"batch{BATCH}_req_per_sec\": {batch:.0},\n  \"batch_speedup\": {:.3}\n}}\n",
+    println!(
+        "  batch={BATCH}:    {batch:>12.0} req/s ({:.2}x)",
         batch / single
     );
-    let path = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_router.json");
-    match std::fs::File::create(path) {
-        Ok(mut file) => {
-            file.write_all(json.as_bytes())
-                .expect("BENCH_router.json writes");
-            println!("  wrote {path}");
-        }
-        Err(e) => println!("  could not write {path}: {e}"),
-    }
+
+    pfr_bench::write_bench_json(
+        "BENCH_router.json",
+        "router_throughput",
+        &[
+            ("shards", 3.0),
+            ("replication", 2.0),
+            ("requests", TOTAL_REQUESTS as f64),
+            ("single_req_per_sec", single),
+            ("batch64_req_per_sec", batch),
+            ("batch_speedup", batch / single),
+        ],
+    );
 }
 
 criterion_group!(router_throughput, bench_router_throughput);

@@ -5,7 +5,11 @@
 //! much per-call overhead (matrix assembly, standardize/project/classify
 //! dispatch) amortizes across a batch — the reason `pfr-serve` coalesces
 //! requests before touching the linear-algebra kernels. Besides the
-//! Criterion timings, the bench prints an explicit requests/sec comparison.
+//! Criterion timings, the bench prints an explicit requests/sec comparison
+//! (plus the score-cache hit rate of a server-shaped replay of the request
+//! stream) and records it to `BENCH_serve.json` at the workspace root, the
+//! same way the router bench records `BENCH_router.json` — CI uploads both
+//! and gates on them via `perf_gate`.
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pfr_core::persistence::{ClassifierSection, ModelBundle, StandardizerParams};
@@ -14,9 +18,8 @@ use pfr_data::synthetic;
 use pfr_linalg::stats::Standardizer;
 use pfr_linalg::Matrix;
 use pfr_opt::LogisticRegression;
-use pfr_serve::ServableModel;
+use pfr_serve::{ScoreCache, ScoreKey, ServableModel};
 use std::hint::black_box;
-use std::time::Instant;
 
 /// Number of request vectors scored per measured iteration.
 const TOTAL_REQUESTS: usize = 256;
@@ -99,17 +102,14 @@ fn bench_batched_scoring(c: &mut Criterion) {
     }
     group.finish();
 
-    // Explicit requests/sec comparison (the acceptance check for batching).
+    // Explicit requests/sec comparison (the acceptance check for batching),
+    // recorded as the PR-over-PR serving perf trajectory.
     println!("serve_throughput: requests/sec by batch size over {TOTAL_REQUESTS} requests");
     let mut rps = Vec::new();
     for &batch_size in &[1usize, 8, 64] {
-        let reps = 20;
-        let start = Instant::now();
-        for _ in 0..reps {
+        let requests_per_sec = pfr_bench::measure_rate(20, TOTAL_REQUESTS, || {
             black_box(score_all(&model, &requests, batch_size));
-        }
-        let elapsed = start.elapsed();
-        let requests_per_sec = (reps * TOTAL_REQUESTS) as f64 / elapsed.as_secs_f64();
+        });
         println!("  B={batch_size:>2}: {requests_per_sec:>12.0} req/s");
         rps.push((batch_size, requests_per_sec));
     }
@@ -118,6 +118,49 @@ fn bench_batched_scoring(c: &mut Criterion) {
     println!(
         "  batched (B=64) is {:.2}x the unbatched (B=1) throughput",
         b64 / b1
+    );
+
+    // Replay the request stream through a score cache the way the server's
+    // SCORE verb does: the stream revisits each distinct vector, so steady
+    // state should hit for every repeat. The hit *rate* is a correctness-
+    // shaped serving metric (a cache regression shows up here long before
+    // it shows up as latency), so it is gated alongside the throughputs.
+    let mut cache = ScoreCache::new(TOTAL_REQUESTS * 2);
+    let mut hits = 0u64;
+    let mut misses = 0u64;
+    let passes = 4;
+    for _ in 0..passes {
+        for features in &requests {
+            let key =
+                ScoreKey::new(model.generation(), features).expect("request vectors carry no NaN");
+            match cache.get(&key) {
+                Some(score) => {
+                    hits += 1;
+                    black_box(score);
+                }
+                None => {
+                    misses += 1;
+                    let score = model.score_one(features).expect("scoring succeeds");
+                    cache.insert(key, score);
+                }
+            }
+        }
+    }
+    let hit_rate = hits as f64 / (hits + misses) as f64;
+    println!(
+        "  cache: {hits} hits / {misses} misses over {passes} passes (hit rate {hit_rate:.3})"
+    );
+
+    pfr_bench::write_bench_json(
+        "BENCH_serve.json",
+        "serve_throughput",
+        &[
+            ("requests", TOTAL_REQUESTS as f64),
+            ("b1_req_per_sec", b1),
+            ("b64_req_per_sec", b64),
+            ("batch_speedup", b64 / b1),
+            ("cache_hit_rate", hit_rate),
+        ],
     );
 }
 

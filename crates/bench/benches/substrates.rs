@@ -52,10 +52,16 @@ fn bench_quadratic_form(c: &mut Criterion) {
     let mut group = c.benchmark_group("laplacian_quadratic_form");
     group.sample_size(20);
     group.bench_function("wx_unnormalized", |b| {
-        b.iter(|| wx.quadratic_form(black_box(&x), LaplacianKind::Unnormalized).unwrap())
+        b.iter(|| {
+            wx.quadratic_form(black_box(&x), LaplacianKind::Unnormalized)
+                .unwrap()
+        })
     });
     group.bench_function("wf_unnormalized", |b| {
-        b.iter(|| wf.quadratic_form(black_box(&x), LaplacianKind::Unnormalized).unwrap())
+        b.iter(|| {
+            wf.quadratic_form(black_box(&x), LaplacianKind::Unnormalized)
+                .unwrap()
+        })
     });
     group.bench_function("wx_normalized", |b| {
         b.iter(|| {

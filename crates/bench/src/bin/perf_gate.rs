@@ -1,0 +1,156 @@
+//! Perf-regression gate: compares fresh `BENCH_*.json` records against the
+//! baselines checked in under `crates/bench/baselines/` and exits non-zero
+//! when any recorded metric regressed by more than the tolerance.
+//!
+//! CI runs this after the bench smoke steps so the bench JSON is an
+//! *enforced* contract rather than a write-only artifact: a PR that slows
+//! the GEMM kernel, the serving batcher or the routing tier by more than
+//! 30% fails the build with the offending metric named.
+//!
+//! Every metric in every baseline file is a rate or a speedup, so "lower is
+//! worse" holds uniformly; configuration fields recorded alongside (shard
+//! counts, request totals) only fail the gate by *disappearing*, which is
+//! exactly the protection they need.
+//!
+//! Usage:
+//!
+//! ```text
+//! perf_gate [--baseline-dir DIR] [--fresh-dir DIR] [--tolerance FRACTION]
+//!           [--update]
+//! ```
+//!
+//! `--update` rewrites the baselines from the fresh records instead of
+//! checking — for intentional perf-profile changes *and* for moving the
+//! suite to different hardware: the baselines are absolute rates measured
+//! on one environment, so a new class of CI runner needs its baselines
+//! re-recorded once (commit the diff). The 30% tolerance absorbs run-to-run
+//! noise on the same machine, not a hardware change.
+//! Defaults: baselines from `crates/bench/baselines/`, fresh records from
+//! the workspace root, tolerance `0.30`.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+/// The tolerated fractional drop before a metric fails the gate.
+const DEFAULT_TOLERANCE: f64 = 0.30;
+
+struct Args {
+    baseline_dir: PathBuf,
+    fresh_dir: PathBuf,
+    tolerance: f64,
+    update: bool,
+}
+
+fn parse_args() -> Result<Args, String> {
+    let mut args = Args {
+        baseline_dir: pfr_bench::workspace_root_path("crates/bench/baselines"),
+        fresh_dir: pfr_bench::workspace_root_path(""),
+        tolerance: DEFAULT_TOLERANCE,
+        update: false,
+    };
+    let mut argv = std::env::args().skip(1);
+    while let Some(flag) = argv.next() {
+        let mut value_of =
+            |flag: &str| argv.next().ok_or_else(|| format!("{flag} expects a value"));
+        match flag.as_str() {
+            "--baseline-dir" => args.baseline_dir = PathBuf::from(value_of("--baseline-dir")?),
+            "--fresh-dir" => args.fresh_dir = PathBuf::from(value_of("--fresh-dir")?),
+            "--tolerance" => {
+                args.tolerance = value_of("--tolerance")?
+                    .parse::<f64>()
+                    .map_err(|e| format!("--tolerance expects a fraction: {e}"))?;
+                if !(0.0..1.0).contains(&args.tolerance) {
+                    return Err(format!(
+                        "--tolerance must lie in [0, 1), got {}",
+                        args.tolerance
+                    ));
+                }
+            }
+            "--update" => args.update = true,
+            other => return Err(format!("unknown flag '{other}'")),
+        }
+    }
+    Ok(args)
+}
+
+/// Baseline file names found in the baseline directory, sorted for stable
+/// output.
+fn baseline_files(args: &Args) -> Result<Vec<String>, String> {
+    let entries = std::fs::read_dir(&args.baseline_dir)
+        .map_err(|e| format!("cannot read {}: {e}", args.baseline_dir.display()))?;
+    let mut names: Vec<String> = entries
+        .filter_map(|e| e.ok())
+        .filter_map(|e| e.file_name().into_string().ok())
+        .filter(|n| n.starts_with("BENCH_") && n.ends_with(".json"))
+        .collect();
+    names.sort();
+    if names.is_empty() {
+        return Err(format!(
+            "no BENCH_*.json baselines in {}",
+            args.baseline_dir.display()
+        ));
+    }
+    Ok(names)
+}
+
+fn run() -> Result<bool, String> {
+    let args = parse_args()?;
+    let mut all_green = true;
+    for name in baseline_files(&args)? {
+        let baseline_path = args.baseline_dir.join(&name);
+        let fresh_path = args.fresh_dir.join(&name);
+        let fresh_text = std::fs::read_to_string(&fresh_path).map_err(|e| {
+            format!(
+                "fresh record {} missing (did the bench step run?): {e}",
+                fresh_path.display()
+            )
+        })?;
+        if args.update {
+            std::fs::copy(&fresh_path, &baseline_path)
+                .map_err(|e| format!("updating {} failed: {e}", baseline_path.display()))?;
+            println!(
+                "perf_gate: updated baseline {name} from {}",
+                fresh_path.display()
+            );
+            continue;
+        }
+        let baseline_text = std::fs::read_to_string(&baseline_path)
+            .map_err(|e| format!("cannot read {}: {e}", baseline_path.display()))?;
+        let baseline = pfr_bench::parse_flat_json(&baseline_text);
+        if baseline.is_empty() {
+            return Err(format!(
+                "{} holds no numeric metrics",
+                baseline_path.display()
+            ));
+        }
+        let fresh = pfr_bench::parse_flat_json(&fresh_text);
+        let failures = pfr_bench::regressions(&baseline, &fresh, args.tolerance);
+        if failures.is_empty() {
+            println!(
+                "perf_gate: {name} ok ({} metrics within {:.0}% of baseline)",
+                baseline.len(),
+                100.0 * args.tolerance
+            );
+        } else {
+            all_green = false;
+            for failure in failures {
+                eprintln!("perf_gate: {name}: {failure}");
+            }
+        }
+    }
+    Ok(all_green)
+}
+
+fn main() -> ExitCode {
+    match run() {
+        Ok(true) => ExitCode::SUCCESS,
+        Ok(false) => {
+            eprintln!("perf_gate: FAILED — a recorded metric regressed beyond tolerance");
+            ExitCode::FAILURE
+        }
+        Err(message) => {
+            eprintln!("perf_gate: error: {message}");
+            ExitCode::FAILURE
+        }
+    }
+}

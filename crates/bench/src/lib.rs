@@ -14,8 +14,10 @@
 //!   regenerates every row/series the paper reports while also measuring its
 //!   cost.
 //!
-//! This library crate only exposes small helpers shared by the two bench
-//! binaries.
+//! This library crate exposes the small helpers shared by the bench
+//! binaries and the `perf_gate` regression checker: dataset/graph setup,
+//! wall-clock throughput measurement, and reading/writing the flat
+//! `BENCH_*.json` perf records CI gates on.
 
 #![deny(missing_docs)]
 #![warn(clippy::all)]
@@ -24,11 +26,114 @@ use pfr_data::Dataset;
 use pfr_graph::{KnnGraphBuilder, SparseGraph};
 use pfr_linalg::stats::Standardizer;
 use pfr_linalg::Matrix;
+use std::io::Write;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+/// Runs `f` `reps` times and returns the observed rate in units per second,
+/// where one call to `f` processes `units_per_rep` units (requests, flops,
+/// rows — the caller picks the unit).
+///
+/// This is the explicit wall-clock measurement every bench binary prints
+/// next to its Criterion timings and records into its `BENCH_*.json`.
+pub fn measure_rate(reps: usize, units_per_rep: usize, mut f: impl FnMut()) -> f64 {
+    let start = Instant::now();
+    for _ in 0..reps {
+        f();
+    }
+    (reps * units_per_rep) as f64 / start.elapsed().as_secs_f64()
+}
+
+/// Absolute path of a file at the workspace root (where the `BENCH_*.json`
+/// perf records live, and where CI picks them up).
+pub fn workspace_root_path(file_name: &str) -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .join("../..")
+        .join(file_name)
+}
+
+/// Writes a flat perf record `{ "bench": <bench>, "<key>": <value>, … }` to
+/// `file_name` at the workspace root, mirroring it to stdout. These records
+/// are the PR-over-PR perf trajectory; CI uploads them as artifacts and the
+/// `perf_gate` binary fails the build when one regresses against its
+/// checked-in baseline.
+///
+/// # Panics
+/// Panics if the record cannot be created or written: a bench run that
+/// silently leaves a stale record behind would make the downstream
+/// `perf_gate` step validate old numbers and report green with zero fresh
+/// measurements.
+pub fn write_bench_json(file_name: &str, bench: &str, metrics: &[(&str, f64)]) {
+    let mut json = format!("{{\n  \"bench\": \"{bench}\"");
+    for (key, value) in metrics {
+        json.push_str(&format!(",\n  \"{key}\": {value:.4}"));
+    }
+    json.push_str("\n}\n");
+    let path = workspace_root_path(file_name);
+    let mut file = std::fs::File::create(&path)
+        .unwrap_or_else(|e| panic!("creating {} failed: {e}", path.display()));
+    file.write_all(json.as_bytes())
+        .unwrap_or_else(|e| panic!("writing {} failed: {e}", path.display()));
+    println!("  wrote {}", path.display());
+}
+
+/// Parses a flat JSON object (`{"key": value, …}`, no nesting) and returns
+/// its numeric fields in file order. String fields (like `"bench"`) are
+/// skipped; this is exactly the subset of JSON the `BENCH_*.json` records
+/// use, so no JSON dependency is needed offline.
+pub fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
+    let mut out = Vec::new();
+    for part in text.split(',') {
+        let Some((raw_key, raw_value)) = part.split_once(':') else {
+            continue;
+        };
+        let key = raw_key.trim().trim_start_matches('{').trim();
+        let key = key.trim_matches('"');
+        if key.is_empty() {
+            continue;
+        }
+        let value = raw_value.trim().trim_end_matches('}').trim();
+        if let Ok(v) = value.parse::<f64>() {
+            out.push((key.to_string(), v));
+        }
+    }
+    out
+}
+
+/// Compares fresh metrics against a baseline: every numeric metric present
+/// in `baseline` must also exist in `fresh` and must not have regressed by
+/// more than `tolerance` (a fraction: `0.30` allows a 30% drop). All
+/// recorded metrics are rates or speedups, so *lower is worse* by
+/// construction. Returns one human-readable line per violation.
+pub fn regressions(
+    baseline: &[(String, f64)],
+    fresh: &[(String, f64)],
+    tolerance: f64,
+) -> Vec<String> {
+    let mut failures = Vec::new();
+    for (key, base) in baseline {
+        let Some((_, new)) = fresh.iter().find(|(k, _)| k == key) else {
+            failures.push(format!("metric '{key}' disappeared from the fresh record"));
+            continue;
+        };
+        if *base > 0.0 && *new < *base * (1.0 - tolerance) {
+            failures.push(format!(
+                "metric '{key}' regressed {:.1}%: baseline {base:.2}, fresh {new:.2}",
+                100.0 * (1.0 - new / base)
+            ));
+        }
+    }
+    failures
+}
 
 /// Prepares a standardized feature matrix, its k-NN graph and its fairness
 /// graph for a dataset spec — the common setup cost shared by the substrate
 /// benchmarks.
-pub fn bench_setup(dataset: &Dataset, k: usize, quantiles: usize) -> (Matrix, SparseGraph, SparseGraph) {
+pub fn bench_setup(
+    dataset: &Dataset,
+    k: usize,
+    quantiles: usize,
+) -> (Matrix, SparseGraph, SparseGraph) {
     let (_, x) = Standardizer::fit_transform(dataset.features()).expect("standardization succeeds");
     let wx = KnnGraphBuilder::new(k.min(x.rows() - 1).max(1))
         .build(&x)
@@ -83,5 +188,42 @@ mod tests {
     fn random_symmetric_is_symmetric() {
         let a = random_symmetric(10, 3);
         assert!(a.is_symmetric(1e-12));
+    }
+
+    #[test]
+    fn parse_flat_json_reads_numeric_fields_in_order() {
+        let text = "{\n  \"bench\": \"x\",\n  \"a_rate\": 120.5,\n  \"b_rate\": 3,\n  \"note\": \"skip me\"\n}\n";
+        let parsed = parse_flat_json(text);
+        assert_eq!(
+            parsed,
+            vec![("a_rate".to_string(), 120.5), ("b_rate".to_string(), 3.0)]
+        );
+    }
+
+    #[test]
+    fn regressions_flags_drops_beyond_tolerance_only() {
+        let baseline = vec![
+            ("fast".to_string(), 100.0),
+            ("slow".to_string(), 100.0),
+            ("gone".to_string(), 1.0),
+        ];
+        let fresh = vec![("fast".to_string(), 75.0), ("slow".to_string(), 60.0)];
+        let failures = regressions(&baseline, &fresh, 0.30);
+        assert_eq!(
+            failures.len(),
+            2,
+            "one drop, one disappearance: {failures:?}"
+        );
+        assert!(failures.iter().any(|f| f.contains("'slow'")));
+        assert!(failures.iter().any(|f| f.contains("'gone'")));
+        assert!(regressions(&baseline[..1], &fresh, 0.30).is_empty());
+    }
+
+    #[test]
+    fn measure_rate_counts_units() {
+        let mut n = 0u64;
+        let rate = measure_rate(5, 10, || n += 1);
+        assert_eq!(n, 5);
+        assert!(rate > 0.0);
     }
 }

@@ -28,7 +28,11 @@ impl fmt::Display for PfrError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             PfrError::InvalidConfig(msg) => write!(f, "invalid configuration: {msg}"),
-            PfrError::DimensionMismatch { what, got, expected } => {
+            PfrError::DimensionMismatch {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "{what} has size {got}, expected {expected}")
             }
             PfrError::NotFitted => write!(f, "model must be fitted before use"),
@@ -58,7 +62,9 @@ mod tests {
 
     #[test]
     fn display_variants() {
-        assert!(PfrError::InvalidConfig("gamma".into()).to_string().contains("gamma"));
+        assert!(PfrError::InvalidConfig("gamma".into())
+            .to_string()
+            .contains("gamma"));
         assert!(PfrError::NotFitted.to_string().contains("fitted"));
         assert!(PfrError::DimensionMismatch {
             what: "fairness graph",

@@ -228,7 +228,9 @@ pub fn bundle_to_string(bundle: &ModelBundle) -> String {
 pub fn bundle_from_string(text: &str) -> Result<ModelBundle> {
     let bad = |msg: String| PfrError::InvalidConfig(msg);
     let mut lines = text.lines().filter(|l| !l.trim().is_empty()).peekable();
-    let header = lines.next().ok_or_else(|| bad("empty bundle".to_string()))?;
+    let header = lines
+        .next()
+        .ok_or_else(|| bad("empty bundle".to_string()))?;
     if header.split_whitespace().next() != Some(BUNDLE_TAG) {
         return Err(bad(format!(
             "unknown bundle format '{header}', expected '{BUNDLE_TAG}'"
@@ -469,7 +471,10 @@ mod tests {
         assert!(from_string("").is_err());
         assert!(from_string("other-format gamma=0.5 dim=1 features=2\n").is_err());
         assert!(from_string("pfr-linear-v1 gamma=0.5 dim=1\n").is_err());
-        assert!(from_string("pfr-linear-v1 gamma=0.5 dim=1 features=2\neigenvalues 0.1 0.2\n1.0\n0.0\n").is_err());
+        assert!(from_string(
+            "pfr-linear-v1 gamma=0.5 dim=1 features=2\neigenvalues 0.1 0.2\n1.0\n0.0\n"
+        )
+        .is_err());
         assert!(from_string(
             "pfr-linear-v1 gamma=0.5 dim=1 features=2\neigenvalues 0.1\n1.0 2.0\n0.0\n"
         )
@@ -546,11 +551,7 @@ mod tests {
         let truncated = text.replace("@end\n", "");
         assert!(bundle_from_string(&truncated).is_err());
         // Mismatched standardizer width.
-        assert!(bundle_from_string(&text.replace(
-            "means 2 1.5 0.5",
-            "means 2 1.5"
-        ))
-        .is_err());
+        assert!(bundle_from_string(&text.replace("means 2 1.5 0.5", "means 2 1.5")).is_err());
         // Empty input.
         assert!(bundle_from_string("").is_err());
         // Two bundles concatenated (duplicate sections / content after @end).

@@ -281,7 +281,9 @@ mod tests {
             Err(PfrError::DimensionMismatch { .. })
         ));
         let wrong_x = SparseGraph::new(4);
-        assert!(Pfr::default().fit(&x, &wrong_x, &SparseGraph::new(6)).is_err());
+        assert!(Pfr::default()
+            .fit(&x, &wrong_x, &SparseGraph::new(6))
+            .is_err());
     }
 
     #[test]

@@ -109,8 +109,7 @@ pub fn generate(config: &CompasConfig) -> Result<Dataset> {
             // which is precisely the bias the paper's fairness graph is meant
             // to counteract.
             let policing_bias = if group == 1 { 0.5 } else { 0.0 };
-            let priors =
-                (normal(&mut rng, 1.5 + policing_bias, 2.5).max(0.0)).floor();
+            let priors = (normal(&mut rng, 1.5 + policing_bias, 2.5).max(0.0)).floor();
             let juv_fel = (normal(&mut rng, 0.05 + 0.05 * policing_bias, 0.4).max(0.0)).floor();
             let juv_misd = (normal(&mut rng, 0.1 + 0.1 * policing_bias, 0.6).max(0.0)).floor();
             let days_in_jail = (normal(&mut rng, 12.0 + 4.0 * priors, 20.0)).max(0.0);
@@ -118,7 +117,10 @@ pub fn generate(config: &CompasConfig) -> Result<Dataset> {
             let female = bernoulli(&mut rng, 0.19);
 
             // Latent criminogenic risk: younger, more priors, felony charge.
-            let risk = -0.03 * (age - 35.0) + 0.30 * priors + 0.45 * juv_fel + 0.25 * juv_misd
+            let risk = -0.03 * (age - 35.0)
+                + 0.30 * priors
+                + 0.45 * juv_fel
+                + 0.25 * juv_misd
                 + 0.004 * days_in_jail
                 + if felony { 0.25 } else { 0.0 }
                 + 0.6 * standard_normal(&mut rng);
@@ -131,7 +133,11 @@ pub fn generate(config: &CompasConfig) -> Result<Dataset> {
                 Value::Number(juv_misd),
                 Value::Number(days_in_jail),
                 Value::Category(if felony { "F".into() } else { "M".into() }),
-                Value::Category(if female { "female".into() } else { "male".into() }),
+                Value::Category(if female {
+                    "female".into()
+                } else {
+                    "male".into()
+                }),
             ]);
             groups.push(group);
             // Rearrest probability calibrated to the group base rate.
@@ -164,7 +170,8 @@ pub fn generate(config: &CompasConfig) -> Result<Dataset> {
         // correction (divide by sqrt(1 + π s²/8)) keeps the marginal rate at
         // the target under the logistic-normal approximation.
         let slope = 1.4_f64;
-        let intercept = logit(base_rate) * (1.0 + std::f64::consts::PI * slope * slope / 8.0).sqrt();
+        let intercept =
+            logit(base_rate) * (1.0 + std::f64::consts::PI * slope * slope / 8.0).sqrt();
         for &i in &idx {
             let z = (latent_risk[i] - mean) / std;
             let p = sigmoid(intercept + slope * z);

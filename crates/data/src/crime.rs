@@ -116,17 +116,20 @@ pub fn generate(config: &CrimeConfig) -> Result<Dataset> {
             let disadvantage = normal(&mut rng, if group == 1 { 0.8 } else { -0.3 }, 1.0);
 
             let median_income = (55.0 - 12.0 * disadvantage + normal(&mut rng, 0.0, 8.0)).max(8.0);
-            let pct_poverty = (12.0 + 8.0 * disadvantage + normal(&mut rng, 0.0, 4.0)).clamp(0.0, 80.0);
+            let pct_poverty =
+                (12.0 + 8.0 * disadvantage + normal(&mut rng, 0.0, 4.0)).clamp(0.0, 80.0);
             let pct_unemployed =
                 (5.5 + 3.0 * disadvantage + normal(&mut rng, 0.0, 2.0)).clamp(0.0, 60.0);
             let pct_no_highschool =
                 (18.0 + 7.0 * disadvantage + normal(&mut rng, 0.0, 5.0)).clamp(0.0, 90.0);
             let pct_young_males = (7.0 + normal(&mut rng, 0.0, 1.5)).clamp(2.0, 20.0);
             let pop_density = (3.0 + 1.2 * disadvantage + normal(&mut rng, 0.0, 1.5)).max(0.05);
-            let pct_renters = (35.0 + 10.0 * disadvantage + normal(&mut rng, 0.0, 8.0)).clamp(0.0, 100.0);
+            let pct_renters =
+                (35.0 + 10.0 * disadvantage + normal(&mut rng, 0.0, 8.0)).clamp(0.0, 100.0);
             let pct_single_parent =
                 (16.0 + 9.0 * disadvantage + normal(&mut rng, 0.0, 4.0)).clamp(0.0, 90.0);
-            let police_per_capita = (2.0 + 0.6 * disadvantage + normal(&mut rng, 0.0, 0.5)).max(0.2);
+            let police_per_capita =
+                (2.0 + 0.6 * disadvantage + normal(&mut rng, 0.0, 0.5)).max(0.2);
             let pct_vacant_housing =
                 (6.0 + 4.0 * disadvantage + normal(&mut rng, 0.0, 2.5)).clamp(0.0, 60.0);
 
@@ -175,7 +178,8 @@ pub fn generate(config: &CrimeConfig) -> Result<Dataset> {
             / idx.len() as f64;
         let std = var.sqrt().max(1e-9);
         let slope = 1.6_f64;
-        let intercept = logit(base_rate) * (1.0 + std::f64::consts::PI * slope * slope / 8.0).sqrt();
+        let intercept =
+            logit(base_rate) * (1.0 + std::f64::consts::PI * slope * slope / 8.0).sqrt();
         for &i in &idx {
             let z = (latent_violence[i] - mean) / std;
             let p = sigmoid(intercept + slope * z);
@@ -284,7 +288,10 @@ mod tests {
         let ds = generate(&small_config(7)).unwrap();
         let income = ds.features().col(0);
         let corr = pfr_linalg::stats::pearson(&income, &ds.labels_f64());
-        assert!(corr < -0.1, "income/label correlation {corr} should be negative");
+        assert!(
+            corr < -0.1,
+            "income/label correlation {corr} should be negative"
+        );
     }
 
     #[test]

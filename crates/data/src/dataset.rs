@@ -288,11 +288,8 @@ impl Dataset {
             num_records: self.len(),
             num_features: self.num_features(),
             overall_base_rate: self.overall_base_rate(),
-            side_information_coverage: self
-                .side_information
-                .iter()
-                .filter(|s| s.is_some())
-                .count() as f64
+            side_information_coverage: self.side_information.iter().filter(|s| s.is_some()).count()
+                as f64
                 / self.len() as f64,
             per_group,
         }
@@ -445,10 +442,14 @@ mod tests {
     fn with_features_swaps_representation() {
         let ds = toy_dataset();
         let z = Matrix::zeros(4, 3);
-        let swapped = ds.with_features(z, vec!["z1".into(), "z2".into(), "z3".into()]).unwrap();
+        let swapped = ds
+            .with_features(z, vec!["z1".into(), "z2".into(), "z3".into()])
+            .unwrap();
         assert_eq!(swapped.num_features(), 3);
         assert_eq!(swapped.labels(), ds.labels());
-        assert!(ds.with_features(Matrix::zeros(2, 2), vec!["a".into(), "b".into()]).is_err());
+        assert!(ds
+            .with_features(Matrix::zeros(2, 2), vec!["a".into(), "b".into()])
+            .is_err());
     }
 
     #[test]

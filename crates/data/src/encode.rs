@@ -230,7 +230,10 @@ mod tests {
 
     #[test]
     fn type_mismatches_are_rejected() {
-        let bad = vec![vec![Value::Category("old".into()), Value::Category("felony".into())]];
+        let bad = vec![vec![
+            Value::Category("old".into()),
+            Value::Category("felony".into()),
+        ]];
         let (enc, _) = FeatureEncoder::fit_transform(schema(), &records()).unwrap();
         assert!(enc.transform(&bad).is_err());
         let bad_fit = vec![vec![Value::Number(1.0), Value::Number(2.0)]];

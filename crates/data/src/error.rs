@@ -28,7 +28,11 @@ pub enum DataError {
 impl fmt::Display for DataError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            DataError::LengthMismatch { what, got, expected } => {
+            DataError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "{what} has length {got}, expected {expected}")
             }
             DataError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
@@ -66,7 +70,9 @@ mod tests {
         }
         .to_string()
         .contains("labels"));
-        assert!(DataError::InvalidParameter("x".into()).to_string().contains('x'));
+        assert!(DataError::InvalidParameter("x".into())
+            .to_string()
+            .contains('x'));
         assert!(DataError::Parse("bad".into()).to_string().contains("bad"));
     }
 

@@ -61,13 +61,12 @@ impl DatasetLoader {
 
     /// Builds a [`Dataset`] from an in-memory numeric table.
     pub fn from_table(&self, table: &NumericTable) -> Result<Dataset> {
-        let col_index = |name: &str| -> Result<usize> {
-            table
-                .columns
-                .iter()
-                .position(|c| c == name)
-                .ok_or_else(|| DataError::InvalidParameter(format!("column '{name}' not found")))
-        };
+        let col_index =
+            |name: &str| -> Result<usize> {
+                table.columns.iter().position(|c| c == name).ok_or_else(|| {
+                    DataError::InvalidParameter(format!("column '{name}' not found"))
+                })
+            };
         let label_idx = col_index(&self.label_column)?;
         let group_idx = col_index(&self.group_column)?;
         let side_idx = match &self.side_information_column {
@@ -187,7 +186,10 @@ mod tests {
     fn loads_roles_and_features_correctly() {
         let ds = loader().from_table(&table()).unwrap();
         assert_eq!(ds.len(), 4);
-        assert_eq!(ds.feature_names(), &["age".to_string(), "priors".to_string()]);
+        assert_eq!(
+            ds.feature_names(),
+            &["age".to_string(), "priors".to_string()]
+        );
         assert_eq!(ds.labels(), &[1, 0, 1, 0]);
         assert_eq!(ds.groups(), &[1, 0, 1, 0]);
         assert_eq!(ds.side_information()[0], Some(7.0));
@@ -200,8 +202,12 @@ mod tests {
     #[test]
     fn missing_columns_and_bad_values_are_rejected() {
         let t = table();
-        assert!(DatasetLoader::new("x", "nope", "race").from_table(&t).is_err());
-        assert!(DatasetLoader::new("x", "rearrested", "nope").from_table(&t).is_err());
+        assert!(DatasetLoader::new("x", "nope", "race")
+            .from_table(&t)
+            .is_err());
+        assert!(DatasetLoader::new("x", "rearrested", "nope")
+            .from_table(&t)
+            .is_err());
         assert!(loader()
             .with_dropped_columns(vec!["ghost".into()])
             .from_table(&t)
@@ -212,21 +218,24 @@ mod tests {
             vec![vec![1.0, 0.0, 2.0]],
         )
         .unwrap();
-        assert!(DatasetLoader::new("x", "y", "race").from_table(&bad_label).is_err());
+        assert!(DatasetLoader::new("x", "y", "race")
+            .from_table(&bad_label)
+            .is_err());
 
         let bad_group = NumericTable::new(
             vec!["f".into(), "race".into(), "y".into()],
             vec![vec![1.0, -1.0, 1.0]],
         )
         .unwrap();
-        assert!(DatasetLoader::new("x", "y", "race").from_table(&bad_group).is_err());
+        assert!(DatasetLoader::new("x", "y", "race")
+            .from_table(&bad_group)
+            .is_err());
 
-        let no_features = NumericTable::new(
-            vec!["race".into(), "y".into()],
-            vec![vec![0.0, 1.0]],
-        )
-        .unwrap();
-        assert!(DatasetLoader::new("x", "y", "race").from_table(&no_features).is_err());
+        let no_features =
+            NumericTable::new(vec!["race".into(), "y".into()], vec![vec![0.0, 1.0]]).unwrap();
+        assert!(DatasetLoader::new("x", "y", "race")
+            .from_table(&no_features)
+            .is_err());
     }
 
     #[test]

@@ -9,8 +9,8 @@
 use crate::dataset::Dataset;
 use crate::error::DataError;
 use crate::Result;
-use rand::seq::SliceRandom;
 use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
 use rand::SeedableRng;
 
 /// A train/test split of record indices.
@@ -27,7 +27,11 @@ pub struct TrainTestSplit {
 /// Stratification is on the joint `(label, group)` cell so both base rates
 /// and group proportions are preserved. The split is deterministic for a
 /// given seed.
-pub fn train_test_split(dataset: &Dataset, test_fraction: f64, seed: u64) -> Result<TrainTestSplit> {
+pub fn train_test_split(
+    dataset: &Dataset,
+    test_fraction: f64,
+    seed: u64,
+) -> Result<TrainTestSplit> {
     if !(0.0 < test_fraction && test_fraction < 1.0) {
         return Err(DataError::InvalidParameter(format!(
             "test fraction {test_fraction} must lie strictly between 0 and 1"
@@ -139,7 +143,12 @@ mod tests {
     fn split_partitions_all_records() {
         let ds = dataset_with(100);
         let split = train_test_split(&ds, 0.3, 7).unwrap();
-        let mut all: Vec<usize> = split.train.iter().chain(split.test.iter()).copied().collect();
+        let mut all: Vec<usize> = split
+            .train
+            .iter()
+            .chain(split.test.iter())
+            .copied()
+            .collect();
         all.sort_unstable();
         assert_eq!(all, (0..100).collect::<Vec<_>>());
         // Roughly 30% test.

@@ -225,7 +225,12 @@ mod tests {
         assert!(ablation.rows.iter().any(|r| r.parameter == "linear"));
         assert!(ablation.rows.len() >= 4);
         for row in &ablation.rows {
-            assert!(row.auc > 0.4, "{} AUC {} unreasonably low", row.parameter, row.auc);
+            assert!(
+                row.auc > 0.4,
+                "{} AUC {} unreasonably low",
+                row.parameter,
+                row.auc
+            );
         }
     }
 

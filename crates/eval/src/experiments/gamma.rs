@@ -105,7 +105,8 @@ pub fn run(spec: DatasetSpec, fast: bool, seed: u64) -> Result<GammaSweep> {
         let model = Pfr::new(pfr_config).fit(&exp.x_train_prot, &exp.wx_train, &exp.wf_train)?;
         let z_train = model.transform(&exp.x_train_prot)?;
         let z_test = model.transform(&exp.x_test_prot)?;
-        let eval = evaluate_representation(format!("PFR(gamma={gamma:.1})"), &z_train, &z_test, &exp)?;
+        let eval =
+            evaluate_representation(format!("PFR(gamma={gamma:.1})"), &z_train, &z_test, &exp)?;
         rows.push(GammaRow {
             gamma,
             consistency_wf: eval.consistency_wf,

@@ -44,17 +44,23 @@ pub fn run_by_name(name: &str, fast: bool, seed: u64) -> Result<String> {
             .map(|r| r.render_tradeoff()),
         "figure3" => tradeoff::run_tradeoff(crate::pipeline::DatasetSpec::Synthetic, fast, seed)
             .map(|r| r.render_group_fairness()),
-        "figure4" => gamma::run(crate::pipeline::DatasetSpec::Synthetic, fast, seed).map(|r| r.render()),
+        "figure4" => {
+            gamma::run(crate::pipeline::DatasetSpec::Synthetic, fast, seed).map(|r| r.render())
+        }
         "figure5" => tradeoff::run_tradeoff(crate::pipeline::DatasetSpec::Crime, fast, seed)
             .map(|r| r.render_tradeoff()),
         "figure6" => tradeoff::run_tradeoff(crate::pipeline::DatasetSpec::Crime, fast, seed)
             .map(|r| r.render_group_fairness()),
-        "figure7" => gamma::run(crate::pipeline::DatasetSpec::Crime, fast, seed).map(|r| r.render()),
+        "figure7" => {
+            gamma::run(crate::pipeline::DatasetSpec::Crime, fast, seed).map(|r| r.render())
+        }
         "figure8" => tradeoff::run_tradeoff(crate::pipeline::DatasetSpec::Compas, fast, seed)
             .map(|r| r.render_tradeoff()),
         "figure9" => tradeoff::run_tradeoff(crate::pipeline::DatasetSpec::Compas, fast, seed)
             .map(|r| r.render_group_fairness()),
-        "figure10" => gamma::run(crate::pipeline::DatasetSpec::Compas, fast, seed).map(|r| r.render()),
+        "figure10" => {
+            gamma::run(crate::pipeline::DatasetSpec::Compas, fast, seed).map(|r| r.render())
+        }
         "ablation-sparsity" => ablation::run_sparsity(fast, seed).map(|r| r.render()),
         "ablation-kernel" => ablation::run_kernel(fast, seed).map(|r| r.render()),
         "ablation-quantiles" => ablation::run_quantiles(fast, seed).map(|r| r.render()),

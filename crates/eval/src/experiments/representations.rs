@@ -82,7 +82,11 @@ impl Figure1 {
             .map(|i| {
                 vec![
                     coords[(i, 0)],
-                    if coords.cols() > 1 { coords[(i, 1)] } else { 0.0 },
+                    if coords.cols() > 1 {
+                        coords[(i, 1)]
+                    } else {
+                        0.0
+                    },
                     exp.train.groups()[i] as f64,
                     exp.train.labels()[i] as f64,
                 ]
@@ -96,11 +100,7 @@ impl Figure1 {
     }
 }
 
-fn geometry(
-    method: String,
-    z: &Matrix,
-    exp: &PreparedExperiment,
-) -> RepresentationGeometry {
+fn geometry(method: String, z: &Matrix, exp: &PreparedExperiment) -> RepresentationGeometry {
     let groups = exp.train.groups();
     let n = z.rows();
 

@@ -168,7 +168,8 @@ pub fn run_tradeoff(spec: DatasetSpec, fast: bool, seed: u64) -> Result<Tradeoff
         clf.fit(&z_train, exp.train.labels())?;
         clf.predict_proba(&z_train)?
     };
-    let post = HardtPostProcessor::fit_default(&train_scores, exp.train.labels(), exp.train.groups())?;
+    let post =
+        HardtPostProcessor::fit_default(&train_scores, exp.train.labels(), exp.train.groups())?;
     let hardt_predictions = post.predict(&original_eval.probabilities, exp.test.groups())?;
     let hardt_eval = evaluate_predictions(
         original_label,

@@ -184,7 +184,9 @@ mod tests {
         .unwrap();
         assert!([0.0, 0.5, 1.0].contains(&result.best_gamma));
         assert_eq!(result.scores.len(), 3);
-        assert!(result.best_score >= result.scores.iter().map(|s| s.1).fold(f64::MIN, f64::max) - 1e-12);
+        assert!(
+            result.best_score >= result.scores.iter().map(|s| s.1).fold(f64::MIN, f64::max) - 1e-12
+        );
     }
 
     #[test]

@@ -212,11 +212,7 @@ pub fn prepare(spec: DatasetSpec, config: &PipelineConfig) -> Result<PreparedExp
     // imputed with the training mean (the paper stresses the side
     // information is unavailable for unseen individuals).
     let train_aug = train.with_side_information_feature()?;
-    let observed: Vec<f64> = train
-        .side_information()
-        .iter()
-        .filter_map(|&s| s)
-        .collect();
+    let observed: Vec<f64> = train.side_information().iter().filter_map(|&s| s).collect();
     let train_fill = if observed.is_empty() {
         0.0
     } else {
@@ -397,8 +393,7 @@ mod tests {
     #[test]
     fn evaluate_representation_produces_sane_metrics() {
         let exp = prepare(DatasetSpec::Synthetic, &PipelineConfig::fast(7)).unwrap();
-        let eval =
-            evaluate_representation("Original", &exp.x_train, &exp.x_test, &exp).unwrap();
+        let eval = evaluate_representation("Original", &exp.x_train, &exp.x_test, &exp).unwrap();
         assert!(eval.auc > 0.5, "AUC {} should beat chance", eval.auc);
         assert!((0.0..=1.0).contains(&eval.consistency_wx));
         assert!((0.0..=1.0).contains(&eval.consistency_wf));

@@ -36,10 +36,17 @@ impl fmt::Display for GraphError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
             GraphError::NodeOutOfRange { node, n } => {
-                write!(f, "node index {node} out of range for a graph with {n} nodes")
+                write!(
+                    f,
+                    "node index {node} out of range for a graph with {n} nodes"
+                )
             }
             GraphError::SelfLoop { node } => write!(f, "self-loop on node {node} is not allowed"),
-            GraphError::LengthMismatch { what, got, expected } => {
+            GraphError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "{what} has length {got}, expected {expected}")
             }
             GraphError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),

@@ -45,7 +45,8 @@ pub fn equivalence_class_graph(classes: &[Option<usize>]) -> Result<SparseGraph>
     let n = classes.len();
     let mut g = SparseGraph::new(n);
     // Bucket members per class, then emit cliques.
-    let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut buckets: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, class) in classes.iter().enumerate() {
         if let Some(c) = class {
             buckets.entry(*c).or_default().push(i);
@@ -94,7 +95,8 @@ pub fn between_group_quantile_graph(
     }
 
     // Partition indices by group.
-    let mut by_group: std::collections::BTreeMap<usize, Vec<usize>> = std::collections::BTreeMap::new();
+    let mut by_group: std::collections::BTreeMap<usize, Vec<usize>> =
+        std::collections::BTreeMap::new();
     for (i, &g) in groups.iter().enumerate() {
         by_group.entry(g).or_default().push(i);
     }

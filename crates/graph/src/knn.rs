@@ -223,11 +223,7 @@ mod tests {
         let g = KnnGraphBuilder::new(1).build(&x).unwrap();
         // With the median heuristic at least one edge weight should be
         // macroscopic (the kernel width adapts to the data scale).
-        let max_w = g
-            .edges()
-            .iter()
-            .map(|e| e.weight)
-            .fold(0.0_f64, f64::max);
+        let max_w = g.edges().iter().map(|e| e.weight).fold(0.0_f64, f64::max);
         assert!(max_w > 0.3);
     }
 

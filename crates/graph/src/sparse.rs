@@ -16,6 +16,12 @@ use crate::error::GraphError;
 use crate::Result;
 use pfr_linalg::Matrix;
 
+/// Edge count from which the unnormalized quadratic form switches from the
+/// streaming per-edge accumulation to the chunked GEMM formulation. The
+/// rule depends only on the graph (never on the data matrix), so a given
+/// graph always takes the same path and produces the same bits.
+const GEMM_EDGE_THRESHOLD: usize = 4096;
+
 /// Which graph Laplacian to use.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum LaplacianKind {
@@ -51,7 +57,10 @@ pub struct SparseGraph {
 impl SparseGraph {
     /// Creates an empty graph over `n` nodes.
     pub fn new(n: usize) -> Self {
-        SparseGraph { n, edges: Vec::new() }
+        SparseGraph {
+            n,
+            edges: Vec::new(),
+        }
     }
 
     /// Number of nodes.
@@ -116,8 +125,7 @@ impl SparseGraph {
         if self.edges.is_empty() {
             return;
         }
-        self.edges
-            .sort_by_key(|e| (e.i, e.j));
+        self.edges.sort_by_key(|e| (e.i, e.j));
         let mut out: Vec<Edge> = Vec::with_capacity(self.edges.len());
         for e in self.edges.drain(..) {
             match out.last_mut() {
@@ -136,8 +144,7 @@ impl SparseGraph {
         if self.edges.is_empty() {
             return;
         }
-        self.edges
-            .sort_by_key(|e| (e.i, e.j));
+        self.edges.sort_by_key(|e| (e.i, e.j));
         let mut out: Vec<Edge> = Vec::with_capacity(self.edges.len());
         for e in self.edges.drain(..) {
             match out.last_mut() {
@@ -198,7 +205,11 @@ impl SparseGraph {
             LaplacianKind::Unnormalized => {
                 for i in 0..self.n {
                     for j in 0..self.n {
-                        l[(i, j)] = if i == j { deg[i] - w[(i, j)] } else { -w[(i, j)] };
+                        l[(i, j)] = if i == j {
+                            deg[i] - w[(i, j)]
+                        } else {
+                            -w[(i, j)]
+                        };
                     }
                 }
             }
@@ -247,14 +258,48 @@ impl SparseGraph {
         let mut acc = Matrix::zeros(m, m);
         match kind {
             LaplacianKind::Unnormalized => {
-                let mut diff = vec![0.0; m];
-                for e in &self.edges {
-                    let xi = x.row(e.i as usize);
-                    let xj = x.row(e.j as usize);
-                    for ((d, &a), &b) in diff.iter_mut().zip(xi.iter()).zip(xj.iter()) {
-                        *d = a - b;
+                if self.edges.len() < GEMM_EDGE_THRESHOLD {
+                    // Small graphs: the seed's streaming accumulation, one
+                    // rank-1 update per edge. Kept not just for its lower
+                    // constant cost — it also preserves the exact historic
+                    // accumulation order, so the bit-level results of every
+                    // small paper artifact are unchanged.
+                    let mut diff = vec![0.0; m];
+                    for e in &self.edges {
+                        let xi = x.row(e.i as usize);
+                        let xj = x.row(e.j as usize);
+                        for ((d, &a), &b) in diff.iter_mut().zip(xi.iter()).zip(xj.iter()) {
+                            *d = a - b;
+                        }
+                        accumulate_outer(&mut acc, &diff, e.weight);
                     }
-                    accumulate_outer(&mut acc, &diff, e.weight);
+                } else {
+                    // Large graphs: Σ w_ij (x_i - x_j)(x_i - x_j)ᵀ = Dᵀ D
+                    // where row e of D is √w_e (x_i - x_j). Assembling D in
+                    // edge chunks turns the accumulation into a handful of
+                    // GEMM calls on the blocked multi-threaded
+                    // `pfr_linalg::gemm` kernel instead of one rank-1
+                    // update per edge — the dense fairness graphs (quantile
+                    // graph on COMPAS: millions of unit edges) make this
+                    // the hot loop of every PFR fit. The chunk size is
+                    // fixed and the kernel is thread-count independent, so
+                    // the result does not depend on machine parallelism.
+                    const EDGE_CHUNK: usize = 8192;
+                    for chunk in self.edges.chunks(EDGE_CHUNK) {
+                        let mut d = Matrix::zeros(chunk.len(), m);
+                        for (row, e) in chunk.iter().enumerate() {
+                            let sw = e.weight.sqrt();
+                            let xi = x.row(e.i as usize);
+                            let xj = x.row(e.j as usize);
+                            for ((d, &a), &b) in
+                                d.row_mut(row).iter_mut().zip(xi.iter()).zip(xj.iter())
+                            {
+                                *d = sw * (a - b);
+                            }
+                        }
+                        let partial = d.transpose_matmul(&d)?;
+                        acc.axpy(1.0, &partial).expect("accumulator shapes match");
+                    }
                 }
             }
             LaplacianKind::SymmetricNormalized => {
@@ -507,7 +552,10 @@ mod tests {
     fn quadratic_form_matches_dense_laplacian() {
         let g = path3();
         let x = Matrix::from_rows(&[vec![1.0, 0.0], vec![0.0, 1.0], vec![2.0, -1.0]]).unwrap();
-        for kind in [LaplacianKind::Unnormalized, LaplacianKind::SymmetricNormalized] {
+        for kind in [
+            LaplacianKind::Unnormalized,
+            LaplacianKind::SymmetricNormalized,
+        ] {
             let fast = g.quadratic_form(&x, kind).unwrap();
             let dense = g.laplacian_dense(kind);
             let explicit = x.transpose_matmul(&dense.matmul(&x).unwrap()).unwrap();
@@ -516,6 +564,43 @@ mod tests {
                 "mismatch for {kind:?}"
             );
         }
+    }
+
+    #[test]
+    fn quadratic_form_gemm_path_matches_dense_laplacian() {
+        // Enough edges to cross GEMM_EDGE_THRESHOLD and more than one
+        // 8192-edge chunk, so the chunked GEMM path (packing, fringes,
+        // cross-chunk accumulation) is what gets exercised.
+        let n = 150;
+        let mut g = SparseGraph::new(n);
+        let mut state = 77u64;
+        let mut next = move || {
+            state ^= state << 13;
+            state ^= state >> 7;
+            state ^= state << 17;
+            state
+        };
+        while g.num_edges() < 9000 {
+            let i = (next() % n as u64) as usize;
+            let j = (next() % n as u64) as usize;
+            if i != j {
+                let w = (next() % 1000) as f64 / 250.0;
+                g.add_edge(i, j, w).unwrap();
+            }
+        }
+        let m = 6;
+        let data: Vec<f64> = (0..n * m)
+            .map(|_| (next() % 2000) as f64 / 500.0 - 2.0)
+            .collect();
+        let x = Matrix::from_vec(n, m, data).unwrap();
+        let fast = g.quadratic_form(&x, LaplacianKind::Unnormalized).unwrap();
+        let dense = g.laplacian_dense(LaplacianKind::Unnormalized);
+        let explicit = x.transpose_matmul(&dense.matmul(&x).unwrap()).unwrap();
+        let scale = explicit.max_abs().max(1.0);
+        assert!(
+            fast.sub(&explicit).unwrap().max_abs() / scale < 1e-12,
+            "chunked GEMM quadratic form diverges from the dense Laplacian"
+        );
     }
 
     #[test]

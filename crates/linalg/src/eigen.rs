@@ -376,9 +376,15 @@ mod tests {
         let diff = rec.sub(a).unwrap().max_abs();
         assert!(diff < tol, "reconstruction error {diff} exceeds {tol}");
         // Orthonormality.
-        let vtv = eig.eigenvectors.transpose_matmul(&eig.eigenvectors).unwrap();
+        let vtv = eig
+            .eigenvectors
+            .transpose_matmul(&eig.eigenvectors)
+            .unwrap();
         let ortho_err = vtv.sub(&Matrix::identity(a.rows())).unwrap().max_abs();
-        assert!(ortho_err < tol, "orthonormality error {ortho_err} exceeds {tol}");
+        assert!(
+            ortho_err < tol,
+            "orthonormality error {ortho_err} exceeds {tol}"
+        );
         // Sorted ascending.
         for w in eig.eigenvalues.windows(2) {
             assert!(w[0] <= w[1] + 1e-12);

@@ -52,13 +52,20 @@ impl fmt::Display for LinalgError {
                 lhs.0, lhs.1, rhs.0, rhs.1
             ),
             LinalgError::NotSquare { shape } => {
-                write!(f, "matrix must be square, but has shape {}x{}", shape.0, shape.1)
+                write!(
+                    f,
+                    "matrix must be square, but has shape {}x{}",
+                    shape.0, shape.1
+                )
             }
             LinalgError::NotSymmetric { max_asymmetry } => write!(
                 f,
                 "matrix must be symmetric, largest asymmetry is {max_asymmetry:e}"
             ),
-            LinalgError::Singular { op } => write!(f, "{op} failed: matrix is singular or not positive definite"),
+            LinalgError::Singular { op } => write!(
+                f,
+                "{op} failed: matrix is singular or not positive definite"
+            ),
             LinalgError::NoConvergence { op, iterations } => {
                 write!(f, "{op} did not converge after {iterations} iterations")
             }

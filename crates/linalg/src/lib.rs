@@ -10,6 +10,9 @@
 //!
 //! * [`Matrix`] — a dense, row-major, `f64` matrix with the usual algebraic
 //!   operations (multiplication, transposition, slicing, norms, …).
+//! * [`gemm`] — the blocked, packed, multi-threaded GEMM kernel every dense
+//!   matrix product routes through (register-tiled micro-kernel, L1/L2
+//!   cache blocking, deterministic thread-count-independent accumulation).
 //! * [`eigen`] — symmetric eigensolvers: a cyclic Jacobi rotation solver and a
 //!   Householder-tridiagonalization + implicit-QL solver, both returning full
 //!   eigen-decompositions sorted by eigenvalue.
@@ -31,6 +34,7 @@
 pub mod cholesky;
 pub mod eigen;
 pub mod error;
+pub mod gemm;
 pub mod matrix;
 pub mod pca;
 pub mod solve;

@@ -6,6 +6,7 @@
 //! operations that return [`LinalgError`] instead of panicking on user input.
 
 use crate::error::LinalgError;
+use crate::gemm;
 use crate::Result;
 use std::fmt;
 use std::ops::{Index, IndexMut};
@@ -173,7 +174,11 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row(&self, r: usize) -> &[f64] {
-        assert!(r < self.rows, "row index {r} out of range ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of range ({} rows)",
+            self.rows
+        );
         &self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -183,7 +188,11 @@ impl Matrix {
     /// Panics if `r >= self.rows()`.
     #[inline]
     pub fn row_mut(&mut self, r: usize) -> &mut [f64] {
-        assert!(r < self.rows, "row index {r} out of range ({} rows)", self.rows);
+        assert!(
+            r < self.rows,
+            "row index {r} out of range ({} rows)",
+            self.rows
+        );
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
@@ -192,8 +201,14 @@ impl Matrix {
     /// # Panics
     /// Panics if `c >= self.cols()`.
     pub fn col(&self, c: usize) -> Vec<f64> {
-        assert!(c < self.cols, "column index {c} out of range ({} cols)", self.cols);
-        (0..self.rows).map(|r| self.data[r * self.cols + c]).collect()
+        assert!(
+            c < self.cols,
+            "column index {c} out of range ({} cols)",
+            self.cols
+        );
+        (0..self.rows)
+            .map(|r| self.data[r * self.cols + c])
+            .collect()
     }
 
     /// Overwrites column `c` with `values`.
@@ -235,8 +250,36 @@ impl Matrix {
 
     /// Matrix multiplication `self * other`.
     ///
-    /// Uses a cache-friendly i-k-j loop order.
+    /// Runs through the blocked, multi-threaded [`crate::gemm`] kernel. The
+    /// result is deterministic and independent of the worker thread count;
+    /// row `i` of the product depends only on row `i` of `self` and on
+    /// `other`, never on how many other rows the batch carries.
     pub fn matmul(&self, other: &Matrix) -> Result<Matrix> {
+        if self.cols != other.rows {
+            return Err(LinalgError::ShapeMismatch {
+                op: "matmul",
+                lhs: self.shape(),
+                rhs: other.shape(),
+            });
+        }
+        let mut out = Matrix::zeros(self.rows, other.cols);
+        gemm::gemm_into(
+            self.rows,
+            other.cols,
+            self.cols,
+            gemm::MatRef::new(&self.data, self.cols, 1),
+            gemm::MatRef::new(&other.data, other.cols, 1),
+            &mut out.data,
+            None,
+        );
+        Ok(out)
+    }
+
+    /// The retained naive `i-k-j` matrix multiplication, kept as the
+    /// reference implementation the blocked kernel is property-tested and
+    /// benchmarked against. Production paths should call
+    /// [`Matrix::matmul`].
+    pub fn matmul_naive(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.rows {
             return Err(LinalgError::ShapeMismatch {
                 op: "matmul",
@@ -312,7 +355,12 @@ impl Matrix {
         self.zip_with(other, "hadamard", |a, b| a * b)
     }
 
-    fn zip_with(&self, other: &Matrix, op: &'static str, f: impl Fn(f64, f64) -> f64) -> Result<Matrix> {
+    fn zip_with(
+        &self,
+        other: &Matrix,
+        op: &'static str,
+        f: impl Fn(f64, f64) -> f64,
+    ) -> Result<Matrix> {
         if self.shape() != other.shape() {
             return Err(LinalgError::ShapeMismatch {
                 op,
@@ -458,7 +506,9 @@ impl Matrix {
     /// Trace (sum of diagonal entries) of a square matrix.
     pub fn trace(&self) -> Result<f64> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         Ok((0..self.rows).map(|i| self.data[i * self.cols + i]).sum())
     }
@@ -487,7 +537,9 @@ impl Matrix {
     /// Returns the symmetrized matrix `(self + selfᵀ) / 2`.
     pub fn symmetrize(&self) -> Result<Matrix> {
         if !self.is_square() {
-            return Err(LinalgError::NotSquare { shape: self.shape() });
+            return Err(LinalgError::NotSquare {
+                shape: self.shape(),
+            });
         }
         let mut out = self.clone();
         for i in 0..self.rows {
@@ -500,6 +552,10 @@ impl Matrix {
     }
 
     /// Computes `self * otherᵀ` without materializing the transpose.
+    ///
+    /// The transposition is absorbed into the kernel's strided operand view
+    /// (and disappears at packing time), so this is bitwise identical to
+    /// `self.matmul(&other.transpose())` at zero copy cost.
     pub fn matmul_transpose(&self, other: &Matrix) -> Result<Matrix> {
         if self.cols != other.cols {
             return Err(LinalgError::ShapeMismatch {
@@ -509,18 +565,22 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                out.data[i * other.rows + j] =
-                    a_row.iter().zip(b_row.iter()).map(|(a, b)| a * b).sum();
-            }
-        }
+        gemm::gemm_into(
+            self.rows,
+            other.rows,
+            self.cols,
+            gemm::MatRef::new(&self.data, self.cols, 1),
+            gemm::MatRef::new(&other.data, 1, other.cols),
+            &mut out.data,
+            None,
+        );
         Ok(out)
     }
 
     /// Computes `selfᵀ * other` without materializing the transpose.
+    ///
+    /// Like [`Matrix::matmul_transpose`], this routes through the one
+    /// blocked kernel with a transposed left-operand view.
     pub fn transpose_matmul(&self, other: &Matrix) -> Result<Matrix> {
         if self.rows != other.rows {
             return Err(LinalgError::ShapeMismatch {
@@ -530,19 +590,15 @@ impl Matrix {
             });
         }
         let mut out = Matrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &aki) in a_row.iter().enumerate() {
-                if aki == 0.0 {
-                    continue;
-                }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &bkj) in out_row.iter_mut().zip(b_row.iter()) {
-                    *o += aki * bkj;
-                }
-            }
-        }
+        gemm::gemm_into(
+            self.cols,
+            other.cols,
+            self.rows,
+            gemm::MatRef::new(&self.data, 1, self.cols),
+            gemm::MatRef::new(&other.data, other.cols, 1),
+            &mut out.data,
+            None,
+        );
         Ok(out)
     }
 }

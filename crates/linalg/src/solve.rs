@@ -67,7 +67,11 @@ impl LuDecomposition {
             }
         }
 
-        Ok(LuDecomposition { lu, perm, perm_sign })
+        Ok(LuDecomposition {
+            lu,
+            perm,
+            perm_sign,
+        })
     }
 
     /// Solves `A x = b`.

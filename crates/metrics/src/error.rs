@@ -26,7 +26,11 @@ pub enum MetricsError {
 impl fmt::Display for MetricsError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            MetricsError::LengthMismatch { what, got, expected } => {
+            MetricsError::LengthMismatch {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "{what} has length {got}, expected {expected}")
             }
             MetricsError::Undefined(msg) => write!(f, "metric undefined: {msg}"),

@@ -172,8 +172,7 @@ mod tests {
     #[test]
     fn per_group_rates_are_correct() {
         let (labels, preds, groups, scores) = biased_setup();
-        let report =
-            GroupFairnessReport::compute(&labels, &preds, &groups, Some(&scores)).unwrap();
+        let report = GroupFairnessReport::compute(&labels, &preds, &groups, Some(&scores)).unwrap();
         assert_eq!(report.per_group.len(), 2);
         let g0 = report.group(0).unwrap();
         let g1 = report.group(1).unwrap();
@@ -192,8 +191,7 @@ mod tests {
     #[test]
     fn gaps_summarize_the_disparity() {
         let (labels, preds, groups, scores) = biased_setup();
-        let report =
-            GroupFairnessReport::compute(&labels, &preds, &groups, Some(&scores)).unwrap();
+        let report = GroupFairnessReport::compute(&labels, &preds, &groups, Some(&scores)).unwrap();
         assert!((report.demographic_parity_gap() - 0.5).abs() < 1e-12);
         assert!((report.fpr_gap() - 0.5).abs() < 1e-12);
         assert!((report.fnr_gap() - 0.5).abs() < 1e-12);
@@ -215,8 +213,7 @@ mod tests {
 
     #[test]
     fn single_group_has_zero_gaps() {
-        let report =
-            GroupFairnessReport::compute(&[1, 0], &[1, 1], &[0, 0], None).unwrap();
+        let report = GroupFairnessReport::compute(&[1, 0], &[1, 1], &[0, 0], None).unwrap();
         assert_eq!(report.demographic_parity_gap(), 0.0);
         assert_eq!(report.equalized_odds_gap(), 0.0);
     }

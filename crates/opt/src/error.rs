@@ -30,7 +30,11 @@ pub enum OptError {
 impl fmt::Display for OptError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            OptError::DimensionMismatch { what, got, expected } => {
+            OptError::DimensionMismatch {
+                what,
+                got,
+                expected,
+            } => {
                 write!(f, "{what} has size {got}, expected {expected}")
             }
             OptError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
@@ -58,7 +62,9 @@ mod tests {
     #[test]
     fn display_variants() {
         assert!(OptError::NotFitted.to_string().contains("fitted"));
-        assert!(OptError::Diverged { iteration: 3 }.to_string().contains('3'));
+        assert!(OptError::Diverged { iteration: 3 }
+            .to_string()
+            .contains('3'));
         assert!(OptError::DimensionMismatch {
             what: "labels",
             got: 1,

@@ -229,7 +229,11 @@ impl LogisticRegression {
             let mut hessian = Matrix::zeros(d, d);
             for i in 0..n {
                 let row = x.row(i);
-                let mut z = if self.config.fit_intercept { beta[m] } else { 0.0 };
+                let mut z = if self.config.fit_intercept {
+                    beta[m]
+                } else {
+                    0.0
+                };
                 for (j, &v) in row.iter().enumerate() {
                     z += beta[j] * v;
                 }
@@ -293,7 +297,11 @@ impl LogisticRegression {
             }
         }
 
-        self.intercept = if self.config.fit_intercept { beta[m] } else { 0.0 };
+        self.intercept = if self.config.fit_intercept {
+            beta[m]
+        } else {
+            0.0
+        };
         self.weights = Some(beta[..m].to_vec());
         self.iterations_run = iterations;
         Ok(())
@@ -311,7 +319,11 @@ impl LogisticRegression {
         }
         Ok(x.iter_rows()
             .map(|row| {
-                let z: f64 = row.iter().zip(weights.iter()).map(|(a, b)| a * b).sum::<f64>()
+                let z: f64 = row
+                    .iter()
+                    .zip(weights.iter())
+                    .map(|(a, b)| a * b)
+                    .sum::<f64>()
                     + self.intercept;
                 sigmoid(z)
             })
@@ -501,12 +513,26 @@ mod tests {
     #[test]
     fn from_text_rejects_malformed_input() {
         assert!(LogisticRegression::from_text("").is_err());
-        assert!(LogisticRegression::from_text("other-tag intercept=0 features=1\nweights 1\n").is_err());
+        assert!(
+            LogisticRegression::from_text("other-tag intercept=0 features=1\nweights 1\n").is_err()
+        );
         assert!(LogisticRegression::from_text("pfr-logreg-v1 features=1\nweights 1\n").is_err());
-        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=2\nweights 1\n").is_err());
-        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=1\nbogus 1\n").is_err());
-        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=1 evil=1\nweights 1\n").is_err());
-        assert!(LogisticRegression::from_text("pfr-logreg-v1 intercept=nan features=1\nweights 1\n").is_err());
+        assert!(
+            LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=2\nweights 1\n")
+                .is_err()
+        );
+        assert!(
+            LogisticRegression::from_text("pfr-logreg-v1 intercept=0 features=1\nbogus 1\n")
+                .is_err()
+        );
+        assert!(LogisticRegression::from_text(
+            "pfr-logreg-v1 intercept=0 features=1 evil=1\nweights 1\n"
+        )
+        .is_err());
+        assert!(LogisticRegression::from_text(
+            "pfr-logreg-v1 intercept=nan features=1\nweights 1\n"
+        )
+        .is_err());
         assert!(LogisticRegression::default().to_text().is_err());
     }
 

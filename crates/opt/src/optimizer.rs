@@ -90,7 +90,11 @@ impl Default for GradientDescent {
 
 impl GradientDescent {
     /// Minimizes `objective` starting from `start`.
-    pub fn minimize<O: Objective>(&self, objective: &O, start: &[f64]) -> Result<OptimizationResult> {
+    pub fn minimize<O: Objective>(
+        &self,
+        objective: &O,
+        start: &[f64],
+    ) -> Result<OptimizationResult> {
         if self.learning_rate <= 0.0 {
             return Err(OptError::InvalidParameter(
                 "learning rate must be positive".to_string(),
@@ -168,7 +172,11 @@ impl Default for Adam {
 
 impl Adam {
     /// Minimizes `objective` starting from `start`.
-    pub fn minimize<O: Objective>(&self, objective: &O, start: &[f64]) -> Result<OptimizationResult> {
+    pub fn minimize<O: Objective>(
+        &self,
+        objective: &O,
+        start: &[f64],
+    ) -> Result<OptimizationResult> {
         if self.learning_rate <= 0.0 {
             return Err(OptError::InvalidParameter(
                 "learning rate must be positive".to_string(),

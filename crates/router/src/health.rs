@@ -27,11 +27,7 @@ pub struct HealthChecker {
 impl HealthChecker {
     /// Starts probing `backends` every `interval`; each probe outcome is
     /// recorded on the backend's breaker, `probes` counts the exchanges.
-    pub fn spawn(
-        backends: Vec<Arc<Backend>>,
-        interval: Duration,
-        probes: Arc<AtomicU64>,
-    ) -> Self {
+    pub fn spawn(backends: Vec<Arc<Backend>>, interval: Duration, probes: Arc<AtomicU64>) -> Self {
         let stop = Arc::new(AtomicBool::new(false));
         let thread_stop = Arc::clone(&stop);
         let thread = std::thread::Builder::new()

@@ -243,8 +243,7 @@ impl Router {
                     .map(|(indices, backend)| {
                         // Borrowed lines: the scoped threads join before
                         // `lines` drops, so no per-row copies are needed.
-                        let chunk: Vec<&str> =
-                            indices.iter().map(|&i| lines[i].as_str()).collect();
+                        let chunk: Vec<&str> = indices.iter().map(|&i| lines[i].as_str()).collect();
                         scope.spawn(move || {
                             // Bound each pipelined burst: an unbounded
                             // write-all-then-read-all would deadlock both

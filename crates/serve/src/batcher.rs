@@ -1,6 +1,8 @@
 //! Request micro-batching: coalesce up to `B` single-vector score requests
 //! into one matrix so standardize + project + classify run as a single
-//! batched pass through `pfr_linalg`.
+//! batched GEMM pass through `pfr_linalg`'s blocked kernel
+//! (`pfr_linalg::gemm`), which keeps per-row results bitwise identical no
+//! matter how many requests share the batch.
 //!
 //! The design is a collector thread in front of the worker pool:
 //!
@@ -171,8 +173,7 @@ fn run_batch(group: Vec<ScoreRequest>, stats: &ServerStats) {
     let cols = model.num_features();
     // Mis-sized vectors cannot share the matrix; fail them individually and
     // score the rest.
-    let (bad, group): (Vec<_>, Vec<_>) =
-        group.into_iter().partition(|r| r.features.len() != cols);
+    let (bad, group): (Vec<_>, Vec<_>) = group.into_iter().partition(|r| r.features.len() != cols);
     for r in bad {
         let _ = r.reply.send(Err(ServeError::Model(format!(
             "request vector has {} features but the model expects {cols}",
@@ -218,7 +219,10 @@ mod tests {
     use crate::model::tests::toy_bundle;
     use crate::model::ServableModel;
 
-    fn setup(max_batch: usize, linger: Duration) -> (MicroBatcher, Arc<ServableModel>, Matrix, Arc<ServerStats>) {
+    fn setup(
+        max_batch: usize,
+        linger: Duration,
+    ) -> (MicroBatcher, Arc<ServableModel>, Matrix, Arc<ServerStats>) {
         let (bundle, x) = toy_bundle();
         let model = Arc::new(ServableModel::from_bundle("toy@1", &bundle).unwrap());
         let pool = Arc::new(WorkerPool::new(2));
@@ -236,7 +240,11 @@ mod tests {
         let (batcher, model, x, _) = setup(8, Duration::from_millis(2));
         let expected = model.score_batch(&x).unwrap();
         let receivers: Vec<_> = (0..x.rows())
-            .map(|i| batcher.submit(Arc::clone(&model), x.row(i).to_vec()).unwrap())
+            .map(|i| {
+                batcher
+                    .submit(Arc::clone(&model), x.row(i).to_vec())
+                    .unwrap()
+            })
             .collect();
         for (i, rx) in receivers.into_iter().enumerate() {
             let got = rx.recv().unwrap().unwrap();
@@ -276,7 +284,9 @@ mod tests {
     #[test]
     fn mixed_width_requests_fail_individually_without_killing_the_batch() {
         let (batcher, model, x, _) = setup(8, Duration::from_millis(10));
-        let good = batcher.submit(Arc::clone(&model), x.row(0).to_vec()).unwrap();
+        let good = batcher
+            .submit(Arc::clone(&model), x.row(0).to_vec())
+            .unwrap();
         let bad = batcher.submit(Arc::clone(&model), vec![1.0, 2.0]).unwrap();
         assert!(bad.recv().unwrap().is_err());
         let score = good.recv().unwrap().unwrap();
@@ -289,8 +299,12 @@ mod tests {
         let (batcher, model_a, x, stats) = setup(16, Duration::from_millis(20));
         let (bundle, _) = toy_bundle();
         let model_b = Arc::new(ServableModel::from_bundle("toy@2", &bundle).unwrap());
-        let rx_a = batcher.submit(Arc::clone(&model_a), x.row(0).to_vec()).unwrap();
-        let rx_b = batcher.submit(Arc::clone(&model_b), x.row(1).to_vec()).unwrap();
+        let rx_a = batcher
+            .submit(Arc::clone(&model_a), x.row(0).to_vec())
+            .unwrap();
+        let rx_b = batcher
+            .submit(Arc::clone(&model_b), x.row(1).to_vec())
+            .unwrap();
         let a = rx_a.recv().unwrap().unwrap();
         let b = rx_b.recv().unwrap().unwrap();
         assert_eq!(a.to_bits(), model_a.score_one(x.row(0)).unwrap().to_bits());
@@ -302,7 +316,9 @@ mod tests {
     fn zero_linger_still_serves_requests() {
         let (batcher, model, x, _) = setup(4, Duration::ZERO);
         for i in 0..x.rows() {
-            let got = batcher.score(Arc::clone(&model), x.row(i).to_vec()).unwrap();
+            let got = batcher
+                .score(Arc::clone(&model), x.row(i).to_vec())
+                .unwrap();
             let expected = model.score_one(x.row(i)).unwrap();
             assert_eq!(got.to_bits(), expected.to_bits());
         }

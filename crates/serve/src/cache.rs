@@ -148,7 +148,10 @@ impl ScoreCache {
     pub fn get(&mut self, key: &ScoreKey) -> Option<f64> {
         let tick = self.next_tick();
         let entry = self.entries.get_mut(key)?;
-        if entry.expires_at.is_some_and(|deadline| Instant::now() >= deadline) {
+        if entry
+            .expires_at
+            .is_some_and(|deadline| Instant::now() >= deadline)
+        {
             let last_used = entry.last_used;
             self.order.remove(&last_used);
             self.entries.remove(key);

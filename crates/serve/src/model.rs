@@ -4,9 +4,12 @@
 //! A [`ServableModel`] owns the standardizer statistics, the PFR projection
 //! and the downstream classifier, and exposes *batch* entry points only: a
 //! batch of `B` raw attribute vectors goes through standardization, the
-//! `B x m · m x d` projection and the classifier as three dense passes, which
-//! is exactly the shape `pfr_linalg`'s row-major kernels are fastest at. The
-//! micro-batcher (`crate::batcher`) exists to feed this interface.
+//! `B x m · m x d` projection and the classifier as three dense passes. The
+//! projection runs on `pfr_linalg`'s blocked multi-threaded GEMM kernel
+//! (`pfr_linalg::gemm`), whose row results are bitwise independent of the
+//! batch height and of the worker thread count — which is why batching can
+//! be bit-exact at all. The micro-batcher (`crate::batcher`) exists to feed
+//! this interface.
 
 use crate::error::ServeError;
 use crate::Result;
@@ -158,8 +161,8 @@ impl ServableModel {
 
     /// Scores a single raw attribute vector.
     pub fn score_one(&self, features: &[f64]) -> Result<f64> {
-        let x = Matrix::from_vec(1, features.len(), features.to_vec())
-            .map_err(ServeError::model)?;
+        let x =
+            Matrix::from_vec(1, features.len(), features.to_vec()).map_err(ServeError::model)?;
         Ok(self.score_batch(&x)?[0])
     }
 }
@@ -242,9 +245,7 @@ pub(crate) mod tests {
         let projector = ServableModel::from_bundle("toy@2", &bundle).unwrap();
         assert!(!projector.can_score());
         assert!(projector.score_one(&[1.0, 2.0, 3.0]).is_err());
-        assert!(projector
-            .transform_batch(&Matrix::zeros(2, 3))
-            .is_ok());
+        assert!(projector.transform_batch(&Matrix::zeros(2, 3)).is_ok());
     }
 
     #[test]

@@ -44,9 +44,7 @@ impl WorkerPool {
                                 // A panicking job must not kill the worker:
                                 // the pool would silently shrink and, after
                                 // `size` panics, stop serving entirely.
-                                let _ = std::panic::catch_unwind(
-                                    std::panic::AssertUnwindSafe(job),
-                                );
+                                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(job));
                             }
                             Err(_) => break, // channel closed: shut down
                         }

@@ -103,9 +103,8 @@ pub fn parse_request(line: &str) -> Result<Request> {
             let features = parts[1..]
                 .iter()
                 .map(|v| {
-                    v.parse::<f64>().map_err(|_| {
-                        ServeError::Protocol(format!("'{v}' is not a number"))
-                    })
+                    v.parse::<f64>()
+                        .map_err(|_| ServeError::Protocol(format!("'{v}' is not a number")))
                 })
                 .collect::<Result<Vec<f64>>>()?;
             if verb == "SCORE" {

@@ -122,7 +122,10 @@ mod tests {
         let registry = ModelRegistry::new();
         assert!(registry.is_empty());
         let (bundle, _) = toy_bundle();
-        registry.insert("risk", ServableModel::from_bundle("risk@1", &bundle).unwrap());
+        registry.insert(
+            "risk",
+            ServableModel::from_bundle("risk@1", &bundle).unwrap(),
+        );
         assert_eq!(registry.len(), 1);
         assert_eq!(registry.names(), vec!["risk".to_string()]);
         assert!(registry.get("risk").is_some());
@@ -149,7 +152,10 @@ mod tests {
         let a = held.score_batch(&x).unwrap();
         let b = registry.get("risk").unwrap().score_batch(&x).unwrap();
         assert_eq!(a, b);
-        assert_eq!(registry.get("risk").unwrap().generation(), second.generation());
+        assert_eq!(
+            registry.get("risk").unwrap().generation(),
+            second.generation()
+        );
     }
 
     #[test]

@@ -353,14 +353,9 @@ fn respond(line: &str, context: &ServeContext) -> (String, bool) {
                     &context.stats.transform,
                     handle_transform(context, &name, features),
                 ),
-                Request::Stats => (
-                    &context.stats.stats,
-                    Ok(context.stats.to_line()),
-                ),
+                Request::Stats => (&context.stats.stats, Ok(context.stats.to_line())),
                 Request::Health => (&context.stats.health, Ok(handle_health(context))),
-                Request::Epoch { name } => {
-                    (&context.stats.epoch, handle_epoch(context, &name))
-                }
+                Request::Epoch { name } => (&context.stats.epoch, handle_epoch(context, &name)),
                 Request::Quit => unreachable!("handled above"),
             };
             verb_stats.record(start.elapsed(), outcome.is_ok());
@@ -427,11 +422,7 @@ fn handle_score(context: &ServeContext, name: &str, features: Vec<f64>) -> Resul
     let model = context.registry.resolve(name)?;
     let key = ScoreKey::new(model.generation(), &features);
     if let Some(key) = &key {
-        let cached = context
-            .cache
-            .lock()
-            .expect("cache lock poisoned")
-            .get(key);
+        let cached = context.cache.lock().expect("cache lock poisoned").get(key);
         if let Some(score) = cached {
             context.stats.record_cache_hit();
             return Ok(score_payload(score, model.threshold()));
@@ -460,8 +451,8 @@ fn handle_transform(context: &ServeContext, name: &str, features: Vec<f64>) -> R
     // they still run on the pool so connection threads never do linear
     // algebra.
     let receiver = context.pool.submit(move || -> Result<Vec<f64>> {
-        let x = pfr_linalg::Matrix::from_vec(1, features.len(), features)
-            .map_err(ServeError::model)?;
+        let x =
+            pfr_linalg::Matrix::from_vec(1, features.len(), features).map_err(ServeError::model)?;
         let z = model.transform_batch(&x)?;
         Ok(z.row(0).to_vec())
     })?;
@@ -538,10 +529,7 @@ mod tests {
         let path = dir.join("pfr_serve_load_test.bundle");
         persistence::save_bundle(&bundle, &path).unwrap();
         let server = Server::spawn(ServerConfig::default()).unwrap();
-        let responses = request(
-            server.addr(),
-            &[format!("LOAD risk {}", path.display())],
-        );
+        let responses = request(server.addr(), &[format!("LOAD risk {}", path.display())]);
         assert!(
             responses[0].starts_with("OK loaded risk@"),
             "{}",
@@ -577,9 +565,7 @@ mod tests {
         assert_eq!(z.len(), 2);
         let model = server.registry().get("risk").unwrap();
         let expected = model
-            .transform_batch(
-                &pfr_linalg::Matrix::from_vec(1, 3, x.row(0).to_vec()).unwrap(),
-            )
+            .transform_batch(&pfr_linalg::Matrix::from_vec(1, 3, x.row(0).to_vec()).unwrap())
             .unwrap();
         for (a, b) in z.iter().zip(expected.row(0)) {
             assert_eq!(a.to_bits(), b.to_bits());
@@ -616,7 +602,11 @@ mod tests {
                 "LOAD ghost /definitely/not/there".to_string(),
             ],
         );
-        assert!(responses[0].starts_with("OK loaded good@"), "{}", responses[0]);
+        assert!(
+            responses[0].starts_with("OK loaded good@"),
+            "{}",
+            responses[0]
+        );
         assert!(
             responses[1].starts_with("ERR") && responses[1].contains("outside"),
             "{}",
@@ -685,7 +675,11 @@ mod tests {
                 "EPOCH missing".to_string(),
             ],
         );
-        assert!(responses[0].starts_with("OK up models=1 swaps=0 queue="), "{}", responses[0]);
+        assert!(
+            responses[0].starts_with("OK up models=1 swaps=0 queue="),
+            "{}",
+            responses[0]
+        );
         let model = server.registry().get("risk").unwrap();
         assert_eq!(
             responses[1],
@@ -695,7 +689,11 @@ mod tests {
                 pfr_core::persistence::digest_hex(model.digest())
             )
         );
-        assert!(responses[2].starts_with("ERR no model named"), "{}", responses[2]);
+        assert!(
+            responses[2].starts_with("ERR no model named"),
+            "{}",
+            responses[2]
+        );
         // A hot swap changes the generation but not the digest (same
         // content), and HEALTH reports the swap.
         server.registry().load_from_str("risk", &text).unwrap();

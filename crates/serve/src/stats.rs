@@ -91,7 +91,8 @@ impl ServerStats {
     /// Records one executed micro-batch of `size` coalesced requests.
     pub fn record_batch(&self, size: usize) {
         self.batches.fetch_add(1, Ordering::Relaxed);
-        self.batched_requests.fetch_add(size as u64, Ordering::Relaxed);
+        self.batched_requests
+            .fetch_add(size as u64, Ordering::Relaxed);
         self.max_batch.fetch_max(size as u64, Ordering::Relaxed);
     }
 

@@ -59,11 +59,8 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .iter()
         .map(|&p| u8::from(p >= 0.5))
         .collect();
-    let hardt = HardtPostProcessor::fit_default(
-        &original_train_scores,
-        train.labels(),
-        train.groups(),
-    )?;
+    let hardt =
+        HardtPostProcessor::fit_default(&original_train_scores, train.labels(), train.groups())?;
     let hardt_preds = hardt.predict(&original_test_scores, test.groups())?;
 
     // --- PFR ---
@@ -80,18 +77,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // --- Evaluation ---
     let wf_test = fairness::rating_equivalence_graph(test.side_information())?;
-    let describe = |name: &str, scores: &[f64], preds: &[u8]| -> Result<(), Box<dyn std::error::Error>> {
-        let preds_f: Vec<f64> = preds.iter().map(|&p| p as f64).collect();
-        let report = GroupFairnessReport::compute(test.labels(), preds, test.groups(), Some(scores))?;
-        println!(
+    let describe =
+        |name: &str, scores: &[f64], preds: &[u8]| -> Result<(), Box<dyn std::error::Error>> {
+            let preds_f: Vec<f64> = preds.iter().map(|&p| p as f64).collect();
+            let report =
+                GroupFairnessReport::compute(test.labels(), preds, test.groups(), Some(scores))?;
+            println!(
             "{name:<10} AUC = {:.3}, Consistency(WF) = {:.3}, DP gap = {:.3}, EqOdds gap = {:.3}",
             roc_auc(test.labels(), scores)?,
             consistency(&wf_test, &preds_f)?,
             report.demographic_parity_gap(),
             report.equalized_odds_gap()
         );
-        Ok(())
-    };
+            Ok(())
+        };
     println!("\n=== test-split comparison ===");
     describe("Original", &original_test_scores, &original_preds)?;
     describe("Hardt", &original_test_scores, &hardt_preds)?;

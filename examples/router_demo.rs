@@ -44,8 +44,7 @@ fn main() {
     let bundle = fitted.into_bundle().expect("bundle assembles");
 
     // 2. Boot a 3-shard cluster and a replicated router over it.
-    let mut cluster =
-        LocalCluster::boot(3, ServerConfig::default()).expect("cluster boots");
+    let mut cluster = LocalCluster::boot(3, ServerConfig::default()).expect("cluster boots");
     let router = Arc::new(
         cluster
             .router(RouterConfig {

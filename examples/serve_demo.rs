@@ -62,7 +62,7 @@ fn main() {
     // 4. A client loads the model over the wire ...
     {
         let stream = TcpStream::connect(addr).expect("client connects");
-    stream.set_nodelay(true).expect("nodelay sets");
+        stream.set_nodelay(true).expect("nodelay sets");
         let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
         let mut writer = stream;
         writeln!(writer, "LOAD admissions {}", path.display()).expect("request writes");
@@ -102,7 +102,10 @@ fn main() {
             })
         })
         .collect();
-    let positives: usize = handles.into_iter().map(|h| h.join().expect("client joins")).sum();
+    let positives: usize = handles
+        .into_iter()
+        .map(|h| h.join().expect("client joins"))
+        .sum();
     let total = 4 * rows.len();
     let elapsed = started.elapsed();
     println!(

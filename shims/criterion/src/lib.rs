@@ -71,9 +71,15 @@ impl Criterion {
     /// Prints the closing summary line (called by `criterion_main!`).
     pub fn final_summary(&self) {
         if self.test_mode {
-            println!("criterion-shim: {} benchmarks ran once (test mode)", self.benchmarks_run);
+            println!(
+                "criterion-shim: {} benchmarks ran once (test mode)",
+                self.benchmarks_run
+            );
         } else {
-            println!("criterion-shim: {} benchmarks measured", self.benchmarks_run);
+            println!(
+                "criterion-shim: {} benchmarks measured",
+                self.benchmarks_run
+            );
         }
     }
 }
@@ -158,7 +164,11 @@ impl BenchmarkGroup<'_> {
             }
         }
         let mut bencher = Bencher {
-            samples: if self.criterion.test_mode { 1 } else { self.sample_size },
+            samples: if self.criterion.test_mode {
+                1
+            } else {
+                self.sample_size
+            },
             total_nanos: 0,
             iterations: 0,
         };
@@ -169,7 +179,10 @@ impl BenchmarkGroup<'_> {
         } else {
             match bencher.total_nanos.checked_div(bencher.iterations) {
                 Some(mean) => {
-                    println!("bench {full}: {mean} ns/iter ({} iters)", bencher.iterations)
+                    println!(
+                        "bench {full}: {mean} ns/iter ({} iters)",
+                        bencher.iterations
+                    )
                 }
                 None => println!("bench {full}: no iterations recorded"),
             }

@@ -29,9 +29,7 @@ pub struct TestRng {
 impl TestRng {
     /// A generator from an explicit non-zero seed.
     pub fn new(seed: u64) -> Self {
-        TestRng {
-            state: seed.max(1),
-        }
+        TestRng { state: seed.max(1) }
     }
 
     /// A generator seeded from a test name (stable across runs).
@@ -168,6 +166,26 @@ impl Strategy for RangeInclusive<f64> {
 
     fn generate(&self, rng: &mut TestRng) -> f64 {
         self.start() + rng.next_f64() * (self.end() - self.start())
+    }
+}
+
+impl<A: Strategy, B: Strategy> Strategy for (A, B) {
+    type Value = (A::Value, B::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (self.0.generate(rng), self.1.generate(rng))
+    }
+}
+
+impl<A: Strategy, B: Strategy, C: Strategy> Strategy for (A, B, C) {
+    type Value = (A::Value, B::Value, C::Value);
+
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (
+            self.0.generate(rng),
+            self.1.generate(rng),
+            self.2.generate(rng),
+        )
     }
 }
 

@@ -102,7 +102,8 @@ impl FairPipeline {
         }
         // Learner input (optionally with the protected attribute).
         let raw = self.learner_features(train)?;
-        let (standardizer, x) = Standardizer::fit_transform(&raw).map_err(PipelineError::from_display)?;
+        let (standardizer, x) =
+            Standardizer::fit_transform(&raw).map_err(PipelineError::from_display)?;
 
         // WX over the masked features, as the paper prescribes.
         let (_, x_masked) =
@@ -190,12 +191,14 @@ impl FittedFairPipeline {
     /// itself. The bundle must contain a standardizer and a classifier —
     /// a projection-only bundle cannot score anyone.
     pub fn from_bundle(bundle: &ModelBundle, config: FairPipelineConfig) -> Result<Self> {
-        let std = bundle.standardizer.as_ref().ok_or_else(|| {
-            PipelineError("bundle has no standardizer section".to_string())
-        })?;
-        let clf = bundle.classifier.as_ref().ok_or_else(|| {
-            PipelineError("bundle has no classifier section".to_string())
-        })?;
+        let std = bundle
+            .standardizer
+            .as_ref()
+            .ok_or_else(|| PipelineError("bundle has no standardizer section".to_string()))?;
+        let clf = bundle
+            .classifier
+            .as_ref()
+            .ok_or_else(|| PipelineError("bundle has no classifier section".to_string()))?;
         let standardizer = Standardizer::from_parts(std.means.clone(), std.stds.clone())
             .map_err(PipelineError::from_display)?;
         let classifier =
@@ -224,7 +227,9 @@ impl FittedFairPipeline {
             .standardizer
             .transform(&raw)
             .map_err(PipelineError::from_display)?;
-        self.model.transform(&x).map_err(PipelineError::from_display)
+        self.model
+            .transform(&x)
+            .map_err(PipelineError::from_display)
     }
 
     /// Predicted probability of the positive class for every record.
@@ -307,8 +312,7 @@ mod tests {
         let bundle = fitted.into_bundle().unwrap();
         let text = pfr_core::persistence::bundle_to_string(&bundle);
         let restored_bundle = pfr_core::persistence::bundle_from_string(&text).unwrap();
-        let restored =
-            FittedFairPipeline::from_bundle(&restored_bundle, config).unwrap();
+        let restored = FittedFairPipeline::from_bundle(&restored_bundle, config).unwrap();
 
         let probs = restored.predict_proba(&test).unwrap();
         assert_eq!(probs, expected, "decimal round-trip must be exact");
@@ -323,13 +327,9 @@ mod tests {
             .unwrap();
         let mut bundle = fitted.into_bundle().unwrap();
         bundle.classifier = None;
-        assert!(
-            FittedFairPipeline::from_bundle(&bundle, FairPipelineConfig::default()).is_err()
-        );
+        assert!(FittedFairPipeline::from_bundle(&bundle, FairPipelineConfig::default()).is_err());
         bundle.standardizer = None;
-        assert!(
-            FittedFairPipeline::from_bundle(&bundle, FairPipelineConfig::default()).is_err()
-        );
+        assert!(FittedFairPipeline::from_bundle(&bundle, FairPipelineConfig::default()).is_err());
     }
 
     #[test]

@@ -88,7 +88,10 @@ fn synthetic_gamma_zero_vs_one_shows_the_fairness_tradeoff() {
 fn compas_like_pipeline_runs_at_reduced_scale() {
     let dataset = compas::generate(&compas::small_config(6)).unwrap();
     let (auc, cons_wf, _) = run_pipeline(&dataset, quantile_wf, 0.5);
-    assert!(auc > 0.55, "AUC {auc} should beat chance on COMPAS-like data");
+    assert!(
+        auc > 0.55,
+        "AUC {auc} should beat chance on COMPAS-like data"
+    );
     assert!(cons_wf > 0.5, "Consistency(WF) {cons_wf} unexpectedly low");
 }
 
@@ -154,6 +157,10 @@ fn projection_is_orthonormal_across_datasets() {
         let v = model.projection();
         let vtv = v.transpose_matmul(v).unwrap();
         let err = vtv.sub(&Matrix::identity(2)).unwrap().max_abs();
-        assert!(err < 1e-8, "VᵀV far from identity on {}: {err}", dataset.name);
+        assert!(
+            err < 1e-8,
+            "VᵀV far from identity on {}: {err}",
+            dataset.name
+        );
     }
 }

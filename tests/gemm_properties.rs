@@ -1,0 +1,153 @@
+//! Property-based tests (proptest) pinning the blocked, multi-threaded GEMM
+//! kernel to the retained naive reference and to the determinism contract
+//! the serving tier depends on.
+
+use pfr::linalg::gemm::{gemm_into, MatRef};
+use pfr::linalg::Matrix;
+use proptest::prelude::*;
+use std::num::NonZeroUsize;
+
+/// Strategy: a matrix of the given shape with entries in `[-25, 25]`.
+fn matrix(rows: usize, cols: usize) -> impl Strategy<Value = Matrix> {
+    proptest::collection::vec(-25.0..25.0_f64, rows * cols).prop_map(move |data| {
+        Matrix::from_vec(rows, cols, data).expect("shape matches the generated buffer")
+    })
+}
+
+/// Strategy: `(A, B)` with compatible inner dimensions, spanning both the
+/// small-product path and the packed path (`k·n` up to 6400, well past the
+/// 2048 cutoff), plus micro-tile fringes on every edge.
+fn matmul_pair() -> impl Strategy<Value = (Matrix, Matrix)> {
+    (1usize..24, 1usize..80, 1usize..80).prop_flat_map(|(m, n, k)| (matrix(m, k), matrix(k, n)))
+}
+
+/// Relative error of `got` against `want`, scaled by the magnitude of the
+/// expected result.
+fn max_rel_err(got: &Matrix, want: &Matrix) -> f64 {
+    got.sub(want).expect("shapes agree").max_abs() / want.max_abs().max(1.0)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// The blocked kernel agrees with the naive i-k-j reference to 1e-9
+    /// relative over random shapes (the two differ only in rounding: the
+    /// vector micro-kernels fuse multiply-adds).
+    #[test]
+    fn blocked_matches_naive_reference(pair in matmul_pair()) {
+        let (a, b) = pair;
+        let got = a.matmul(&b).unwrap();
+        let want = a.matmul_naive(&b).unwrap();
+        prop_assert!(
+            max_rel_err(&got, &want) < 1e-9,
+            "blocked kernel diverged from naive at {:?}x{:?}",
+            a.shape(),
+            b.shape()
+        );
+    }
+
+    /// Thread count never changes a single bit of the result: the row-band
+    /// split decides who computes a row, not how the row's reduction runs.
+    #[test]
+    fn thread_count_is_bitwise_irrelevant(pair in matmul_pair()) {
+        let (a, b) = pair;
+        let (m, k) = a.shape();
+        let n = b.cols();
+        let run = |threads: usize| {
+            let mut c = vec![0.0f64; m * n];
+            gemm_into(
+                m,
+                n,
+                k,
+                MatRef::new(a.as_slice(), k, 1),
+                MatRef::new(b.as_slice(), n, 1),
+                &mut c,
+                Some(NonZeroUsize::new(threads).unwrap()),
+            );
+            c
+        };
+        let reference = run(1);
+        for threads in [2usize, 3, 5, 8] {
+            let c = run(threads);
+            for (i, (x, y)) in reference.iter().zip(c.iter()).enumerate() {
+                prop_assert_eq!(
+                    x.to_bits(),
+                    y.to_bits(),
+                    "threads={} changed element {} of a {}x{}x{} product",
+                    threads,
+                    i,
+                    m,
+                    k,
+                    n
+                );
+            }
+        }
+    }
+
+    /// Row `i` of a product depends only on row `i` of `A`: scoring one
+    /// vector and scoring it inside a larger batch give identical bits —
+    /// the invariant pfr-serve's online-vs-offline equality rests on.
+    #[test]
+    fn rows_do_not_depend_on_batch_height(pair in matmul_pair(), row in 0usize..24) {
+        let (a, b) = pair;
+        let row = row % a.rows();
+        let full = a.matmul(&b).unwrap();
+        let single = Matrix::from_vec(1, a.cols(), a.row(row).to_vec())
+            .unwrap()
+            .matmul(&b)
+            .unwrap();
+        for j in 0..b.cols() {
+            prop_assert_eq!(
+                single[(0, j)].to_bits(),
+                full[(row, j)].to_bits(),
+                "row {} col {} changed with batch height",
+                row,
+                j
+            );
+        }
+    }
+
+    /// The transpose-absorbing entry points agree with explicit transposes
+    /// bitwise: all three route through the same kernel and packing.
+    #[test]
+    fn transpose_entry_points_share_the_kernel(pair in matmul_pair()) {
+        let (a, b) = pair;
+        let bt = b.transpose();
+        let via_view = a.matmul_transpose(&bt).unwrap();
+        prop_assert_eq!(&via_view, &a.matmul(&b).unwrap());
+        let at = a.transpose();
+        let via_view = at.transpose_matmul(&b).unwrap();
+        prop_assert_eq!(&via_view, &a.matmul(&b).unwrap());
+    }
+
+    /// Degenerate inner dimensions: k = 1 products are plain outer
+    /// products and must match the reference exactly.
+    #[test]
+    fn k_equals_one_is_an_outer_product(u in proptest::collection::vec(-25.0..25.0_f64, 1..40),
+                                        v in proptest::collection::vec(-25.0..25.0_f64, 1..40)) {
+        let a = Matrix::from_vec(u.len(), 1, u.clone()).unwrap();
+        let b = Matrix::from_vec(1, v.len(), v.clone()).unwrap();
+        let c = a.matmul(&b).unwrap();
+        for i in 0..u.len() {
+            for j in 0..v.len() {
+                prop_assert_eq!(c[(i, j)].to_bits(), (u[i] * v[j]).to_bits());
+            }
+        }
+    }
+}
+
+#[test]
+fn zero_row_and_zero_col_shapes() {
+    let a = Matrix::zeros(0, 7);
+    let b = Matrix::zeros(7, 3);
+    assert_eq!(a.matmul(&b).unwrap().shape(), (0, 3));
+    let a = Matrix::zeros(5, 0);
+    let b = Matrix::zeros(0, 4);
+    let c = a.matmul(&b).unwrap();
+    assert_eq!(c.shape(), (5, 4));
+    assert!(c.as_slice().iter().all(|&x| x == 0.0));
+    assert_eq!(
+        Matrix::zeros(1, 1).matmul(&Matrix::zeros(1, 1)).unwrap()[(0, 0)],
+        0.0
+    );
+}

@@ -53,12 +53,9 @@ fn figure2_and_3_pfr_wins_on_fairness_without_losing_utility_on_synthetic_data()
     assert!(pfr.auc >= original.auc - 0.05);
     // Group fairness improves even though PFR does not optimize it.
     assert!(
-        pfr.group_report.demographic_parity_gap()
-            < original.group_report.demographic_parity_gap()
+        pfr.group_report.demographic_parity_gap() < original.group_report.demographic_parity_gap()
     );
-    assert!(
-        pfr.group_report.equalized_odds_gap() < original.group_report.equalized_odds_gap()
-    );
+    assert!(pfr.group_report.equalized_odds_gap() < original.group_report.equalized_odds_gap());
 }
 
 #[test]
@@ -79,8 +76,7 @@ fn figure5_6_crime_pfr_narrows_group_gaps() {
     let hardt = results.method("Hardt +").unwrap();
     // PFR narrows the equalized-odds gap relative to the Original baseline.
     assert!(
-        pfr.group_report.equalized_odds_gap()
-            <= original.group_report.equalized_odds_gap() + 0.05
+        pfr.group_report.equalized_odds_gap() <= original.group_report.equalized_odds_gap() + 0.05
     );
     // Hardt post-processing reduces the equalized-odds gap, as designed.
     assert!(

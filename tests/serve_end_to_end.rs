@@ -92,7 +92,7 @@ fn concurrent_tcp_scores_match_offline_predictions_bitwise() {
             let rows = Arc::clone(&rows);
             std::thread::spawn(move || -> Vec<(usize, f64)> {
                 let stream = TcpStream::connect(addr).unwrap();
-        stream.set_nodelay(true).unwrap();
+                stream.set_nodelay(true).unwrap();
                 let mut reader = BufReader::new(stream.try_clone().unwrap());
                 let mut writer = stream;
                 (0..rows.len())
@@ -182,12 +182,7 @@ fn server_survives_malformed_traffic_while_serving() {
         pfr::serve::protocol::format_numbers(raw.row(0))
     );
     let response = roundtrip(&mut reader, &mut writer, &line);
-    let score: f64 = response
-        .split_whitespace()
-        .nth(1)
-        .unwrap()
-        .parse()
-        .unwrap();
+    let score: f64 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
     assert_eq!(score.to_bits(), expected[0].to_bits());
     server.shutdown();
 }
