@@ -127,6 +127,18 @@ fn bench_router_throughput(c: &mut Criterion) {
         batch / single
     );
 
+    // Per-request routed latency distribution (parse → route → pool → TCP →
+    // cache-hit → reply): the full client-visible round trip through the
+    // tier, where tail effects (a slow replica, a refused socket, breaker
+    // probation) actually live.
+    let mut next = 0;
+    let (p50_us, p99_us) = pfr_bench::measure_latency_percentiles(2048, || {
+        let row = &requests[next % requests.len()];
+        next += 1;
+        black_box(router.score("bench", row).expect("routed score succeeds"));
+    });
+    println!("  routed latency: p50 {p50_us:.1}us  p99 {p99_us:.1}us");
+
     pfr_bench::write_bench_json(
         "BENCH_router.json",
         "router_throughput",
@@ -137,6 +149,9 @@ fn bench_router_throughput(c: &mut Criterion) {
             ("single_req_per_sec", single),
             ("batch64_req_per_sec", batch),
             ("batch_speedup", batch / single),
+            // `_us` suffix = latency: perf_gate fails these for *rising*.
+            ("single_p50_us", p50_us),
+            ("single_p99_us", p99_us),
         ],
     );
 }

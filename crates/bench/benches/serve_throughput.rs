@@ -120,6 +120,18 @@ fn bench_batched_scoring(c: &mut Criterion) {
         b64 / b1
     );
 
+    // Per-request latency distribution (ROADMAP eval item: record p50/p99,
+    // not just throughput). One sample = one single-vector scoring pass —
+    // the unit of work a SCORE cache miss pays on the worker pool; the
+    // request stream is cycled so the distribution covers every vector.
+    let mut next = 0;
+    let (p50_us, p99_us) = pfr_bench::measure_latency_percentiles(4096, || {
+        let features = &requests[next % requests.len()];
+        next += 1;
+        black_box(model.score_one(features).expect("scoring succeeds"));
+    });
+    println!("  score latency: p50 {p50_us:.3}us  p99 {p99_us:.3}us");
+
     // Replay the request stream through a score cache the way the server's
     // SCORE verb does: the stream revisits each distinct vector, so steady
     // state should hit for every repeat. The hit *rate* is a correctness-
@@ -160,6 +172,9 @@ fn bench_batched_scoring(c: &mut Criterion) {
             ("b64_req_per_sec", b64),
             ("batch_speedup", b64 / b1),
             ("cache_hit_rate", hit_rate),
+            // `_us` suffix = latency: perf_gate fails these for *rising*.
+            ("score_p50_us", p50_us),
+            ("score_p99_us", p99_us),
         ],
     );
 }

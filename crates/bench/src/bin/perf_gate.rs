@@ -7,10 +7,12 @@
 //! the GEMM kernel, the serving batcher or the routing tier by more than
 //! 30% fails the build with the offending metric named.
 //!
-//! Every metric in every baseline file is a rate or a speedup, so "lower is
-//! worse" holds uniformly; configuration fields recorded alongside (shard
-//! counts, request totals) only fail the gate by *disappearing*, which is
-//! exactly the protection they need.
+//! Direction is keyed on the metric name: rates and speedups fail by
+//! dropping, latency metrics (`_us` / `_ns` suffix, e.g. the serving p50
+//! and p99) fail by rising — with triple tolerance for `p99` keys, whose
+//! tail noise would otherwise make the gate cry wolf. Configuration fields
+//! recorded alongside (shard counts, request totals) only fail the gate by
+//! *disappearing*, which is exactly the protection they need.
 //!
 //! Usage:
 //!

@@ -44,6 +44,32 @@ pub fn measure_rate(reps: usize, units_per_rep: usize, mut f: impl FnMut()) -> f
     (reps * units_per_rep) as f64 / start.elapsed().as_secs_f64()
 }
 
+/// Times `samples` calls of `f` individually and returns the (p50, p99)
+/// latency in **microseconds** — the per-request distribution a throughput
+/// figure hides. Throughput states how many requests fit in a second; the
+/// tail states how long an unlucky client waited, and a serving-tier
+/// regression (a lock moved onto the hot path, a batch boundary stall)
+/// routinely shows up in p99 long before it moves the mean.
+pub fn measure_latency_percentiles(samples: usize, mut f: impl FnMut()) -> (f64, f64) {
+    let mut micros: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    (percentile(&mut micros, 0.50), percentile(&mut micros, 0.99))
+}
+
+/// The `q`-quantile (0 ≤ q ≤ 1) of `samples` by the nearest-rank method.
+/// Sorts in place; NaN-free input is the caller's contract (latencies are).
+pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
+    assert!(!samples.is_empty(), "percentile of an empty sample set");
+    samples.sort_by(|a, b| a.partial_cmp(b).expect("latencies are never NaN"));
+    let rank = ((q * samples.len() as f64).ceil() as usize).clamp(1, samples.len());
+    samples[rank - 1]
+}
+
 /// Absolute path of a file at the workspace root (where the `BENCH_*.json`
 /// perf records live, and where CI picks them up).
 pub fn workspace_root_path(file_name: &str) -> PathBuf {
@@ -100,11 +126,22 @@ pub fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
     out
 }
 
+/// Whether a metric key names a **latency** (lower is better): the
+/// `BENCH_*.json` convention reserves the `_us` / `_ns` suffixes for
+/// latencies; everything else is a rate or speedup (higher is better).
+fn is_latency_metric(key: &str) -> bool {
+    key.ends_with("_us") || key.ends_with("_ns")
+}
+
 /// Compares fresh metrics against a baseline: every numeric metric present
 /// in `baseline` must also exist in `fresh` and must not have regressed by
-/// more than `tolerance` (a fraction: `0.30` allows a 30% drop). All
-/// recorded metrics are rates or speedups, so *lower is worse* by
-/// construction. Returns one human-readable line per violation.
+/// more than `tolerance` (a fraction: `0.30` allows a 30% change for the
+/// worse). Direction is keyed on the metric name: rates and speedups
+/// (higher is better) fail by *dropping*, latency metrics (`_us` / `_ns`
+/// suffix) fail by *rising*. Tail latencies (keys containing `p99`) are
+/// gated at triple tolerance — the p99 of a microsecond-scale operation is
+/// the noisiest number in the suite, and a gate that cries wolf gets
+/// deleted. Returns one human-readable line per violation.
 pub fn regressions(
     baseline: &[(String, f64)],
     fresh: &[(String, f64)],
@@ -116,7 +153,22 @@ pub fn regressions(
             failures.push(format!("metric '{key}' disappeared from the fresh record"));
             continue;
         };
-        if *base > 0.0 && *new < *base * (1.0 - tolerance) {
+        if *base <= 0.0 {
+            continue;
+        }
+        if is_latency_metric(key) {
+            let slack = if key.contains("p99") {
+                3.0 * tolerance
+            } else {
+                tolerance
+            };
+            if *new > *base * (1.0 + slack) {
+                failures.push(format!(
+                    "latency '{key}' rose {:.1}%: baseline {base:.2}, fresh {new:.2}",
+                    100.0 * (new / base - 1.0)
+                ));
+            }
+        } else if *new < *base * (1.0 - tolerance) {
             failures.push(format!(
                 "metric '{key}' regressed {:.1}%: baseline {base:.2}, fresh {new:.2}",
                 100.0 * (1.0 - new / base)
@@ -217,6 +269,55 @@ mod tests {
         assert!(failures.iter().any(|f| f.contains("'slow'")));
         assert!(failures.iter().any(|f| f.contains("'gone'")));
         assert!(regressions(&baseline[..1], &fresh, 0.30).is_empty());
+    }
+
+    #[test]
+    fn latency_metrics_gate_in_the_opposite_direction() {
+        let baseline = vec![
+            ("p50_us".to_string(), 100.0),
+            ("single_p99_us".to_string(), 100.0),
+            ("rate".to_string(), 100.0),
+        ];
+        // Latencies *dropping* (faster) never fail, however far.
+        let faster = vec![
+            ("p50_us".to_string(), 10.0),
+            ("single_p99_us".to_string(), 10.0),
+            ("rate".to_string(), 100.0),
+        ];
+        assert!(regressions(&baseline, &faster, 0.30).is_empty());
+        // A p50 rise beyond tolerance fails; p99 gets triple slack.
+        let slower = vec![
+            ("p50_us".to_string(), 140.0),
+            ("single_p99_us".to_string(), 180.0),
+            ("rate".to_string(), 100.0),
+        ];
+        let failures = regressions(&baseline, &slower, 0.30);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("'p50_us'"));
+        // Past triple tolerance even the p99 fails.
+        let tail_blowup = vec![
+            ("p50_us".to_string(), 100.0),
+            ("single_p99_us".to_string(), 200.0),
+            ("rate".to_string(), 100.0),
+        ];
+        let failures = regressions(&baseline, &tail_blowup, 0.30);
+        assert_eq!(failures.len(), 1, "{failures:?}");
+        assert!(failures[0].contains("'single_p99_us'"));
+    }
+
+    #[test]
+    fn percentiles_use_nearest_rank() {
+        let mut samples: Vec<f64> = (1..=100).map(|v| v as f64).collect();
+        assert_eq!(percentile(&mut samples, 0.50), 50.0);
+        assert_eq!(percentile(&mut samples, 0.99), 99.0);
+        assert_eq!(percentile(&mut samples, 1.0), 100.0);
+        let mut one = vec![7.0];
+        assert_eq!(percentile(&mut one, 0.5), 7.0);
+        let (p50, p99) = measure_latency_percentiles(50, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(p50 <= p99);
+        assert!(p50 >= 0.0);
     }
 
     #[test]

@@ -1,0 +1,598 @@
+//! A reactor-backed line-protocol client: one event-loop thread multiplexes
+//! every outbound connection, so a caller fanning a batch out to N replicas
+//! submits N operations and blocks on N receivers — **zero threads are
+//! spawned per request**, which is what lets a routing tier scatter to its
+//! whole replica set without paying a thread per backend per request.
+//!
+//! One operation ([`ClientDriver::submit`]) writes a burst of request lines
+//! to one address and resolves with exactly as many response lines (the
+//! serve protocol answers in order on one connection). Because the reactor
+//! interleaves reads and writes on the same connection, a burst may exceed
+//! the combined socket buffers without deadlocking — the
+//! write-all-then-read-all pipelining of a blocking client cannot do that,
+//! which is why it must cap its bursts.
+//!
+//! Connections are pooled per address (up to `max_idle` kept warm), dialed
+//! non-blockingly on demand, and torn down on any error or deadline —
+//! a connection that failed mid-exchange is out of protocol sync and can
+//! never be reused. Deadlines (connect and io) ride the
+//! [`crate::wheel::DeadlineWheel`].
+
+use crate::line::LineConn;
+use crate::poller::{Event, Interest, Poller, Waker};
+use crate::sys::{self, ConnectStart};
+use crate::wheel::DeadlineWheel;
+use std::collections::HashMap;
+use std::io;
+use std::net::{SocketAddr, TcpStream};
+use std::os::fd::AsRawFd;
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+/// Tuning for a [`ClientDriver`].
+#[derive(Debug, Clone, Copy)]
+pub struct ClientConfig {
+    /// How long a non-blocking dial may take to become writable.
+    pub connect_timeout: Duration,
+    /// Deadline for one whole operation (burst out + responses in),
+    /// armed from the moment the operation is assigned a connection.
+    pub io_timeout: Duration,
+    /// Idle connections kept per address; excess are closed on release.
+    pub max_idle: usize,
+    /// Longest tolerated response line.
+    pub max_line: usize,
+}
+
+impl Default for ClientConfig {
+    fn default() -> Self {
+        ClientConfig {
+            connect_timeout: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(2),
+            max_idle: 8,
+            max_line: 1 << 20,
+        }
+    }
+}
+
+/// The result of one submitted burst: the response lines, in order.
+pub type BurstResult = io::Result<Vec<String>>;
+
+enum Op {
+    Burst {
+        addr: SocketAddr,
+        lines: Vec<String>,
+        reply: Sender<BurstResult>,
+    },
+    /// Close every idle connection to `addr` (e.g. after its backend was
+    /// ejected, so re-admission starts from fresh sockets).
+    Drain(SocketAddr),
+}
+
+/// A handle to the reactor thread. Cloning the handle is done by `Arc`;
+/// dropping the last handle stops and joins the reactor.
+#[derive(Debug)]
+pub struct ClientDriver {
+    ops: Sender<Op>,
+    waker: Arc<Waker>,
+    thread: Option<JoinHandle<()>>,
+}
+
+impl ClientDriver {
+    /// Starts the reactor thread.
+    pub fn spawn(config: ClientConfig) -> io::Result<ClientDriver> {
+        let waker = Arc::new(Waker::new()?);
+        let (ops, op_rx) = mpsc::channel();
+        let reactor = Reactor::new(config, Arc::clone(&waker), op_rx)?;
+        let thread = std::thread::Builder::new()
+            .name("pfr-net-client".to_string())
+            .spawn(move || reactor.run())
+            .expect("spawning the client reactor never fails on this platform");
+        Ok(ClientDriver {
+            ops,
+            waker,
+            thread: Some(thread),
+        })
+    }
+
+    /// Submits a burst of request lines to `addr`; the returned receiver
+    /// yields the same number of response lines (or the operation's error).
+    /// Submitting is non-blocking — fan-out submits all replicas first,
+    /// then collects.
+    pub fn submit<S: AsRef<str>>(
+        &self,
+        addr: SocketAddr,
+        lines: &[S],
+    ) -> io::Result<Receiver<BurstResult>> {
+        let (reply, rx) = mpsc::channel();
+        self.ops
+            .send(Op::Burst {
+                addr,
+                lines: lines.iter().map(|l| l.as_ref().to_string()).collect(),
+                reply,
+            })
+            .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?;
+        self.waker.wake()?;
+        Ok(rx)
+    }
+
+    /// One burst, submitted and awaited.
+    pub fn exchange<S: AsRef<str>>(&self, addr: SocketAddr, lines: &[S]) -> BurstResult {
+        self.submit(addr, lines)?
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?
+    }
+
+    /// Closes every idle pooled connection to `addr`.
+    pub fn drain(&self, addr: SocketAddr) {
+        if self.ops.send(Op::Drain(addr)).is_ok() {
+            let _ = self.waker.wake();
+        }
+    }
+}
+
+impl Drop for ClientDriver {
+    fn drop(&mut self) {
+        // Closing the op channel is the shutdown signal; the wake makes the
+        // reactor notice it even while idle.
+        drop(std::mem::replace(&mut self.ops, mpsc::channel().0));
+        let _ = self.waker.wake();
+        if let Some(thread) = self.thread.take() {
+            let _ = thread.join();
+        }
+    }
+}
+
+const WAKER_TOKEN: u64 = 0;
+
+/// One in-flight operation bound to a connection.
+struct Job {
+    expect: usize,
+    got: Vec<String>,
+    reply: Sender<BurstResult>,
+}
+
+enum Phase {
+    /// Dial in flight; the payload is already queued in the `LineConn`.
+    Connecting,
+    /// Established, exchanging or idle (idle = no job).
+    Established,
+}
+
+struct Conn {
+    addr: SocketAddr,
+    /// Owns the fd; wrapped as a `TcpStream` for read/write/nodelay.
+    stream: TcpStream,
+    line: LineConn,
+    phase: Phase,
+    job: Option<Job>,
+}
+
+struct Reactor {
+    config: ClientConfig,
+    poller: Poller,
+    waker: Arc<Waker>,
+    ops: Receiver<Op>,
+    conns: HashMap<u64, Conn>,
+    idle: HashMap<SocketAddr, Vec<u64>>,
+    wheel: DeadlineWheel,
+    next_token: u64,
+}
+
+impl Reactor {
+    fn new(config: ClientConfig, waker: Arc<Waker>, ops: Receiver<Op>) -> io::Result<Reactor> {
+        let poller = Poller::new(256)?;
+        poller.add(waker.raw_fd(), WAKER_TOKEN, Interest::READABLE.level())?;
+        Ok(Reactor {
+            config,
+            poller,
+            waker,
+            ops,
+            conns: HashMap::new(),
+            idle: HashMap::new(),
+            // 64 slots x 16ms ≈ 1s horizon per revolution; deadlines past
+            // the horizon simply ride extra revolutions.
+            wheel: DeadlineWheel::new(Duration::from_millis(16), 64),
+            next_token: WAKER_TOKEN + 1,
+        })
+    }
+
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut expired: Vec<u64> = Vec::new();
+        loop {
+            let timeout = self.wheel.next_timeout(Instant::now());
+            if self.poller.wait(&mut events, timeout).is_err() {
+                // EBADF etc. can only mean teardown races; bail out.
+                break;
+            }
+            let mut shutdown = false;
+            // Drain in place so the buffer's capacity is reused every
+            // wakeup (`events` is a local, so borrowing it across the
+            // `&mut self` calls below is fine).
+            for event in events.drain(..) {
+                if event.token == WAKER_TOKEN {
+                    self.waker.drain();
+                    if self.drain_ops() {
+                        shutdown = true;
+                    }
+                } else {
+                    self.drive(event);
+                }
+            }
+            // Ops may have arrived between the waker write and our drain of
+            // the channel even without an event this round; harmless — the
+            // pending wake delivers them next round.
+            expired.clear();
+            self.wheel.advance(Instant::now(), &mut expired);
+            for token in expired.drain(..) {
+                self.fail(
+                    token,
+                    io::Error::new(io::ErrorKind::TimedOut, "io deadline"),
+                );
+            }
+            if shutdown {
+                break;
+            }
+        }
+        // Fail whatever is still in flight so no caller blocks forever.
+        for (_, conn) in self.conns.drain() {
+            if let Some(job) = conn.job {
+                let _ = job.reply.send(Err(io::Error::new(
+                    io::ErrorKind::NotConnected,
+                    "client reactor stopped",
+                )));
+            }
+        }
+    }
+
+    /// Pulls every queued op; returns true when the channel closed (the
+    /// driver handle was dropped — time to shut down).
+    fn drain_ops(&mut self) -> bool {
+        loop {
+            match self.ops.try_recv() {
+                Ok(Op::Burst { addr, lines, reply }) => self.start_burst(addr, lines, reply),
+                Ok(Op::Drain(addr)) => {
+                    for token in self.idle.remove(&addr).unwrap_or_default() {
+                        self.close(token);
+                    }
+                }
+                Err(mpsc::TryRecvError::Empty) => return false,
+                Err(mpsc::TryRecvError::Disconnected) => return true,
+            }
+        }
+    }
+
+    fn start_burst(&mut self, addr: SocketAddr, lines: Vec<String>, reply: Sender<BurstResult>) {
+        let expect = lines.len();
+        if expect == 0 {
+            let _ = reply.send(Ok(Vec::new()));
+            return;
+        }
+        // Reuse a pooled connection or dial a fresh one.
+        let token = match self.pop_idle(addr) {
+            Some(token) => token,
+            None => match self.dial(addr) {
+                Ok(token) => token,
+                Err(e) => {
+                    let _ = reply.send(Err(e));
+                    return;
+                }
+            },
+        };
+        let conn = self
+            .conns
+            .get_mut(&token)
+            .expect("dialed or pooled conn exists");
+        for line in &lines {
+            conn.line.enqueue_line(line);
+        }
+        conn.job = Some(Job {
+            expect,
+            got: Vec::with_capacity(expect),
+            reply,
+        });
+        let deadline = match conn.phase {
+            // The io deadline starts after the handshake resolves; until
+            // then the (shorter) connect deadline governs.
+            Phase::Connecting => self.config.connect_timeout,
+            Phase::Established => self.config.io_timeout,
+        };
+        self.wheel.arm(token, Instant::now() + deadline);
+        if matches!(
+            self.conns.get(&token).map(|c| &c.phase),
+            Some(Phase::Established)
+        ) {
+            self.pump(token, true, true);
+        }
+    }
+
+    fn pop_idle(&mut self, addr: SocketAddr) -> Option<u64> {
+        let pool = self.idle.get_mut(&addr)?;
+        while let Some(token) = pool.pop() {
+            // A pooled connection may have died while idle; skip corpses.
+            if self.conns.contains_key(&token) {
+                return Some(token);
+            }
+        }
+        None
+    }
+
+    fn dial(&mut self, addr: SocketAddr) -> io::Result<u64> {
+        let (fd, start) = sys::connect_nonblocking(&addr)?;
+        let token = self.next_token;
+        self.next_token += 1;
+        // OwnedFd -> TcpStream transfers fd ownership without unsafe; the
+        // stream is already non-blocking from SOCK_NONBLOCK.
+        let stream = TcpStream::from(fd);
+        let _ = stream.set_nodelay(true);
+        self.poller
+            .add(stream.as_raw_fd(), token, Interest::DUPLEX)?;
+        let phase = match start {
+            ConnectStart::Connected => Phase::Established,
+            ConnectStart::InProgress => Phase::Connecting,
+        };
+        self.conns.insert(
+            token,
+            Conn {
+                addr,
+                stream,
+                line: LineConn::new(self.config.max_line),
+                phase,
+                job: None,
+            },
+        );
+        Ok(token)
+    }
+
+    /// Handles one readiness event for a connection token.
+    fn drive(&mut self, event: Event) {
+        let Some(conn) = self.conns.get_mut(&event.token) else {
+            return; // already closed this round
+        };
+        if let Phase::Connecting = conn.phase {
+            if event.writable || event.closed {
+                match sys::take_socket_error(conn.stream.as_raw_fd()) {
+                    Ok(()) => {
+                        conn.phase = Phase::Established;
+                        if conn.job.is_some() {
+                            // Handshake done: the io deadline takes over.
+                            self.wheel
+                                .arm(event.token, Instant::now() + self.config.io_timeout);
+                        }
+                    }
+                    Err(e) => {
+                        self.fail(event.token, e);
+                        return;
+                    }
+                }
+            } else {
+                return;
+            }
+        }
+        if event.closed
+            && self
+                .conns
+                .get(&event.token)
+                .is_some_and(|c| c.job.is_none())
+        {
+            // An idle pooled connection the backend closed: just drop it.
+            self.close(event.token);
+            return;
+        }
+        self.pump(event.token, event.readable, true);
+    }
+
+    /// Advances a connection: drain writes, drain reads, complete the job.
+    fn pump(&mut self, token: u64, readable: bool, writable: bool) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        if writable && conn.line.wants_write() {
+            let mut stream = &conn.stream;
+            if let Err(e) = conn.line.flush_into(&mut stream) {
+                self.fail(token, e);
+                return;
+            }
+        }
+        if readable {
+            let mut stream = &conn.stream;
+            let outcome = match conn.line.fill(&mut stream) {
+                Ok(outcome) => outcome,
+                Err(e) => {
+                    self.fail(token, e);
+                    return;
+                }
+            };
+            let mut done = false;
+            if let Some(job) = conn.job.as_mut() {
+                while let Some(line) = conn.line.next_line() {
+                    job.got.push(line);
+                    if job.got.len() == job.expect {
+                        done = true;
+                        break;
+                    }
+                }
+            }
+            if done {
+                self.complete(token);
+                return;
+            }
+            if outcome.eof {
+                self.fail(
+                    token,
+                    io::Error::new(
+                        io::ErrorKind::UnexpectedEof,
+                        "backend closed the connection",
+                    ),
+                );
+            }
+        }
+    }
+
+    /// The job finished: hand back its lines and pool or close the conn.
+    fn complete(&mut self, token: u64) {
+        self.wheel.cancel(token);
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let job = conn.job.take().expect("complete is only called with a job");
+        let _ = job.reply.send(Ok(job.got));
+        // A connection with leftover buffered bytes got more responses than
+        // requests — protocol corruption; never pool it.
+        let clean = !conn.line.wants_write() && conn.line.pending_in() == 0;
+        let addr = conn.addr;
+        let pool = self.idle.entry(addr).or_default();
+        if clean && pool.len() < self.config.max_idle {
+            pool.push(token);
+        } else {
+            self.close(token);
+        }
+    }
+
+    /// The job (or its connection) failed: report and tear down.
+    fn fail(&mut self, token: u64, error: io::Error) {
+        self.wheel.cancel(token);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            if let Some(job) = conn.job.take() {
+                let _ = job.reply.send(Err(error));
+            }
+        }
+        self.close(token);
+    }
+
+    fn close(&mut self, token: u64) {
+        self.wheel.cancel(token);
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.remove(conn.stream.as_raw_fd());
+            // Dropping the stream closes the fd.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::{BufRead, BufReader, Write};
+    use std::net::TcpListener;
+
+    /// A blocking thread-per-conn echo server: `PING` -> `PONG <n>` where n
+    /// counts requests on that connection (so pooling is observable).
+    fn echo_server() -> SocketAddr {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    let mut count = 0u32;
+                    loop {
+                        line.clear();
+                        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                            return;
+                        }
+                        count += 1;
+                        if writeln!(writer, "PONG {count}").is_err() {
+                            return;
+                        }
+                    }
+                });
+            }
+        });
+        addr
+    }
+
+    #[test]
+    fn exchange_round_trips_and_reuses_the_connection() {
+        let addr = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
+        assert_eq!(driver.exchange(addr, &["PING"]).unwrap(), vec!["PONG 1"]);
+        // Same pooled connection: the counter keeps rising.
+        assert_eq!(
+            driver.exchange(addr, &["PING", "PING"]).unwrap(),
+            vec!["PONG 2", "PONG 3"]
+        );
+        driver.drain(addr);
+        // Drained: a fresh connection restarts the counter.
+        assert_eq!(driver.exchange(addr, &["PING"]).unwrap(), vec!["PONG 1"]);
+    }
+
+    #[test]
+    fn concurrent_submits_fan_out_without_spawning_threads() {
+        let addr_a = echo_server();
+        let addr_b = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
+        // Submit first, collect second — the scatter-gather shape.
+        let rx_a = driver.submit(addr_a, &["PING", "PING"]).unwrap();
+        let rx_b = driver.submit(addr_b, &["PING"]).unwrap();
+        assert_eq!(rx_a.recv().unwrap().unwrap(), vec!["PONG 1", "PONG 2"]);
+        assert_eq!(rx_b.recv().unwrap().unwrap(), vec!["PONG 1"]);
+    }
+
+    #[test]
+    fn a_large_burst_exceeding_socket_buffers_does_not_deadlock() {
+        let addr = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig {
+            io_timeout: Duration::from_secs(30),
+            ..ClientConfig::default()
+        })
+        .unwrap();
+        // ~2000 pipelined lines: far beyond what write-all-then-read-all
+        // could push through loopback buffers without the reactor reading
+        // responses concurrently.
+        let lines: Vec<String> = (0..2000).map(|_| "PING".to_string()).collect();
+        let replies = driver.exchange(addr, &lines).unwrap();
+        assert_eq!(replies.len(), 2000);
+        assert_eq!(replies[0], "PONG 1");
+        assert_eq!(replies[1999], "PONG 2000");
+    }
+
+    #[test]
+    fn dead_port_fails_within_the_connect_timeout() {
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        let driver = ClientDriver::spawn(ClientConfig {
+            connect_timeout: Duration::from_millis(200),
+            ..ClientConfig::default()
+        })
+        .unwrap();
+        let start = Instant::now();
+        assert!(driver.exchange(addr, &["PING"]).is_err());
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn a_server_that_stops_answering_hits_the_io_deadline() {
+        // Accepts, reads, never replies.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            let mut held = Vec::new();
+            for stream in listener.incoming().flatten() {
+                held.push(stream); // keep the socket open, say nothing
+            }
+        });
+        let driver = ClientDriver::spawn(ClientConfig {
+            io_timeout: Duration::from_millis(150),
+            ..ClientConfig::default()
+        })
+        .unwrap();
+        let start = Instant::now();
+        let err = driver.exchange(addr, &["PING"]).unwrap_err();
+        assert_eq!(err.kind(), io::ErrorKind::TimedOut);
+        assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn dropping_the_driver_stops_the_reactor() {
+        let addr = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
+        assert!(driver.exchange(addr, &["PING"]).is_ok());
+        drop(driver); // joins the reactor thread; no hang = pass
+    }
+}

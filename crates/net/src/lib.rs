@@ -1,0 +1,49 @@
+//! # pfr-net
+//!
+//! Std-only event-driven networking primitives for the serving tiers — the
+//! readiness reactor that decouples *connection count* from *thread count*.
+//! Before this crate, every idle client cost one OS thread in `pfr-serve`'s
+//! front end and every scatter sub-batch cost one thread in `pfr-router`;
+//! with it, a single reactor thread multiplexes thousands of sockets.
+//!
+//! The crate follows the mio/Noria idiom — a readiness poller driving
+//! non-blocking connection state machines — but is built from raw
+//! `extern "C"` bindings (no external crates, matching the workspace's
+//! offline shim policy):
+//!
+//! * [`sys`] — the FFI floor: `epoll_create1`/`epoll_ctl`/`epoll_wait`,
+//!   `eventfd`, and non-blocking `socket`/`connect`. Every `unsafe` block
+//!   of the crate lives here.
+//! * [`Poller`] / [`Waker`] — safe epoll registration (edge-triggered by
+//!   default) and a cross-thread eventfd wakeup.
+//! * [`DeadlineWheel`] — O(1) arm/cancel hashed timer wheel for io and
+//!   connect deadlines.
+//! * [`LineConn`] — the non-blocking line-protocol connection state
+//!   machine: read-accumulate / parse / write-drain with backpressure,
+//!   yielding identical frames no matter how reads are split across
+//!   readiness events (property-tested).
+//! * [`ClientDriver`] — a reactor thread multiplexing outbound
+//!   line-protocol bursts: submit N operations, block on N receivers,
+//!   spawn zero threads.
+//!
+//! `pfr-serve` builds its event-driven front end from the first four;
+//! `pfr-router` routes its backend traffic through the last. Both tiers
+//! keep their thread-per-connection paths selectable so the two
+//! architectures stay differential-testable against each other.
+//!
+//! See `DESIGN.md` in this crate for the reactor architecture, the
+//! edge-vs-level argument and the safety inventory of the FFI layer.
+
+#![deny(missing_docs)]
+#![warn(clippy::all)]
+
+pub mod client;
+pub mod line;
+pub mod poller;
+pub mod sys;
+pub mod wheel;
+
+pub use client::{ClientConfig, ClientDriver};
+pub use line::{FillOutcome, FlushOutcome, LineConn};
+pub use poller::{Event, Interest, Poller, Waker};
+pub use wheel::DeadlineWheel;

@@ -1,0 +1,273 @@
+//! The safe readiness layer over [`crate::sys`]: a [`Poller`] that maps
+//! registered fds to caller tokens, and a [`Waker`] (eventfd) that lets any
+//! thread interrupt a blocked [`Poller::wait`].
+//!
+//! Registrations default to **edge-triggered** delivery: the kernel reports
+//! each readiness *transition* once, and the event loop is responsible for
+//! draining the fd (read/write until `WouldBlock`) before the next edge can
+//! fire. That is the contract [`crate::line::LineConn`] is written against,
+//! and it is what keeps a 10k-connection loop at O(ready) work per wakeup
+//! instead of O(registered) — see `DESIGN.md` §2 for the edge-vs-level
+//! argument. Level-triggered registration remains available (the waker uses
+//! it) via [`Interest::level`].
+
+use crate::sys;
+use std::io::{self, Read, Write};
+use std::os::fd::{AsRawFd, OwnedFd, RawFd};
+use std::time::Duration;
+
+/// What readiness to watch an fd for, and how to deliver it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Interest {
+    readable: bool,
+    writable: bool,
+    edge: bool,
+}
+
+impl Interest {
+    /// Readable only, edge-triggered.
+    pub const READABLE: Interest = Interest {
+        readable: true,
+        writable: false,
+        edge: true,
+    };
+
+    /// Writable only, edge-triggered.
+    pub const WRITABLE: Interest = Interest {
+        readable: false,
+        writable: true,
+        edge: true,
+    };
+
+    /// Readable and writable, edge-triggered — the default for connection
+    /// sockets, which drain both directions on every wakeup.
+    pub const DUPLEX: Interest = Interest {
+        readable: true,
+        writable: true,
+        edge: true,
+    };
+
+    /// The same interest with level-triggered delivery: the kernel keeps
+    /// reporting readiness while it holds. Used for the waker, whose
+    /// consumer drains it exactly once per loop iteration.
+    pub fn level(self) -> Interest {
+        Interest {
+            edge: false,
+            ..self
+        }
+    }
+
+    fn mask(self) -> u32 {
+        let mut mask = sys::EPOLLRDHUP;
+        if self.readable {
+            mask |= sys::EPOLLIN;
+        }
+        if self.writable {
+            mask |= sys::EPOLLOUT;
+        }
+        if self.edge {
+            mask |= sys::EPOLLET;
+        }
+        mask
+    }
+}
+
+/// One delivered readiness event, decoded from the kernel record.
+#[derive(Debug, Clone, Copy)]
+pub struct Event {
+    /// The token the fd was registered under.
+    pub token: u64,
+    /// The fd can be read (or has in-flight data).
+    pub readable: bool,
+    /// The fd can be written.
+    pub writable: bool,
+    /// The peer closed (its write side or the whole connection), or the fd
+    /// is in an error state — either way the fd should be drained and
+    /// closed rather than waited on again.
+    pub closed: bool,
+}
+
+/// An epoll instance mapping registered fds to caller tokens.
+#[derive(Debug)]
+pub struct Poller {
+    epfd: OwnedFd,
+    buffer: Vec<sys::EpollEvent>,
+}
+
+impl Poller {
+    /// A fresh epoll instance with room for `capacity` events per wait.
+    pub fn new(capacity: usize) -> io::Result<Poller> {
+        Ok(Poller {
+            epfd: sys::epoll_create()?,
+            buffer: vec![sys::EpollEvent { events: 0, data: 0 }; capacity.max(8)],
+        })
+    }
+
+    /// Registers `fd` under `token` with the given interest.
+    pub fn add(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_add(&self.epfd, fd, interest.mask(), token)
+    }
+
+    /// Replaces `fd`'s interest and token.
+    pub fn modify(&self, fd: RawFd, token: u64, interest: Interest) -> io::Result<()> {
+        sys::epoll_modify(&self.epfd, fd, interest.mask(), token)
+    }
+
+    /// Deregisters `fd`. Closing an fd deregisters it implicitly, so this
+    /// only matters for fds that outlive their registration; errors
+    /// (already gone) are ignored.
+    pub fn remove(&self, fd: RawFd) {
+        sys::epoll_delete(&self.epfd, fd);
+    }
+
+    /// Blocks until at least one event arrives or `timeout` passes
+    /// (`None` = wait forever), appending decoded events to `out`.
+    /// Returns how many events were delivered.
+    pub fn wait(&mut self, out: &mut Vec<Event>, timeout: Option<Duration>) -> io::Result<usize> {
+        let timeout_ms = match timeout {
+            // Round up so a 0 < t < 1ms deadline does not busy-spin.
+            Some(t) => {
+                i32::try_from(t.as_millis().max(1).min(i32::MAX as u128)).unwrap_or(i32::MAX)
+            }
+            None => -1,
+        };
+        let fired = sys::epoll_collect(&self.epfd, &mut self.buffer, timeout_ms)?;
+        let n = fired.len();
+        for record in fired {
+            let (mask, token) = (record.events, record.data);
+            out.push(Event {
+                token,
+                readable: mask & (sys::EPOLLIN | sys::EPOLLRDHUP | sys::EPOLLHUP) != 0,
+                writable: mask & sys::EPOLLOUT != 0,
+                closed: mask & (sys::EPOLLRDHUP | sys::EPOLLHUP | sys::EPOLLERR) != 0,
+            });
+        }
+        Ok(n)
+    }
+}
+
+/// A cross-thread wakeup handle: an eventfd registered on the poller.
+/// Cloneable via `Arc`; `wake` is safe from any thread and from signal-free
+/// contexts, and coalesces (N wakes before a drain deliver one event).
+#[derive(Debug)]
+pub struct Waker {
+    file: std::fs::File,
+}
+
+impl Waker {
+    /// A fresh eventfd-backed waker. Register [`Waker::raw_fd`] on the
+    /// poller (level-triggered `READABLE`) under a reserved token.
+    pub fn new() -> io::Result<Waker> {
+        Ok(Waker {
+            file: std::fs::File::from(sys::eventfd_create()?),
+        })
+    }
+
+    /// The fd to register on the poller.
+    pub fn raw_fd(&self) -> RawFd {
+        self.file.as_raw_fd()
+    }
+
+    /// Makes the next (or current) [`Poller::wait`] return.
+    pub fn wake(&self) -> io::Result<()> {
+        match (&self.file).write_all(&1u64.to_ne_bytes()) {
+            Ok(()) => Ok(()),
+            // Counter saturated: a wake is already pending, job done.
+            Err(e) if e.kind() == io::ErrorKind::WouldBlock => Ok(()),
+            Err(e) => Err(e),
+        }
+    }
+
+    /// Clears pending wakes (call once per poll loop iteration after the
+    /// waker's token fires).
+    pub fn drain(&self) {
+        let mut buf = [0u8; 8];
+        // Non-blocking eventfd: one read clears the whole counter.
+        let _ = (&self.file).read(&mut buf);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::{TcpListener, TcpStream};
+    use std::sync::Arc;
+
+    #[test]
+    fn waker_wakes_a_blocked_wait_from_another_thread() {
+        let mut poller = Poller::new(8).unwrap();
+        let waker = Arc::new(Waker::new().unwrap());
+        poller
+            .add(waker.raw_fd(), 7, Interest::READABLE.level())
+            .unwrap();
+        let remote = Arc::clone(&waker);
+        let handle = std::thread::spawn(move || {
+            std::thread::sleep(Duration::from_millis(30));
+            remote.wake().unwrap();
+        });
+        let mut events = Vec::new();
+        let start = std::time::Instant::now();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(10)))
+            .unwrap();
+        assert!(start.elapsed() < Duration::from_secs(5));
+        assert_eq!(events.len(), 1);
+        assert_eq!(events[0].token, 7);
+        waker.drain();
+        handle.join().unwrap();
+        // Drained: the next wait times out instead of spinning on the
+        // level-triggered registration.
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(20)))
+            .unwrap();
+        assert!(events.is_empty());
+    }
+
+    #[test]
+    fn edge_triggered_socket_reports_one_transition() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let mut client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+
+        let mut poller = Poller::new(8).unwrap();
+        poller
+            .add(server.as_raw_fd(), 1, Interest::READABLE)
+            .unwrap();
+        client.write_all(b"hello").unwrap();
+
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 1 && e.readable));
+
+        // Without reading the data, an edge-triggered fd stays silent: no
+        // new transition, no event (this is the property that makes the
+        // loop O(ready), and the trap the DESIGN doc documents).
+        events.clear();
+        poller
+            .wait(&mut events, Some(Duration::from_millis(30)))
+            .unwrap();
+        assert!(events.is_empty(), "edge must not re-fire without a drain");
+    }
+
+    #[test]
+    fn closed_peer_is_reported_as_closed() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let client = TcpStream::connect(addr).unwrap();
+        let (server, _) = listener.accept().unwrap();
+        server.set_nonblocking(true).unwrap();
+        let mut poller = Poller::new(8).unwrap();
+        poller.add(server.as_raw_fd(), 9, Interest::DUPLEX).unwrap();
+        drop(client);
+        let mut events = Vec::new();
+        poller
+            .wait(&mut events, Some(Duration::from_secs(5)))
+            .unwrap();
+        assert!(events.iter().any(|e| e.token == 9 && e.closed));
+    }
+}

@@ -1,0 +1,341 @@
+//! Raw `extern "C"` bindings to the handful of Linux syscalls the reactor
+//! needs and safe wrappers around them — `epoll_create1` / `epoll_ctl` /
+//! `epoll_wait` for readiness, `eventfd` for cross-thread wakeups, and
+//! `socket` / `connect` / `getsockopt(SO_ERROR)` for non-blocking dials.
+//!
+//! The workspace is offline and std-only (no `libc`, no `mio`), so the
+//! declarations live here, kept to the exact subset used. **Every `unsafe`
+//! block in `pfr-net` is in this file**; each is a thin argument-marshalling
+//! shim whose safety argument is local (see `DESIGN.md` §5 for the
+//! inventory). Everything above this module speaks owned fds and
+//! `io::Result`.
+
+use std::io;
+use std::net::SocketAddr;
+use std::os::fd::{AsRawFd, FromRawFd, OwnedFd, RawFd};
+
+#[allow(non_camel_case_types)]
+type c_int = i32;
+#[allow(non_camel_case_types)]
+type c_uint = u32;
+
+/// One epoll readiness record. On x86-64 the kernel ABI packs the struct
+/// (no padding between `events` and `data`); the attribute mirrors that.
+#[repr(C)]
+#[cfg_attr(target_arch = "x86_64", repr(packed))]
+#[derive(Clone, Copy)]
+pub struct EpollEvent {
+    /// Bitmask of `EPOLL*` readiness flags.
+    pub events: u32,
+    /// Caller-chosen token returned verbatim with the event.
+    pub data: u64,
+}
+
+impl std::fmt::Debug for EpollEvent {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Copy out of the packed struct; a derived Debug would take
+        // (possibly unaligned) references to the fields.
+        let (events, data) = (self.events, self.data);
+        f.debug_struct("EpollEvent")
+            .field("events", &events)
+            .field("data", &data)
+            .finish()
+    }
+}
+
+/// Readable readiness.
+pub const EPOLLIN: u32 = 0x001;
+/// Writable readiness.
+pub const EPOLLOUT: u32 = 0x004;
+/// Error condition on the fd (always reported, never requested).
+pub const EPOLLERR: u32 = 0x008;
+/// Hang-up: both directions closed (always reported, never requested).
+pub const EPOLLHUP: u32 = 0x010;
+/// Peer closed its write direction (half-close detection).
+pub const EPOLLRDHUP: u32 = 0x2000;
+/// Edge-triggered delivery: one event per readiness *transition*.
+pub const EPOLLET: u32 = 1 << 31;
+
+const EPOLL_CLOEXEC: c_int = 0o2000000;
+const EPOLL_CTL_ADD: c_int = 1;
+const EPOLL_CTL_DEL: c_int = 2;
+const EPOLL_CTL_MOD: c_int = 3;
+
+const EFD_CLOEXEC: c_int = 0o2000000;
+const EFD_NONBLOCK: c_int = 0o4000;
+
+const AF_INET: c_int = 2;
+const AF_INET6: c_int = 10;
+const SOCK_STREAM: c_int = 1;
+const SOCK_NONBLOCK: c_int = 0o4000;
+const SOCK_CLOEXEC: c_int = 0o2000000;
+const SOL_SOCKET: c_int = 1;
+const SO_ERROR: c_int = 4;
+const EINPROGRESS: i32 = 115;
+
+extern "C" {
+    fn epoll_create1(flags: c_int) -> c_int;
+    fn epoll_ctl(epfd: c_int, op: c_int, fd: c_int, event: *mut EpollEvent) -> c_int;
+    fn epoll_wait(epfd: c_int, events: *mut EpollEvent, maxevents: c_int, timeout: c_int) -> c_int;
+    fn eventfd(initval: c_uint, flags: c_int) -> c_int;
+    fn socket(domain: c_int, ty: c_int, protocol: c_int) -> c_int;
+    fn connect(fd: c_int, addr: *const u8, addrlen: u32) -> c_int;
+    fn getsockopt(fd: c_int, level: c_int, name: c_int, value: *mut c_int, len: *mut u32) -> c_int;
+}
+
+fn cvt(ret: c_int) -> io::Result<c_int> {
+    if ret < 0 {
+        Err(io::Error::last_os_error())
+    } else {
+        Ok(ret)
+    }
+}
+
+/// Creates a close-on-exec epoll instance and returns its owned fd.
+pub fn epoll_create() -> io::Result<OwnedFd> {
+    // SAFETY: epoll_create1 takes no pointers; a non-negative return is a
+    // freshly created fd this process owns, so wrapping it in OwnedFd
+    // (which assumes sole ownership) is correct.
+    let fd = cvt(unsafe { epoll_create1(EPOLL_CLOEXEC) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// Adds, modifies or deletes `fd`'s registration on `epfd`.
+fn ctl(epfd: &OwnedFd, op: c_int, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    let mut event = EpollEvent {
+        events,
+        data: token,
+    };
+    // SAFETY: `event` is a live stack value for the duration of the call
+    // and matches the kernel's epoll_event layout (see EpollEvent); the fds
+    // come from OwnedFd/AsRawFd, so they are valid open descriptors.
+    cvt(unsafe { epoll_ctl(epfd.as_raw_fd(), op, fd, &mut event) })?;
+    Ok(())
+}
+
+/// Registers `fd` with the given readiness mask and token.
+pub fn epoll_add(epfd: &OwnedFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_ADD, fd, events, token)
+}
+
+/// Re-arms `fd` with a new readiness mask and token.
+pub fn epoll_modify(epfd: &OwnedFd, fd: RawFd, events: u32, token: u64) -> io::Result<()> {
+    ctl(epfd, EPOLL_CTL_MOD, fd, events, token)
+}
+
+/// Removes `fd` from `epfd` (ignores the not-registered error).
+pub fn epoll_delete(epfd: &OwnedFd, fd: RawFd) {
+    let _ = ctl(epfd, EPOLL_CTL_DEL, fd, 0, 0);
+}
+
+/// Blocks for readiness events; `timeout_ms` of `-1` waits forever.
+/// Returns the prefix of `events` the kernel filled.
+pub fn epoll_collect<'a>(
+    epfd: &OwnedFd,
+    events: &'a mut [EpollEvent],
+    timeout_ms: i32,
+) -> io::Result<&'a [EpollEvent]> {
+    // SAFETY: the pointer/length pair describes the caller's live slice,
+    // and the kernel writes at most `events.len()` records; `n` is the
+    // number actually written, so the returned prefix is initialized.
+    let n = match cvt(unsafe {
+        epoll_wait(
+            epfd.as_raw_fd(),
+            events.as_mut_ptr(),
+            events.len() as c_int,
+            timeout_ms,
+        )
+    }) {
+        Ok(n) => n,
+        Err(e) if e.kind() == io::ErrorKind::Interrupted => 0,
+        Err(e) => return Err(e),
+    };
+    Ok(&events[..n as usize])
+}
+
+/// Creates a non-blocking, close-on-exec eventfd and returns its owned fd.
+/// Reads and writes go through `std::fs::File::from(OwnedFd)` upstream, so
+/// no raw `read`/`write` bindings are needed.
+pub fn eventfd_create() -> io::Result<OwnedFd> {
+    // SAFETY: eventfd takes no pointers; as with epoll_create, a
+    // non-negative return is a fresh fd owned solely by this call.
+    let fd = cvt(unsafe { eventfd(0, EFD_CLOEXEC | EFD_NONBLOCK) })?;
+    Ok(unsafe { OwnedFd::from_raw_fd(fd) })
+}
+
+/// `sockaddr_in` / `sockaddr_in6`, laid out per the kernel ABI, with the
+/// byte length the kernel expects for each family.
+#[repr(C)]
+union SockAddrStorage {
+    v4: SockAddrIn,
+    v6: SockAddrIn6,
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct SockAddrIn {
+    family: u16,
+    port_be: u16,
+    addr_be: u32,
+    zero: [u8; 8],
+}
+
+#[repr(C)]
+#[derive(Clone, Copy)]
+struct SockAddrIn6 {
+    family: u16,
+    port_be: u16,
+    flowinfo: u32,
+    addr: [u8; 16],
+    scope_id: u32,
+}
+
+fn encode_addr(addr: &SocketAddr) -> (SockAddrStorage, u32, c_int) {
+    match addr {
+        SocketAddr::V4(v4) => (
+            SockAddrStorage {
+                v4: SockAddrIn {
+                    family: AF_INET as u16,
+                    port_be: v4.port().to_be(),
+                    addr_be: u32::from_be_bytes(v4.ip().octets()).to_be(),
+                    zero: [0; 8],
+                },
+            },
+            std::mem::size_of::<SockAddrIn>() as u32,
+            AF_INET,
+        ),
+        SocketAddr::V6(v6) => (
+            SockAddrStorage {
+                v6: SockAddrIn6 {
+                    family: AF_INET6 as u16,
+                    port_be: v6.port().to_be(),
+                    flowinfo: v6.flowinfo(),
+                    addr: v6.ip().octets(),
+                    scope_id: v6.scope_id(),
+                },
+            },
+            std::mem::size_of::<SockAddrIn6>() as u32,
+            AF_INET6,
+        ),
+    }
+}
+
+/// Outcome of starting a non-blocking TCP connect.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ConnectStart {
+    /// The three-way handshake completed immediately (loopback fast path).
+    Connected,
+    /// The handshake is in flight; wait for writability, then call
+    /// [`take_socket_error`] to learn the outcome.
+    InProgress,
+}
+
+/// Opens a non-blocking TCP socket and starts connecting it to `addr`.
+/// The returned fd is owned; registering it for writability tells the
+/// caller when the `InProgress` handshake resolves.
+pub fn connect_nonblocking(addr: &SocketAddr) -> io::Result<(OwnedFd, ConnectStart)> {
+    let (storage, len, family) = encode_addr(addr);
+    // SAFETY: socket takes no pointers; a non-negative return is a fresh
+    // fd wrapped immediately into OwnedFd, which becomes its sole owner.
+    let fd = cvt(unsafe { socket(family, SOCK_STREAM | SOCK_NONBLOCK | SOCK_CLOEXEC, 0) })?;
+    let fd = unsafe { OwnedFd::from_raw_fd(fd) };
+    // SAFETY: `storage` is a live, correctly laid-out sockaddr of `len`
+    // bytes for the socket's own address family; the kernel only reads it.
+    let ret = unsafe {
+        connect(
+            fd.as_raw_fd(),
+            (&storage as *const SockAddrStorage).cast(),
+            len,
+        )
+    };
+    if ret == 0 {
+        return Ok((fd, ConnectStart::Connected));
+    }
+    match io::Error::last_os_error() {
+        e if e.raw_os_error() == Some(EINPROGRESS) => Ok((fd, ConnectStart::InProgress)),
+        e => Err(e),
+    }
+}
+
+/// Reads and clears the socket's pending error (`SO_ERROR`) — the outcome
+/// of a non-blocking connect once the socket reports writable.
+pub fn take_socket_error(fd: RawFd) -> io::Result<()> {
+    let mut err: c_int = 0;
+    let mut len = std::mem::size_of::<c_int>() as u32;
+    // SAFETY: `err`/`len` are live stack slots of exactly the size the
+    // kernel writes for SO_ERROR (an int), and `fd` is a valid socket.
+    cvt(unsafe { getsockopt(fd, SOL_SOCKET, SO_ERROR, &mut err, &mut len) })?;
+    if err == 0 {
+        Ok(())
+    } else {
+        Err(io::Error::from_raw_os_error(err))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::net::TcpListener;
+
+    #[test]
+    fn epoll_instance_creates_and_closes() {
+        let epfd = epoll_create().unwrap();
+        assert!(epfd.as_raw_fd() >= 0);
+        // Waiting with a zero timeout on an empty instance returns nothing.
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        assert!(epoll_collect(&epfd, &mut events, 0).unwrap().is_empty());
+    }
+
+    #[test]
+    fn eventfd_write_makes_it_readable() {
+        use std::io::Write;
+        let epfd = epoll_create().unwrap();
+        let efd = eventfd_create().unwrap();
+        epoll_add(&epfd, efd.as_raw_fd(), EPOLLIN, 42).unwrap();
+        let file = std::fs::File::from(efd);
+        (&file).write_all(&1u64.to_ne_bytes()).unwrap();
+        let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+        let fired = epoll_collect(&epfd, &mut events, 100).unwrap();
+        assert_eq!(fired.len(), 1);
+        let (events_mask, data) = (fired[0].events, fired[0].data);
+        assert_eq!(data, 42);
+        assert!(events_mask & EPOLLIN != 0);
+    }
+
+    #[test]
+    fn nonblocking_connect_reaches_a_live_listener() {
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        let (fd, start) = connect_nonblocking(&addr).unwrap();
+        if start == ConnectStart::InProgress {
+            let epfd = epoll_create().unwrap();
+            epoll_add(&epfd, fd.as_raw_fd(), EPOLLOUT, 1).unwrap();
+            let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+            assert!(!epoll_collect(&epfd, &mut events, 2000).unwrap().is_empty());
+        }
+        take_socket_error(fd.as_raw_fd()).unwrap();
+    }
+
+    #[test]
+    fn nonblocking_connect_to_a_dead_port_reports_the_error() {
+        // Bind-then-drop yields a port nobody listens on; loopback refuses
+        // the handshake, surfaced either at connect or via SO_ERROR.
+        let addr = {
+            let l = TcpListener::bind("127.0.0.1:0").unwrap();
+            l.local_addr().unwrap()
+        };
+        match connect_nonblocking(&addr) {
+            Err(_) => {}
+            Ok((fd, ConnectStart::Connected)) => {
+                panic!("connect to a dead port cannot complete; fd {fd:?}")
+            }
+            Ok((fd, ConnectStart::InProgress)) => {
+                let epfd = epoll_create().unwrap();
+                epoll_add(&epfd, fd.as_raw_fd(), EPOLLOUT, 1).unwrap();
+                let mut events = [EpollEvent { events: 0, data: 0 }; 4];
+                let _ = epoll_collect(&epfd, &mut events, 2000).unwrap();
+                assert!(take_socket_error(fd.as_raw_fd()).is_err());
+            }
+        }
+    }
+}

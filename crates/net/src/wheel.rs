@@ -1,0 +1,200 @@
+//! A hashed deadline wheel: O(1) insert/cancel timeouts for reactor tokens.
+//!
+//! Time is quantized into ticks of a fixed granularity; a deadline lands in
+//! slot `deadline_tick % slots`. Advancing the wheel walks only the slots
+//! the clock actually crossed, firing entries whose tick has passed and
+//! re-queuing entries scheduled a full revolution (or more) ahead. A
+//! `BTreeMap` of deadlines would give exact ordering at O(log n) per
+//! operation; the wheel trades a tick of precision (timeouts are coarse by
+//! nature — 2 s io deadlines do not care about 16 ms of rounding) for O(1)
+//! inserts and cancels, which matters because *every* request arms and
+//! disarms a deadline.
+//!
+//! Cancellation is lazy: an entry stays in its slot, but only fires if the
+//! token's *active* registration (one per token, the newest wins) still
+//! matches its scheduled tick. Re-arming a token therefore implicitly
+//! cancels its previous deadline.
+
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// A hashed timer wheel mapping tokens to deadlines.
+#[derive(Debug)]
+pub struct DeadlineWheel {
+    origin: Instant,
+    tick: Duration,
+    slots: Vec<Vec<(u64, u64)>>, // (token, absolute tick)
+    /// The newest armed deadline per token, as an absolute tick. Entries in
+    /// `slots` fire only when they match; stale ones are skipped.
+    active: HashMap<u64, u64>,
+    /// The next tick the cursor will process.
+    cursor: u64,
+}
+
+impl DeadlineWheel {
+    /// A wheel quantizing deadlines to `tick` with `slots` buckets. The
+    /// horizon (`tick * slots`) only bounds how far an entry travels per
+    /// revolution, not how far deadlines may lie in the future.
+    pub fn new(tick: Duration, slots: usize) -> DeadlineWheel {
+        DeadlineWheel {
+            origin: Instant::now(),
+            tick: tick.max(Duration::from_millis(1)),
+            slots: vec![Vec::new(); slots.max(2)],
+            active: HashMap::new(),
+            cursor: 0,
+        }
+    }
+
+    fn tick_of(&self, deadline: Instant) -> u64 {
+        // Round up: a deadline never fires early.
+        let since = deadline.saturating_duration_since(self.origin);
+        (since.as_nanos() / self.tick.as_nanos()) as u64 + 1
+    }
+
+    /// Arms (or re-arms) `token` to fire at `deadline`. The previous
+    /// deadline of the same token, if any, is cancelled.
+    pub fn arm(&mut self, token: u64, deadline: Instant) {
+        let tick = self.tick_of(deadline).max(self.cursor);
+        let slot = (tick % self.slots.len() as u64) as usize;
+        self.slots[slot].push((token, tick));
+        self.active.insert(token, tick);
+    }
+
+    /// Disarms `token`'s pending deadline (no-op if none is armed).
+    pub fn cancel(&mut self, token: u64) {
+        self.active.remove(&token);
+    }
+
+    /// Number of armed tokens.
+    pub fn len(&self) -> usize {
+        self.active.len()
+    }
+
+    /// Whether no token is armed.
+    pub fn is_empty(&self) -> bool {
+        self.active.is_empty()
+    }
+
+    /// Advances the wheel to `now`, appending every token whose armed
+    /// deadline has passed to `expired` (each at most once, then disarmed).
+    /// Work is bounded by one revolution: after a long idle sleep every
+    /// slot gets exactly one pass rather than one pass per elapsed tick.
+    pub fn advance(&mut self, now: Instant, expired: &mut Vec<u64>) {
+        let now_tick =
+            (now.saturating_duration_since(self.origin).as_nanos() / self.tick.as_nanos()) as u64;
+        if self.cursor > now_tick {
+            return;
+        }
+        let revolution = self.slots.len() as u64;
+        let passes = (now_tick - self.cursor + 1).min(revolution);
+        for step in 0..passes {
+            let slot = ((self.cursor + step) % revolution) as usize;
+            let mut keep = Vec::new();
+            for (token, tick) in self.slots[slot].drain(..) {
+                if self.active.get(&token) != Some(&tick) {
+                    continue; // cancelled or re-armed elsewhere
+                }
+                if tick <= now_tick {
+                    self.active.remove(&token);
+                    expired.push(token);
+                } else {
+                    keep.push((token, tick)); // a revolution (or more) away
+                }
+            }
+            self.slots[slot] = keep;
+        }
+        self.cursor = now_tick + 1;
+    }
+
+    /// How long until the earliest armed deadline could fire, from `now` —
+    /// the poll timeout that keeps deadlines honored without busy-waking.
+    /// `None` when nothing is armed.
+    pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
+        let earliest = *self.active.values().min()?;
+        let due = self.origin + self.tick * earliest as u32;
+        Some(due.saturating_duration_since(now))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn wheel() -> DeadlineWheel {
+        DeadlineWheel::new(Duration::from_millis(5), 16)
+    }
+
+    #[test]
+    fn deadlines_fire_after_they_pass_and_not_before() {
+        let mut w = wheel();
+        let now = Instant::now();
+        w.arm(1, now + Duration::from_millis(20));
+        w.arm(2, now + Duration::from_millis(200));
+        let mut fired = Vec::new();
+        w.advance(now, &mut fired);
+        assert!(fired.is_empty(), "nothing is due yet");
+        w.advance(now + Duration::from_millis(40), &mut fired);
+        assert_eq!(fired, vec![1]);
+        w.advance(now + Duration::from_millis(400), &mut fired);
+        assert_eq!(fired, vec![1, 2]);
+        assert!(w.is_empty());
+    }
+
+    #[test]
+    fn cancel_and_rearm_suppress_the_old_deadline() {
+        let mut w = wheel();
+        let now = Instant::now();
+        w.arm(1, now + Duration::from_millis(10));
+        w.cancel(1);
+        w.arm(2, now + Duration::from_millis(10));
+        w.arm(2, now + Duration::from_millis(300)); // re-arm pushes it out
+        let mut fired = Vec::new();
+        w.advance(now + Duration::from_millis(100), &mut fired);
+        assert!(fired.is_empty(), "cancelled and re-armed must not fire");
+        assert_eq!(w.len(), 1);
+        w.advance(now + Duration::from_millis(500), &mut fired);
+        assert_eq!(fired, vec![2]);
+    }
+
+    #[test]
+    fn deadlines_beyond_one_revolution_survive_the_first_pass() {
+        // 16 slots x 5ms = 80ms horizon; 1s is 12+ revolutions out.
+        let mut w = wheel();
+        let now = Instant::now();
+        w.arm(9, now + Duration::from_secs(1));
+        let mut fired = Vec::new();
+        w.advance(now + Duration::from_millis(500), &mut fired);
+        assert!(fired.is_empty());
+        assert_eq!(w.len(), 1);
+        w.advance(now + Duration::from_millis(1100), &mut fired);
+        assert_eq!(fired, vec![9]);
+    }
+
+    #[test]
+    fn next_timeout_tracks_the_earliest_armed_deadline() {
+        let mut w = wheel();
+        let now = Instant::now();
+        assert!(w.next_timeout(now).is_none());
+        w.arm(1, now + Duration::from_millis(500));
+        w.arm(2, now + Duration::from_millis(50));
+        let t = w.next_timeout(now).unwrap();
+        assert!(t <= Duration::from_millis(60), "{t:?}");
+        // A passed deadline yields a zero timeout, not a negative panic.
+        let late = w.next_timeout(now + Duration::from_secs(2)).unwrap();
+        assert_eq!(late, Duration::ZERO);
+    }
+
+    #[test]
+    fn many_tokens_on_one_slot_all_fire() {
+        let mut w = DeadlineWheel::new(Duration::from_millis(5), 4);
+        let now = Instant::now();
+        for token in 0..100 {
+            w.arm(token, now + Duration::from_millis(10 + (token % 7)));
+        }
+        let mut fired = Vec::new();
+        w.advance(now + Duration::from_millis(60), &mut fired);
+        fired.sort_unstable();
+        assert_eq!(fired, (0..100).collect::<Vec<_>>());
+        assert!(w.is_empty());
+    }
+}

@@ -1,4 +1,5 @@
-//! One routed-to backend: its connection pool and its circuit breaker.
+//! One routed-to backend: its transport (blocking connection pool or
+//! shared reactor client) and its circuit breaker.
 //!
 //! The breaker is the router's memory of backend failures. It closes (lets
 //! traffic through) while a backend behaves, opens (ejects the backend from
@@ -10,9 +11,12 @@
 //! before the next probe runs.
 
 use crate::conn::{ConnConfig, ConnPool};
+use pfr_net::client::BurstResult;
+use pfr_net::ClientDriver;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::mpsc::Receiver;
+use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
 /// Circuit-breaker tuning.
@@ -140,20 +144,51 @@ impl CircuitBreaker {
     }
 }
 
+/// How a backend's protocol traffic is carried.
+///
+/// `Pool` is the original blocking path: pooled sockets, one OS thread
+/// blocked per in-flight exchange. `Driver` multiplexes every backend's
+/// traffic over one shared `pfr-net` reactor thread, so N concurrent
+/// exchanges (a scatter to N replicas) cost zero additional threads.
+#[derive(Debug)]
+enum Transport {
+    Pool(ConnPool),
+    Driver(Arc<ClientDriver>),
+}
+
 /// One backend of the routing tier.
 #[derive(Debug)]
 pub struct Backend {
     id: usize,
-    pool: ConnPool,
+    addr: SocketAddr,
+    transport: Transport,
     breaker: CircuitBreaker,
 }
 
 impl Backend {
-    /// A backend with a fresh pool and a closed breaker.
+    /// A backend carried by blocking pooled connections, with a closed
+    /// breaker (the thread-per-exchange transport).
     pub fn new(id: usize, addr: SocketAddr, conn: ConnConfig, breaker: BreakerConfig) -> Self {
         Backend {
             id,
-            pool: ConnPool::new(addr, conn),
+            addr,
+            transport: Transport::Pool(ConnPool::new(addr, conn)),
+            breaker: CircuitBreaker::new(breaker),
+        }
+    }
+
+    /// A backend carried by a shared reactor client, with a closed breaker.
+    /// Deadlines (connect and io) come from the driver's `ClientConfig`.
+    pub fn with_driver(
+        id: usize,
+        addr: SocketAddr,
+        driver: Arc<ClientDriver>,
+        breaker: BreakerConfig,
+    ) -> Self {
+        Backend {
+            id,
+            addr,
+            transport: Transport::Driver(driver),
             breaker: CircuitBreaker::new(breaker),
         }
     }
@@ -165,12 +200,7 @@ impl Backend {
 
     /// The backend's address.
     pub fn addr(&self) -> SocketAddr {
-        self.pool.addr()
-    }
-
-    /// The backend's connection pool.
-    pub fn pool(&self) -> &ConnPool {
-        &self.pool
+        self.addr
     }
 
     /// The backend's circuit breaker.
@@ -178,35 +208,73 @@ impl Backend {
         &self.breaker
     }
 
-    /// One protocol exchange with breaker bookkeeping: io failures feed the
-    /// breaker and drain the pool (pooled sockets to a dead backend are all
-    /// equally broken); success feeds the breaker too, which is what
-    /// re-admits a half-open backend.
-    pub fn exchange(&self, line: &str) -> std::io::Result<String> {
-        match self.pool.run(|conn| conn.request(line)) {
-            Ok(response) => {
-                self.breaker.record_success();
-                Ok(response)
-            }
-            Err(e) => {
-                self.breaker.record_failure();
-                self.pool.drain();
-                Err(e)
-            }
+    /// Drops every idle connection to this backend (pooled sockets to a
+    /// dead backend are all equally broken).
+    fn drain_idle(&self) {
+        match &self.transport {
+            Transport::Pool(pool) => pool.drain(),
+            Transport::Driver(driver) => driver.drain(self.addr),
         }
+    }
+
+    /// One transport-level burst: lines out, the same number of lines back.
+    fn raw_burst<S: AsRef<str>>(&self, lines: &[S]) -> std::io::Result<Vec<String>> {
+        match &self.transport {
+            Transport::Pool(pool) => pool.run(|conn| conn.pipeline(lines)),
+            Transport::Driver(driver) => driver.exchange(self.addr, lines),
+        }
+    }
+
+    /// One protocol exchange with breaker bookkeeping: io failures feed the
+    /// breaker and drain the idle connections; success feeds the breaker
+    /// too, which is what re-admits a half-open backend.
+    pub fn exchange(&self, line: &str) -> std::io::Result<String> {
+        let mut responses = self.exchange_burst(&[line])?;
+        Ok(responses.remove(0))
     }
 
     /// A pipelined burst with the same breaker bookkeeping as
     /// [`Backend::exchange`].
     pub fn exchange_burst<S: AsRef<str>>(&self, lines: &[S]) -> std::io::Result<Vec<String>> {
-        match self.pool.run(|conn| conn.pipeline(lines)) {
+        self.settle_burst(self.raw_burst(lines))
+    }
+
+    /// Starts a pipelined burst without blocking the caller. With the
+    /// reactor transport the burst rides the shared event loop and the
+    /// receiver resolves when every response line arrived — submitting to
+    /// N backends first and collecting second is the thread-free scatter.
+    /// With the pool transport the exchange runs inline (blocking) and the
+    /// receiver is already resolved, so the semantics are identical either
+    /// way. The returned result **has not** touched the breaker yet: pass
+    /// it through [`Backend::settle_burst`] when collecting.
+    pub fn submit_burst<S: AsRef<str>>(
+        &self,
+        lines: &[S],
+    ) -> std::io::Result<Receiver<BurstResult>> {
+        match &self.transport {
+            Transport::Driver(driver) => driver.submit(self.addr, lines),
+            Transport::Pool(pool) => {
+                let (tx, rx) = std::sync::mpsc::channel();
+                let _ = tx.send(pool.run(|conn| conn.pipeline(lines)));
+                Ok(rx)
+            }
+        }
+    }
+
+    /// Records a collected burst outcome on the breaker (exactly the
+    /// bookkeeping [`Backend::exchange_burst`] performs inline).
+    pub fn settle_burst(
+        &self,
+        outcome: std::io::Result<Vec<String>>,
+    ) -> std::io::Result<Vec<String>> {
+        match outcome {
             Ok(responses) => {
                 self.breaker.record_success();
                 Ok(responses)
             }
             Err(e) => {
                 self.breaker.record_failure();
-                self.pool.drain();
+                self.drain_idle();
                 Err(e)
             }
         }
@@ -219,8 +287,12 @@ impl Backend {
     /// every probe and a hijacked or misbehaving port could never be
     /// ejected.
     pub fn probe(&self, line: &str, expect_prefix: &str) -> bool {
-        match self.pool.run(|conn| conn.request(line)) {
-            Ok(response) if response.starts_with(expect_prefix) => {
+        match self.raw_burst(&[line]) {
+            Ok(responses)
+                if responses
+                    .first()
+                    .is_some_and(|r| r.starts_with(expect_prefix)) =>
+            {
                 self.breaker.record_success();
                 true
             }
@@ -230,7 +302,7 @@ impl Backend {
             }
             Err(_) => {
                 self.breaker.record_failure();
-                self.pool.drain();
+                self.drain_idle();
                 false
             }
         }

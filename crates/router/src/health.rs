@@ -9,18 +9,20 @@
 //! costs a user-visible error.
 
 use crate::backend::Backend;
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::mpsc::{self, RecvTimeoutError, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
-/// How finely the prober's sleep is sliced so `stop()` returns promptly.
-const STOP_POLL: Duration = Duration::from_millis(10);
-
-/// A background thread probing every backend each `interval`.
+/// A background thread probing every backend each `interval` (a
+/// [`crate::RouterConfig::health_interval`] field, not a constant). The
+/// inter-probe sleep is a channel `recv_timeout`, so `stop()` interrupts it
+/// immediately instead of waiting out a polling slice — tests and shutdown
+/// never sleep a worst-case duration.
 #[derive(Debug)]
 pub struct HealthChecker {
-    stop: Arc<AtomicBool>,
+    stop: Option<Sender<()>>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -28,43 +30,44 @@ impl HealthChecker {
     /// Starts probing `backends` every `interval`; each probe outcome is
     /// recorded on the backend's breaker, `probes` counts the exchanges.
     pub fn spawn(backends: Vec<Arc<Backend>>, interval: Duration, probes: Arc<AtomicU64>) -> Self {
-        let stop = Arc::new(AtomicBool::new(false));
-        let thread_stop = Arc::clone(&stop);
+        let (stop, stop_rx) = mpsc::channel::<()>();
         let thread = std::thread::Builder::new()
             .name("pfr-router-health".to_string())
-            .spawn(move || {
-                while !thread_stop.load(Ordering::SeqCst) {
-                    for backend in &backends {
-                        // `available` performs the open → half-open flip
-                        // once probation expires; a still-ejected backend
-                        // is skipped so probes do not reset its deadline.
-                        if !backend.breaker().available() {
-                            continue;
-                        }
-                        probes.fetch_add(1, Ordering::Relaxed);
-                        // An io-healthy backend speaking garbage is still
-                        // unhealthy; `probe` records exactly one breaker
-                        // outcome per exchange.
-                        backend.probe("HEALTH", "OK up");
+            .spawn(move || loop {
+                for backend in &backends {
+                    // `available` performs the open → half-open flip
+                    // once probation expires; a still-ejected backend
+                    // is skipped so probes do not reset its deadline.
+                    if !backend.breaker().available() {
+                        continue;
                     }
-                    let mut slept = Duration::ZERO;
-                    while slept < interval && !thread_stop.load(Ordering::SeqCst) {
-                        let step = STOP_POLL.min(interval - slept);
-                        std::thread::sleep(step);
-                        slept += step;
-                    }
+                    probes.fetch_add(1, Ordering::Relaxed);
+                    // An io-healthy backend speaking garbage is still
+                    // unhealthy; `probe` records exactly one breaker
+                    // outcome per exchange.
+                    backend.probe("HEALTH", "OK up");
+                }
+                // The sleep doubles as the stop signal: a message or a
+                // dropped sender ends the prober mid-interval.
+                match stop_rx.recv_timeout(interval) {
+                    Err(RecvTimeoutError::Timeout) => continue,
+                    Ok(()) | Err(RecvTimeoutError::Disconnected) => return,
                 }
             })
             .expect("spawning the health prober never fails on this platform");
         HealthChecker {
-            stop,
+            stop: Some(stop),
             thread: Some(thread),
         }
     }
 
-    /// Stops and joins the prober thread.
+    /// Stops and joins the prober thread; returns as soon as any in-flight
+    /// probe finishes (the inter-probe sleep is interrupted, not waited
+    /// out).
     pub fn stop(&mut self) {
-        self.stop.store(true, Ordering::SeqCst);
+        if let Some(stop) = self.stop.take() {
+            let _ = stop.send(());
+        }
         if let Some(thread) = self.thread.take() {
             let _ = thread.join();
         }

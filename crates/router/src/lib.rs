@@ -67,7 +67,7 @@ pub use conn::{Conn, ConnConfig, ConnPool};
 pub use error::RouterError;
 pub use health::HealthChecker;
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use router::{Router, RouterConfig, RouterStats};
+pub use router::{Router, RouterConfig, RouterStats, TransportMode};
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, RouterError>;

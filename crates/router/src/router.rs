@@ -31,6 +31,25 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
+/// How the router carries its backend traffic.
+///
+/// Both transports speak the identical protocol and return bitwise
+/// identical scores (the cluster end-to-end test runs under both); they
+/// differ in cost: `Threaded` blocks one OS thread per in-flight exchange
+/// and spawns one scoped thread per replica per scatter, `Reactor`
+/// multiplexes everything over one shared `pfr-net` event-loop thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum TransportMode {
+    /// One shared reactor thread; a fan-out to N replicas submits N
+    /// operations and spawns zero threads. Bursts of any size are safe
+    /// because the reactor interleaves reads with writes.
+    #[default]
+    Reactor,
+    /// Blocking pooled sockets and scoped scatter threads — the original
+    /// transport, kept selectable as the differential-testing baseline.
+    Threaded,
+}
+
 /// Configuration of a routing tier.
 #[derive(Debug, Clone)]
 pub struct RouterConfig {
@@ -42,17 +61,23 @@ pub struct RouterConfig {
     pub vnodes: usize,
     /// Circuit-breaker tuning shared by every backend.
     pub breaker: BreakerConfig,
-    /// Socket tuning shared by every backend's connection pool.
+    /// Socket tuning shared by every backend's connection pool (both
+    /// transports honor its connect/io timeouts and idle bound).
     pub conn: ConnConfig,
+    /// Backend transport architecture (see [`TransportMode`]).
+    pub transport: TransportMode,
     /// Health-probe period (`None` disables the background prober; the
-    /// request path still feeds the breakers).
+    /// request path still feeds the breakers). A config field — tests
+    /// tune it down instead of sleeping out a hard-coded default.
     pub health_interval: Option<Duration>,
 }
 
-/// Rows per pipelined burst within one scatter sub-batch. `SCORE` lines
-/// run a few hundred bytes, so 128 lines stay far under the combined
-/// client/server socket buffers — past those, write-all-then-read-all
-/// pipelining deadlocks until the io timeout.
+/// Rows per pipelined burst within one **threaded-transport** scatter
+/// sub-batch. `SCORE` lines run a few hundred bytes, so 128 lines stay far
+/// under the combined client/server socket buffers — past those, the
+/// blocking client's write-all-then-read-all pipelining deadlocks until
+/// the io timeout. The reactor transport needs no such cap: it reads
+/// responses while writing requests.
 const MAX_BURST: usize = 128;
 
 impl Default for RouterConfig {
@@ -62,6 +87,7 @@ impl Default for RouterConfig {
             vnodes: DEFAULT_VNODES,
             breaker: BreakerConfig::default(),
             conn: ConnConfig::default(),
+            transport: TransportMode::default(),
             health_interval: Some(Duration::from_millis(100)),
         }
     }
@@ -121,10 +147,32 @@ impl Router {
         if addrs.is_empty() {
             return Err(RouterError::NoBackends);
         }
+        // The reactor transport's shared event loop. Every backend holds an
+        // `Arc` to it, so the loop thread lives exactly as long as the last
+        // backend and joins on the final drop.
+        let driver = match config.transport {
+            TransportMode::Threaded => None,
+            TransportMode::Reactor => Some(Arc::new(
+                pfr_net::ClientDriver::spawn(pfr_net::ClientConfig {
+                    connect_timeout: config.conn.connect_timeout,
+                    io_timeout: config.conn.io_timeout,
+                    max_idle: config.conn.max_idle,
+                    ..pfr_net::ClientConfig::default()
+                })
+                .map_err(RouterError::Io)?,
+            )),
+        };
         let backends: Vec<Arc<Backend>> = addrs
             .iter()
             .enumerate()
-            .map(|(id, &addr)| Arc::new(Backend::new(id, addr, config.conn, config.breaker)))
+            .map(|(id, &addr)| {
+                Arc::new(match &driver {
+                    Some(driver) => {
+                        Backend::with_driver(id, addr, Arc::clone(driver), config.breaker)
+                    }
+                    None => Backend::new(id, addr, config.conn, config.breaker),
+                })
+            })
             .collect();
         let mut ring = HashRing::new(config.vnodes);
         for id in 0..backends.len() {
@@ -236,38 +284,84 @@ impl Router {
             for i in 0..lines.len() {
                 assignment[i % live.len()].push(i);
             }
-            let gathered: Vec<(Vec<usize>, Vec<String>)> = std::thread::scope(|scope| {
-                let handles: Vec<_> = assignment
-                    .into_iter()
-                    .zip(live.iter())
-                    .map(|(indices, backend)| {
-                        // Borrowed lines: the scoped threads join before
-                        // `lines` drops, so no per-row copies are needed.
-                        let chunk: Vec<&str> = indices.iter().map(|&i| lines[i].as_str()).collect();
-                        scope.spawn(move || {
-                            // Bound each pipelined burst: an unbounded
-                            // write-all-then-read-all would deadlock both
-                            // sides once the batch outgrows the combined
-                            // socket buffers (the server stops reading
-                            // when its writes block).
-                            let mut responses = Vec::with_capacity(chunk.len());
-                            for burst in chunk.chunks(MAX_BURST) {
-                                match backend.exchange_burst(burst) {
-                                    Ok(mut replies) => responses.append(&mut replies),
-                                    // Remaining rows retry individually;
-                                    // earlier bursts' scores are kept.
-                                    Err(_) => break,
-                                }
-                            }
+            let gathered: Vec<(Vec<usize>, Vec<String>)> = match self.config.transport {
+                // Reactor: submit every replica's whole sub-batch as one
+                // operation on the shared event loop (no burst cap — the
+                // reactor reads responses while it writes requests, so the
+                // batch cannot deadlock the socket buffers), then collect.
+                // Zero threads are spawned; the fan-out is as wide as the
+                // replica set at the cost of one blocked caller.
+                TransportMode::Reactor => {
+                    let tickets: Vec<_> = assignment
+                        .into_iter()
+                        .zip(live.iter())
+                        // With fewer rows than replicas some chunks are
+                        // empty; they must not reach the backend at all —
+                        // an empty burst resolves without touching the
+                        // network, and settling it would record a phantom
+                        // breaker success that could re-admit a dead
+                        // backend.
+                        .filter(|(indices, _)| !indices.is_empty())
+                        .map(|(indices, backend)| {
+                            let chunk: Vec<&str> =
+                                indices.iter().map(|&i| lines[i].as_str()).collect();
+                            let ticket = backend.submit_burst(&chunk);
+                            (indices, backend, ticket)
+                        })
+                        .collect();
+                    tickets
+                        .into_iter()
+                        .map(|(indices, backend, ticket)| {
+                            let outcome = ticket.and_then(|rx| {
+                                rx.recv().unwrap_or_else(|_| {
+                                    Err(std::io::Error::new(
+                                        std::io::ErrorKind::NotConnected,
+                                        "client reactor is gone",
+                                    ))
+                                })
+                            });
+                            // A failed sub-batch loses all its rows to the
+                            // per-row retry below; breaker bookkeeping
+                            // happens here, at collection.
+                            let responses = backend.settle_burst(outcome).unwrap_or_default();
                             (indices, responses)
                         })
-                    })
-                    .collect();
-                handles
-                    .into_iter()
-                    .map(|h| h.join().expect("scatter thread never panics"))
-                    .collect()
-            });
+                        .collect()
+                }
+                // Threaded: one scoped thread per replica, bursts capped at
+                // MAX_BURST (the blocking client writes everything before
+                // reading anything, so an unbounded burst would deadlock
+                // once the batch outgrows the combined socket buffers).
+                TransportMode::Threaded => std::thread::scope(|scope| {
+                    let handles: Vec<_> = assignment
+                        .into_iter()
+                        .zip(live.iter())
+                        .map(|(indices, backend)| {
+                            // Borrowed lines: the scoped threads join
+                            // before `lines` drops, so no per-row copies
+                            // are needed.
+                            let chunk: Vec<&str> =
+                                indices.iter().map(|&i| lines[i].as_str()).collect();
+                            scope.spawn(move || {
+                                let mut responses = Vec::with_capacity(chunk.len());
+                                for burst in chunk.chunks(MAX_BURST) {
+                                    match backend.exchange_burst(burst) {
+                                        Ok(mut replies) => responses.append(&mut replies),
+                                        // Remaining rows retry individually;
+                                        // earlier bursts' scores are kept.
+                                        Err(_) => break,
+                                    }
+                                }
+                                (indices, responses)
+                            })
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("scatter thread never panics"))
+                        .collect()
+                }),
+            };
             for (indices, responses) in gathered {
                 // `zip` truncates to the responses actually received; ERR
                 // rows and missing tails fall through to the retry below.

@@ -32,11 +32,33 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// Where a completed score lands. The blocking (thread-per-connection)
+/// path waits on a channel; the reactor path cannot block, so its sink
+/// records a completion for the event loop and rings its waker.
+pub(crate) enum ScoreSink {
+    /// Reply over an mpsc channel a connection thread is blocked on.
+    Channel(Sender<Result<f64>>),
+    /// Reply into the reactor's completion queue.
+    Net(crate::reactor_front::NetSink),
+}
+
+impl ScoreSink {
+    fn send(self, result: Result<f64>) {
+        match self {
+            ScoreSink::Channel(tx) => {
+                // A dropped receiver just means the caller stopped waiting.
+                let _ = tx.send(result);
+            }
+            ScoreSink::Net(sink) => sink.send_score(result),
+        }
+    }
+}
+
 /// One queued score request: which model, which vector, where to reply.
 struct ScoreRequest {
     model: Arc<ServableModel>,
     features: Vec<f64>,
-    reply: Sender<Result<f64>>,
+    reply: ScoreSink,
 }
 
 /// Configuration of a [`MicroBatcher`].
@@ -87,6 +109,18 @@ impl MicroBatcher {
         features: Vec<f64>,
     ) -> Result<Receiver<Result<f64>>> {
         let (reply, rx) = mpsc::channel();
+        self.submit_sink(model, features, ScoreSink::Channel(reply))?;
+        Ok(rx)
+    }
+
+    /// Enqueues one score request with an explicit reply sink (the reactor
+    /// front end's non-blocking entry point).
+    pub(crate) fn submit_sink(
+        &self,
+        model: Arc<ServableModel>,
+        features: Vec<f64>,
+        reply: ScoreSink,
+    ) -> Result<()> {
         self.sender
             .as_ref()
             .ok_or(ServeError::Shutdown)?
@@ -95,8 +129,7 @@ impl MicroBatcher {
                 features,
                 reply,
             })
-            .map_err(|_| ServeError::Shutdown)?;
-        Ok(rx)
+            .map_err(|_| ServeError::Shutdown)
     }
 
     /// Convenience wrapper: submit and block for the score.
@@ -175,9 +208,9 @@ fn run_batch(group: Vec<ScoreRequest>, stats: &ServerStats) {
     // score the rest.
     let (bad, group): (Vec<_>, Vec<_>) = group.into_iter().partition(|r| r.features.len() != cols);
     for r in bad {
-        let _ = r.reply.send(Err(ServeError::Model(format!(
-            "request vector has {} features but the model expects {cols}",
-            r.features.len()
+        let width = r.features.len();
+        r.reply.send(Err(ServeError::Model(format!(
+            "request vector has {width} features but the model expects {cols}"
         ))));
     }
     if group.is_empty() {
@@ -193,7 +226,7 @@ fn run_batch(group: Vec<ScoreRequest>, stats: &ServerStats) {
         Ok(m) => m,
         Err(e) => {
             for r in group {
-                let _ = r.reply.send(Err(ServeError::model(&e)));
+                r.reply.send(Err(ServeError::model(&e)));
             }
             return;
         }
@@ -201,13 +234,13 @@ fn run_batch(group: Vec<ScoreRequest>, stats: &ServerStats) {
     match model.score_batch(&batch) {
         Ok(scores) => {
             for (r, score) in group.into_iter().zip(scores) {
-                let _ = r.reply.send(Ok(score));
+                r.reply.send(Ok(score));
             }
         }
         Err(e) => {
             let msg = e.to_string();
             for r in group {
-                let _ = r.reply.send(Err(ServeError::Model(msg.clone())));
+                r.reply.send(Err(ServeError::Model(msg.clone())));
             }
         }
     }

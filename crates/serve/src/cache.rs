@@ -207,6 +207,59 @@ impl ScoreCache {
         }
     }
 
+    /// Warms the cache by replaying a recorded request log: a
+    /// line-delimited file of `SCORE <name> <v1> ... <vm>` lines (exactly
+    /// what a client sends over the wire, so a capture of production
+    /// traffic replays unmodified). Each distinct vector is scored once via
+    /// `score`, which resolves the model name to its current generation and
+    /// computes the score — or returns `None` to skip the line (model not
+    /// loaded, wrong arity). Non-`SCORE` lines, malformed vectors and NaN
+    /// vectors are skipped, not errors: a warm-up must tolerate a log
+    /// written under a different model set.
+    ///
+    /// Returns how many entries were inserted. Scoring is deterministic, so
+    /// warmed entries are bitwise identical to what the live request path
+    /// would have cached — a warmed server answers its first real request
+    /// of a logged vector from the cache, at cache-hit latency.
+    pub fn warm_from_log(
+        &mut self,
+        path: &std::path::Path,
+        mut score: impl FnMut(&str, &[f64]) -> Option<(u64, f64)>,
+    ) -> std::io::Result<usize> {
+        let text = std::fs::read_to_string(path)?;
+        let mut warmed = 0;
+        for line in text.lines() {
+            let mut parts = line.split_whitespace();
+            let is_score = parts
+                .next()
+                .is_some_and(|verb| verb.eq_ignore_ascii_case("SCORE"));
+            if !is_score {
+                continue;
+            }
+            let Some(name) = parts.next() else { continue };
+            let Ok(features) = parts
+                .map(|v| v.parse::<f64>())
+                .collect::<std::result::Result<Vec<f64>, _>>()
+            else {
+                continue;
+            };
+            if features.is_empty() {
+                continue;
+            }
+            let Some((generation, value)) = score(name, &features) else {
+                continue;
+            };
+            let Some(key) = ScoreKey::new(generation, &features) else {
+                continue;
+            };
+            if self.get(&key).is_none() {
+                self.insert(key, value);
+                warmed += 1;
+            }
+        }
+        Ok(warmed)
+    }
+
     /// Drops every entry (used by tests and operational RESET paths).
     pub fn clear(&mut self) {
         self.entries.clear();
@@ -319,6 +372,49 @@ mod tests {
         let mut cache = ScoreCache::new(4);
         cache.insert(key(1, &[0.0]), 0.5);
         assert!(cache.get(&key(1, &[-0.0])).is_none());
+    }
+
+    #[test]
+    fn warm_from_log_replays_score_lines_and_skips_garbage() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pfr_cache_warm_test_{}.log", std::process::id()));
+        std::fs::write(
+            &path,
+            "SCORE risk 1 2 3\n\
+             score risk 1 2 3\n\
+             SCORE other 5 6\n\
+             SCORE risk 4 banana\n\
+             SCORE risk NaN 1 2\n\
+             HEALTH\n\
+             SCORE risk\n\
+             SCORE risk 7 8 9\n",
+        )
+        .unwrap();
+        let mut cache = ScoreCache::new(16);
+        // "risk" resolves at generation 3 and scores sum/10; "other" is not
+        // loaded, mirroring a log recorded under a different model set.
+        let warmed = cache
+            .warm_from_log(&path, |name, features| {
+                (name == "risk").then(|| (3, features.iter().sum::<f64>() / 10.0))
+            })
+            .unwrap();
+        // Two distinct servable vectors: [1,2,3] (its lowercase duplicate
+        // deduplicates) and [7,8,9]. The unloaded model, malformed vector,
+        // NaN vector, non-SCORE verb and empty vector are all skipped.
+        assert_eq!(warmed, 2);
+        assert_eq!(cache.len(), 2);
+        assert_eq!(cache.get(&key(3, &[1.0, 2.0, 3.0])), Some(0.6));
+        assert_eq!(cache.get(&key(3, &[7.0, 8.0, 9.0])), Some(2.4));
+        assert!(cache.get(&key(3, &[5.0, 6.0])).is_none());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn warm_from_log_reports_missing_files() {
+        let mut cache = ScoreCache::new(4);
+        assert!(cache
+            .warm_from_log(std::path::Path::new("/definitely/not/there"), |_, _| None)
+            .is_err());
     }
 
     #[test]

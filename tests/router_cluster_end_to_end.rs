@@ -4,10 +4,16 @@
 //! still succeeds with scores bitwise identical to offline
 //! `FittedFairPipeline` predictions — a backend loss degrades capacity,
 //! never correctness.
+//!
+//! The scenario runs **twice**: once with the event-driven stack (reactor
+//! serve front ends behind a reactor-transport router) and once with the
+//! original thread-per-connection stack. The two architectures must stay
+//! bitwise interchangeable under concurrent load *and* mid-stream failure;
+//! CI runs both to enforce the differential.
 
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
-use pfr::router::{BreakerConfig, ConnConfig, LocalCluster, RouterConfig};
-use pfr::serve::ServerConfig;
+use pfr::router::{BreakerConfig, ConnConfig, LocalCluster, RouterConfig, TransportMode};
+use pfr::serve::{FrontendMode, ServerConfig};
 use pfr_data::{split, synthetic, Dataset};
 use pfr_graph::{fairness, SparseGraph};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -24,7 +30,16 @@ fn fairness_graph(ds: &Dataset) -> SparseGraph {
 }
 
 #[test]
-fn cluster_survives_a_backend_kill_with_bitwise_identical_scores() {
+fn cluster_survives_a_backend_kill_with_bitwise_identical_scores_reactor() {
+    cluster_survives_a_backend_kill(FrontendMode::Reactor, TransportMode::Reactor);
+}
+
+#[test]
+fn cluster_survives_a_backend_kill_with_bitwise_identical_scores_threaded() {
+    cluster_survives_a_backend_kill(FrontendMode::Threaded, TransportMode::Threaded);
+}
+
+fn cluster_survives_a_backend_kill(frontend: FrontendMode, transport: TransportMode) {
     // --- Offline ground truth. ---------------------------------------------
     let dataset = synthetic::generate_default(91).unwrap();
     let split = split::train_test_split(&dataset, 0.3, 91).unwrap();
@@ -41,7 +56,14 @@ fn cluster_survives_a_backend_kill_with_bitwise_identical_scores() {
     let bundle = fitted.into_bundle().unwrap();
 
     // --- A 3-shard cluster with replication 2 and fast failure detection. --
-    let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
+    let mut cluster = LocalCluster::boot(
+        3,
+        ServerConfig {
+            frontend,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
     let router = Arc::new(
         cluster
             .router(RouterConfig {
@@ -55,6 +77,7 @@ fn cluster_survives_a_backend_kill_with_bitwise_identical_scores() {
                     io_timeout: Duration::from_secs(5),
                     max_idle: 8,
                 },
+                transport,
                 health_interval: Some(Duration::from_millis(25)),
                 ..RouterConfig::default()
             })

@@ -3,9 +3,14 @@
 //! threads, and assert every response is *bitwise* identical to offline
 //! `FittedFairPipeline::predict_proba` — plus that the score cache actually
 //! absorbed repeated requests.
+//!
+//! The whole scenario runs **twice**, once per front-end architecture
+//! ([`FrontendMode::Reactor`] and [`FrontendMode::Threaded`]): the two
+//! connection-handling designs must stay wire-compatible and bit-identical,
+//! and keeping both runs in CI is what enforces that differential.
 
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
-use pfr::serve::{BatcherConfig, Server, ServerConfig};
+use pfr::serve::{BatcherConfig, FrontendMode, Server, ServerConfig};
 use pfr_data::{split, synthetic, Dataset};
 use pfr_graph::{fairness, SparseGraph};
 use std::io::{BufRead, BufReader, Write};
@@ -32,7 +37,16 @@ fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &s
 }
 
 #[test]
-fn concurrent_tcp_scores_match_offline_predictions_bitwise() {
+fn concurrent_tcp_scores_match_offline_predictions_bitwise_reactor() {
+    concurrent_tcp_scores_match_offline_predictions_bitwise(FrontendMode::Reactor);
+}
+
+#[test]
+fn concurrent_tcp_scores_match_offline_predictions_bitwise_threaded() {
+    concurrent_tcp_scores_match_offline_predictions_bitwise(FrontendMode::Threaded);
+}
+
+fn concurrent_tcp_scores_match_offline_predictions_bitwise(frontend: FrontendMode) {
     // --- Train offline on synthetic admissions data. -----------------------
     let dataset = synthetic::generate_default(77).unwrap();
     let split = split::train_test_split(&dataset, 0.3, 77).unwrap();
@@ -51,13 +65,15 @@ fn concurrent_tcp_scores_match_offline_predictions_bitwise() {
     let expected = fitted.predict_proba(&test).unwrap();
     let (raw, _) = test.features_with_protected().unwrap();
 
-    // --- Persist the bundle. ------------------------------------------------
+    // --- Persist the bundle (one scratch file per front-end mode: the two
+    // mode variants of this test may run concurrently). ----------------------
     let bundle = fitted.into_bundle().unwrap();
-    let path = std::env::temp_dir().join("pfr_serve_e2e.bundle");
+    let path = std::env::temp_dir().join(format!("pfr_serve_e2e_{frontend:?}.bundle"));
     pfr::core::persistence::save_bundle(&bundle, &path).unwrap();
 
     // --- Serve it. ----------------------------------------------------------
     let server = Server::spawn(ServerConfig {
+        frontend,
         workers: 4,
         batcher: BatcherConfig {
             max_batch: 16,
@@ -156,7 +172,16 @@ fn concurrent_tcp_scores_match_offline_predictions_bitwise() {
 }
 
 #[test]
-fn server_survives_malformed_traffic_while_serving() {
+fn server_survives_malformed_traffic_while_serving_reactor() {
+    server_survives_malformed_traffic_while_serving(FrontendMode::Reactor);
+}
+
+#[test]
+fn server_survives_malformed_traffic_while_serving_threaded() {
+    server_survives_malformed_traffic_while_serving(FrontendMode::Threaded);
+}
+
+fn server_survives_malformed_traffic_while_serving(frontend: FrontendMode) {
     let dataset = synthetic::generate_default(78).unwrap();
     let fitted = FairPipeline::default()
         .fit(&dataset, &fairness_graph(&dataset))
@@ -166,7 +191,11 @@ fn server_survives_malformed_traffic_while_serving() {
     let bundle = fitted.into_bundle().unwrap();
     let text = pfr::core::persistence::bundle_to_string(&bundle);
 
-    let server = Server::spawn(ServerConfig::default()).unwrap();
+    let server = Server::spawn(ServerConfig {
+        frontend,
+        ..ServerConfig::default()
+    })
+    .unwrap();
     server.registry().load_from_str("m", &text).unwrap();
 
     let stream = TcpStream::connect(server.addr()).unwrap();
