@@ -62,7 +62,11 @@ pub type BurstResult = io::Result<Vec<String>>;
 enum Op {
     Burst {
         addr: SocketAddr,
-        lines: Vec<String>,
+        /// Pre-framed request bytes: newline-joined lines, or a header line
+        /// plus counted payload for frame submissions.
+        bytes: Vec<u8>,
+        /// Response lines to collect before the operation resolves.
+        expect: usize,
         reply: Sender<BurstResult>,
     },
     /// Close every idle connection to `addr` (e.g. after its backend was
@@ -105,11 +109,30 @@ impl ClientDriver {
         addr: SocketAddr,
         lines: &[S],
     ) -> io::Result<Receiver<BurstResult>> {
+        let mut bytes = Vec::new();
+        for line in lines {
+            bytes.extend_from_slice(line.as_ref().as_bytes());
+            bytes.push(b'\n');
+        }
+        self.submit_frame(addr, bytes, lines.len())
+    }
+
+    /// Submits a pre-framed request — raw bytes that may carry a counted
+    /// payload after a header line (the `PUSH` verb) — expecting `expect`
+    /// response lines. [`ClientDriver::submit`] is the line-burst special
+    /// case of this.
+    pub fn submit_frame(
+        &self,
+        addr: SocketAddr,
+        bytes: Vec<u8>,
+        expect: usize,
+    ) -> io::Result<Receiver<BurstResult>> {
         let (reply, rx) = mpsc::channel();
         self.ops
             .send(Op::Burst {
                 addr,
-                lines: lines.iter().map(|l| l.as_ref().to_string()).collect(),
+                bytes,
+                expect,
                 reply,
             })
             .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?;
@@ -120,6 +143,13 @@ impl ClientDriver {
     /// One burst, submitted and awaited.
     pub fn exchange<S: AsRef<str>>(&self, addr: SocketAddr, lines: &[S]) -> BurstResult {
         self.submit(addr, lines)?
+            .recv()
+            .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?
+    }
+
+    /// One pre-framed request, submitted and awaited.
+    pub fn exchange_frame(&self, addr: SocketAddr, bytes: Vec<u8>, expect: usize) -> BurstResult {
+        self.submit_frame(addr, bytes, expect)?
             .recv()
             .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?
     }
@@ -252,7 +282,12 @@ impl Reactor {
     fn drain_ops(&mut self) -> bool {
         loop {
             match self.ops.try_recv() {
-                Ok(Op::Burst { addr, lines, reply }) => self.start_burst(addr, lines, reply),
+                Ok(Op::Burst {
+                    addr,
+                    bytes,
+                    expect,
+                    reply,
+                }) => self.start_burst(addr, bytes, expect, reply),
                 Ok(Op::Drain(addr)) => {
                     for token in self.idle.remove(&addr).unwrap_or_default() {
                         self.close(token);
@@ -264,8 +299,13 @@ impl Reactor {
         }
     }
 
-    fn start_burst(&mut self, addr: SocketAddr, lines: Vec<String>, reply: Sender<BurstResult>) {
-        let expect = lines.len();
+    fn start_burst(
+        &mut self,
+        addr: SocketAddr,
+        bytes: Vec<u8>,
+        expect: usize,
+        reply: Sender<BurstResult>,
+    ) {
         if expect == 0 {
             let _ = reply.send(Ok(Vec::new()));
             return;
@@ -285,9 +325,7 @@ impl Reactor {
             .conns
             .get_mut(&token)
             .expect("dialed or pooled conn exists");
-        for line in &lines {
-            conn.line.enqueue_line(line);
-        }
+        conn.line.enqueue_bytes(&bytes);
         conn.job = Some(Job {
             expect,
             got: Vec::with_capacity(expect),
@@ -530,6 +568,17 @@ mod tests {
         let rx_b = driver.submit(addr_b, &["PING"]).unwrap();
         assert_eq!(rx_a.recv().unwrap().unwrap(), vec!["PONG 1", "PONG 2"]);
         assert_eq!(rx_b.recv().unwrap().unwrap(), vec!["PONG 1"]);
+    }
+
+    #[test]
+    fn exchange_frame_sends_raw_bytes_and_collects_the_expected_lines() {
+        let addr = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
+        // A pre-framed burst: two lines as one byte blob, two responses.
+        let replies = driver
+            .exchange_frame(addr, b"PING\nPING\n".to_vec(), 2)
+            .unwrap();
+        assert_eq!(replies, vec!["PONG 1", "PONG 2"]);
     }
 
     #[test]

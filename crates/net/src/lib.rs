@@ -21,7 +21,9 @@
 //! * [`LineConn`] — the non-blocking line-protocol connection state
 //!   machine: read-accumulate / parse / write-drain with backpressure,
 //!   yielding identical frames no matter how reads are split across
-//!   readiness events (property-tested).
+//!   readiness events (property-tested). Besides `\n`-delimited lines it
+//!   frames counted payloads ([`Frame::Payload`]) for verbs like `PUSH`
+//!   that ship binary-ish bodies after a header line.
 //! * [`ClientDriver`] — a reactor thread multiplexing outbound
 //!   line-protocol bursts: submit N operations, block on N receivers,
 //!   spawn zero threads.
@@ -44,6 +46,6 @@ pub mod sys;
 pub mod wheel;
 
 pub use client::{ClientConfig, ClientDriver};
-pub use line::{FillOutcome, FlushOutcome, LineConn};
+pub use line::{FillOutcome, FlushOutcome, Frame, LineConn};
 pub use poller::{Event, Interest, Poller, Waker};
 pub use wheel::DeadlineWheel;

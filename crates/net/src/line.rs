@@ -11,6 +11,14 @@
 //! across readiness events.** A request arriving one byte per `fill` and a
 //! request arriving in one 64 KiB slab parse identically — TCP makes no
 //! framing promises, so the parser must make its own.
+//!
+//! Besides `\n`-delimited lines the state machine understands **counted
+//! payload frames**: after a header line announces `n` payload bytes (the
+//! serve protocol's `PUSH <name> <nbytes>`), the caller switches the
+//! connection into payload mode with [`LineConn::expect_payload`] and the
+//! next `n` buffered bytes come back as one [`Frame::Payload`] — newlines
+//! inside the payload are data, not frame boundaries. The chunking
+//! invariance holds for payload frames too.
 
 use std::collections::VecDeque;
 use std::io::{self, Read, Write};
@@ -33,6 +41,16 @@ pub struct FlushOutcome {
     pub drained: bool,
 }
 
+/// One parsed inbound frame: a protocol line, or the counted payload a
+/// preceding header line announced (see [`LineConn::expect_payload`]).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Frame {
+    /// A `\n`-delimited line, `\r` stripped (the default framing).
+    Line(String),
+    /// Exactly the announced number of raw payload bytes.
+    Payload(Vec<u8>),
+}
+
 /// A non-blocking line-protocol connection: read-accumulate / parse /
 /// write-drain, with explicit backpressure signals for the event loop.
 #[derive(Debug)]
@@ -42,6 +60,9 @@ pub struct LineConn {
     consumed: usize,
     outbuf: VecDeque<u8>,
     max_line: usize,
+    /// Bytes of counted payload still owed before line framing resumes
+    /// (0 = line mode).
+    payload_due: usize,
 }
 
 impl LineConn {
@@ -53,6 +74,7 @@ impl LineConn {
             consumed: 0,
             outbuf: VecDeque::new(),
             max_line: max_line.max(16),
+            payload_due: 0,
         }
     }
 
@@ -77,10 +99,12 @@ impl LineConn {
                 Ok(n) => {
                     self.inbuf.extend_from_slice(&chunk[..n]);
                     total += n;
-                    if self.inbuf.len() - self.consumed > self.max_line {
+                    if self.inbuf.len() - self.consumed > self.max_line + self.payload_due {
                         // Guard before parse: a peer streaming an unbounded
-                        // line must not grow the buffer without limit.
-                        if !self.buffered_slice().contains(&b'\n') {
+                        // line must not grow the buffer without limit. Bytes
+                        // owed to a counted payload are exempt — only the
+                        // line bytes past it are newline-bounded.
+                        if !self.inbuf[self.consumed + self.payload_due..].contains(&b'\n') {
                             return Err(io::Error::new(
                                 io::ErrorKind::InvalidData,
                                 "line exceeds the protocol maximum",
@@ -104,11 +128,16 @@ impl LineConn {
         &self.inbuf[self.consumed..]
     }
 
-    /// Extracts the next complete frame: the bytes up to (excluding) the
-    /// next `\n`, with a trailing `\r` stripped. Returns `None` until a
-    /// full line has accumulated. Non-UTF-8 bytes are replaced (the
+    /// Extracts the next complete line frame: the bytes up to (excluding)
+    /// the next `\n`, with a trailing `\r` stripped. Returns `None` until a
+    /// full line has accumulated, **or while a counted payload is owed**
+    /// (payload bytes must never be misparsed as lines — drain them with
+    /// [`LineConn::next_frame`] first). Non-UTF-8 bytes are replaced (the
     /// protocol is ASCII; a lossy decode keeps garbage inspectable).
     pub fn next_line(&mut self) -> Option<String> {
+        if self.payload_due > 0 {
+            return None;
+        }
         let rel = self.buffered_slice().iter().position(|&b| b == b'\n')?;
         let end = self.consumed + rel;
         let mut frame = &self.inbuf[self.consumed..end];
@@ -117,12 +146,44 @@ impl LineConn {
         }
         let line = String::from_utf8_lossy(frame).into_owned();
         self.consumed = end + 1;
-        // Compact once the dead prefix dominates, keeping amortized O(1).
+        self.maybe_compact();
+        Some(line)
+    }
+
+    /// Switches the connection into payload mode: the next `nbytes`
+    /// buffered bytes are one counted payload frame, not lines. Call after
+    /// parsing a header line that announces a payload; until the payload is
+    /// fully buffered and extracted, `next_line` yields nothing.
+    pub fn expect_payload(&mut self, nbytes: usize) {
+        self.payload_due = nbytes;
+    }
+
+    /// Extracts the next frame under the current mode: a counted payload
+    /// once its announced bytes have accumulated, otherwise a line. The
+    /// frame sequence is invariant under read chunking, exactly like
+    /// [`LineConn::next_line`].
+    pub fn next_frame(&mut self) -> Option<Frame> {
+        if self.payload_due > 0 {
+            if self.buffered_slice().len() < self.payload_due {
+                return None;
+            }
+            let end = self.consumed + self.payload_due;
+            let payload = self.inbuf[self.consumed..end].to_vec();
+            self.consumed = end;
+            self.payload_due = 0;
+            self.maybe_compact();
+            return Some(Frame::Payload(payload));
+        }
+        self.next_line().map(Frame::Line)
+    }
+
+    /// Compacts the inbound buffer once the dead prefix dominates, keeping
+    /// amortized O(1) parsing over long sessions.
+    fn maybe_compact(&mut self) {
         if self.consumed > 4096 && self.consumed * 2 > self.inbuf.len() {
             self.inbuf.drain(..self.consumed);
             self.consumed = 0;
         }
-        Some(line)
     }
 
     /// Bytes accumulated but not yet parsed into a frame.
@@ -316,6 +377,79 @@ mod tests {
         assert_eq!(dst.accepted, b"OK 0.25 1\nOK bye\n");
         assert_eq!(conn.pending_out(), 0);
         assert!(!conn.wants_write());
+    }
+
+    /// Drives a `PUSH`-style stream (header line, counted payload, then a
+    /// trailing line) through the frame API at one chunk size.
+    fn push_frames(data: &[u8], payload_len: usize, chunk: usize) -> Vec<Frame> {
+        let mut conn = LineConn::new(64);
+        let mut src = Chunked::new(data, chunk);
+        let mut out = Vec::new();
+        loop {
+            let outcome = conn.fill(&mut src).unwrap();
+            while let Some(frame) = conn.next_frame() {
+                // The caller parses the header and announces the payload —
+                // exactly what a protocol front end does.
+                if matches!(&frame, Frame::Line(l) if l.starts_with("PUSH ")) {
+                    conn.expect_payload(payload_len);
+                }
+                out.push(frame);
+            }
+            if outcome.eof {
+                return out;
+            }
+        }
+    }
+
+    #[test]
+    fn counted_payloads_pass_through_whatever_the_read_chunking() {
+        // The payload contains newlines and exceeds max_line (64): both
+        // must be invisible to the framing while the payload is owed.
+        let payload: Vec<u8> = (0..200u8)
+            .map(|i| if i % 7 == 0 { b'\n' } else { i })
+            .collect();
+        let mut stream = b"PUSH model 200\n".to_vec();
+        stream.extend_from_slice(&payload);
+        stream.extend_from_slice(b"STATS\n");
+        let whole = push_frames(&stream, payload.len(), stream.len());
+        assert_eq!(
+            whole,
+            vec![
+                Frame::Line("PUSH model 200".to_string()),
+                Frame::Payload(payload.clone()),
+                Frame::Line("STATS".to_string()),
+            ]
+        );
+        for chunk in [1, 2, 3, 7, 16, 64] {
+            assert_eq!(
+                push_frames(&stream, payload.len(), chunk),
+                whole,
+                "chunk size {chunk}"
+            );
+        }
+    }
+
+    #[test]
+    fn next_line_is_held_back_while_a_payload_is_owed() {
+        let mut conn = LineConn::new(1024);
+        let mut src = Chunked::new(b"header\nPAYLOADBYTES\nafter\n", 64);
+        loop {
+            if conn.fill(&mut src).unwrap().eof {
+                break;
+            }
+        }
+        assert_eq!(conn.next_line().as_deref(), Some("header"));
+        conn.expect_payload(12);
+        // The payload contains a newline, but line extraction must wait.
+        assert_eq!(conn.next_line(), None);
+        assert_eq!(
+            conn.next_frame(),
+            Some(Frame::Payload(b"PAYLOADBYTES".to_vec()))
+        );
+        // The newline right after the payload terminates an empty line;
+        // then normal framing resumes.
+        assert_eq!(conn.next_frame(), Some(Frame::Line(String::new())));
+        assert_eq!(conn.next_frame(), Some(Frame::Line("after".to_string())));
     }
 
     #[test]

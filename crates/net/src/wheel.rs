@@ -109,10 +109,20 @@ impl DeadlineWheel {
     /// How long until the earliest armed deadline could fire, from `now` —
     /// the poll timeout that keeps deadlines honored without busy-waking.
     /// `None` when nothing is armed.
+    ///
+    /// The due instant is computed in u64 nanoseconds: tick counts exceed
+    /// `u32::MAX` after ~50 days on a 1 ms tick, and a `tick * count as u32`
+    /// product would silently wrap there, reporting a far-future deadline
+    /// as nearly due and spinning the poll loop.
     pub fn next_timeout(&self, now: Instant) -> Option<Duration> {
         let earliest = *self.active.values().min()?;
-        let due = self.origin + self.tick * earliest as u32;
-        Some(due.saturating_duration_since(now))
+        let due_nanos = (self.tick.as_nanos() as u64).saturating_mul(earliest);
+        match self.origin.checked_add(Duration::from_nanos(due_nanos)) {
+            Some(due) => Some(due.saturating_duration_since(now)),
+            // Unrepresentably far out (centuries): any finite poll timeout
+            // honors it, so report the longest one.
+            None => Some(Duration::MAX),
+        }
     }
 }
 
@@ -182,6 +192,23 @@ mod tests {
         // A passed deadline yields a zero timeout, not a negative panic.
         let late = w.next_timeout(now + Duration::from_secs(2)).unwrap();
         assert_eq!(late, Duration::ZERO);
+    }
+
+    #[test]
+    fn next_timeout_does_not_truncate_far_future_deadlines() {
+        // A 1 ms tick puts a 100-day deadline at ~8.6e9 ticks — past
+        // u32::MAX, where the old `tick * earliest as u32` product wrapped
+        // and reported the deadline ~50 days early.
+        let mut w = DeadlineWheel::new(Duration::from_millis(1), 16);
+        let now = Instant::now();
+        let far = Duration::from_secs(100 * 24 * 3600);
+        w.arm(1, now + far);
+        let t = w.next_timeout(now).unwrap();
+        assert!(
+            t >= far - Duration::from_secs(1),
+            "far-future timeout truncated to {t:?}"
+        );
+        assert!(t <= far + Duration::from_secs(1), "{t:?}");
     }
 
     #[test]

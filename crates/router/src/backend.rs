@@ -209,8 +209,9 @@ impl Backend {
     }
 
     /// Drops every idle connection to this backend (pooled sockets to a
-    /// dead backend are all equally broken).
-    fn drain_idle(&self) {
+    /// dead backend are all equally broken). Public so a router can retire
+    /// the pools of a backend it just removed from the ring.
+    pub fn drain_idle(&self) {
         match &self.transport {
             Transport::Pool(pool) => pool.drain(),
             Transport::Driver(driver) => driver.drain(self.addr),
@@ -237,6 +238,43 @@ impl Backend {
     /// [`Backend::exchange`].
     pub fn exchange_burst<S: AsRef<str>>(&self, lines: &[S]) -> std::io::Result<Vec<String>> {
         self.settle_burst(self.raw_burst(lines))
+    }
+
+    /// Ships a model bundle to this backend over the wire: one `PUSH`
+    /// frame (header line + counted payload of bundle text), one response
+    /// line back, with the usual breaker bookkeeping. This is how a router
+    /// places replicas without assuming the backend can read its files.
+    ///
+    /// The frame is validated *before* anything is written: if the server
+    /// rejected the header (whitespace in the name, payload outside the
+    /// protocol bound), the already-written payload bytes would be parsed
+    /// as request lines — desyncing the pooled connection so every later
+    /// response on it would answer the wrong request.
+    pub fn push(&self, name: &str, bundle_text: &str) -> std::io::Result<String> {
+        if name.is_empty() || name.chars().any(|c| c.is_whitespace()) {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("'{name}' is not a pushable model name (must be one non-empty token)"),
+            ));
+        }
+        if bundle_text.is_empty() || bundle_text.len() > pfr_serve::protocol::MAX_PUSH_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "bundle text of {} bytes is outside the PUSH bound 1..={}",
+                    bundle_text.len(),
+                    pfr_serve::protocol::MAX_PUSH_BYTES
+                ),
+            ));
+        }
+        let mut frame = format!("PUSH {name} {}\n", bundle_text.len()).into_bytes();
+        frame.extend_from_slice(bundle_text.as_bytes());
+        let outcome = match &self.transport {
+            Transport::Pool(pool) => pool.run(|conn| conn.exchange_frame(&frame, 1)),
+            Transport::Driver(driver) => driver.exchange_frame(self.addr, frame, 1),
+        };
+        let mut responses = self.settle_burst(outcome)?;
+        Ok(responses.remove(0))
     }
 
     /// Starts a pipelined burst without blocking the caller. With the
@@ -373,6 +411,27 @@ mod tests {
         assert_eq!(b.ejections(), 1, "racing failures do not re-eject");
         std::thread::sleep(Duration::from_millis(60));
         assert!(b.available(), "deadline was not pushed out by the racer");
+    }
+
+    #[test]
+    fn push_rejects_unframeable_inputs_before_writing() {
+        // A backend that would accept nothing: validation must fire before
+        // any dial, so the address is never contacted (and the breaker
+        // never hears about it — these are caller errors, not backend
+        // failures).
+        let addr = "127.0.0.1:1".parse().unwrap();
+        let backend = Backend::new(0, addr, ConnConfig::default(), BreakerConfig::default());
+        for (name, text) in [
+            ("two words", "bundle"),
+            ("", "bundle"),
+            ("tab\tname", "bundle"),
+            ("ok", ""),
+        ] {
+            let err = backend.push(name, text).unwrap_err();
+            assert_eq!(err.kind(), std::io::ErrorKind::InvalidInput, "{name:?}");
+        }
+        assert_eq!(backend.breaker().ejections(), 0);
+        assert!(backend.breaker().available());
     }
 
     #[test]

@@ -1,6 +1,7 @@
 //! An in-process cluster harness: N real `pfr-serve` servers on ephemeral
 //! loopback ports, plus helpers to build a router over them, place model
-//! bundles on the right replicas, and kill backends mid-test.
+//! bundles on the right replicas, boot extra backends at runtime
+//! (elasticity tests) and kill backends mid-test.
 //!
 //! This is the zero-infrastructure way to exercise the routing tier: every
 //! component is the production code path (real sockets, real protocol,
@@ -13,34 +14,45 @@ use pfr_serve::{Server, ServerConfig};
 use std::net::SocketAddr;
 use std::path::PathBuf;
 
-/// A booted set of serve backends, killable one by one.
+/// A booted set of serve backends, killable one by one and growable at
+/// runtime.
 #[derive(Debug)]
 pub struct LocalCluster {
     servers: Vec<Option<Server>>,
     addrs: Vec<SocketAddr>,
     scratch: Vec<PathBuf>,
+    config: ServerConfig,
 }
 
 impl LocalCluster {
     /// Boots `n` backends, each from its own copy of `config` (the bind
     /// address is forced to an ephemeral loopback port).
     pub fn boot(n: usize, config: ServerConfig) -> Result<LocalCluster> {
-        let mut servers = Vec::with_capacity(n);
-        let mut addrs = Vec::with_capacity(n);
-        for _ in 0..n {
-            let server = Server::spawn(ServerConfig {
-                addr: "127.0.0.1:0".to_string(),
-                ..config.clone()
-            })
-            .map_err(|e| crate::RouterError::Backend(e.to_string()))?;
-            addrs.push(server.addr());
-            servers.push(Some(server));
-        }
-        Ok(LocalCluster {
-            servers,
-            addrs,
+        let mut cluster = LocalCluster {
+            servers: Vec::with_capacity(n),
+            addrs: Vec::with_capacity(n),
             scratch: Vec::new(),
+            config,
+        };
+        for _ in 0..n {
+            cluster.add_backend()?;
+        }
+        Ok(cluster)
+    }
+
+    /// Boots one more backend from the cluster's config and returns its
+    /// address — hand it to [`crate::Router::add_backend`] to join it to a
+    /// live router.
+    pub fn add_backend(&mut self) -> Result<SocketAddr> {
+        let server = Server::spawn(ServerConfig {
+            addr: "127.0.0.1:0".to_string(),
+            ..self.config.clone()
         })
+        .map_err(|e| crate::RouterError::Backend(e.to_string()))?;
+        let addr = server.addr();
+        self.addrs.push(addr);
+        self.servers.push(Some(server));
+        Ok(addr)
     }
 
     /// Backend addresses in ring-id order.
@@ -73,9 +85,12 @@ impl LocalCluster {
         Router::connect(&self.addrs, config)
     }
 
-    /// Places `bundle` under `model` via the router's own placement: the
-    /// bundle is written to a scratch file and `LOAD`ed onto the replica
-    /// set the ring picks. Returns how many replicas loaded it.
+    /// Places `bundle` under `model` via the router's own **file-based**
+    /// placement: the bundle is written to a scratch file and `LOAD`ed
+    /// onto the replica set the ring picks (an in-process cluster shares
+    /// the filesystem by construction). Returns how many replicas loaded
+    /// it. [`crate::Router::push`] is the wire-level alternative that
+    /// needs no file at all.
     pub fn place(&mut self, router: &Router, model: &str, bundle: &ModelBundle) -> Result<usize> {
         // The filename carries a process-wide counter besides pid and model
         // name: concurrent clusters in one test binary may place the same
@@ -203,7 +218,14 @@ mod tests {
     #[test]
     fn routed_scores_match_direct_scores_bitwise() {
         let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
-        let router = cluster.router(quick_router_config()).unwrap();
+        // The hot-key cache would answer the repeated batch without a
+        // scatter; this test is about the network path, so disable it.
+        let router = cluster
+            .router(RouterConfig {
+                hot_cache_capacity: 0,
+                ..quick_router_config()
+            })
+            .unwrap();
         let (bundle, x) = toy_bundle();
         cluster.place(&router, "toy", &bundle).unwrap();
         let replica = router.replica_set("toy")[0];
@@ -230,6 +252,34 @@ mod tests {
     }
 
     #[test]
+    fn hot_key_cache_hits_repeats_and_invalidates_on_placement_change() {
+        let cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
+        let router = cluster.router(quick_router_config()).unwrap();
+        let (bundle, x) = toy_bundle();
+        // Wire-level placement: no scratch file, no LOAD.
+        assert_eq!(router.push("toy", &bundle).unwrap(), 2);
+        let first = router.score("toy", x.row(0)).unwrap();
+        assert_eq!(router.stats().hot_cache_hits(), 0);
+        assert_eq!(router.stats().hot_cache_misses(), 1);
+        // The repeat answers at the router, bit-identically.
+        let second = router.score("toy", x.row(0)).unwrap();
+        assert_eq!(second.to_bits(), first.to_bits());
+        assert_eq!(router.stats().hot_cache_hits(), 1);
+        // Re-placing the model retires its cache id: the same vector
+        // misses again (and still scores identically — same content).
+        router.push("toy", &bundle).unwrap();
+        let third = router.score("toy", x.row(0)).unwrap();
+        assert_eq!(third.to_bits(), first.to_bits());
+        assert_eq!(router.stats().hot_cache_misses(), 2);
+        // The batch path shares the cache: a batch of cached rows does
+        // not scatter.
+        let rows: Vec<Vec<f64>> = (0..3).map(|_| x.row(0).to_vec()).collect();
+        let batch = router.score_batch("toy", &rows).unwrap();
+        assert!(batch.iter().all(|s| s.to_bits() == first.to_bits()));
+        assert_eq!(router.stats().scatters(), 0);
+    }
+
+    #[test]
     fn unknown_model_and_malformed_vectors_error_without_failover_storms() {
         let mut cluster = LocalCluster::boot(2, ServerConfig::default()).unwrap();
         let router = cluster.router(quick_router_config()).unwrap();
@@ -248,6 +298,53 @@ mod tests {
             router.verify("ghost"),
             Err(crate::RouterError::Unavailable(_))
         ));
+    }
+
+    #[test]
+    fn add_and_remove_backends_reconcile_placements_on_the_live_router() {
+        let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
+        let router = cluster.router(quick_router_config()).unwrap();
+        let (bundle, x) = toy_bundle();
+        assert_eq!(router.push("toy", &bundle).unwrap(), 2);
+        let digest = router.verify("toy").unwrap();
+        let expected = router.score("toy", x.row(0)).unwrap();
+
+        // Grow: the new backend joins the live ring (never-reused id 3)
+        // and reconciliation pushes the model wherever the new replica
+        // set demands it.
+        let addr = cluster.add_backend().unwrap();
+        let id = router.add_backend(addr).unwrap();
+        assert_eq!(id, 3);
+        assert_eq!(router.membership().len(), 4);
+        for rid in router.replica_set("toy") {
+            assert!(
+                cluster.server(rid).unwrap().registry().get("toy").is_some(),
+                "replica {rid} must hold the model after growth"
+            );
+        }
+        assert_eq!(router.verify("toy").unwrap(), digest);
+
+        // Shrink: removing a replica re-establishes the model on the new
+        // replica set; content and scores stay bit-identical.
+        let victim = router.replica_set("toy")[0];
+        router.remove_backend(victim).unwrap();
+        assert!(!router.membership().ring().contains(victim));
+        for rid in router.replica_set("toy") {
+            assert!(
+                cluster.server(rid).unwrap().registry().get("toy").is_some(),
+                "replica {rid} must hold the model after shrink"
+            );
+        }
+        assert_eq!(router.verify("toy").unwrap(), digest);
+        let got = router.score("toy", x.row(0)).unwrap();
+        assert_eq!(got.to_bits(), expected.to_bits());
+
+        // Guardrails: unknown ids are rejected, ids are never reused.
+        assert!(matches!(
+            router.remove_backend(victim),
+            Err(crate::RouterError::Membership(_))
+        ));
+        assert!(!router.membership().ids().contains(&victim));
     }
 
     #[test]

@@ -77,6 +77,15 @@ impl Conn {
         lines.iter().map(|_| self.read_response()).collect()
     }
 
+    /// Writes a pre-framed request — raw bytes that may carry a counted
+    /// payload after a header line (the `PUSH` verb) — and reads `expect`
+    /// response lines.
+    pub fn exchange_frame(&mut self, frame: &[u8], expect: usize) -> std::io::Result<Vec<String>> {
+        self.writer.write_all(frame)?;
+        self.writer.flush()?;
+        (0..expect).map(|_| self.read_response()).collect()
+    }
+
     fn read_response(&mut self) -> std::io::Result<String> {
         let mut response = String::new();
         let n = self.reader.read_line(&mut response)?;

@@ -19,6 +19,9 @@ pub enum RouterError {
     Backend(String),
     /// Live replicas of one model disagree on their content digest.
     ReplicaDivergence(String),
+    /// A membership change was rejected (unknown backend id, or removing
+    /// the last member).
+    Membership(String),
 }
 
 impl fmt::Display for RouterError {
@@ -34,6 +37,7 @@ impl fmt::Display for RouterError {
             RouterError::ReplicaDivergence(msg) => {
                 write!(f, "replica divergence: {msg}")
             }
+            RouterError::Membership(msg) => write!(f, "membership error: {msg}"),
         }
     }
 }
@@ -69,6 +73,10 @@ mod tests {
             (
                 RouterError::ReplicaDivergence("a != b".into()),
                 "divergence",
+            ),
+            (
+                RouterError::Membership("backend 7 is not a member".into()),
+                "membership error",
             ),
         ] {
             assert!(err.to_string().contains(needle), "{err}");

@@ -15,6 +15,12 @@ use std::sync::Arc;
 use std::thread::JoinHandle;
 use std::time::Duration;
 
+/// The prober's view of "who is a member right now": a closure returning
+/// the current backend roster, re-evaluated before every probe round so a
+/// backend added to (or removed from) a live router is picked up on the
+/// next round without restarting the prober.
+pub type Roster = Arc<dyn Fn() -> Vec<Arc<Backend>> + Send + Sync>;
+
 /// A background thread probing every backend each `interval` (a
 /// [`crate::RouterConfig::health_interval`] field, not a constant). The
 /// inter-probe sleep is a channel `recv_timeout`, so `stop()` interrupts it
@@ -27,14 +33,16 @@ pub struct HealthChecker {
 }
 
 impl HealthChecker {
-    /// Starts probing `backends` every `interval`; each probe outcome is
-    /// recorded on the backend's breaker, `probes` counts the exchanges.
-    pub fn spawn(backends: Vec<Arc<Backend>>, interval: Duration, probes: Arc<AtomicU64>) -> Self {
+    /// Starts probing the `roster`'s backends every `interval`; each probe
+    /// outcome is recorded on the backend's breaker, `probes` counts the
+    /// exchanges. The roster is re-read every round, which is what lets
+    /// dynamic membership hand new backends to a running prober.
+    pub fn spawn(roster: Roster, interval: Duration, probes: Arc<AtomicU64>) -> Self {
         let (stop, stop_rx) = mpsc::channel::<()>();
         let thread = std::thread::Builder::new()
             .name("pfr-router-health".to_string())
             .spawn(move || loop {
-                for backend in &backends {
+                for backend in roster() {
                     // `available` performs the open → half-open flip
                     // once probation expires; a still-ejected backend
                     // is skipped so probes do not reset its deadline.
@@ -95,6 +103,10 @@ mod tests {
         }
     }
 
+    fn roster_of(backends: Vec<Arc<Backend>>) -> Roster {
+        Arc::new(move || backends.clone())
+    }
+
     #[test]
     fn probes_keep_a_live_backend_admitted_and_eject_a_dead_one() {
         let server = Server::spawn(ServerConfig::default()).unwrap();
@@ -119,7 +131,7 @@ mod tests {
         ));
         let probes = Arc::new(AtomicU64::new(0));
         let mut checker = HealthChecker::spawn(
-            vec![Arc::clone(&live), Arc::clone(&dead)],
+            roster_of(vec![Arc::clone(&live), Arc::clone(&dead)]),
             Duration::from_millis(20),
             Arc::clone(&probes),
         );
@@ -172,7 +184,7 @@ mod tests {
         ));
         let probes = Arc::new(AtomicU64::new(0));
         let mut checker = HealthChecker::spawn(
-            vec![Arc::clone(&backend)],
+            roster_of(vec![Arc::clone(&backend)]),
             Duration::from_millis(15),
             probes,
         );
@@ -205,7 +217,7 @@ mod tests {
         assert!(backend.breaker().is_open());
         let probes = Arc::new(AtomicU64::new(0));
         let mut checker = HealthChecker::spawn(
-            vec![Arc::clone(&backend)],
+            roster_of(vec![Arc::clone(&backend)]),
             Duration::from_millis(15),
             probes,
         );

@@ -10,17 +10,25 @@
 //! * [`HashRing`] — a consistent-hash ring with virtual nodes mapping model
 //!   names to an ordered backend preference list; replica sets are its
 //!   first `R` entries, membership changes remap only `~1/N` of keys.
+//! * [`Membership`] — one immutable (ring, backends, epoch) snapshot;
+//!   requests route against a single snapshot, so live
+//!   [`Router::add_backend`]/[`Router::remove_backend`] calls swap one
+//!   `Arc` and can never tear an in-flight scatter.
 //! * [`ConnPool`] / [`Conn`] — per-backend TCP connection pools speaking
 //!   the `pfr-serve` line protocol, with pipelined bursts for sub-batches.
 //! * [`CircuitBreaker`] / [`Backend`] — consecutive-failure ejection with
 //!   probation and half-open re-admission; the request path and the
-//!   background [`HealthChecker`] feed the same breaker.
-//! * [`Router`] — placement (`LOAD` onto the replica set), single-vector
-//!   scoring with failover, scatter-gather batch scoring that stripes rows
-//!   over live replicas and reassembles in order, and `EPOCH`-digest
-//!   verification that all replicas serve bit-identical model content.
+//!   background [`HealthChecker`] feed the same breaker (the prober reads
+//!   the live membership every round, so new members are probed at once).
+//! * [`Router`] — placement ([`Router::push`] ships bundle text over the
+//!   wire; `LOAD` remains for shared-filesystem setups), single-vector
+//!   scoring with failover behind a bit-exact hot-key LRU, scatter-gather
+//!   batch scoring that stripes rows over live replicas and reassembles in
+//!   order, `EPOCH`-digest verification that all replicas serve
+//!   bit-identical model content, and automatic placement reconciliation
+//!   after every membership change.
 //! * [`LocalCluster`] — an in-process harness booting real servers on
-//!   ephemeral ports for tests, benches and demos.
+//!   ephemeral ports (growable at runtime) for tests, benches and demos.
 //!
 //! Failure model: io errors fail over (and count toward ejection);
 //! deterministic request errors (`ERR` other than "no model named") do
@@ -40,10 +48,16 @@
 //! let mut cluster = LocalCluster::boot(3, ServerConfig::default()).unwrap();
 //! let router = cluster.router(RouterConfig::default()).unwrap();
 //! # let bundle: pfr_core::persistence::ModelBundle = unimplemented!();
-//! cluster.place(&router, "admissions", &bundle).unwrap();
+//! // Wire-level placement: no shared filesystem needed.
+//! router.push("admissions", &bundle).unwrap();
 //! router.verify("admissions").unwrap(); // replicas agree on content
 //! let score = router.score("admissions", &[0.3, 1.2, 1.0]).unwrap();
-//! # let _ = score;
+//!
+//! // Elasticity: grow and shrink the live cluster; placements reconcile.
+//! let addr = cluster.add_backend().unwrap();
+//! let id = router.add_backend(addr).unwrap();
+//! router.remove_backend(0).unwrap();
+//! # let _ = (score, id);
 //! ```
 //!
 //! See `DESIGN.md` in this crate for the ring, replication and failover
@@ -65,9 +79,9 @@ pub use backend::{Backend, BreakerConfig, CircuitBreaker};
 pub use cluster::LocalCluster;
 pub use conn::{Conn, ConnConfig, ConnPool};
 pub use error::RouterError;
-pub use health::HealthChecker;
+pub use health::{HealthChecker, Roster};
 pub use ring::{HashRing, DEFAULT_VNODES};
-pub use router::{Router, RouterConfig, RouterStats, TransportMode};
+pub use router::{Membership, Router, RouterConfig, RouterStats, TransportMode};
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, RouterError>;

@@ -85,6 +85,12 @@ impl HashRing {
         self.members.contains(&backend)
     }
 
+    /// Member backend ids, ascending — what elasticity tests compare when
+    /// asserting which ring a request snapshot observed.
+    pub fn members(&self) -> impl Iterator<Item = usize> + '_ {
+        self.members.iter().copied()
+    }
+
     /// The backend owning `key`'s next-clockwise point, if any.
     pub fn primary(&self, key: &str) -> Option<usize> {
         self.walk(key).next()

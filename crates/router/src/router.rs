@@ -1,15 +1,44 @@
 //! The router proper: consistent-hash placement, replica failover,
-//! scatter-gather batch scoring and replica-consistency verification.
+//! scatter-gather batch scoring, replica-consistency verification — and
+//! *live* membership: backends join and leave a running router with no
+//! restart, no request failures and a `≤ 2/N` remap bound.
 //!
 //! ```text
 //!                    ┌──────────────────────────────┐
 //!   score(model, x)  │ Router                       │     ┌───────────┐
-//!  ─────────────────►│  ring.preference(model)      │────►│ backend 2 │
-//!                    │  skip ejected (breaker open) │     └───────────┘
-//!   score_batch(...) │  scatter rows over replicas  │────►┌───────────┐
-//!  ─────────────────►│  gather + per-row retry      │     │ backend 0 │
+//!  ─────────────────►│  hot-key LRU (bit-exact)     │────►│ backend 2 │
+//!                    │  ring.preference(model)      │     └───────────┘
+//!   score_batch(...) │  skip ejected (breaker open) │────►┌───────────┐
+//!  ─────────────────►│  scatter rows over replicas  │     │ backend 0 │
+//!   add_backend(...) │  gather + per-row retry      │     └───────────┘
+//!   remove_backend() │  membership: Arc snapshots   │────►┌───────────┐
+//!  ─────────────────►│  placement: PUSH bundles     │     │ backend 3 │
 //!                    └──────────────────────────────┘     └───────────┘
 //! ```
+//!
+//! **Membership** is an immutable [`Membership`] snapshot (ring + backend
+//! map + epoch) behind an `RwLock<Arc<..>>`: every request clones the
+//! `Arc` once and uses that snapshot throughout, so a concurrent
+//! `add_backend`/`remove_backend` can never tear a scatter mid-flight —
+//! the swap is one pointer store, in-flight requests keep the old view and
+//! finish against backends that still exist (their `Arc<Backend>`s are
+//! kept alive by the snapshot). After a swap the router *reconciles
+//! placements*: every model it has placed is EPOCH-checked on its new
+//! replica set and `PUSH`ed wherever it is missing, so ownership changes
+//! repair themselves without an operator shipping files around.
+//!
+//! **Placement** ships `ModelBundle` text over the wire (`PUSH`), so
+//! backends need no shared filesystem; `LOAD` (path-based) remains for
+//! single-host setups.
+//!
+//! **The hot-key cache** is the same bit-exact LRU the backends use
+//! ([`pfr_serve::ScoreCache`]), keyed by a router-local model id instead
+//! of a backend generation. A repeated `(model, features)` pair answers
+//! at the router without the network hop; because scoring is
+//! deterministic and replicas are digest-verified, the cached score is
+//! *identical* to what any replica would return. Membership or placement
+//! changes retire the model id, orphaning every cached entry for it
+//! (generation invalidation — no scan, corpses age out of the LRU).
 //!
 //! Failure semantics: io errors (dead socket, timeout) are *backend*
 //! failures — they feed the breaker and the router fails over to the next
@@ -25,10 +54,13 @@ use crate::error::RouterError;
 use crate::health::HealthChecker;
 use crate::ring::{HashRing, DEFAULT_VNODES};
 use crate::Result;
+use pfr_core::persistence::{self, ModelBundle};
+use pfr_serve::cache::{ScoreCache, ScoreKey};
+use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::path::Path;
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, RwLock};
 use std::time::Duration;
 
 /// How the router carries its backend traffic.
@@ -70,6 +102,12 @@ pub struct RouterConfig {
     /// request path still feeds the breakers). A config field — tests
     /// tune it down instead of sleeping out a hard-coded default.
     pub health_interval: Option<Duration>,
+    /// Capacity of the router-side hot-key score cache (0 disables it).
+    /// Hits are bit-exact — scoring is deterministic and replicas are
+    /// digest-verified — so the cache only removes the network hop, never
+    /// changes a score. Invalidated per model on membership or placement
+    /// changes.
+    pub hot_cache_capacity: usize,
 }
 
 /// Rows per pipelined burst within one **threaded-transport** scatter
@@ -89,6 +127,7 @@ impl Default for RouterConfig {
             conn: ConnConfig::default(),
             transport: TransportMode::default(),
             health_interval: Some(Duration::from_millis(100)),
+            hot_cache_capacity: 4096,
         }
     }
 }
@@ -100,6 +139,8 @@ pub struct RouterStats {
     failovers: AtomicU64,
     scatters: AtomicU64,
     retried_rows: AtomicU64,
+    hot_hits: AtomicU64,
+    hot_misses: AtomicU64,
     probes: Arc<AtomicU64>,
 }
 
@@ -124,9 +165,69 @@ impl RouterStats {
         self.retried_rows.load(Ordering::Relaxed)
     }
 
+    /// Rows answered from the router's hot-key cache (no network hop).
+    pub fn hot_cache_hits(&self) -> u64 {
+        self.hot_hits.load(Ordering::Relaxed)
+    }
+
+    /// Cacheable rows that missed the hot-key cache and paid the hop.
+    pub fn hot_cache_misses(&self) -> u64 {
+        self.hot_misses.load(Ordering::Relaxed)
+    }
+
     /// Health probes sent by the background prober.
     pub fn probes(&self) -> u64 {
         self.probes.load(Ordering::Relaxed)
+    }
+}
+
+/// One immutable view of cluster membership: the ring, the backends it
+/// maps to, and a monotonically increasing epoch. Requests clone the
+/// router's current `Arc<Membership>` once and route against it
+/// throughout, so a concurrent add/remove can never tear a scatter — and
+/// the snapshot keeps the `Arc<Backend>`s of removed members alive until
+/// the last in-flight request against them finishes.
+#[derive(Debug)]
+pub struct Membership {
+    ring: HashRing,
+    backends: BTreeMap<usize, Arc<Backend>>,
+    epoch: u64,
+}
+
+impl Membership {
+    /// The consistent-hash ring of this snapshot.
+    pub fn ring(&self) -> &HashRing {
+        &self.ring
+    }
+
+    /// The snapshot's epoch: bumped by one on every add/remove.
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+
+    /// The backend with ring id `id`, if it is a member of this snapshot.
+    pub fn backend(&self, id: usize) -> Option<&Arc<Backend>> {
+        self.backends.get(&id)
+    }
+
+    /// Every member backend, in ring-id order.
+    pub fn backends(&self) -> Vec<Arc<Backend>> {
+        self.backends.values().cloned().collect()
+    }
+
+    /// Member ring ids, ascending.
+    pub fn ids(&self) -> Vec<usize> {
+        self.backends.keys().copied().collect()
+    }
+
+    /// Number of member backends.
+    pub fn len(&self) -> usize {
+        self.backends.len()
+    }
+
+    /// Whether the snapshot has no members.
+    pub fn is_empty(&self) -> bool {
+        self.backends.is_empty()
     }
 }
 
@@ -134,15 +235,32 @@ impl RouterStats {
 #[derive(Debug)]
 pub struct Router {
     config: RouterConfig,
-    backends: Vec<Arc<Backend>>,
-    ring: HashRing,
+    membership: Arc<RwLock<Arc<Membership>>>,
+    /// The reactor transport's shared event loop (None under `Threaded`);
+    /// kept so backends added later ride the same loop.
+    driver: Option<Arc<pfr_net::ClientDriver>>,
+    /// Ring ids are never reused: a removed backend's id stays retired so
+    /// stale snapshots and logs cannot confuse two incarnations.
+    next_backend_id: AtomicUsize,
+    /// Everything this router has placed: model name → bundle text. The
+    /// source of truth for reconciling placements after membership
+    /// changes. `push` always catalogs; `load` catalogs when the router
+    /// itself can read the path (shared filesystem).
+    catalog: Mutex<HashMap<String, String>>,
+    /// The hot-key score cache (None when disabled by config).
+    hot: Option<Mutex<ScoreCache>>,
+    /// Router-local cache ids per model name. Retiring an id (on
+    /// membership or placement change) orphans every cached entry for the
+    /// model — generation invalidation without a scan.
+    model_ids: Mutex<HashMap<String, u64>>,
+    next_model_id: AtomicU64,
     stats: RouterStats,
     health: Option<HealthChecker>,
 }
 
 impl Router {
     /// Builds the tier over `addrs` and starts the health prober (if
-    /// configured). Backend `i` of the ring is `addrs[i]`.
+    /// configured). Backend `i` of the ring is initially `addrs[i]`.
     pub fn connect(addrs: &[SocketAddr], config: RouterConfig) -> Result<Router> {
         if addrs.is_empty() {
             return Err(RouterError::NoBackends);
@@ -162,30 +280,48 @@ impl Router {
                 .map_err(RouterError::Io)?,
             )),
         };
-        let backends: Vec<Arc<Backend>> = addrs
-            .iter()
-            .enumerate()
-            .map(|(id, &addr)| {
-                Arc::new(match &driver {
-                    Some(driver) => {
-                        Backend::with_driver(id, addr, Arc::clone(driver), config.breaker)
-                    }
-                    None => Backend::new(id, addr, config.conn, config.breaker),
-                })
-            })
-            .collect();
         let mut ring = HashRing::new(config.vnodes);
-        for id in 0..backends.len() {
+        let mut backends = BTreeMap::new();
+        for (id, &addr) in addrs.iter().enumerate() {
+            let backend = Arc::new(match &driver {
+                Some(driver) => Backend::with_driver(id, addr, Arc::clone(driver), config.breaker),
+                None => Backend::new(id, addr, config.conn, config.breaker),
+            });
             ring.add(id);
+            backends.insert(id, backend);
         }
+        let membership = Arc::new(RwLock::new(Arc::new(Membership {
+            ring,
+            backends,
+            epoch: 0,
+        })));
         let stats = RouterStats::default();
         let health = config.health_interval.map(|interval| {
-            HealthChecker::spawn(backends.clone(), interval, Arc::clone(&stats.probes))
+            // The prober reads the live membership every round, so
+            // backends added later are probed without a restart.
+            let roster_membership = Arc::clone(&membership);
+            HealthChecker::spawn(
+                Arc::new(move || {
+                    roster_membership
+                        .read()
+                        .expect("membership lock poisoned")
+                        .backends()
+                }),
+                interval,
+                Arc::clone(&stats.probes),
+            )
         });
+        let hot = (config.hot_cache_capacity > 0)
+            .then(|| Mutex::new(ScoreCache::new(config.hot_cache_capacity)));
         Ok(Router {
+            next_backend_id: AtomicUsize::new(addrs.len()),
             config,
-            backends,
-            ring,
+            membership,
+            driver,
+            catalog: Mutex::new(HashMap::new()),
+            hot,
+            model_ids: Mutex::new(HashMap::new()),
+            next_model_id: AtomicU64::new(0),
             stats,
             health,
         })
@@ -196,14 +332,26 @@ impl Router {
         &self.config
     }
 
-    /// Every backend, indexed by ring id.
-    pub fn backends(&self) -> &[Arc<Backend>] {
-        &self.backends
+    /// The current membership snapshot. Hold it to observe one consistent
+    /// ring across several lookups; the router's own requests do exactly
+    /// that.
+    pub fn membership(&self) -> Arc<Membership> {
+        Arc::clone(&self.membership.read().expect("membership lock poisoned"))
     }
 
-    /// The consistent-hash ring.
-    pub fn ring(&self) -> &HashRing {
-        &self.ring
+    /// Every current member backend, in ring-id order.
+    pub fn backends(&self) -> Vec<Arc<Backend>> {
+        self.membership().backends()
+    }
+
+    /// The current member backend with ring id `id`.
+    pub fn backend(&self, id: usize) -> Option<Arc<Backend>> {
+        self.membership().backend(id).cloned()
+    }
+
+    /// A clone of the current consistent-hash ring.
+    pub fn ring(&self) -> HashRing {
+        self.membership().ring.clone()
     }
 
     /// Routing counters.
@@ -213,27 +361,147 @@ impl Router {
 
     /// `model`'s full failover order (ring preference, ignoring health).
     pub fn preference(&self, model: &str) -> Vec<usize> {
-        self.ring.preference(model)
+        self.membership().ring.preference(model)
     }
 
     /// `model`'s replica set: the first `replication` backends of its
     /// preference order (health-blind — this is *placement*, not routing).
     pub fn replica_set(&self, model: &str) -> Vec<usize> {
-        self.ring.replicas(model, self.config.replication.max(1))
+        self.membership()
+            .ring
+            .replicas(model, self.config.replication.max(1))
+    }
+
+    /// Adds a backend at `addr` to the **live** router: the ring gains its
+    /// vnodes atomically (one snapshot swap — in-flight requests keep
+    /// their old view), the health prober picks it up on its next round,
+    /// and every placed model whose replica set now includes the newcomer
+    /// is `PUSH`ed onto it. Returns the new backend's ring id. Ids are
+    /// never reused.
+    pub fn add_backend(&self, addr: SocketAddr) -> Result<usize> {
+        let id = self.next_backend_id.fetch_add(1, Ordering::Relaxed);
+        let backend = Arc::new(match &self.driver {
+            Some(driver) => Backend::with_driver(id, addr, Arc::clone(driver), self.config.breaker),
+            None => Backend::new(id, addr, self.config.conn, self.config.breaker),
+        });
+        {
+            let mut current = self.membership.write().expect("membership lock poisoned");
+            let mut ring = current.ring.clone();
+            ring.add(id);
+            let mut backends = current.backends.clone();
+            backends.insert(id, backend);
+            *current = Arc::new(Membership {
+                ring,
+                backends,
+                epoch: current.epoch + 1,
+            });
+        }
+        self.invalidate_hot_keys();
+        self.reconcile_placements();
+        Ok(id)
+    }
+
+    /// Removes backend `id` from the **live** router: its vnodes leave the
+    /// ring atomically (remapping only its own keys — the `≤ 2/N` bound
+    /// the ring tests pin down), its idle connections are drained, and
+    /// every placed model that lost a replica is re-established on its new
+    /// replica set via `PUSH`. In-flight requests holding the old snapshot
+    /// finish against the departing backend (its `Arc` lives until they
+    /// drop it), then the pools are gone. The last member cannot be
+    /// removed.
+    pub fn remove_backend(&self, id: usize) -> Result<()> {
+        let removed = {
+            let mut current = self.membership.write().expect("membership lock poisoned");
+            if !current.backends.contains_key(&id) {
+                return Err(RouterError::Membership(format!(
+                    "backend {id} is not a member"
+                )));
+            }
+            if current.backends.len() == 1 {
+                return Err(RouterError::Membership(
+                    "refusing to remove the last backend".to_string(),
+                ));
+            }
+            let mut ring = current.ring.clone();
+            ring.remove(id);
+            let mut backends = current.backends.clone();
+            let removed = backends.remove(&id).expect("membership checked above");
+            *current = Arc::new(Membership {
+                ring,
+                backends,
+                epoch: current.epoch + 1,
+            });
+            removed
+        };
+        self.invalidate_hot_keys();
+        self.reconcile_placements();
+        // Retire the departed backend's sockets. Requests still in flight
+        // on the old snapshot hold their own connections; these are the
+        // idle pooled ones that would otherwise linger.
+        removed.drain_idle();
+        Ok(())
     }
 
     /// Sends `LOAD` to every backend of `model`'s replica set. Returns how
     /// many replicas loaded it; errors only if none did. The path must be
     /// readable by the backend processes (shared filesystem or local
-    /// cluster).
+    /// cluster) — [`Router::push`] is the placement verb that drops that
+    /// assumption. If the *router* can read the path too, the bundle is
+    /// cataloged so membership changes re-place it automatically.
     pub fn load(&self, model: &str, path: &Path) -> Result<usize> {
         let line = format!("LOAD {model} {}", path.display());
-        let mut loaded = 0;
+        let loaded = self.place_on_replicas(model, |backend| backend.exchange(&line))?;
+        if let Ok(text) = std::fs::read_to_string(path) {
+            self.catalog
+                .lock()
+                .expect("catalog lock poisoned")
+                .insert(model.to_string(), text);
+        }
+        self.invalidate_hot_keys_for(model);
+        Ok(loaded)
+    }
+
+    /// Places `bundle` under `model` by shipping its text to every replica
+    /// over the wire (`PUSH`) — no shared filesystem required. Returns how
+    /// many replicas accepted it; errors only if none did. The bundle is
+    /// cataloged, so later membership changes re-place it automatically.
+    pub fn push(&self, model: &str, bundle: &ModelBundle) -> Result<usize> {
+        self.push_text(model, &persistence::bundle_to_string(bundle))
+    }
+
+    /// [`Router::push`] for already-serialized bundle text.
+    pub fn push_text(&self, model: &str, text: &str) -> Result<usize> {
+        let placed = self.place_on_replicas(model, |backend| backend.push(model, text))?;
+        self.catalog
+            .lock()
+            .expect("catalog lock poisoned")
+            .insert(model.to_string(), text.to_string());
+        self.invalidate_hot_keys_for(model);
+        Ok(placed)
+    }
+
+    /// The shared placement walk behind `LOAD` and `PUSH`: runs
+    /// `per_backend` on every member of `model`'s replica set under one
+    /// membership snapshot, counting successes. Errors only if *no*
+    /// replica accepted, surfacing the last failure.
+    fn place_on_replicas(
+        &self,
+        model: &str,
+        per_backend: impl Fn(&Backend) -> std::io::Result<String>,
+    ) -> Result<usize> {
+        let snapshot = self.membership();
+        let mut placed = 0;
         let mut last_error: Option<RouterError> = None;
-        for id in self.replica_set(model) {
-            match self.backends[id].exchange(&line) {
+        for id in snapshot
+            .ring
+            .replicas(model, self.config.replication.max(1))
+        {
+            let Some(backend) = snapshot.backend(id) else {
+                continue;
+            };
+            match per_backend(backend) {
                 Ok(response) => match classify(&response) {
-                    Reply::Payload(_) => loaded += 1,
+                    Reply::Payload(_) => placed += 1,
                     Reply::NotLoaded | Reply::Rejected(_) => {
                         last_error = Some(RouterError::Backend(response));
                     }
@@ -241,48 +509,91 @@ impl Router {
                 Err(e) => last_error = Some(RouterError::Io(e)),
             }
         }
-        if loaded == 0 {
+        if placed == 0 {
             Err(last_error.unwrap_or(RouterError::NoBackends))
         } else {
-            Ok(loaded)
+            Ok(placed)
         }
     }
 
-    /// Scores one vector, failing over along `model`'s preference order.
+    /// Scores one vector: hot-key cache first (bit-exact, no network),
+    /// then failover along `model`'s preference order.
     pub fn score(&self, model: &str, features: &[f64]) -> Result<f64> {
         self.stats.routed.fetch_add(1, Ordering::Relaxed);
+        let key = self.hot_key(model, features);
+        if let (Some(hot), Some(key)) = (&self.hot, &key) {
+            let cached = hot.lock().expect("hot cache lock poisoned").get(key);
+            if let Some(score) = cached {
+                self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+                return Ok(score);
+            }
+            self.stats.hot_misses.fetch_add(1, Ordering::Relaxed);
+        }
         let line = score_line(model, features);
-        let response = self.route_line(model, &line)?;
-        parse_score(&response)
+        let snapshot = self.membership();
+        let response = self.route_line(&snapshot, model, &line)?;
+        let score = parse_score(&response)?;
+        if let (Some(hot), Some(key)) = (&self.hot, key) {
+            hot.lock()
+                .expect("hot cache lock poisoned")
+                .insert(key, score);
+        }
+        Ok(score)
     }
 
-    /// Scores a batch of vectors with scatter-gather: rows are striped over
-    /// the live replicas of `model`'s shard, each sub-batch ships as one
-    /// pipelined burst, and the results reassemble in request order. Rows
-    /// whose sub-batch fails (a replica died mid-stream) are re-routed
-    /// individually, so a single backend loss degrades throughput, never
-    /// correctness.
+    /// Scores a batch of vectors: rows the hot-key cache can answer never
+    /// leave the router; the rest are scatter-gathered — striped over the
+    /// live replicas of `model`'s shard, each sub-batch one pipelined
+    /// burst, results reassembled in request order. Rows whose sub-batch
+    /// fails (a replica died mid-stream) are re-routed individually, so a
+    /// single backend loss degrades throughput, never correctness. The
+    /// whole request routes against one membership snapshot.
     pub fn score_batch(&self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
         if rows.is_empty() {
             return Ok(Vec::new());
         }
         self.stats.routed.fetch_add(1, Ordering::Relaxed);
-        let lines: Vec<String> = rows.iter().map(|row| score_line(model, row)).collect();
-        let live: Vec<Arc<Backend>> = self
-            .replica_set(model)
-            .into_iter()
-            .filter(|&id| self.backends[id].breaker().available())
-            .map(|id| Arc::clone(&self.backends[id]))
-            .collect();
         let mut scores: Vec<Option<f64>> = vec![None; rows.len()];
+        // One id lookup for the whole batch; per-row keys from it.
+        let keys: Vec<Option<ScoreKey>> = match self.hot_model_id(model) {
+            Some(id) => rows.iter().map(|row| ScoreKey::new(id, row)).collect(),
+            None => vec![None; rows.len()],
+        };
+        if let Some(hot) = &self.hot {
+            let mut hot = hot.lock().expect("hot cache lock poisoned");
+            for (slot, key) in scores.iter_mut().zip(keys.iter()) {
+                let Some(key) = key else { continue };
+                if let Some(score) = hot.get(key) {
+                    *slot = Some(score);
+                    self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    self.stats.hot_misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+        // Positions (into `miss`) of the rows the cache could not answer.
+        let miss: Vec<usize> = (0..rows.len()).filter(|&i| scores[i].is_none()).collect();
+        if miss.is_empty() {
+            return Ok(collect_scores(scores));
+        }
+        let lines: Vec<String> = miss.iter().map(|&i| score_line(model, &rows[i])).collect();
+        let snapshot = self.membership();
+        let live: Vec<Arc<Backend>> = snapshot
+            .ring
+            .replicas(model, self.config.replication.max(1))
+            .into_iter()
+            .filter_map(|id| snapshot.backend(id))
+            .filter(|backend| backend.breaker().available())
+            .cloned()
+            .collect();
         if live.len() > 1 {
             self.stats.scatters.fetch_add(1, Ordering::Relaxed);
         }
         if !live.is_empty() {
-            // Stripe row indices over the live replicas.
+            // Stripe miss positions over the live replicas.
             let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
-            for i in 0..lines.len() {
-                assignment[i % live.len()].push(i);
+            for p in 0..lines.len() {
+                assignment[p % live.len()].push(p);
             }
             let gathered: Vec<(Vec<usize>, Vec<String>)> = match self.config.transport {
                 // Reactor: submit every replica's whole sub-batch as one
@@ -301,17 +612,17 @@ impl Router {
                         // network, and settling it would record a phantom
                         // breaker success that could re-admit a dead
                         // backend.
-                        .filter(|(indices, _)| !indices.is_empty())
-                        .map(|(indices, backend)| {
+                        .filter(|(positions, _)| !positions.is_empty())
+                        .map(|(positions, backend)| {
                             let chunk: Vec<&str> =
-                                indices.iter().map(|&i| lines[i].as_str()).collect();
+                                positions.iter().map(|&p| lines[p].as_str()).collect();
                             let ticket = backend.submit_burst(&chunk);
-                            (indices, backend, ticket)
+                            (positions, backend, ticket)
                         })
                         .collect();
                     tickets
                         .into_iter()
-                        .map(|(indices, backend, ticket)| {
+                        .map(|(positions, backend, ticket)| {
                             let outcome = ticket.and_then(|rx| {
                                 rx.recv().unwrap_or_else(|_| {
                                     Err(std::io::Error::new(
@@ -324,7 +635,7 @@ impl Router {
                             // per-row retry below; breaker bookkeeping
                             // happens here, at collection.
                             let responses = backend.settle_burst(outcome).unwrap_or_default();
-                            (indices, responses)
+                            (positions, responses)
                         })
                         .collect()
                 }
@@ -336,12 +647,12 @@ impl Router {
                     let handles: Vec<_> = assignment
                         .into_iter()
                         .zip(live.iter())
-                        .map(|(indices, backend)| {
+                        .map(|(positions, backend)| {
                             // Borrowed lines: the scoped threads join
                             // before `lines` drops, so no per-row copies
                             // are needed.
                             let chunk: Vec<&str> =
-                                indices.iter().map(|&i| lines[i].as_str()).collect();
+                                positions.iter().map(|&p| lines[p].as_str()).collect();
                             scope.spawn(move || {
                                 let mut responses = Vec::with_capacity(chunk.len());
                                 for burst in chunk.chunks(MAX_BURST) {
@@ -352,7 +663,7 @@ impl Router {
                                         Err(_) => break,
                                     }
                                 }
-                                (indices, responses)
+                                (positions, responses)
                             })
                         })
                         .collect();
@@ -362,13 +673,13 @@ impl Router {
                         .collect()
                 }),
             };
-            for (indices, responses) in gathered {
+            for (positions, responses) in gathered {
                 // `zip` truncates to the responses actually received; ERR
                 // rows and missing tails fall through to the retry below.
-                for (&i, response) in indices.iter().zip(responses.iter()) {
+                for (&p, response) in positions.iter().zip(responses.iter()) {
                     if let Reply::Payload(payload) = classify(response) {
                         if let Ok(score) = parse_score(payload) {
-                            scores[i] = Some(score);
+                            scores[miss[p]] = Some(score);
                         }
                     }
                 }
@@ -376,18 +687,23 @@ impl Router {
         }
         // Gather pass: any row still unscored is re-routed individually
         // along the full preference order (and a deterministic ERR is
-        // surfaced from here).
-        for (i, slot) in scores.iter_mut().enumerate() {
-            if slot.is_none() {
+        // surfaced from here), against the same membership snapshot.
+        for (p, &i) in miss.iter().enumerate() {
+            if scores[i].is_none() {
                 self.stats.retried_rows.fetch_add(1, Ordering::Relaxed);
-                let response = self.route_line(model, &lines[i])?;
-                *slot = Some(parse_score(&response)?);
+                let response = self.route_line(&snapshot, model, &lines[p])?;
+                scores[i] = Some(parse_score(&response)?);
             }
         }
-        Ok(scores
-            .into_iter()
-            .map(|s| s.expect("every row scored or the retry errored"))
-            .collect())
+        if let Some(hot) = &self.hot {
+            let mut hot = hot.lock().expect("hot cache lock poisoned");
+            for &i in &miss {
+                if let (Some(key), Some(score)) = (&keys[i], scores[i]) {
+                    hot.insert(key.clone(), score);
+                }
+            }
+        }
+        Ok(collect_scores(scores))
     }
 
     /// Verifies that every reachable replica of `model` serves the same
@@ -396,9 +712,12 @@ impl Router {
     /// at least one must answer.
     pub fn verify(&self, model: &str) -> Result<String> {
         let line = format!("EPOCH {model}");
+        let snapshot = self.membership();
         let mut digests: Vec<(usize, String)> = Vec::new();
-        for id in self.preference(model) {
-            let backend = &self.backends[id];
+        for id in snapshot.ring.preference(model) {
+            let Some(backend) = snapshot.backend(id) else {
+                continue;
+            };
             if !backend.breaker().available() {
                 continue;
             }
@@ -428,25 +747,128 @@ impl Router {
         Ok(first)
     }
 
-    /// Routes one request line along `model`'s preference order: ejected
-    /// backends are skipped (then retried as a last resort if nobody else
-    /// answered), io failures fail over, `ERR no model named` continues,
-    /// and any other `ERR` is returned without failover. The `routed`
-    /// counter is incremented by the public entry points, not here — batch
-    /// retries funnel through this path and must not double-count.
-    fn route_line(&self, model: &str, line: &str) -> Result<String> {
-        let preference = self.preference(model);
+    /// Re-establishes every cataloged model on its current replica set:
+    /// each replica is `EPOCH`-checked and receives a `PUSH` only when it
+    /// lacks the model or serves different content, so reconciliation is
+    /// idempotent — repeated membership changes do not churn generations
+    /// on replicas that are already correct. A replica whose probe fails
+    /// still gets the push *attempt* (a transient failure must not leave
+    /// the model under-replicated until the next membership change; a
+    /// genuinely dead replica just records one more breaker failure and
+    /// routing walks past its NotLoaded/io answers meanwhile).
+    fn reconcile_placements(&self) {
+        let catalog: Vec<(String, String)> = {
+            let catalog = self.catalog.lock().expect("catalog lock poisoned");
+            catalog
+                .iter()
+                .map(|(model, text)| (model.clone(), text.clone()))
+                .collect()
+        };
+        let snapshot = self.membership();
+        for (model, text) in catalog {
+            let Ok(expected) = persistence::bundle_text_digest(&text).map(persistence::digest_hex)
+            else {
+                continue;
+            };
+            let line = format!("EPOCH {model}");
+            for id in snapshot
+                .ring
+                .replicas(&model, self.config.replication.max(1))
+            {
+                let Some(backend) = snapshot.backend(id) else {
+                    continue;
+                };
+                let needs_push = match backend.exchange(&line) {
+                    Ok(response) => match classify(&response) {
+                        Reply::Payload(payload) => {
+                            payload
+                                .split_whitespace()
+                                .find_map(|kv| kv.strip_prefix("digest="))
+                                != Some(expected.as_str())
+                        }
+                        Reply::NotLoaded => true,
+                        Reply::Rejected(_) => false,
+                    },
+                    // Probe failed: attempt the push anyway — "unreachable
+                    // right now" is indistinguishable from "will be back
+                    // in a second", and skipping would leave the model
+                    // under-replicated until the next membership change.
+                    Err(_) => true,
+                };
+                if needs_push {
+                    let _ = backend.push(&model, &text);
+                }
+            }
+        }
+    }
+
+    /// The model's current hot-cache id — the "generation" of its cache
+    /// keys, retired on membership and placement changes — or `None` when
+    /// the cache is disabled. Batch paths resolve this once and build
+    /// per-row keys from it instead of taking the lock per row.
+    fn hot_model_id(&self, model: &str) -> Option<u64> {
+        self.hot.as_ref()?;
+        let mut ids = self.model_ids.lock().expect("model id lock poisoned");
+        Some(match ids.get(model) {
+            Some(&id) => id,
+            None => {
+                let id = self.next_model_id.fetch_add(1, Ordering::Relaxed);
+                ids.insert(model.to_string(), id);
+                id
+            }
+        })
+    }
+
+    /// The hot-key cache key for `(model, features)`, or `None` when the
+    /// cache is disabled or the vector is uncacheable (NaN).
+    fn hot_key(&self, model: &str, features: &[f64]) -> Option<ScoreKey> {
+        ScoreKey::new(self.hot_model_id(model)?, features)
+    }
+
+    /// Retires every model's cache id (membership changed): old keys can
+    /// never match again and their entries age out of the LRU.
+    fn invalidate_hot_keys(&self) {
+        if self.hot.is_some() {
+            self.model_ids
+                .lock()
+                .expect("model id lock poisoned")
+                .clear();
+        }
+    }
+
+    /// Retires one model's cache id (its placement changed).
+    fn invalidate_hot_keys_for(&self, model: &str) {
+        if self.hot.is_some() {
+            self.model_ids
+                .lock()
+                .expect("model id lock poisoned")
+                .remove(model);
+        }
+    }
+
+    /// Routes one request line along `model`'s preference order in the
+    /// given membership snapshot: ejected backends are skipped (then
+    /// retried as a last resort if nobody else answered), io failures fail
+    /// over, `ERR no model named` continues, and any other `ERR` is
+    /// returned without failover. The `routed` counter is incremented by
+    /// the public entry points, not here — batch retries funnel through
+    /// this path and must not double-count.
+    fn route_line(&self, snapshot: &Membership, model: &str, line: &str) -> Result<String> {
+        let preference = snapshot.ring.preference(model);
         if preference.is_empty() {
             return Err(RouterError::NoBackends);
         }
-        let mut skipped: Vec<usize> = Vec::new();
+        let mut skipped: Vec<&Arc<Backend>> = Vec::new();
         let mut last_io: Option<std::io::Error> = None;
-        for &id in &preference {
-            if !self.backends[id].breaker().available() {
-                skipped.push(id);
+        for id in preference {
+            let Some(backend) = snapshot.backend(id) else {
+                continue;
+            };
+            if !backend.breaker().available() {
+                skipped.push(backend);
                 continue;
             }
-            match self.attempt(id, line, &mut last_io)? {
+            match self.attempt(backend, line, &mut last_io)? {
                 Some(payload) => return Ok(payload),
                 None => continue,
             }
@@ -454,8 +876,8 @@ impl Router {
         // Last resort: every admissible backend failed or lacked the
         // model. Try the ejected ones once — a stale breaker must degrade
         // latency, not turn a servable request into an error.
-        for id in skipped {
-            match self.attempt(id, line, &mut last_io)? {
+        for backend in skipped {
+            match self.attempt(backend, line, &mut last_io)? {
                 Some(payload) => return Ok(payload),
                 None => continue,
             }
@@ -471,11 +893,11 @@ impl Router {
     /// deterministic request error that must not fail over.
     fn attempt(
         &self,
-        id: usize,
+        backend: &Backend,
         line: &str,
         last_io: &mut Option<std::io::Error>,
     ) -> Result<Option<String>> {
-        match self.backends[id].exchange(line) {
+        match backend.exchange(line) {
             Ok(response) => match classify(&response) {
                 Reply::Payload(payload) => Ok(Some(payload.to_string())),
                 Reply::NotLoaded => Ok(None),
@@ -496,6 +918,14 @@ impl Drop for Router {
             health.stop();
         }
     }
+}
+
+/// Unwraps a fully scored batch (every row scored or the retry errored).
+fn collect_scores(scores: Vec<Option<f64>>) -> Vec<f64> {
+    scores
+        .into_iter()
+        .map(|s| s.expect("every row scored or the retry errored"))
+        .collect()
 }
 
 /// A backend's one-line reply, classified for routing.
@@ -531,12 +961,22 @@ fn score_line(model: &str, features: &[f64]) -> String {
 }
 
 /// Parses the score out of a `SCORE` payload (`<probability> <label>`).
+/// The probability must be finite and the label token must be present —
+/// a truncated or corrupted backend reply surfaces as a protocol error
+/// instead of being accepted for its leading float.
 fn parse_score(payload: &str) -> Result<f64> {
-    payload
-        .split_whitespace()
+    let mut parts = payload.split_whitespace();
+    let probability = parts
         .next()
         .and_then(|v| v.parse::<f64>().ok())
-        .ok_or_else(|| RouterError::Protocol(format!("unparseable score payload '{payload}'")))
+        .filter(|v| v.is_finite())
+        .ok_or_else(|| RouterError::Protocol(format!("unparseable score payload '{payload}'")))?;
+    if parts.next().is_none() {
+        return Err(RouterError::Protocol(format!(
+            "score payload without a label token: '{payload}'"
+        )));
+    }
+    Ok(probability)
 }
 
 #[cfg(test)]
@@ -564,6 +1004,18 @@ mod tests {
         assert_eq!(parse_score(&payload).unwrap().to_bits(), v.to_bits());
         assert!(parse_score("").is_err());
         assert!(parse_score("notanumber 1").is_err());
+    }
+
+    #[test]
+    fn parse_score_rejects_non_finite_and_label_less_payloads() {
+        // A bare float without its label token is a truncated reply.
+        assert!(parse_score("0.5").is_err());
+        // Non-finite probabilities are protocol corruption, not scores.
+        assert!(parse_score("inf 1").is_err());
+        assert!(parse_score("-inf 0").is_err());
+        assert!(parse_score("NaN 1").is_err());
+        // The well-formed payload still parses bit-exactly.
+        assert_eq!(parse_score("0.25 0").unwrap(), 0.25);
     }
 
     #[test]

@@ -132,15 +132,39 @@ impl ScoreCache {
         &self.policy
     }
 
-    /// Current number of entries (expired-but-untouched entries count until
-    /// a `get` or eviction removes them).
-    pub fn len(&self) -> usize {
+    /// Current number of **live** entries: expired-but-untouched entries
+    /// are purged before counting, so capacity accounting and the `STATS`
+    /// `cache_entries=` gauge never report corpses.
+    pub fn len(&mut self) -> usize {
+        self.purge_expired();
         self.entries.len()
     }
 
-    /// Whether the cache is empty.
-    pub fn is_empty(&self) -> bool {
-        self.entries.is_empty()
+    /// Whether the cache holds no live entries.
+    pub fn is_empty(&mut self) -> bool {
+        self.len() == 0
+    }
+
+    /// Removes every entry whose TTL deadline has passed. O(n) over the
+    /// cache, so it runs lazily: from `len` (rare — STATS requests) and
+    /// from inserts that overflow capacity (where evicting a corpse first
+    /// keeps live entries from being displaced by dead ones).
+    fn purge_expired(&mut self) {
+        if self.policy.ttl.is_none() {
+            return;
+        }
+        let now = Instant::now();
+        let dead: Vec<(u64, ScoreKey)> = self
+            .entries
+            .iter()
+            .filter(|(_, entry)| entry.expires_at.is_some_and(|deadline| now >= deadline))
+            .map(|(key, entry)| (entry.last_used, key.clone()))
+            .collect();
+        for (tick, key) in dead {
+            self.order.remove(&tick);
+            self.entries.remove(&key);
+            Self::decrement(&mut self.per_generation, key.generation());
+        }
     }
 
     /// Looks up a score, refreshing the entry's recency on a hit. An entry
@@ -196,6 +220,11 @@ impl ScoreCache {
             while self.per_generation.get(&generation).copied().unwrap_or(0) > per_model.max(1) {
                 self.evict_lru_of(generation);
             }
+        }
+        if self.entries.len() > self.policy.capacity {
+            // Over capacity: drop corpses first so expired entries never
+            // push live ones out.
+            self.purge_expired();
         }
         while self.entries.len() > self.policy.capacity {
             let (_, oldest) = self
@@ -446,6 +475,40 @@ mod tests {
         // Re-inserting resets the deadline.
         cache.insert(key(1, &[1.0]), 0.2);
         assert_eq!(cache.get(&key(1, &[1.0])), Some(0.2));
+    }
+
+    #[test]
+    fn len_purges_expired_entries_lazily() {
+        let mut cache = ScoreCache::with_policy(CachePolicy {
+            capacity: 8,
+            ttl: Some(Duration::from_millis(30)),
+            per_model: None,
+        });
+        cache.insert(key(1, &[1.0]), 0.1);
+        cache.insert(key(1, &[2.0]), 0.2);
+        assert_eq!(cache.len(), 2);
+        std::thread::sleep(Duration::from_millis(45));
+        // Nothing touched the entries via `get`; `len` must still not
+        // count the corpses.
+        assert_eq!(cache.len(), 0);
+        assert!(cache.is_empty());
+    }
+
+    #[test]
+    fn expired_entries_do_not_displace_live_ones_at_capacity() {
+        let mut cache = ScoreCache::with_policy(CachePolicy {
+            capacity: 2,
+            ttl: Some(Duration::from_millis(30)),
+            per_model: None,
+        });
+        cache.insert(key(1, &[1.0]), 0.1);
+        cache.insert(key(1, &[2.0]), 0.2);
+        std::thread::sleep(Duration::from_millis(45));
+        // The overflowing insert purges the two corpses instead of
+        // evicting anything live.
+        cache.insert(key(1, &[3.0]), 0.3);
+        assert_eq!(cache.len(), 1);
+        assert_eq!(cache.get(&key(1, &[3.0])), Some(0.3));
     }
 
     #[test]

@@ -4,6 +4,9 @@
 //!
 //! ```text
 //! LOAD <name> <path>            -> OK loaded <name>@<gen> features=<m> dim=<d>
+//! PUSH <name> <nbytes>          -> OK loaded <name>@<gen> features=<m> dim=<d>
+//!   (the header line is followed by exactly <nbytes> bytes of bundle
+//!    text — newlines inside the payload are data, not framing)
 //! SCORE <name> v1 v2 ... vm     -> OK <probability> <hard-label>
 //! TRANSFORM <name> v1 ... vm    -> OK z1 z2 ... zd
 //! STATS                         -> OK key=value key=value ...
@@ -12,6 +15,12 @@
 //! QUIT                          -> OK bye (server closes the connection)
 //! anything else                 -> ERR <message>
 //! ```
+//!
+//! `PUSH` is `LOAD` without the shared-filesystem assumption: the client
+//! (typically the routing tier placing a replica) ships the serialized
+//! [`ModelBundle`](pfr_core::persistence::ModelBundle) text over the wire
+//! as a counted payload instead of naming a path the server must be able
+//! to read. `PUSH` requests are counted under the `load` stats verb.
 //!
 //! `HEALTH` and `EPOCH` exist for the routing tier (`pfr-router`): `HEALTH`
 //! is the liveness probe its circuit breakers feed on (`queue=` is the
@@ -35,6 +44,11 @@ use crate::Result;
 /// failure, do not fail over) by exactly this prefix.
 pub const MODEL_NOT_FOUND_PREFIX: &str = "no model named";
 
+/// Largest accepted `PUSH` payload. Bundle text for realistic models runs
+/// kilobytes to low megabytes; the cap keeps a malicious header line from
+/// committing the server to buffering gigabytes.
+pub const MAX_PUSH_BYTES: usize = 64 << 20;
+
 /// A parsed request line.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Request {
@@ -44,6 +58,15 @@ pub enum Request {
         name: String,
         /// Filesystem path of the serialized bundle.
         path: String,
+    },
+    /// Load (or hot-swap) a bundle whose text follows the header line as a
+    /// counted payload of `nbytes` bytes — wire-level model distribution
+    /// with no shared filesystem.
+    Push {
+        /// Registry name to serve the model under.
+        name: String,
+        /// Exact payload length announced by the header line.
+        nbytes: usize,
     },
     /// Score one raw attribute vector with the named model.
     Score {
@@ -91,6 +114,25 @@ pub fn parse_request(line: &str) -> Result<Request> {
             Ok(Request::Load {
                 name: parts[0].to_string(),
                 path: parts[1].to_string(),
+            })
+        }
+        "PUSH" => {
+            if parts.len() != 2 {
+                return Err(ServeError::Protocol(
+                    "usage: PUSH <name> <nbytes>".to_string(),
+                ));
+            }
+            let nbytes = parts[1].parse::<usize>().map_err(|_| {
+                ServeError::Protocol(format!("'{}' is not a payload length", parts[1]))
+            })?;
+            if nbytes == 0 || nbytes > MAX_PUSH_BYTES {
+                return Err(ServeError::Protocol(format!(
+                    "payload length {nbytes} is outside 1..={MAX_PUSH_BYTES}"
+                )));
+            }
+            Ok(Request::Push {
+                name: parts[0].to_string(),
+                nbytes,
             })
         }
         "SCORE" | "TRANSFORM" => {
@@ -179,6 +221,13 @@ mod tests {
             }
         );
         assert_eq!(
+            parse_request("PUSH risk 4096").unwrap(),
+            Request::Push {
+                name: "risk".to_string(),
+                nbytes: 4096
+            }
+        );
+        assert_eq!(
             parse_request("SCORE risk 1 -2.5 3e-4").unwrap(),
             Request::Score {
                 name: "risk".to_string(),
@@ -214,6 +263,13 @@ mod tests {
             "LOAD",
             "LOAD onlyname",
             "LOAD a b c",
+            "PUSH",
+            "PUSH onlyname",
+            "PUSH a b c",
+            "PUSH a notanumber",
+            "PUSH a -1",
+            "PUSH a 0",
+            "PUSH a 99999999999999999999",
             "SCORE",
             "SCORE risk",
             "SCORE risk notanumber",

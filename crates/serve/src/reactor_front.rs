@@ -9,7 +9,7 @@
 //!                    │  inline: cache hit, STATS, HEALTH,     │──► replies
 //!                    │          EPOCH, parse errors, QUIT     │
 //!                    │  async:  SCORE miss ► MicroBatcher ┐   │
-//!                    │          TRANSFORM/LOAD ► WorkerPool │ │
+//!                    │          TRANSFORM/LOAD/PUSH ► pool │ │
 //!                    └──────────▲───────────────────────────┼─┘
 //!                               │ eventfd wake + completion │
 //!                               └──────────────────────────-┘
@@ -38,7 +38,7 @@ use crate::stats::VerbStats;
 use crate::Result;
 use pfr_net::poller::{Event, Interest, Poller, Waker};
 use pfr_net::wheel::DeadlineWheel;
-use pfr_net::LineConn;
+use pfr_net::{Frame, LineConn};
 use std::collections::{BTreeMap, HashMap};
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
@@ -135,6 +135,9 @@ struct ClientConn {
     ready: BTreeMap<u64, String>,
     /// In-flight asynchronous requests.
     pending: HashMap<u64, PendingMeta>,
+    /// A `PUSH` header was parsed at this seq for this model name; the
+    /// connection is in payload mode until the counted bytes arrive.
+    pending_push: Option<(u64, String)>,
     /// `QUIT` was parsed at this seq: stop parsing, close once emitted.
     quit_at: Option<u64>,
     /// The peer half-closed; finish in-flight work, flush, then close.
@@ -153,6 +156,7 @@ impl ClientConn {
             next_write: 0,
             ready: BTreeMap::new(),
             pending: HashMap::new(),
+            pending_push: None,
             quit_at: None,
             read_closed: false,
             want_read: false,
@@ -356,26 +360,32 @@ impl Reactor {
         self.finish_round(token);
     }
 
-    /// Parses and dispatches every complete request line the connection has
-    /// buffered, respecting QUIT and the output high watermark.
+    /// Parses and dispatches every complete frame the connection has
+    /// buffered — request lines, or the counted payload a `PUSH` header
+    /// announced — respecting QUIT and the output high watermark.
     fn parse_available(&mut self, token: u64) {
         loop {
-            let line = {
+            let frame = {
                 let Some(conn) = self.conns.get_mut(&token) else {
                     return;
                 };
                 if conn.quit_at.is_some() || conn.line.pending_out() > HIGH_WATER {
                     return;
                 }
-                match conn.line.next_line() {
-                    Some(line) => line,
+                match conn.line.next_frame() {
+                    Some(frame) => frame,
                     None => return,
                 }
             };
-            if line.trim().is_empty() {
-                continue;
+            match frame {
+                Frame::Line(line) => {
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    self.process_line(token, &line);
+                }
+                Frame::Payload(payload) => self.process_payload(token, payload),
             }
-            self.process_line(token, &line);
         }
     }
 
@@ -398,7 +408,7 @@ impl Reactor {
             Ok(Request::Stats) => {
                 let start = Instant::now();
                 stats.inflight_enter();
-                let payload = stats.to_line();
+                let payload = context.stats_line();
                 stats.inflight_exit();
                 stats.stats.record(start.elapsed(), true);
                 self.emit(token, seq, protocol::ok_response(&payload));
@@ -426,6 +436,55 @@ impl Reactor {
                 self.dispatch_transform(token, seq, &name, features)
             }
             Ok(Request::Load { name, path }) => self.dispatch_load(token, seq, name, path),
+            Ok(Request::Push { name, nbytes }) => {
+                // Header parsed; switch the connection into payload mode.
+                // The response is owed at this seq once the bytes arrive
+                // (nothing else can be parsed in between, so ordering is
+                // preserved by construction).
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.pending_push = Some((seq, name));
+                    conn.line.expect_payload(nbytes);
+                }
+            }
+        }
+    }
+
+    /// The counted payload a `PUSH` header announced has fully arrived:
+    /// register the bundle on the worker pool (parsing bundle text is real
+    /// work that must not stall the reactor).
+    fn process_payload(&mut self, token: u64, payload: Vec<u8>) {
+        let Some(conn) = self.conns.get_mut(&token) else {
+            return;
+        };
+        let Some((seq, name)) = conn.pending_push.take() else {
+            // A payload frame without a pending PUSH cannot happen — the
+            // only expect_payload call sites set pending_push first — but
+            // dropping it beats emitting a response at a phantom seq.
+            return;
+        };
+        let context = Arc::clone(&self.context);
+        context.stats.inflight_enter();
+        let meta = PendingMeta {
+            verb: AsyncVerb::Load,
+            start: Instant::now(),
+            threshold: 0.0,
+            key: None,
+        };
+        let sink = self.sink(token, seq);
+        if let Some(conn) = self.conns.get_mut(&token) {
+            conn.pending.insert(seq, meta);
+        }
+        let job_context = Arc::clone(&context);
+        let job = move || {
+            let outcome = server::handle_push(&job_context, &name, &payload);
+            sink.send_text(outcome);
+        };
+        if let Err(e) = context.pool.execute(job) {
+            self.apply(Completion {
+                token,
+                seq,
+                outcome: Outcome::Text(Err(e)),
+            });
         }
     }
 

@@ -26,7 +26,7 @@ use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use crate::Result;
 use std::collections::HashMap;
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::path::Path;
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
@@ -173,6 +173,16 @@ pub(crate) struct ServeContext {
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) bundle_dir: Option<std::path::PathBuf>,
     connections: ConnectionTable,
+}
+
+impl ServeContext {
+    /// The `STATS` payload: the atomic counters plus the live cache-entry
+    /// gauge (expired entries are purged before counting, so the gauge
+    /// reflects what the cache actually holds).
+    pub(crate) fn stats_line(&self) -> String {
+        let entries = self.cache.lock().expect("cache lock poisoned").len();
+        format!("{} cache_entries={entries}", self.stats.to_line())
+    }
 }
 
 /// The running front end's handles — whichever architecture was selected.
@@ -408,7 +418,30 @@ fn handle_connection(stream: TcpStream, context: &ServeContext, shutdown: &Atomi
         if line.trim().is_empty() {
             continue;
         }
-        let (response, quit) = respond(&line, context);
+        let parsed = protocol::parse_request(&line);
+        // PUSH is the one verb the line-oriented `respond` cannot execute:
+        // its counted payload must be read off this connection's stream
+        // before the next request line.
+        let (response, quit) = match parsed {
+            Ok(Request::Push { name, nbytes }) => {
+                let start = Instant::now();
+                let _inflight = context.stats.track_inflight();
+                let mut payload = vec![0u8; nbytes];
+                if reader.read_exact(&mut payload).is_err() {
+                    // A truncated payload leaves the stream unframeable;
+                    // close rather than misparse payload bytes as lines.
+                    return;
+                }
+                let outcome = handle_push(context, &name, &payload);
+                context.stats.load.record(start.elapsed(), outcome.is_ok());
+                let response = match outcome {
+                    Ok(payload) => protocol::ok_response(&payload),
+                    Err(e) => protocol::err_response(&e),
+                };
+                (response, false)
+            }
+            parsed => respond(parsed, context),
+        };
         if writer.write_all(response.as_bytes()).is_err()
             || writer.write_all(b"\n").is_err()
             || writer.flush().is_err()
@@ -419,9 +452,11 @@ fn handle_connection(stream: TcpStream, context: &ServeContext, shutdown: &Atomi
     }
 }
 
-/// Executes one request line; returns the response and whether to close.
-fn respond(line: &str, context: &ServeContext) -> (String, bool) {
-    match protocol::parse_request(line) {
+/// Executes one parsed request; returns the response and whether to close.
+/// `PUSH` never reaches here — the connection loop intercepts it to read
+/// the counted payload off the stream.
+fn respond(parsed: Result<Request>, context: &ServeContext) -> (String, bool) {
+    match parsed {
         Ok(Request::Quit) => (protocol::ok_response("bye"), true),
         Ok(request) => {
             let start = Instant::now();
@@ -438,10 +473,11 @@ fn respond(line: &str, context: &ServeContext) -> (String, bool) {
                     &context.stats.transform,
                     handle_transform(context, &name, features),
                 ),
-                Request::Stats => (&context.stats.stats, Ok(context.stats.to_line())),
+                Request::Stats => (&context.stats.stats, Ok(context.stats_line())),
                 Request::Health => (&context.stats.health, Ok(handle_health(context))),
                 Request::Epoch { name } => (&context.stats.epoch, handle_epoch(context, &name)),
                 Request::Quit => unreachable!("handled above"),
+                Request::Push { .. } => unreachable!("intercepted by the connection loop"),
             };
             verb_stats.record(start.elapsed(), outcome.is_ok());
             match outcome {
@@ -495,12 +531,28 @@ pub(crate) fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Re
         }
     }
     let model = context.registry.load_from_file(name, path)?;
-    Ok(format!(
+    Ok(loaded_payload(&model))
+}
+
+/// `PUSH <name> <nbytes>` + payload: registers the bundle text shipped
+/// over the wire — `LOAD` without the shared-filesystem assumption, so a
+/// router can place replicas on backends that cannot read its disks. The
+/// `bundle_dir` restriction does not apply: no server-side path is read.
+pub(crate) fn handle_push(context: &ServeContext, name: &str, payload: &[u8]) -> Result<String> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ServeError::Protocol("PUSH payload is not valid utf-8".to_string()))?;
+    let model = context.registry.load_from_str(name, text)?;
+    Ok(loaded_payload(&model))
+}
+
+/// The shared `LOAD`/`PUSH` success payload.
+fn loaded_payload(model: &crate::model::ServableModel) -> String {
+    format!(
         "loaded {} features={} dim={}",
         model.version(),
         model.num_features(),
         model.dim()
-    ))
+    )
 }
 
 fn handle_score(context: &ServeContext, name: &str, features: Vec<f64>) -> Result<String> {
@@ -624,6 +676,111 @@ mod tests {
         assert!(responses[0].contains("dim=2"));
         assert!(server.registry().get("risk").is_some());
         let _ = std::fs::remove_file(&path);
+        server.shutdown();
+    }
+
+    /// Writes a `PUSH` frame (header + counted payload) and reads the one
+    /// response line.
+    fn push_request(addr: SocketAddr, name: &str, text: &str) -> String {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write!(writer, "PUSH {name} {}\n{text}", text.len()).unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    }
+
+    #[test]
+    fn push_loads_a_bundle_over_the_wire_on_both_front_ends() {
+        let (bundle, x) = toy_bundle();
+        let text = persistence::bundle_to_string(&bundle);
+        for frontend in [FrontendMode::Threaded, FrontendMode::Reactor] {
+            let server = Server::spawn(ServerConfig {
+                frontend,
+                // A bundle_dir that PUSH must ignore: no path is read.
+                bundle_dir: Some(std::path::PathBuf::from("/definitely/not/there")),
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            let response = push_request(server.addr(), "risk", &text);
+            assert!(
+                response.starts_with("OK loaded risk@"),
+                "{frontend:?}: {response}"
+            );
+            assert!(response.contains("features=3"), "{response}");
+            // The pushed model serves scores identical to in-process loading.
+            let model = server.registry().get("risk").unwrap();
+            let expected = model.score_batch(&x).unwrap();
+            let line = format!("SCORE risk {}", protocol::format_numbers(x.row(0)));
+            let responses = request(server.addr(), &[line]);
+            let score: f64 = responses[0]
+                .split_whitespace()
+                .nth(1)
+                .unwrap()
+                .parse()
+                .unwrap();
+            assert_eq!(score.to_bits(), expected[0].to_bits(), "{frontend:?}");
+            // Garbage payloads are rejected without killing the connection's
+            // framing: the next request on a fresh connection still works.
+            let bad = push_request(server.addr(), "junk", "not a bundle at all\n");
+            assert!(bad.starts_with("ERR"), "{bad}");
+            assert!(server.registry().get("junk").is_none());
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn push_then_more_requests_on_the_same_connection_stay_framed() {
+        let (bundle, x) = toy_bundle();
+        let text = persistence::bundle_to_string(&bundle);
+        for frontend in [FrontendMode::Threaded, FrontendMode::Reactor] {
+            let server = Server::spawn(ServerConfig {
+                frontend,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            // Pre-load so the pipelined PUSH below is a hot swap: the
+            // reactor executes PUSH asynchronously (like LOAD), so a
+            // same-burst SCORE may run before the push lands — it must
+            // still resolve a model. What this test pins down is the
+            // *framing*: payload bytes followed immediately by more
+            // request lines in one write must not desync the parser.
+            server.registry().load_from_str("risk", &text).unwrap();
+            let stream = TcpStream::connect(server.addr()).unwrap();
+            stream.set_nodelay(true).unwrap();
+            let mut reader = BufReader::new(stream.try_clone().unwrap());
+            let mut writer = stream;
+            // One write: PUSH frame immediately followed by pipelined
+            // SCORE/HEALTH lines — payload bytes must not desync framing.
+            let mut burst = format!("PUSH risk {}\n{text}", text.len());
+            burst.push_str(&format!(
+                "SCORE risk {}\nHEALTH\n",
+                protocol::format_numbers(x.row(0))
+            ));
+            writer.write_all(burst.as_bytes()).unwrap();
+            writer.flush().unwrap();
+            let mut responses = Vec::new();
+            for _ in 0..3 {
+                let mut response = String::new();
+                reader.read_line(&mut response).unwrap();
+                responses.push(response.trim_end().to_string());
+            }
+            assert!(responses[0].starts_with("OK loaded"), "{responses:?}");
+            assert!(responses[1].starts_with("OK "), "{responses:?}");
+            assert!(responses[2].starts_with("OK up"), "{responses:?}");
+            server.shutdown();
+        }
+    }
+
+    #[test]
+    fn stats_reports_the_live_cache_entry_gauge() {
+        let (server, _, x) = start_with_model();
+        let line = format!("SCORE risk {}", protocol::format_numbers(x.row(0)));
+        let responses = request(server.addr(), &[line, "STATS".to_string()]);
+        assert!(responses[1].contains("cache_entries=1"), "{}", responses[1]);
         server.shutdown();
     }
 

@@ -1,8 +1,9 @@
-//! Demo of the routing tier: train a fair pipeline offline, place its
-//! bundle on a 3-shard local cluster through a router, verify all replicas
-//! serve identical content, hammer the tier from concurrent client threads,
-//! kill a backend mid-traffic — and watch capacity degrade while every
-//! score stays bit-exact.
+//! Demo of the routing tier: train a fair pipeline offline, `PUSH` its
+//! bundle onto a 3-shard local cluster over the wire (no shared
+//! filesystem), verify all replicas serve identical content, hammer the
+//! tier from concurrent client threads, kill a backend mid-traffic — then
+//! *heal the cluster live*: join a replacement backend, retire the dead
+//! one, and watch placements reconcile while every score stays bit-exact.
 //!
 //! ```text
 //! cargo run --release --example router_demo
@@ -60,13 +61,14 @@ fn main() {
     );
     println!("cluster up on {:?}", cluster.addrs());
 
-    // 3. Place the model: the ring picks the replica set, LOAD ships it.
-    let replicas = cluster
-        .place(&router, "admissions", &bundle)
+    // 3. Place the model: the ring picks the replica set, PUSH ships the
+    //    bundle text over the wire — no backend ever reads a file.
+    let replicas = router
+        .push("admissions", &bundle)
         .expect("placement succeeds");
     let digest = router.verify("admissions").expect("replicas agree");
     println!(
-        "placed 'admissions' on {replicas} replicas {:?}, digest {digest}",
+        "pushed 'admissions' to {replicas} replicas {:?}, digest {digest}",
         router.replica_set("admissions")
     );
 
@@ -107,14 +109,39 @@ fn main() {
         start.elapsed().as_secs_f64() * 1e3
     );
 
-    // 5. The tier's own accounting.
+    // 5. Heal the cluster live: a replacement backend joins the ring, the
+    //    dead one is retired, and reconciliation PUSHes the model wherever
+    //    the new replica set demands — all while the router keeps serving.
+    let addr = cluster.add_backend().expect("replacement backend boots");
+    let new_id = router.add_backend(addr).expect("joins the live ring");
+    router.remove_backend(victim).expect("dead member retires");
+    println!(
+        "healed: backend {new_id} joined at {addr}, backend {victim} retired; members now {:?}",
+        router.membership().ids()
+    );
+    assert_eq!(
+        router.verify("admissions").expect("replicas still agree"),
+        digest,
+        "reconciled replicas must serve the original content"
+    );
+    for idx in [0, 1, 2] {
+        let score = router
+            .score("admissions", &rows[idx])
+            .expect("scores flow across membership changes");
+        assert_eq!(score.to_bits(), expected[idx].to_bits());
+    }
+    println!("post-heal scores verified bit-exact against offline inference");
+
+    // 6. The tier's own accounting.
     let stats = router.stats();
     println!(
-        "router stats: routed={} failovers={} scatters={} retried_rows={} probes={}",
+        "router stats: routed={} failovers={} scatters={} retried_rows={} hot_hits={} hot_misses={} probes={}",
         stats.routed(),
         stats.failovers(),
         stats.scatters(),
         stats.retried_rows(),
+        stats.hot_cache_hits(),
+        stats.hot_cache_misses(),
         stats.probes()
     );
     for backend in router.backends() {
@@ -127,5 +154,5 @@ fn main() {
             backend.breaker().readmissions()
         );
     }
-    println!("surviving backends: {}/3", cluster.live());
+    println!("surviving backends: {}/4 booted", cluster.live());
 }
