@@ -1,0 +1,188 @@
+//! Write-ahead journal throughput: append rate under each fsync policy,
+//! single-append latency under the durable (`PerRecord`) policy, and the
+//! replay rate recovery pays at startup.
+//!
+//! The interesting spread is *policy cost*: `Never` measures the frame
+//! encoding + OS write path alone, `Interval` adds a clock-driven fsync
+//! every few milliseconds, and `PerRecord` pays one fsync per acknowledged
+//! append — group commit amortizes that fsync across whatever batch has
+//! queued behind it, which the concurrent-appender measurement shows as
+//! appends-per-fsync > 1. Results are recorded to `BENCH_journal.json` and
+//! gated by `perf_gate` against the checked-in baseline, like the GEMM,
+//! serve and router benches.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pfr_journal::{FsyncPolicy, Journal, JournalConfig, Record};
+use std::hint::black_box;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+/// Appends per measured repetition.
+const RECORDS: usize = 512;
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "pfr_journal_bench_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(dir: PathBuf, fsync: FsyncPolicy) -> JournalConfig {
+    let mut config = JournalConfig::new(dir);
+    config.fsync = fsync;
+    config
+}
+
+/// A request-shaped record: a SCORE with a typical feature arity.
+fn score_record(i: usize) -> Record {
+    Record::Score {
+        model: "bench".to_string(),
+        features: vec![i as f64, 0.25 * i as f64, -1.5, 0.0, 42.0],
+    }
+}
+
+/// Appends `RECORDS` records through a fresh journal under `fsync`;
+/// returns the append rate in records/sec.
+fn append_rate(fsync: FsyncPolicy) -> f64 {
+    let dir = scratch_dir("rate");
+    let rate = pfr_bench::measure_rate(8, RECORDS, || {
+        let journal = Journal::open(config(dir.clone(), fsync)).unwrap();
+        for i in 0..RECORDS {
+            black_box(journal.append(&score_record(i)).unwrap());
+        }
+        journal.close();
+    });
+    let _ = std::fs::remove_dir_all(&dir);
+    rate
+}
+
+fn bench_journal(c: &mut Criterion) {
+    // Criterion timings for the non-durable append path and for replay.
+    let mut group = c.benchmark_group("journal_throughput");
+    group.sample_size(10);
+    group.bench_function("append_512_no_fsync", |bench| {
+        let dir = scratch_dir("criterion");
+        bench.iter(|| {
+            let journal = Journal::open(config(dir.clone(), FsyncPolicy::Never)).unwrap();
+            for i in 0..RECORDS {
+                black_box(journal.append(&score_record(i)).unwrap());
+            }
+            journal.close();
+        });
+        let _ = std::fs::remove_dir_all(&dir);
+    });
+    let replay_dir_path = scratch_dir("replay");
+    {
+        let journal = Journal::open(config(replay_dir_path.clone(), FsyncPolicy::Never)).unwrap();
+        for i in 0..RECORDS {
+            journal.append(&score_record(i)).unwrap();
+        }
+        journal.close();
+    }
+    group.bench_function("replay_512", |bench| {
+        bench.iter(|| {
+            let mut seen = 0u64;
+            let summary = pfr_journal::replay_dir(&replay_dir_path, |_, record| {
+                black_box(&record);
+                seen += 1;
+            })
+            .unwrap();
+            assert_eq!(seen, RECORDS as u64);
+            black_box(summary)
+        });
+    });
+    group.finish();
+
+    // Explicit rates per fsync policy — the recorded perf trajectory.
+    println!("journal_throughput: append rate by fsync policy ({RECORDS} records/rep)");
+    let never = append_rate(FsyncPolicy::Never);
+    println!("  Never:          {never:>12.0} appends/s");
+    let interval = append_rate(FsyncPolicy::Interval(Duration::from_millis(2)));
+    println!("  Interval(2ms):  {interval:>12.0} appends/s");
+    let per_record = append_rate(FsyncPolicy::PerRecord);
+    println!("  PerRecord:      {per_record:>12.0} appends/s");
+
+    // Durable-append latency distribution: one sample = one acknowledged
+    // (written + fsynced) append, the price a journaling server adds to a
+    // request under the default policy.
+    let dir = scratch_dir("latency");
+    let journal = Journal::open(config(dir.clone(), FsyncPolicy::PerRecord)).unwrap();
+    let mut next = 0usize;
+    let (p50_us, p99_us) = pfr_bench::measure_latency_percentiles(2048, || {
+        black_box(journal.append(&score_record(next)).unwrap());
+        next += 1;
+    });
+    println!("  durable append latency: p50 {p50_us:.3}us  p99 {p99_us:.3}us");
+    journal.close();
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Group commit under contention: concurrent appenders share fsyncs, so
+    // the journal acknowledges more appends than it syncs. Printed for the
+    // trajectory; not gated — the amortization factor depends on fsync
+    // timing noise the 30% gate would misread.
+    let dir = scratch_dir("group");
+    let journal = Arc::new(Journal::open(config(dir.clone(), FsyncPolicy::PerRecord)).unwrap());
+    let threads: Vec<_> = (0..4)
+        .map(|t| {
+            let journal = Arc::clone(&journal);
+            std::thread::spawn(move || {
+                for i in 0..RECORDS / 4 {
+                    journal.append(&score_record(t * 1000 + i)).unwrap();
+                }
+            })
+        })
+        .collect();
+    for thread in threads {
+        thread.join().unwrap();
+    }
+    let stats = journal.stats();
+    let amortization = stats.appends() as f64 / stats.fsyncs().max(1) as f64;
+    println!(
+        "  group commit: {} appends / {} fsyncs from 4 threads ({amortization:.2} appends/fsync)",
+        stats.appends(),
+        stats.fsyncs()
+    );
+    match Arc::try_unwrap(journal) {
+        Ok(journal) => journal.close(),
+        Err(_) => unreachable!("appender threads joined"),
+    }
+    let _ = std::fs::remove_dir_all(&dir);
+
+    // Replay rate: what recovery costs per journaled record.
+    let replay_per_sec = pfr_bench::measure_rate(8, RECORDS, || {
+        let mut seen = 0u64;
+        pfr_journal::replay_dir(&replay_dir_path, |_, record| {
+            black_box(&record);
+            seen += 1;
+        })
+        .unwrap();
+        assert_eq!(seen, RECORDS as u64);
+    });
+    println!("  replay:         {replay_per_sec:>12.0} records/s");
+    let _ = std::fs::remove_dir_all(&replay_dir_path);
+
+    pfr_bench::write_bench_json(
+        "BENCH_journal.json",
+        "journal_throughput",
+        &[
+            ("records", RECORDS as f64),
+            ("never_append_per_sec", never),
+            ("interval_append_per_sec", interval),
+            ("per_record_append_per_sec", per_record),
+            ("replay_per_sec", replay_per_sec),
+            // `_us` suffix = latency: perf_gate fails these for *rising*.
+            ("durable_append_p50_us", p50_us),
+            ("durable_append_p99_us", p99_us),
+        ],
+    );
+}
+
+criterion_group!(journal_throughput, bench_journal);
+criterion_main!(journal_throughput);

@@ -1,0 +1,92 @@
+//! Error type for the journal subsystem.
+
+use std::fmt;
+use std::path::PathBuf;
+
+/// Errors produced by the write-ahead journal.
+#[derive(Debug)]
+pub enum JournalError {
+    /// A file or directory operation failed.
+    Io(std::io::Error),
+    /// A segment contains invalid data *before* its tail — bitrot or foreign
+    /// bytes, not a torn write — so recovery cannot trust anything after it.
+    Corrupt {
+        /// Segment file in which the damage was found.
+        segment: PathBuf,
+        /// Byte offset of the first invalid frame.
+        offset: u64,
+        /// Human-readable description of the damage.
+        reason: String,
+    },
+    /// The journal's writer thread has shut down and can accept no appends.
+    Closed,
+    /// An append was accepted but could not be made durable.
+    Append(String),
+}
+
+impl fmt::Display for JournalError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            JournalError::Io(e) => write!(f, "journal io error: {e}"),
+            JournalError::Corrupt {
+                segment,
+                offset,
+                reason,
+            } => write!(
+                f,
+                "journal segment {} corrupt at byte {offset}: {reason}",
+                segment.display()
+            ),
+            JournalError::Closed => write!(f, "journal is closed"),
+            JournalError::Append(msg) => write!(f, "journal append failed: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for JournalError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            JournalError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for JournalError {
+    fn from(e: std::io::Error) -> Self {
+        JournalError::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_every_variant() {
+        let io: JournalError = std::io::Error::other("disk gone").into();
+        for (err, needle) in [
+            (io, "disk gone"),
+            (
+                JournalError::Corrupt {
+                    segment: PathBuf::from("seg-1.wal"),
+                    offset: 42,
+                    reason: "bad checksum".into(),
+                },
+                "byte 42",
+            ),
+            (JournalError::Closed, "closed"),
+            (JournalError::Append("sync failed".into()), "sync failed"),
+        ] {
+            assert!(err.to_string().contains(needle), "{err}");
+        }
+    }
+
+    #[test]
+    fn io_errors_expose_a_source() {
+        use std::error::Error;
+        let err: JournalError = std::io::Error::other("x").into();
+        assert!(err.source().is_some());
+        assert!(JournalError::Closed.source().is_none());
+    }
+}

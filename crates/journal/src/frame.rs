@@ -1,0 +1,180 @@
+//! On-disk frame format: checksummed, length-prefixed binary frames.
+//!
+//! ```text
+//! segment := MAGIC frame*
+//! MAGIC   := "PFRWAL1\n"                        (8 bytes)
+//! frame   := body_len:u32  seq:u64  kind:u8     (13-byte header, little-endian)
+//!            body[body_len]
+//!            checksum:u64                       (FNV-1a over header ++ body)
+//! ```
+//!
+//! The checksum covers the header *and* the body, so a frame whose length
+//! field itself was torn mid-write cannot masquerade as valid: the declared
+//! region either ends past EOF (incomplete) or hashes wrong (corrupt).
+//! Either way the frame — and everything after it — is discarded, which is
+//! exactly the torn-write recovery contract: a crash can only ever cost the
+//! suffix that was never acknowledged as durable.
+
+use crate::record::Record;
+use pfr_core::persistence::fnv1a;
+
+/// Eight magic bytes opening every segment file (includes a format version).
+pub const SEGMENT_MAGIC: &[u8; 8] = b"PFRWAL1\n";
+
+/// Fixed header size: `body_len` (4) + `seq` (8) + `kind` (1).
+pub const HEADER_LEN: usize = 13;
+
+/// Trailing checksum size.
+pub const TRAILER_LEN: usize = 8;
+
+/// Upper bound on a frame body — far above `MAX_PUSH_BYTES` (64 MiB) but
+/// small enough that a torn length field cannot trigger a giant allocation.
+pub const MAX_BODY_LEN: usize = 256 << 20;
+
+/// Encodes one frame (header + body + checksum) into `out`; returns the
+/// number of bytes appended.
+pub fn encode_frame(seq: u64, kind: u8, body: &[u8], out: &mut Vec<u8>) -> usize {
+    let start = out.len();
+    out.extend_from_slice(&(body.len() as u32).to_le_bytes());
+    out.extend_from_slice(&seq.to_le_bytes());
+    out.push(kind);
+    out.extend_from_slice(body);
+    let checksum = fnv1a(&out[start..]);
+    out.extend_from_slice(&checksum.to_le_bytes());
+    out.len() - start
+}
+
+/// Result of attempting to read one frame at `offset`.
+#[derive(Debug)]
+pub enum FrameOutcome {
+    /// A complete, checksum-valid frame.
+    Frame {
+        /// Sequence number from the header.
+        seq: u64,
+        /// Decoded record payload.
+        record: Record,
+        /// Offset of the byte after this frame.
+        next_offset: usize,
+    },
+    /// `offset` is exactly the end of the buffer — a clean segment end.
+    End,
+    /// The buffer ends inside a frame — a torn write at the tail.
+    Incomplete,
+    /// The frame region is present but invalid (bad checksum, insane
+    /// length, unknown kind, undecodable body).
+    Corrupt(String),
+}
+
+/// Reads the frame starting at `offset` in a segment's byte buffer.
+pub fn decode_frame(buf: &[u8], offset: usize) -> FrameOutcome {
+    if offset == buf.len() {
+        return FrameOutcome::End;
+    }
+    if buf.len() - offset < HEADER_LEN {
+        return FrameOutcome::Incomplete;
+    }
+    let header = &buf[offset..offset + HEADER_LEN];
+    let body_len = u32::from_le_bytes(header[0..4].try_into().unwrap()) as usize;
+    if body_len > MAX_BODY_LEN {
+        return FrameOutcome::Corrupt(format!("declared body of {body_len} bytes"));
+    }
+    let frame_len = HEADER_LEN + body_len + TRAILER_LEN;
+    if buf.len() - offset < frame_len {
+        return FrameOutcome::Incomplete;
+    }
+    let seq = u64::from_le_bytes(header[4..12].try_into().unwrap());
+    let kind = header[12];
+    let hashed = &buf[offset..offset + HEADER_LEN + body_len];
+    let stored = u64::from_le_bytes(
+        buf[offset + HEADER_LEN + body_len..offset + frame_len]
+            .try_into()
+            .unwrap(),
+    );
+    if fnv1a(hashed) != stored {
+        return FrameOutcome::Corrupt("checksum mismatch".into());
+    }
+    match Record::decode_body(
+        kind,
+        &buf[offset + HEADER_LEN..offset + HEADER_LEN + body_len],
+    ) {
+        Ok(record) => FrameOutcome::Frame {
+            seq,
+            record,
+            next_offset: offset + frame_len,
+        },
+        Err(reason) => FrameOutcome::Corrupt(reason),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Record {
+        Record::Score {
+            model: "m".into(),
+            features: vec![0.25, f64::NAN],
+        }
+    }
+
+    fn encoded(seq: u64) -> Vec<u8> {
+        let record = sample();
+        let mut body = Vec::new();
+        record.encode_body(&mut body);
+        let mut out = Vec::new();
+        encode_frame(seq, record.kind(), &body, &mut out);
+        out
+    }
+
+    #[test]
+    fn frame_roundtrips() {
+        let buf = encoded(7);
+        match decode_frame(&buf, 0) {
+            FrameOutcome::Frame {
+                seq,
+                record,
+                next_offset,
+            } => {
+                assert_eq!(seq, 7);
+                assert_eq!(next_offset, buf.len());
+                assert!(record.bitwise_eq(&sample()));
+            }
+            other => panic!("expected frame, got {other:?}"),
+        }
+        assert!(matches!(decode_frame(&buf, buf.len()), FrameOutcome::End));
+    }
+
+    #[test]
+    fn every_truncation_is_incomplete_not_corrupt() {
+        let buf = encoded(1);
+        for cut in 1..buf.len() {
+            assert!(
+                matches!(decode_frame(&buf[..cut], 0), FrameOutcome::Incomplete),
+                "cut at {cut} must read as a torn tail"
+            );
+        }
+    }
+
+    #[test]
+    fn any_flipped_byte_is_detected() {
+        let buf = encoded(3);
+        for i in 0..buf.len() {
+            let mut bad = buf.clone();
+            bad[i] ^= 0x40;
+            match decode_frame(&bad, 0) {
+                FrameOutcome::Corrupt(_) | FrameOutcome::Incomplete => {}
+                FrameOutcome::Frame { .. } => {
+                    panic!("flipping byte {i} went undetected")
+                }
+                FrameOutcome::End => unreachable!(),
+            }
+        }
+    }
+
+    #[test]
+    fn insane_length_is_corrupt_without_allocating() {
+        let mut buf = vec![0u8; HEADER_LEN + TRAILER_LEN];
+        buf[0..4].copy_from_slice(&u32::MAX.to_le_bytes());
+        assert!(matches!(decode_frame(&buf, 0), FrameOutcome::Corrupt(_)));
+    }
+}

@@ -44,9 +44,18 @@ impl LocalCluster {
     /// address — hand it to [`crate::Router::add_backend`] to join it to a
     /// live router.
     pub fn add_backend(&mut self) -> Result<SocketAddr> {
+        self.add_backend_with(self.config.clone())
+    }
+
+    /// Boots one more backend from an explicit per-backend `config` (the
+    /// bind address is still forced to an ephemeral loopback port). This is
+    /// how backends get configuration that must *differ* per member — most
+    /// usefully a private journal directory each, since two servers must
+    /// never append to the same write-ahead journal.
+    pub fn add_backend_with(&mut self, config: ServerConfig) -> Result<SocketAddr> {
         let server = Server::spawn(ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            ..self.config.clone()
+            ..config
         })
         .map_err(|e| crate::RouterError::Backend(e.to_string()))?;
         let addr = server.addr();
@@ -345,6 +354,45 @@ mod tests {
             Err(crate::RouterError::Membership(_))
         ));
         assert!(!router.membership().ids().contains(&victim));
+    }
+
+    #[test]
+    fn a_replacement_backend_recovers_a_dead_members_journal() {
+        let dir = std::env::temp_dir().join(format!(
+            "pfr_cluster_journal_recovery_{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        let journaled = ServerConfig {
+            journal: Some(pfr_journal::JournalConfig::new(dir.clone())),
+            ..ServerConfig::default()
+        };
+        let mut cluster = LocalCluster::boot(0, ServerConfig::default()).unwrap();
+        cluster.add_backend_with(journaled.clone()).unwrap();
+        let router = cluster
+            .router(RouterConfig {
+                replication: 1,
+                ..quick_router_config()
+            })
+            .unwrap();
+        let (bundle, x) = toy_bundle();
+        assert_eq!(router.push("toy", &bundle).unwrap(), 1);
+        let expected = router.score("toy", x.row(0)).unwrap();
+        drop(router);
+        assert!(cluster.kill(0));
+
+        // A replacement on the dead member's journal directory recovers its
+        // models and warmed score cache without any re-push.
+        cluster.add_backend_with(journaled).unwrap();
+        let server = cluster.server(1).unwrap();
+        let report = server.recover_from_journal().unwrap();
+        assert_eq!(report.installs, 1, "the pushed bundle replays");
+        assert!(report.warmed >= 1, "the scored vector re-warms the cache");
+        let model = server.registry().get("toy").expect("model recovered");
+        let got = model.score_one(x.row(0)).unwrap();
+        assert_eq!(got.to_bits(), expected.to_bits());
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

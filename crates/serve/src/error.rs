@@ -15,6 +15,9 @@ pub enum ServeError {
     ModelNotFound(String),
     /// The worker pool or batcher has shut down and can take no more work.
     Shutdown,
+    /// The write-ahead journal rejected or could not durably record a
+    /// request — the request fails rather than silently losing its frame.
+    Journal(String),
 }
 
 impl fmt::Display for ServeError {
@@ -29,6 +32,7 @@ impl fmt::Display for ServeError {
                 crate::protocol::MODEL_NOT_FOUND_PREFIX
             ),
             ServeError::Shutdown => write!(f, "serving subsystem is shut down"),
+            ServeError::Journal(msg) => write!(f, "journal error: {msg}"),
         }
     }
 }
@@ -68,6 +72,7 @@ mod tests {
             (ServeError::Protocol("eh".into()), "protocol error"),
             (ServeError::ModelNotFound("m".into()), "no model named"),
             (ServeError::Shutdown, "shut down"),
+            (ServeError::Journal("disk full".into()), "journal error"),
         ] {
             assert!(err.to_string().contains(needle), "{err}");
         }

@@ -27,6 +27,12 @@
 //!   connection. `HEALTH` and `EPOCH` exist for the `pfr-router` tier:
 //!   liveness/queue-depth probes and cross-process model-content digests.
 //!
+//! Durability is optional: configure [`ServerConfig::journal`] and every
+//! accepted `SCORE`/`TRANSFORM`/`LOAD`/`PUSH` is appended to a `pfr-journal`
+//! write-ahead log before it executes; after a crash,
+//! [`Server::recover_from_journal`] replays the log to rebuild the registry
+//! and re-warm the score cache to the exact pre-crash state.
+//!
 //! ## Quick start
 //!
 //! ```no_run
@@ -67,7 +73,7 @@ pub use model::ServableModel;
 pub use pool::WorkerPool;
 pub use protocol::Request;
 pub use registry::ModelRegistry;
-pub use server::{FrontendMode, Server, ServerConfig};
+pub use server::{FrontendMode, RecoveryReport, Server, ServerConfig};
 pub use stats::{InflightGuard, ServerStats, VerbStats};
 
 /// Convenient result alias used across the crate.

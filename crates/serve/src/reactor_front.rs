@@ -36,6 +36,7 @@ use crate::protocol::{self, Request};
 use crate::server::{self, ServeContext};
 use crate::stats::VerbStats;
 use crate::Result;
+use pfr_journal::Record;
 use pfr_net::poller::{Event, Interest, Poller, Waker};
 use pfr_net::wheel::DeadlineWheel;
 use pfr_net::{Frame, LineConn};
@@ -503,6 +504,18 @@ impl Reactor {
                 return;
             }
         };
+        // Journaled before execution so replay reproduces the request order.
+        // Under `FsyncPolicy::PerRecord` the append blocks the reactor on an
+        // fsync; journaling reactor deployments should prefer `Interval`.
+        if let Err(e) = context.journal_append(|| Record::Score {
+            model: name.to_string(),
+            features: features.clone(),
+        }) {
+            stats.inflight_exit();
+            stats.score.record(start.elapsed(), false);
+            self.emit(token, seq, protocol::err_response(&e));
+            return;
+        }
         let key = ScoreKey::new(model.generation(), &features);
         if let Some(key) = &key {
             let cached = context.cache.lock().expect("cache lock poisoned").get(key);
@@ -555,6 +568,15 @@ impl Reactor {
                 return;
             }
         };
+        if let Err(e) = context.journal_append(|| Record::Transform {
+            model: name.to_string(),
+            features: features.clone(),
+        }) {
+            stats.inflight_exit();
+            stats.transform.record(start.elapsed(), false);
+            self.emit(token, seq, protocol::err_response(&e));
+            return;
+        }
         let meta = PendingMeta {
             verb: AsyncVerb::Transform,
             start,

@@ -25,6 +25,7 @@ use crate::protocol::{self, Request};
 use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use crate::Result;
+use pfr_journal::{Journal, JournalConfig, Record};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -82,6 +83,17 @@ pub struct ServerConfig {
     /// client already holds the thread, which is the resource the timeout
     /// would protect.
     pub idle_timeout: Option<Duration>,
+    /// Write-ahead journal configuration (`None` = no journaling). When
+    /// set, every accepted `SCORE`/`TRANSFORM`/`LOAD`/`PUSH` is appended to
+    /// the journal *before* it executes (bundle text inlined for `LOAD` and
+    /// `PUSH`, so replay needs no filesystem), and
+    /// [`Server::recover_from_journal`] can rebuild the registry and
+    /// re-warm the score cache to the exact pre-crash state. A request the
+    /// journal cannot record fails with an `ERR` — durability is part of
+    /// accepting it. Note that models installed in-process via
+    /// [`Server::registry`] bypass the wire handlers and are **not**
+    /// journaled; use `LOAD`/`PUSH` for installs that must survive a crash.
+    pub journal: Option<JournalConfig>,
 }
 
 impl Default for ServerConfig {
@@ -96,6 +108,7 @@ impl Default for ServerConfig {
             cache_per_model: None,
             bundle_dir: None,
             idle_timeout: None,
+            journal: None,
         }
     }
 }
@@ -172,17 +185,60 @@ pub(crate) struct ServeContext {
     pub(crate) pool: Arc<crate::pool::WorkerPool>,
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) bundle_dir: Option<std::path::PathBuf>,
+    pub(crate) journal: Option<Arc<Journal>>,
     connections: ConnectionTable,
 }
 
 impl ServeContext {
     /// The `STATS` payload: the atomic counters plus the live cache-entry
     /// gauge (expired entries are purged before counting, so the gauge
-    /// reflects what the cache actually holds).
+    /// reflects what the cache actually holds) and, when journaling is on,
+    /// the journal's own counters (seq, segments, bytes, fsync lag).
     pub(crate) fn stats_line(&self) -> String {
         let entries = self.cache.lock().expect("cache lock poisoned").len();
-        format!("{} cache_entries={entries}", self.stats.to_line())
+        let base = format!("{} cache_entries={entries}", self.stats.to_line());
+        match &self.journal {
+            Some(journal) => format!("{base} {}", journal.stats().to_line()),
+            None => base,
+        }
     }
+
+    /// Appends a journal record if journaling is configured. The record is
+    /// built lazily so the non-journaling hot path pays nothing. An append
+    /// failure fails the request: a server that promised durability must
+    /// not serve what it could not record.
+    pub(crate) fn journal_append(&self, record: impl FnOnce() -> Record) -> Result<()> {
+        if let Some(journal) = &self.journal {
+            journal
+                .append(&record())
+                .map_err(|e| ServeError::Journal(e.to_string()))?;
+        }
+        Ok(())
+    }
+}
+
+/// What [`Server::recover_from_journal`] rebuilt from the journal.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct RecoveryReport {
+    /// Total checksum-valid frames replayed.
+    pub frames: u64,
+    /// `LOAD`/`PUSH` frames whose inlined bundle was reinstalled.
+    pub installs: usize,
+    /// `SCORE` frames replayed against a loaded model (cached or not).
+    pub scores: usize,
+    /// Distinct cache entries inserted by replay — a vector scored twice
+    /// pre-crash warms once.
+    pub warmed: usize,
+    /// `TRANSFORM` frames acknowledged (pure reads; nothing to rebuild).
+    pub transforms: usize,
+    /// Frames that could not be applied — typically requests against a
+    /// model whose install frame fell to segment retention.
+    pub skipped: usize,
+    /// Highest sequence number replayed (0 when the journal is empty).
+    pub last_seq: u64,
+    /// Bytes past the last valid frame ignored during replay. Normally 0:
+    /// opening the journal already truncated any torn tail.
+    pub truncated_bytes: u64,
 }
 
 /// The running front end's handles — whichever architecture was selected.
@@ -226,6 +282,13 @@ impl Server {
             Arc::clone(&pool),
             Arc::clone(&stats),
         );
+        let journal = match &config.journal {
+            Some(journal_config) => Some(Arc::new(
+                Journal::open(journal_config.clone())
+                    .map_err(|e| ServeError::Journal(e.to_string()))?,
+            )),
+            None => None,
+        };
         let context = Arc::new(ServeContext {
             registry: ModelRegistry::new(),
             cache: Mutex::new(ScoreCache::with_policy(CachePolicy {
@@ -237,6 +300,7 @@ impl Server {
             pool,
             stats,
             bundle_dir: config.bundle_dir.clone(),
+            journal,
             connections: ConnectionTable::default(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -290,23 +354,99 @@ impl Server {
         &self.context.stats
     }
 
-    /// Warms the score cache from a recorded request log (line-delimited
-    /// `SCORE <name> ...` lines — a wire capture replays unmodified).
-    /// Call after loading models and before exposing the address: every
-    /// logged vector whose model is loaded is scored once and cached, so
-    /// the first real request for it is served at cache-hit latency.
-    /// Returns how many entries were warmed; lines for unloaded models or
-    /// with unusable vectors are skipped. See
+    /// Warms the score cache from an externally recorded request log
+    /// (line-delimited `SCORE <name> ...` lines — a wire capture replays
+    /// unmodified). Call after loading models and before exposing the
+    /// address. Returns `(replayed, skipped)` line counts; truncated or
+    /// partially binary logs degrade to skipped lines, never errors. See
     /// [`ScoreCache::warm_from_log`].
-    pub fn warm_from_log(&self, path: &Path) -> Result<usize> {
+    ///
+    /// A server running with a journal does not need this: journal replay
+    /// ([`Server::recover_from_journal`]) warms the cache from the
+    /// server's *own* durable request record instead of an external
+    /// capture.
+    pub fn warm_from_log(&self, path: &Path) -> Result<(usize, usize)> {
         let registry = &self.context.registry;
         let mut cache = self.context.cache.lock().expect("cache lock poisoned");
-        let warmed = cache.warm_from_log(path, |name, features| {
+        let counts = cache.warm_from_log(path, |name, features| {
             let model = registry.get(name)?;
             let score = model.score_one(features).ok()?;
             Some((model.generation(), score))
         })?;
-        Ok(warmed)
+        Ok(counts)
+    }
+
+    /// The write-ahead journal, if one is configured.
+    pub fn journal(&self) -> Option<&Journal> {
+        self.context.journal.as_deref()
+    }
+
+    /// Replays the configured journal to rebuild this server's state to the
+    /// exact pre-crash point: `LOAD`/`PUSH` frames reinstall their inlined
+    /// bundles into the registry, and `SCORE` frames re-score and re-insert
+    /// into the cache (in journal order, so even the LRU recency order
+    /// matches what the crashed server held). Scoring is deterministic, so
+    /// the warmed entries are bitwise identical to both the pre-crash
+    /// responses and offline predictions.
+    ///
+    /// Call right after [`Server::spawn`], before exposing the address.
+    /// Replay applies state directly — nothing is re-journaled — and a
+    /// frame that cannot be applied (a `SCORE` for a model whose install
+    /// was dropped by segment retention, say) is counted as skipped rather
+    /// than aborting the recovery.
+    pub fn recover_from_journal(&self) -> Result<RecoveryReport> {
+        let journal = self
+            .context
+            .journal
+            .as_ref()
+            .ok_or_else(|| ServeError::Journal("no journal configured".to_string()))?;
+        let registry = &self.context.registry;
+        let mut report = RecoveryReport::default();
+        let summary = journal
+            .replay(|_seq, record| match record {
+                Record::Load { model, bundle_text } | Record::Push { model, bundle_text } => {
+                    match registry.load_from_str(&model, &bundle_text) {
+                        Ok(_) => report.installs += 1,
+                        Err(_) => report.skipped += 1,
+                    }
+                }
+                Record::Score { model, features } => {
+                    let warmed = (|| {
+                        let servable = registry.get(&model)?;
+                        let key = ScoreKey::new(servable.generation(), &features)?;
+                        let mut cache = self.context.cache.lock().expect("cache lock poisoned");
+                        if cache.get(&key).is_none() {
+                            let score = servable.score_one(&features).ok()?;
+                            cache.insert(key, score);
+                            Some(true)
+                        } else {
+                            Some(false)
+                        }
+                    })();
+                    match warmed {
+                        Some(true) => {
+                            report.scores += 1;
+                            report.warmed += 1;
+                        }
+                        Some(false) => report.scores += 1,
+                        None => report.skipped += 1,
+                    }
+                }
+                Record::Transform { model, .. } => {
+                    // Transforms are pure reads with no cached state to
+                    // rebuild; they count toward the replay total only.
+                    if registry.get(&model).is_some() {
+                        report.transforms += 1;
+                    } else {
+                        report.skipped += 1;
+                    }
+                }
+            })
+            .map_err(|e| ServeError::Journal(e.to_string()))?;
+        report.frames = summary.frames;
+        report.last_seq = summary.last_seq;
+        report.truncated_bytes = summary.truncated_bytes;
+        Ok(report)
     }
 
     /// Gracefully shuts the server down: stops accepting, closes every
@@ -530,7 +670,20 @@ pub(crate) fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Re
             )));
         }
     }
-    let model = context.registry.load_from_file(name, path)?;
+    let model = if context.journal.is_some() {
+        // Journaling inlines the bundle text so replay needs no filesystem:
+        // read and validate first (garbage never lands in the journal),
+        // append the frame, then install from the already-read text.
+        let text = std::fs::read_to_string(path)?;
+        pfr_core::persistence::bundle_from_string(&text).map_err(ServeError::model)?;
+        context.journal_append(|| Record::Load {
+            model: name.to_string(),
+            bundle_text: text.clone(),
+        })?;
+        context.registry.load_from_str(name, &text)?
+    } else {
+        context.registry.load_from_file(name, path)?
+    };
     Ok(loaded_payload(&model))
 }
 
@@ -541,6 +694,16 @@ pub(crate) fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Re
 pub(crate) fn handle_push(context: &ServeContext, name: &str, payload: &[u8]) -> Result<String> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| ServeError::Protocol("PUSH payload is not valid utf-8".to_string()))?;
+    if context.journal.is_some() {
+        // Validate before journaling so a garbage payload never occupies a
+        // frame; the install below re-parses, but pushes are rare and
+        // bundles are small.
+        pfr_core::persistence::bundle_from_string(text).map_err(ServeError::model)?;
+        context.journal_append(|| Record::Push {
+            model: name.to_string(),
+            bundle_text: text.to_string(),
+        })?;
+    }
     let model = context.registry.load_from_str(name, text)?;
     Ok(loaded_payload(&model))
 }
@@ -557,6 +720,12 @@ fn loaded_payload(model: &crate::model::ServableModel) -> String {
 
 fn handle_score(context: &ServeContext, name: &str, features: Vec<f64>) -> Result<String> {
     let model = context.registry.resolve(name)?;
+    // Journaled before execution — cache hits included — so replay
+    // reproduces the exact request order (and thus the LRU state).
+    context.journal_append(|| Record::Score {
+        model: name.to_string(),
+        features: features.clone(),
+    })?;
     let key = ScoreKey::new(model.generation(), &features);
     if let Some(key) = &key {
         let cached = context.cache.lock().expect("cache lock poisoned").get(key);
@@ -584,6 +753,10 @@ pub(crate) fn score_payload(score: f64, threshold: f64) -> String {
 
 fn handle_transform(context: &ServeContext, name: &str, features: Vec<f64>) -> Result<String> {
     let model = context.registry.resolve(name)?;
+    context.journal_append(|| Record::Transform {
+        model: name.to_string(),
+        features: features.clone(),
+    })?;
     // Transforms are not micro-batched (they are an offline/debugging verb);
     // they still run on the pool so connection threads never do linear
     // algebra.
@@ -1006,8 +1179,9 @@ mod tests {
         }
         log.push_str("SCORE ghost 1 2 3\n"); // unloaded model: skipped
         std::fs::write(&log_path, log).unwrap();
-        let warmed = server.warm_from_log(&log_path).unwrap();
-        assert_eq!(warmed, x.rows());
+        let (replayed, skipped) = server.warm_from_log(&log_path).unwrap();
+        assert_eq!(replayed, x.rows());
+        assert_eq!(skipped, 1, "the ghost-model line is skipped");
         // Every first real request of a logged vector hits the cache.
         let lines: Vec<String> = (0..x.rows())
             .map(|i| format!("SCORE risk {}", protocol::format_numbers(x.row(i))))

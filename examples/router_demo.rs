@@ -8,7 +8,18 @@
 //! ```text
 //! cargo run --release --example router_demo
 //! ```
+//!
+//! With `--journal <dir>` every backend runs with its own write-ahead
+//! journal under `<dir>/backend-<n>`, and the healing step changes
+//! character: the replacement backend boots on the *dead member's* journal
+//! directory and replays it — recovering the model and the warmed score
+//! cache from the victim's own durable request log, with no re-push needed:
+//!
+//! ```text
+//! cargo run --release --example router_demo -- --journal /tmp/pfr-cluster-journal
+//! ```
 
+use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
 use pfr::router::{BreakerConfig, LocalCluster, RouterConfig};
 use pfr::serve::ServerConfig;
@@ -44,8 +55,29 @@ fn main() {
     let (raw, _) = test.features_with_protected().expect("raw features");
     let bundle = fitted.into_bundle().expect("bundle assembles");
 
-    // 2. Boot a 3-shard cluster and a replicated router over it.
-    let mut cluster = LocalCluster::boot(3, ServerConfig::default()).expect("cluster boots");
+    // 2. Boot a 3-shard cluster and a replicated router over it. With
+    //    `--journal <dir>` each backend gets a private journal directory
+    //    (two servers must never append to the same write-ahead log).
+    let journal_root = {
+        let mut args = std::env::args();
+        args.find(|a| a == "--journal")
+            .map(|_| std::path::PathBuf::from(args.next().expect("--journal takes a directory")))
+    };
+    let backend_config = |n: usize| ServerConfig {
+        journal: journal_root
+            .as_ref()
+            .map(|root| JournalConfig::new(root.join(format!("backend-{n}")))),
+        ..ServerConfig::default()
+    };
+    let mut cluster = LocalCluster::boot(0, ServerConfig::default()).expect("cluster allocates");
+    for n in 0..3 {
+        cluster
+            .add_backend_with(backend_config(n))
+            .expect("backend boots");
+    }
+    if let Some(root) = &journal_root {
+        println!("each backend journaling to {}/backend-<n>", root.display());
+    }
     let router = Arc::new(
         cluster
             .router(RouterConfig {
@@ -112,7 +144,33 @@ fn main() {
     // 5. Heal the cluster live: a replacement backend joins the ring, the
     //    dead one is retired, and reconciliation PUSHes the model wherever
     //    the new replica set demands — all while the router keeps serving.
-    let addr = cluster.add_backend().expect("replacement backend boots");
+    //    When journaling, the replacement boots on the DEAD member's
+    //    journal directory and replays it first: model and warmed cache
+    //    come back from the victim's own durable request log.
+    let addr = cluster
+        .add_backend_with(backend_config(victim))
+        .expect("replacement backend boots");
+    if journal_root.is_some() {
+        let replacement = cluster.len() - 1;
+        let report = cluster
+            .server(replacement)
+            .expect("replacement is alive")
+            .recover_from_journal()
+            .expect("journal replay succeeds");
+        println!(
+            "replacement replayed backend {victim}'s journal: {} frames, {} installs, {} cache entries warmed",
+            report.frames, report.installs, report.warmed
+        );
+        assert!(
+            cluster
+                .server(replacement)
+                .unwrap()
+                .registry()
+                .get("admissions")
+                .is_some(),
+            "the model must come back from the journal, not a re-push"
+        );
+    }
     let new_id = router.add_backend(addr).expect("joins the live ring");
     router.remove_backend(victim).expect("dead member retires");
     println!(

@@ -5,7 +5,17 @@
 //! ```text
 //! cargo run --release --example serve_demo
 //! ```
+//!
+//! With `--journal <dir>` the server runs with a write-ahead journal and
+//! the demo finishes by *crashing* the server (no graceful shutdown at
+//! all), starting a fresh one on the same journal directory, and replaying
+//! the journal to restore the registry and the warmed score cache:
+//!
+//! ```text
+//! cargo run --release --example serve_demo -- --journal /tmp/pfr-journal
+//! ```
 
+use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
 use pfr::serve::protocol::format_numbers;
 use pfr::serve::{BatcherConfig, Server, ServerConfig};
@@ -48,16 +58,27 @@ fn main() {
 
     // 3. Serve it on an ephemeral port — the event-driven (reactor) front
     //    end by default; set `frontend: FrontendMode::Threaded` for the
-    //    thread-per-connection baseline.
-    let server = Server::spawn(ServerConfig {
+    //    thread-per-connection baseline. `--journal <dir>` adds a
+    //    write-ahead journal: every accepted request becomes durable before
+    //    its response, and a crashed server can be rebuilt from the log.
+    let journal_dir = {
+        let mut args = std::env::args();
+        args.find(|a| a == "--journal")
+            .map(|_| std::path::PathBuf::from(args.next().expect("--journal takes a directory")))
+    };
+    let make_config = || ServerConfig {
         workers: 4,
         batcher: BatcherConfig {
             max_batch: 32,
             linger: Duration::from_micros(300),
         },
+        journal: journal_dir.clone().map(JournalConfig::new),
         ..ServerConfig::default()
-    })
-    .expect("server spawns");
+    };
+    let server = Server::spawn(make_config()).expect("server spawns");
+    if let Some(dir) = &journal_dir {
+        println!("journaling every request to {}", dir.display());
+    }
     let addr = server.addr();
     println!("serving on {addr}");
 
@@ -86,8 +107,8 @@ fn main() {
         ));
     }
     std::fs::write(&log_path, log).expect("request log writes");
-    let warmed = server.warm_from_log(&log_path).expect("warm-up succeeds");
-    println!("cache warmed with {warmed} entries from a recorded request log");
+    let (warmed, skipped) = server.warm_from_log(&log_path).expect("warm-up succeeds");
+    println!("cache warmed with {warmed} entries from a recorded request log ({skipped} skipped)");
 
     // 5. ... and four client threads score the whole test split concurrently.
     let rows: Arc<Vec<Vec<f64>>> = Arc::new((0..raw.rows()).map(|i| raw.row(i).to_vec()).collect());
@@ -140,7 +161,40 @@ fn main() {
     reader.read_line(&mut stats).expect("response reads");
     println!("STATS -> {}", stats.trim_end());
 
-    server.shutdown();
+    // 7. With a journal: crash the server outright and recover a new one.
+    if journal_dir.is_some() {
+        // No shutdown, no Drop — the process state is simply abandoned, the
+        // way a SIGKILL would leave it. Everything the clients saw
+        // acknowledged is already fsynced in the journal.
+        drop((reader, writer));
+        std::mem::forget(server);
+        println!("server crashed (no graceful shutdown) — recovering from the journal ...");
+        let recovered = Server::spawn(make_config()).expect("recovery server spawns");
+        let report = recovered
+            .recover_from_journal()
+            .expect("journal replay succeeds");
+        println!(
+            "replayed {} frames: {} installs, {} scores ({} cache entries warmed), {} skipped",
+            report.frames, report.installs, report.scores, report.warmed, report.skipped
+        );
+        // The first request after recovery is already a cache hit.
+        let stream = TcpStream::connect(recovered.addr()).expect("client connects");
+        stream.set_nodelay(true).expect("nodelay sets");
+        let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        let mut writer = stream;
+        writeln!(writer, "SCORE admissions {}", format_numbers(raw.row(0)))
+            .expect("request writes");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response reads");
+        println!(
+            "first post-recovery score -> {} (cache hits: {})",
+            response.trim_end(),
+            recovered.stats().cache_hits()
+        );
+        recovered.shutdown();
+    } else {
+        server.shutdown();
+    }
     let _ = std::fs::remove_file(&path);
     let _ = std::fs::remove_file(&log_path);
 }

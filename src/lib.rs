@@ -20,6 +20,8 @@
 //!   figure of the paper.
 //! * [`serve`] — the concurrent model-serving subsystem (registry, worker
 //!   pool, micro-batching, score cache, TCP protocol).
+//! * [`journal`] — the durable write-ahead request journal (checksummed
+//!   frames, segment rotation, group-commit fsync, crash recovery).
 //! * [`router`] — the sharded routing tier over multiple serve backends
 //!   (consistent hashing, replication, scatter-gather, circuit breakers).
 //!
@@ -67,6 +69,7 @@ pub use pfr_core as core;
 pub use pfr_data as data;
 pub use pfr_eval as eval;
 pub use pfr_graph as graph;
+pub use pfr_journal as journal;
 pub use pfr_linalg as linalg;
 pub use pfr_metrics as metrics;
 pub use pfr_net as net;

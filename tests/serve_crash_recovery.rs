@@ -1,0 +1,183 @@
+//! Crash-recovery test for the journaled server: train offline, `PUSH` the
+//! bundle into a journaling server over TCP, score real traffic, then kill
+//! the server **without any graceful shutdown** (`mem::forget` — no `Drop`,
+//! no final fsync beyond what each request already got) and start a fresh
+//! server on the same journal directory. `recover_from_journal` must
+//! rebuild the registry from the inlined bundle frames and re-warm the
+//! score cache so the replayed vectors are served as immediate cache hits,
+//! bitwise identical to both the pre-crash responses and offline
+//! `predict_proba`.
+//!
+//! Runs once per front-end architecture, like the other end-to-end tests.
+
+use pfr::journal::JournalConfig;
+use pfr::pipeline::{FairPipeline, FairPipelineConfig};
+use pfr::serve::{FrontendMode, Server, ServerConfig};
+use pfr_data::{synthetic, Dataset};
+use pfr_graph::{fairness, SparseGraph};
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
+use std::path::PathBuf;
+
+fn fairness_graph(ds: &Dataset) -> SparseGraph {
+    let scores: Vec<f64> = ds
+        .side_information()
+        .iter()
+        .map(|s| s.unwrap_or(0.0))
+        .collect();
+    fairness::between_group_quantile_graph(ds.groups(), &scores, 5).unwrap()
+}
+
+fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &str) -> String {
+    writeln!(writer, "{line}").unwrap();
+    writer.flush().unwrap();
+    let mut response = String::new();
+    reader.read_line(&mut response).unwrap();
+    response.trim_end().to_string()
+}
+
+fn connect(addr: std::net::SocketAddr) -> (BufReader<TcpStream>, TcpStream) {
+    let stream = TcpStream::connect(addr).unwrap();
+    stream.set_nodelay(true).unwrap();
+    (BufReader::new(stream.try_clone().unwrap()), stream)
+}
+
+fn scratch_journal_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pfr_crash_recovery_{tag}_{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn hard_crash_then_journal_replay_restores_state_reactor() {
+    hard_crash_then_journal_replay_restores_state(FrontendMode::Reactor);
+}
+
+#[test]
+fn hard_crash_then_journal_replay_restores_state_threaded() {
+    hard_crash_then_journal_replay_restores_state(FrontendMode::Threaded);
+}
+
+fn hard_crash_then_journal_replay_restores_state(frontend: FrontendMode) {
+    // --- Offline ground truth. ---------------------------------------------
+    let dataset = synthetic::generate_default(79).unwrap();
+    let fitted = FairPipeline::new(FairPipelineConfig {
+        gamma: 0.9,
+        ..FairPipelineConfig::default()
+    })
+    .fit(&dataset, &fairness_graph(&dataset))
+    .unwrap();
+    let expected = fitted.predict_proba(&dataset).unwrap();
+    let (raw, _) = dataset.features_with_protected().unwrap();
+    let bundle_text = pfr::core::persistence::bundle_to_string(&fitted.into_bundle().unwrap());
+
+    let journal_dir = scratch_journal_dir(&format!("{frontend:?}"));
+    let journal_config = JournalConfig::new(journal_dir.clone());
+    let server_config = || ServerConfig {
+        frontend,
+        journal: Some(journal_config.clone()),
+        ..ServerConfig::default()
+    };
+
+    // --- Phase A: a journaling server takes real traffic. -------------------
+    // The model arrives over the wire (`PUSH`): in-process registry loads
+    // bypass the handlers and are deliberately not journaled.
+    let server_a = Server::spawn(server_config()).unwrap();
+    let score_lines: Vec<String> = [0, 1, 2, 3, 0, 1, 2, 3] // repeats exercise the cache
+        .iter()
+        .map(|&i| {
+            format!(
+                "SCORE admissions {}",
+                pfr::serve::protocol::format_numbers(raw.row(i))
+            )
+        })
+        .collect();
+    let phase_a: Vec<String> = {
+        let (mut reader, mut writer) = connect(server_a.addr());
+        write!(
+            writer,
+            "PUSH admissions {}\n{bundle_text}",
+            bundle_text.len()
+        )
+        .unwrap();
+        writer.flush().unwrap();
+        let mut pushed = String::new();
+        reader.read_line(&mut pushed).unwrap();
+        assert!(pushed.starts_with("OK loaded admissions@"), "{pushed}");
+        let transform = format!(
+            "TRANSFORM admissions {}",
+            pfr::serve::protocol::format_numbers(raw.row(0))
+        );
+        assert!(roundtrip(&mut reader, &mut writer, &transform).starts_with("OK "));
+        score_lines
+            .iter()
+            .map(|line| roundtrip(&mut reader, &mut writer, line))
+            .collect()
+    };
+    for response in &phase_a {
+        assert!(response.starts_with("OK "), "{response}");
+    }
+
+    // --- Hard crash: no shutdown, no Drop, no final flush. ------------------
+    // Every response above was only sent after its frame was fsynced
+    // (`FsyncPolicy::PerRecord`, the default), so the journal on disk must
+    // already contain everything the clients saw acknowledged.
+    std::mem::forget(server_a);
+
+    // --- Phase B: a fresh server on the same journal directory. -------------
+    let server_b = Server::spawn(server_config()).unwrap();
+    let report = server_b.recover_from_journal().unwrap();
+    assert_eq!(report.frames, 10, "1 push + 1 transform + 8 scores");
+    assert_eq!(report.installs, 1);
+    assert_eq!(report.transforms, 1);
+    assert_eq!(report.scores, 8);
+    assert_eq!(report.warmed, 4, "4 distinct vectors were scored");
+    assert_eq!(report.skipped, 0);
+    assert_eq!(report.last_seq, 10);
+
+    // The registry holds the pushed model again, scoring exactly as before.
+    let model = server_b
+        .registry()
+        .get("admissions")
+        .expect("replay reinstalls the pushed model");
+    assert_eq!(model.num_features(), raw.cols());
+
+    // Replayed vectors are served from the warmed cache — zero misses — and
+    // every response is byte-identical to the pre-crash ones, which were
+    // themselves bitwise equal to offline predictions.
+    let phase_b: Vec<String> = {
+        let (mut reader, mut writer) = connect(server_b.addr());
+        score_lines
+            .iter()
+            .map(|line| roundtrip(&mut reader, &mut writer, line))
+            .collect()
+    };
+    assert_eq!(phase_a, phase_b, "recovery must not change a single byte");
+    for (i, response) in phase_b.iter().enumerate() {
+        let score: f64 = response.split_whitespace().nth(1).unwrap().parse().unwrap();
+        let want = expected[[0, 1, 2, 3, 0, 1, 2, 3][i]];
+        assert_eq!(score.to_bits(), want.to_bits(), "request {i}");
+    }
+    assert_eq!(
+        server_b.stats().cache_misses(),
+        0,
+        "every replayed vector must be an immediate hit"
+    );
+    assert_eq!(server_b.stats().cache_hits(), score_lines.len() as u64);
+
+    // STATS exposes the journal counters, and the re-scored traffic was
+    // itself journaled: the sequence advanced past the replayed history.
+    let (mut reader, mut writer) = connect(server_b.addr());
+    let stats_line = roundtrip(&mut reader, &mut writer, "STATS");
+    let journal_seq: u64 = stats_line
+        .split_whitespace()
+        .find_map(|pair| pair.strip_prefix("journal_seq="))
+        .unwrap_or_else(|| panic!("no journal_seq in '{stats_line}'"))
+        .parse()
+        .unwrap();
+    assert_eq!(journal_seq, 18, "10 replayed + 8 re-scored");
+
+    server_b.shutdown();
+    let _ = std::fs::remove_dir_all(&journal_dir);
+}
