@@ -56,6 +56,64 @@ impl Pfr {
     /// the model degenerates to a purely neighbourhood-preserving embedding,
     /// the γ = 0 behaviour).
     pub fn fit(&self, x: &Matrix, wx: &SparseGraph, wf: &SparseGraph) -> Result<PfrModel> {
+        let m_mat = self.assemble_objective(x, wx, wf)?;
+        let eigen = Eigen::decompose_with(&m_mat, self.config.eigen_method)?;
+        let projection = eigen.smallest_eigenvectors(self.config.dim)?;
+        let eigenvalues = eigen.eigenvalues[..self.config.dim].to_vec();
+        Ok(self.model_from(projection, eigenvalues, x.cols()))
+    }
+
+    /// Fits PFR warm-started from an existing projection — the online-refit
+    /// path. Instead of a full `O(m³)`-per-sweep dense decomposition, the
+    /// `d` smallest eigenpairs of the objective matrix are found by shifted
+    /// block subspace iteration seeded with `warm.projection()`
+    /// ([`pfr_linalg::subspace`]), which costs a handful of `O(m²d)` GEMM
+    /// products when the window's objective is close to the one `warm` was
+    /// fitted on. Falls back to the dense solver (an ordinary [`Pfr::fit`])
+    /// if the iteration does not converge or the warm model's shape does
+    /// not match, so the result is always valid.
+    pub fn fit_warm(
+        &self,
+        x: &Matrix,
+        wx: &SparseGraph,
+        wf: &SparseGraph,
+        warm: &PfrModel,
+    ) -> Result<PfrModel> {
+        let m = x.cols();
+        if warm.num_features() != m || warm.dim() != self.config.dim {
+            return self.fit(x, wx, wf);
+        }
+        let m_mat = self.assemble_objective(x, wx, wf)?;
+        match pfr_linalg::smallest_eigenpairs_warm(
+            &m_mat,
+            warm.projection(),
+            &pfr_linalg::SubspaceOptions::default(),
+        ) {
+            Ok(sub) => Ok(self.model_from(sub.eigenvectors, sub.eigenvalues, m)),
+            Err(_) => {
+                let eigen = Eigen::decompose_with(&m_mat, self.config.eigen_method)?;
+                let projection = eigen.smallest_eigenvectors(self.config.dim)?;
+                let eigenvalues = eigen.eigenvalues[..self.config.dim].to_vec();
+                Ok(self.model_from(projection, eigenvalues, m))
+            }
+        }
+    }
+
+    fn model_from(&self, projection: Matrix, eigenvalues: Vec<f64>, m: usize) -> PfrModel {
+        let objective = eigenvalues.iter().sum();
+        PfrModel {
+            config: self.config.clone(),
+            projection,
+            eigenvalues,
+            objective,
+            num_features: m,
+        }
+    }
+
+    /// Validates inputs and assembles the symmetric objective matrix
+    /// `M = (1 − γ) Xᵀ Lˣ X + γ Xᵀ Lᶠ X` shared by [`Pfr::fit`] and
+    /// [`Pfr::fit_warm`].
+    fn assemble_objective(&self, x: &Matrix, wx: &SparseGraph, wf: &SparseGraph) -> Result<Matrix> {
         let n = x.rows();
         let m = x.cols();
         if !(0.0..=1.0).contains(&self.config.gamma) {
@@ -116,20 +174,7 @@ impl Pfr {
         // convention). M is symmetric positive semi-definite.
         let mut m_mat = qx.scale(1.0 - self.config.gamma);
         m_mat.axpy(self.config.gamma, &qf)?;
-        let m_mat = m_mat.symmetrize()?;
-
-        let eigen = Eigen::decompose_with(&m_mat, self.config.eigen_method)?;
-        let projection = eigen.smallest_eigenvectors(self.config.dim)?;
-        let eigenvalues = eigen.eigenvalues[..self.config.dim].to_vec();
-        let objective = eigenvalues.iter().sum();
-
-        Ok(PfrModel {
-            config: self.config.clone(),
-            projection,
-            eigenvalues,
-            objective,
-            num_features: m,
-        })
+        Ok(m_mat.symmetrize()?)
     }
 }
 
@@ -412,6 +457,43 @@ mod tests {
         .fit(&x, &wx, &wf)
         .unwrap();
         assert!((jac.objective() - ql.objective()).abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_fit_matches_cold_fit_on_a_drifted_window() {
+        let (x, wx, wf) = toy_problem();
+        let serving = Pfr::default().fit(&x, &wx, &wf).unwrap();
+        // A mildly drifted window, as the refit worker would assemble it.
+        let x2 = x.map(|v| v * 1.02 + 0.01);
+        let wx2 = KnnGraphBuilder::new(2).build(&x2).unwrap();
+        let warm = Pfr::default().fit_warm(&x2, &wx2, &wf, &serving).unwrap();
+        let cold = Pfr::default().fit(&x2, &wx2, &wf).unwrap();
+        assert!(
+            (warm.objective() - cold.objective()).abs() < 1e-7,
+            "warm {} vs cold {}",
+            warm.objective(),
+            cold.objective()
+        );
+        let v = warm.projection();
+        let vtv = v.transpose_matmul(v).unwrap();
+        assert!(vtv.sub(&Matrix::identity(2)).unwrap().max_abs() < 1e-8);
+    }
+
+    #[test]
+    fn warm_fit_with_mismatched_model_falls_back_to_cold() {
+        let (x, wx, wf) = toy_problem();
+        let narrow = Pfr::new(PfrConfig {
+            dim: 1,
+            ..PfrConfig::default()
+        })
+        .fit(&x, &wx, &wf)
+        .unwrap();
+        // dim mismatch: fit_warm must ignore the seed and still return a
+        // model of the configured dimensionality.
+        let model = Pfr::default().fit_warm(&x, &wx, &wf, &narrow).unwrap();
+        assert_eq!(model.dim(), 2);
+        let cold = Pfr::default().fit(&x, &wx, &wf).unwrap();
+        assert!((model.objective() - cold.objective()).abs() < 1e-9);
     }
 
     #[test]

@@ -1,0 +1,528 @@
+//! Journal-tailing cursor: replay from an arbitrary sequence number, then
+//! *follow* the live journal across segment rotations.
+//!
+//! A [`JournalCursor`] is the read side of the journal-as-feed contract:
+//! downstream consumers (the online refit worker foremost) open a named
+//! cursor, drain frames with [`JournalCursor::next`], and persist their
+//! position with [`JournalCursor::checkpoint`]. The checkpoint is a tiny
+//! `cursor-<name>.ckpt` file in the journal directory, written atomically
+//! (temp file + rename), so a restarted consumer resumes exactly where its
+//! last checkpoint left off — and, crucially, the journal's segment
+//! retention reads those files and refuses to delete any segment still
+//! holding frames at or after a registered cursor's checkpoint.
+//!
+//! Rotation following relies on the writer's naming discipline: a segment is
+//! named after the first sequence number it will hold and is created
+//! *before* that frame is written. So when a cursor has drained segment `S`
+//! completely and `seg-{next_seq}` exists on disk, `S` is sealed — no frame
+//! the cursor still wants can ever land in it — and the cursor hops to the
+//! successor. A partially written frame at the live tail decodes as
+//! `Incomplete` (bytes are appended strictly in order), which the cursor
+//! treats as "not yet", never as corruption.
+
+use crate::error::JournalError;
+use crate::frame::{decode_frame, FrameOutcome, SEGMENT_MAGIC};
+use crate::journal::{list_segments, segment_first_seq, segment_path};
+use crate::record::Record;
+use std::fs::{self, File};
+use std::io::Read;
+use std::path::{Path, PathBuf};
+
+/// Version tag opening every checkpoint file.
+const CHECKPOINT_MAGIC: &str = "pfr-cursor-v1";
+
+/// Drain the consumed prefix of the tail buffer once it exceeds this.
+const DRAIN_THRESHOLD: usize = 64 << 10;
+
+/// A poll-based tailing reader over a journal directory.
+///
+/// Not tied to a live [`crate::Journal`] handle: a cursor works purely
+/// against the segment files, so it can run in another thread — or another
+/// process — than the writer.
+#[derive(Debug)]
+pub struct JournalCursor {
+    dir: PathBuf,
+    name: String,
+    /// Sequence number of the next frame [`JournalCursor::next`] will return.
+    next_seq: u64,
+    /// Position as of the last durable checkpoint.
+    checkpointed: u64,
+    /// Frames delivered since open.
+    delivered: u64,
+    tail: Option<Tail>,
+}
+
+/// The segment currently being read.
+#[derive(Debug)]
+struct Tail {
+    path: PathBuf,
+    file: File,
+    /// Absolute file offset up to which bytes have been pulled into `buf`.
+    read_pos: u64,
+    /// Unconsumed segment bytes (header magic already stripped).
+    buf: Vec<u8>,
+    /// Decode offset within `buf`.
+    at: usize,
+}
+
+impl JournalCursor {
+    /// Opens a named cursor over the journal in `dir`.
+    ///
+    /// If a checkpoint file for `name` exists the cursor resumes from it;
+    /// otherwise it starts at `from_seq` (`0` and `1` both mean "from the
+    /// first frame"). Opening registers the cursor durably: the checkpoint
+    /// file is written immediately, so retention starts protecting the
+    /// cursor's position before the first frame is ever delivered.
+    pub fn open(
+        dir: impl Into<PathBuf>,
+        name: &str,
+        from_seq: u64,
+    ) -> Result<JournalCursor, JournalError> {
+        let dir = dir.into();
+        if name.is_empty()
+            || !name
+                .chars()
+                .all(|c| c.is_ascii_alphanumeric() || c == '-' || c == '_')
+        {
+            return Err(JournalError::Io(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!("cursor name '{name}' must be non-empty [A-Za-z0-9_-]"),
+            )));
+        }
+        fs::create_dir_all(&dir)?;
+        let resumed = read_checkpoint(&checkpoint_file(&dir, name));
+        let next_seq = resumed.unwrap_or(from_seq.max(1));
+        let mut cursor = JournalCursor {
+            dir,
+            name: name.to_string(),
+            next_seq,
+            checkpointed: 0,
+            delivered: 0,
+            tail: None,
+        };
+        cursor.checkpoint()?;
+        Ok(cursor)
+    }
+
+    /// Sequence number of the next frame this cursor will deliver.
+    pub fn position(&self) -> u64 {
+        self.next_seq
+    }
+
+    /// Position as of the last durable [`JournalCursor::checkpoint`].
+    pub fn checkpointed(&self) -> u64 {
+        self.checkpointed
+    }
+
+    /// Frames delivered since this handle was opened.
+    pub fn delivered(&self) -> u64 {
+        self.delivered
+    }
+
+    /// The cursor's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Returns the next frame, or `None` when the cursor has caught up with
+    /// the live tail (poll again later). Frames are delivered exactly once
+    /// per handle, in strictly consecutive sequence order; a gap that
+    /// cannot be explained by a torn tail is reported as corruption, and a
+    /// start position already pruned by retention is an error rather than a
+    /// silent skip.
+    ///
+    /// Not an `Iterator`: `None` means "caught up, poll again", not
+    /// exhaustion, and errors must stay visible at every call site.
+    #[allow(clippy::should_implement_trait)]
+    pub fn next(&mut self) -> Result<Option<(u64, Record)>, JournalError> {
+        loop {
+            if self.tail.is_none() && !self.locate_segment()? {
+                return Ok(None);
+            }
+            let tail = self.tail.as_mut().expect("segment located");
+            match decode_frame(&tail.buf, tail.at) {
+                FrameOutcome::Frame {
+                    seq,
+                    record,
+                    next_offset,
+                } => {
+                    tail.at = next_offset;
+                    if tail.at >= DRAIN_THRESHOLD {
+                        tail.buf.drain(..tail.at);
+                        tail.at = 0;
+                    }
+                    if seq < self.next_seq {
+                        // Entered mid-segment (or re-read after a truncation
+                        // race): skip frames already delivered.
+                        continue;
+                    }
+                    if seq != self.next_seq {
+                        return Err(JournalError::Corrupt {
+                            segment: tail.path.clone(),
+                            offset: tail.read_pos,
+                            reason: format!(
+                                "sequence jump while tailing: expected {}, found {seq}",
+                                self.next_seq
+                            ),
+                        });
+                    }
+                    self.next_seq = seq + 1;
+                    self.delivered += 1;
+                    return Ok(Some((seq, record)));
+                }
+                FrameOutcome::End | FrameOutcome::Incomplete => {
+                    if self.fill()? {
+                        continue;
+                    }
+                    // No new bytes. If the successor segment exists, the
+                    // current one is sealed and fully drained; hop over.
+                    if self.advance_segment()? {
+                        continue;
+                    }
+                    return Ok(None);
+                }
+                FrameOutcome::Corrupt(reason) => {
+                    return Err(JournalError::Corrupt {
+                        segment: tail.path.clone(),
+                        offset: tail.read_pos,
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+
+    /// Durably persists the current position (atomic temp-file + rename).
+    /// Retention will keep every segment holding frames at or after it.
+    pub fn checkpoint(&mut self) -> Result<(), JournalError> {
+        let path = checkpoint_file(&self.dir, &self.name);
+        let tmp = self.dir.join(format!("cursor-{}.ckpt.tmp", self.name));
+        fs::write(&tmp, format!("{CHECKPOINT_MAGIC} {}\n", self.next_seq))?;
+        fs::rename(&tmp, &path)?;
+        self.checkpointed = self.next_seq;
+        Ok(())
+    }
+
+    /// Deregisters the cursor: removes its checkpoint file so retention no
+    /// longer protects its position. The handle is consumed.
+    pub fn deregister(self) -> Result<(), JournalError> {
+        let path = checkpoint_file(&self.dir, &self.name);
+        match fs::remove_file(&path) {
+            Ok(()) => Ok(()),
+            Err(e) if e.kind() == std::io::ErrorKind::NotFound => Ok(()),
+            Err(e) => Err(e.into()),
+        }
+    }
+
+    /// Finds the segment containing `next_seq` and opens it. Returns `false`
+    /// when the journal has no segment yet (nothing to read — caught up).
+    fn locate_segment(&mut self) -> Result<bool, JournalError> {
+        let segments = list_segments(&self.dir)?;
+        if segments.is_empty() {
+            return Ok(false);
+        }
+        // The last segment whose first frame is ≤ next_seq holds (or will
+        // hold) the frame we want; zero-padded naming keeps the list sorted.
+        let mut candidate: Option<&PathBuf> = None;
+        let mut earliest: Option<u64> = None;
+        for path in &segments {
+            if let Some(first) = segment_first_seq(path) {
+                earliest = Some(earliest.map_or(first, |e: u64| e.min(first)));
+                if first <= self.next_seq {
+                    candidate = Some(path);
+                }
+            }
+        }
+        match candidate {
+            Some(path) => {
+                self.open_tail(path.clone())?;
+                Ok(self.tail.is_some())
+            }
+            None => Err(JournalError::Corrupt {
+                segment: segments[0].clone(),
+                offset: 0,
+                reason: format!(
+                    "cursor '{}' needs seq {} but the earliest segment starts at {} — \
+                     retention outran the reader",
+                    self.name,
+                    self.next_seq,
+                    earliest.map_or(0, |e| e)
+                ),
+            }),
+        }
+    }
+
+    /// Opens `path` as the new tail, verifying the segment magic.
+    fn open_tail(&mut self, path: PathBuf) -> Result<(), JournalError> {
+        let mut file = File::open(&path)?;
+        let mut magic = [0u8; SEGMENT_MAGIC.len()];
+        match file.read_exact(&mut magic) {
+            Ok(()) if &magic == SEGMENT_MAGIC => {}
+            Ok(()) => {
+                return Err(JournalError::Corrupt {
+                    segment: path,
+                    offset: 0,
+                    reason: "bad segment magic".into(),
+                });
+            }
+            // A segment created but not yet fully headered by the writer:
+            // treat as "not yet" and retry on the next poll.
+            Err(e) if e.kind() == std::io::ErrorKind::UnexpectedEof => {
+                return Ok(());
+            }
+            Err(e) => return Err(e.into()),
+        }
+        self.tail = Some(Tail {
+            path,
+            file,
+            read_pos: SEGMENT_MAGIC.len() as u64,
+            buf: Vec::new(),
+            at: 0,
+        });
+        Ok(())
+    }
+
+    /// Pulls newly appended bytes from the tail file. Returns `true` if any
+    /// arrived. A file that *shrank* (reopened journal truncated a torn
+    /// tail under us) resets the tail so the segment is re-read; already
+    /// delivered frames are skipped by the `seq < next_seq` check. A file
+    /// that *vanished* is a fully-drained segment legitimately pruned by
+    /// retention once the checkpoint moved past it — the cursor drops the
+    /// handle and re-locates from `next_seq`.
+    fn fill(&mut self) -> Result<bool, JournalError> {
+        let tail = self.tail.as_mut().expect("tail open");
+        let len = fs::metadata(&tail.path).map(|m| m.len()).unwrap_or(0);
+        if len < tail.read_pos {
+            let path = tail.path.clone();
+            self.tail = None;
+            match self.open_tail(path) {
+                Ok(()) => return Ok(true),
+                Err(JournalError::Io(e)) if e.kind() == std::io::ErrorKind::NotFound => {
+                    return Ok(false);
+                }
+                Err(e) => return Err(e),
+            }
+        }
+        let n = tail.file.read_to_end(&mut tail.buf)?;
+        tail.read_pos += n as u64;
+        Ok(n > 0)
+    }
+
+    /// Hops to the successor segment if it exists. Only called once the
+    /// current segment is fully drained, at which point `next_seq` is
+    /// exactly the successor's first frame — and its name.
+    fn advance_segment(&mut self) -> Result<bool, JournalError> {
+        let successor = segment_path(&self.dir, self.next_seq);
+        // Guard against the empty-tail case: when no frame has been read
+        // from the current segment yet, the "successor" name can be the
+        // segment itself (its first frame is still unwritten).
+        if self.tail.as_ref().is_some_and(|t| t.path == successor) || !successor.exists() {
+            return Ok(false);
+        }
+        self.tail = None;
+        self.open_tail(successor)?;
+        Ok(self.tail.is_some())
+    }
+}
+
+/// Path of the checkpoint file for cursor `name`.
+fn checkpoint_file(dir: &Path, name: &str) -> PathBuf {
+    dir.join(format!("cursor-{name}.ckpt"))
+}
+
+/// Parses a checkpoint file; `None` if absent or malformed (a malformed
+/// checkpoint is treated as no checkpoint — the cursor restarts from its
+/// configured seed position rather than failing the open).
+fn read_checkpoint(path: &Path) -> Option<u64> {
+    let text = fs::read_to_string(path).ok()?;
+    let mut parts = text.split_whitespace();
+    if parts.next()? != CHECKPOINT_MAGIC {
+        return None;
+    }
+    parts.next()?.parse().ok()
+}
+
+/// Positions of every registered (checkpointed) cursor under `dir`.
+/// Retention must keep all frames at or after the minimum of these.
+pub(crate) fn checkpoint_positions(dir: &Path) -> Vec<u64> {
+    let mut positions = Vec::new();
+    let Ok(entries) = fs::read_dir(dir) else {
+        return positions;
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = path.file_name().and_then(|n| n.to_str()).unwrap_or("");
+        if name.starts_with("cursor-") && name.ends_with(".ckpt") {
+            if let Some(seq) = read_checkpoint(&path) {
+                positions.push(seq);
+            }
+        }
+    }
+    positions
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::journal::{FsyncPolicy, Journal, JournalConfig};
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    static SCRATCH: AtomicUsize = AtomicUsize::new(0);
+
+    fn scratch_dir(tag: &str) -> PathBuf {
+        let n = SCRATCH.fetch_add(1, Ordering::Relaxed);
+        let dir =
+            std::env::temp_dir().join(format!("pfr_cursor_unit_{}_{tag}_{n}", std::process::id()));
+        let _ = fs::remove_dir_all(&dir);
+        dir
+    }
+
+    fn score(i: u64) -> Record {
+        Record::Score {
+            model: "m".into(),
+            features: vec![i as f64],
+        }
+    }
+
+    fn drain(cursor: &mut JournalCursor) -> Vec<u64> {
+        let mut seqs = Vec::new();
+        while let Some((seq, _)) = cursor.next().expect("cursor reads") {
+            seqs.push(seq);
+        }
+        seqs
+    }
+
+    #[test]
+    fn tails_appends_across_rotations_in_order() {
+        let dir = scratch_dir("tail");
+        let journal = Journal::open(JournalConfig {
+            segment_bytes: 96, // force frequent rotation
+            fsync: FsyncPolicy::Never,
+            ..JournalConfig::new(&dir)
+        })
+        .expect("opens");
+        let mut cursor = JournalCursor::open(&dir, "tailer", 1).expect("cursor opens");
+        assert!(drain(&mut cursor).is_empty(), "nothing to read yet");
+        let mut seen = Vec::new();
+        for i in 1..=40u64 {
+            journal.append(&score(i)).expect("appends");
+            if i % 7 == 0 {
+                seen.extend(drain(&mut cursor));
+            }
+        }
+        seen.extend(drain(&mut cursor));
+        assert_eq!(seen, (1..=40).collect::<Vec<u64>>());
+        assert_eq!(cursor.position(), 41);
+        assert_eq!(cursor.delivered(), 40);
+        journal.close();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn restart_resumes_from_checkpoint_not_from_scratch() {
+        let dir = scratch_dir("resume");
+        let journal = Journal::open(JournalConfig {
+            segment_bytes: 128,
+            fsync: FsyncPolicy::Never,
+            ..JournalConfig::new(&dir)
+        })
+        .expect("opens");
+        for i in 1..=20u64 {
+            journal.append(&score(i)).expect("appends");
+        }
+        let mut cursor = JournalCursor::open(&dir, "worker", 1).expect("cursor opens");
+        for want in 1..=12u64 {
+            let (seq, _) = cursor.next().expect("reads").expect("has frame");
+            assert_eq!(seq, want);
+        }
+        cursor.checkpoint().expect("checkpoints");
+        assert_eq!(cursor.checkpointed(), 13);
+        drop(cursor);
+
+        // A restarted worker opens the same name and picks up at frame 13,
+        // even though it asked to start from 1.
+        let mut restarted = JournalCursor::open(&dir, "worker", 1).expect("reopens");
+        assert_eq!(restarted.position(), 13);
+        assert_eq!(drain(&mut restarted), (13..=20).collect::<Vec<u64>>());
+        journal.close();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn open_from_mid_stream_skips_earlier_frames() {
+        let dir = scratch_dir("midstart");
+        let journal = Journal::open(JournalConfig {
+            fsync: FsyncPolicy::Never,
+            ..JournalConfig::new(&dir)
+        })
+        .expect("opens");
+        for i in 1..=10u64 {
+            journal.append(&score(i)).expect("appends");
+        }
+        let mut cursor = JournalCursor::open(&dir, "late", 7).expect("cursor opens");
+        assert_eq!(drain(&mut cursor), vec![7, 8, 9, 10]);
+        journal.close();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_outrunning_a_cursor_is_an_error_not_a_skip() {
+        let dir = scratch_dir("outrun");
+        let journal = Journal::open(JournalConfig {
+            segment_bytes: 96,
+            retain_segments: 2,
+            fsync: FsyncPolicy::Never,
+            ..JournalConfig::new(&dir)
+        })
+        .expect("opens");
+        for i in 1..=60u64 {
+            journal.append(&score(i)).expect("appends");
+        }
+        journal.close();
+        // No checkpoint existed while retention ran, so early segments are
+        // gone; a cursor asking for seq 1 must fail loudly.
+        let mut cursor = JournalCursor::open(&dir, "fresh", 1).expect("opens");
+        match cursor.next() {
+            Err(JournalError::Corrupt { reason, .. }) => {
+                assert!(reason.contains("retention"), "unexpected reason: {reason}");
+            }
+            other => panic!("expected retention error, got {other:?}"),
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn invalid_cursor_names_are_rejected() {
+        let dir = scratch_dir("names");
+        for bad in ["", "has space", "dots.too", "slash/y"] {
+            assert!(JournalCursor::open(&dir, bad, 1).is_err(), "{bad:?}");
+        }
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn deregister_removes_the_checkpoint_file() {
+        let dir = scratch_dir("dereg");
+        let cursor = JournalCursor::open(&dir, "gone", 1).expect("opens");
+        assert_eq!(checkpoint_positions(&dir), vec![1]);
+        cursor.deregister().expect("deregisters");
+        assert!(checkpoint_positions(&dir).is_empty());
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn checkpoint_survives_torn_tmp_file() {
+        let dir = scratch_dir("torn_ckpt");
+        let mut cursor = JournalCursor::open(&dir, "c", 5).expect("opens");
+        cursor.checkpoint().expect("checkpoints");
+        // A stale tmp file from a crashed writer must not confuse parsing.
+        fs::write(dir.join("cursor-c.ckpt.tmp"), "garbage").expect("writes");
+        fs::write(dir.join("cursor-x.ckpt"), "not-a-checkpoint").expect("writes");
+        let mut positions = checkpoint_positions(&dir);
+        positions.sort_unstable();
+        assert_eq!(positions, vec![5]);
+        let reopened = JournalCursor::open(&dir, "c", 1).expect("reopens");
+        assert_eq!(reopened.position(), 5);
+        let _ = fs::remove_dir_all(&dir);
+    }
+}

@@ -14,17 +14,41 @@
 //!   crash; a machine crash may lose the last interval.
 //! * [`FsyncPolicy::Never`] — never fsyncs. Survives process crash only.
 
+use crate::cursor::checkpoint_positions;
 use crate::error::JournalError;
 use crate::frame::{decode_frame, encode_frame, FrameOutcome, SEGMENT_MAGIC};
 use crate::record::Record;
+use std::collections::BTreeMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::Write;
 use std::path::{Path, PathBuf};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, SyncSender};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
+
+/// In-process pin registry: pin id → lowest sequence number the pinned
+/// reader still needs. Shared between [`Journal`] handles (which register
+/// pins) and the writer thread (whose retention consults it).
+type PinSet = Arc<Mutex<BTreeMap<u64, u64>>>;
+
+/// Keeps every frame at or after a sequence number safe from retention for
+/// as long as the guard lives. Returned by [`Journal::pin_from`]; dropping
+/// the guard releases the pin.
+#[derive(Debug)]
+pub struct PinGuard {
+    pins: PinSet,
+    id: u64,
+}
+
+impl Drop for PinGuard {
+    fn drop(&mut self) {
+        if let Ok(mut pins) = self.pins.lock() {
+            pins.remove(&self.id);
+        }
+    }
+}
 
 /// When the writer thread pushes bytes to the platter.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -159,6 +183,8 @@ struct Append {
 pub struct Journal {
     config: JournalConfig,
     stats: Arc<JournalStats>,
+    pins: PinSet,
+    next_pin: AtomicU64,
     tx: Option<Sender<Append>>,
     writer: Option<JoinHandle<()>>,
 }
@@ -232,6 +258,7 @@ impl Journal {
             .segments
             .store(segment_paths.len() as u64, Ordering::Relaxed);
 
+        let pins: PinSet = Arc::new(Mutex::new(BTreeMap::new()));
         let (tx, rx) = mpsc::channel();
         let writer_state = Writer {
             dir: config.dir.clone(),
@@ -243,6 +270,7 @@ impl Journal {
             active: active.1,
             next_seq: last_seq + 1,
             stats: Arc::clone(&stats),
+            pins: Arc::clone(&pins),
             last_sync: Instant::now(),
             buffer: Vec::with_capacity(64 << 10),
         };
@@ -254,9 +282,26 @@ impl Journal {
         Ok(Journal {
             config,
             stats,
+            pins,
+            next_pin: AtomicU64::new(1),
             tx: Some(tx),
             writer: Some(writer),
         })
+    }
+
+    /// Pins every frame with sequence number ≥ `seq`: segment retention
+    /// will not delete a segment still holding any of them while the
+    /// returned guard lives. Used by in-process readers (replay, tailing)
+    /// that have no durable checkpoint to protect them.
+    pub fn pin_from(&self, seq: u64) -> PinGuard {
+        let id = self.next_pin.fetch_add(1, Ordering::Relaxed);
+        if let Ok(mut pins) = self.pins.lock() {
+            pins.insert(id, seq.max(1));
+        }
+        PinGuard {
+            pins: Arc::clone(&self.pins),
+            id,
+        }
     }
 
     /// Appends one record and blocks until it is acknowledged per the
@@ -289,6 +334,9 @@ impl Journal {
     where
         F: FnMut(u64, Record),
     {
+        // Pin the whole journal for the duration: a concurrent roll must not
+        // rotate away a segment this replay is about to read.
+        let _pin = self.pin_from(1);
         replay_dir(&self.config.dir, visit)
     }
 
@@ -376,13 +424,23 @@ where
 }
 
 /// Segment file name for the segment whose first frame will carry `seq`.
-fn segment_path(dir: &Path, seq: u64) -> PathBuf {
+pub(crate) fn segment_path(dir: &Path, seq: u64) -> PathBuf {
     dir.join(format!("seg-{seq:020}.wal"))
+}
+
+/// Inverse of [`segment_path`]: the first sequence number a segment file
+/// holds, parsed from its name. `None` for foreign file names.
+pub(crate) fn segment_first_seq(path: &Path) -> Option<u64> {
+    let name = path.file_name()?.to_str()?;
+    name.strip_prefix("seg-")?
+        .strip_suffix(".wal")?
+        .parse()
+        .ok()
 }
 
 /// All `seg-*.wal` files under `dir`, sorted by name (zero-padded first-seq
 /// naming makes lexicographic order equal journal order).
-fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, JournalError> {
+pub(crate) fn list_segments(dir: &Path) -> Result<Vec<PathBuf>, JournalError> {
     let mut segments = Vec::new();
     for entry in fs::read_dir(dir)? {
         let path = entry?.path();
@@ -467,6 +525,7 @@ struct Writer {
     active_len: u64,
     next_seq: u64,
     stats: Arc<JournalStats>,
+    pins: PinSet,
     last_sync: Instant,
     buffer: Vec<u8>,
 }
@@ -594,7 +653,17 @@ impl Writer {
         self.active = file;
         self.active_len = SEGMENT_MAGIC.len() as u64;
         if self.retain_segments > 0 {
+            let floor = self.retention_floor();
             while self.segments.len() > self.retain_segments {
+                // The victim's frames span [first_seq(victim),
+                // first_seq(successor) − 1]; deleting it is safe only when
+                // every registered reader is already past that range.
+                if let Some(need) = floor {
+                    match segment_first_seq(&self.segments[1]) {
+                        Some(successor_first) if successor_first <= need => {}
+                        _ => break,
+                    }
+                }
                 let victim = self.segments.remove(0);
                 let dropped = fs::metadata(&victim).map(|m| m.len()).unwrap_or(0);
                 if fs::remove_file(&victim).is_ok() {
@@ -606,6 +675,25 @@ impl Writer {
             .segments
             .store(self.segments.len() as u64, Ordering::Relaxed);
         Ok(())
+    }
+
+    /// The lowest sequence number any registered reader still needs:
+    /// in-process pins ([`Journal::pin_from`]) and durable cursor
+    /// checkpoints (`cursor-*.ckpt` files written by
+    /// [`crate::JournalCursor`]). `None` means no reader is registered and
+    /// retention may prune freely.
+    fn retention_floor(&self) -> Option<u64> {
+        let mut floor: Option<u64> = None;
+        let mut fold = |seq: u64| floor = Some(floor.map_or(seq, |f: u64| f.min(seq)));
+        if let Ok(pins) = self.pins.lock() {
+            for &seq in pins.values() {
+                fold(seq);
+            }
+        }
+        for seq in checkpoint_positions(&self.dir) {
+            fold(seq);
+        }
+        floor
     }
 
     /// Fsyncs the active segment under an interval policy when the deadline
@@ -803,6 +891,94 @@ mod tests {
             assert_eq!(pair[1].0, pair[0].0 + 1);
         }
         let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_skips_segments_a_pin_still_needs() {
+        let dir = scratch_dir("pinned");
+        let journal = Journal::open(JournalConfig {
+            segment_bytes: 128,
+            retain_segments: 2,
+            fsync: FsyncPolicy::Never,
+            ..JournalConfig::new(&dir)
+        })
+        .expect("opens");
+        let pin = journal.pin_from(1);
+        for i in 0..50 {
+            journal
+                .append(&score("model", &[i as f64, 0.5, -1.0]))
+                .expect("appends");
+        }
+        // Every frame is still replayable: the pin blocked all pruning.
+        let replayed = collect(&dir);
+        assert_eq!(replayed.len(), 50);
+        assert_eq!(replayed[0].0, 1);
+        assert!(journal.stats().segments() > 2, "nothing was pruned");
+
+        // Release the pin; the next roll prunes back down to the cap.
+        drop(pin);
+        for i in 0..30 {
+            journal
+                .append(&score("model", &[i as f64, 0.5, -1.0]))
+                .expect("appends");
+        }
+        assert_eq!(list_segments(&dir).expect("lists").len(), 2);
+        journal.close();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn retention_respects_cursor_checkpoints_across_handles() {
+        let dir = scratch_dir("ckpt_pin");
+        let config = JournalConfig {
+            segment_bytes: 128,
+            retain_segments: 2,
+            fsync: FsyncPolicy::Never,
+            ..JournalConfig::new(&dir)
+        };
+        // A registered cursor parked at frame 1 — e.g. a refit worker that
+        // has not caught up yet — must hold every segment on disk.
+        let cursor = crate::JournalCursor::open(&dir, "worker", 1).expect("cursor opens");
+        let journal = Journal::open(config.clone()).expect("opens");
+        for i in 0..50 {
+            journal
+                .append(&score("model", &[i as f64, 0.5, -1.0]))
+                .expect("appends");
+        }
+        assert_eq!(collect(&dir).len(), 50, "no frame was pruned");
+
+        // Once the cursor drains and checkpoints at the tail (seq 51),
+        // retention may prune segments wholly behind the checkpoint on the
+        // next roll — but nothing at or after it.
+        let mut cursor = cursor;
+        while cursor.next().expect("tails").is_some() {}
+        cursor.checkpoint().expect("checkpoints");
+        assert_eq!(cursor.checkpointed(), 51);
+        for i in 0..30 {
+            journal
+                .append(&score("model", &[i as f64, 0.5, -1.0]))
+                .expect("appends");
+        }
+        let replayed = collect(&dir);
+        let first = replayed.first().expect("frames remain").0;
+        assert!(first > 1, "pruning must resume once the cursor advances");
+        assert!(
+            first <= 51,
+            "no frame at or after the checkpoint may be pruned (first={first})"
+        );
+        assert_eq!(replayed.last().expect("frames remain").0, 80);
+        journal.close();
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn segment_names_roundtrip_through_first_seq() {
+        let dir = PathBuf::from("/tmp/j");
+        for seq in [1u64, 42, u64::MAX] {
+            assert_eq!(segment_first_seq(&segment_path(&dir, seq)), Some(seq));
+        }
+        assert_eq!(segment_first_seq(Path::new("/tmp/j/other.txt")), None);
+        assert_eq!(segment_first_seq(Path::new("/tmp/j/seg-xyz.wal")), None);
     }
 
     #[test]

@@ -36,11 +36,15 @@
 #![deny(missing_docs)]
 #![warn(clippy::all)]
 
+mod cursor;
 mod error;
 pub mod frame;
 mod journal;
 mod record;
 
+pub use cursor::JournalCursor;
 pub use error::JournalError;
-pub use journal::{replay_dir, FsyncPolicy, Journal, JournalConfig, JournalStats, ReplaySummary};
+pub use journal::{
+    replay_dir, FsyncPolicy, Journal, JournalConfig, JournalStats, PinGuard, ReplaySummary,
+};
 pub use record::Record;

@@ -16,6 +16,9 @@
 //! * [`eigen`] — symmetric eigensolvers: a cyclic Jacobi rotation solver and a
 //!   Householder-tridiagonalization + implicit-QL solver, both returning full
 //!   eigen-decompositions sorted by eigenvalue.
+//! * [`subspace`] — warm-started block subspace iteration for just the `d`
+//!   smallest eigenpairs, used by the online-refit path to re-solve the PFR
+//!   problem from the serving model's projection at GEMM cost.
 //! * [`cholesky`] — Cholesky factorization and SPD linear solves (used by the
 //!   Newton/IRLS steps of the downstream logistic-regression classifier).
 //! * [`solve`] — LU factorization with partial pivoting for general square
@@ -39,6 +42,7 @@ pub mod matrix;
 pub mod pca;
 pub mod solve;
 pub mod stats;
+pub mod subspace;
 pub mod vector;
 
 pub use cholesky::CholeskyDecomposition;
@@ -46,6 +50,7 @@ pub use eigen::{Eigen, EigenMethod};
 pub use error::LinalgError;
 pub use matrix::Matrix;
 pub use solve::LuDecomposition;
+pub use subspace::{smallest_eigenpairs_warm, SubspaceEigen, SubspaceOptions};
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, LinalgError>;

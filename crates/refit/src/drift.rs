@@ -1,0 +1,387 @@
+//! Cheap streaming drift detection against the serving model's baseline.
+//!
+//! Three statistics, all `O(n·m)` over the window — deliberately far
+//! cheaper than a re-fit, so the worker can afford to check often and
+//! refit rarely:
+//!
+//! 1. **Per-feature mean shift**: `|mean_w(j) − μ_j| / σ_j`, an effect
+//!    size in baseline standard deviations. Under a stationary stream this
+//!    statistic concentrates like `1/√n`, so a constant threshold (default
+//!    `0.5σ`) has a false-positive rate that *vanishes* as the window
+//!    grows — the property the unit tests pin down.
+//! 2. **Per-feature variance ratio**: `max(var_w/σ², σ²/var_w)`, catching
+//!    dispersion changes a mean test is blind to.
+//! 3. **Score PSI**: the Population Stability Index between the serving
+//!    model's score distribution on a reference slice and on the current
+//!    window — the standard industry trigger (`0.25` = act).
+//!
+//! The baseline mean/std come from the serving bundle's standardizer
+//! section, i.e. exactly the distribution the model was fitted on; no
+//! second pass over historical data is needed.
+
+use crate::error::RefitError;
+use crate::Result;
+use pfr_core::persistence::StandardizerParams;
+use pfr_linalg::Matrix;
+
+/// Thresholds for [`DriftDetector::assess`].
+#[derive(Debug, Clone)]
+pub struct DriftConfig {
+    /// Trigger when any feature's mean moved more than this many baseline
+    /// standard deviations.
+    pub mean_shift_sigmas: f64,
+    /// Trigger when any feature's variance ratio (larger/smaller) exceeds
+    /// this factor.
+    pub variance_ratio: f64,
+    /// Trigger when the score PSI exceeds this value.
+    pub psi_threshold: f64,
+    /// Histogram buckets for the PSI statistic.
+    pub psi_buckets: usize,
+    /// Ignore windows smaller than this (too noisy to judge).
+    pub min_samples: usize,
+}
+
+impl Default for DriftConfig {
+    fn default() -> Self {
+        DriftConfig {
+            mean_shift_sigmas: 0.5,
+            variance_ratio: 2.0,
+            psi_threshold: 0.25,
+            psi_buckets: 10,
+            min_samples: 64,
+        }
+    }
+}
+
+/// What the detector saw in one window.
+#[derive(Debug, Clone)]
+pub struct DriftReport {
+    /// Verdict: at least one statistic crossed its threshold.
+    pub drifted: bool,
+    /// Largest per-feature standardized mean shift and its feature index.
+    pub max_mean_shift: f64,
+    /// Feature index attaining `max_mean_shift`.
+    pub mean_shift_feature: usize,
+    /// Largest per-feature variance ratio (larger/smaller).
+    pub max_variance_ratio: f64,
+    /// Feature index attaining `max_variance_ratio`.
+    pub variance_ratio_feature: usize,
+    /// Score PSI against the reference distribution (`None` when no
+    /// reference scores were supplied).
+    pub score_psi: Option<f64>,
+    /// Window rows assessed.
+    pub samples: usize,
+}
+
+impl DriftReport {
+    fn stationary(samples: usize) -> DriftReport {
+        DriftReport {
+            drifted: false,
+            max_mean_shift: 0.0,
+            mean_shift_feature: 0,
+            max_variance_ratio: 1.0,
+            variance_ratio_feature: 0,
+            score_psi: None,
+            samples,
+        }
+    }
+}
+
+/// Drift detector anchored at the serving model's training distribution.
+#[derive(Debug, Clone)]
+pub struct DriftDetector {
+    config: DriftConfig,
+    means: Vec<f64>,
+    stds: Vec<f64>,
+    reference_scores: Option<Vec<f64>>,
+}
+
+impl DriftDetector {
+    /// Builds a detector from the serving bundle's standardizer statistics.
+    pub fn from_standardizer(config: DriftConfig, params: &StandardizerParams) -> Result<Self> {
+        if params.means.len() != params.stds.len() || params.means.is_empty() {
+            return Err(RefitError::Config(format!(
+                "standardizer has {} means but {} stds",
+                params.means.len(),
+                params.stds.len()
+            )));
+        }
+        if params.stds.iter().any(|s| !s.is_finite() || *s <= 0.0) {
+            return Err(RefitError::Config(
+                "baseline standard deviations must be positive and finite".to_string(),
+            ));
+        }
+        Ok(DriftDetector {
+            config,
+            means: params.means.clone(),
+            stds: params.stds.clone(),
+            reference_scores: None,
+        })
+    }
+
+    /// Installs the reference score distribution for the PSI statistic
+    /// (typically the serving model's scores over an early window slice).
+    pub fn set_reference_scores(&mut self, scores: Vec<f64>) {
+        self.reference_scores = if scores.is_empty() {
+            None
+        } else {
+            Some(scores)
+        };
+    }
+
+    /// Whether a PSI reference is installed.
+    pub fn has_reference_scores(&self) -> bool {
+        self.reference_scores.is_some()
+    }
+
+    /// The configured thresholds.
+    pub fn config(&self) -> &DriftConfig {
+        &self.config
+    }
+
+    /// Assesses one window (rows = observations) plus, optionally, the
+    /// serving model's scores on that window for the PSI statistic.
+    pub fn assess(&self, window: &Matrix, window_scores: Option<&[f64]>) -> Result<DriftReport> {
+        let (n, m) = window.shape();
+        if m != self.means.len() {
+            return Err(RefitError::Window(format!(
+                "window has {m} features but the baseline has {}",
+                self.means.len()
+            )));
+        }
+        if n < self.config.min_samples {
+            return Ok(DriftReport::stationary(n));
+        }
+
+        let mut report = DriftReport::stationary(n);
+        for j in 0..m {
+            let mut sum = 0.0;
+            for i in 0..n {
+                sum += window[(i, j)];
+            }
+            let mean = sum / n as f64;
+            let mut var = 0.0;
+            for i in 0..n {
+                let d = window[(i, j)] - mean;
+                var += d * d;
+            }
+            var /= (n - 1).max(1) as f64;
+
+            let shift = (mean - self.means[j]).abs() / self.stds[j];
+            if shift > report.max_mean_shift {
+                report.max_mean_shift = shift;
+                report.mean_shift_feature = j;
+            }
+            let baseline_var = self.stds[j] * self.stds[j];
+            let ratio = if var > baseline_var {
+                var / baseline_var
+            } else if var > 0.0 {
+                baseline_var / var
+            } else {
+                f64::INFINITY
+            };
+            if ratio > report.max_variance_ratio {
+                report.max_variance_ratio = ratio;
+                report.variance_ratio_feature = j;
+            }
+        }
+
+        if let (Some(reference), Some(current)) = (&self.reference_scores, window_scores) {
+            if !current.is_empty() {
+                report.score_psi = Some(population_stability_index(
+                    reference,
+                    current,
+                    self.config.psi_buckets,
+                ));
+            }
+        }
+
+        report.drifted = report.max_mean_shift > self.config.mean_shift_sigmas
+            || report.max_variance_ratio > self.config.variance_ratio
+            || report
+                .score_psi
+                .is_some_and(|psi| psi > self.config.psi_threshold);
+        Ok(report)
+    }
+}
+
+/// Population Stability Index between two score samples over equal-width
+/// buckets spanning the pooled range. Bucket proportions are Laplace
+/// smoothed so empty buckets contribute a large-but-finite term instead of
+/// `∞`.
+pub fn population_stability_index(reference: &[f64], current: &[f64], buckets: usize) -> f64 {
+    fn finite(s: &[f64]) -> impl Iterator<Item = f64> + '_ {
+        s.iter().copied().filter(|v| v.is_finite())
+    }
+    let buckets = buckets.max(2);
+    let lo = finite(reference)
+        .chain(finite(current))
+        .fold(f64::INFINITY, f64::min);
+    let hi = finite(reference)
+        .chain(finite(current))
+        .fold(f64::NEG_INFINITY, f64::max);
+    if !lo.is_finite() || !hi.is_finite() {
+        return 0.0;
+    }
+    let width = ((hi - lo) / buckets as f64).max(f64::MIN_POSITIVE);
+    let histogram = |sample: &[f64]| -> Vec<f64> {
+        let mut counts = vec![0.0_f64; buckets];
+        let mut total = 0.0;
+        for v in finite(sample) {
+            let b = (((v - lo) / width) as usize).min(buckets - 1);
+            counts[b] += 1.0;
+            total += 1.0;
+        }
+        // Laplace smoothing keeps the log term finite on empty buckets.
+        counts
+            .iter()
+            .map(|c| (c + 0.5) / (total + 0.5 * buckets as f64))
+            .collect()
+    };
+    let p = histogram(reference);
+    let q = histogram(current);
+    p.iter()
+        .zip(q.iter())
+        .map(|(&pi, &qi)| (qi - pi) * (qi / pi).ln())
+        .sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn baseline(m: usize) -> StandardizerParams {
+        StandardizerParams {
+            means: vec![0.0; m],
+            stds: vec![1.0; m],
+        }
+    }
+
+    /// Deterministic xorshift stream of approximately standard normal
+    /// values (sum of 12 uniforms − 6).
+    struct Normals {
+        state: u64,
+    }
+
+    impl Normals {
+        fn new(seed: u64) -> Self {
+            Normals { state: seed.max(1) }
+        }
+
+        fn uniform(&mut self) -> f64 {
+            self.state ^= self.state << 13;
+            self.state ^= self.state >> 7;
+            self.state ^= self.state << 17;
+            self.state as f64 / u64::MAX as f64
+        }
+
+        fn normal(&mut self) -> f64 {
+            (0..12).map(|_| self.uniform()).sum::<f64>() - 6.0
+        }
+    }
+
+    fn window(n: usize, m: usize, seed: u64, mean: f64, scale: f64) -> Matrix {
+        let mut rng = Normals::new(seed);
+        let mut w = Matrix::zeros(n, m);
+        for i in 0..n {
+            for j in 0..m {
+                w[(i, j)] = mean + scale * rng.normal();
+            }
+        }
+        w
+    }
+
+    #[test]
+    fn stationary_traffic_does_not_trigger_across_many_windows() {
+        // Bounded false-positive rate: 200 independent stationary windows
+        // of 256 rows must produce zero triggers at the default thresholds
+        // (the mean-shift statistic concentrates at ~1/16 σ here, far from
+        // the 0.5 σ threshold).
+        let detector =
+            DriftDetector::from_standardizer(DriftConfig::default(), &baseline(4)).unwrap();
+        let mut triggers = 0;
+        for round in 0..200 {
+            let w = window(256, 4, 1000 + round, 0.0, 1.0);
+            if detector.assess(&w, None).unwrap().drifted {
+                triggers += 1;
+            }
+        }
+        assert_eq!(triggers, 0, "stationary stream triggered {triggers}/200");
+    }
+
+    #[test]
+    fn mean_shift_triggers() {
+        let detector =
+            DriftDetector::from_standardizer(DriftConfig::default(), &baseline(3)).unwrap();
+        let mut w = window(256, 3, 7, 0.0, 1.0);
+        for i in 0..w.rows() {
+            w[(i, 1)] += 1.0; // one feature drifts by a full σ
+        }
+        let report = detector.assess(&w, None).unwrap();
+        assert!(report.drifted);
+        assert_eq!(report.mean_shift_feature, 1);
+        assert!(report.max_mean_shift > 0.5);
+    }
+
+    #[test]
+    fn variance_blowup_triggers_without_mean_shift() {
+        let detector =
+            DriftDetector::from_standardizer(DriftConfig::default(), &baseline(2)).unwrap();
+        let w = window(512, 2, 21, 0.0, 2.0); // variance ×4, means unchanged
+        let report = detector.assess(&w, None).unwrap();
+        assert!(report.drifted);
+        assert!(report.max_variance_ratio > 2.0);
+    }
+
+    #[test]
+    fn score_distribution_shift_triggers_via_psi() {
+        let mut detector =
+            DriftDetector::from_standardizer(DriftConfig::default(), &baseline(2)).unwrap();
+        let mut rng = Normals::new(5);
+        let reference: Vec<f64> = (0..512).map(|_| 0.3 + 0.05 * rng.normal()).collect();
+        detector.set_reference_scores(reference);
+        let w = window(256, 2, 9, 0.0, 1.0);
+        let shifted: Vec<f64> = (0..256).map(|_| 0.7 + 0.05 * rng.normal()).collect();
+        let report = detector.assess(&w, Some(&shifted)).unwrap();
+        assert!(report.score_psi.unwrap() > 0.25);
+        assert!(report.drifted);
+
+        let same: Vec<f64> = (0..256).map(|_| 0.3 + 0.05 * rng.normal()).collect();
+        let report = detector.assess(&w, Some(&same)).unwrap();
+        assert!(report.score_psi.unwrap() < 0.25);
+        assert!(!report.drifted);
+    }
+
+    #[test]
+    fn small_windows_are_never_judged() {
+        let detector =
+            DriftDetector::from_standardizer(DriftConfig::default(), &baseline(2)).unwrap();
+        let w = window(16, 2, 3, 50.0, 1.0); // wildly drifted but tiny
+        let report = detector.assess(&w, None).unwrap();
+        assert!(!report.drifted);
+        assert_eq!(report.samples, 16);
+    }
+
+    #[test]
+    fn rejects_inconsistent_baselines_and_windows() {
+        assert!(DriftDetector::from_standardizer(
+            DriftConfig::default(),
+            &StandardizerParams {
+                means: vec![0.0],
+                stds: vec![0.0],
+            }
+        )
+        .is_err());
+        let detector =
+            DriftDetector::from_standardizer(DriftConfig::default(), &baseline(3)).unwrap();
+        assert!(detector.assess(&Matrix::zeros(10, 2), None).is_err());
+    }
+
+    #[test]
+    fn psi_is_near_zero_for_identical_samples_and_large_for_disjoint_ones() {
+        let a: Vec<f64> = (0..1000).map(|i| (i % 100) as f64 / 100.0).collect();
+        assert!(population_stability_index(&a, &a, 10).abs() < 1e-9);
+        let b: Vec<f64> = a.iter().map(|v| v + 10.0).collect();
+        assert!(population_stability_index(&a, &b, 10) > 1.0);
+    }
+}

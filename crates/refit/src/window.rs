@@ -1,0 +1,195 @@
+//! Sliding feature-stream window over journaled `SCORE` frames.
+//!
+//! The refit worker folds every tailed feature vector into a bounded
+//! window: most rows land in the *training* slice the next re-fit trains
+//! on, but every `holdback_every`-th row is diverted into a *holdback*
+//! slice the candidate model is shadow-scored against. The two slices are
+//! disjoint by construction, so the gate never grades the candidate on
+//! rows it trained on.
+
+use crate::error::RefitError;
+use crate::Result;
+use pfr_linalg::Matrix;
+use std::collections::VecDeque;
+
+/// Bounded sliding window with a held-back evaluation slice.
+#[derive(Debug)]
+pub struct FeatureWindow {
+    capacity: usize,
+    holdback_capacity: usize,
+    holdback_every: usize,
+    num_features: Option<usize>,
+    rows: VecDeque<Vec<f64>>,
+    holdback: VecDeque<Vec<f64>>,
+    accepted: u64,
+    rejected: u64,
+}
+
+impl FeatureWindow {
+    /// Creates a window keeping at most `capacity` training rows and
+    /// `holdback_capacity` held-back rows, diverting every
+    /// `holdback_every`-th accepted row into the holdback slice
+    /// (`holdback_every == 0` disables holdback).
+    pub fn new(capacity: usize, holdback_capacity: usize, holdback_every: usize) -> Result<Self> {
+        if capacity == 0 {
+            return Err(RefitError::Window(
+                "window capacity must be positive".to_string(),
+            ));
+        }
+        Ok(FeatureWindow {
+            capacity,
+            holdback_capacity,
+            holdback_every,
+            num_features: None,
+            rows: VecDeque::new(),
+            holdback: VecDeque::new(),
+            accepted: 0,
+            rejected: 0,
+        })
+    }
+
+    /// Folds one feature vector into the window. The first accepted row
+    /// fixes the feature count; rows with a different width (or non-finite
+    /// entries) are rejected and counted, never silently dropped.
+    /// Returns `true` when the row was accepted.
+    pub fn push(&mut self, features: &[f64]) -> bool {
+        let ok = !features.is_empty()
+            && features.iter().all(|v| v.is_finite())
+            && self.num_features.is_none_or(|m| m == features.len());
+        if !ok {
+            self.rejected += 1;
+            return false;
+        }
+        self.num_features = Some(features.len());
+        self.accepted += 1;
+        let to_holdback = self.holdback_every > 0
+            && self.holdback_capacity > 0
+            && self.accepted.is_multiple_of(self.holdback_every as u64);
+        if to_holdback {
+            self.holdback.push_back(features.to_vec());
+            while self.holdback.len() > self.holdback_capacity {
+                self.holdback.pop_front();
+            }
+        } else {
+            self.rows.push_back(features.to_vec());
+            while self.rows.len() > self.capacity {
+                self.rows.pop_front();
+            }
+        }
+        true
+    }
+
+    /// Training rows currently held.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Whether the training slice is empty.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Held-back rows currently held.
+    pub fn holdback_len(&self) -> usize {
+        self.holdback.len()
+    }
+
+    /// Total rows accepted since creation (training + holdback).
+    pub fn accepted(&self) -> u64 {
+        self.accepted
+    }
+
+    /// Rows rejected for width mismatch or non-finite entries.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Feature count fixed by the first accepted row.
+    pub fn num_features(&self) -> Option<usize> {
+        self.num_features
+    }
+
+    /// The training slice as a dense matrix (one row per vector).
+    pub fn to_matrix(&self) -> Result<Matrix> {
+        Self::pack(&self.rows, self.num_features, "training")
+    }
+
+    /// The held-back slice as a dense matrix.
+    pub fn holdback_matrix(&self) -> Result<Matrix> {
+        Self::pack(&self.holdback, self.num_features, "holdback")
+    }
+
+    /// Clears both slices (used after a successful swap so the next drift
+    /// assessment starts from post-swap traffic only).
+    pub fn clear(&mut self) {
+        self.rows.clear();
+        self.holdback.clear();
+    }
+
+    fn pack(rows: &VecDeque<Vec<f64>>, m: Option<usize>, what: &str) -> Result<Matrix> {
+        let m = m.ok_or_else(|| RefitError::Window(format!("{what} slice is empty")))?;
+        if rows.is_empty() {
+            return Err(RefitError::Window(format!("{what} slice is empty")));
+        }
+        let mut data = Vec::with_capacity(rows.len() * m);
+        for row in rows {
+            data.extend_from_slice(row);
+        }
+        Matrix::from_vec(rows.len(), m, data).map_err(RefitError::Linalg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn evicts_oldest_rows_once_full() {
+        let mut w = FeatureWindow::new(3, 0, 0).unwrap();
+        for i in 0..5 {
+            assert!(w.push(&[i as f64, 1.0]));
+        }
+        assert_eq!(w.len(), 3);
+        let m = w.to_matrix().unwrap();
+        assert_eq!(m[(0, 0)], 2.0); // rows 0 and 1 evicted
+        assert_eq!(m[(2, 0)], 4.0);
+    }
+
+    #[test]
+    fn holdback_rows_never_enter_the_training_slice() {
+        let mut w = FeatureWindow::new(100, 10, 4).unwrap();
+        for i in 1..=20 {
+            w.push(&[i as f64]);
+        }
+        // Every 4th accepted row (4, 8, 12, 16, 20) is held back.
+        assert_eq!(w.holdback_len(), 5);
+        assert_eq!(w.len(), 15);
+        let train = w.to_matrix().unwrap();
+        for r in 0..train.rows() {
+            assert_ne!(train[(r, 0)] as i64 % 4, 0);
+        }
+        let hold = w.holdback_matrix().unwrap();
+        for r in 0..hold.rows() {
+            assert_eq!(hold[(r, 0)] as i64 % 4, 0);
+        }
+    }
+
+    #[test]
+    fn rejects_mismatched_widths_and_non_finite_rows() {
+        let mut w = FeatureWindow::new(10, 0, 0).unwrap();
+        assert!(w.push(&[1.0, 2.0]));
+        assert!(!w.push(&[1.0]));
+        assert!(!w.push(&[1.0, f64::NAN]));
+        assert!(!w.push(&[]));
+        assert_eq!(w.rejected(), 3);
+        assert_eq!(w.len(), 1);
+    }
+
+    #[test]
+    fn empty_slices_error_instead_of_panicking() {
+        let w = FeatureWindow::new(4, 2, 2).unwrap();
+        assert!(w.to_matrix().is_err());
+        assert!(w.holdback_matrix().is_err());
+        assert!(FeatureWindow::new(0, 0, 0).is_err());
+    }
+}

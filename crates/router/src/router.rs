@@ -142,6 +142,7 @@ pub struct RouterStats {
     hot_hits: AtomicU64,
     hot_misses: AtomicU64,
     probes: Arc<AtomicU64>,
+    pushes: AtomicU64,
 }
 
 impl RouterStats {
@@ -178,6 +179,12 @@ impl RouterStats {
     /// Health probes sent by the background prober.
     pub fn probes(&self) -> u64 {
         self.probes.load(Ordering::Relaxed)
+    }
+
+    /// Bundle installs (`LOAD`/`PUSH`) placed through this router —
+    /// operator pushes and refit hot-swaps alike.
+    pub fn pushes(&self) -> u64 {
+        self.pushes.load(Ordering::Relaxed)
     }
 }
 
@@ -451,6 +458,7 @@ impl Router {
     pub fn load(&self, model: &str, path: &Path) -> Result<usize> {
         let line = format!("LOAD {model} {}", path.display());
         let loaded = self.place_on_replicas(model, |backend| backend.exchange(&line))?;
+        self.stats.pushes.fetch_add(1, Ordering::Relaxed);
         if let Ok(text) = std::fs::read_to_string(path) {
             self.catalog
                 .lock()
@@ -472,6 +480,7 @@ impl Router {
     /// [`Router::push`] for already-serialized bundle text.
     pub fn push_text(&self, model: &str, text: &str) -> Result<usize> {
         let placed = self.place_on_replicas(model, |backend| backend.push(model, text))?;
+        self.stats.pushes.fetch_add(1, Ordering::Relaxed);
         self.catalog
             .lock()
             .expect("catalog lock poisoned")

@@ -186,6 +186,12 @@ pub(crate) struct ServeContext {
     pub(crate) stats: Arc<ServerStats>,
     pub(crate) bundle_dir: Option<std::path::PathBuf>,
     pub(crate) journal: Option<Arc<Journal>>,
+    /// What the last [`Server::recover_from_journal`] rebuilt; rendered on
+    /// the `STATS` line so replay truncation/skips are visible at runtime.
+    recovery: Mutex<Option<RecoveryReport>>,
+    /// Extra `key=value` stats sources attached by co-located subsystems
+    /// (e.g. an in-process refit worker riding the `STATS` line).
+    extra_stats: Mutex<Vec<Arc<dyn Fn() -> String + Send + Sync>>>,
     connections: ConnectionTable,
 }
 
@@ -193,14 +199,32 @@ impl ServeContext {
     /// The `STATS` payload: the atomic counters plus the live cache-entry
     /// gauge (expired entries are purged before counting, so the gauge
     /// reflects what the cache actually holds) and, when journaling is on,
-    /// the journal's own counters (seq, segments, bytes, fsync lag).
+    /// the journal's own counters (seq, segments, bytes, fsync lag), the
+    /// last recovery's replay accounting, and any attached extra sources.
     pub(crate) fn stats_line(&self) -> String {
         let entries = self.cache.lock().expect("cache lock poisoned").len();
-        let base = format!("{} cache_entries={entries}", self.stats.to_line());
-        match &self.journal {
-            Some(journal) => format!("{base} {}", journal.stats().to_line()),
-            None => base,
+        let mut line = format!("{} cache_entries={entries}", self.stats.to_line());
+        if let Some(journal) = &self.journal {
+            line.push(' ');
+            line.push_str(&journal.stats().to_line());
         }
+        if let Some(report) = *self.recovery.lock().expect("recovery lock poisoned") {
+            line.push(' ');
+            line.push_str(&report.to_line());
+        }
+        for source in self
+            .extra_stats
+            .lock()
+            .expect("extra stats lock poisoned")
+            .iter()
+        {
+            let extra = source();
+            if !extra.is_empty() {
+                line.push(' ');
+                line.push_str(&extra);
+            }
+        }
+        line
     }
 
     /// Appends a journal record if journaling is configured. The record is
@@ -239,6 +263,26 @@ pub struct RecoveryReport {
     /// Bytes past the last valid frame ignored during replay. Normally 0:
     /// opening the journal already truncated any torn tail.
     pub truncated_bytes: u64,
+}
+
+impl RecoveryReport {
+    /// Renders the report as `key=value` pairs for the `STATS` line, so the
+    /// otherwise-invisible replay accounting (notably `skipped` frames and
+    /// `truncated_bytes`) is observable at runtime.
+    pub fn to_line(&self) -> String {
+        format!(
+            "recovered_frames={} recovered_installs={} recovered_scores={} \
+             recovered_warmed={} recovered_skipped={} recovered_last_seq={} \
+             recovered_truncated_bytes={}",
+            self.frames,
+            self.installs,
+            self.scores,
+            self.warmed,
+            self.skipped,
+            self.last_seq,
+            self.truncated_bytes,
+        )
+    }
 }
 
 /// The running front end's handles — whichever architecture was selected.
@@ -301,6 +345,8 @@ impl Server {
             stats,
             bundle_dir: config.bundle_dir.clone(),
             journal,
+            recovery: Mutex::new(None),
+            extra_stats: Mutex::new(Vec::new()),
             connections: ConnectionTable::default(),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
@@ -446,7 +492,32 @@ impl Server {
         report.frames = summary.frames;
         report.last_seq = summary.last_seq;
         report.truncated_bytes = summary.truncated_bytes;
+        *self
+            .context
+            .recovery
+            .lock()
+            .expect("recovery lock poisoned") = Some(report);
         Ok(report)
+    }
+
+    /// The report of the last [`Server::recover_from_journal`], if one ran.
+    pub fn recovery_report(&self) -> Option<RecoveryReport> {
+        *self
+            .context
+            .recovery
+            .lock()
+            .expect("recovery lock poisoned")
+    }
+
+    /// Attaches an extra stats source whose `key=value` output is appended
+    /// to every `STATS` response — how co-located subsystems (the refit
+    /// worker) ride the serving tier's telemetry line.
+    pub fn attach_stats_source(&self, source: Arc<dyn Fn() -> String + Send + Sync>) {
+        self.context
+            .extra_stats
+            .lock()
+            .expect("extra stats lock poisoned")
+            .push(source);
     }
 
     /// Gracefully shuts the server down: stops accepting, closes every

@@ -14,9 +14,21 @@
 //! ```text
 //! cargo run --release --example serve_demo -- --journal /tmp/pfr-journal
 //! ```
+//!
+//! With `--refit` (implies journaling, into a scratch directory unless
+//! `--journal` names one) a background refit worker tails that same
+//! journal, the demo shifts the traffic distribution, and the worker
+//! detects the drift, warm-refits the model from the serving projection,
+//! shadow-scores the candidate on held-back traffic, and hot-swaps it back
+//! into the live server over the wire — all visible on the `STATS` line:
+//!
+//! ```text
+//! cargo run --release --example serve_demo -- --refit
+//! ```
 
 use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
+use pfr::refit::{GateConfig, RefitConfig, RefitLoop, RefitModelConfig, RefitWorker, SwapTarget};
 use pfr::serve::protocol::format_numbers;
 use pfr::serve::{BatcherConfig, Server, ServerConfig};
 use pfr_data::{split, synthetic, Dataset};
@@ -61,11 +73,20 @@ fn main() {
     //    thread-per-connection baseline. `--journal <dir>` adds a
     //    write-ahead journal: every accepted request becomes durable before
     //    its response, and a crashed server can be rebuilt from the log.
+    let refit_mode = std::env::args().any(|a| a == "--refit");
     let journal_dir = {
         let mut args = std::env::args();
         args.find(|a| a == "--journal")
             .map(|_| std::path::PathBuf::from(args.next().expect("--journal takes a directory")))
-    };
+    }
+    .or_else(|| {
+        // `--refit` needs a journal to tail; give it a fresh scratch one.
+        refit_mode.then(|| {
+            let dir = std::env::temp_dir().join("pfr_serve_demo_refit_journal");
+            let _ = std::fs::remove_dir_all(&dir);
+            dir
+        })
+    });
     let make_config = || ServerConfig {
         workers: 4,
         batcher: BatcherConfig {
@@ -161,7 +182,113 @@ fn main() {
     reader.read_line(&mut stats).expect("response reads");
     println!("STATS -> {}", stats.trim_end());
 
-    // 7. With a journal: crash the server outright and recover a new one.
+    // 7. With `--refit`: close the loop. A background worker tails the very
+    //    journal the server writes, watches the live feature stream for
+    //    drift against the serving bundle's own training statistics, and on
+    //    detection warm-refits, shadow-gates and hot-swaps — while clients
+    //    keep scoring.
+    if refit_mode {
+        println!("starting the refit worker (tailing the journal) ...");
+        let serving_text = pfr::core::persistence::bundle_to_string(&bundle);
+        let mut refit_config = RefitConfig::new(
+            journal_dir.clone().expect("refit mode forces a journal"),
+            "admissions",
+        );
+        refit_config.window_rows = 256;
+        refit_config.holdback_rows = 64;
+        refit_config.holdback_every = 4;
+        refit_config.min_refit_rows = 96;
+        refit_config.check_every_frames = 32;
+        refit_config.cooldown_frames = 64;
+        refit_config.model_config = RefitModelConfig {
+            dim: bundle.model.dim(),
+            knn_k: 8,
+            // `features_with_protected` appends the group flag last.
+            protected_column: raw.cols() - 1,
+            ..RefitModelConfig::default()
+        };
+        refit_config.gate = GateConfig {
+            min_agreement: 0.7,
+            max_mean_abs_diff: 0.35,
+            min_rows: 8,
+        };
+        let refit_loop = RefitLoop::new(
+            refit_config,
+            &serving_text,
+            SwapTarget::Backends(vec![addr]),
+        )
+        .expect("refit loop builds");
+        let worker = RefitWorker::spawn(refit_loop);
+        // The worker's counters ride the server's own STATS line.
+        server.attach_stats_source(worker.stats_source());
+        let refit_stats = worker.stats();
+
+        // The upstream distribution shifts: every feature moves by 0.8 of
+        // its serving-time standard deviation (the protected flag stays).
+        let stds = bundle
+            .standardizer
+            .as_ref()
+            .expect("pipeline bundles carry a standardizer")
+            .stds
+            .clone();
+        println!("traffic drifts (+0.8 sigma per feature) — scoring until the worker swaps ...");
+        let stream = TcpStream::connect(addr).expect("client connects");
+        stream.set_nodelay(true).expect("nodelay sets");
+        let mut drift_reader = BufReader::new(stream.try_clone().expect("stream clones"));
+        let mut drift_writer = stream;
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let mut sent = 0usize;
+        'drift: loop {
+            for i in 0..rows.len() {
+                if refit_stats.refits_swapped() > 0 {
+                    break 'drift;
+                }
+                assert!(Instant::now() < deadline, "refit did not swap within 60s");
+                let drifted: Vec<f64> = rows[i]
+                    .iter()
+                    .enumerate()
+                    .map(|(j, &v)| {
+                        if j + 1 == rows[i].len() {
+                            v
+                        } else {
+                            v + 0.8 * stds[j]
+                        }
+                    })
+                    .collect();
+                writeln!(
+                    drift_writer,
+                    "SCORE admissions {}",
+                    format_numbers(&drifted)
+                )
+                .expect("request writes");
+                let mut response = String::new();
+                drift_reader
+                    .read_line(&mut response)
+                    .expect("response reads");
+                assert!(
+                    response.starts_with("OK"),
+                    "drifted score failed: {response}"
+                );
+                sent += 1;
+            }
+        }
+        println!(
+            "hot-swap after {sent} drifted requests: {} drift checks, {} detected, \
+             {} attempted, {} gated, {} swapped",
+            refit_stats.drift_checks(),
+            refit_stats.drift_detected(),
+            refit_stats.refits_attempted(),
+            refit_stats.refits_gated(),
+            refit_stats.refits_swapped(),
+        );
+        writeln!(drift_writer, "STATS").expect("request writes");
+        let mut stats = String::new();
+        drift_reader.read_line(&mut stats).expect("response reads");
+        println!("STATS -> {}", stats.trim_end());
+        worker.stop();
+    }
+
+    // 8. With a journal: crash the server outright and recover a new one.
     if journal_dir.is_some() {
         // No shutdown, no Drop — the process state is simply abandoned, the
         // way a SIGKILL would leave it. Everything the clients saw

@@ -1,0 +1,153 @@
+//! Property tests for the journal-tailing cursor that feeds the online
+//! refit worker: under concurrent appends with forced segment rotations
+//! (tiny `segment_bytes`) and aggressive retention, a durable cursor must
+//! observe **every frame exactly once, in sequence order, bitwise
+//! intact** — including across a checkpoint-restore restart that swaps in
+//! a fresh cursor handle mid-stream. Retention is enabled throughout, so
+//! the same cases also exercise the checkpoint-pinning rule: a segment a
+//! registered cursor still needs must never be deleted out from under it.
+
+use pfr::journal::{FsyncPolicy, Journal, JournalConfig, JournalCursor, Record};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicUsize, Ordering};
+
+fn scratch_dir(tag: &str) -> PathBuf {
+    static COUNTER: AtomicUsize = AtomicUsize::new(0);
+    let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+    let dir = std::env::temp_dir().join(format!(
+        "pfr_refit_cursor_props_{tag}_{}_{n}",
+        std::process::id()
+    ));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+fn config(dir: PathBuf, segment_bytes: u64, retain: usize) -> JournalConfig {
+    let mut config = JournalConfig::new(dir);
+    config.segment_bytes = segment_bytes;
+    config.retain_segments = retain;
+    config.fsync = FsyncPolicy::Never;
+    config
+}
+
+fn records_from(batches: &[Vec<f64>]) -> Vec<Record> {
+    batches
+        .iter()
+        .enumerate()
+        .map(|(i, values)| Record::Score {
+            model: format!("m{}", i % 3),
+            features: values.clone(),
+        })
+        .collect()
+}
+
+fn assert_delivery(delivered: &[(u64, Record)], expected: &[Record]) {
+    assert_eq!(
+        delivered.len(),
+        expected.len(),
+        "expected {} frames, observed {}",
+        expected.len(),
+        delivered.len()
+    );
+    for (i, ((seq, got), want)) in delivered.iter().zip(expected.iter()).enumerate() {
+        assert_eq!(*seq, i as u64 + 1, "frame {i} arrived out of order");
+        assert!(got.bitwise_eq(want), "frame {i} corrupted in transit");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// A cursor tailing a journal that is being appended to from another
+    /// thread — across rotations forced by tiny segments, with retention
+    /// pruning behind the reader — sees each frame exactly once, in order.
+    #[test]
+    fn concurrent_tailing_is_exactly_once_in_order(
+        batches in vec(vec(-1e6..1e6f64, 0..6), 30..90),
+        segment_bytes in 96u64..640,
+    ) {
+        let dir = scratch_dir("tail");
+        let records = records_from(&batches);
+        let journal = Journal::open(config(dir.clone(), segment_bytes, 2)).unwrap();
+        // Register the cursor before the writer starts so retention can
+        // never outrun a reader that has not seen its first frame yet.
+        let mut cursor = JournalCursor::open(&dir, "tailer", 1).unwrap();
+
+        let writer_records = records.clone();
+        let writer = std::thread::spawn(move || {
+            for record in &writer_records {
+                journal.append(record).unwrap();
+            }
+            journal.close();
+        });
+
+        let mut delivered = Vec::with_capacity(records.len());
+        while delivered.len() < records.len() {
+            match cursor.next().unwrap() {
+                Some(frame) => {
+                    delivered.push(frame);
+                    // Durable progress after every frame: the strongest
+                    // (and most retention-hostile) checkpoint cadence.
+                    cursor.checkpoint().unwrap();
+                }
+                None => std::thread::yield_now(),
+            }
+        }
+        writer.join().unwrap();
+        // Nothing extra may appear after the writer is done.
+        assert!(cursor.next().unwrap().is_none());
+        assert_delivery(&delivered, &records);
+
+        cursor.deregister().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    /// Dropping the cursor mid-stream and reopening under the same name
+    /// resumes from the checkpoint: the two handles together deliver every
+    /// frame exactly once, in order, across the restart boundary.
+    #[test]
+    fn checkpoint_restore_restart_is_exactly_once(
+        batches in vec(vec(-1e3..1e3f64, 0..5), 20..60),
+        segment_bytes in 96u64..512,
+        cut_permille in 100usize..900,
+    ) {
+        let dir = scratch_dir("restart");
+        let records = records_from(&batches);
+        let journal = Journal::open(config(dir.clone(), segment_bytes, 3)).unwrap();
+        let mut first = JournalCursor::open(&dir, "worker", 1).unwrap();
+        for record in &records {
+            journal.append(record).unwrap();
+        }
+        journal.close();
+
+        // First incarnation reads a prefix, checkpointing each frame, then
+        // "crashes" (dropped without deregistering).
+        let cut = (records.len() * cut_permille / 1000).max(1);
+        let mut delivered = Vec::with_capacity(records.len());
+        while delivered.len() < cut {
+            if let Some(frame) = first.next().unwrap() {
+                delivered.push(frame);
+                first.checkpoint().unwrap();
+            }
+        }
+        drop(first);
+
+        // The restarted incarnation ignores its `from_seq` argument in
+        // favour of the persisted checkpoint and continues seamlessly.
+        let mut second = JournalCursor::open(&dir, "worker", 1).unwrap();
+        while delivered.len() < records.len() {
+            if let Some(frame) = second.next().unwrap() {
+                delivered.push(frame);
+                second.checkpoint().unwrap();
+            }
+        }
+        assert!(second.next().unwrap().is_none());
+        assert_delivery(&delivered, &records);
+
+        second.deregister().unwrap();
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}
