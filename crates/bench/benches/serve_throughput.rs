@@ -18,8 +18,10 @@ use pfr_data::synthetic;
 use pfr_linalg::stats::Standardizer;
 use pfr_linalg::Matrix;
 use pfr_opt::LogisticRegression;
-use pfr_serve::{ScoreCache, ScoreKey, ServableModel};
+use pfr_serve::{Frontend, ScoreCache, ScoreKey, ServableModel, Server, ServerConfig};
 use std::hint::black_box;
+use std::io::{BufRead, BufReader, Write};
+use std::net::TcpStream;
 
 /// Number of request vectors scored per measured iteration.
 const TOTAL_REQUESTS: usize = 256;
@@ -163,6 +165,55 @@ fn bench_batched_scoring(c: &mut Criterion) {
         "  cache: {hits} hits / {misses} misses over {passes} passes (hit rate {hit_rate:.3})"
     );
 
+    // Overload shedding: a reactor front end with a hard connection limit
+    // closes surplus accepts with one `BUSY` line instead of queueing them
+    // into collapse. The measurement is deterministic — admit exactly
+    // `limit` connections (each confirmed with a round trip), then attempt
+    // the same number again and count the sheds — so the recorded rate is
+    // exactly 0.5 and a regression means the limiter broke, not that the
+    // machine was slow.
+    let limit = 8usize;
+    let server = Server::spawn(ServerConfig {
+        frontend: Frontend::reactor(1),
+        max_connections: Some(limit),
+        ..ServerConfig::default()
+    })
+    .expect("shed server spawns");
+    let addr = server.addr();
+    let admitted: Vec<(BufReader<TcpStream>, TcpStream)> = (0..limit)
+        .map(|_| {
+            let stream = TcpStream::connect(addr).expect("admitted client connects");
+            stream.set_nodelay(true).expect("nodelay sets");
+            let mut reader = BufReader::new(stream.try_clone().expect("stream clones"));
+            let mut writer = stream;
+            // A full round trip proves the reactor has registered the
+            // connection before the next admission attempt.
+            writeln!(writer, "STATS").expect("request writes");
+            let mut response = String::new();
+            reader.read_line(&mut response).expect("response reads");
+            assert!(response.starts_with("OK"), "{response}");
+            (reader, writer)
+        })
+        .collect();
+    let mut shed = 0usize;
+    for _ in 0..limit {
+        let stream = TcpStream::connect(addr).expect("surplus client connects");
+        let mut reader = BufReader::new(stream);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("shed line reads");
+        if response.trim_end() == "BUSY" {
+            shed += 1;
+        }
+    }
+    let shed_rate = shed as f64 / (2 * limit) as f64;
+    println!(
+        "  shedding: {shed}/{limit} surplus connections turned away at a {limit}-connection limit \
+         (shed rate {shed_rate:.3})"
+    );
+    assert_eq!(server.stats().sheds(), shed as u64);
+    drop(admitted);
+    server.shutdown();
+
     pfr_bench::write_bench_json(
         "BENCH_serve.json",
         "serve_throughput",
@@ -175,6 +226,9 @@ fn bench_batched_scoring(c: &mut Criterion) {
             // `_us` suffix = latency: perf_gate fails these for *rising*.
             ("score_p50_us", p50_us),
             ("score_p99_us", p99_us),
+            // Deterministic overload-shedding check: exactly half of 2x
+            // the connection limit must be turned away with BUSY.
+            ("shed_rate", shed_rate),
         ],
     );
 }

@@ -1,33 +1,46 @@
 //! A reactor-backed line-protocol client: one event-loop thread multiplexes
 //! every outbound connection, so a caller fanning a batch out to N replicas
-//! submits N operations and blocks on N receivers — **zero threads are
+//! submits N operations and blocks on N tickets — **zero threads are
 //! spawned per request**, which is what lets a routing tier scatter to its
 //! whole replica set without paying a thread per backend per request.
 //!
-//! One operation ([`ClientDriver::submit`]) writes a burst of request lines
-//! to one address and resolves with exactly as many response lines (the
-//! serve protocol answers in order on one connection). Because the reactor
-//! interleaves reads and writes on the same connection, a burst may exceed
-//! the combined socket buffers without deadlocking — the
+//! Every entry point funnels into one frame-based core: a submission is raw
+//! request bytes (newline-joined lines, or a header line plus counted
+//! payload) plus the number of response lines that resolve it. The core
+//! returns a [`Ticket`] the caller may poll ([`Ticket::try_take`]), block on
+//! ([`Ticket::wait`] / [`Ticket::wait_deadline`]), or skip entirely by
+//! submitting against a shared [`CompletionQueue`]
+//! ([`ClientDriver::submit_frame_queued`]) and draining completions in
+//! whatever order they land — the shape that lets **one caller thread keep
+//! thousands of operations in flight**.
+//!
+//! Operations to the same address are **pipelined**: up to
+//! [`ClientConfig::max_pipeline`] submissions share one connection
+//! back-to-back (the serve protocol answers in order on one connection), so
+//! 10k in-flight operations cost hundreds of sockets, not 10k. Because the
+//! reactor interleaves reads and writes on the same connection, a burst may
+//! exceed the combined socket buffers without deadlocking — the
 //! write-all-then-read-all pipelining of a blocking client cannot do that,
 //! which is why it must cap its bursts.
 //!
 //! Connections are pooled per address (up to `max_idle` kept warm), dialed
 //! non-blockingly on demand, and torn down on any error or deadline —
 //! a connection that failed mid-exchange is out of protocol sync and can
-//! never be reused. Deadlines (connect and io) ride the
-//! [`crate::wheel::DeadlineWheel`].
+//! never be reused, and a failure fails every operation queued behind it on
+//! that connection. Deadlines (connect and io) ride the
+//! [`crate::wheel::DeadlineWheel`] and always govern the *head* operation
+//! of a connection's pipeline.
 
 use crate::line::LineConn;
 use crate::poller::{Event, Interest, Poller, Waker};
 use crate::sys::{self, ConnectStart};
 use crate::wheel::DeadlineWheel;
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 use std::io;
 use std::net::{SocketAddr, TcpStream};
 use std::os::fd::AsRawFd;
-use std::sync::mpsc::{self, Receiver, Sender};
-use std::sync::Arc;
+use std::sync::mpsc::{self, Receiver, RecvTimeoutError, Sender, TryRecvError};
+use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::{Duration, Instant};
 
@@ -37,12 +50,17 @@ pub struct ClientConfig {
     /// How long a non-blocking dial may take to become writable.
     pub connect_timeout: Duration,
     /// Deadline for one whole operation (burst out + responses in),
-    /// armed from the moment the operation is assigned a connection.
+    /// armed from the moment the operation reaches the head of its
+    /// connection's pipeline.
     pub io_timeout: Duration,
     /// Idle connections kept per address; excess are closed on release.
     pub max_idle: usize,
     /// Longest tolerated response line.
     pub max_line: usize,
+    /// Most operations multiplexed back-to-back onto one connection before
+    /// the reactor dials another to the same address. 1 disables
+    /// pipelining (one operation per connection at a time).
+    pub max_pipeline: usize,
 }
 
 impl Default for ClientConfig {
@@ -52,12 +70,201 @@ impl Default for ClientConfig {
             io_timeout: Duration::from_secs(2),
             max_idle: 8,
             max_line: 1 << 20,
+            max_pipeline: 32,
         }
     }
 }
 
 /// The result of one submitted burst: the response lines, in order.
 pub type BurstResult = io::Result<Vec<String>>;
+
+fn reactor_gone() -> io::Error {
+    io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone")
+}
+
+/// A handle to one in-flight submission. Poll it ([`Ticket::try_take`]),
+/// block on it ([`Ticket::wait`]), or block with a deadline
+/// ([`Ticket::wait_deadline`], which hands the ticket back on timeout so
+/// the caller can keep waiting).
+///
+/// A ticket may also be born resolved ([`Ticket::ready`]) — that is how
+/// blocking transports and cache hits slot into completion-shaped call
+/// sites without a reactor round-trip.
+#[derive(Debug)]
+pub struct Ticket(TicketState);
+
+#[derive(Debug)]
+enum TicketState {
+    Ready(Option<BurstResult>),
+    Pending(Receiver<BurstResult>),
+}
+
+impl Ticket {
+    /// A ticket that is already resolved with `result`.
+    pub fn ready(result: BurstResult) -> Ticket {
+        Ticket(TicketState::Ready(Some(result)))
+    }
+
+    fn pending(rx: Receiver<BurstResult>) -> Ticket {
+        Ticket(TicketState::Pending(rx))
+    }
+
+    /// Non-blocking poll: `Some(result)` once the operation resolved,
+    /// `None` while it is still in flight.
+    pub fn try_take(&mut self) -> Option<BurstResult> {
+        match &mut self.0 {
+            TicketState::Ready(slot) => slot.take(),
+            TicketState::Pending(rx) => match rx.try_recv() {
+                Ok(result) => Some(result),
+                Err(TryRecvError::Empty) => None,
+                Err(TryRecvError::Disconnected) => Some(Err(reactor_gone())),
+            },
+        }
+    }
+
+    /// Blocks until the operation resolves.
+    pub fn wait(self) -> BurstResult {
+        match self.0 {
+            TicketState::Ready(Some(result)) => result,
+            TicketState::Ready(None) => Err(io::Error::other("ticket already consumed")),
+            TicketState::Pending(rx) => rx.recv().map_err(|_| reactor_gone())?,
+        }
+    }
+
+    /// Blocks until the operation resolves or `deadline` passes; on
+    /// timeout the ticket is returned so the caller can keep waiting or
+    /// polling.
+    pub fn wait_deadline(self, deadline: Instant) -> Result<BurstResult, Ticket> {
+        match self.0 {
+            TicketState::Ready(Some(result)) => Ok(result),
+            TicketState::Ready(None) => Ok(Err(io::Error::other("ticket already consumed"))),
+            TicketState::Pending(rx) => {
+                let timeout = deadline.saturating_duration_since(Instant::now());
+                match rx.recv_timeout(timeout) {
+                    Ok(result) => Ok(result),
+                    Err(RecvTimeoutError::Timeout) => Err(Ticket(TicketState::Pending(rx))),
+                    Err(RecvTimeoutError::Disconnected) => Ok(Err(reactor_gone())),
+                }
+            }
+        }
+    }
+}
+
+/// A completion queue shared by many in-flight submissions: each
+/// [`ClientDriver::submit_frame_queued`] call names a caller-chosen `tag`,
+/// and results land here **in completion order**, not submission order.
+/// One caller thread submits thousands of operations against one queue and
+/// drains `(tag, result)` pairs as they arrive — no per-operation channel,
+/// no per-operation park/unpark.
+///
+/// Cloning is cheap (the queue is internally `Arc`-shared); all clones
+/// drain the same completions.
+#[derive(Debug, Clone, Default)]
+pub struct CompletionQueue {
+    inner: Arc<QueueInner>,
+}
+
+#[derive(Debug, Default)]
+struct QueueInner {
+    ready: Mutex<VecDeque<(u64, BurstResult)>>,
+    available: Condvar,
+}
+
+impl CompletionQueue {
+    /// An empty queue.
+    pub fn new() -> CompletionQueue {
+        CompletionQueue::default()
+    }
+
+    /// Records one completion and wakes a waiting [`CompletionQueue::pop`].
+    /// Public so callers can inject locally-resolved completions (cache
+    /// hits, validation failures) into the same drain loop as wire results.
+    pub fn push(&self, tag: u64, result: BurstResult) {
+        let mut ready = self.inner.ready.lock().expect("queue lock never poisons");
+        ready.push_back((tag, result));
+        drop(ready);
+        self.inner.available.notify_one();
+    }
+
+    /// Non-blocking drain of the oldest completion.
+    pub fn try_pop(&self) -> Option<(u64, BurstResult)> {
+        self.inner
+            .ready
+            .lock()
+            .expect("queue lock never poisons")
+            .pop_front()
+    }
+
+    /// Blocks until a completion is available. Callers are expected to
+    /// track how many submissions are outstanding and not over-pop.
+    pub fn pop(&self) -> (u64, BurstResult) {
+        let mut ready = self.inner.ready.lock().expect("queue lock never poisons");
+        loop {
+            if let Some(item) = ready.pop_front() {
+                return item;
+            }
+            ready = self
+                .inner
+                .available
+                .wait(ready)
+                .expect("queue lock never poisons");
+        }
+    }
+
+    /// Blocks up to `timeout` for a completion.
+    pub fn pop_timeout(&self, timeout: Duration) -> Option<(u64, BurstResult)> {
+        let deadline = Instant::now() + timeout;
+        let mut ready = self.inner.ready.lock().expect("queue lock never poisons");
+        loop {
+            if let Some(item) = ready.pop_front() {
+                return Some(item);
+            }
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            if remaining.is_zero() {
+                return None;
+            }
+            let (guard, _) = self
+                .inner
+                .available
+                .wait_timeout(ready, remaining)
+                .expect("queue lock never poisons");
+            ready = guard;
+        }
+    }
+
+    /// Completions currently buffered (not yet popped).
+    pub fn len(&self) -> usize {
+        self.inner
+            .ready
+            .lock()
+            .expect("queue lock never poisons")
+            .len()
+    }
+
+    /// Whether no completion is currently buffered.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// Where a resolved operation reports: a dedicated channel (ticket-shaped
+/// submissions) or a shared completion queue under a caller-chosen tag.
+enum ReplySlot {
+    Channel(Sender<BurstResult>),
+    Queue { queue: CompletionQueue, tag: u64 },
+}
+
+impl ReplySlot {
+    fn send(self, result: BurstResult) {
+        match self {
+            // A dropped receiver just means the caller stopped waiting.
+            ReplySlot::Channel(tx) => {
+                let _ = tx.send(result);
+            }
+            ReplySlot::Queue { queue, tag } => queue.push(tag, result),
+        }
+    }
+}
 
 enum Op {
     Burst {
@@ -67,7 +274,7 @@ enum Op {
         bytes: Vec<u8>,
         /// Response lines to collect before the operation resolves.
         expect: usize,
-        reply: Sender<BurstResult>,
+        reply: ReplySlot,
     },
     /// Close every idle connection to `addr` (e.g. after its backend was
     /// ejected, so re-admission starts from fresh sockets).
@@ -100,15 +307,11 @@ impl ClientDriver {
         })
     }
 
-    /// Submits a burst of request lines to `addr`; the returned receiver
-    /// yields the same number of response lines (or the operation's error).
+    /// Submits a burst of request lines to `addr`; the ticket resolves with
+    /// the same number of response lines (or the operation's error).
     /// Submitting is non-blocking — fan-out submits all replicas first,
     /// then collects.
-    pub fn submit<S: AsRef<str>>(
-        &self,
-        addr: SocketAddr,
-        lines: &[S],
-    ) -> io::Result<Receiver<BurstResult>> {
+    pub fn submit<S: AsRef<str>>(&self, addr: SocketAddr, lines: &[S]) -> io::Result<Ticket> {
         let mut bytes = Vec::new();
         for line in lines {
             bytes.extend_from_slice(line.as_ref().as_bytes());
@@ -119,15 +322,49 @@ impl ClientDriver {
 
     /// Submits a pre-framed request — raw bytes that may carry a counted
     /// payload after a header line (the `PUSH` verb) — expecting `expect`
-    /// response lines. [`ClientDriver::submit`] is the line-burst special
-    /// case of this.
+    /// response lines. This is **the** submission core: every other entry
+    /// point ([`ClientDriver::submit`], the queued variant, the deprecated
+    /// `exchange*` shims) reduces to it.
     pub fn submit_frame(
         &self,
         addr: SocketAddr,
         bytes: Vec<u8>,
         expect: usize,
-    ) -> io::Result<Receiver<BurstResult>> {
+    ) -> io::Result<Ticket> {
         let (reply, rx) = mpsc::channel();
+        self.enqueue(addr, bytes, expect, ReplySlot::Channel(reply))?;
+        Ok(Ticket::pending(rx))
+    }
+
+    /// Submits a pre-framed request whose result lands on `queue` under
+    /// `tag` instead of a per-operation ticket — the entry point for one
+    /// caller thread driving thousands of in-flight operations.
+    pub fn submit_frame_queued(
+        &self,
+        addr: SocketAddr,
+        bytes: Vec<u8>,
+        expect: usize,
+        queue: &CompletionQueue,
+        tag: u64,
+    ) -> io::Result<()> {
+        self.enqueue(
+            addr,
+            bytes,
+            expect,
+            ReplySlot::Queue {
+                queue: queue.clone(),
+                tag,
+            },
+        )
+    }
+
+    fn enqueue(
+        &self,
+        addr: SocketAddr,
+        bytes: Vec<u8>,
+        expect: usize,
+        reply: ReplySlot,
+    ) -> io::Result<()> {
         self.ops
             .send(Op::Burst {
                 addr,
@@ -135,23 +372,25 @@ impl ClientDriver {
                 expect,
                 reply,
             })
-            .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?;
+            .map_err(|_| reactor_gone())?;
         self.waker.wake()?;
-        Ok(rx)
+        Ok(())
     }
 
     /// One burst, submitted and awaited.
+    #[deprecated(
+        note = "use `submit(..)` and `Ticket::wait`; removed next release (see DESIGN.md)"
+    )]
     pub fn exchange<S: AsRef<str>>(&self, addr: SocketAddr, lines: &[S]) -> BurstResult {
-        self.submit(addr, lines)?
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?
+        self.submit(addr, lines)?.wait()
     }
 
     /// One pre-framed request, submitted and awaited.
+    #[deprecated(
+        note = "use `submit_frame(..)` and `Ticket::wait`; removed next release (see DESIGN.md)"
+    )]
     pub fn exchange_frame(&self, addr: SocketAddr, bytes: Vec<u8>, expect: usize) -> BurstResult {
-        self.submit_frame(addr, bytes, expect)?
-            .recv()
-            .map_err(|_| io::Error::new(io::ErrorKind::NotConnected, "client reactor is gone"))?
+        self.submit_frame(addr, bytes, expect)?.wait()
     }
 
     /// Closes every idle pooled connection to `addr`.
@@ -180,13 +419,13 @@ const WAKER_TOKEN: u64 = 0;
 struct Job {
     expect: usize,
     got: Vec<String>,
-    reply: Sender<BurstResult>,
+    reply: ReplySlot,
 }
 
 enum Phase {
-    /// Dial in flight; the payload is already queued in the `LineConn`.
+    /// Dial in flight; payloads are already queued in the `LineConn`.
     Connecting,
-    /// Established, exchanging or idle (idle = no job).
+    /// Established, exchanging or idle (idle = no jobs).
     Established,
 }
 
@@ -196,7 +435,10 @@ struct Conn {
     stream: TcpStream,
     line: LineConn,
     phase: Phase,
-    job: Option<Job>,
+    /// In-flight operations in submission order. The serve protocol
+    /// answers in order on one connection, so responses resolve jobs FIFO;
+    /// the deadline wheel always tracks the front job.
+    jobs: VecDeque<Job>,
 }
 
 struct Reactor {
@@ -267,9 +509,9 @@ impl Reactor {
             }
         }
         // Fail whatever is still in flight so no caller blocks forever.
-        for (_, conn) in self.conns.drain() {
-            if let Some(job) = conn.job {
-                let _ = job.reply.send(Err(io::Error::new(
+        for (_, mut conn) in self.conns.drain() {
+            for job in conn.jobs.drain(..) {
+                job.reply.send(Err(io::Error::new(
                     io::ErrorKind::NotConnected,
                     "client reactor stopped",
                 )));
@@ -299,51 +541,66 @@ impl Reactor {
         }
     }
 
-    fn start_burst(
-        &mut self,
-        addr: SocketAddr,
-        bytes: Vec<u8>,
-        expect: usize,
-        reply: Sender<BurstResult>,
-    ) {
+    fn start_burst(&mut self, addr: SocketAddr, bytes: Vec<u8>, expect: usize, reply: ReplySlot) {
         if expect == 0 {
-            let _ = reply.send(Ok(Vec::new()));
+            reply.send(Ok(Vec::new()));
             return;
         }
-        // Reuse a pooled connection or dial a fresh one.
-        let token = match self.pop_idle(addr) {
-            Some(token) => token,
-            None => match self.dial(addr) {
-                Ok(token) => token,
-                Err(e) => {
-                    let _ = reply.send(Err(e));
-                    return;
-                }
-            },
+        let token = match self.pick_conn(addr) {
+            Ok(token) => token,
+            Err(e) => {
+                reply.send(Err(e));
+                return;
+            }
         };
-        let conn = self
-            .conns
-            .get_mut(&token)
-            .expect("dialed or pooled conn exists");
+        let conn = self.conns.get_mut(&token).expect("picked conn exists");
         conn.line.enqueue_bytes(&bytes);
-        conn.job = Some(Job {
+        let was_empty = conn.jobs.is_empty();
+        conn.jobs.push_back(Job {
             expect,
             got: Vec::with_capacity(expect),
             reply,
         });
-        let deadline = match conn.phase {
-            // The io deadline starts after the handshake resolves; until
-            // then the (shorter) connect deadline governs.
-            Phase::Connecting => self.config.connect_timeout,
-            Phase::Established => self.config.io_timeout,
-        };
-        self.wheel.arm(token, Instant::now() + deadline);
+        if was_empty {
+            let deadline = match conn.phase {
+                // The io deadline starts after the handshake resolves; until
+                // then the (shorter) connect deadline governs.
+                Phase::Connecting => self.config.connect_timeout,
+                Phase::Established => self.config.io_timeout,
+            };
+            self.wheel.arm(token, Instant::now() + deadline);
+        }
         if matches!(
             self.conns.get(&token).map(|c| &c.phase),
             Some(Phase::Established)
         ) {
             self.pump(token, true, true);
         }
+    }
+
+    /// Picks the connection a new operation rides: a pooled idle one, then
+    /// the least-loaded busy (or still-connecting) one with pipeline
+    /// headroom, then a fresh dial.
+    fn pick_conn(&mut self, addr: SocketAddr) -> io::Result<u64> {
+        if let Some(token) = self.pop_idle(addr) {
+            return Ok(token);
+        }
+        let mut best: Option<(u64, usize)> = None;
+        for (&token, conn) in &self.conns {
+            if conn.addr != addr
+                || conn.jobs.is_empty()
+                || conn.jobs.len() >= self.config.max_pipeline.max(1)
+            {
+                continue;
+            }
+            if best.is_none_or(|(_, depth)| conn.jobs.len() < depth) {
+                best = Some((token, conn.jobs.len()));
+            }
+        }
+        if let Some((token, _)) = best {
+            return Ok(token);
+        }
+        self.dial(addr)
     }
 
     fn pop_idle(&mut self, addr: SocketAddr) -> Option<u64> {
@@ -378,7 +635,7 @@ impl Reactor {
                 stream,
                 line: LineConn::new(self.config.max_line),
                 phase,
-                job: None,
+                jobs: VecDeque::new(),
             },
         );
         Ok(token)
@@ -394,7 +651,7 @@ impl Reactor {
                 match sys::take_socket_error(conn.stream.as_raw_fd()) {
                     Ok(()) => {
                         conn.phase = Phase::Established;
-                        if conn.job.is_some() {
+                        if !conn.jobs.is_empty() {
                             // Handshake done: the io deadline takes over.
                             self.wheel
                                 .arm(event.token, Instant::now() + self.config.io_timeout);
@@ -413,7 +670,7 @@ impl Reactor {
             && self
                 .conns
                 .get(&event.token)
-                .is_some_and(|c| c.job.is_none())
+                .is_some_and(|c| c.jobs.is_empty())
         {
             // An idle pooled connection the backend closed: just drop it.
             self.close(event.token);
@@ -422,8 +679,9 @@ impl Reactor {
         self.pump(event.token, event.readable, true);
     }
 
-    /// Advances a connection: drain writes, drain reads, complete the job.
+    /// Advances a connection: drain writes, drain reads, resolve jobs FIFO.
     fn pump(&mut self, token: u64, readable: bool, writable: bool) {
+        let io_timeout = self.config.io_timeout;
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
@@ -434,67 +692,90 @@ impl Reactor {
                 return;
             }
         }
-        if readable {
-            let mut stream = &conn.stream;
-            let outcome = match conn.line.fill(&mut stream) {
-                Ok(outcome) => outcome,
-                Err(e) => {
-                    self.fail(token, e);
-                    return;
-                }
-            };
-            let mut done = false;
-            if let Some(job) = conn.job.as_mut() {
-                while let Some(line) = conn.line.next_line() {
-                    job.got.push(line);
-                    if job.got.len() == job.expect {
-                        done = true;
-                        break;
-                    }
-                }
-            }
-            if done {
-                self.complete(token);
-                return;
-            }
-            if outcome.eof {
-                self.fail(
-                    token,
-                    io::Error::new(
-                        io::ErrorKind::UnexpectedEof,
-                        "backend closed the connection",
-                    ),
-                );
-            }
+        if !readable {
+            return;
         }
-    }
-
-    /// The job finished: hand back its lines and pool or close the conn.
-    fn complete(&mut self, token: u64) {
-        self.wheel.cancel(token);
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        let job = conn.job.take().expect("complete is only called with a job");
-        let _ = job.reply.send(Ok(job.got));
-        // A connection with leftover buffered bytes got more responses than
-        // requests — protocol corruption; never pool it.
-        let clean = !conn.line.wants_write() && conn.line.pending_in() == 0;
-        let addr = conn.addr;
-        let pool = self.idle.entry(addr).or_default();
-        if clean && pool.len() < self.config.max_idle {
-            pool.push(token);
-        } else {
-            self.close(token);
+        let mut stream = &conn.stream;
+        let outcome = match conn.line.fill(&mut stream) {
+            Ok(outcome) => outcome,
+            Err(e) => {
+                self.fail(token, e);
+                return;
+            }
+        };
+        let mut completed = false;
+        while let Some(job) = conn.jobs.front_mut() {
+            let mut done = false;
+            while let Some(line) = conn.line.next_line() {
+                job.got.push(line);
+                if job.got.len() == job.expect {
+                    done = true;
+                    break;
+                }
+            }
+            if !done {
+                break;
+            }
+            let finished = conn.jobs.pop_front().expect("front job exists");
+            finished.reply.send(Ok(finished.got));
+            completed = true;
+            // The deadline follows the head of the pipeline: re-arm a
+            // fresh io budget for the next job, or disarm when drained.
+            if conn.jobs.is_empty() {
+                self.wheel.cancel(token);
+            } else {
+                self.wheel.arm(token, Instant::now() + io_timeout);
+            }
+        }
+        if conn.jobs.is_empty() {
+            if completed {
+                // The pipeline just drained: pool the connection if it is
+                // protocol-clean (leftover buffered bytes mean more
+                // responses than requests — corruption; never pool).
+                let clean = !conn.line.wants_write() && conn.line.pending_in() == 0 && !outcome.eof;
+                let addr = conn.addr;
+                if clean {
+                    let pool = self.idle.entry(addr).or_default();
+                    if pool.len() < self.config.max_idle {
+                        pool.push(token);
+                        return;
+                    }
+                }
+                self.close(token);
+            } else if outcome.eof {
+                // Already-idle connection the peer closed.
+                self.close(token);
+            }
+            return;
+        }
+        if outcome.eof {
+            self.fail(
+                token,
+                io::Error::new(
+                    io::ErrorKind::UnexpectedEof,
+                    "backend closed the connection",
+                ),
+            );
         }
     }
 
-    /// The job (or its connection) failed: report and tear down.
+    /// The connection (and every job queued on it) failed: report and tear
+    /// down. Pipelined jobs behind the failure share its error — the
+    /// connection is out of protocol sync, so none of them can resolve.
     fn fail(&mut self, token: u64, error: io::Error) {
         self.wheel.cancel(token);
         if let Some(conn) = self.conns.get_mut(&token) {
-            if let Some(job) = conn.job.take() {
-                let _ = job.reply.send(Err(error));
+            let kind = error.kind();
+            let msg = error.to_string();
+            let mut first = Some(error);
+            for job in conn.jobs.drain(..) {
+                let e = first
+                    .take()
+                    .unwrap_or_else(|| io::Error::new(kind, msg.clone()));
+                job.reply.send(Err(e));
             }
         }
         self.close(token);
@@ -543,19 +824,37 @@ mod tests {
         addr
     }
 
+    fn wait_all(driver: &ClientDriver, addr: SocketAddr, lines: &[&str]) -> BurstResult {
+        driver.submit(addr, lines)?.wait()
+    }
+
     #[test]
-    fn exchange_round_trips_and_reuses_the_connection() {
+    fn submitted_bursts_round_trip_and_reuse_the_connection() {
         let addr = echo_server();
         let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
-        assert_eq!(driver.exchange(addr, &["PING"]).unwrap(), vec!["PONG 1"]);
+        assert_eq!(wait_all(&driver, addr, &["PING"]).unwrap(), vec!["PONG 1"]);
         // Same pooled connection: the counter keeps rising.
         assert_eq!(
-            driver.exchange(addr, &["PING", "PING"]).unwrap(),
+            wait_all(&driver, addr, &["PING", "PING"]).unwrap(),
             vec!["PONG 2", "PONG 3"]
         );
         driver.drain(addr);
         // Drained: a fresh connection restarts the counter.
-        assert_eq!(driver.exchange(addr, &["PING"]).unwrap(), vec!["PONG 1"]);
+        assert_eq!(wait_all(&driver, addr, &["PING"]).unwrap(), vec!["PONG 1"]);
+    }
+
+    #[test]
+    fn deprecated_exchange_shims_still_resolve_through_the_frame_core() {
+        let addr = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
+        #[allow(deprecated)]
+        {
+            assert_eq!(driver.exchange(addr, &["PING"]).unwrap(), vec!["PONG 1"]);
+            assert_eq!(
+                driver.exchange_frame(addr, b"PING\n".to_vec(), 1).unwrap(),
+                vec!["PONG 2"]
+            );
+        }
     }
 
     #[test]
@@ -564,21 +863,121 @@ mod tests {
         let addr_b = echo_server();
         let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
         // Submit first, collect second — the scatter-gather shape.
-        let rx_a = driver.submit(addr_a, &["PING", "PING"]).unwrap();
-        let rx_b = driver.submit(addr_b, &["PING"]).unwrap();
-        assert_eq!(rx_a.recv().unwrap().unwrap(), vec!["PONG 1", "PONG 2"]);
-        assert_eq!(rx_b.recv().unwrap().unwrap(), vec!["PONG 1"]);
+        let ticket_a = driver.submit(addr_a, &["PING", "PING"]).unwrap();
+        let ticket_b = driver.submit(addr_b, &["PING"]).unwrap();
+        assert_eq!(ticket_a.wait().unwrap(), vec!["PONG 1", "PONG 2"]);
+        assert_eq!(ticket_b.wait().unwrap(), vec!["PONG 1"]);
     }
 
     #[test]
-    fn exchange_frame_sends_raw_bytes_and_collects_the_expected_lines() {
+    fn submit_frame_sends_raw_bytes_and_collects_the_expected_lines() {
         let addr = echo_server();
         let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
         // A pre-framed burst: two lines as one byte blob, two responses.
         let replies = driver
-            .exchange_frame(addr, b"PING\nPING\n".to_vec(), 2)
+            .submit_frame(addr, b"PING\nPING\n".to_vec(), 2)
+            .unwrap()
+            .wait()
             .unwrap();
         assert_eq!(replies, vec!["PONG 1", "PONG 2"]);
+    }
+
+    #[test]
+    fn ticket_try_take_polls_and_wait_deadline_returns_the_ticket_on_timeout() {
+        // A server that answers only after a delay, so polling observes the
+        // in-flight state.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    while reader.read_line(&mut line).unwrap_or(0) > 0 {
+                        std::thread::sleep(Duration::from_millis(100));
+                        if writeln!(writer, "LATE").is_err() {
+                            return;
+                        }
+                        line.clear();
+                    }
+                });
+            }
+        });
+        let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
+        let mut ticket = driver.submit(addr, &["PING"]).unwrap();
+        assert!(ticket.try_take().is_none(), "response cannot be ready yet");
+        let ticket = match ticket.wait_deadline(Instant::now() + Duration::from_millis(5)) {
+            Err(ticket) => ticket, // timed out as expected, still in flight
+            Ok(result) => panic!("5ms deadline should expire first, got {result:?}"),
+        };
+        assert_eq!(ticket.wait().unwrap(), vec!["LATE"]);
+    }
+
+    #[test]
+    fn ready_tickets_resolve_without_a_reactor() {
+        let mut ticket = Ticket::ready(Ok(vec!["OK 1".to_string()]));
+        assert_eq!(ticket.try_take().unwrap().unwrap(), vec!["OK 1"]);
+        assert!(ticket.try_take().is_none());
+        let ticket = Ticket::ready(Ok(vec!["OK 2".to_string()]));
+        assert_eq!(ticket.wait().unwrap(), vec!["OK 2"]);
+    }
+
+    #[test]
+    fn one_caller_thread_drives_thousands_of_queued_submissions() {
+        let addr = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig {
+            io_timeout: Duration::from_secs(30),
+            ..ClientConfig::default()
+        })
+        .unwrap();
+        let queue = CompletionQueue::new();
+        const N: u64 = 3000;
+        for tag in 0..N {
+            driver
+                .submit_frame_queued(addr, b"PING\n".to_vec(), 1, &queue, tag)
+                .unwrap();
+        }
+        let mut seen = vec![false; N as usize];
+        for _ in 0..N {
+            let (tag, result) = queue.pop();
+            assert!(!std::mem::replace(&mut seen[tag as usize], true));
+            let lines = result.unwrap();
+            assert_eq!(lines.len(), 1);
+            assert!(lines[0].starts_with("PONG "), "{}", lines[0]);
+        }
+        assert!(queue.is_empty());
+    }
+
+    #[test]
+    fn pipelining_multiplexes_many_jobs_onto_few_connections() {
+        let addr = echo_server();
+        let driver = ClientDriver::spawn(ClientConfig {
+            io_timeout: Duration::from_secs(30),
+            max_pipeline: 64,
+            ..ClientConfig::default()
+        })
+        .unwrap();
+        // 256 separate submissions; with max_pipeline=64 they share a
+        // handful of connections, observable through the per-connection
+        // PONG counters: pipelined jobs see counters far above 1.
+        let tickets: Vec<Ticket> = (0..256)
+            .map(|_| driver.submit(addr, &["PING"]).unwrap())
+            .collect();
+        let mut max_counter = 0u32;
+        for ticket in tickets {
+            let lines = ticket.wait().unwrap();
+            let counter: u32 = lines[0]
+                .strip_prefix("PONG ")
+                .expect("echo format")
+                .parse()
+                .unwrap();
+            max_counter = max_counter.max(counter);
+        }
+        assert!(
+            max_counter > 4,
+            "256 jobs never shared a connection (max per-conn counter {max_counter})"
+        );
     }
 
     #[test]
@@ -593,7 +992,8 @@ mod tests {
         // could push through loopback buffers without the reactor reading
         // responses concurrently.
         let lines: Vec<String> = (0..2000).map(|_| "PING".to_string()).collect();
-        let replies = driver.exchange(addr, &lines).unwrap();
+        let line_refs: Vec<&str> = lines.iter().map(String::as_str).collect();
+        let replies = wait_all(&driver, addr, &line_refs).unwrap();
         assert_eq!(replies.len(), 2000);
         assert_eq!(replies[0], "PONG 1");
         assert_eq!(replies[1999], "PONG 2000");
@@ -611,7 +1011,7 @@ mod tests {
         })
         .unwrap();
         let start = Instant::now();
-        assert!(driver.exchange(addr, &["PING"]).is_err());
+        assert!(wait_all(&driver, addr, &["PING"]).is_err());
         assert!(start.elapsed() < Duration::from_secs(2));
     }
 
@@ -632,16 +1032,54 @@ mod tests {
         })
         .unwrap();
         let start = Instant::now();
-        let err = driver.exchange(addr, &["PING"]).unwrap_err();
+        let err = wait_all(&driver, addr, &["PING"]).unwrap_err();
         assert_eq!(err.kind(), io::ErrorKind::TimedOut);
         assert!(start.elapsed() < Duration::from_secs(2));
+    }
+
+    #[test]
+    fn a_deadline_fails_every_job_pipelined_behind_it() {
+        // Answers the first request, then goes silent: the second job times
+        // out at the head, and the third (queued behind it on the same
+        // connection) fails with it.
+        let listener = TcpListener::bind("127.0.0.1:0").unwrap();
+        let addr = listener.local_addr().unwrap();
+        std::thread::spawn(move || {
+            for stream in listener.incoming().flatten() {
+                std::thread::spawn(move || {
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    let mut line = String::new();
+                    if reader.read_line(&mut line).unwrap_or(0) > 0 {
+                        let _ = writeln!(writer, "PONG 1");
+                    }
+                    loop {
+                        line.clear();
+                        if reader.read_line(&mut line).unwrap_or(0) == 0 {
+                            return; // read but never answer again
+                        }
+                    }
+                });
+            }
+        });
+        let driver = ClientDriver::spawn(ClientConfig {
+            io_timeout: Duration::from_millis(150),
+            ..ClientConfig::default()
+        })
+        .unwrap();
+        let first = driver.submit(addr, &["PING"]).unwrap();
+        let second = driver.submit(addr, &["PING"]).unwrap();
+        let third = driver.submit(addr, &["PING"]).unwrap();
+        assert_eq!(first.wait().unwrap(), vec!["PONG 1"]);
+        assert_eq!(second.wait().unwrap_err().kind(), io::ErrorKind::TimedOut);
+        assert_eq!(third.wait().unwrap_err().kind(), io::ErrorKind::TimedOut);
     }
 
     #[test]
     fn dropping_the_driver_stops_the_reactor() {
         let addr = echo_server();
         let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
-        assert!(driver.exchange(addr, &["PING"]).is_ok());
+        assert!(wait_all(&driver, addr, &["PING"]).is_ok());
         drop(driver); // joins the reactor thread; no hang = pass
     }
 }

@@ -25,8 +25,12 @@
 //!   frames counted payloads ([`Frame::Payload`]) for verbs like `PUSH`
 //!   that ship binary-ish bodies after a header line.
 //! * [`ClientDriver`] — a reactor thread multiplexing outbound
-//!   line-protocol bursts: submit N operations, block on N receivers,
-//!   spawn zero threads.
+//!   line-protocol bursts through one frame-based submission core: every
+//!   operation resolves a [`Ticket`] (poll / block / block-with-deadline)
+//!   or lands tagged on a shared [`CompletionQueue`], and operations to
+//!   the same address pipeline onto shared connections — one caller
+//!   thread drives thousands of in-flight requests, spawning zero
+//!   threads.
 //!
 //! `pfr-serve` builds its event-driven front end from the first four;
 //! `pfr-router` routes its backend traffic through the last. Both tiers
@@ -45,7 +49,7 @@ pub mod poller;
 pub mod sys;
 pub mod wheel;
 
-pub use client::{ClientConfig, ClientDriver};
+pub use client::{BurstResult, ClientConfig, ClientDriver, CompletionQueue, Ticket};
 pub use line::{FillOutcome, FlushOutcome, Frame, LineConn};
 pub use poller::{Event, Interest, Poller, Waker};
 pub use wheel::DeadlineWheel;

@@ -11,11 +11,9 @@
 //! before the next probe runs.
 
 use crate::conn::{ConnConfig, ConnPool};
-use pfr_net::client::BurstResult;
-use pfr_net::ClientDriver;
+use pfr_net::{ClientDriver, Ticket};
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::mpsc::Receiver;
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
@@ -218,12 +216,50 @@ impl Backend {
         }
     }
 
+    /// One transport-level frame submission — the single funnel **every**
+    /// exchange on this backend (bursts, pushes, probes) goes through:
+    /// `bytes` out, `expect` response lines back as a [`Ticket`]. With the
+    /// reactor transport the frame rides the shared event loop and the
+    /// ticket resolves asynchronously; with the pool transport the exchange
+    /// runs inline (blocking) and the ticket comes back already resolved —
+    /// semantics are identical either way. The ticket's result **has not**
+    /// touched the breaker: pass it through [`Backend::settle_burst`].
+    pub fn submit_frame(&self, bytes: Vec<u8>, expect: usize) -> std::io::Result<Ticket> {
+        match &self.transport {
+            Transport::Driver(driver) => driver.submit_frame(self.addr, bytes, expect),
+            Transport::Pool(pool) => Ok(Ticket::ready(
+                pool.run(|conn| conn.exchange_frame(&bytes, expect)),
+            )),
+        }
+    }
+
+    /// The queued twin of [`Backend::submit_frame`]: the result lands
+    /// tagged on `queue` instead of resolving a ticket. Exactly one
+    /// completion is delivered for `tag` — a submission the transport
+    /// could not even start pushes its error. Breaker bookkeeping still
+    /// happens at collection, via [`Backend::settle_burst`].
+    pub fn submit_frame_queued(
+        &self,
+        bytes: Vec<u8>,
+        expect: usize,
+        queue: &pfr_net::CompletionQueue,
+        tag: u64,
+    ) {
+        match &self.transport {
+            Transport::Driver(driver) => {
+                if let Err(e) = driver.submit_frame_queued(self.addr, bytes, expect, queue, tag) {
+                    queue.push(tag, Err(e));
+                }
+            }
+            Transport::Pool(pool) => {
+                queue.push(tag, pool.run(|conn| conn.exchange_frame(&bytes, expect)));
+            }
+        }
+    }
+
     /// One transport-level burst: lines out, the same number of lines back.
     fn raw_burst<S: AsRef<str>>(&self, lines: &[S]) -> std::io::Result<Vec<String>> {
-        match &self.transport {
-            Transport::Pool(pool) => pool.run(|conn| conn.pipeline(lines)),
-            Transport::Driver(driver) => driver.exchange(self.addr, lines),
-        }
+        self.submit_burst(lines)?.wait()
     }
 
     /// One protocol exchange with breaker bookkeeping: io failures feed the
@@ -269,34 +305,24 @@ impl Backend {
         }
         let mut frame = format!("PUSH {name} {}\n", bundle_text.len()).into_bytes();
         frame.extend_from_slice(bundle_text.as_bytes());
-        let outcome = match &self.transport {
-            Transport::Pool(pool) => pool.run(|conn| conn.exchange_frame(&frame, 1)),
-            Transport::Driver(driver) => driver.exchange_frame(self.addr, frame, 1),
-        };
+        let outcome = self.submit_frame(frame, 1)?.wait();
         let mut responses = self.settle_burst(outcome)?;
         Ok(responses.remove(0))
     }
 
-    /// Starts a pipelined burst without blocking the caller. With the
-    /// reactor transport the burst rides the shared event loop and the
-    /// receiver resolves when every response line arrived — submitting to
-    /// N backends first and collecting second is the thread-free scatter.
-    /// With the pool transport the exchange runs inline (blocking) and the
-    /// receiver is already resolved, so the semantics are identical either
-    /// way. The returned result **has not** touched the breaker yet: pass
-    /// it through [`Backend::settle_burst`] when collecting.
-    pub fn submit_burst<S: AsRef<str>>(
-        &self,
-        lines: &[S],
-    ) -> std::io::Result<Receiver<BurstResult>> {
-        match &self.transport {
-            Transport::Driver(driver) => driver.submit(self.addr, lines),
-            Transport::Pool(pool) => {
-                let (tx, rx) = std::sync::mpsc::channel();
-                let _ = tx.send(pool.run(|conn| conn.pipeline(lines)));
-                Ok(rx)
-            }
+    /// Starts a pipelined burst without blocking the caller: submitting to
+    /// N backends first and collecting the tickets second is the
+    /// thread-free scatter. Framing (newline-joining the lines) happens
+    /// here; the io rides [`Backend::submit_frame`]. The ticket's result
+    /// **has not** touched the breaker yet: pass it through
+    /// [`Backend::settle_burst`] when collecting.
+    pub fn submit_burst<S: AsRef<str>>(&self, lines: &[S]) -> std::io::Result<Ticket> {
+        let mut bytes = Vec::new();
+        for line in lines {
+            bytes.extend_from_slice(line.as_ref().as_bytes());
+            bytes.push(b'\n');
         }
+        self.submit_frame(bytes, lines.len())
     }
 
     /// Records a collected burst outcome on the breaker (exactly the

@@ -27,6 +27,13 @@
 //!   order, `EPOCH`-digest verification that all replicas serve
 //!   bit-identical model content, and automatic placement reconciliation
 //!   after every membership change.
+//! * [`Ticket`] / [`CompletionQueue`] — the asynchronous submission API:
+//!   [`Router::submit_score`]/[`Router::submit_score_batch`] start a
+//!   request and return a typed ticket (poll, block, or block with a
+//!   deadline); a completion queue drains thousands of in-flight scores
+//!   from one caller thread in completion order. Resolution runs the
+//!   identical failover/cache path as the blocking calls, so results are
+//!   bit-for-bit the same.
 //! * [`LocalCluster`] — an in-process harness booting real servers on
 //!   ephemeral ports (growable at runtime) for tests, benches and demos.
 //!
@@ -74,6 +81,7 @@ pub mod error;
 pub mod health;
 pub mod ring;
 pub mod router;
+pub mod ticket;
 
 pub use backend::{Backend, BreakerConfig, CircuitBreaker};
 pub use cluster::LocalCluster;
@@ -82,6 +90,7 @@ pub use error::RouterError;
 pub use health::{HealthChecker, Roster};
 pub use ring::{HashRing, DEFAULT_VNODES};
 pub use router::{Membership, Router, RouterConfig, RouterStats, TransportMode};
+pub use ticket::{CompletionQueue, Ticket};
 
 /// Convenient result alias used across the crate.
 pub type Result<T> = std::result::Result<T, RouterError>;

@@ -53,8 +53,10 @@ use crate::conn::ConnConfig;
 use crate::error::RouterError;
 use crate::health::HealthChecker;
 use crate::ring::{HashRing, DEFAULT_VNODES};
+use crate::ticket::{self, CompletionQueue, QueuedSubmit, ScoreFinish, SubBurst, SubState, Ticket};
 use crate::Result;
 use pfr_core::persistence::{self, ModelBundle};
+use pfr_net::client::BurstResult;
 use pfr_serve::cache::{ScoreCache, ScoreKey};
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
@@ -256,6 +258,10 @@ pub struct Router {
     catalog: Mutex<HashMap<String, String>>,
     /// The hot-key score cache (None when disabled by config).
     hot: Option<Mutex<ScoreCache>>,
+    /// Round-robin cursor for asynchronous single-score submissions:
+    /// spreads `submit_score` traffic over a model's live replicas instead
+    /// of hammering the preference head.
+    next_rr: AtomicUsize,
     /// Router-local cache ids per model name. Retiring an id (on
     /// membership or placement change) orphans every cached entry for the
     /// model — generation invalidation without a scan.
@@ -327,6 +333,7 @@ impl Router {
             driver,
             catalog: Mutex::new(HashMap::new()),
             hot,
+            next_rr: AtomicUsize::new(0),
             model_ids: Mutex::new(HashMap::new()),
             next_model_id: AtomicU64::new(0),
             stats,
@@ -511,7 +518,7 @@ impl Router {
             match per_backend(backend) {
                 Ok(response) => match classify(&response) {
                     Reply::Payload(_) => placed += 1,
-                    Reply::NotLoaded | Reply::Rejected(_) => {
+                    Reply::NotLoaded | Reply::Busy | Reply::Rejected(_) => {
                         last_error = Some(RouterError::Backend(response));
                     }
                 },
@@ -526,21 +533,182 @@ impl Router {
     }
 
     /// Scores one vector: hot-key cache first (bit-exact, no network),
-    /// then failover along `model`'s preference order.
+    /// then failover along `model`'s preference order. A thin blocking
+    /// wrapper over [`Router::submit_score`].
     pub fn score(&self, model: &str, features: &[f64]) -> Result<f64> {
+        self.submit_score(model, features).wait()
+    }
+
+    /// Starts scoring one vector without blocking: the returned
+    /// [`Ticket`] resolves to exactly what [`Router::score`] would have
+    /// returned — a hot-cache hit resolves immediately; otherwise the
+    /// request is submitted to one live replica (round-robin over the
+    /// replica set) and any walk-on answer (io failure, `BUSY`, model
+    /// not here) falls back along the full preference order when the
+    /// ticket is collected. One caller thread can hold thousands of
+    /// these in flight; see also [`Router::completion_queue`].
+    pub fn submit_score(&self, model: &str, features: &[f64]) -> Ticket<'_, f64> {
         self.stats.routed.fetch_add(1, Ordering::Relaxed);
         let key = self.hot_key(model, features);
         if let (Some(hot), Some(key)) = (&self.hot, &key) {
             let cached = hot.lock().expect("hot cache lock poisoned").get(key);
             if let Some(score) = cached {
                 self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
-                return Ok(score);
+                return Ticket::ready(Ok(score));
             }
             self.stats.hot_misses.fetch_add(1, Ordering::Relaxed);
         }
         let line = score_line(model, features);
         let snapshot = self.membership();
-        let response = self.route_line(&snapshot, model, &line)?;
+        match self.start_score(&snapshot, model, &line) {
+            Some((backend, net)) => ticket::pending_score(
+                self,
+                net,
+                ScoreFinish {
+                    snapshot,
+                    model: model.to_string(),
+                    line,
+                    key,
+                    backend,
+                },
+            ),
+            // No live replica took the submission: resolve inline along
+            // the full preference order (which also retries ejected
+            // backends as a last resort).
+            None => Ticket::ready(self.resolve_score(&snapshot, model, &line, key)),
+        }
+    }
+
+    /// A tagged completion queue over this router: submit any number of
+    /// scores from one thread, drain results in completion order.
+    pub fn completion_queue(&self) -> CompletionQueue<'_> {
+        CompletionQueue::new(self)
+    }
+
+    /// The queued twin of [`Router::submit_score`]: the burst result lands
+    /// tagged on `queue`; locally resolved outcomes are returned
+    /// immediately for the caller to record.
+    pub(crate) fn submit_score_queued(
+        &self,
+        model: &str,
+        features: &[f64],
+        queue: &pfr_net::CompletionQueue,
+        tag: u64,
+    ) -> QueuedSubmit {
+        self.stats.routed.fetch_add(1, Ordering::Relaxed);
+        let key = self.hot_key(model, features);
+        if let (Some(hot), Some(key)) = (&self.hot, &key) {
+            let cached = hot.lock().expect("hot cache lock poisoned").get(key);
+            if let Some(score) = cached {
+                self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+                return QueuedSubmit::Immediate(Ok(score));
+            }
+            self.stats.hot_misses.fetch_add(1, Ordering::Relaxed);
+        }
+        let line = score_line(model, features);
+        let snapshot = self.membership();
+        let Some(backend) = self.pick_replica(&snapshot, model) else {
+            return QueuedSubmit::Immediate(self.resolve_score(&snapshot, model, &line, key));
+        };
+        let mut bytes = line.clone().into_bytes();
+        bytes.push(b'\n');
+        backend.submit_frame_queued(bytes, 1, queue, tag);
+        QueuedSubmit::Pending(ScoreFinish {
+            snapshot,
+            model: model.to_string(),
+            line,
+            key,
+            backend,
+        })
+    }
+
+    /// Picks one live replica of `model` (round-robin), or `None` when
+    /// every replica's breaker is open.
+    fn pick_replica(&self, snapshot: &Membership, model: &str) -> Option<Arc<Backend>> {
+        let live: Vec<Arc<Backend>> = snapshot
+            .ring
+            .replicas(model, self.config.replication.max(1))
+            .into_iter()
+            .filter_map(|id| snapshot.backend(id))
+            .filter(|backend| backend.breaker().available())
+            .cloned()
+            .collect();
+        if live.is_empty() {
+            return None;
+        }
+        let index = self.next_rr.fetch_add(1, Ordering::Relaxed) % live.len();
+        Some(Arc::clone(&live[index]))
+    }
+
+    /// Submits one score line to a live replica; `None` when no replica
+    /// accepted the submission (all ejected, or the submit itself failed —
+    /// which already fed the breaker).
+    fn start_score(
+        &self,
+        snapshot: &Membership,
+        model: &str,
+        line: &str,
+    ) -> Option<(Arc<Backend>, pfr_net::Ticket)> {
+        let backend = self.pick_replica(snapshot, model)?;
+        let mut bytes = line.as_bytes().to_vec();
+        bytes.push(b'\n');
+        match backend.submit_frame(bytes, 1) {
+            Ok(net) => Some((backend, net)),
+            Err(e) => {
+                let _ = backend.settle_burst(Err(e));
+                None
+            }
+        }
+    }
+
+    /// Turns one collected burst outcome into a final score: breaker
+    /// settlement, reply classification, preference-order fallback on any
+    /// walk-on answer, hot-cache fill. This is the resolution path of
+    /// every asynchronous score — it can error only where the blocking
+    /// path would have errored (deterministic `ERR`, or the whole
+    /// preference order exhausted).
+    pub(crate) fn finish_score(&self, finish: ScoreFinish, outcome: BurstResult) -> Result<f64> {
+        let ScoreFinish {
+            snapshot,
+            model,
+            line,
+            key,
+            backend,
+        } = finish;
+        let score = match backend.settle_burst(outcome) {
+            Ok(responses) => match responses.first().map(|r| classify(r)) {
+                Some(Reply::Payload(payload)) => parse_score(payload)?,
+                Some(Reply::Rejected(msg)) => {
+                    return Err(RouterError::Backend(msg.to_string()));
+                }
+                // Walk on: not a replica, shed, or an empty burst.
+                Some(Reply::NotLoaded) | Some(Reply::Busy) | None => {
+                    return self.resolve_score(&snapshot, &model, &line, key);
+                }
+            },
+            Err(_) => {
+                self.stats.failovers.fetch_add(1, Ordering::Relaxed);
+                return self.resolve_score(&snapshot, &model, &line, key);
+            }
+        };
+        if let (Some(hot), Some(key)) = (&self.hot, key) {
+            hot.lock()
+                .expect("hot cache lock poisoned")
+                .insert(key, score);
+        }
+        Ok(score)
+    }
+
+    /// Blocking resolution along the full preference order, with the
+    /// hot-cache fill on success.
+    fn resolve_score(
+        &self,
+        snapshot: &Membership,
+        model: &str,
+        line: &str,
+        key: Option<ScoreKey>,
+    ) -> Result<f64> {
+        let response = self.route_line(snapshot, model, line)?;
         let score = parse_score(&response)?;
         if let (Some(hot), Some(key)) = (&self.hot, key) {
             hot.lock()
@@ -556,10 +724,23 @@ impl Router {
     /// burst, results reassembled in request order. Rows whose sub-batch
     /// fails (a replica died mid-stream) are re-routed individually, so a
     /// single backend loss degrades throughput, never correctness. The
-    /// whole request routes against one membership snapshot.
+    /// whole request routes against one membership snapshot. A thin
+    /// blocking wrapper over [`Router::submit_score_batch`].
     pub fn score_batch(&self, model: &str, rows: &[Vec<f64>]) -> Result<Vec<f64>> {
+        self.submit_score_batch(model, rows).wait()
+    }
+
+    /// Starts scoring a batch without blocking on the gather: with the
+    /// reactor transport every sub-burst is submitted to its replica
+    /// before the [`Ticket`] is returned, and collection (gather, per-row
+    /// retry, cache fill) runs when the ticket is resolved — so one
+    /// caller can scatter several batches across the cluster and collect
+    /// them as they complete. With the threaded transport the scatter
+    /// runs inline (its burst-capped blocking exchanges cannot be
+    /// deferred) and the ticket comes back already resolved.
+    pub fn submit_score_batch(&self, model: &str, rows: &[Vec<f64>]) -> Ticket<'_, Vec<f64>> {
         if rows.is_empty() {
-            return Ok(Vec::new());
+            return Ticket::ready(Ok(Vec::new()));
         }
         self.stats.routed.fetch_add(1, Ordering::Relaxed);
         let mut scores: Vec<Option<f64>> = vec![None; rows.len()];
@@ -583,7 +764,7 @@ impl Router {
         // Positions (into `miss`) of the rows the cache could not answer.
         let miss: Vec<usize> = (0..rows.len()).filter(|&i| scores[i].is_none()).collect();
         if miss.is_empty() {
-            return Ok(collect_scores(scores));
+            return Ticket::ready(Ok(collect_scores(scores)));
         }
         let lines: Vec<String> = miss.iter().map(|&i| score_line(model, &rows[i])).collect();
         let snapshot = self.membership();
@@ -598,64 +779,70 @@ impl Router {
         if live.len() > 1 {
             self.stats.scatters.fetch_add(1, Ordering::Relaxed);
         }
-        if !live.is_empty() {
-            // Stripe miss positions over the live replicas.
-            let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
-            for p in 0..lines.len() {
-                assignment[p % live.len()].push(p);
+        // Stripe miss positions over the live replicas.
+        let mut assignment: Vec<Vec<usize>> = vec![Vec::new(); live.len()];
+        for p in 0..lines.len() {
+            assignment[p % live.len()].push(p);
+        }
+        match self.config.transport {
+            // Reactor: submit every replica's whole sub-batch as one
+            // operation on the shared event loop (no burst cap — the
+            // reactor reads responses while it writes requests, so the
+            // batch cannot deadlock the socket buffers). The gather runs
+            // when the ticket is resolved; zero threads are spawned.
+            TransportMode::Reactor if !live.is_empty() => {
+                let subs: Vec<SubBurst> = assignment
+                    .into_iter()
+                    .zip(live.iter())
+                    // With fewer rows than replicas some chunks are
+                    // empty; they must not reach the backend at all —
+                    // an empty burst resolves without touching the
+                    // network, and settling it would record a phantom
+                    // breaker success that could re-admit a dead
+                    // backend.
+                    .filter(|(positions, _)| !positions.is_empty())
+                    .map(|(positions, backend)| {
+                        let chunk: Vec<&str> =
+                            positions.iter().map(|&p| lines[p].as_str()).collect();
+                        let state = match backend.submit_burst(&chunk) {
+                            Ok(net) => SubState::Waiting(net),
+                            // The submit itself failed (reactor gone):
+                            // settle the breaker now; the rows fall to
+                            // the per-row retry at collection.
+                            Err(e) => {
+                                let _ = backend.settle_burst(Err(e));
+                                SubState::Done(Vec::new())
+                            }
+                        };
+                        SubBurst {
+                            positions,
+                            backend: Arc::clone(backend),
+                            state,
+                        }
+                    })
+                    .collect();
+                ticket::pending_batch(
+                    self,
+                    snapshot,
+                    model.to_string(),
+                    scores,
+                    keys,
+                    miss,
+                    lines,
+                    subs,
+                )
             }
-            let gathered: Vec<(Vec<usize>, Vec<String>)> = match self.config.transport {
-                // Reactor: submit every replica's whole sub-batch as one
-                // operation on the shared event loop (no burst cap — the
-                // reactor reads responses while it writes requests, so the
-                // batch cannot deadlock the socket buffers), then collect.
-                // Zero threads are spawned; the fan-out is as wide as the
-                // replica set at the cost of one blocked caller.
-                TransportMode::Reactor => {
-                    let tickets: Vec<_> = assignment
-                        .into_iter()
-                        .zip(live.iter())
-                        // With fewer rows than replicas some chunks are
-                        // empty; they must not reach the backend at all —
-                        // an empty burst resolves without touching the
-                        // network, and settling it would record a phantom
-                        // breaker success that could re-admit a dead
-                        // backend.
-                        .filter(|(positions, _)| !positions.is_empty())
-                        .map(|(positions, backend)| {
-                            let chunk: Vec<&str> =
-                                positions.iter().map(|&p| lines[p].as_str()).collect();
-                            let ticket = backend.submit_burst(&chunk);
-                            (positions, backend, ticket)
-                        })
-                        .collect();
-                    tickets
-                        .into_iter()
-                        .map(|(positions, backend, ticket)| {
-                            let outcome = ticket.and_then(|rx| {
-                                rx.recv().unwrap_or_else(|_| {
-                                    Err(std::io::Error::new(
-                                        std::io::ErrorKind::NotConnected,
-                                        "client reactor is gone",
-                                    ))
-                                })
-                            });
-                            // A failed sub-batch loses all its rows to the
-                            // per-row retry below; breaker bookkeeping
-                            // happens here, at collection.
-                            let responses = backend.settle_burst(outcome).unwrap_or_default();
-                            (positions, responses)
-                        })
-                        .collect()
-                }
-                // Threaded: one scoped thread per replica, bursts capped at
-                // MAX_BURST (the blocking client writes everything before
-                // reading anything, so an unbounded burst would deadlock
-                // once the batch outgrows the combined socket buffers).
-                TransportMode::Threaded => std::thread::scope(|scope| {
+            // Threaded (or no live replica): the scatter runs inline —
+            // one scoped thread per replica, bursts capped at MAX_BURST
+            // (the blocking client writes everything before reading
+            // anything, so an unbounded burst would deadlock once the
+            // batch outgrows the combined socket buffers).
+            _ => {
+                let gathered: Vec<(Vec<usize>, Vec<String>)> = std::thread::scope(|scope| {
                     let handles: Vec<_> = assignment
                         .into_iter()
                         .zip(live.iter())
+                        .filter(|(positions, _)| !positions.is_empty())
                         .map(|(positions, backend)| {
                             // Borrowed lines: the scoped threads join
                             // before `lines` drops, so no per-row copies
@@ -680,16 +867,36 @@ impl Router {
                         .into_iter()
                         .map(|h| h.join().expect("scatter thread never panics"))
                         .collect()
-                }),
-            };
-            for (positions, responses) in gathered {
-                // `zip` truncates to the responses actually received; ERR
-                // rows and missing tails fall through to the retry below.
-                for (&p, response) in positions.iter().zip(responses.iter()) {
-                    if let Reply::Payload(payload) = classify(response) {
-                        if let Ok(score) = parse_score(payload) {
-                            scores[miss[p]] = Some(score);
-                        }
+                });
+                Ticket::ready(
+                    self.finish_batch(&snapshot, model, scores, keys, miss, lines, gathered),
+                )
+            }
+        }
+    }
+
+    /// The gather half of a batch: applies sub-burst responses, re-routes
+    /// every still-unscored row individually along the full preference
+    /// order (against the same membership snapshot), fills the hot cache
+    /// and assembles the scores in request order.
+    #[allow(clippy::too_many_arguments)]
+    pub(crate) fn finish_batch(
+        &self,
+        snapshot: &Membership,
+        model: &str,
+        mut scores: Vec<Option<f64>>,
+        keys: Vec<Option<ScoreKey>>,
+        miss: Vec<usize>,
+        lines: Vec<String>,
+        gathered: Vec<(Vec<usize>, Vec<String>)>,
+    ) -> Result<Vec<f64>> {
+        for (positions, responses) in gathered {
+            // `zip` truncates to the responses actually received; ERR
+            // rows and missing tails fall through to the retry below.
+            for (&p, response) in positions.iter().zip(responses.iter()) {
+                if let Reply::Payload(payload) = classify(response) {
+                    if let Ok(score) = parse_score(payload) {
+                        scores[miss[p]] = Some(score);
                     }
                 }
             }
@@ -700,7 +907,7 @@ impl Router {
         for (p, &i) in miss.iter().enumerate() {
             if scores[i].is_none() {
                 self.stats.retried_rows.fetch_add(1, Ordering::Relaxed);
-                let response = self.route_line(&snapshot, model, &lines[p])?;
+                let response = self.route_line(snapshot, model, &lines[p])?;
                 scores[i] = Some(parse_score(&response)?);
             }
         }
@@ -795,7 +1002,9 @@ impl Router {
                                 .find_map(|kv| kv.strip_prefix("digest="))
                                 != Some(expected.as_str())
                         }
-                        Reply::NotLoaded => true,
+                        // Shed at the connection limit: push anyway, like
+                        // the probe-failure arm — overload is transient.
+                        Reply::NotLoaded | Reply::Busy => true,
                         Reply::Rejected(_) => false,
                     },
                     // Probe failed: attempt the push anyway — "unreachable
@@ -909,7 +1118,7 @@ impl Router {
         match backend.exchange(line) {
             Ok(response) => match classify(&response) {
                 Reply::Payload(payload) => Ok(Some(payload.to_string())),
-                Reply::NotLoaded => Ok(None),
+                Reply::NotLoaded | Reply::Busy => Ok(None),
                 Reply::Rejected(msg) => Err(RouterError::Backend(msg.to_string())),
             },
             Err(e) => {
@@ -943,6 +1152,10 @@ enum Reply<'a> {
     Payload(&'a str),
     /// `ERR no model named ...` — this backend is not a replica; walk on.
     NotLoaded,
+    /// `BUSY` — the backend shed the connection at its limit. Overload is
+    /// per-replica and transient, so walk on like `NotLoaded`; shedding
+    /// degrades capacity, never correctness.
+    Busy,
     /// Any other `ERR` — deterministic request error; do not fail over.
     Rejected(&'a str),
 }
@@ -952,6 +1165,8 @@ fn classify(response: &str) -> Reply<'_> {
         Reply::Payload(payload)
     } else if response == "OK" {
         Reply::Payload("")
+    } else if response == pfr_serve::protocol::BUSY {
+        Reply::Busy
     } else if response
         .strip_prefix("ERR ")
         .is_some_and(|msg| msg.starts_with(pfr_serve::protocol::MODEL_NOT_FOUND_PREFIX))
@@ -1000,6 +1215,8 @@ mod tests {
             classify("ERR no model named 'm' is loaded"),
             Reply::NotLoaded
         ));
+        // A shed connection's one-line answer walks on, like NotLoaded.
+        assert!(matches!(classify("BUSY"), Reply::Busy));
         assert!(matches!(classify("ERR protocol error"), Reply::Rejected(_)));
         // A response that is neither OK nor ERR is still a rejection (the
         // router never trusts garbage).

@@ -73,7 +73,7 @@ pub use model::ServableModel;
 pub use pool::WorkerPool;
 pub use protocol::Request;
 pub use registry::ModelRegistry;
-pub use server::{FrontendMode, RecoveryReport, Server, ServerConfig};
+pub use server::{Frontend, RecoveryReport, Server, ServerConfig};
 pub use stats::{InflightGuard, ServerStats, VerbStats};
 
 /// Convenient result alias used across the crate.

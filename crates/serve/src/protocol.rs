@@ -44,6 +44,14 @@ use crate::Result;
 /// failure, do not fail over) by exactly this prefix.
 pub const MODEL_NOT_FOUND_PREFIX: &str = "no model named";
 
+/// The single line a server writes before closing a connection it **shed**
+/// at accept time (connection limit reached). Like
+/// [`MODEL_NOT_FOUND_PREFIX`] this is a **wire contract**: the routing tier
+/// treats a `BUSY` response as "this replica is overloaded, walk on to the
+/// next one" rather than a request failure — shedding degrades capacity,
+/// never correctness.
+pub const BUSY: &str = "BUSY";
+
 /// Largest accepted `PUSH` payload. Bundle text for realistic models runs
 /// kilobytes to low megabytes; the cap keeps a malicious header line from
 /// committing the server to buffering gigabytes.

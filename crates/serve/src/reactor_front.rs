@@ -1,10 +1,11 @@
-//! The event-driven serving front end: one reactor thread multiplexes the
-//! listener and every client connection over epoll (`pfr-net`), so an idle
-//! client costs a few hundred bytes of buffer state instead of an OS
-//! thread.
+//! The event-driven serving front end: a pool of reactor threads, each
+//! multiplexing a share of the client connections over its own epoll
+//! instance (`pfr-net`), so an idle client costs a few hundred bytes of
+//! buffer state instead of an OS thread and accept/parse work scales
+//! across cores.
 //!
 //! ```text
-//!                    ┌────────────────────── reactor thread ──┐
+//!                    ┌────────────────────── reactor thread ──┐ × N
 //! clients ──epoll──► │ accept / LineConn fill / parse         │
 //!                    │  inline: cache hit, STATS, HEALTH,     │──► replies
 //!                    │          EPOCH, parse errors, QUIT     │
@@ -14,6 +15,23 @@
 //!                               │ eventfd wake + completion │
 //!                               └──────────────────────────-┘
 //! ```
+//!
+//! **Accept hand-off.** Every reactor registers its own (level-triggered)
+//! clone of the shared listener and calls `accept` when epoll reports a
+//! non-empty backlog; the kernel hands each queued connection to exactly
+//! one of the concurrent accepters, so connections distribute across the
+//! pool without a dispatcher thread or cross-reactor queues. Once
+//! accepted, a connection lives and dies on that reactor — no state is
+//! ever shared between event loops except the process-wide connection
+//! count and the (already thread-safe) cache/batcher/registry.
+//!
+//! **Shedding.** With a connection limit configured, a connection accepted
+//! while the pool is full is answered with one [`protocol::BUSY`] line and
+//! closed immediately — the routing tier treats `BUSY` as "walk on to the
+//! next replica", so shedding degrades capacity, never correctness. The
+//! live count is a process-wide atomic; concurrent reactors may briefly
+//! overshoot the limit by at most the pool width, which is the accepted
+//! cost of keeping the admission check lock-free.
 //!
 //! Work that can block (scoring, transforms, disk loads) never runs on the
 //! reactor: it is submitted to the existing micro-batcher/worker pool with
@@ -41,10 +59,11 @@ use pfr_net::poller::{Event, Interest, Poller, Waker};
 use pfr_net::wheel::DeadlineWheel;
 use pfr_net::{Frame, LineConn};
 use std::collections::{BTreeMap, HashMap};
+use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
 use std::os::fd::AsRawFd;
 use std::path::Path;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::mpsc::{self, Receiver, Sender};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -53,6 +72,12 @@ use std::time::{Duration, Instant};
 const WAKER_TOKEN: u64 = 0;
 const LISTENER_TOKEN: u64 = 1;
 const FIRST_CONN_TOKEN: u64 = 2;
+
+/// How long a reactor stops accepting after a resource-exhaustion accept
+/// error (EMFILE and friends) before re-registering its listener. Long
+/// enough for fds to free up, short enough that a healthy backlog is not
+/// visibly stalled.
+const ACCEPT_BACKOFF: Duration = Duration::from_millis(50);
 
 /// Stop parsing new requests for a connection holding this many unsent
 /// response bytes; parsing resumes once the peer drains below it.
@@ -170,43 +195,64 @@ impl ClientConn {
     }
 }
 
-/// Spawns the reactor thread servicing `listener`.
-pub(crate) fn spawn(
+/// Join handles and wakers of a spawned reactor pool, in thread order.
+pub(crate) type ReactorPool = (Vec<JoinHandle<()>>, Vec<Arc<Waker>>);
+
+/// Spawns `threads` reactor threads jointly servicing `listener` (each
+/// gets its own clone of the listener, its own epoll instance and its own
+/// deadline wheel; see the module docs for the accept hand-off).
+pub(crate) fn spawn_pool(
     listener: TcpListener,
     context: Arc<ServeContext>,
     shutdown: Arc<AtomicBool>,
     idle_timeout: Option<Duration>,
-) -> Result<(JoinHandle<()>, Arc<Waker>)> {
-    let poller = Poller::new(1024)?;
-    let waker = Arc::new(Waker::new()?);
-    poller.add(waker.raw_fd(), WAKER_TOKEN, Interest::READABLE.level())?;
-    // Level-triggered listener: readiness re-reports while the backlog is
-    // non-empty, so a transient accept failure (EMFILE) self-heals instead
-    // of stranding queued connections behind a lost edge.
-    poller.add(
-        listener.as_raw_fd(),
-        LISTENER_TOKEN,
-        Interest::READABLE.level(),
-    )?;
-    let (completions_tx, completions_rx) = mpsc::channel();
-    let reactor = Reactor {
-        poller,
-        waker: Arc::clone(&waker),
-        listener,
-        context,
-        shutdown,
-        idle_timeout,
-        completions_tx,
-        completions_rx,
-        conns: HashMap::new(),
-        wheel: DeadlineWheel::new(Duration::from_millis(100), 128),
-        next_token: FIRST_CONN_TOKEN,
-    };
-    let thread = std::thread::Builder::new()
-        .name("pfr-serve-reactor".to_string())
-        .spawn(move || reactor.run())
-        .expect("spawning the reactor thread never fails on this platform");
-    Ok((thread, waker))
+    threads: usize,
+    max_connections: Option<usize>,
+) -> Result<ReactorPool> {
+    let threads = threads.max(1);
+    let live = Arc::new(AtomicUsize::new(0));
+    let mut handles = Vec::with_capacity(threads);
+    let mut wakers = Vec::with_capacity(threads);
+    for index in 0..threads {
+        // Each reactor owns a dup of the listening socket (same underlying
+        // accept queue); the original drops when this function returns.
+        let listener = listener.try_clone()?;
+        let poller = Poller::new(1024)?;
+        let waker = Arc::new(Waker::new()?);
+        poller.add(waker.raw_fd(), WAKER_TOKEN, Interest::READABLE.level())?;
+        // Level-triggered listener: readiness re-reports while the backlog
+        // is non-empty, so no reactor can strand queued connections behind
+        // a lost edge, and a connection another reactor already accepted
+        // simply surfaces here as a spurious `WouldBlock`.
+        poller.add(
+            listener.as_raw_fd(),
+            LISTENER_TOKEN,
+            Interest::READABLE.level(),
+        )?;
+        let (completions_tx, completions_rx) = mpsc::channel();
+        let reactor = Reactor {
+            poller,
+            waker: Arc::clone(&waker),
+            listener,
+            context: Arc::clone(&context),
+            shutdown: Arc::clone(&shutdown),
+            idle_timeout,
+            max_connections,
+            live: Arc::clone(&live),
+            completions_tx,
+            completions_rx,
+            conns: HashMap::new(),
+            wheel: DeadlineWheel::new(Duration::from_millis(100), 128),
+            next_token: FIRST_CONN_TOKEN,
+        };
+        let thread = std::thread::Builder::new()
+            .name(format!("pfr-serve-reactor-{index}"))
+            .spawn(move || reactor.run())
+            .expect("spawning the reactor thread never fails on this platform");
+        handles.push(thread);
+        wakers.push(waker);
+    }
+    Ok((handles, wakers))
 }
 
 struct Reactor {
@@ -216,6 +262,10 @@ struct Reactor {
     context: Arc<ServeContext>,
     shutdown: Arc<AtomicBool>,
     idle_timeout: Option<Duration>,
+    /// Process-wide admission limit (`None` = unlimited).
+    max_connections: Option<usize>,
+    /// Connections currently admitted across the whole pool.
+    live: Arc<AtomicUsize>,
     completions_tx: Sender<Completion>,
     completions_rx: Receiver<Completion>,
     conns: HashMap<u64, ClientConn>,
@@ -243,10 +293,15 @@ impl Reactor {
                 }
             }
             self.apply_completions();
-            if self.idle_timeout.is_some() {
-                expired.clear();
-                self.wheel.advance(Instant::now(), &mut expired);
-                for token in expired.drain(..) {
+            // The wheel always advances: besides idle deadlines it carries
+            // the accept-backoff timer (LISTENER_TOKEN), which must fire
+            // even when no idle timeout is configured.
+            expired.clear();
+            self.wheel.advance(Instant::now(), &mut expired);
+            for token in expired.drain(..) {
+                if token == LISTENER_TOKEN {
+                    self.resume_accepting();
+                } else {
                     self.close_conn(token);
                 }
             }
@@ -256,6 +311,7 @@ impl Reactor {
         // results land in a channel nobody reads — exactly the threaded
         // front end's "a line that raced the shutdown is dropped" contract.
         for (_, conn) in self.conns.drain() {
+            self.live.fetch_sub(1, Ordering::Relaxed);
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
     }
@@ -264,18 +320,46 @@ impl Reactor {
         loop {
             let stream = match self.listener.accept() {
                 Ok((stream, _)) => stream,
+                // WouldBlock: the backlog is empty, or a sibling reactor
+                // won the race for the connection that woke us.
                 Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => return,
+                // The peer hung up between entering the backlog and being
+                // accepted (ECONNABORTED), or the call was interrupted —
+                // transient per-connection noise; keep draining the backlog.
+                Err(e)
+                    if matches!(
+                        e.kind(),
+                        std::io::ErrorKind::ConnectionAborted | std::io::ErrorKind::Interrupted
+                    ) =>
+                {
+                    continue
+                }
                 // EMFILE and friends: the level-triggered registration
-                // keeps reporting the non-empty backlog, which would spin
-                // the loop at 100% CPU for as long as the condition lasts.
-                // A short sleep bounds the spin (stalling the reactor
-                // briefly is the lesser evil under fd exhaustion); the
-                // backlog is retried on the next wait.
+                // would re-report the non-empty backlog on every wait and
+                // spin this loop at 100% CPU for as long as fds are
+                // exhausted. Deregister the listener and re-arm it on the
+                // deadline wheel instead — the reactor keeps serving its
+                // admitted connections at full speed while accepting backs
+                // off (sibling reactors still accept in the meantime).
                 Err(_) => {
-                    std::thread::sleep(Duration::from_millis(10));
+                    self.poller.remove(self.listener.as_raw_fd());
+                    self.wheel
+                        .arm(LISTENER_TOKEN, Instant::now() + ACCEPT_BACKOFF);
                     return;
                 }
             };
+            if let Some(max) = self.max_connections {
+                if self.live.load(Ordering::Relaxed) >= max {
+                    // Shed: one BUSY line (best effort — the peer may
+                    // already be gone), then close. The stream is still
+                    // blocking here, but a 5-byte write into a fresh
+                    // socket's empty send buffer cannot block.
+                    let mut stream = stream;
+                    let _ = writeln!(stream, "{}", protocol::BUSY);
+                    self.context.stats.record_shed();
+                    continue;
+                }
+            }
             if stream.set_nonblocking(true).is_err() {
                 continue;
             }
@@ -289,10 +373,32 @@ impl Reactor {
             {
                 continue;
             }
+            self.live.fetch_add(1, Ordering::Relaxed);
             self.context.stats.record_connection();
             self.conns.insert(token, ClientConn::new(stream));
             self.touch_idle(token);
         }
+    }
+
+    /// The accept backoff expired: re-register the listener and drain
+    /// whatever backlog accumulated while accepting was paused. If the
+    /// resource exhaustion persists, `accept_ready` simply re-arms the
+    /// backoff.
+    fn resume_accepting(&mut self) {
+        if self
+            .poller
+            .add(
+                self.listener.as_raw_fd(),
+                LISTENER_TOKEN,
+                Interest::READABLE.level(),
+            )
+            .is_err()
+        {
+            self.wheel
+                .arm(LISTENER_TOKEN, Instant::now() + ACCEPT_BACKOFF);
+            return;
+        }
+        self.accept_ready();
     }
 
     /// Re-arms `token`'s idle deadline (no-op without an idle timeout).
@@ -735,6 +841,7 @@ impl Reactor {
     fn close_conn(&mut self, token: u64) {
         self.wheel.cancel(token);
         if let Some(conn) = self.conns.remove(&token) {
+            self.live.fetch_sub(1, Ordering::Relaxed);
             self.poller.remove(conn.stream.as_raw_fd());
             let _ = conn.stream.shutdown(Shutdown::Both);
         }
@@ -771,7 +878,7 @@ mod tests {
     fn reactor_server(idle: Option<Duration>) -> (Server, pfr_linalg::Matrix) {
         let (bundle, x) = toy_bundle();
         let server = Server::spawn(ServerConfig {
-            frontend: crate::server::FrontendMode::Reactor,
+            frontend: crate::server::Frontend::reactor(1),
             idle_timeout: idle,
             ..ServerConfig::default()
         })
@@ -850,6 +957,110 @@ mod tests {
             }
         }
         writer.join().unwrap();
+        server.shutdown();
+    }
+
+    #[test]
+    fn connections_past_the_limit_are_shed_with_a_busy_line() {
+        let (bundle, x) = toy_bundle();
+        let server = Server::spawn(
+            ServerConfig::new()
+                .with_frontend(crate::server::Frontend::reactor(1))
+                .with_max_connections(Some(1)),
+        )
+        .unwrap();
+        let text = persistence::bundle_to_string(&bundle);
+        server.registry().load_from_str("risk", &text).unwrap();
+        let line = format!("SCORE risk {}", protocol::format_numbers(x.row(0)));
+
+        // First connection is admitted and served.
+        let admitted = TcpStream::connect(server.addr()).unwrap();
+        let mut reader = BufReader::new(admitted.try_clone().unwrap());
+        let mut writer = admitted;
+        writeln!(writer, "{line}").unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.starts_with("OK "), "{response}");
+
+        // While it is held open, further connections are shed: one BUSY
+        // line, then EOF.
+        let shed = TcpStream::connect(server.addr()).unwrap();
+        shed.set_read_timeout(Some(Duration::from_secs(5))).unwrap();
+        let mut shed_reader = BufReader::new(shed);
+        let mut busy = String::new();
+        shed_reader.read_line(&mut busy).unwrap();
+        assert_eq!(busy.trim_end(), protocol::BUSY);
+        let mut rest = String::new();
+        assert_eq!(shed_reader.read_line(&mut rest).unwrap(), 0, "want EOF");
+        let stats = server.stats().to_line();
+        assert!(stats.contains("sheds=1"), "{stats}");
+
+        // Releasing the admitted connection frees the slot.
+        writeln!(writer, "QUIT").unwrap();
+        response.clear();
+        reader.read_line(&mut response).unwrap();
+        assert!(response.starts_with("OK bye"), "{response}");
+        drop((reader, writer));
+        let deadline = Instant::now() + Duration::from_secs(5);
+        loop {
+            let retry = TcpStream::connect(server.addr()).unwrap();
+            retry
+                .set_read_timeout(Some(Duration::from_secs(5)))
+                .unwrap();
+            let mut retry_reader = BufReader::new(retry.try_clone().unwrap());
+            let mut retry_writer = retry;
+            writeln!(retry_writer, "{line}").unwrap();
+            let mut response = String::new();
+            retry_reader.read_line(&mut response).unwrap();
+            if response.starts_with("OK ") {
+                break;
+            }
+            assert_eq!(response.trim_end(), protocol::BUSY);
+            assert!(
+                Instant::now() < deadline,
+                "slot never freed after the admitted connection quit"
+            );
+            std::thread::sleep(Duration::from_millis(20));
+        }
+        server.shutdown();
+    }
+
+    #[test]
+    fn a_reactor_pool_serves_connections_on_every_thread() {
+        let (bundle, x) = toy_bundle();
+        let server =
+            Server::spawn(ServerConfig::new().with_frontend(crate::server::Frontend::reactor(4)))
+                .unwrap();
+        let text = persistence::bundle_to_string(&bundle);
+        server.registry().load_from_str("risk", &text).unwrap();
+        let model = server.registry().get("risk").unwrap();
+        let expected = model.score_batch(&x).unwrap();
+        // More concurrent connections than reactors, each scoring every row.
+        let handles: Vec<_> = (0..8)
+            .map(|_| {
+                let addr = server.addr();
+                let x = x.clone();
+                let expected = expected.clone();
+                std::thread::spawn(move || {
+                    let stream = TcpStream::connect(addr).unwrap();
+                    stream.set_nodelay(true).unwrap();
+                    let mut reader = BufReader::new(stream.try_clone().unwrap());
+                    let mut writer = stream;
+                    for (i, want) in expected.iter().enumerate() {
+                        writeln!(writer, "SCORE risk {}", protocol::format_numbers(x.row(i)))
+                            .unwrap();
+                        let mut response = String::new();
+                        reader.read_line(&mut response).unwrap();
+                        let score: f64 =
+                            response.split_whitespace().nth(1).unwrap().parse().unwrap();
+                        assert_eq!(score.to_bits(), want.to_bits(), "row {i}");
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
         server.shutdown();
     }
 

@@ -40,17 +40,36 @@ use std::time::{Duration, Instant};
 /// Both speak the identical protocol and produce bitwise-identical
 /// responses — the end-to-end tests run under both and diff them — but
 /// they scale differently: `Threaded` pays one OS thread (stack, kernel
-/// task, scheduler slot) per *connected* client, `Reactor` pays one thread
-/// total and a few hundred bytes of state per client.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
-pub enum FrontendMode {
-    /// One epoll reactor thread multiplexes every connection
-    /// (`crates/net`); idle clients cost buffer space, not threads.
-    #[default]
-    Reactor,
+/// task, scheduler slot) per *connected* client, `Reactor` pays `threads`
+/// event-loop threads total and a few hundred bytes of state per client.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Frontend {
+    /// A pool of `threads` epoll reactor threads multiplexing every
+    /// connection (`crates/net`); accepted connections distribute across
+    /// the pool via the shared listener, and idle clients cost buffer
+    /// space, not threads. `threads` is clamped to at least 1.
+    Reactor {
+        /// Number of reactor event-loop threads sharing the listener.
+        threads: usize,
+    },
     /// One blocking thread per accepted connection — the original front
     /// end, kept selectable as the differential-testing baseline.
     Threaded,
+}
+
+impl Default for Frontend {
+    fn default() -> Self {
+        Frontend::Reactor { threads: 1 }
+    }
+}
+
+impl Frontend {
+    /// A reactor pool of `threads` event loops (clamped to at least 1).
+    pub fn reactor(threads: usize) -> Frontend {
+        Frontend::Reactor {
+            threads: threads.max(1),
+        }
+    }
 }
 
 /// Configuration of a serving instance.
@@ -58,8 +77,8 @@ pub enum FrontendMode {
 pub struct ServerConfig {
     /// Bind address; use port 0 for an ephemeral port.
     pub addr: String,
-    /// Connection-handling architecture (see [`FrontendMode`]).
-    pub frontend: FrontendMode,
+    /// Connection-handling architecture (see [`Frontend`]).
+    pub frontend: Frontend,
     /// Worker threads executing scoring/transform jobs.
     pub workers: usize,
     /// Micro-batching parameters.
@@ -94,13 +113,22 @@ pub struct ServerConfig {
     /// [`Server::registry`] bypass the wire handlers and are **not**
     /// journaled; use `LOAD`/`PUSH` for installs that must survive a crash.
     pub journal: Option<JournalConfig>,
+    /// Most simultaneously connected clients the reactor front end serves
+    /// (`None` = unlimited). A connection accepted past the limit is
+    /// **shed**: answered with one [`protocol::BUSY`] line and closed, and
+    /// counted under `sheds=` on the `STATS` line. Load-shedding protects
+    /// tail latency for the connections already admitted; the routing tier
+    /// treats `BUSY` as "walk on to another replica". The threaded front
+    /// end ignores the limit (each connection already costs a thread,
+    /// which is its own natural limiter).
+    pub max_connections: Option<usize>,
 }
 
 impl Default for ServerConfig {
     fn default() -> Self {
         ServerConfig {
             addr: "127.0.0.1:0".to_string(),
-            frontend: FrontendMode::default(),
+            frontend: Frontend::default(),
             workers: 4,
             batcher: BatcherConfig::default(),
             cache_capacity: 4096,
@@ -109,7 +137,73 @@ impl Default for ServerConfig {
             bundle_dir: None,
             idle_timeout: None,
             journal: None,
+            max_connections: None,
         }
+    }
+}
+
+/// Builder-style constructors so call sites read as intent instead of
+/// positional struct literals: `ServerConfig::new().with_frontend(
+/// Frontend::reactor(4)).with_max_connections(Some(10_000))`.
+impl ServerConfig {
+    /// The default configuration (same as [`ServerConfig::default`]).
+    pub fn new() -> ServerConfig {
+        ServerConfig::default()
+    }
+
+    /// Sets the bind address.
+    pub fn with_addr(mut self, addr: impl Into<String>) -> ServerConfig {
+        self.addr = addr.into();
+        self
+    }
+
+    /// Selects the connection-handling architecture.
+    pub fn with_frontend(mut self, frontend: Frontend) -> ServerConfig {
+        self.frontend = frontend;
+        self
+    }
+
+    /// Sets the scoring worker-pool size.
+    pub fn with_workers(mut self, workers: usize) -> ServerConfig {
+        self.workers = workers;
+        self
+    }
+
+    /// Sets the micro-batching parameters.
+    pub fn with_batcher(mut self, batcher: BatcherConfig) -> ServerConfig {
+        self.batcher = batcher;
+        self
+    }
+
+    /// Sets the score-cache capacity (0 disables caching).
+    pub fn with_cache_capacity(mut self, capacity: usize) -> ServerConfig {
+        self.cache_capacity = capacity;
+        self
+    }
+
+    /// Restricts the wire-facing `LOAD` verb to bundles under `dir`.
+    pub fn with_bundle_dir(mut self, dir: Option<std::path::PathBuf>) -> ServerConfig {
+        self.bundle_dir = dir;
+        self
+    }
+
+    /// Sets the reactor front end's idle-connection timeout.
+    pub fn with_idle_timeout(mut self, timeout: Option<Duration>) -> ServerConfig {
+        self.idle_timeout = timeout;
+        self
+    }
+
+    /// Enables write-ahead journaling.
+    pub fn with_journal(mut self, journal: Option<JournalConfig>) -> ServerConfig {
+        self.journal = journal;
+        self
+    }
+
+    /// Sets the reactor front end's connection limit (see
+    /// [`ServerConfig::max_connections`]).
+    pub fn with_max_connections(mut self, limit: Option<usize>) -> ServerConfig {
+        self.max_connections = limit;
+        self
     }
 }
 
@@ -291,8 +385,8 @@ enum Front {
         accept_thread: Option<JoinHandle<()>>,
     },
     Reactor {
-        thread: Option<JoinHandle<()>>,
-        waker: Arc<pfr_net::Waker>,
+        threads: Vec<JoinHandle<()>>,
+        wakers: Vec<Arc<pfr_net::Waker>>,
     },
 }
 
@@ -351,7 +445,7 @@ impl Server {
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let front = match config.frontend {
-            FrontendMode::Threaded => {
+            Frontend::Threaded => {
                 let context = Arc::clone(&context);
                 let shutdown = Arc::clone(&shutdown);
                 let accept_thread = std::thread::Builder::new()
@@ -362,17 +456,16 @@ impl Server {
                     accept_thread: Some(accept_thread),
                 }
             }
-            FrontendMode::Reactor => {
-                let (thread, waker) = crate::reactor_front::spawn(
+            Frontend::Reactor { threads } => {
+                let (threads, wakers) = crate::reactor_front::spawn_pool(
                     listener,
                     Arc::clone(&context),
                     Arc::clone(&shutdown),
                     config.idle_timeout,
+                    threads.max(1),
+                    config.max_connections,
                 )?;
-                Front::Reactor {
-                    thread: Some(thread),
-                    waker,
-                }
+                Front::Reactor { threads, wakers }
             }
         };
         Ok(Server {
@@ -539,11 +632,13 @@ impl Server {
                 }
                 self.context.connections.close_and_join();
             }
-            Front::Reactor { thread, waker } => {
-                // The reactor notices the flag on the wake, closes every
-                // connection itself and exits.
-                let _ = waker.wake();
-                if let Some(t) = thread.take() {
+            Front::Reactor { threads, wakers } => {
+                // Every reactor notices the flag on its wake, closes the
+                // connections it owns and exits.
+                for waker in wakers.iter() {
+                    let _ = waker.wake();
+                }
+                for t in threads.drain(..) {
                     let _ = t.join();
                 }
             }
@@ -941,7 +1036,11 @@ mod tests {
     fn push_loads_a_bundle_over_the_wire_on_both_front_ends() {
         let (bundle, x) = toy_bundle();
         let text = persistence::bundle_to_string(&bundle);
-        for frontend in [FrontendMode::Threaded, FrontendMode::Reactor] {
+        for frontend in [
+            Frontend::Threaded,
+            Frontend::reactor(1),
+            Frontend::reactor(4),
+        ] {
             let server = Server::spawn(ServerConfig {
                 frontend,
                 // A bundle_dir that PUSH must ignore: no path is read.
@@ -980,7 +1079,11 @@ mod tests {
     fn push_then_more_requests_on_the_same_connection_stay_framed() {
         let (bundle, x) = toy_bundle();
         let text = persistence::bundle_to_string(&bundle);
-        for frontend in [FrontendMode::Threaded, FrontendMode::Reactor] {
+        for frontend in [
+            Frontend::Threaded,
+            Frontend::reactor(1),
+            Frontend::reactor(4),
+        ] {
             let server = Server::spawn(ServerConfig {
                 frontend,
                 ..ServerConfig::default()
@@ -1217,7 +1320,11 @@ mod tests {
         let (bundle, x) = toy_bundle();
         let text = persistence::bundle_to_string(&bundle);
         let mut responses = Vec::new();
-        for frontend in [FrontendMode::Threaded, FrontendMode::Reactor] {
+        for frontend in [
+            Frontend::Threaded,
+            Frontend::reactor(1),
+            Frontend::reactor(4),
+        ] {
             let server = Server::spawn(ServerConfig {
                 frontend,
                 ..ServerConfig::default()

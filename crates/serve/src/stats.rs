@@ -69,6 +69,7 @@ pub struct ServerStats {
     batched_requests: AtomicU64,
     max_batch: AtomicU64,
     connections: AtomicU64,
+    sheds: AtomicU64,
     inflight: AtomicU64,
 }
 
@@ -99,6 +100,12 @@ impl ServerStats {
     /// Records an accepted client connection.
     pub fn record_connection(&self) {
         self.connections.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a connection shed at accept time (closed with a `BUSY` line
+    /// because the connection limit was reached).
+    pub fn record_shed(&self) {
+        self.sheds.fetch_add(1, Ordering::Relaxed);
     }
 
     /// Marks one request as entering the serving path. Returns a guard that
@@ -153,6 +160,11 @@ impl ServerStats {
         self.connections.load(Ordering::Relaxed)
     }
 
+    /// Connections shed at accept time under overload.
+    pub fn sheds(&self) -> u64 {
+        self.sheds.load(Ordering::Relaxed)
+    }
+
     /// Renders the whole snapshot as a single `key=value` line — the payload
     /// of a `STATS` response.
     pub fn to_line(&self) -> String {
@@ -160,13 +172,14 @@ impl ServerStats {
         let batched = self.batched_requests.load(Ordering::Relaxed);
         let mean_batch = batched.checked_div(batches).unwrap_or(0);
         format!(
-            "connections={} load_requests={} load_errors={} load_mean_ns={} \
+            "connections={} sheds={} load_requests={} load_errors={} load_mean_ns={} \
              score_requests={} score_errors={} score_mean_ns={} \
              transform_requests={} transform_errors={} transform_mean_ns={} \
              stats_requests={} health_requests={} epoch_requests={} \
              cache_hits={} cache_misses={} \
              batches={} mean_batch={} max_batch={}",
             self.connections(),
+            self.sheds(),
             self.load.requests(),
             self.load.errors(),
             self.load.mean_latency_nanos(),

@@ -3,7 +3,9 @@
 //! filesystem), verify all replicas serve identical content, hammer the
 //! tier from concurrent client threads, kill a backend mid-traffic — then
 //! *heal the cluster live*: join a replacement backend, retire the dead
-//! one, and watch placements reconcile while every score stays bit-exact.
+//! one, and watch placements reconcile while every score stays bit-exact —
+//! then drive thousands of in-flight scores from one caller thread through
+//! the asynchronous ticket/completion-queue API.
 //!
 //! ```text
 //! cargo run --release --example router_demo
@@ -190,7 +192,38 @@ fn main() {
     }
     println!("post-heal scores verified bit-exact against offline inference");
 
-    // 6. The tier's own accounting.
+    // 6. The asynchronous submission API: ONE caller thread keeps thousands
+    //    of scores in flight at once. `submit_score` returns immediately
+    //    with a tag; the completion queue delivers results as replicas
+    //    answer, and every resolution runs the same failover/cache path as
+    //    the blocking calls — so the bits cannot differ.
+    const IN_FLIGHT: usize = 2000;
+    println!("driving {IN_FLIGHT} in-flight scores from a single caller thread ...");
+    let start = Instant::now();
+    let queue = router.completion_queue();
+    let mut tags = std::collections::HashMap::with_capacity(IN_FLIGHT);
+    for i in 0..IN_FLIGHT {
+        let idx = (i * 17) % rows.len();
+        tags.insert(queue.submit_score("admissions", &rows[idx]), idx);
+    }
+    let mut completed = 0usize;
+    while !queue.is_empty() {
+        let (tag, outcome) = queue.pop();
+        let idx = tags[&tag];
+        let score = outcome.expect("asynchronous score succeeds");
+        assert_eq!(
+            score.to_bits(),
+            expected[idx].to_bits(),
+            "ticket-API score must be bit-exact"
+        );
+        completed += 1;
+    }
+    println!(
+        "{completed} asynchronous completions, 0 errors, {:.1} ms total",
+        start.elapsed().as_secs_f64() * 1e3
+    );
+
+    // 7. The tier's own accounting.
     let stats = router.stats();
     println!(
         "router stats: routed={} failovers={} scatters={} retried_rows={} hot_hits={} hot_misses={} probes={}",

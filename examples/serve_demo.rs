@@ -30,7 +30,7 @@ use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
 use pfr::refit::{GateConfig, RefitConfig, RefitLoop, RefitModelConfig, RefitWorker, SwapTarget};
 use pfr::serve::protocol::format_numbers;
-use pfr::serve::{BatcherConfig, Server, ServerConfig};
+use pfr::serve::{BatcherConfig, Frontend, Server, ServerConfig};
 use pfr_data::{split, synthetic, Dataset};
 use pfr_graph::{fairness, SparseGraph};
 use std::io::{BufRead, BufReader, Write};
@@ -68,11 +68,15 @@ fn main() {
     pfr::core::persistence::save_bundle(&bundle, &path).expect("bundle saves");
     println!("bundle persisted to {}", path.display());
 
-    // 3. Serve it on an ephemeral port — the event-driven (reactor) front
-    //    end by default; set `frontend: FrontendMode::Threaded` for the
-    //    thread-per-connection baseline. `--journal <dir>` adds a
+    // 3. Serve it on an ephemeral port — an event-driven reactor *pool*
+    //    sized to the machine (one epoll loop per thread, accepted
+    //    connections spread across them); set `frontend: Frontend::Threaded`
+    //    for the thread-per-connection baseline. `--journal <dir>` adds a
     //    write-ahead journal: every accepted request becomes durable before
     //    its response, and a crashed server can be rebuilt from the log.
+    let reactors = std::thread::available_parallelism()
+        .map(|n| n.get().min(4))
+        .unwrap_or(1);
     let refit_mode = std::env::args().any(|a| a == "--refit");
     let journal_dir = {
         let mut args = std::env::args();
@@ -88,6 +92,7 @@ fn main() {
         })
     });
     let make_config = || ServerConfig {
+        frontend: Frontend::reactor(reactors),
         workers: 4,
         batcher: BatcherConfig {
             max_batch: 32,
@@ -101,7 +106,7 @@ fn main() {
         println!("journaling every request to {}", dir.display());
     }
     let addr = server.addr();
-    println!("serving on {addr}");
+    println!("serving on {addr} ({reactors}-reactor front-end pool)");
 
     let (raw, _) = test.features_with_protected().expect("raw features");
 

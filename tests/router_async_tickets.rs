@@ -1,0 +1,155 @@
+//! The asynchronous submission API's acceptance test: ONE caller thread
+//! drives thousands of concurrently in-flight `submit_score` requests
+//! against a live 3-shard cluster — far more concurrency than one thread
+//! could ever reach with the blocking `score` call — and every completion
+//! must be bitwise identical to offline `FittedFairPipeline` predictions
+//! with zero failures.
+//!
+//! Three phases, all from a single thread:
+//!
+//! 1. **Ticket fan-out**: 5 000+ [`pfr::router::Ticket`]s held in flight
+//!    simultaneously, then drained with `wait()`.
+//! 2. **Completion queue**: another wave submitted through
+//!    [`pfr::router::CompletionQueue`] and popped in completion order.
+//! 3. **Batch tickets**: concurrent `submit_score_batch` scatters resolved
+//!    out of submission order.
+//!
+//! The router's hot-key cache is disabled so every request genuinely
+//! crosses the network — this is a transport stress test, not a cache test.
+
+use pfr::pipeline::{FairPipeline, FairPipelineConfig};
+use pfr::router::{LocalCluster, RouterConfig, TransportMode};
+use pfr::serve::{Frontend, ServerConfig};
+use pfr_data::{split, synthetic, Dataset};
+use pfr_graph::{fairness, SparseGraph};
+use std::collections::HashMap;
+use std::time::{Duration, Instant};
+
+/// In-flight tickets held simultaneously by the single caller thread.
+/// The acceptance bar is 5 000; a little headroom guards the margin.
+const IN_FLIGHT: usize = 6000;
+/// Requests pushed through the completion queue in phase 2.
+const QUEUED: usize = 2000;
+
+fn fairness_graph(ds: &Dataset) -> SparseGraph {
+    let scores: Vec<f64> = ds
+        .side_information()
+        .iter()
+        .map(|s| s.unwrap_or(0.0))
+        .collect();
+    fairness::between_group_quantile_graph(ds.groups(), &scores, 5).unwrap()
+}
+
+#[test]
+fn one_caller_thread_sustains_thousands_of_in_flight_tickets() {
+    // --- Offline ground truth. ---------------------------------------------
+    let dataset = synthetic::generate_default(97).unwrap();
+    let split = split::train_test_split(&dataset, 0.3, 97).unwrap();
+    let train = dataset.subset(&split.train).unwrap();
+    let test = dataset.subset(&split.test).unwrap();
+    let fitted = FairPipeline::new(FairPipelineConfig {
+        gamma: 0.9,
+        ..FairPipelineConfig::default()
+    })
+    .fit(&train, &fairness_graph(&train))
+    .unwrap();
+    let expected = fitted.predict_proba(&test).unwrap();
+    let (raw, _) = test.features_with_protected().unwrap();
+    let bundle = fitted.into_bundle().unwrap();
+    let rows: Vec<Vec<f64>> = (0..raw.rows()).map(|i| raw.row(i).to_vec()).collect();
+
+    // --- A 3-shard cluster; reactor front ends behind a reactor router. ----
+    let mut cluster = LocalCluster::boot(
+        3,
+        ServerConfig {
+            frontend: Frontend::reactor(2),
+            workers: 4,
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let router = cluster
+        .router(RouterConfig {
+            replication: 2,
+            transport: TransportMode::Reactor,
+            // Every request must cross the wire: this is a transport
+            // concurrency test, and cache hits would fake the in-flight
+            // count.
+            hot_cache_capacity: 0,
+            ..RouterConfig::default()
+        })
+        .unwrap();
+    assert_eq!(cluster.place(&router, "admissions", &bundle).unwrap(), 2);
+    router.verify("admissions").unwrap();
+
+    // --- Phase 1: thousands of tickets in flight from one thread. ----------
+    let mut tickets = Vec::with_capacity(IN_FLIGHT);
+    for i in 0..IN_FLIGHT {
+        let idx = (i * 13) % rows.len();
+        tickets.push((idx, router.submit_score("admissions", &rows[idx])));
+    }
+    // All submissions are live before the first result is consumed: the
+    // caller thread genuinely holds IN_FLIGHT concurrent requests.
+    assert_eq!(tickets.len(), IN_FLIGHT);
+    let mut failures = 0usize;
+    for (idx, ticket) in tickets {
+        match ticket.wait() {
+            Ok(score) => assert_eq!(
+                score.to_bits(),
+                expected[idx].to_bits(),
+                "in-flight ticket for row {idx} resolved to different bits"
+            ),
+            Err(e) => {
+                eprintln!("ticket for row {idx} failed: {e}");
+                failures += 1;
+            }
+        }
+    }
+    assert_eq!(failures, 0, "in-flight tickets must never fail");
+
+    // --- Phase 2: the completion queue drains in completion order. ---------
+    let queue = router.completion_queue();
+    let mut tags: HashMap<u64, usize> = HashMap::with_capacity(QUEUED);
+    for i in 0..QUEUED {
+        let idx = (i * 29 + 7) % rows.len();
+        tags.insert(queue.submit_score("admissions", &rows[idx]), idx);
+    }
+    assert_eq!(queue.in_flight(), QUEUED);
+    let mut drained = 0usize;
+    while !queue.is_empty() {
+        let (tag, outcome) = queue.pop();
+        let idx = *tags.get(&tag).expect("completion tag was issued here");
+        let score = outcome.unwrap_or_else(|e| panic!("queued score {idx} failed: {e}"));
+        assert_eq!(
+            score.to_bits(),
+            expected[idx].to_bits(),
+            "completion-queue score for row {idx} differs from offline"
+        );
+        drained += 1;
+    }
+    assert_eq!(drained, QUEUED);
+    assert_eq!(queue.in_flight(), 0);
+
+    // --- Phase 3: batch tickets resolve out of submission order. -----------
+    let mut batches: Vec<_> = (0..8)
+        .map(|_| router.submit_score_batch("admissions", &rows))
+        .collect();
+    // Resolve the most recently submitted first — completion order must not
+    // depend on submission order.
+    while let Some(ticket) = batches.pop() {
+        let deadline = Instant::now() + Duration::from_secs(60);
+        let scores = match ticket.wait_deadline(deadline) {
+            Ok(outcome) => outcome.unwrap(),
+            Err(_) => panic!("batch ticket missed a 60s deadline"),
+        };
+        assert_eq!(scores.len(), rows.len());
+        for (i, (got, want)) in scores.iter().zip(expected.iter()).enumerate() {
+            assert_eq!(got.to_bits(), want.to_bits(), "batch row {i}");
+        }
+    }
+
+    // The tier really did the work over the wire: no hot-cache absorption.
+    let stats = router.stats();
+    assert_eq!(stats.hot_cache_hits(), 0);
+    assert!(stats.routed() >= (IN_FLIGHT + QUEUED) as u64);
+}

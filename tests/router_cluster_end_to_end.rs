@@ -5,15 +5,16 @@
 //! `FittedFairPipeline` predictions — a backend loss degrades capacity,
 //! never correctness.
 //!
-//! The scenario runs **twice**: once with the event-driven stack (reactor
-//! serve front ends behind a reactor-transport router) and once with the
-//! original thread-per-connection stack. The two architectures must stay
-//! bitwise interchangeable under concurrent load *and* mid-stream failure;
-//! CI runs both to enforce the differential.
+//! The scenario runs across the architecture matrix: the event-driven
+//! stack at two reactor-pool widths (1-thread and 4-thread serve front
+//! ends behind a reactor-transport router) and the original
+//! thread-per-connection stack. All architectures must stay bitwise
+//! interchangeable under concurrent load *and* mid-stream failure; CI runs
+//! the full matrix to enforce the differential.
 
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
 use pfr::router::{BreakerConfig, ConnConfig, LocalCluster, RouterConfig, TransportMode};
-use pfr::serve::{FrontendMode, ServerConfig};
+use pfr::serve::{Frontend, ServerConfig};
 use pfr_data::{split, synthetic, Dataset};
 use pfr_graph::{fairness, SparseGraph};
 use std::sync::atomic::{AtomicUsize, Ordering};
@@ -31,15 +32,20 @@ fn fairness_graph(ds: &Dataset) -> SparseGraph {
 
 #[test]
 fn cluster_survives_a_backend_kill_with_bitwise_identical_scores_reactor() {
-    cluster_survives_a_backend_kill(FrontendMode::Reactor, TransportMode::Reactor);
+    cluster_survives_a_backend_kill(Frontend::reactor(1), TransportMode::Reactor);
+}
+
+#[test]
+fn cluster_survives_a_backend_kill_with_bitwise_identical_scores_reactor_pool() {
+    cluster_survives_a_backend_kill(Frontend::reactor(4), TransportMode::Reactor);
 }
 
 #[test]
 fn cluster_survives_a_backend_kill_with_bitwise_identical_scores_threaded() {
-    cluster_survives_a_backend_kill(FrontendMode::Threaded, TransportMode::Threaded);
+    cluster_survives_a_backend_kill(Frontend::Threaded, TransportMode::Threaded);
 }
 
-fn cluster_survives_a_backend_kill(frontend: FrontendMode, transport: TransportMode) {
+fn cluster_survives_a_backend_kill(frontend: Frontend, transport: TransportMode) {
     // --- Offline ground truth. ---------------------------------------------
     let dataset = synthetic::generate_default(91).unwrap();
     let split = split::train_test_split(&dataset, 0.3, 91).unwrap();

@@ -12,7 +12,7 @@
 
 use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
-use pfr::serve::{FrontendMode, Server, ServerConfig};
+use pfr::serve::{Frontend, Server, ServerConfig};
 use pfr_data::{synthetic, Dataset};
 use pfr_graph::{fairness, SparseGraph};
 use std::io::{BufRead, BufReader, Write};
@@ -51,15 +51,15 @@ fn scratch_journal_dir(tag: &str) -> PathBuf {
 
 #[test]
 fn hard_crash_then_journal_replay_restores_state_reactor() {
-    hard_crash_then_journal_replay_restores_state(FrontendMode::Reactor);
+    hard_crash_then_journal_replay_restores_state(Frontend::reactor(1));
 }
 
 #[test]
 fn hard_crash_then_journal_replay_restores_state_threaded() {
-    hard_crash_then_journal_replay_restores_state(FrontendMode::Threaded);
+    hard_crash_then_journal_replay_restores_state(Frontend::Threaded);
 }
 
-fn hard_crash_then_journal_replay_restores_state(frontend: FrontendMode) {
+fn hard_crash_then_journal_replay_restores_state(frontend: Frontend) {
     // --- Offline ground truth. ---------------------------------------------
     let dataset = synthetic::generate_default(79).unwrap();
     let fitted = FairPipeline::new(FairPipelineConfig {

@@ -4,13 +4,15 @@
 //! `FittedFairPipeline::predict_proba` — plus that the score cache actually
 //! absorbed repeated requests.
 //!
-//! The whole scenario runs **twice**, once per front-end architecture
-//! ([`FrontendMode::Reactor`] and [`FrontendMode::Threaded`]): the two
-//! connection-handling designs must stay wire-compatible and bit-identical,
-//! and keeping both runs in CI is what enforces that differential.
+//! The whole scenario runs across the front-end matrix — threaded,
+//! single-reactor and a 4-thread reactor pool ([`Frontend::Threaded`],
+//! [`Frontend::reactor(1)`](Frontend::reactor) and
+//! [`Frontend::reactor(4)`](Frontend::reactor)): the connection-handling
+//! designs must stay wire-compatible and bit-identical at every pool
+//! width, and keeping all runs in CI is what enforces that differential.
 
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
-use pfr::serve::{BatcherConfig, FrontendMode, Server, ServerConfig};
+use pfr::serve::{BatcherConfig, Frontend, Server, ServerConfig};
 use pfr_data::{split, synthetic, Dataset};
 use pfr_graph::{fairness, SparseGraph};
 use std::io::{BufRead, BufReader, Write};
@@ -38,15 +40,20 @@ fn roundtrip(reader: &mut BufReader<TcpStream>, writer: &mut TcpStream, line: &s
 
 #[test]
 fn concurrent_tcp_scores_match_offline_predictions_bitwise_reactor() {
-    concurrent_tcp_scores_match_offline_predictions_bitwise(FrontendMode::Reactor);
+    concurrent_tcp_scores_match_offline_predictions_bitwise(Frontend::reactor(1), "reactor1");
+}
+
+#[test]
+fn concurrent_tcp_scores_match_offline_predictions_bitwise_reactor_pool() {
+    concurrent_tcp_scores_match_offline_predictions_bitwise(Frontend::reactor(4), "reactor4");
 }
 
 #[test]
 fn concurrent_tcp_scores_match_offline_predictions_bitwise_threaded() {
-    concurrent_tcp_scores_match_offline_predictions_bitwise(FrontendMode::Threaded);
+    concurrent_tcp_scores_match_offline_predictions_bitwise(Frontend::Threaded, "threaded");
 }
 
-fn concurrent_tcp_scores_match_offline_predictions_bitwise(frontend: FrontendMode) {
+fn concurrent_tcp_scores_match_offline_predictions_bitwise(frontend: Frontend, label: &str) {
     // --- Train offline on synthetic admissions data. -----------------------
     let dataset = synthetic::generate_default(77).unwrap();
     let split = split::train_test_split(&dataset, 0.3, 77).unwrap();
@@ -65,10 +72,10 @@ fn concurrent_tcp_scores_match_offline_predictions_bitwise(frontend: FrontendMod
     let expected = fitted.predict_proba(&test).unwrap();
     let (raw, _) = test.features_with_protected().unwrap();
 
-    // --- Persist the bundle (one scratch file per front-end mode: the two
+    // --- Persist the bundle (one scratch file per front-end mode: the
     // mode variants of this test may run concurrently). ----------------------
     let bundle = fitted.into_bundle().unwrap();
-    let path = std::env::temp_dir().join(format!("pfr_serve_e2e_{frontend:?}.bundle"));
+    let path = std::env::temp_dir().join(format!("pfr_serve_e2e_{label}.bundle"));
     pfr::core::persistence::save_bundle(&bundle, &path).unwrap();
 
     // --- Serve it. ----------------------------------------------------------
@@ -173,15 +180,20 @@ fn concurrent_tcp_scores_match_offline_predictions_bitwise(frontend: FrontendMod
 
 #[test]
 fn server_survives_malformed_traffic_while_serving_reactor() {
-    server_survives_malformed_traffic_while_serving(FrontendMode::Reactor);
+    server_survives_malformed_traffic_while_serving(Frontend::reactor(1));
+}
+
+#[test]
+fn server_survives_malformed_traffic_while_serving_reactor_pool() {
+    server_survives_malformed_traffic_while_serving(Frontend::reactor(4));
 }
 
 #[test]
 fn server_survives_malformed_traffic_while_serving_threaded() {
-    server_survives_malformed_traffic_while_serving(FrontendMode::Threaded);
+    server_survives_malformed_traffic_while_serving(Frontend::Threaded);
 }
 
-fn server_survives_malformed_traffic_while_serving(frontend: FrontendMode) {
+fn server_survives_malformed_traffic_while_serving(frontend: Frontend) {
     let dataset = synthetic::generate_default(78).unwrap();
     let fitted = FairPipeline::default()
         .fit(&dataset, &fairness_graph(&dataset))
