@@ -127,12 +127,12 @@ fn bench_batched_scoring(c: &mut Criterion) {
     // the unit of work a SCORE cache miss pays on the worker pool; the
     // request stream is cycled so the distribution covers every vector.
     let mut next = 0;
-    let (p50_us, p99_us) = pfr_bench::measure_latency_percentiles(4096, || {
+    let (p50_us, p99_us, p999_us) = pfr_bench::measure_latency_tail(8192, || {
         let features = &requests[next % requests.len()];
         next += 1;
         black_box(model.score_one(features).expect("scoring succeeds"));
     });
-    println!("  score latency: p50 {p50_us:.3}us  p99 {p99_us:.3}us");
+    println!("  score latency: p50 {p50_us:.3}us  p99 {p99_us:.3}us  p999 {p999_us:.3}us");
 
     // Replay the request stream through a score cache the way the server's
     // SCORE verb does: the stream revisits each distinct vector, so steady
@@ -226,6 +226,9 @@ fn bench_batched_scoring(c: &mut Criterion) {
             // `_us` suffix = latency: perf_gate fails these for *rising*.
             ("score_p50_us", p50_us),
             ("score_p99_us", p99_us),
+            // The extreme tail (perf_gate gives p99-family keys triple
+            // slack — it is the noisiest number in the suite).
+            ("score_p999_us", p999_us),
             // Deterministic overload-shedding check: exactly half of 2x
             // the connection limit must be turned away with BUSY.
             ("shed_rate", shed_rate),

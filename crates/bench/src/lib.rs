@@ -61,6 +61,27 @@ pub fn measure_latency_percentiles(samples: usize, mut f: impl FnMut()) -> (f64,
     (percentile(&mut micros, 0.50), percentile(&mut micros, 0.99))
 }
 
+/// Times `samples` calls of `f` individually and returns the
+/// (p50, p99, p999) latency in **microseconds**. The p999 needs enough
+/// samples to be a real order statistic rather than the max — pass at
+/// least a few thousand. It exists because the extreme tail is where
+/// scheduling hiccups, allocator stalls and batch-boundary waits hide:
+/// a serving regression can leave p99 untouched and only move p999.
+pub fn measure_latency_tail(samples: usize, mut f: impl FnMut()) -> (f64, f64, f64) {
+    let mut micros: Vec<f64> = (0..samples.max(1))
+        .map(|_| {
+            let start = Instant::now();
+            f();
+            start.elapsed().as_secs_f64() * 1e6
+        })
+        .collect();
+    (
+        percentile(&mut micros, 0.50),
+        percentile(&mut micros, 0.99),
+        percentile(&mut micros, 0.999),
+    )
+}
+
 /// The `q`-quantile (0 ≤ q ≤ 1) of `samples` by the nearest-rank method.
 /// Sorts in place; NaN-free input is the caller's contract (latencies are).
 pub fn percentile(samples: &mut [f64], q: f64) -> f64 {
@@ -318,6 +339,11 @@ mod tests {
         });
         assert!(p50 <= p99);
         assert!(p50 >= 0.0);
+        let (t50, t99, t999) = measure_latency_tail(50, || {
+            std::hint::black_box(1 + 1);
+        });
+        assert!(t50 <= t99 && t99 <= t999);
+        assert!(t50 >= 0.0);
     }
 
     #[test]

@@ -102,6 +102,10 @@ pub struct JournalStats {
     appends: AtomicU64,
     fsyncs: AtomicU64,
     unsynced: AtomicU64,
+    /// Wall-clock latency of each fsync — the component that dominates
+    /// durable append tails, kept as a full distribution because fsync
+    /// latency is bimodal on most filesystems.
+    fsync_ns: Arc<pfr_obs::LatencyHisto>,
 }
 
 impl JournalStats {
@@ -135,6 +139,11 @@ impl JournalStats {
     /// without bound under [`FsyncPolicy::Never`] by design.
     pub fn unsynced(&self) -> u64 {
         self.unsynced.load(Ordering::Relaxed)
+    }
+
+    /// The live fsync-latency histogram (nanoseconds per fsync call).
+    pub fn fsync_histogram(&self) -> &Arc<pfr_obs::LatencyHisto> {
+        &self.fsync_ns
     }
 
     /// Renders the snapshot as `key=value` pairs for the `STATS` line.
@@ -343,6 +352,36 @@ impl Journal {
     /// Live telemetry counters.
     pub fn stats(&self) -> &JournalStats {
         &self.stats
+    }
+
+    /// The shared handle behind [`Journal::stats`] — for gauges that must
+    /// outlive the borrow (e.g. a refit worker's cursor-lag gauge reading
+    /// this journal's tip from inside a registry closure).
+    pub fn shared_stats(&self) -> Arc<JournalStats> {
+        Arc::clone(&self.stats)
+    }
+
+    /// Registers the journal's counters and the fsync-latency histogram on
+    /// `registry` under the `pfr_journal_*` namespace.
+    pub fn register_metrics(&self, registry: &pfr_obs::MetricsRegistry) {
+        macro_rules! gauge {
+            ($name:expr, $read:expr) => {{
+                let stats = Arc::clone(&self.stats);
+                registry.gauge($name, &[], Arc::new(move || ($read)(&stats) as f64));
+            }};
+        }
+        gauge!("pfr_journal_seq", |s: &JournalStats| s.last_seq());
+        gauge!("pfr_journal_segments", |s: &JournalStats| s.segments());
+        gauge!("pfr_journal_bytes", |s: &JournalStats| s.bytes());
+        gauge!("pfr_journal_appends_total", |s: &JournalStats| s.appends());
+        gauge!("pfr_journal_fsyncs_total", |s: &JournalStats| s.fsyncs());
+        gauge!("pfr_journal_unsynced_bytes", |s: &JournalStats| s
+            .unsynced());
+        registry.histogram(
+            "pfr_journal_fsync_ns",
+            &[],
+            Arc::clone(self.stats.fsync_histogram()),
+        );
     }
 
     /// The directory holding the segment files.
@@ -639,7 +678,9 @@ impl Writer {
     fn roll(&mut self) -> std::io::Result<()> {
         self.active.flush()?;
         if self.fsync != FsyncPolicy::Never {
+            let started = Instant::now();
             self.active.sync_data()?;
+            self.stats.fsync_ns.record_duration(started.elapsed());
             self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
             self.stats.unsynced.store(0, Ordering::Relaxed);
         }
@@ -711,8 +752,10 @@ impl Writer {
 
     /// Fsyncs the active segment, updating telemetry. Returns success.
     fn fsync_active(&mut self) -> bool {
+        let started = Instant::now();
         match self.active.sync_data() {
             Ok(()) => {
+                self.stats.fsync_ns.record_duration(started.elapsed());
                 self.stats.fsyncs.fetch_add(1, Ordering::Relaxed);
                 self.stats.unsynced.store(0, Ordering::Relaxed);
                 self.last_sync = Instant::now();

@@ -39,6 +39,18 @@ pub enum Record {
         /// Canonical bundle text.
         bundle_text: String,
     },
+    /// A slow-request diagnostic: the span breakdown of a traced request
+    /// that breached the configured latency threshold, riding the same
+    /// durable stream as the requests themselves. Replay skips these —
+    /// they carry no state to rebuild.
+    SlowTrace {
+        /// The trace id of the slow request.
+        trace_id: u64,
+        /// End-to-end latency of the request in nanoseconds.
+        total_ns: u64,
+        /// The rendered span breakdown (`SpanRecord::render` text).
+        text: String,
+    },
 }
 
 /// Frame kind tags (one byte on disk).
@@ -46,6 +58,7 @@ const KIND_SCORE: u8 = 1;
 const KIND_TRANSFORM: u8 = 2;
 const KIND_LOAD: u8 = 3;
 const KIND_PUSH: u8 = 4;
+const KIND_SLOW_TRACE: u8 = 5;
 
 impl Record {
     /// The one-byte kind tag written into the frame header.
@@ -55,16 +68,19 @@ impl Record {
             Record::Transform { .. } => KIND_TRANSFORM,
             Record::Load { .. } => KIND_LOAD,
             Record::Push { .. } => KIND_PUSH,
+            Record::SlowTrace { .. } => KIND_SLOW_TRACE,
         }
     }
 
-    /// The model name this record addresses.
+    /// The model name this record addresses (empty for diagnostics like
+    /// [`Record::SlowTrace`], which address no model).
     pub fn model(&self) -> &str {
         match self {
             Record::Score { model, .. }
             | Record::Transform { model, .. }
             | Record::Load { model, .. }
             | Record::Push { model, .. } => model,
+            Record::SlowTrace { .. } => "",
         }
     }
 
@@ -84,6 +100,16 @@ impl Record {
             Record::Load { bundle_text, .. } | Record::Push { bundle_text, .. } => {
                 out.extend_from_slice(&(bundle_text.len() as u32).to_le_bytes());
                 out.extend_from_slice(bundle_text.as_bytes());
+            }
+            Record::SlowTrace {
+                trace_id,
+                total_ns,
+                text,
+            } => {
+                out.extend_from_slice(&trace_id.to_le_bytes());
+                out.extend_from_slice(&total_ns.to_le_bytes());
+                out.extend_from_slice(&(text.len() as u32).to_le_bytes());
+                out.extend_from_slice(text.as_bytes());
             }
         }
     }
@@ -117,6 +143,18 @@ impl Record {
                     Record::Load { model, bundle_text }
                 } else {
                     Record::Push { model, bundle_text }
+                }
+            }
+            KIND_SLOW_TRACE => {
+                let trace_id = cursor.u64()?;
+                let total_ns = cursor.u64()?;
+                let len = cursor.u32()? as usize;
+                let text = String::from_utf8(cursor.take(len)?.to_vec())
+                    .map_err(|_| "trace text is not utf-8".to_string())?;
+                Record::SlowTrace {
+                    trace_id,
+                    total_ns,
+                    text,
                 }
             }
             other => return Err(format!("unknown record kind {other}")),
@@ -178,6 +216,18 @@ impl Record {
                     bundle_text: t2,
                 },
             ) => m1 == m2 && t1 == t2,
+            (
+                Record::SlowTrace {
+                    trace_id: i1,
+                    total_ns: n1,
+                    text: t1,
+                },
+                Record::SlowTrace {
+                    trace_id: i2,
+                    total_ns: n2,
+                    text: t2,
+                },
+            ) => i1 == i2 && n1 == n2 && t1 == t2,
             _ => false,
         }
     }
@@ -264,6 +314,19 @@ mod tests {
             bundle_text: String::new(),
         };
         assert_eq!(empty.kind(), 4);
+    }
+
+    #[test]
+    fn slow_trace_roundtrips() {
+        let record = Record::SlowTrace {
+            trace_id: 0xdead_beef_cafe_f00d,
+            total_ns: 12_345_678,
+            text: "span serve/SCORE trace=deadbeefcafef00d total_ns=12345678\n  @ resolve 100\n"
+                .into(),
+        };
+        assert_eq!(record.kind(), 5);
+        assert_eq!(record.model(), "");
+        assert!(record.bitwise_eq(&roundtrip(&record)));
     }
 
     #[test]

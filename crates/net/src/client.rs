@@ -33,6 +33,7 @@
 
 use crate::line::LineConn;
 use crate::poller::{Event, Interest, Poller, Waker};
+use crate::stats::LoopStats;
 use crate::sys::{self, ConnectStart};
 use crate::wheel::DeadlineWheel;
 use std::collections::{HashMap, VecDeque};
@@ -287,6 +288,7 @@ enum Op {
 pub struct ClientDriver {
     ops: Sender<Op>,
     waker: Arc<Waker>,
+    loop_stats: Arc<LoopStats>,
     thread: Option<JoinHandle<()>>,
 }
 
@@ -296,6 +298,7 @@ impl ClientDriver {
         let waker = Arc::new(Waker::new()?);
         let (ops, op_rx) = mpsc::channel();
         let reactor = Reactor::new(config, Arc::clone(&waker), op_rx)?;
+        let loop_stats = Arc::clone(&reactor.loop_stats);
         let thread = std::thread::Builder::new()
             .name("pfr-net-client".to_string())
             .spawn(move || reactor.run())
@@ -303,8 +306,15 @@ impl ClientDriver {
         Ok(ClientDriver {
             ops,
             waker,
+            loop_stats,
             thread: Some(thread),
         })
+    }
+
+    /// The reactor thread's event-loop health counters (live; updated
+    /// every loop iteration).
+    pub fn loop_stats(&self) -> &Arc<LoopStats> {
+        &self.loop_stats
     }
 
     /// Submits a burst of request lines to `addr`; the ticket resolves with
@@ -450,6 +460,7 @@ struct Reactor {
     idle: HashMap<SocketAddr, Vec<u64>>,
     wheel: DeadlineWheel,
     next_token: u64,
+    loop_stats: Arc<LoopStats>,
 }
 
 impl Reactor {
@@ -467,6 +478,7 @@ impl Reactor {
             // the horizon simply ride extra revolutions.
             wheel: DeadlineWheel::new(Duration::from_millis(16), 64),
             next_token: WAKER_TOKEN + 1,
+            loop_stats: Arc::new(LoopStats::new()),
         })
     }
 
@@ -475,10 +487,12 @@ impl Reactor {
         let mut expired: Vec<u64> = Vec::new();
         loop {
             let timeout = self.wheel.next_timeout(Instant::now());
+            let waited = Instant::now();
             if self.poller.wait(&mut events, timeout).is_err() {
                 // EBADF etc. can only mean teardown races; bail out.
                 break;
             }
+            self.loop_stats.record_poll(waited.elapsed(), events.len());
             let mut shutdown = false;
             // Drain in place so the buffer's capacity is reused every
             // wakeup (`events` is a local, so borrowing it across the
@@ -504,6 +518,7 @@ impl Reactor {
                     io::Error::new(io::ErrorKind::TimedOut, "io deadline"),
                 );
             }
+            self.loop_stats.set_wheel_depth(self.wheel.len());
             if shutdown {
                 break;
             }

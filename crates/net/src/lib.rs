@@ -31,6 +31,9 @@
 //!   the same address pipeline onto shared connections — one caller
 //!   thread drives thousands of in-flight requests, spawning zero
 //!   threads.
+//! * [`LoopStats`] — std-only per-event-loop health counters (time spent
+//!   blocked in `epoll_wait`, events per wakeup, armed wheel depth) that
+//!   the observability tier exposes as gauges.
 //!
 //! `pfr-serve` builds its event-driven front end from the first four;
 //! `pfr-router` routes its backend traffic through the last. Both tiers
@@ -46,10 +49,12 @@
 pub mod client;
 pub mod line;
 pub mod poller;
+pub mod stats;
 pub mod sys;
 pub mod wheel;
 
 pub use client::{BurstResult, ClientConfig, ClientDriver, CompletionQueue, Ticket};
 pub use line::{FillOutcome, FlushOutcome, Frame, LineConn};
 pub use poller::{Event, Interest, Poller, Waker};
+pub use stats::LoopStats;
 pub use wheel::DeadlineWheel;

@@ -1,0 +1,81 @@
+//! Event-loop health counters: how long a reactor sleeps in `epoll_wait`,
+//! how many events each wakeup delivers, and how many deadlines its wheel
+//! is carrying.
+//!
+//! The struct is std-only (plain relaxed atomics) so this crate stays
+//! dependency-free; the observability tier wraps the readers in gauges.
+//! Every field is written by exactly one reactor thread and read by
+//! whoever renders metrics, so relaxed ordering is sufficient — a scrape
+//! sees some recent value of each counter, which is all a gauge promises.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::Duration;
+
+/// Counters one event-loop thread updates every iteration.
+#[derive(Debug, Default)]
+pub struct LoopStats {
+    polls: AtomicU64,
+    wait_ns: AtomicU64,
+    last_ready: AtomicU64,
+    wheel_depth: AtomicU64,
+}
+
+impl LoopStats {
+    /// An all-zero stats block.
+    pub fn new() -> LoopStats {
+        LoopStats::default()
+    }
+
+    /// Records one `epoll_wait` return: how long the call blocked and how
+    /// many readiness events it delivered.
+    pub fn record_poll(&self, waited: Duration, ready: usize) {
+        self.polls.fetch_add(1, Ordering::Relaxed);
+        let ns = u64::try_from(waited.as_nanos()).unwrap_or(u64::MAX);
+        self.wait_ns.fetch_add(ns, Ordering::Relaxed);
+        self.last_ready.store(ready as u64, Ordering::Relaxed);
+    }
+
+    /// Publishes the number of deadlines currently armed on the loop's
+    /// wheel (call after arming/advancing).
+    pub fn set_wheel_depth(&self, depth: usize) {
+        self.wheel_depth.store(depth as u64, Ordering::Relaxed);
+    }
+
+    /// Total `epoll_wait` calls made.
+    pub fn polls(&self) -> u64 {
+        self.polls.load(Ordering::Relaxed)
+    }
+
+    /// Total nanoseconds spent blocked in `epoll_wait`.
+    pub fn wait_ns(&self) -> u64 {
+        self.wait_ns.load(Ordering::Relaxed)
+    }
+
+    /// Readiness events delivered by the most recent wakeup.
+    pub fn last_ready(&self) -> u64 {
+        self.last_ready.load(Ordering::Relaxed)
+    }
+
+    /// Deadlines armed on the wheel as of the last publish.
+    pub fn wheel_depth(&self) -> u64 {
+        self.wheel_depth.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_gauges_overwrite() {
+        let stats = LoopStats::new();
+        stats.record_poll(Duration::from_nanos(500), 3);
+        stats.record_poll(Duration::from_nanos(250), 1);
+        assert_eq!(stats.polls(), 2);
+        assert_eq!(stats.wait_ns(), 750);
+        assert_eq!(stats.last_ready(), 1);
+        stats.set_wheel_depth(7);
+        stats.set_wheel_depth(4);
+        assert_eq!(stats.wheel_depth(), 4);
+    }
+}

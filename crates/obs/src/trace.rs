@@ -1,0 +1,306 @@
+//! Trace spans: a compact trace id minted at the first tier that accepts
+//! a request, per-stage events recorded relative to the span's start, and
+//! fixed-size rings the `TRACE <id>` verb reads back.
+//!
+//! Tracing is **sampled**: a request is traced when it arrives with an
+//! explicit `T=<id>` wire token, or when the tier's [`Sampler`] fires.
+//! Untraced requests touch none of this module — the hot path stays a
+//! histogram record and nothing else — so the ring mutexes are
+//! uncontended by construction.
+
+use std::collections::hash_map::RandomState;
+use std::collections::VecDeque;
+use std::hash::{BuildHasher, Hash, Hasher};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+use std::time::Instant;
+
+/// Mints a fresh nonzero trace id: a per-process random seed hashed with
+/// a global counter, so concurrent tiers (router + backends) do not
+/// collide even though ids are only 64 bits.
+pub fn mint_trace_id() -> u64 {
+    static SEED: OnceLock<RandomState> = OnceLock::new();
+    static COUNTER: AtomicU64 = AtomicU64::new(1);
+    let mut hasher = SEED.get_or_init(RandomState::new).build_hasher();
+    COUNTER.fetch_add(1, Ordering::Relaxed).hash(&mut hasher);
+    std::process::id().hash(&mut hasher);
+    hasher.finish().max(1)
+}
+
+/// Decides which untraced requests get a minted span: fires once every
+/// `every` requests (0 disables server-initiated sampling entirely).
+#[derive(Debug)]
+pub struct Sampler {
+    every: u64,
+    counter: AtomicU64,
+}
+
+impl Sampler {
+    /// A sampler firing every `every`-th request; 0 never fires.
+    pub fn new(every: u64) -> Sampler {
+        Sampler {
+            every,
+            counter: AtomicU64::new(0),
+        }
+    }
+
+    /// Whether this request should be traced.
+    #[inline]
+    pub fn fire(&self) -> bool {
+        self.every != 0
+            && self
+                .counter
+                .fetch_add(1, Ordering::Relaxed)
+                .is_multiple_of(self.every)
+    }
+}
+
+/// A span being recorded for one in-flight request. Only allocated for
+/// sampled requests.
+#[derive(Debug)]
+pub struct ActiveSpan {
+    trace_id: u64,
+    name: String,
+    start: Instant,
+    events: Vec<(&'static str, u64)>,
+}
+
+impl ActiveSpan {
+    /// Starts a span named `name` (e.g. `serve/SCORE`) under `trace_id`.
+    pub fn new(trace_id: u64, name: impl Into<String>) -> ActiveSpan {
+        ActiveSpan {
+            trace_id,
+            name: name.into(),
+            start: Instant::now(),
+            events: Vec::with_capacity(8),
+        }
+    }
+
+    /// The trace id this span records under.
+    pub fn trace_id(&self) -> u64 {
+        self.trace_id
+    }
+
+    /// Records a stage event at the current offset from span start.
+    pub fn event(&mut self, stage: &'static str) {
+        let at = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        self.events.push((stage, at));
+    }
+
+    /// Closes the span and stores it in `ring`.
+    pub fn finish(self, ring: &SpanRing) -> u64 {
+        let total_ns = u64::try_from(self.start.elapsed().as_nanos()).unwrap_or(u64::MAX);
+        let record = SpanRecord {
+            trace_id: self.trace_id,
+            name: self.name,
+            total_ns,
+            events: self
+                .events
+                .into_iter()
+                .map(|(s, at)| (s.to_string(), at))
+                .collect(),
+        };
+        ring.push(record);
+        total_ns
+    }
+}
+
+/// A finished span: stage events at nanosecond offsets from span start.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SpanRecord {
+    /// The trace this span belongs to.
+    pub trace_id: u64,
+    /// Tier/verb label, e.g. `router/SCORE`.
+    pub name: String,
+    /// End-to-end duration of the span in nanoseconds.
+    pub total_ns: u64,
+    /// `(stage, offset_ns)` events in recording order.
+    pub events: Vec<(String, u64)>,
+}
+
+impl SpanRecord {
+    /// Renders the span as indented text lines (the `TRACE` payload and
+    /// slow-request log format).
+    pub fn render(&self, indent: usize) -> String {
+        let pad = " ".repeat(indent);
+        let mut out = format!(
+            "{pad}span {} trace={:016x} total_ns={}\n",
+            self.name, self.trace_id, self.total_ns
+        );
+        for (stage, at) in &self.events {
+            out.push_str(&format!("{pad}  @ {stage} {at}\n"));
+        }
+        out
+    }
+
+    /// Parses one rendered span (the inverse of [`SpanRecord::render`]
+    /// at indent 0); returns `None` on malformed text.
+    pub fn parse(text: &str) -> Option<SpanRecord> {
+        let mut lines = text.lines();
+        let head = lines.next()?.trim_start();
+        let rest = head.strip_prefix("span ")?;
+        let mut parts = rest.split_whitespace();
+        let name = parts.next()?.to_string();
+        let trace_id = u64::from_str_radix(parts.next()?.strip_prefix("trace=")?, 16).ok()?;
+        let total_ns = parts.next()?.strip_prefix("total_ns=")?.parse().ok()?;
+        let mut events = Vec::new();
+        for line in lines {
+            let line = line.trim_start();
+            if line.is_empty() {
+                continue;
+            }
+            let rest = line.strip_prefix("@ ")?;
+            let (stage, at) = rest.rsplit_once(' ')?;
+            events.push((stage.to_string(), at.parse().ok()?));
+        }
+        Some(SpanRecord {
+            trace_id,
+            name,
+            total_ns,
+            events,
+        })
+    }
+}
+
+/// A bounded ring of finished spans. One per reactor/front-end thread
+/// group; pushed only for sampled requests, so the mutex is cold.
+#[derive(Debug)]
+pub struct SpanRing {
+    capacity: usize,
+    spans: Mutex<VecDeque<SpanRecord>>,
+}
+
+impl SpanRing {
+    /// A ring keeping the most recent `capacity` spans.
+    pub fn new(capacity: usize) -> SpanRing {
+        SpanRing {
+            capacity: capacity.max(1),
+            spans: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Stores a span, evicting the oldest when full.
+    pub fn push(&self, record: SpanRecord) {
+        let mut spans = self.spans.lock().expect("span ring lock never poisons");
+        if spans.len() == self.capacity {
+            spans.pop_front();
+        }
+        spans.push_back(record);
+    }
+
+    /// All spans recorded under `trace_id`, oldest first.
+    pub fn find(&self, trace_id: u64) -> Vec<SpanRecord> {
+        self.spans
+            .lock()
+            .expect("span ring lock never poisons")
+            .iter()
+            .filter(|s| s.trace_id == trace_id)
+            .cloned()
+            .collect()
+    }
+
+    /// The slowest span currently held.
+    pub fn slowest(&self) -> Option<SpanRecord> {
+        self.spans
+            .lock()
+            .expect("span ring lock never poisons")
+            .iter()
+            .max_by_key(|s| s.total_ns)
+            .cloned()
+    }
+}
+
+/// The set of span rings one process exposes through `TRACE`: each
+/// reactor registers its own ring; lookups scan all of them.
+#[derive(Debug, Default)]
+pub struct TraceStore {
+    rings: Mutex<Vec<Arc<SpanRing>>>,
+}
+
+impl TraceStore {
+    /// An empty store.
+    pub fn new() -> TraceStore {
+        TraceStore::default()
+    }
+
+    /// Creates and registers a fresh ring of `capacity` spans.
+    pub fn new_ring(&self, capacity: usize) -> Arc<SpanRing> {
+        let ring = Arc::new(SpanRing::new(capacity));
+        self.rings
+            .lock()
+            .expect("trace store lock never poisons")
+            .push(Arc::clone(&ring));
+        ring
+    }
+
+    /// All spans for `trace_id` across every registered ring.
+    pub fn find(&self, trace_id: u64) -> Vec<SpanRecord> {
+        let rings = self.rings.lock().expect("trace store lock never poisons");
+        rings.iter().flat_map(|r| r.find(trace_id)).collect()
+    }
+
+    /// The slowest span across every registered ring.
+    pub fn slowest(&self) -> Option<SpanRecord> {
+        let rings = self.rings.lock().expect("trace store lock never poisons");
+        rings
+            .iter()
+            .filter_map(|r| r.slowest())
+            .max_by_key(|s| s.total_ns)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn minted_ids_are_nonzero_and_distinct() {
+        let a = mint_trace_id();
+        let b = mint_trace_id();
+        assert_ne!(a, 0);
+        assert_ne!(b, 0);
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn sampler_fires_every_nth_and_zero_never() {
+        let s = Sampler::new(3);
+        let fires: Vec<bool> = (0..6).map(|_| s.fire()).collect();
+        assert_eq!(fires, [true, false, false, true, false, false]);
+        let off = Sampler::new(0);
+        assert!((0..10).all(|_| !off.fire()));
+    }
+
+    #[test]
+    fn spans_record_events_and_round_trip_through_text() {
+        let store = TraceStore::new();
+        let ring = store.new_ring(8);
+        let id = mint_trace_id();
+        let mut span = ActiveSpan::new(id, "serve/SCORE");
+        span.event("parse");
+        span.event("journal-append");
+        span.finish(&ring);
+        let found = store.find(id);
+        assert_eq!(found.len(), 1);
+        assert_eq!(found[0].name, "serve/SCORE");
+        assert_eq!(found[0].events.len(), 2);
+        assert!(found[0].events[0].1 <= found[0].events[1].1);
+        let parsed = SpanRecord::parse(&found[0].render(0)).unwrap();
+        assert_eq!(parsed, found[0]);
+    }
+
+    #[test]
+    fn ring_evicts_oldest_and_tracks_slowest() {
+        let ring = SpanRing::new(2);
+        for (i, ns) in [(1u64, 10u64), (2, 99), (3, 50)] {
+            ring.push(SpanRecord {
+                trace_id: i,
+                name: "t".into(),
+                total_ns: ns,
+                events: vec![],
+            });
+        }
+        assert!(ring.find(1).is_empty(), "oldest span evicted");
+        assert_eq!(ring.slowest().unwrap().trace_id, 2);
+    }
+}

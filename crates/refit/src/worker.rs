@@ -157,6 +157,44 @@ impl RefitStats {
         self.caught_up.load(Ordering::Relaxed)
     }
 
+    /// Registers every refit counter on `registry` as `pfr_refit_*`
+    /// gauges (mirroring [`RefitStats::to_line`]'s fields), plus
+    /// `pfr_refit_cursor_lag` — how many journal records the cursor
+    /// trails the writer by — when a `journal_tip` reader (typically
+    /// `JournalStats::last_seq` of the journal being tailed) is supplied.
+    /// Call once at startup; the gauges read live values at scrape time.
+    pub fn register_metrics(
+        self: &Arc<Self>,
+        registry: &pfr_obs::MetricsRegistry,
+        journal_tip: Option<Arc<dyn Fn() -> u64 + Send + Sync>>,
+    ) {
+        macro_rules! gauge {
+            ($name:expr, $read:expr) => {
+                let stats = Arc::clone(self);
+                let read: fn(&RefitStats) -> u64 = $read;
+                registry.gauge($name, &[], Arc::new(move || read(&stats) as f64));
+            };
+        }
+        gauge!("pfr_refit_cursor_seq", RefitStats::cursor_seq);
+        gauge!("pfr_refit_caught_up", |s| s.caught_up() as u64);
+        gauge!("pfr_refit_frames_seen_total", RefitStats::frames_seen);
+        gauge!("pfr_refit_frames_folded_total", RefitStats::frames_folded);
+        gauge!("pfr_refit_drift_checks_total", RefitStats::drift_checks);
+        gauge!("pfr_refit_drift_detected_total", RefitStats::drift_detected);
+        gauge!("pfr_refit_attempted_total", RefitStats::refits_attempted);
+        gauge!("pfr_refit_gated_total", RefitStats::refits_gated);
+        gauge!("pfr_refit_swapped_total", RefitStats::refits_swapped);
+        gauge!("pfr_refit_rebases_total", RefitStats::rebases);
+        if let Some(tip) = journal_tip {
+            let stats = Arc::clone(self);
+            registry.gauge(
+                "pfr_refit_cursor_lag",
+                &[],
+                Arc::new(move || tip().saturating_sub(stats.cursor_seq()) as f64),
+            );
+        }
+    }
+
     /// Space-separated `key=value` rendering for the STATS line.
     pub fn to_line(&self) -> String {
         format!(
@@ -548,5 +586,26 @@ impl Drop for RefitWorker {
         if let Some(handle) = self.handle.take() {
             let _ = handle.join();
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn refit_gauges_render_counters_and_cursor_lag() {
+        let stats = Arc::new(RefitStats::default());
+        stats.cursor_seq.store(5, Ordering::Relaxed);
+        stats.caught_up.store(true, Ordering::Relaxed);
+        stats.bump_refits_gated();
+        let registry = pfr_obs::MetricsRegistry::new();
+        stats.register_metrics(&registry, Some(Arc::new(|| 12)));
+        let text = registry.render();
+        assert!(text.contains("pfr_refit_cursor_seq 5"), "{text}");
+        assert!(text.contains("pfr_refit_caught_up 1"), "{text}");
+        assert!(text.contains("pfr_refit_gated_total 1"), "{text}");
+        // Lag is the journal tip (12) minus the cursor position (5).
+        assert!(text.contains("pfr_refit_cursor_lag 7"), "{text}");
     }
 }

@@ -12,6 +12,7 @@
 
 use crate::conn::{ConnConfig, ConnPool};
 use pfr_net::{ClientDriver, Ticket};
+use pfr_obs::LatencyHisto;
 use std::net::SocketAddr;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
@@ -161,6 +162,11 @@ pub struct Backend {
     addr: SocketAddr,
     transport: Transport,
     breaker: CircuitBreaker,
+    /// Router-observed exchange latency (submit to settled response),
+    /// including queueing in the transport — the client-side complement
+    /// of the backend's own per-verb histograms. Lock-free; the router
+    /// exposes it as `pfr_router_backend_latency_ns{backend="<id>"}`.
+    latency: Arc<LatencyHisto>,
 }
 
 impl Backend {
@@ -172,6 +178,7 @@ impl Backend {
             addr,
             transport: Transport::Pool(ConnPool::new(addr, conn)),
             breaker: CircuitBreaker::new(breaker),
+            latency: Arc::new(LatencyHisto::new()),
         }
     }
 
@@ -188,6 +195,7 @@ impl Backend {
             addr,
             transport: Transport::Driver(driver),
             breaker: CircuitBreaker::new(breaker),
+            latency: Arc::new(LatencyHisto::new()),
         }
     }
 
@@ -204,6 +212,18 @@ impl Backend {
     /// The backend's circuit breaker.
     pub fn breaker(&self) -> &CircuitBreaker {
         &self.breaker
+    }
+
+    /// The router-observed exchange-latency histogram of this backend.
+    pub fn latency_histogram(&self) -> &Arc<LatencyHisto> {
+        &self.latency
+    }
+
+    /// Records one observed exchange duration. The blocking paths record
+    /// through [`Backend::exchange_burst`]; asynchronous ticket paths call
+    /// this at collection, where the elapsed time is known.
+    pub fn record_latency(&self, elapsed: Duration) {
+        self.latency.record_duration(elapsed);
     }
 
     /// Drops every idle connection to this backend (pooled sockets to a
@@ -273,7 +293,10 @@ impl Backend {
     /// A pipelined burst with the same breaker bookkeeping as
     /// [`Backend::exchange`].
     pub fn exchange_burst<S: AsRef<str>>(&self, lines: &[S]) -> std::io::Result<Vec<String>> {
-        self.settle_burst(self.raw_burst(lines))
+        let started = Instant::now();
+        let outcome = self.raw_burst(lines);
+        self.latency.record_duration(started.elapsed());
+        self.settle_burst(outcome)
     }
 
     /// Ships a model bundle to this backend over the wire: one `PUSH`

@@ -57,13 +57,17 @@ use crate::ticket::{self, CompletionQueue, QueuedSubmit, ScoreFinish, SubBurst, 
 use crate::Result;
 use pfr_core::persistence::{self, ModelBundle};
 use pfr_net::client::BurstResult;
+use pfr_obs::{
+    mint_trace_id, trace_token, unescape_multiline, ActiveSpan, MetricsRegistry, Sampler, Scrape,
+    SpanRing, TraceStore,
+};
 use pfr_serve::cache::{ScoreCache, ScoreKey};
 use std::collections::{BTreeMap, HashMap};
 use std::net::SocketAddr;
 use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, RwLock};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How the router carries its backend traffic.
 ///
@@ -110,6 +114,12 @@ pub struct RouterConfig {
     /// changes a score. Invalidated per model on membership or placement
     /// changes.
     pub hot_cache_capacity: usize,
+    /// Trace one of every N single-score requests end to end (0 disables
+    /// router-initiated sampling; [`Router::score_traced`] always
+    /// traces). A traced request bypasses the hot cache — a cache hit
+    /// would answer without touching a backend, leaving nothing to trace
+    /// — so keep N large in production.
+    pub trace_sample_every: u64,
 }
 
 /// Rows per pipelined burst within one **threaded-transport** scatter
@@ -130,9 +140,15 @@ impl Default for RouterConfig {
             transport: TransportMode::default(),
             health_interval: Some(Duration::from_millis(100)),
             hot_cache_capacity: 4096,
+            trace_sample_every: 0,
         }
     }
 }
+
+/// Finished router spans retained for [`Router::trace`] lookups. Spans
+/// exist only for traced requests, so the memory cost is bounded and
+/// small.
+const SPAN_RING_CAPACITY: usize = 256;
 
 /// Routing-tier counters (all relaxed atomics, mirroring `ServerStats`).
 #[derive(Debug, Default)]
@@ -267,8 +283,17 @@ pub struct Router {
     /// model — generation invalidation without a scan.
     model_ids: Mutex<HashMap<String, u64>>,
     next_model_id: AtomicU64,
-    stats: RouterStats,
+    stats: Arc<RouterStats>,
     health: Option<HealthChecker>,
+    /// Every router-local series [`Router::metrics`] renders: routing
+    /// counters as gauges, per-backend latency histograms, breaker state.
+    metrics: Arc<MetricsRegistry>,
+    /// Recorded router spans backing [`Router::trace`].
+    traces: Arc<TraceStore>,
+    /// The ring router spans finish into.
+    span_ring: Arc<SpanRing>,
+    /// Decides which untraced single scores get a router-minted trace.
+    sampler: Sampler,
 }
 
 impl Router {
@@ -308,7 +333,18 @@ impl Router {
             backends,
             epoch: 0,
         })));
-        let stats = RouterStats::default();
+        let stats = Arc::new(RouterStats::default());
+        let metrics = Arc::new(MetricsRegistry::new());
+        let traces = Arc::new(TraceStore::new());
+        let span_ring = traces.new_ring(SPAN_RING_CAPACITY);
+        register_router_gauges(&metrics, &stats, &traces);
+        for backend in membership
+            .read()
+            .expect("membership lock poisoned")
+            .backends()
+        {
+            register_backend_metrics(&metrics, &backend);
+        }
         let health = config.health_interval.map(|interval| {
             // The prober reads the live membership every round, so
             // backends added later are probed without a restart.
@@ -326,6 +362,7 @@ impl Router {
         });
         let hot = (config.hot_cache_capacity > 0)
             .then(|| Mutex::new(ScoreCache::new(config.hot_cache_capacity)));
+        let sampler = Sampler::new(config.trace_sample_every);
         Ok(Router {
             next_backend_id: AtomicUsize::new(addrs.len()),
             config,
@@ -338,6 +375,10 @@ impl Router {
             next_model_id: AtomicU64::new(0),
             stats,
             health,
+            metrics,
+            traces,
+            span_ring,
+            sampler,
         })
     }
 
@@ -373,6 +414,17 @@ impl Router {
         &self.stats
     }
 
+    /// The router's own metrics registry (local series only;
+    /// [`Router::metrics`] renders the cluster-wide view).
+    pub fn metrics_registry(&self) -> &Arc<MetricsRegistry> {
+        &self.metrics
+    }
+
+    /// Recorded router spans backing [`Router::trace`].
+    pub fn traces(&self) -> &TraceStore {
+        &self.traces
+    }
+
     /// `model`'s full failover order (ring preference, ignoring health).
     pub fn preference(&self, model: &str) -> Vec<usize> {
         self.membership().ring.preference(model)
@@ -398,6 +450,10 @@ impl Router {
             Some(driver) => Backend::with_driver(id, addr, Arc::clone(driver), self.config.breaker),
             None => Backend::new(id, addr, self.config.conn, self.config.breaker),
         });
+        // Exposition series are append-only: a later `remove_backend` does
+        // not unregister them — ids are never reused, so a departed
+        // backend's series simply stops moving.
+        register_backend_metrics(&self.metrics, &backend);
         {
             let mut current = self.membership.write().expect("membership lock poisoned");
             let mut ring = current.ring.clone();
@@ -539,6 +595,18 @@ impl Router {
         self.submit_score(model, features).wait()
     }
 
+    /// Scores one vector with an **explicit trace**: mints a trace id,
+    /// sends it on the wire (`T=<id>`), records a router span with
+    /// per-stage events, and returns the score alongside the id. Pass the
+    /// id to [`Router::trace`] for the full router-plus-backend span
+    /// tree. The hot cache is bypassed so the request demonstrably
+    /// reaches a backend.
+    pub fn score_traced(&self, model: &str, features: &[f64]) -> Result<(f64, u64)> {
+        let id = mint_trace_id();
+        let score = self.submit_score_traced(model, features, Some(id)).wait()?;
+        Ok((score, id))
+    }
+
     /// Starts scoring one vector without blocking: the returned
     /// [`Ticket`] resolves to exactly what [`Router::score`] would have
     /// returned — a hot-cache hit resolves immediately; otherwise the
@@ -548,34 +616,69 @@ impl Router {
     /// ticket is collected. One caller thread can hold thousands of
     /// these in flight; see also [`Router::completion_queue`].
     pub fn submit_score(&self, model: &str, features: &[f64]) -> Ticket<'_, f64> {
+        let trace = self.sampler.fire().then(mint_trace_id);
+        self.submit_score_traced(model, features, trace)
+    }
+
+    /// The submission core behind [`Router::submit_score`] and
+    /// [`Router::score_traced`]: when `trace` is set, the hot cache is
+    /// bypassed, the wire line carries `T=<id>` (the backend records its
+    /// own span and echoes the token), and a `router/SCORE` span lands in
+    /// the router's ring when the ticket resolves.
+    fn submit_score_traced(
+        &self,
+        model: &str,
+        features: &[f64],
+        trace: Option<u64>,
+    ) -> Ticket<'_, f64> {
         self.stats.routed.fetch_add(1, Ordering::Relaxed);
+        let mut span = trace.map(|id| ActiveSpan::new(id, "router/SCORE"));
         let key = self.hot_key(model, features);
-        if let (Some(hot), Some(key)) = (&self.hot, &key) {
-            let cached = hot.lock().expect("hot cache lock poisoned").get(key);
-            if let Some(score) = cached {
-                self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
-                return Ticket::ready(Ok(score));
+        if span.is_none() {
+            if let (Some(hot), Some(key)) = (&self.hot, &key) {
+                let cached = hot.lock().expect("hot cache lock poisoned").get(key);
+                if let Some(score) = cached {
+                    self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+                    return Ticket::ready(Ok(score));
+                }
+                self.stats.hot_misses.fetch_add(1, Ordering::Relaxed);
             }
-            self.stats.hot_misses.fetch_add(1, Ordering::Relaxed);
         }
-        let line = score_line(model, features);
+        let mut line = score_line(model, features);
+        if let Some(id) = trace {
+            line.push(' ');
+            line.push_str(&trace_token(id));
+        }
         let snapshot = self.membership();
         match self.start_score(&snapshot, model, &line) {
-            Some((backend, net)) => ticket::pending_score(
-                self,
-                net,
-                ScoreFinish {
-                    snapshot,
-                    model: model.to_string(),
-                    line,
-                    key,
-                    backend,
-                },
-            ),
+            Some((backend, net)) => {
+                if let Some(s) = span.as_mut() {
+                    s.event("submit");
+                }
+                ticket::pending_score(
+                    self,
+                    net,
+                    ScoreFinish {
+                        snapshot,
+                        model: model.to_string(),
+                        line,
+                        key,
+                        backend,
+                        started: Instant::now(),
+                        span,
+                    },
+                )
+            }
             // No live replica took the submission: resolve inline along
             // the full preference order (which also retries ejected
             // backends as a last resort).
-            None => Ticket::ready(self.resolve_score(&snapshot, model, &line, key)),
+            None => {
+                let result = self.resolve_score(&snapshot, model, &line, key);
+                if let Some(span) = span {
+                    span.finish(&self.span_ring);
+                }
+                Ticket::ready(result)
+            }
         }
     }
 
@@ -613,12 +716,16 @@ impl Router {
         let mut bytes = line.clone().into_bytes();
         bytes.push(b'\n');
         backend.submit_frame_queued(bytes, 1, queue, tag);
+        // The queued path stays untraced: tracing targets the ticketed
+        // single-score path, which the demos and tests drive.
         QueuedSubmit::Pending(ScoreFinish {
             snapshot,
             model: model.to_string(),
             line,
             key,
             backend,
+            started: Instant::now(),
+            span: None,
         })
     }
 
@@ -674,29 +781,45 @@ impl Router {
             line,
             key,
             backend,
+            started,
+            mut span,
         } = finish;
-        let score = match backend.settle_burst(outcome) {
+        backend.record_latency(started.elapsed());
+        let result = match backend.settle_burst(outcome) {
             Ok(responses) => match responses.first().map(|r| classify(r)) {
-                Some(Reply::Payload(payload)) => parse_score(payload)?,
-                Some(Reply::Rejected(msg)) => {
-                    return Err(RouterError::Backend(msg.to_string()));
+                Some(Reply::Payload(payload)) => {
+                    if let Some(s) = span.as_mut() {
+                        s.event("backend-reply");
+                    }
+                    parse_score(payload).inspect(|&score| {
+                        if let (Some(hot), Some(key)) = (&self.hot, &key) {
+                            hot.lock()
+                                .expect("hot cache lock poisoned")
+                                .insert(key.clone(), score);
+                        }
+                    })
                 }
+                Some(Reply::Rejected(msg)) => Err(RouterError::Backend(msg.to_string())),
                 // Walk on: not a replica, shed, or an empty burst.
                 Some(Reply::NotLoaded) | Some(Reply::Busy) | None => {
-                    return self.resolve_score(&snapshot, &model, &line, key);
+                    if let Some(s) = span.as_mut() {
+                        s.event("walk-on");
+                    }
+                    self.resolve_score(&snapshot, &model, &line, key)
                 }
             },
             Err(_) => {
                 self.stats.failovers.fetch_add(1, Ordering::Relaxed);
-                return self.resolve_score(&snapshot, &model, &line, key);
+                if let Some(s) = span.as_mut() {
+                    s.event("failover");
+                }
+                self.resolve_score(&snapshot, &model, &line, key)
             }
         };
-        if let (Some(hot), Some(key)) = (&self.hot, key) {
-            hot.lock()
-                .expect("hot cache lock poisoned")
-                .insert(key, score);
+        if let Some(span) = span {
+            span.finish(&self.span_ring);
         }
-        Ok(score)
+        result
     }
 
     /// Blocking resolution along the full preference order, with the
@@ -1064,6 +1187,60 @@ impl Router {
         }
     }
 
+    /// One merged Prometheus-style exposition for the whole cluster: the
+    /// router's own series (routing counters, per-backend latency
+    /// histograms, breaker state) followed by the **sum over every member
+    /// backend** of the series they expose via `METRICS`. Per-verb
+    /// latency histograms merge bucket-wise, so the rendered
+    /// `_p50`/`_p99`/`_p999` are cluster-wide quantiles — not averages of
+    /// per-backend quantiles. Unreachable backends are skipped;
+    /// `pfr_router_backends_scraped` says how many answered.
+    pub fn metrics(&self) -> String {
+        let mut merged = Scrape::default();
+        let mut scraped = 0u64;
+        for backend in self.membership().backends() {
+            let Ok(response) = backend.exchange("METRICS") else {
+                continue;
+            };
+            if let Reply::Payload(payload) = classify(&response) {
+                merged.merge(&Scrape::parse(&unescape_multiline(payload)));
+                scraped += 1;
+            }
+        }
+        let mut out = self.metrics.render();
+        out.push_str(&format!("pfr_router_backends_scraped {scraped}\n"));
+        out.push_str(&merged.render());
+        out
+    }
+
+    /// The span tree recorded under trace `id`: the router's own spans at
+    /// indent 0, every member backend's spans for the same id nested one
+    /// level below — one request's path through the tiers in a single
+    /// text block. `None` when no tier recorded the id (never traced, or
+    /// already evicted from the bounded rings).
+    pub fn trace(&self, id: u64) -> Option<String> {
+        let mut out = String::new();
+        for span in self.traces.find(id) {
+            out.push_str(&span.render(0));
+        }
+        let line = format!("TRACE {id:016x}");
+        for backend in self.membership().backends() {
+            let Ok(response) = backend.exchange(&line) else {
+                continue;
+            };
+            // Backends that never saw the id answer ERR; skip them.
+            let Reply::Payload(payload) = classify(&response) else {
+                continue;
+            };
+            for span_line in unescape_multiline(payload).lines() {
+                out.push_str("  ");
+                out.push_str(span_line);
+                out.push('\n');
+            }
+        }
+        (!out.is_empty()).then_some(out)
+    }
+
     /// Routes one request line along `model`'s preference order in the
     /// given membership snapshot: ejected backends are skipped (then
     /// retried as a last resort if nobody else answered), io failures fail
@@ -1138,6 +1315,71 @@ impl Drop for Router {
     }
 }
 
+/// Registers the routing counters (as gauges over [`RouterStats`]) and
+/// the slowest-trace gauge on the router's exposition.
+fn register_router_gauges(
+    metrics: &MetricsRegistry,
+    stats: &Arc<RouterStats>,
+    traces: &Arc<TraceStore>,
+) {
+    type StatReader = fn(&RouterStats) -> u64;
+    let readers: [(&str, StatReader); 8] = [
+        ("pfr_router_routed_total", RouterStats::routed),
+        ("pfr_router_failovers_total", RouterStats::failovers),
+        ("pfr_router_scatters_total", RouterStats::scatters),
+        ("pfr_router_retried_rows_total", RouterStats::retried_rows),
+        (
+            "pfr_router_hot_cache_hits_total",
+            RouterStats::hot_cache_hits,
+        ),
+        (
+            "pfr_router_hot_cache_misses_total",
+            RouterStats::hot_cache_misses,
+        ),
+        ("pfr_router_probes_total", RouterStats::probes),
+        ("pfr_router_pushes_total", RouterStats::pushes),
+    ];
+    for (name, read) in readers {
+        let stats = Arc::clone(stats);
+        metrics.gauge(name, &[], Arc::new(move || read(&stats) as f64));
+    }
+    let traces = Arc::clone(traces);
+    metrics.gauge(
+        "pfr_router_trace_slowest_ns",
+        &[],
+        Arc::new(move || traces.slowest().map(|s| s.total_ns as f64).unwrap_or(0.0)),
+    );
+}
+
+/// Registers one backend's latency histogram and breaker gauges, labeled
+/// by ring id. Ids are never reused, so series never collide.
+fn register_backend_metrics(metrics: &MetricsRegistry, backend: &Arc<Backend>) {
+    let id = backend.id().to_string();
+    metrics.histogram(
+        "pfr_router_backend_latency_ns",
+        &[("backend", &id)],
+        Arc::clone(backend.latency_histogram()),
+    );
+    let b = Arc::clone(backend);
+    metrics.gauge(
+        "pfr_router_breaker_ejections_total",
+        &[("backend", &id)],
+        Arc::new(move || b.breaker().ejections() as f64),
+    );
+    let b = Arc::clone(backend);
+    metrics.gauge(
+        "pfr_router_breaker_readmissions_total",
+        &[("backend", &id)],
+        Arc::new(move || b.breaker().readmissions() as f64),
+    );
+    let b = Arc::clone(backend);
+    metrics.gauge(
+        "pfr_router_breaker_open",
+        &[("backend", &id)],
+        Arc::new(move || if b.breaker().is_open() { 1.0 } else { 0.0 }),
+    );
+}
+
 /// Unwraps a fully scored batch (every row scored or the retry errored).
 fn collect_scores(scores: Vec<Option<f64>>) -> Vec<f64> {
     scores
@@ -1161,6 +1403,10 @@ enum Reply<'a> {
 }
 
 fn classify(response: &str) -> Reply<'_> {
+    // Backends echo a trailing ` T=<id>` token on traced requests; strip
+    // it first so every routing path (score parse, digest checks, scatter
+    // gathers) is oblivious to whether the request was traced.
+    let (response, _) = pfr_obs::strip_trace_echo(response);
     if let Some(payload) = response.strip_prefix("OK ") {
         Reply::Payload(payload)
     } else if response == "OK" {

@@ -37,6 +37,12 @@ pub(crate) struct ScoreFinish {
     pub(crate) line: String,
     pub(crate) key: Option<ScoreKey>,
     pub(crate) backend: Arc<Backend>,
+    /// When the request was submitted — the backend's latency histogram
+    /// records `started.elapsed()` at collection.
+    pub(crate) started: Instant,
+    /// The router-side span of a traced request (`None` otherwise);
+    /// finished into the router's span ring when the score resolves.
+    pub(crate) span: Option<pfr_obs::ActiveSpan>,
 }
 
 /// One sub-burst of an in-flight batch: the rows it carries (positions

@@ -12,9 +12,21 @@
 //! STATS                         -> OK key=value key=value ...
 //! HEALTH                        -> OK up models=<n> swaps=<s> queue=<q>
 //! EPOCH <name>                  -> OK <name> generation=<g> digest=<hex>
+//! METRICS                       -> OK <escaped Prometheus-style text>
+//! TRACE <id>                    -> OK <escaped span-tree text>
 //! QUIT                          -> OK bye (server closes the connection)
 //! anything else                 -> ERR <message>
 //! ```
+//!
+//! `SCORE`, `TRANSFORM` and `PUSH` accept an optional trailing `T=<16-hex>`
+//! trace token ([`pfr_obs::wire`]): the request joins that trace, its span
+//! is recorded server-side, and the token is echoed as the trailing token
+//! of the response line. Requests without a token get byte-identical
+//! responses to the pre-tracing protocol — tracing is strictly additive.
+//!
+//! `METRICS` and `TRACE` payloads are logically multi-line text but travel
+//! escaped onto one line (`pfr_obs::wire::escape_multiline`), keeping the
+//! one-response-line-per-request framing every tier pipelines on.
 //!
 //! `PUSH` is `LOAD` without the shared-filesystem assumption: the client
 //! (typically the routing tier placing a replica) ships the serialized
@@ -75,6 +87,8 @@ pub enum Request {
         name: String,
         /// Exact payload length announced by the header line.
         nbytes: usize,
+        /// Trace id from an optional trailing `T=<hex>` token.
+        trace: Option<u64>,
     },
     /// Score one raw attribute vector with the named model.
     Score {
@@ -82,6 +96,8 @@ pub enum Request {
         name: String,
         /// The raw attribute vector.
         features: Vec<f64>,
+        /// Trace id from an optional trailing `T=<hex>` token.
+        trace: Option<u64>,
     },
     /// Embed one raw attribute vector with the named model.
     Transform {
@@ -89,6 +105,8 @@ pub enum Request {
         name: String,
         /// The raw attribute vector.
         features: Vec<f64>,
+        /// Trace id from an optional trailing `T=<hex>` token.
+        trace: Option<u64>,
     },
     /// Report serving statistics.
     Stats,
@@ -98,6 +116,13 @@ pub enum Request {
     Epoch {
         /// Registry name of the model.
         name: String,
+    },
+    /// Report the full metrics exposition (escaped multi-line payload).
+    Metrics,
+    /// Report the recorded span tree for a sampled trace id.
+    Trace {
+        /// The trace id to look up.
+        id: u64,
     },
     /// Close the connection.
     Quit,
@@ -112,6 +137,17 @@ pub fn parse_request(line: &str) -> Result<Request> {
         .ok_or_else(|| ServeError::Protocol("empty request line".to_string()))?
         .to_ascii_uppercase();
     parts.extend(words);
+    // An optional trailing trace token joins the request to an existing
+    // trace on SCORE / TRANSFORM / PUSH; it is framing, not an argument.
+    let mut trace = None;
+    if matches!(verb.as_str(), "SCORE" | "TRANSFORM" | "PUSH") {
+        if let Some(last) = parts.last() {
+            if let Some(id) = pfr_obs::parse_trace_token(last) {
+                trace = Some(id);
+                parts.pop();
+            }
+        }
+    }
     match verb.as_str() {
         "LOAD" => {
             if parts.len() != 2 {
@@ -141,6 +177,7 @@ pub fn parse_request(line: &str) -> Result<Request> {
             Ok(Request::Push {
                 name: parts[0].to_string(),
                 nbytes,
+                trace,
             })
         }
         "SCORE" | "TRANSFORM" => {
@@ -158,9 +195,17 @@ pub fn parse_request(line: &str) -> Result<Request> {
                 })
                 .collect::<Result<Vec<f64>>>()?;
             if verb == "SCORE" {
-                Ok(Request::Score { name, features })
+                Ok(Request::Score {
+                    name,
+                    features,
+                    trace,
+                })
             } else {
-                Ok(Request::Transform { name, features })
+                Ok(Request::Transform {
+                    name,
+                    features,
+                    trace,
+                })
             }
         }
         "STATS" => {
@@ -184,6 +229,24 @@ pub fn parse_request(line: &str) -> Result<Request> {
             Ok(Request::Epoch {
                 name: parts[0].to_string(),
             })
+        }
+        "METRICS" => {
+            if !parts.is_empty() {
+                return Err(ServeError::Protocol(
+                    "METRICS takes no arguments".to_string(),
+                ));
+            }
+            Ok(Request::Metrics)
+        }
+        "TRACE" => {
+            if parts.len() != 1 {
+                return Err(ServeError::Protocol("usage: TRACE <hex-id>".to_string()));
+            }
+            let id = u64::from_str_radix(parts[0], 16)
+                .ok()
+                .filter(|&id| id != 0)
+                .ok_or_else(|| ServeError::Protocol(format!("'{}' is not a trace id", parts[0])))?;
+            Ok(Request::Trace { id })
         }
         "QUIT" => Ok(Request::Quit),
         other => Err(ServeError::Protocol(format!("unknown verb '{other}'"))),
@@ -232,25 +295,33 @@ mod tests {
             parse_request("PUSH risk 4096").unwrap(),
             Request::Push {
                 name: "risk".to_string(),
-                nbytes: 4096
+                nbytes: 4096,
+                trace: None
             }
         );
         assert_eq!(
             parse_request("SCORE risk 1 -2.5 3e-4").unwrap(),
             Request::Score {
                 name: "risk".to_string(),
-                features: vec![1.0, -2.5, 3e-4]
+                features: vec![1.0, -2.5, 3e-4],
+                trace: None
             }
         );
         assert_eq!(
             parse_request("TRANSFORM risk 0.5").unwrap(),
             Request::Transform {
                 name: "risk".to_string(),
-                features: vec![0.5]
+                features: vec![0.5],
+                trace: None
             }
         );
         assert_eq!(parse_request("STATS").unwrap(), Request::Stats);
         assert_eq!(parse_request("HEALTH").unwrap(), Request::Health);
+        assert_eq!(parse_request("METRICS").unwrap(), Request::Metrics);
+        assert_eq!(
+            parse_request("TRACE 00000000000000ff").unwrap(),
+            Request::Trace { id: 0xff }
+        );
         assert_eq!(
             parse_request("EPOCH risk").unwrap(),
             Request::Epoch {
@@ -285,10 +356,40 @@ mod tests {
             "HEALTH now",
             "EPOCH",
             "EPOCH a b",
+            "METRICS now",
+            "TRACE",
+            "TRACE nothex",
+            "TRACE 0",
+            "TRACE a b",
             "FROB risk 1 2",
         ] {
             assert!(parse_request(bad).is_err(), "'{bad}' should be rejected");
         }
+    }
+
+    #[test]
+    fn trailing_trace_tokens_are_extracted_not_parsed_as_features() {
+        assert_eq!(
+            parse_request("SCORE risk 1 2 T=00000000000000aa").unwrap(),
+            Request::Score {
+                name: "risk".to_string(),
+                features: vec![1.0, 2.0],
+                trace: Some(0xaa)
+            }
+        );
+        assert_eq!(
+            parse_request("PUSH risk 16 T=00000000000000aa").unwrap(),
+            Request::Push {
+                name: "risk".to_string(),
+                nbytes: 16,
+                trace: Some(0xaa)
+            }
+        );
+        // A malformed token is not silently dropped — it fails the f64
+        // parse exactly as any junk argument does.
+        assert!(parse_request("SCORE risk 1 T=nothex").is_err());
+        // A token anywhere but last is an argument, so it is rejected too.
+        assert!(parse_request("SCORE risk T=00000000000000aa 1").is_err());
     }
 
     #[test]

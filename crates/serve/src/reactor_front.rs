@@ -56,8 +56,10 @@ use crate::stats::VerbStats;
 use crate::Result;
 use pfr_journal::Record;
 use pfr_net::poller::{Event, Interest, Poller, Waker};
+use pfr_net::stats::LoopStats;
 use pfr_net::wheel::DeadlineWheel;
 use pfr_net::{Frame, LineConn};
+use pfr_obs::{ActiveSpan, SpanRing};
 use std::collections::{BTreeMap, HashMap};
 use std::io::Write;
 use std::net::{Shutdown, TcpListener, TcpStream};
@@ -147,6 +149,23 @@ struct PendingMeta {
     /// path).
     threshold: f64,
     key: Option<ScoreKey>,
+    /// The request's trace span, when traced. Events accrue on the
+    /// reactor thread only (dispatch and completion), so the span never
+    /// crosses into the batcher or worker pool.
+    span: Option<ActiveSpan>,
+    /// Wire trace token to echo on the response. `None` for untraced and
+    /// server-sampled requests — either way the response bytes carry no
+    /// token, preserving front-end interchangeability.
+    trace: Option<u64>,
+}
+
+/// A `PUSH` header parsed mid-connection: the response is owed at `seq`
+/// once the counted payload arrives.
+struct PendingPush {
+    seq: u64,
+    name: String,
+    trace: Option<u64>,
+    span: Option<ActiveSpan>,
 }
 
 /// Per-connection reactor state.
@@ -163,7 +182,7 @@ struct ClientConn {
     pending: HashMap<u64, PendingMeta>,
     /// A `PUSH` header was parsed at this seq for this model name; the
     /// connection is in payload mode until the counted bytes arrive.
-    pending_push: Option<(u64, String)>,
+    pending_push: Option<PendingPush>,
     /// `QUIT` was parsed at this seq: stop parsing, close once emitted.
     quit_at: Option<u64>,
     /// The peer half-closed; finish in-flight work, flush, then close.
@@ -230,6 +249,12 @@ pub(crate) fn spawn_pool(
             Interest::READABLE.level(),
         )?;
         let (completions_tx, completions_rx) = mpsc::channel();
+        // Each reactor records spans into its own ring (no cross-thread
+        // contention on the trace path) and publishes its own event-loop
+        // health gauges, distinguishable by the `reactor` label.
+        let span_ring = context.traces.new_ring(server::SPAN_RING_CAPACITY);
+        let loop_stats = Arc::new(LoopStats::new());
+        register_loop_gauges(&context, index, &loop_stats);
         let reactor = Reactor {
             poller,
             waker: Arc::clone(&waker),
@@ -244,6 +269,8 @@ pub(crate) fn spawn_pool(
             conns: HashMap::new(),
             wheel: DeadlineWheel::new(Duration::from_millis(100), 128),
             next_token: FIRST_CONN_TOKEN,
+            span_ring,
+            loop_stats,
         };
         let thread = std::thread::Builder::new()
             .name(format!("pfr-serve-reactor-{index}"))
@@ -271,6 +298,43 @@ struct Reactor {
     conns: HashMap<u64, ClientConn>,
     wheel: DeadlineWheel,
     next_token: u64,
+    /// This reactor's span ring (one per thread; the shared
+    /// [`pfr_obs::TraceStore`] searches across all of them).
+    span_ring: Arc<SpanRing>,
+    /// This reactor's event-loop health counters.
+    loop_stats: Arc<LoopStats>,
+}
+
+/// Registers one reactor's event-loop gauges on the server registry under
+/// a `reactor="<index>"` label so pool members stay distinguishable in a
+/// single scrape.
+fn register_loop_gauges(context: &ServeContext, index: usize, stats: &Arc<LoopStats>) {
+    let reactor = index.to_string();
+    let labels: &[(&str, &str)] = &[("reactor", &reactor)];
+    let s = Arc::clone(stats);
+    context.metrics.gauge(
+        "pfr_net_polls_total",
+        labels,
+        Arc::new(move || s.polls() as f64),
+    );
+    let s = Arc::clone(stats);
+    context.metrics.gauge(
+        "pfr_net_poll_wait_ns_total",
+        labels,
+        Arc::new(move || s.wait_ns() as f64),
+    );
+    let s = Arc::clone(stats);
+    context.metrics.gauge(
+        "pfr_net_ready_events",
+        labels,
+        Arc::new(move || s.last_ready() as f64),
+    );
+    let s = Arc::clone(stats);
+    context.metrics.gauge(
+        "pfr_net_wheel_depth",
+        labels,
+        Arc::new(move || s.wheel_depth() as f64),
+    );
 }
 
 impl Reactor {
@@ -279,9 +343,11 @@ impl Reactor {
         let mut expired: Vec<u64> = Vec::new();
         while !self.shutdown.load(Ordering::SeqCst) {
             let timeout = self.wheel.next_timeout(Instant::now());
+            let waited = Instant::now();
             if self.poller.wait(&mut events, timeout).is_err() {
                 break;
             }
+            self.loop_stats.record_poll(waited.elapsed(), events.len());
             // Drain in place: the buffer's capacity is reused across
             // iterations (`events` is a local, so borrowing it while
             // calling `&mut self` methods is fine).
@@ -305,6 +371,7 @@ impl Reactor {
                     self.close_conn(token);
                 }
             }
+            self.loop_stats.set_wheel_depth(self.wheel.len());
         }
         // Shutdown: close every connection (in both directions, so blocked
         // clients observe EOF) and drop the listener. In-flight worker
@@ -507,7 +574,10 @@ impl Reactor {
         let context = Arc::clone(&self.context);
         let stats = &context.stats;
         match protocol::parse_request(line) {
-            Err(e) => self.emit(token, seq, protocol::err_response(&e)),
+            Err(e) => {
+                stats.record_parse_error();
+                self.emit(token, seq, protocol::err_response(&e));
+            }
             Ok(Request::Quit) => {
                 conn.quit_at = Some(seq);
                 self.emit(token, seq, protocol::ok_response("bye"));
@@ -536,20 +606,50 @@ impl Reactor {
                 stats.epoch.record(start.elapsed(), outcome.is_ok());
                 self.emit(token, seq, render(outcome));
             }
-            Ok(Request::Score { name, features }) => {
-                self.dispatch_score(token, seq, &name, features)
+            Ok(Request::Metrics) => {
+                let start = Instant::now();
+                stats.inflight_enter();
+                let payload = context.metrics_payload();
+                stats.inflight_exit();
+                stats.stats.record(start.elapsed(), true);
+                self.emit(token, seq, protocol::ok_response(&payload));
             }
-            Ok(Request::Transform { name, features }) => {
-                self.dispatch_transform(token, seq, &name, features)
+            Ok(Request::Trace { id }) => {
+                let start = Instant::now();
+                stats.inflight_enter();
+                let outcome = context.trace_payload(id);
+                stats.inflight_exit();
+                stats.stats.record(start.elapsed(), outcome.is_ok());
+                self.emit(token, seq, render(outcome));
             }
+            Ok(Request::Score {
+                name,
+                features,
+                trace,
+            }) => self.dispatch_score(token, seq, &name, features, trace),
+            Ok(Request::Transform {
+                name,
+                features,
+                trace,
+            }) => self.dispatch_transform(token, seq, &name, features, trace),
             Ok(Request::Load { name, path }) => self.dispatch_load(token, seq, name, path),
-            Ok(Request::Push { name, nbytes }) => {
+            Ok(Request::Push {
+                name,
+                nbytes,
+                trace,
+            }) => {
                 // Header parsed; switch the connection into payload mode.
                 // The response is owed at this seq once the bytes arrive
                 // (nothing else can be parsed in between, so ordering is
                 // preserved by construction).
+                let span = context.begin_span(trace, "serve/PUSH");
                 if let Some(conn) = self.conns.get_mut(&token) {
-                    conn.pending_push = Some((seq, name));
+                    conn.pending_push = Some(PendingPush {
+                        seq,
+                        name,
+                        trace,
+                        span,
+                    });
                     conn.line.expect_payload(nbytes);
                 }
             }
@@ -563,12 +663,21 @@ impl Reactor {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        let Some((seq, name)) = conn.pending_push.take() else {
+        let Some(push) = conn.pending_push.take() else {
             // A payload frame without a pending PUSH cannot happen — the
             // only expect_payload call sites set pending_push first — but
             // dropping it beats emitting a response at a phantom seq.
             return;
         };
+        let PendingPush {
+            seq,
+            name,
+            trace,
+            mut span,
+        } = push;
+        if let Some(s) = span.as_mut() {
+            s.event("payload-read");
+        }
         let context = Arc::clone(&self.context);
         context.stats.inflight_enter();
         let meta = PendingMeta {
@@ -576,6 +685,8 @@ impl Reactor {
             start: Instant::now(),
             threshold: 0.0,
             key: None,
+            span,
+            trace,
         };
         let sink = self.sink(token, seq);
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -583,7 +694,10 @@ impl Reactor {
         }
         let job_context = Arc::clone(&context);
         let job = move || {
-            let outcome = server::handle_push(&job_context, &name, &payload);
+            // The span stays on the reactor (in `PendingMeta`), so the
+            // worker-side journal/install events are folded into the
+            // single "install" event recorded at completion.
+            let outcome = server::handle_push(&job_context, &name, &payload, None);
             sink.send_text(outcome);
         };
         if let Err(e) = context.pool.execute(job) {
@@ -596,20 +710,34 @@ impl Reactor {
     }
 
     /// `SCORE`: cache hits answer inline; misses go through the batcher.
-    fn dispatch_score(&mut self, token: u64, seq: u64, name: &str, features: Vec<f64>) {
+    fn dispatch_score(
+        &mut self,
+        token: u64,
+        seq: u64,
+        name: &str,
+        features: Vec<f64>,
+        trace: Option<u64>,
+    ) {
         let context = Arc::clone(&self.context);
         let stats = &context.stats;
         let start = Instant::now();
         stats.inflight_enter();
+        let mut span = context.begin_span(trace, "serve/SCORE");
         let model = match context.registry.resolve(name) {
             Ok(model) => model,
             Err(e) => {
                 stats.inflight_exit();
                 stats.score.record(start.elapsed(), false);
-                self.emit(token, seq, protocol::err_response(&e));
+                if let Some(span) = span {
+                    context.finish_span(span, &self.span_ring);
+                }
+                self.emit(token, seq, with_echo(protocol::err_response(&e), trace));
                 return;
             }
         };
+        if let Some(s) = span.as_mut() {
+            s.event("resolve");
+        }
         // Journaled before execution so replay reproduces the request order.
         // Under `FsyncPolicy::PerRecord` the append blocks the reactor on an
         // fsync; journaling reactor deployments should prefer `Interval`.
@@ -619,27 +747,50 @@ impl Reactor {
         }) {
             stats.inflight_exit();
             stats.score.record(start.elapsed(), false);
-            self.emit(token, seq, protocol::err_response(&e));
+            if let Some(span) = span {
+                context.finish_span(span, &self.span_ring);
+            }
+            self.emit(token, seq, with_echo(protocol::err_response(&e), trace));
             return;
+        }
+        if context.journal.is_some() {
+            if let Some(s) = span.as_mut() {
+                s.event("journal-append");
+            }
         }
         let key = ScoreKey::new(model.generation(), &features);
         if let Some(key) = &key {
             let cached = context.cache.lock().expect("cache lock poisoned").get(key);
             if let Some(score) = cached {
                 stats.record_cache_hit();
+                if let Some(s) = span.as_mut() {
+                    s.event("cache-hit");
+                }
                 stats.inflight_exit();
                 stats.score.record(start.elapsed(), true);
+                if let Some(span) = span {
+                    context.finish_span(span, &self.span_ring);
+                }
                 let payload = server::score_payload(score, model.threshold());
-                self.emit(token, seq, protocol::ok_response(&payload));
+                self.emit(
+                    token,
+                    seq,
+                    with_echo(protocol::ok_response(&payload), trace),
+                );
                 return;
             }
         }
         stats.record_cache_miss();
+        if let Some(s) = span.as_mut() {
+            s.event("cache-miss");
+        }
         let meta = PendingMeta {
             verb: AsyncVerb::Score,
             start,
             threshold: model.threshold(),
             key,
+            span,
+            trace,
         };
         let sink = self.sink(token, seq);
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -660,27 +811,44 @@ impl Reactor {
     }
 
     /// `TRANSFORM`: runs on the worker pool, completes via the sink.
-    fn dispatch_transform(&mut self, token: u64, seq: u64, name: &str, features: Vec<f64>) {
+    fn dispatch_transform(
+        &mut self,
+        token: u64,
+        seq: u64,
+        name: &str,
+        features: Vec<f64>,
+        trace: Option<u64>,
+    ) {
         let context = Arc::clone(&self.context);
         let stats = &context.stats;
         let start = Instant::now();
         stats.inflight_enter();
+        let mut span = context.begin_span(trace, "serve/TRANSFORM");
         let model = match context.registry.resolve(name) {
             Ok(model) => model,
             Err(e) => {
                 stats.inflight_exit();
                 stats.transform.record(start.elapsed(), false);
-                self.emit(token, seq, protocol::err_response(&e));
+                if let Some(span) = span {
+                    context.finish_span(span, &self.span_ring);
+                }
+                self.emit(token, seq, with_echo(protocol::err_response(&e), trace));
                 return;
             }
         };
+        if let Some(s) = span.as_mut() {
+            s.event("resolve");
+        }
         if let Err(e) = context.journal_append(|| Record::Transform {
             model: name.to_string(),
             features: features.clone(),
         }) {
             stats.inflight_exit();
             stats.transform.record(start.elapsed(), false);
-            self.emit(token, seq, protocol::err_response(&e));
+            if let Some(span) = span {
+                context.finish_span(span, &self.span_ring);
+            }
+            self.emit(token, seq, with_echo(protocol::err_response(&e), trace));
             return;
         }
         let meta = PendingMeta {
@@ -688,6 +856,8 @@ impl Reactor {
             start,
             threshold: 0.0,
             key: None,
+            span,
+            trace,
         };
         let sink = self.sink(token, seq);
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -720,6 +890,8 @@ impl Reactor {
             start: Instant::now(),
             threshold: 0.0,
             key: None,
+            span: None,
+            trace: None,
         };
         let sink = self.sink(token, seq);
         if let Some(conn) = self.conns.get_mut(&token) {
@@ -769,7 +941,7 @@ impl Reactor {
             self.context.stats.inflight_exit();
             return;
         };
-        let Some(meta) = conn.pending.remove(&completion.seq) else {
+        let Some(mut meta) = conn.pending.remove(&completion.seq) else {
             // Unreachable with monotonic tokens and one completion per
             // sink, but the gauge invariant (one exit per enter) must hold
             // on every path a completion can take.
@@ -780,12 +952,20 @@ impl Reactor {
         stats.inflight_exit();
         let response = match completion.outcome {
             Outcome::Score(Ok(score)) => {
-                if let Some(key) = meta.key {
+                if let Some(s) = meta.span.as_mut() {
+                    // Queue wait, batch assembly and the GEMM all sit
+                    // between "cache-miss" and this event.
+                    s.event("batch-scored");
+                }
+                if let Some(key) = meta.key.take() {
                     self.context
                         .cache
                         .lock()
                         .expect("cache lock poisoned")
                         .insert(key, score);
+                    if let Some(s) = meta.span.as_mut() {
+                        s.event("cache-insert");
+                    }
                 }
                 verb_stats(&stats, meta.verb).record(meta.start.elapsed(), true);
                 protocol::ok_response(&server::score_payload(score, meta.threshold))
@@ -795,11 +975,25 @@ impl Reactor {
                 protocol::err_response(&e)
             }
             Outcome::Text(outcome) => {
+                if let Some(s) = meta.span.as_mut() {
+                    s.event(match meta.verb {
+                        AsyncVerb::Load => "install",
+                        AsyncVerb::Transform => "pool-exec",
+                        AsyncVerb::Score => "batch-scored",
+                    });
+                }
                 verb_stats(&stats, meta.verb).record(meta.start.elapsed(), outcome.is_ok());
                 render(outcome)
             }
         };
-        self.emit(completion.token, completion.seq, response);
+        if let Some(span) = meta.span.take() {
+            self.context.finish_span(span, &self.span_ring);
+        }
+        self.emit(
+            completion.token,
+            completion.seq,
+            with_echo(response, meta.trace),
+        );
     }
 
     /// Queues `response` for `seq`, then moves every now-contiguous
@@ -853,6 +1047,17 @@ fn render(outcome: Result<String>) -> String {
         Ok(payload) => protocol::ok_response(&payload),
         Err(e) => protocol::err_response(&e),
     }
+}
+
+/// Appends the trace echo when the request carried a wire token.
+/// Server-sampled traces never alter response bytes, so both front ends
+/// stay bitwise interchangeable for untraced callers.
+fn with_echo(mut response: String, trace: Option<u64>) -> String {
+    if let Some(id) = trace {
+        response.push(' ');
+        response.push_str(&pfr_obs::trace_token(id));
+    }
+    response
 }
 
 fn verb_stats(stats: &crate::stats::ServerStats, verb: AsyncVerb) -> &VerbStats {

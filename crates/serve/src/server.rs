@@ -26,6 +26,7 @@ use crate::registry::ModelRegistry;
 use crate::stats::ServerStats;
 use crate::Result;
 use pfr_journal::{Journal, JournalConfig, Record};
+use pfr_obs::{ActiveSpan, MetricsRegistry, Sampler, SpanRing, TraceStore};
 use std::collections::HashMap;
 use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{Shutdown, SocketAddr, TcpListener, TcpStream};
@@ -122,6 +123,16 @@ pub struct ServerConfig {
     /// end ignores the limit (each connection already costs a thread,
     /// which is its own natural limiter).
     pub max_connections: Option<usize>,
+    /// Trace one in every `trace_sample_every` otherwise-untraced requests
+    /// (0 disables server-initiated sampling). Requests arriving with a
+    /// `T=<id>` wire token are always traced regardless — the upstream
+    /// tier already decided they matter.
+    pub trace_sample_every: u64,
+    /// Traced requests slower than this get their span breakdown appended
+    /// to the journal as a slow-trace record (`None` disables the slow
+    /// log). Only traced requests are eligible, so the sampling rate
+    /// bounds the logging cost.
+    pub slow_trace_threshold: Option<Duration>,
 }
 
 impl Default for ServerConfig {
@@ -138,6 +149,8 @@ impl Default for ServerConfig {
             idle_timeout: None,
             journal: None,
             max_connections: None,
+            trace_sample_every: 0,
+            slow_trace_threshold: None,
         }
     }
 }
@@ -205,12 +218,31 @@ impl ServerConfig {
         self.max_connections = limit;
         self
     }
+
+    /// Traces one in every `every` untraced requests (0 disables
+    /// server-initiated sampling; wire-token traces are always recorded).
+    pub fn with_trace_sampling(mut self, every: u64) -> ServerConfig {
+        self.trace_sample_every = every;
+        self
+    }
+
+    /// Journals the span breakdown of traced requests slower than
+    /// `threshold` (see [`ServerConfig::slow_trace_threshold`]).
+    pub fn with_slow_trace_threshold(mut self, threshold: Option<Duration>) -> ServerConfig {
+        self.slow_trace_threshold = threshold;
+        self
+    }
 }
 
 /// How often the accept loop re-checks the shutdown flag while no
 /// connection is pending. Bounds both shutdown latency and the worst-case
 /// extra accept latency of the non-blocking loop.
 const ACCEPT_POLL: Duration = Duration::from_millis(2);
+
+/// Finished spans each front-end ring retains for `TRACE` lookups. Spans
+/// exist only for sampled requests, so the memory cost is bounded and
+/// small (a few hundred bytes per span).
+pub(crate) const SPAN_RING_CAPACITY: usize = 256;
 
 /// Live client connections: their streams (so shutdown can unblock the
 /// reads) and their thread handles (so shutdown can join instead of leak).
@@ -287,6 +319,18 @@ pub(crate) struct ServeContext {
     /// (e.g. an in-process refit worker riding the `STATS` line).
     extra_stats: Mutex<Vec<Arc<dyn Fn() -> String + Send + Sync>>>,
     connections: ConnectionTable,
+    /// Every counter/gauge/histogram this process exposes via `METRICS`.
+    pub(crate) metrics: Arc<MetricsRegistry>,
+    /// Span rings the `TRACE` verb reads back (one per front-end thread
+    /// group; the threaded front end shares [`ServeContext::span_ring`]).
+    pub(crate) traces: Arc<TraceStore>,
+    /// The threaded front end's shared span ring.
+    pub(crate) span_ring: Arc<SpanRing>,
+    /// Decides which untraced requests get a server-minted span.
+    pub(crate) sampler: Sampler,
+    /// Slow-request log threshold (see
+    /// [`ServerConfig::slow_trace_threshold`]).
+    pub(crate) slow_threshold: Option<Duration>,
 }
 
 impl ServeContext {
@@ -332,6 +376,67 @@ impl ServeContext {
                 .map_err(|e| ServeError::Journal(e.to_string()))?;
         }
         Ok(())
+    }
+
+    /// Starts a span when this request should be traced: always when it
+    /// arrived with a wire token (`wire_trace`), otherwise when the
+    /// sampler fires. Untraced requests pay one relaxed atomic add in the
+    /// sampler and nothing else.
+    pub(crate) fn begin_span(
+        &self,
+        wire_trace: Option<u64>,
+        name: &'static str,
+    ) -> Option<ActiveSpan> {
+        match wire_trace {
+            Some(id) => Some(ActiveSpan::new(id, name)),
+            None if self.sampler.fire() => Some(ActiveSpan::new(pfr_obs::mint_trace_id(), name)),
+            None => None,
+        }
+    }
+
+    /// Closes a span into `ring` and, when the request breached the slow
+    /// threshold, writes its breakdown through the journal as a
+    /// slow-trace record (best effort: a full disk must not fail a
+    /// request that already succeeded).
+    pub(crate) fn finish_span(&self, span: ActiveSpan, ring: &SpanRing) {
+        let trace_id = span.trace_id();
+        let total_ns = span.finish(ring);
+        let Some(threshold) = self.slow_threshold else {
+            return;
+        };
+        if total_ns < u64::try_from(threshold.as_nanos()).unwrap_or(u64::MAX) {
+            return;
+        }
+        self.stats.record_slow_request();
+        if let Some(journal) = &self.journal {
+            if let Some(record) = ring.find(trace_id).into_iter().next_back() {
+                let _ = journal.append(&Record::SlowTrace {
+                    trace_id,
+                    total_ns,
+                    text: record.render(0),
+                });
+            }
+        }
+    }
+
+    /// The `METRICS` payload: the full exposition, escaped onto one line.
+    pub(crate) fn metrics_payload(&self) -> String {
+        pfr_obs::escape_multiline(&self.metrics.render())
+    }
+
+    /// The `TRACE <id>` payload: every recorded span under `id`, escaped
+    /// onto one line. Unknown ids are an error — either the id was never
+    /// sampled here or its spans have been evicted.
+    pub(crate) fn trace_payload(&self, id: u64) -> Result<String> {
+        let spans = self.traces.find(id);
+        if spans.is_empty() {
+            return Err(ServeError::Protocol(format!("no recorded trace {id:016x}")));
+        }
+        let mut text = String::new();
+        for span in &spans {
+            text.push_str(&span.render(0));
+        }
+        Ok(pfr_obs::escape_multiline(&text))
     }
 }
 
@@ -427,6 +532,21 @@ impl Server {
             )),
             None => None,
         };
+        let metrics = Arc::new(MetricsRegistry::new());
+        stats.register_metrics(&metrics);
+        if let Some(journal) = &journal {
+            journal.register_metrics(&metrics);
+        }
+        let traces = Arc::new(TraceStore::new());
+        let span_ring = traces.new_ring(SPAN_RING_CAPACITY);
+        {
+            let traces = Arc::clone(&traces);
+            metrics.gauge(
+                "pfr_trace_slowest_ns",
+                &[],
+                Arc::new(move || traces.slowest().map(|s| s.total_ns as f64).unwrap_or(0.0)),
+            );
+        }
         let context = Arc::new(ServeContext {
             registry: ModelRegistry::new(),
             cache: Mutex::new(ScoreCache::with_policy(CachePolicy {
@@ -442,6 +562,11 @@ impl Server {
             recovery: Mutex::new(None),
             extra_stats: Mutex::new(Vec::new()),
             connections: ConnectionTable::default(),
+            metrics,
+            traces,
+            span_ring,
+            sampler: Sampler::new(config.trace_sample_every),
+            slow_threshold: config.slow_trace_threshold,
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let front = match config.frontend {
@@ -491,6 +616,18 @@ impl Server {
     /// Live serving statistics.
     pub fn stats(&self) -> &ServerStats {
         &self.context.stats
+    }
+
+    /// The metrics registry backing the `METRICS` verb. Co-located
+    /// subsystems (an in-process refit worker, say) register their own
+    /// gauges here to ride the same exposition.
+    pub fn metrics(&self) -> &Arc<MetricsRegistry> {
+        &self.context.metrics
+    }
+
+    /// The recorded trace spans backing the `TRACE` verb.
+    pub fn traces(&self) -> &TraceStore {
+        &self.context.traces
     }
 
     /// Warms the score cache from an externally recorded request log
@@ -579,6 +716,10 @@ impl Server {
                     } else {
                         report.skipped += 1;
                     }
+                }
+                Record::SlowTrace { .. } => {
+                    // Slow-trace records are diagnostics riding the same
+                    // durable stream; there is no state to rebuild.
                 }
             })
             .map_err(|e| ServeError::Journal(e.to_string()))?;
@@ -729,24 +870,39 @@ fn handle_connection(stream: TcpStream, context: &ServeContext, shutdown: &Atomi
         // its counted payload must be read off this connection's stream
         // before the next request line.
         let (response, quit) = match parsed {
-            Ok(Request::Push { name, nbytes }) => {
+            Ok(Request::Push {
+                name,
+                nbytes,
+                trace,
+            }) => {
                 let start = Instant::now();
                 let _inflight = context.stats.track_inflight();
+                let mut span = context.begin_span(trace, "serve/PUSH");
                 let mut payload = vec![0u8; nbytes];
                 if reader.read_exact(&mut payload).is_err() {
                     // A truncated payload leaves the stream unframeable;
                     // close rather than misparse payload bytes as lines.
                     return;
                 }
-                let outcome = handle_push(context, &name, &payload);
+                if let Some(s) = span.as_mut() {
+                    s.event("payload-read");
+                }
+                let outcome = handle_push(context, &name, &payload, span.as_mut());
                 context.stats.load.record(start.elapsed(), outcome.is_ok());
-                let response = match outcome {
+                if let Some(span) = span {
+                    context.finish_span(span, &context.span_ring);
+                }
+                let mut response = match outcome {
                     Ok(payload) => protocol::ok_response(&payload),
                     Err(e) => protocol::err_response(&e),
                 };
+                if let Some(id) = trace {
+                    response.push(' ');
+                    response.push_str(&pfr_obs::trace_token(id));
+                }
                 (response, false)
             }
-            parsed => respond(parsed, context),
+            parsed => respond(parsed, context, &context.span_ring),
         };
         if writer.write_all(response.as_bytes()).is_err()
             || writer.write_all(b"\n").is_err()
@@ -760,38 +916,64 @@ fn handle_connection(stream: TcpStream, context: &ServeContext, shutdown: &Atomi
 
 /// Executes one parsed request; returns the response and whether to close.
 /// `PUSH` never reaches here — the connection loop intercepts it to read
-/// the counted payload off the stream.
-fn respond(parsed: Result<Request>, context: &ServeContext) -> (String, bool) {
+/// the counted payload off the stream. Finished spans land in `ring` (the
+/// calling front-end thread group's ring).
+fn respond(parsed: Result<Request>, context: &ServeContext, ring: &SpanRing) -> (String, bool) {
     match parsed {
         Ok(Request::Quit) => (protocol::ok_response("bye"), true),
         Ok(request) => {
             let start = Instant::now();
             let _inflight = context.stats.track_inflight();
+            // The wire token is echoed on the response; a server-sampled
+            // span is recorded locally but never changes response bytes.
+            let wire_trace = match &request {
+                Request::Score { trace, .. } | Request::Transform { trace, .. } => *trace,
+                _ => None,
+            };
+            let mut span = match &request {
+                Request::Score { .. } => context.begin_span(wire_trace, "serve/SCORE"),
+                Request::Transform { .. } => context.begin_span(wire_trace, "serve/TRANSFORM"),
+                _ => None,
+            };
             let (verb_stats, outcome) = match request {
                 Request::Load { name, path } => (
                     &context.stats.load,
                     handle_load(context, &name, Path::new(&path)),
                 ),
-                Request::Score { name, features } => {
-                    (&context.stats.score, handle_score(context, &name, features))
-                }
-                Request::Transform { name, features } => (
+                Request::Score { name, features, .. } => (
+                    &context.stats.score,
+                    handle_score(context, &name, features, span.as_mut()),
+                ),
+                Request::Transform { name, features, .. } => (
                     &context.stats.transform,
-                    handle_transform(context, &name, features),
+                    handle_transform(context, &name, features, span.as_mut()),
                 ),
                 Request::Stats => (&context.stats.stats, Ok(context.stats_line())),
                 Request::Health => (&context.stats.health, Ok(handle_health(context))),
                 Request::Epoch { name } => (&context.stats.epoch, handle_epoch(context, &name)),
+                Request::Metrics => (&context.stats.stats, Ok(context.metrics_payload())),
+                Request::Trace { id } => (&context.stats.stats, context.trace_payload(id)),
                 Request::Quit => unreachable!("handled above"),
                 Request::Push { .. } => unreachable!("intercepted by the connection loop"),
             };
             verb_stats.record(start.elapsed(), outcome.is_ok());
-            match outcome {
-                Ok(payload) => (protocol::ok_response(&payload), false),
-                Err(e) => (protocol::err_response(&e), false),
+            if let Some(span) = span {
+                context.finish_span(span, ring);
             }
+            let mut response = match outcome {
+                Ok(payload) => protocol::ok_response(&payload),
+                Err(e) => protocol::err_response(&e),
+            };
+            if let Some(id) = wire_trace {
+                response.push(' ');
+                response.push_str(&pfr_obs::trace_token(id));
+            }
+            (response, false)
         }
-        Err(e) => (protocol::err_response(&e), false),
+        Err(e) => {
+            context.stats.record_parse_error();
+            (protocol::err_response(&e), false)
+        }
     }
 }
 
@@ -857,7 +1039,12 @@ pub(crate) fn handle_load(context: &ServeContext, name: &str, path: &Path) -> Re
 /// over the wire — `LOAD` without the shared-filesystem assumption, so a
 /// router can place replicas on backends that cannot read its disks. The
 /// `bundle_dir` restriction does not apply: no server-side path is read.
-pub(crate) fn handle_push(context: &ServeContext, name: &str, payload: &[u8]) -> Result<String> {
+pub(crate) fn handle_push(
+    context: &ServeContext,
+    name: &str,
+    payload: &[u8],
+    mut span: Option<&mut ActiveSpan>,
+) -> Result<String> {
     let text = std::str::from_utf8(payload)
         .map_err(|_| ServeError::Protocol("PUSH payload is not valid utf-8".to_string()))?;
     if context.journal.is_some() {
@@ -869,8 +1056,14 @@ pub(crate) fn handle_push(context: &ServeContext, name: &str, payload: &[u8]) ->
             model: name.to_string(),
             bundle_text: text.to_string(),
         })?;
+        if let Some(s) = span.as_deref_mut() {
+            s.event("journal-append");
+        }
     }
     let model = context.registry.load_from_str(name, text)?;
+    if let Some(s) = span {
+        s.event("install");
+    }
     Ok(loaded_payload(&model))
 }
 
@@ -884,31 +1077,58 @@ fn loaded_payload(model: &crate::model::ServableModel) -> String {
     )
 }
 
-fn handle_score(context: &ServeContext, name: &str, features: Vec<f64>) -> Result<String> {
+fn handle_score(
+    context: &ServeContext,
+    name: &str,
+    features: Vec<f64>,
+    mut span: Option<&mut ActiveSpan>,
+) -> Result<String> {
     let model = context.registry.resolve(name)?;
+    if let Some(s) = span.as_deref_mut() {
+        s.event("resolve");
+    }
     // Journaled before execution — cache hits included — so replay
     // reproduces the exact request order (and thus the LRU state).
     context.journal_append(|| Record::Score {
         model: name.to_string(),
         features: features.clone(),
     })?;
+    if context.journal.is_some() {
+        if let Some(s) = span.as_deref_mut() {
+            s.event("journal-append");
+        }
+    }
     let key = ScoreKey::new(model.generation(), &features);
     if let Some(key) = &key {
         let cached = context.cache.lock().expect("cache lock poisoned").get(key);
         if let Some(score) = cached {
             context.stats.record_cache_hit();
+            if let Some(s) = span.as_deref_mut() {
+                s.event("cache-hit");
+            }
             return Ok(score_payload(score, model.threshold()));
         }
     }
     context.stats.record_cache_miss();
+    if let Some(s) = span.as_deref_mut() {
+        s.event("cache-miss");
+    }
     let threshold = model.threshold();
     let score = context.batcher.score(model, features)?;
+    if let Some(s) = span.as_deref_mut() {
+        // Queue wait, batch assembly and the GEMM itself all sit between
+        // the previous event and this one.
+        s.event("batch-scored");
+    }
     if let Some(key) = key {
         context
             .cache
             .lock()
             .expect("cache lock poisoned")
             .insert(key, score);
+        if let Some(s) = span {
+            s.event("cache-insert");
+        }
     }
     Ok(score_payload(score, threshold))
 }
@@ -917,8 +1137,16 @@ pub(crate) fn score_payload(score: f64, threshold: f64) -> String {
     format!("{score} {}", u8::from(score >= threshold))
 }
 
-fn handle_transform(context: &ServeContext, name: &str, features: Vec<f64>) -> Result<String> {
+fn handle_transform(
+    context: &ServeContext,
+    name: &str,
+    features: Vec<f64>,
+    mut span: Option<&mut ActiveSpan>,
+) -> Result<String> {
     let model = context.registry.resolve(name)?;
+    if let Some(s) = span.as_deref_mut() {
+        s.event("resolve");
+    }
     context.journal_append(|| Record::Transform {
         model: name.to_string(),
         features: features.clone(),
@@ -933,6 +1161,9 @@ fn handle_transform(context: &ServeContext, name: &str, features: Vec<f64>) -> R
         Ok(z.row(0).to_vec())
     })?;
     let z = receiver.recv().map_err(|_| ServeError::Shutdown)??;
+    if let Some(s) = span {
+        s.event("pool-exec");
+    }
     Ok(protocol::format_numbers(&z))
 }
 

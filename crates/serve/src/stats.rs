@@ -1,31 +1,38 @@
-//! Lock-free serving statistics: per-verb request/latency counters, cache
-//! hit rates and batch-shape telemetry, all `AtomicU64`.
+//! Lock-free serving statistics: per-verb request counters and full
+//! latency *distributions*, cache hit rates and batch-shape telemetry.
 //!
-//! Latencies are accumulated as (total nanoseconds, count) pairs per verb so
-//! the mean is derivable without histograms; that keeps the hot path at two
-//! relaxed atomic adds. A `STATS` response renders a snapshot as one
-//! `key=value` line.
+//! Each verb owns a [`LatencyHisto`] — a log-linear histogram recorded
+//! with relaxed atomics only, so the hot path stays lock-free while
+//! `STATS` and `METRICS` can report exact p50/p99/p999 instead of the
+//! mean that used to hide every bimodal batch/fsync/shed effect. Errors
+//! are broken down by kind (parse vs exec vs shed) rather than one
+//! undifferentiated counter.
 
+use pfr_obs::{LatencyHisto, MetricsRegistry, Snapshot};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 use std::time::Duration;
 
-/// One verb's counters: how many requests, how many errors, total time.
+/// One verb's counters: request count, exec-error count, and the full
+/// latency distribution.
 #[derive(Debug, Default)]
 pub struct VerbStats {
     requests: AtomicU64,
     errors: AtomicU64,
-    total_nanos: AtomicU64,
+    latency: Arc<LatencyHisto>,
 }
 
 impl VerbStats {
-    /// Records one completed request and its wall-clock latency.
+    /// Records one completed request and its wall-clock latency. Lock-free.
     pub fn record(&self, latency: Duration, ok: bool) {
         self.requests.fetch_add(1, Ordering::Relaxed);
         if !ok {
             self.errors.fetch_add(1, Ordering::Relaxed);
         }
-        self.total_nanos
-            .fetch_add(latency.as_nanos() as u64, Ordering::Relaxed);
+        // `record_duration` saturates at u64::MAX nanoseconds instead of
+        // silently truncating the u128 — a >584-year latency is a bug, but
+        // it should show up as a huge outlier, not wrap to a tiny one.
+        self.latency.record_duration(latency);
     }
 
     /// Number of requests seen.
@@ -33,17 +40,27 @@ impl VerbStats {
         self.requests.load(Ordering::Relaxed)
     }
 
-    /// Number of requests that returned an error.
+    /// Number of requests that returned an exec error.
     pub fn errors(&self) -> u64 {
         self.errors.load(Ordering::Relaxed)
     }
 
     /// Mean latency in nanoseconds (0 when no requests were seen).
     pub fn mean_latency_nanos(&self) -> u64 {
-        self.total_nanos
-            .load(Ordering::Relaxed)
-            .checked_div(self.requests())
+        self.latency
+            .sum()
+            .checked_div(self.latency.count())
             .unwrap_or(0)
+    }
+
+    /// The live latency histogram (shareable with a metrics registry).
+    pub fn latency(&self) -> &Arc<LatencyHisto> {
+        &self.latency
+    }
+
+    /// A point-in-time copy of the latency distribution.
+    pub fn latency_snapshot(&self) -> Snapshot {
+        self.latency.snapshot()
     }
 }
 
@@ -71,6 +88,8 @@ pub struct ServerStats {
     connections: AtomicU64,
     sheds: AtomicU64,
     inflight: AtomicU64,
+    parse_errors: AtomicU64,
+    slow_requests: AtomicU64,
 }
 
 impl ServerStats {
@@ -106,6 +125,23 @@ impl ServerStats {
     /// because the connection limit was reached).
     pub fn record_shed(&self) {
         self.sheds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a request line that failed to parse — the "parse" bucket of
+    /// the error-kind breakdown (exec errors live on their verb, sheds on
+    /// the shed counter).
+    pub fn record_parse_error(&self) {
+        self.parse_errors.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records a traced request that breached the slow-trace threshold.
+    pub fn record_slow_request(&self) {
+        self.slow_requests.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Traced requests that breached the slow-trace threshold.
+    pub fn slow_requests(&self) -> u64 {
+        self.slow_requests.load(Ordering::Relaxed)
     }
 
     /// Marks one request as entering the serving path. Returns a guard that
@@ -165,20 +201,109 @@ impl ServerStats {
         self.sheds.load(Ordering::Relaxed)
     }
 
+    /// Request lines rejected by the parser.
+    pub fn parse_errors(&self) -> u64 {
+        self.parse_errors.load(Ordering::Relaxed)
+    }
+
+    /// Exec errors summed across verbs — the "exec" bucket of the
+    /// error-kind breakdown.
+    pub fn exec_errors(&self) -> u64 {
+        self.per_verb().iter().map(|(_, verb)| verb.errors()).sum()
+    }
+
+    fn per_verb(&self) -> [(&'static str, &VerbStats); 6] {
+        [
+            ("load", &self.load),
+            ("score", &self.score),
+            ("transform", &self.transform),
+            ("stats", &self.stats),
+            ("health", &self.health),
+            ("epoch", &self.epoch),
+        ]
+    }
+
+    /// Registers every counter, gauge and per-verb latency histogram on
+    /// `registry` under the `pfr_serve_*` namespace. `self` must be the
+    /// `Arc` the server shares — the gauges capture it.
+    pub fn register_metrics(self: &Arc<Self>, registry: &MetricsRegistry) {
+        macro_rules! gauge {
+            ($name:expr, $labels:expr, $read:expr) => {{
+                let stats = Arc::clone(self);
+                registry.gauge($name, $labels, Arc::new(move || ($read)(&stats) as f64));
+            }};
+        }
+        for (name, verb) in self.per_verb() {
+            let requests = {
+                let stats = Arc::clone(self);
+                let pick = pick_verb(name);
+                Arc::new(move || pick(&stats).requests() as f64)
+                    as Arc<dyn Fn() -> f64 + Send + Sync>
+            };
+            registry.gauge("pfr_serve_requests_total", &[("verb", name)], requests);
+            let errors = {
+                let stats = Arc::clone(self);
+                let pick = pick_verb(name);
+                Arc::new(move || pick(&stats).errors() as f64) as Arc<dyn Fn() -> f64 + Send + Sync>
+            };
+            registry.gauge("pfr_serve_verb_errors_total", &[("verb", name)], errors);
+            registry.histogram(
+                "pfr_serve_latency_ns",
+                &[("verb", name)],
+                Arc::clone(verb.latency()),
+            );
+        }
+        gauge!(
+            "pfr_serve_errors_total",
+            &[("kind", "parse")],
+            |s: &ServerStats| s.parse_errors()
+        );
+        gauge!(
+            "pfr_serve_errors_total",
+            &[("kind", "exec")],
+            |s: &ServerStats| s.exec_errors()
+        );
+        gauge!(
+            "pfr_serve_errors_total",
+            &[("kind", "shed")],
+            |s: &ServerStats| s.sheds()
+        );
+        gauge!("pfr_serve_cache_hits_total", &[], |s: &ServerStats| s
+            .cache_hits());
+        gauge!("pfr_serve_cache_misses_total", &[], |s: &ServerStats| s
+            .cache_misses());
+        gauge!("pfr_serve_batches_total", &[], |s: &ServerStats| s
+            .batches());
+        gauge!("pfr_serve_max_batch", &[], |s: &ServerStats| s.max_batch());
+        gauge!("pfr_serve_connections_total", &[], |s: &ServerStats| s
+            .connections());
+        gauge!("pfr_serve_sheds_total", &[], |s: &ServerStats| s.sheds());
+        gauge!("pfr_serve_inflight", &[], |s: &ServerStats| s.queue_depth());
+        gauge!("pfr_serve_slow_requests_total", &[], |s: &ServerStats| s
+            .slow_requests());
+    }
+
     /// Renders the whole snapshot as a single `key=value` line — the payload
-    /// of a `STATS` response.
+    /// of a `STATS` response. Includes score-path tail latencies from the
+    /// histogram next to the legacy means.
     pub fn to_line(&self) -> String {
         let batches = self.batches.load(Ordering::Relaxed);
         let batched = self.batched_requests.load(Ordering::Relaxed);
         let mean_batch = batched.checked_div(batches).unwrap_or(0);
+        let score = self.score.latency_snapshot();
         format!(
-            "connections={} sheds={} load_requests={} load_errors={} load_mean_ns={} \
+            "connections={} sheds={} errors_parse={} errors_exec={} errors_shed={} \
+             load_requests={} load_errors={} load_mean_ns={} \
              score_requests={} score_errors={} score_mean_ns={} \
+             score_p50_ns={} score_p99_ns={} score_p999_ns={} \
              transform_requests={} transform_errors={} transform_mean_ns={} \
              stats_requests={} health_requests={} epoch_requests={} \
              cache_hits={} cache_misses={} \
              batches={} mean_batch={} max_batch={}",
             self.connections(),
+            self.sheds(),
+            self.parse_errors(),
+            self.exec_errors(),
             self.sheds(),
             self.load.requests(),
             self.load.errors(),
@@ -186,6 +311,9 @@ impl ServerStats {
             self.score.requests(),
             self.score.errors(),
             self.score.mean_latency_nanos(),
+            score.p50(),
+            score.p99(),
+            score.p999(),
             self.transform.requests(),
             self.transform.errors(),
             self.transform.mean_latency_nanos(),
@@ -198,6 +326,20 @@ impl ServerStats {
             mean_batch,
             self.max_batch(),
         )
+    }
+}
+
+/// Maps a verb name back to its `VerbStats` field — lets the registry
+/// closures stay `'static` while borrowing through the shared `Arc`.
+fn pick_verb(name: &str) -> fn(&ServerStats) -> &VerbStats {
+    match name {
+        "load" => |s| &s.load,
+        "score" => |s| &s.score,
+        "transform" => |s| &s.transform,
+        "stats" => |s| &s.stats,
+        "health" => |s| &s.health,
+        "epoch" => |s| &s.epoch,
+        other => unreachable!("unknown verb '{other}'"),
     }
 }
 
@@ -243,6 +385,37 @@ mod tests {
     }
 
     #[test]
+    fn verb_latency_distribution_reports_tails() {
+        let v = VerbStats::default();
+        for _ in 0..99 {
+            v.record(Duration::from_nanos(1_000), true);
+        }
+        v.record(Duration::from_micros(100), true);
+        let snap = v.latency_snapshot();
+        assert_eq!(snap.count, 100);
+        // p50 sits at the common case, p999 catches the outlier the old
+        // mean-only accumulation averaged away.
+        assert!(snap.p50() < 2_000, "p50 {}", snap.p50());
+        assert!(snap.p999() >= 100_000, "p999 {}", snap.p999());
+    }
+
+    #[test]
+    fn error_kinds_are_broken_down() {
+        let s = ServerStats::new();
+        s.record_parse_error();
+        s.record_parse_error();
+        s.score.record(Duration::from_nanos(10), false);
+        s.record_shed();
+        assert_eq!(s.parse_errors(), 2);
+        assert_eq!(s.exec_errors(), 1);
+        assert_eq!(s.sheds(), 1);
+        let line = s.to_line();
+        assert!(line.contains("errors_parse=2"));
+        assert!(line.contains("errors_exec=1"));
+        assert!(line.contains("errors_shed=1"));
+    }
+
+    #[test]
     fn batch_telemetry_tracks_mean_and_max() {
         let s = ServerStats::new();
         s.record_batch(1);
@@ -269,9 +442,25 @@ mod tests {
         assert!(line.contains("cache_misses=1"));
         assert!(line.contains("connections=1"));
         assert!(line.contains("score_requests=1"));
+        assert!(line.contains("score_p99_ns="));
         for pair in line.split_whitespace() {
             assert!(pair.contains('='), "malformed pair '{pair}'");
         }
+    }
+
+    #[test]
+    fn registered_metrics_render_per_verb_histograms() {
+        let s = Arc::new(ServerStats::new());
+        s.score.record(Duration::from_micros(3), true);
+        s.record_cache_hit();
+        let registry = MetricsRegistry::new();
+        s.register_metrics(&registry);
+        let text = registry.render();
+        assert!(text.contains("pfr_serve_requests_total{verb=\"score\"} 1\n"));
+        assert!(text.contains("pfr_serve_latency_ns_count{verb=\"score\"} 1\n"));
+        assert!(text.contains("pfr_serve_latency_ns_p999{verb=\"score\"}"));
+        assert!(text.contains("pfr_serve_errors_total{kind=\"parse\"} 0\n"));
+        assert!(text.contains("pfr_serve_cache_hits_total 1\n"));
     }
 
     #[test]
@@ -294,5 +483,6 @@ mod tests {
         }
         assert_eq!(s.cache_hits(), 4000);
         assert_eq!(s.score.requests(), 4000);
+        assert_eq!(s.score.latency_snapshot().count, 4000);
     }
 }

@@ -20,6 +20,17 @@
 //! ```text
 //! cargo run --release --example router_demo -- --journal /tmp/pfr-cluster-journal
 //! ```
+//!
+//! With `--metrics` the demo finishes by scoring one explicitly traced
+//! request (the trace id travels to the backend as a `T=<id>` wire token)
+//! and printing its cross-tier span tree, then scatter-gathers `METRICS`
+//! from every backend and prints the cluster-wide merged exposition —
+//! per-verb latency histograms summed bucket-wise, so the printed
+//! p50/p99/p999 are true cluster quantiles:
+//!
+//! ```text
+//! cargo run --release --example router_demo -- --metrics
+//! ```
 
 use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
@@ -246,4 +257,26 @@ fn main() {
         );
     }
     println!("surviving backends: {}/4 booted", cluster.live());
+
+    // 8. With `--metrics`: one traced request's span tree, then the
+    //    cluster-wide merged scrape.
+    if std::env::args().any(|a| a == "--metrics") {
+        let (score, trace_id) = router
+            .score_traced("admissions", &rows[3])
+            .expect("traced score succeeds");
+        assert_eq!(score.to_bits(), expected[3].to_bits());
+        println!("traced score {score} under trace id {trace_id:016x}:");
+        match router.trace(trace_id) {
+            Some(tree) => {
+                for line in tree.lines() {
+                    println!("  {line}");
+                }
+            }
+            None => println!("  (trace already evicted from the bounded span rings)"),
+        }
+        println!("cluster-wide METRICS (router series + bucket-wise merge of every backend):");
+        for line in router.metrics().lines() {
+            println!("  {line}");
+        }
+    }
 }

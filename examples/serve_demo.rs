@@ -25,6 +25,16 @@
 //! ```text
 //! cargo run --release --example serve_demo -- --refit
 //! ```
+//!
+//! With `--metrics` the server samples a trace span for one in every 16
+//! requests and the demo finishes by scraping the full `METRICS`
+//! exposition over the wire (every counter, gauge and latency histogram
+//! with derived p50/p99/p999) and printing the slowest sampled span
+//! breakdown:
+//!
+//! ```text
+//! cargo run --release --example serve_demo -- --metrics
+//! ```
 
 use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
@@ -78,6 +88,7 @@ fn main() {
         .map(|n| n.get().min(4))
         .unwrap_or(1);
     let refit_mode = std::env::args().any(|a| a == "--refit");
+    let metrics_mode = std::env::args().any(|a| a == "--metrics");
     let journal_dir = {
         let mut args = std::env::args();
         args.find(|a| a == "--journal")
@@ -99,6 +110,9 @@ fn main() {
             linger: Duration::from_micros(300),
         },
         journal: journal_dir.clone().map(JournalConfig::new),
+        // With `--metrics`, sample a full span breakdown for one in
+        // every 16 otherwise-untraced requests.
+        trace_sample_every: if metrics_mode { 16 } else { 0 },
         ..ServerConfig::default()
     };
     let server = Server::spawn(make_config()).expect("server spawns");
@@ -187,6 +201,30 @@ fn main() {
     reader.read_line(&mut stats).expect("response reads");
     println!("STATS -> {}", stats.trim_end());
 
+    // 6b. With `--metrics`: scrape the full exposition over the wire (the
+    //     `METRICS` verb answers `OK <payload>` with the multi-line text
+    //     escaped onto one line) and show the slowest sampled trace span.
+    if metrics_mode {
+        writeln!(writer, "METRICS").expect("request writes");
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("response reads");
+        let payload = response
+            .trim_end()
+            .strip_prefix("OK ")
+            .expect("METRICS answers OK <payload>");
+        println!("METRICS ->");
+        for line in pfr::obs::unescape_multiline(payload).lines() {
+            println!("  {line}");
+        }
+        match server.traces().slowest() {
+            Some(span) => {
+                println!("slowest sampled request:");
+                print!("{}", span.render(2));
+            }
+            None => println!("no request was sampled (traffic below the sampling stride)"),
+        }
+    }
+
     // 7. With `--refit`: close the loop. A background worker tails the very
     //    journal the server writes, watches the live feature stream for
     //    drift against the serving bundle's own training statistics, and on
@@ -224,8 +262,20 @@ fn main() {
         )
         .expect("refit loop builds");
         let worker = RefitWorker::spawn(refit_loop);
-        // The worker's counters ride the server's own STATS line.
+        // The worker's counters ride the server's own STATS line — and its
+        // gauges (cursor lag against the server's journal tip included)
+        // join the server's METRICS exposition.
         server.attach_stats_source(worker.stats_source());
+        let journal_tip = {
+            let stats = server
+                .journal()
+                .expect("refit mode forces a journal")
+                .shared_stats();
+            Arc::new(move || stats.last_seq()) as Arc<dyn Fn() -> u64 + Send + Sync>
+        };
+        worker
+            .stats()
+            .register_metrics(server.metrics(), Some(journal_tip));
         let refit_stats = worker.stats();
 
         // The upstream distribution shifts: every feature moves by 0.8 of
@@ -290,6 +340,17 @@ fn main() {
         let mut stats = String::new();
         drift_reader.read_line(&mut stats).expect("response reads");
         println!("STATS -> {}", stats.trim_end());
+        if metrics_mode {
+            println!("refit gauges riding the server's METRICS exposition:");
+            for line in server
+                .metrics()
+                .render()
+                .lines()
+                .filter(|l| l.starts_with("pfr_refit_"))
+            {
+                println!("  {line}");
+            }
+        }
         worker.stop();
     }
 

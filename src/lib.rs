@@ -73,6 +73,7 @@ pub use pfr_journal as journal;
 pub use pfr_linalg as linalg;
 pub use pfr_metrics as metrics;
 pub use pfr_net as net;
+pub use pfr_obs as obs;
 pub use pfr_opt as opt;
 pub use pfr_refit as refit;
 pub use pfr_router as router;

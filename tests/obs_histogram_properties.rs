@@ -1,0 +1,130 @@
+//! Property tests for the lock-free log-linear histogram behind every
+//! latency series: quantile estimates stay within the documented `1/SUB`
+//! relative-error bound of an exact sorted oracle, snapshot merging is
+//! indistinguishable from one recorder having seen both streams (the
+//! invariant the router's cluster-wide `METRICS` merge rests on), the
+//! exposition round-trips bucket-exactly through `Scrape::parse`, and
+//! concurrent recording loses no counts.
+
+use pfr::obs::{LatencyHisto, MetricsRegistry, Scrape, SUB};
+use proptest::collection::vec;
+use proptest::prelude::*;
+use std::sync::Arc;
+
+/// Spreads raw uniform `u64`s across every magnitude decade: a plain
+/// uniform draw almost never lands below 2^50, which would leave the
+/// log-linear layout's small decades untested.
+fn spread_magnitudes(raws: &[u64]) -> Vec<u64> {
+    raws.iter().map(|&r| r >> (r % 57)).collect()
+}
+
+/// Exact nearest-rank quantile of `sorted` (the oracle `Snapshot::quantile`
+/// approximates).
+fn exact_quantile(sorted: &[u64], q: f64) -> u64 {
+    let rank = ((q * sorted.len() as f64).ceil() as usize).clamp(1, sorted.len());
+    sorted[rank - 1]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every reported quantile is ≥ the exact order statistic and
+    /// overstates it by at most `1/SUB` (the bucket-width bound).
+    #[test]
+    fn quantiles_stay_within_the_relative_error_bound(
+        raws in vec(0u64..u64::MAX, 1..250),
+    ) {
+        let values = spread_magnitudes(&raws);
+        let histo = LatencyHisto::new();
+        for &v in &values {
+            histo.record(v);
+        }
+        let snap = histo.snapshot();
+        let mut sorted = values.clone();
+        sorted.sort_unstable();
+        for q in [0.5, 0.9, 0.99, 0.999] {
+            let exact = exact_quantile(&sorted, q);
+            let estimate = snap.quantile(q);
+            prop_assert!(estimate >= exact, "q={q}: {estimate} < exact {exact}");
+            let bound = exact as f64 * (1.0 + 1.0 / SUB as f64);
+            prop_assert!(
+                estimate as f64 <= bound,
+                "q={q}: {estimate} overstates exact {exact} beyond 1/{SUB}"
+            );
+        }
+        prop_assert_eq!(snap.min, sorted[0]);
+        prop_assert_eq!(snap.max, *sorted.last().unwrap());
+    }
+
+    /// Merging two snapshots equals one recorder having seen both streams
+    /// — bucket-for-bucket, not approximately. Values are bounded so the
+    /// total stays below u64 wrap: past it the live recorder's relaxed
+    /// `fetch_add` sum wraps while `merge` saturates, and neither is a
+    /// meaningful nanosecond total anyway (~584 years of accumulated
+    /// latency).
+    #[test]
+    fn merge_is_exactly_the_combined_stream(
+        raws_a in vec(0u64..(1u64 << 50), 0..150),
+        raws_b in vec(0u64..(1u64 << 50), 0..150),
+    ) {
+        let (a_vals, b_vals) = (spread_magnitudes(&raws_a), spread_magnitudes(&raws_b));
+        let a = LatencyHisto::new();
+        let b = LatencyHisto::new();
+        let combined = LatencyHisto::new();
+        for &v in &a_vals {
+            a.record(v);
+            combined.record(v);
+        }
+        for &v in &b_vals {
+            b.record(v);
+            combined.record(v);
+        }
+        let mut merged = a.snapshot();
+        merged.merge(&b.snapshot());
+        prop_assert_eq!(merged, combined.snapshot());
+    }
+
+    /// Rendering a histogram through the registry and parsing the text
+    /// back reconstructs the bucket counts, count and sum exactly — the
+    /// contract that makes the router's scatter-merge lossless.
+    #[test]
+    fn exposition_round_trips_bucket_exact(
+        raws in vec(0u64..u64::MAX, 1..200),
+    ) {
+        let histo = Arc::new(LatencyHisto::new());
+        for &v in &spread_magnitudes(&raws) {
+            histo.record(v);
+        }
+        let registry = MetricsRegistry::new();
+        registry.histogram("pfr_prop_ns", &[], Arc::clone(&histo));
+        let scrape = Scrape::parse(&registry.render());
+        let parsed = scrape.histogram("pfr_prop_ns").expect("histogram parsed back");
+        let original = histo.snapshot();
+        prop_assert_eq!(&parsed.buckets, &original.buckets);
+        prop_assert_eq!(parsed.count, original.count);
+        prop_assert_eq!(parsed.sum, original.sum);
+    }
+}
+
+/// Concurrent recorders on one histogram lose no counts and corrupt no
+/// buckets — the lock-free hot-path claim.
+#[test]
+fn concurrent_recording_loses_no_counts() {
+    let histo = Arc::new(LatencyHisto::new());
+    let threads: Vec<_> = (0..8)
+        .map(|t| {
+            let histo = Arc::clone(&histo);
+            std::thread::spawn(move || {
+                for i in 0..25_000u64 {
+                    histo.record((i << (t % 5)) + t);
+                }
+            })
+        })
+        .collect();
+    for t in threads {
+        t.join().unwrap();
+    }
+    let snap = histo.snapshot();
+    assert_eq!(snap.count, 8 * 25_000);
+    assert_eq!(snap.buckets.iter().sum::<u64>(), 8 * 25_000);
+}

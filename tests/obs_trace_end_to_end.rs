@@ -1,0 +1,222 @@
+//! The observability acceptance test: a router fronting three *journaling*
+//! serve backends must expose ONE merged metrics scrape — router-local
+//! series, per-backend latency histograms, and the bucket-wise sum of
+//! every backend's serve and journal series — and a single traced request
+//! must come back as one span tree: the router span at indent 0 with its
+//! routing events, the backend's `serve/SCORE` span nested below it with
+//! per-stage events, both under the same trace id that travelled on the
+//! wire as a `T=<id>` token.
+//!
+//! The scenario runs against both connection architectures (reactor front
+//! end + reactor transport, thread-per-connection front end + threaded
+//! transport): the exposition and the trace tree are wire formats, so both
+//! stacks must produce them identically.
+
+use pfr::core::persistence::bundle_to_string;
+use pfr::journal::JournalConfig;
+use pfr::obs::Scrape;
+use pfr::pipeline::{FairPipeline, FairPipelineConfig};
+use pfr::refit::{RefitConfig, RefitLoop, RefitWorker, SwapTarget};
+use pfr::router::{LocalCluster, RouterConfig, TransportMode};
+use pfr::serve::{Frontend, ServerConfig};
+use pfr_data::{split, synthetic, Dataset};
+use pfr_graph::{fairness, SparseGraph};
+use std::path::PathBuf;
+use std::sync::Arc;
+
+fn fairness_graph(ds: &Dataset) -> SparseGraph {
+    let scores: Vec<f64> = ds
+        .side_information()
+        .iter()
+        .map(|s| s.unwrap_or(0.0))
+        .collect();
+    fairness::between_group_quantile_graph(ds.groups(), &scores, 5).unwrap()
+}
+
+/// A fresh private journal directory per backend — two servers must never
+/// append to the same write-ahead journal.
+fn journal_dir(tag: &str, i: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("pfr_obs_e2e_{tag}_{}_{i}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn one_scrape_and_one_trace_tree_span_every_tier_reactor() {
+    one_scrape_and_one_trace_tree_span_every_tier(
+        Frontend::reactor(1),
+        TransportMode::Reactor,
+        "reactor",
+    );
+}
+
+#[test]
+fn one_scrape_and_one_trace_tree_span_every_tier_threaded() {
+    one_scrape_and_one_trace_tree_span_every_tier(
+        Frontend::Threaded,
+        TransportMode::Threaded,
+        "threaded",
+    );
+}
+
+fn one_scrape_and_one_trace_tree_span_every_tier(
+    frontend: Frontend,
+    transport: TransportMode,
+    tag: &str,
+) {
+    // --- Offline ground truth and a 3-backend journaling cluster. ----------
+    let dataset = synthetic::generate_default(91).unwrap();
+    let split = split::train_test_split(&dataset, 0.3, 91).unwrap();
+    let train = dataset.subset(&split.train).unwrap();
+    let test = dataset.subset(&split.test).unwrap();
+    let fitted = FairPipeline::new(FairPipelineConfig {
+        gamma: 0.9,
+        ..FairPipelineConfig::default()
+    })
+    .fit(&train, &fairness_graph(&train))
+    .unwrap();
+    let expected = fitted.predict_proba(&test).unwrap();
+    let (raw, _) = test.features_with_protected().unwrap();
+    let bundle = fitted.into_bundle().unwrap();
+
+    let mut cluster = LocalCluster::boot(0, ServerConfig::default()).unwrap();
+    let mut dirs = Vec::new();
+    for i in 0..3 {
+        let dir = journal_dir(tag, i);
+        cluster
+            .add_backend_with(ServerConfig {
+                frontend,
+                journal: Some(JournalConfig::new(dir.clone())),
+                ..ServerConfig::default()
+            })
+            .unwrap();
+        dirs.push(dir);
+    }
+    let router = cluster
+        .router(RouterConfig {
+            replication: 2,
+            transport,
+            ..RouterConfig::default()
+        })
+        .unwrap();
+    assert_eq!(cluster.place(&router, "admissions", &bundle).unwrap(), 2);
+
+    // --- Traffic: distinct rows so every request reaches a backend. --------
+    for i in 0..20 {
+        let idx = i % raw.rows();
+        let score = router.score("admissions", raw.row(idx)).unwrap();
+        assert_eq!(score.to_bits(), expected[idx].to_bits(), "row {idx}");
+    }
+
+    // --- A refit worker tails backend 0's journal; its gauges register on
+    //     that backend's registry and so ride the merged scrape too. --------
+    let server0 = cluster.server(0).expect("backend 0 is alive");
+    let worker = RefitWorker::spawn(
+        RefitLoop::new(
+            RefitConfig::new(dirs[0].clone(), "admissions"),
+            &bundle_to_string(&bundle),
+            SwapTarget::Backends(vec![cluster.addrs()[0]]),
+        )
+        .expect("refit loop builds"),
+    );
+    let journal_tip = {
+        let stats = server0
+            .journal()
+            .expect("backend 0 journals")
+            .shared_stats();
+        Arc::new(move || stats.last_seq()) as Arc<dyn Fn() -> u64 + Send + Sync>
+    };
+    worker
+        .stats()
+        .register_metrics(server0.metrics(), Some(journal_tip));
+
+    // --- One merged scrape across every tier. ------------------------------
+    let text = router.metrics();
+    // Router-local series render first.
+    assert!(text.contains("pfr_router_routed_total "), "{text}");
+    assert!(
+        text.contains("pfr_router_backend_latency_ns_count{backend="),
+        "per-backend latency histograms missing:\n{text}"
+    );
+    // All three backends answered the scatter.
+    assert!(text.contains("pfr_router_backends_scraped 3"), "{text}");
+    // Serve-tier series merged bucket-wise: cluster-wide quantiles exist.
+    assert!(
+        text.contains("pfr_serve_latency_ns_p999{verb=\"score\"}"),
+        "merged serve latency quantiles missing:\n{text}"
+    );
+    // Journal-tier series rode the same scrape.
+    assert!(text.contains("pfr_journal_appends_total "), "{text}");
+    assert!(text.contains("pfr_journal_fsync_ns_count "), "{text}");
+    // Refit-tier gauges rode it from backend 0, cursor lag included.
+    assert!(text.contains("pfr_refit_cursor_seq "), "{text}");
+    assert!(text.contains("pfr_refit_cursor_lag "), "{text}");
+
+    let merged = Scrape::parse(&text);
+    // 20 scores reached the serve tier (hot rows were distinct) and the
+    // count survived the scatter-merge arithmetic.
+    let scored = merged
+        .scalar("pfr_serve_requests_total{verb=\"score\"}")
+        .expect("merged score-request counter");
+    assert!(scored >= 20.0, "merged score requests = {scored}");
+    // Every accepted request was journaled before it executed: two LOAD
+    // placements plus the scores.
+    let appends = merged
+        .scalar("pfr_journal_appends_total")
+        .expect("merged journal append counter");
+    assert!(appends >= 22.0, "merged journal appends = {appends}");
+    let verb_latency = merged
+        .histogram("pfr_serve_latency_ns{verb=\"score\"}")
+        .expect("merged score latency histogram");
+    assert!(
+        verb_latency.count >= 20,
+        "histogram count = {}",
+        verb_latency.count
+    );
+    assert!(verb_latency.p999() > 0);
+
+    // --- One traced request = one cross-tier span tree. --------------------
+    // A row no prior request scored, so the backend's cache misses and the
+    // span shows the full execute path.
+    let fresh = raw.row(raw.rows() - 1).to_vec();
+    let (score, id) = router.score_traced("admissions", &fresh).unwrap();
+    assert_eq!(score.to_bits(), expected[raw.rows() - 1].to_bits());
+    let tree = router.trace(id).expect("trace recorded");
+    let header = format!("span router/SCORE trace={id:016x}");
+    assert!(
+        tree.lines().any(|l| l.starts_with(&header)),
+        "router span missing at indent 0:\n{tree}"
+    );
+    // The backend's span is nested one level below, under the SAME id —
+    // the token demonstrably travelled on the wire.
+    assert!(
+        tree.contains(&format!("  span serve/SCORE trace={id:016x}")),
+        "nested backend span missing:\n{tree}"
+    );
+    // Router-side routing events.
+    assert!(tree.contains("@ submit"), "{tree}");
+    assert!(tree.contains("@ backend-reply"), "{tree}");
+    // Backend-side stage events: durability, then the batch execute path.
+    assert!(tree.contains("@ journal-append"), "{tree}");
+    assert!(tree.contains("@ batch-scored"), "{tree}");
+
+    // --- The same id resolves against the backend's own TRACE ring. --------
+    let owner = cluster
+        .addrs()
+        .iter()
+        .enumerate()
+        .find_map(|(i, _)| {
+            let server = cluster.server(i)?;
+            (!server.traces().find(id).is_empty()).then_some(server)
+        })
+        .expect("some backend recorded the span");
+    let spans = owner.traces().find(id);
+    assert_eq!(spans[0].name, "serve/SCORE");
+    assert_eq!(spans[0].trace_id, id);
+
+    worker.stop();
+    for dir in dirs {
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}
