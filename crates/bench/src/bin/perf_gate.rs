@@ -8,8 +8,9 @@
 //! 30% fails the build with the offending metric named.
 //!
 //! Direction is keyed on the metric name: rates and speedups fail by
-//! dropping, latency metrics (`_us` / `_ns` suffix, e.g. the serving p50
-//! and p99) fail by rising — with triple tolerance for `p99` keys, whose
+//! dropping, duration metrics (`_ns` / `_us` / `_ms` suffix, e.g. the
+//! serving p50/p99 and the paper-artifact wall-clocks) fail by rising —
+//! with triple tolerance for `p99` keys, whose
 //! tail noise would otherwise make the gate cry wolf. Configuration fields
 //! recorded alongside (shard counts, request totals) only fail the gate by
 //! *disappearing*, which is exactly the protection they need.

@@ -147,19 +147,20 @@ pub fn parse_flat_json(text: &str) -> Vec<(String, f64)> {
     out
 }
 
-/// Whether a metric key names a **latency** (lower is better): the
-/// `BENCH_*.json` convention reserves the `_us` / `_ns` suffixes for
-/// latencies; everything else is a rate or speedup (higher is better).
+/// Whether a metric key names a **latency / wall-clock duration** (lower
+/// is better): the `BENCH_*.json` convention reserves the `_ns` / `_us` /
+/// `_ms` suffixes for durations; everything else is a rate or speedup
+/// (higher is better).
 fn is_latency_metric(key: &str) -> bool {
-    key.ends_with("_us") || key.ends_with("_ns")
+    key.ends_with("_us") || key.ends_with("_ns") || key.ends_with("_ms")
 }
 
 /// Compares fresh metrics against a baseline: every numeric metric present
 /// in `baseline` must also exist in `fresh` and must not have regressed by
 /// more than `tolerance` (a fraction: `0.30` allows a 30% change for the
 /// worse). Direction is keyed on the metric name: rates and speedups
-/// (higher is better) fail by *dropping*, latency metrics (`_us` / `_ns`
-/// suffix) fail by *rising*. Tail latencies (keys containing `p99`) are
+/// (higher is better) fail by *dropping*, duration metrics (`_ns` / `_us`
+/// / `_ms` suffix) fail by *rising*. Tail latencies (keys containing `p99`) are
 /// gated at triple tolerance — the p99 of a microsecond-scale operation is
 /// the noisiest number in the suite, and a gate that cries wolf gets
 /// deleted. Returns one human-readable line per violation.
@@ -305,6 +306,13 @@ mod tests {
             ("single_p99_us".to_string(), 10.0),
             ("rate".to_string(), 100.0),
         ];
+        // The `_ms` wall-clock suffix gates in the latency direction too.
+        let wall = vec![("suite_ms".to_string(), 100.0)];
+        assert!(regressions(&wall, &[("suite_ms".to_string(), 50.0)], 0.30).is_empty());
+        assert_eq!(
+            regressions(&wall, &[("suite_ms".to_string(), 140.0)], 0.30).len(),
+            1
+        );
         assert!(regressions(&baseline, &faster, 0.30).is_empty());
         // A p50 rise beyond tolerance fails; p99 gets triple slack.
         let slower = vec![

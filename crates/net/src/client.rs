@@ -333,8 +333,8 @@ impl ClientDriver {
     /// Submits a pre-framed request — raw bytes that may carry a counted
     /// payload after a header line (the `PUSH` verb) — expecting `expect`
     /// response lines. This is **the** submission core: every other entry
-    /// point ([`ClientDriver::submit`], the queued variant, the deprecated
-    /// `exchange*` shims) reduces to it.
+    /// point ([`ClientDriver::submit`] and the queued variant) reduces
+    /// to it.
     pub fn submit_frame(
         &self,
         addr: SocketAddr,
@@ -385,22 +385,6 @@ impl ClientDriver {
             .map_err(|_| reactor_gone())?;
         self.waker.wake()?;
         Ok(())
-    }
-
-    /// One burst, submitted and awaited.
-    #[deprecated(
-        note = "use `submit(..)` and `Ticket::wait`; removed next release (see DESIGN.md)"
-    )]
-    pub fn exchange<S: AsRef<str>>(&self, addr: SocketAddr, lines: &[S]) -> BurstResult {
-        self.submit(addr, lines)?.wait()
-    }
-
-    /// One pre-framed request, submitted and awaited.
-    #[deprecated(
-        note = "use `submit_frame(..)` and `Ticket::wait`; removed next release (see DESIGN.md)"
-    )]
-    pub fn exchange_frame(&self, addr: SocketAddr, bytes: Vec<u8>, expect: usize) -> BurstResult {
-        self.submit_frame(addr, bytes, expect)?.wait()
     }
 
     /// Closes every idle pooled connection to `addr`.
@@ -856,20 +840,6 @@ mod tests {
         driver.drain(addr);
         // Drained: a fresh connection restarts the counter.
         assert_eq!(wait_all(&driver, addr, &["PING"]).unwrap(), vec!["PONG 1"]);
-    }
-
-    #[test]
-    fn deprecated_exchange_shims_still_resolve_through_the_frame_core() {
-        let addr = echo_server();
-        let driver = ClientDriver::spawn(ClientConfig::default()).unwrap();
-        #[allow(deprecated)]
-        {
-            assert_eq!(driver.exchange(addr, &["PING"]).unwrap(), vec!["PONG 1"]);
-            assert_eq!(
-                driver.exchange_frame(addr, b"PING\n".to_vec(), 1).unwrap(),
-                vec!["PONG 2"]
-            );
-        }
     }
 
     #[test]

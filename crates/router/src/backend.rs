@@ -310,6 +310,19 @@ impl Backend {
     /// as request lines — desyncing the pooled connection so every later
     /// response on it would answer the wrong request.
     pub fn push(&self, name: &str, bundle_text: &str) -> std::io::Result<String> {
+        self.push_traced(name, bundle_text, None)
+    }
+
+    /// [`Backend::push`] carrying an explicit trace id on the header line
+    /// (`T=<id>`), so the backend records its `serve/PUSH` span under the
+    /// caller's trace — how catalog repair pushes show up nested inside a
+    /// `router/REPAIR` span.
+    pub fn push_traced(
+        &self,
+        name: &str,
+        bundle_text: &str,
+        trace: Option<u64>,
+    ) -> std::io::Result<String> {
         if name.is_empty() || name.chars().any(|c| c.is_whitespace()) {
             return Err(std::io::Error::new(
                 std::io::ErrorKind::InvalidInput,
@@ -326,8 +339,37 @@ impl Backend {
                 ),
             ));
         }
-        let mut frame = format!("PUSH {name} {}\n", bundle_text.len()).into_bytes();
+        let mut header = format!("PUSH {name} {}", bundle_text.len());
+        if let Some(id) = trace {
+            header.push(' ');
+            header.push_str(&pfr_obs::trace_token(id));
+        }
+        header.push('\n');
+        let mut frame = header.into_bytes();
         frame.extend_from_slice(bundle_text.as_bytes());
+        let outcome = self.submit_frame(frame, 1)?.wait();
+        let mut responses = self.settle_burst(outcome)?;
+        Ok(responses.remove(0))
+    }
+
+    /// Offers a serialized placement catalog to this backend: one `SYNC`
+    /// frame (header line + counted payload of catalog text), one response
+    /// line back, with the usual breaker bookkeeping. The backend merges
+    /// highest-version-wins and answers with the version it now holds —
+    /// it never loses a newer catalog to a stale offer.
+    pub fn sync(&self, catalog_text: &str) -> std::io::Result<String> {
+        if catalog_text.is_empty() || catalog_text.len() > pfr_serve::protocol::MAX_PUSH_BYTES {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                format!(
+                    "catalog text of {} bytes is outside the SYNC bound 1..={}",
+                    catalog_text.len(),
+                    pfr_serve::protocol::MAX_PUSH_BYTES
+                ),
+            ));
+        }
+        let mut frame = format!("SYNC {}\n", catalog_text.len()).into_bytes();
+        frame.extend_from_slice(catalog_text.as_bytes());
         let outcome = self.submit_frame(frame, 1)?.wait();
         let mut responses = self.settle_burst(outcome)?;
         Ok(responses.remove(0))

@@ -27,6 +27,19 @@
 //!   order, `EPOCH`-digest verification that all replicas serve
 //!   bit-identical model content, and automatic placement reconciliation
 //!   after every membership change.
+//! * The **replicated placement catalog** — every roster and placement
+//!   mutation lands in an epoch-versioned [`pfr_control::Catalog`] that
+//!   routers replicate *through the backends they already talk to*
+//!   (`CATALOG`/`SYNC` verbs, digest-first anti-entropy,
+//!   highest-version-wins). Any number of routers over one cluster
+//!   converge to identical placement views; a hard-killed router
+//!   bootstraps its entire catalog back from its peers at connect; a
+//!   backend re-admitted by the breaker is digest-checked and repaired
+//!   with traced `PUSH`es — no shared filesystem, no config replay.
+//! * **Single-flight miss coalescing** — concurrent identical cold-key
+//!   misses elect one leader that pays the backend round trip; every
+//!   follower parks on its flight and rides the same answer, so a
+//!   cold-key stampede costs one hop instead of N.
 //! * [`Ticket`] / [`CompletionQueue`] — the asynchronous submission API:
 //!   [`Router::submit_score`]/[`Router::submit_score_batch`] start a
 //!   request and return a typed ticket (poll, block, or block with a
@@ -77,6 +90,7 @@
 pub mod backend;
 pub mod cluster;
 pub mod conn;
+mod control;
 pub mod error;
 pub mod health;
 pub mod ring;

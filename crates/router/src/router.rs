@@ -50,10 +50,14 @@
 
 use crate::backend::{Backend, BreakerConfig};
 use crate::conn::ConnConfig;
+use crate::control::{ControlPlane, SyncWorker};
 use crate::error::RouterError;
 use crate::health::HealthChecker;
 use crate::ring::{HashRing, DEFAULT_VNODES};
-use crate::ticket::{self, CompletionQueue, QueuedSubmit, ScoreFinish, SubBurst, SubState, Ticket};
+use crate::ticket::{
+    self, CompletionQueue, Flight, FlightGuard, FlightMap, QueuedSubmit, ScoreFinish, SubBurst,
+    SubState, Ticket,
+};
 use crate::Result;
 use pfr_core::persistence::{self, ModelBundle};
 use pfr_net::client::BurstResult;
@@ -120,6 +124,13 @@ pub struct RouterConfig {
     /// would answer without touching a backend, leaving nothing to trace
     /// — so keep N large in production.
     pub trace_sample_every: u64,
+    /// Anti-entropy period of the replicated placement catalog (`None`
+    /// disables the background sync worker; local mutations still
+    /// publish eagerly). Each round digest-probes every live backend's
+    /// held catalog (`CATALOG`, one short line), pulling or pushing a
+    /// full transfer only on version mismatch, and repairs backends the
+    /// breaker re-admitted since the last round.
+    pub sync_interval: Option<Duration>,
 }
 
 /// Rows per pipelined burst within one **threaded-transport** scatter
@@ -141,6 +152,7 @@ impl Default for RouterConfig {
             health_interval: Some(Duration::from_millis(100)),
             hot_cache_capacity: 4096,
             trace_sample_every: 0,
+            sync_interval: Some(Duration::from_millis(100)),
         }
     }
 }
@@ -161,6 +173,9 @@ pub struct RouterStats {
     hot_misses: AtomicU64,
     probes: Arc<AtomicU64>,
     pushes: AtomicU64,
+    coalesced: AtomicU64,
+    sync_rounds: AtomicU64,
+    repair_pushes: AtomicU64,
 }
 
 impl RouterStats {
@@ -204,6 +219,32 @@ impl RouterStats {
     pub fn pushes(&self) -> u64 {
         self.pushes.load(Ordering::Relaxed)
     }
+
+    /// Cold misses that rode another request's in-flight backend round
+    /// trip instead of paying their own (single-flight coalescing).
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Anti-entropy rounds the catalog sync worker has run.
+    pub fn sync_rounds(&self) -> u64 {
+        self.sync_rounds.load(Ordering::Relaxed)
+    }
+
+    /// `PUSH`es sent because a digest check found a replica missing or
+    /// diverging from the cataloged content — reconciliation after
+    /// membership changes and readmission repair alike.
+    pub fn repair_pushes(&self) -> u64 {
+        self.repair_pushes.load(Ordering::Relaxed)
+    }
+
+    pub(crate) fn record_sync_round(&self) {
+        self.sync_rounds.fetch_add(1, Ordering::Relaxed);
+    }
+
+    pub(crate) fn record_repair_push(&self) {
+        self.repair_pushes.fetch_add(1, Ordering::Relaxed);
+    }
 }
 
 /// One immutable view of cluster membership: the ring, the backends it
@@ -214,9 +255,9 @@ impl RouterStats {
 /// the last in-flight request against them finishes.
 #[derive(Debug)]
 pub struct Membership {
-    ring: HashRing,
-    backends: BTreeMap<usize, Arc<Backend>>,
-    epoch: u64,
+    pub(crate) ring: HashRing,
+    pub(crate) backends: BTreeMap<usize, Arc<Backend>>,
+    pub(crate) epoch: u64,
 }
 
 impl Membership {
@@ -265,23 +306,40 @@ pub struct Router {
     /// kept so backends added later ride the same loop.
     driver: Option<Arc<pfr_net::ClientDriver>>,
     /// Ring ids are never reused: a removed backend's id stays retired so
-    /// stale snapshots and logs cannot confuse two incarnations.
-    next_backend_id: AtomicUsize,
-    /// Everything this router has placed: model name → bundle text. The
+    /// stale snapshots and logs cannot confuse two incarnations. Shared
+    /// with the control plane, which bumps it past adopted rosters.
+    next_backend_id: Arc<AtomicUsize>,
+    /// This router's writer id on the replicated catalog — the
+    /// deterministic tie-break between equal-epoch versions.
+    writer: u64,
+    /// The replicated placement catalog's local replica: roster +
+    /// placements + content digests under one epoch-stamped version. The
     /// source of truth for reconciling placements after membership
-    /// changes. `push` always catalogs; `load` catalogs when the router
-    /// itself can read the path (shared filesystem).
-    catalog: Mutex<HashMap<String, String>>,
+    /// changes *and* what a restarted router bootstraps from its peers.
+    /// `push` always catalogs; `load` catalogs when the router itself can
+    /// read the path (shared filesystem).
+    catalog: Arc<Mutex<pfr_control::Catalog>>,
+    /// The control plane shared with the anti-entropy worker:
+    /// bootstrap, sync rounds, adoption, reconcile and repair.
+    control: Arc<ControlPlane>,
+    /// The background anti-entropy worker (None when disabled by config).
+    sync: Option<SyncWorker>,
     /// The hot-key score cache (None when disabled by config).
     hot: Option<Mutex<ScoreCache>>,
+    /// In-flight cold-miss scores by key: the first miss becomes the
+    /// leader and pays the backend round trip, concurrent identical
+    /// misses park on its [`Flight`] and ride the same answer
+    /// (single-flight coalescing — a cold-key stampede costs one hop).
+    flights: FlightMap,
     /// Round-robin cursor for asynchronous single-score submissions:
     /// spreads `submit_score` traffic over a model's live replicas instead
     /// of hammering the preference head.
     next_rr: AtomicUsize,
     /// Router-local cache ids per model name. Retiring an id (on
     /// membership or placement change) orphans every cached entry for the
-    /// model — generation invalidation without a scan.
-    model_ids: Mutex<HashMap<String, u64>>,
+    /// model — generation invalidation without a scan. Shared with the
+    /// control plane, which retires every id on catalog adoption.
+    model_ids: Arc<Mutex<HashMap<String, u64>>>,
     next_model_id: AtomicU64,
     stats: Arc<RouterStats>,
     health: Option<HealthChecker>,
@@ -338,6 +396,16 @@ impl Router {
         let traces = Arc::new(TraceStore::new());
         let span_ring = traces.new_ring(SPAN_RING_CAPACITY);
         register_router_gauges(&metrics, &stats, &traces);
+        let writer = mint_writer();
+        let catalog = Arc::new(Mutex::new(pfr_control::Catalog::new(writer)));
+        {
+            let catalog = Arc::clone(&catalog);
+            metrics.gauge(
+                "pfr_control_epoch",
+                &[],
+                Arc::new(move || catalog.lock().expect("catalog lock poisoned").epoch() as f64),
+            );
+        }
         for backend in membership
             .read()
             .expect("membership lock poisoned")
@@ -363,15 +431,41 @@ impl Router {
         let hot = (config.hot_cache_capacity > 0)
             .then(|| Mutex::new(ScoreCache::new(config.hot_cache_capacity)));
         let sampler = Sampler::new(config.trace_sample_every);
+        let next_backend_id = Arc::new(AtomicUsize::new(addrs.len()));
+        let model_ids = Arc::new(Mutex::new(HashMap::new()));
+        let control = Arc::new(ControlPlane::new(
+            config.clone(),
+            writer,
+            driver.clone(),
+            Arc::clone(&membership),
+            Arc::clone(&next_backend_id),
+            Arc::clone(&catalog),
+            Arc::clone(&model_ids),
+            Arc::clone(&stats),
+            Arc::clone(&metrics),
+            Arc::clone(&span_ring),
+        ));
+        // Bootstrap: adopt the newest catalog any peer-fed backend holds
+        // (a restarted router recovers roster and placements with no
+        // shared filesystem and no config replay), or seed one from the
+        // connect roster if the cluster has never seen a catalog.
+        control.bootstrap();
+        let sync = config
+            .sync_interval
+            .map(|interval| SyncWorker::spawn(Arc::clone(&control), interval));
         Ok(Router {
-            next_backend_id: AtomicUsize::new(addrs.len()),
+            next_backend_id,
             config,
             membership,
             driver,
-            catalog: Mutex::new(HashMap::new()),
+            writer,
+            catalog,
+            control,
+            sync,
             hot,
+            flights: Arc::new(Mutex::new(HashMap::new())),
             next_rr: AtomicUsize::new(0),
-            model_ids: Mutex::new(HashMap::new()),
+            model_ids,
             next_model_id: AtomicU64::new(0),
             stats,
             health,
@@ -385,6 +479,37 @@ impl Router {
     /// The tier's configuration.
     pub fn config(&self) -> &RouterConfig {
         &self.config
+    }
+
+    /// The control-plane epoch: the local catalog replica's version
+    /// counter, bumped on every roster or placement mutation anywhere in
+    /// the cluster (once adopted here). Two routers whose
+    /// [`Router::catalog_version`]s are equal hold bitwise-identical
+    /// catalogs.
+    pub fn control_epoch(&self) -> u64 {
+        self.catalog.lock().expect("catalog lock poisoned").epoch()
+    }
+
+    /// The local catalog replica's full version stamp
+    /// `(epoch, writer, digest)` — equality means convergence.
+    pub fn catalog_version(&self) -> pfr_control::Version {
+        self.catalog
+            .lock()
+            .expect("catalog lock poisoned")
+            .version()
+    }
+
+    /// This router's writer id on the replicated catalog.
+    pub fn writer_id(&self) -> u64 {
+        self.writer
+    }
+
+    /// Runs one anti-entropy round inline (exactly what the background
+    /// sync worker runs per interval): readmission repair first, then a
+    /// digest-first catalog exchange with every live backend. Exposed so
+    /// tests and operators can force convergence instead of sleeping.
+    pub fn sync_now(&self) {
+        self.control.sync_round();
     }
 
     /// The current membership snapshot. Hold it to observe one consistent
@@ -466,8 +591,13 @@ impl Router {
                 epoch: current.epoch + 1,
             });
         }
+        self.catalog
+            .lock()
+            .expect("catalog lock poisoned")
+            .add_member(self.writer, id, addr.to_string());
         self.invalidate_hot_keys();
-        self.reconcile_placements();
+        self.control.reconcile_placements();
+        self.control.publish();
         Ok(id)
     }
 
@@ -503,8 +633,13 @@ impl Router {
             });
             removed
         };
+        self.catalog
+            .lock()
+            .expect("catalog lock poisoned")
+            .remove_member(self.writer, id);
         self.invalidate_hot_keys();
-        self.reconcile_placements();
+        self.control.reconcile_placements();
+        self.control.publish();
         // Retire the departed backend's sockets. Requests still in flight
         // on the old snapshot hold their own connections; these are the
         // idle pooled ones that would otherwise linger.
@@ -523,10 +658,15 @@ impl Router {
         let loaded = self.place_on_replicas(model, |backend| backend.exchange(&line))?;
         self.stats.pushes.fetch_add(1, Ordering::Relaxed);
         if let Ok(text) = std::fs::read_to_string(path) {
-            self.catalog
+            let cataloged = self
+                .catalog
                 .lock()
                 .expect("catalog lock poisoned")
-                .insert(model.to_string(), text);
+                .upsert_placement(self.writer, model, &text)
+                .is_ok();
+            if cataloged {
+                self.control.publish();
+            }
         }
         self.invalidate_hot_keys_for(model);
         Ok(loaded)
@@ -544,18 +684,29 @@ impl Router {
     pub fn push_text(&self, model: &str, text: &str) -> Result<usize> {
         let placed = self.place_on_replicas(model, |backend| backend.push(model, text))?;
         self.stats.pushes.fetch_add(1, Ordering::Relaxed);
-        self.catalog
+        // The replicas accepted the bundle, so it parses; cataloging can
+        // only fail on a digest-invalid text, which cannot reach here.
+        let cataloged = self
+            .catalog
             .lock()
             .expect("catalog lock poisoned")
-            .insert(model.to_string(), text.to_string());
+            .upsert_placement(self.writer, model, text)
+            .is_ok();
+        if cataloged {
+            self.control.publish();
+        }
         self.invalidate_hot_keys_for(model);
         Ok(placed)
     }
 
     /// The shared placement walk behind `LOAD` and `PUSH`: runs
     /// `per_backend` on every member of `model`'s replica set under one
-    /// membership snapshot, counting successes. Errors only if *no*
-    /// replica accepted, surfacing the last failure.
+    /// membership snapshot, counting successes. Replicas whose breaker is
+    /// open are skipped — installing into an ejected backend cannot
+    /// succeed, and the catalog repairs them on readmission (the prober
+    /// lets them back in, the next sync round digest-checks and pushes
+    /// what they missed). Errors only if *no* replica accepted,
+    /// surfacing the last failure.
     fn place_on_replicas(
         &self,
         model: &str,
@@ -571,6 +722,10 @@ impl Router {
             let Some(backend) = snapshot.backend(id) else {
                 continue;
             };
+            if !backend.breaker().available() {
+                last_error = Some(RouterError::Unavailable(model.to_string()));
+                continue;
+            }
             match per_backend(backend) {
                 Ok(response) => match classify(&response) {
                     Reply::Payload(_) => placed += 1,
@@ -649,6 +804,41 @@ impl Router {
             line.push(' ');
             line.push_str(&trace_token(id));
         }
+        // Single-flight: the first cold miss of a key becomes the leader
+        // and pays the backend round trip; every concurrent identical
+        // miss parks on the leader's flight and rides the same answer —
+        // a 100-way cold-key stampede costs one backend hop. Traced
+        // requests bypass (they must demonstrably reach a backend).
+        let mut flight = None;
+        if let (Some(key), true) = (&key, trace.is_none()) {
+            match self.join_or_lead_flight(key) {
+                FlightRole::Follower(shared) => {
+                    self.stats.coalesced.fetch_add(1, Ordering::Relaxed);
+                    return ticket::coalesced_score(
+                        self,
+                        model.to_string(),
+                        line,
+                        Some(key.clone()),
+                        shared,
+                    );
+                }
+                FlightRole::Leader(guard) => {
+                    // Double-check the cache after winning leadership: a
+                    // previous leader may have published between this
+                    // request's miss and its claim. The previous leader
+                    // fills the cache *before* its flight un-registers,
+                    // and a claim is only possible after that removal —
+                    // so this read cannot miss a published answer, and a
+                    // stampede can never pay a second round trip.
+                    if let Some(score) = self.recheck_hot(key) {
+                        self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+                        guard.complete(Some(score));
+                        return Ticket::ready(Ok(score));
+                    }
+                    flight = Some(guard);
+                }
+            }
+        }
         let snapshot = self.membership();
         match self.start_score(&snapshot, model, &line) {
             Some((backend, net)) => {
@@ -666,6 +856,7 @@ impl Router {
                         backend,
                         started: Instant::now(),
                         span,
+                        flight,
                     },
                 )
             }
@@ -674,12 +865,43 @@ impl Router {
             // backends as a last resort).
             None => {
                 let result = self.resolve_score(&snapshot, model, &line, key);
+                if let Some(flight) = flight {
+                    flight.complete(result.as_ref().ok().copied());
+                }
                 if let Some(span) = span {
                     span.finish(&self.span_ring);
                 }
                 Ticket::ready(result)
             }
         }
+    }
+
+    /// Re-reads the hot cache for `key`: a freshly minted flight leader
+    /// must double-check it, because a previous leader for the same key
+    /// may have completed (cache filled, flight un-registered) between
+    /// this request's cache miss and its leadership claim.
+    fn recheck_hot(&self, key: &ScoreKey) -> Option<f64> {
+        self.hot
+            .as_ref()?
+            .lock()
+            .expect("hot cache lock poisoned")
+            .get(key)
+    }
+
+    /// Joins the key's in-flight score as a follower, or registers a new
+    /// flight and returns its leader guard.
+    fn join_or_lead_flight(&self, key: &ScoreKey) -> FlightRole {
+        let mut flights = self.flights.lock().expect("flight map poisoned");
+        if let Some(flight) = flights.get(key) {
+            return FlightRole::Follower(Arc::clone(flight));
+        }
+        let flight = Arc::new(Flight::new());
+        flights.insert(key.clone(), Arc::clone(&flight));
+        FlightRole::Leader(FlightGuard::new(
+            Arc::clone(&self.flights),
+            key.clone(),
+            flight,
+        ))
     }
 
     /// A tagged completion queue over this router: submit any number of
@@ -709,9 +931,31 @@ impl Router {
             self.stats.hot_misses.fetch_add(1, Ordering::Relaxed);
         }
         let line = score_line(model, features);
+        // Leader-only single-flight: a queued submission registers a
+        // flight so ticketed followers can ride its answer, but never
+        // parks itself — its completion must land on `queue` regardless.
+        let flight = key
+            .as_ref()
+            .and_then(|key| match self.join_or_lead_flight(key) {
+                FlightRole::Leader(guard) => Some(guard),
+                FlightRole::Follower(_) => None,
+            });
+        // Same double-check as the ticketed path: leadership won after a
+        // previous leader published means the answer is already cached.
+        if let (Some(flight), Some(key)) = (&flight, &key) {
+            if let Some(score) = self.recheck_hot(key) {
+                self.stats.hot_hits.fetch_add(1, Ordering::Relaxed);
+                flight.complete(Some(score));
+                return QueuedSubmit::Immediate(Ok(score));
+            }
+        }
         let snapshot = self.membership();
         let Some(backend) = self.pick_replica(&snapshot, model) else {
-            return QueuedSubmit::Immediate(self.resolve_score(&snapshot, model, &line, key));
+            let result = self.resolve_score(&snapshot, model, &line, key);
+            if let Some(flight) = flight {
+                flight.complete(result.as_ref().ok().copied());
+            }
+            return QueuedSubmit::Immediate(result);
         };
         let mut bytes = line.clone().into_bytes();
         bytes.push(b'\n');
@@ -726,6 +970,7 @@ impl Router {
             backend,
             started: Instant::now(),
             span: None,
+            flight,
         })
     }
 
@@ -783,6 +1028,7 @@ impl Router {
             backend,
             started,
             mut span,
+            flight,
         } = finish;
         backend.record_latency(started.elapsed());
         let result = match backend.settle_burst(outcome) {
@@ -816,6 +1062,13 @@ impl Router {
                 self.resolve_score(&snapshot, &model, &line, key)
             }
         };
+        // Release the followers parked on this flight (the guard's drop
+        // then un-registers it). Failures complete as `None`: followers
+        // fall back to their own resolution instead of inheriting an
+        // error that may have been this leader's alone.
+        if let Some(flight) = flight {
+            flight.complete(result.as_ref().ok().copied());
+        }
         if let Some(span) = span {
             span.finish(&self.span_ring);
         }
@@ -823,8 +1076,9 @@ impl Router {
     }
 
     /// Blocking resolution along the full preference order, with the
-    /// hot-cache fill on success.
-    fn resolve_score(
+    /// hot-cache fill on success. Crate-visible: a coalesced follower
+    /// falls back through here when its leader failed.
+    pub(crate) fn resolve_score(
         &self,
         snapshot: &Membership,
         model: &str,
@@ -1086,63 +1340,6 @@ impl Router {
         Ok(first)
     }
 
-    /// Re-establishes every cataloged model on its current replica set:
-    /// each replica is `EPOCH`-checked and receives a `PUSH` only when it
-    /// lacks the model or serves different content, so reconciliation is
-    /// idempotent — repeated membership changes do not churn generations
-    /// on replicas that are already correct. A replica whose probe fails
-    /// still gets the push *attempt* (a transient failure must not leave
-    /// the model under-replicated until the next membership change; a
-    /// genuinely dead replica just records one more breaker failure and
-    /// routing walks past its NotLoaded/io answers meanwhile).
-    fn reconcile_placements(&self) {
-        let catalog: Vec<(String, String)> = {
-            let catalog = self.catalog.lock().expect("catalog lock poisoned");
-            catalog
-                .iter()
-                .map(|(model, text)| (model.clone(), text.clone()))
-                .collect()
-        };
-        let snapshot = self.membership();
-        for (model, text) in catalog {
-            let Ok(expected) = persistence::bundle_text_digest(&text).map(persistence::digest_hex)
-            else {
-                continue;
-            };
-            let line = format!("EPOCH {model}");
-            for id in snapshot
-                .ring
-                .replicas(&model, self.config.replication.max(1))
-            {
-                let Some(backend) = snapshot.backend(id) else {
-                    continue;
-                };
-                let needs_push = match backend.exchange(&line) {
-                    Ok(response) => match classify(&response) {
-                        Reply::Payload(payload) => {
-                            payload
-                                .split_whitespace()
-                                .find_map(|kv| kv.strip_prefix("digest="))
-                                != Some(expected.as_str())
-                        }
-                        // Shed at the connection limit: push anyway, like
-                        // the probe-failure arm — overload is transient.
-                        Reply::NotLoaded | Reply::Busy => true,
-                        Reply::Rejected(_) => false,
-                    },
-                    // Probe failed: attempt the push anyway — "unreachable
-                    // right now" is indistinguishable from "will be back
-                    // in a second", and skipping would leave the model
-                    // under-replicated until the next membership change.
-                    Err(_) => true,
-                };
-                if needs_push {
-                    let _ = backend.push(&model, &text);
-                }
-            }
-        }
-    }
-
     /// The model's current hot-cache id — the "generation" of its cache
     /// keys, retired on membership and placement changes — or `None` when
     /// the cache is disabled. Batch paths resolve this once and build
@@ -1312,7 +1509,26 @@ impl Drop for Router {
         if let Some(health) = &mut self.health {
             health.stop();
         }
+        if let Some(sync) = &mut self.sync {
+            sync.stop();
+        }
     }
+}
+
+/// What a request became under single-flight admission.
+enum FlightRole {
+    /// First in: holds the guard, pays the backend round trip.
+    Leader(FlightGuard),
+    /// A leader is already flying this key; park on its flight.
+    Follower(Arc<Flight>),
+}
+
+/// Mints a cluster-unique catalog writer id: process id in the high
+/// bits, a process-local counter in the low — distinct across routers in
+/// one process and across processes on one cluster.
+fn mint_writer() -> u64 {
+    static NEXT: AtomicU64 = AtomicU64::new(1);
+    (u64::from(std::process::id()) << 32) | NEXT.fetch_add(1, Ordering::Relaxed)
 }
 
 /// Registers the routing counters (as gauges over [`RouterStats`]) and
@@ -1323,7 +1539,7 @@ fn register_router_gauges(
     traces: &Arc<TraceStore>,
 ) {
     type StatReader = fn(&RouterStats) -> u64;
-    let readers: [(&str, StatReader); 8] = [
+    let readers: [(&str, StatReader); 11] = [
         ("pfr_router_routed_total", RouterStats::routed),
         ("pfr_router_failovers_total", RouterStats::failovers),
         ("pfr_router_scatters_total", RouterStats::scatters),
@@ -1338,6 +1554,12 @@ fn register_router_gauges(
         ),
         ("pfr_router_probes_total", RouterStats::probes),
         ("pfr_router_pushes_total", RouterStats::pushes),
+        ("pfr_router_coalesced_total", RouterStats::coalesced),
+        ("pfr_control_sync_rounds_total", RouterStats::sync_rounds),
+        (
+            "pfr_control_repair_pushes_total",
+            RouterStats::repair_pushes,
+        ),
     ];
     for (name, read) in readers {
         let stats = Arc::clone(stats);
@@ -1353,7 +1575,7 @@ fn register_router_gauges(
 
 /// Registers one backend's latency histogram and breaker gauges, labeled
 /// by ring id. Ids are never reused, so series never collide.
-fn register_backend_metrics(metrics: &MetricsRegistry, backend: &Arc<Backend>) {
+pub(crate) fn register_backend_metrics(metrics: &MetricsRegistry, backend: &Arc<Backend>) {
     let id = backend.id().to_string();
     metrics.histogram(
         "pfr_router_backend_latency_ns",
@@ -1389,7 +1611,7 @@ fn collect_scores(scores: Vec<Option<f64>>) -> Vec<f64> {
 }
 
 /// A backend's one-line reply, classified for routing.
-enum Reply<'a> {
+pub(crate) enum Reply<'a> {
     /// `OK <payload>` — success.
     Payload(&'a str),
     /// `ERR no model named ...` — this backend is not a replica; walk on.
@@ -1402,7 +1624,7 @@ enum Reply<'a> {
     Rejected(&'a str),
 }
 
-fn classify(response: &str) -> Reply<'_> {
+pub(crate) fn classify(response: &str) -> Reply<'_> {
     // Backends echo a trailing ` T=<id>` token on traced requests; strip
     // it first so every routing path (score parse, digest checks, scatter
     // gathers) is oblivious to whether the request was traced.

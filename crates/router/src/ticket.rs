@@ -25,7 +25,7 @@ use pfr_net::client::BurstResult;
 use pfr_serve::cache::ScoreKey;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Condvar, Mutex};
 use std::time::Instant;
 
 /// Everything needed to turn one backend's burst outcome into a final
@@ -43,6 +43,115 @@ pub(crate) struct ScoreFinish {
     /// The router-side span of a traced request (`None` otherwise);
     /// finished into the router's span ring when the score resolves.
     pub(crate) span: Option<pfr_obs::ActiveSpan>,
+    /// The single-flight leadership held by this request (`None` when the
+    /// request is uncoalescible: traced, uncacheable, or cache disabled).
+    /// Completed with the score on resolution; the guard's drop releases
+    /// parked followers even if resolution panicked or was abandoned.
+    pub(crate) flight: Option<FlightGuard>,
+}
+
+/// One in-flight cold-miss score, shared between its leader (who pays the
+/// backend round trip) and every concurrent identical request parked on
+/// it.
+#[derive(Debug)]
+pub(crate) struct Flight {
+    /// `None` while in flight; `Some(Some(score))` once the leader
+    /// resolved; `Some(None)` when the leader failed or was abandoned —
+    /// followers then fall back to their own resolution rather than
+    /// propagate an error that might have been the leader's alone.
+    done: Mutex<Option<Option<f64>>>,
+    cv: Condvar,
+}
+
+impl Flight {
+    pub(crate) fn new() -> Flight {
+        Flight {
+            done: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    /// First completion wins; later calls (e.g. the guard's drop after an
+    /// explicit completion) are no-ops.
+    fn complete(&self, score: Option<f64>) {
+        let mut done = self.done.lock().expect("flight lock poisoned");
+        if done.is_none() {
+            *done = Some(score);
+            self.cv.notify_all();
+        }
+    }
+
+    fn peek(&self) -> Option<Option<f64>> {
+        *self.done.lock().expect("flight lock poisoned")
+    }
+
+    fn wait(&self) -> Option<f64> {
+        let mut done = self.done.lock().expect("flight lock poisoned");
+        loop {
+            if let Some(outcome) = *done {
+                return outcome;
+            }
+            done = self.cv.wait(done).expect("flight lock poisoned");
+        }
+    }
+
+    /// `None` on timeout, `Some(outcome)` once the leader completed.
+    fn wait_deadline(&self, deadline: Instant) -> Option<Option<f64>> {
+        let mut done = self.done.lock().expect("flight lock poisoned");
+        loop {
+            if let Some(outcome) = *done {
+                return Some(outcome);
+            }
+            let timeout = deadline.checked_duration_since(Instant::now())?;
+            let (guard, result) = self
+                .cv
+                .wait_timeout(done, timeout)
+                .expect("flight lock poisoned");
+            done = guard;
+            if result.timed_out() && done.is_none() {
+                return None;
+            }
+        }
+    }
+}
+
+/// The router's in-flight cold-miss registry, shared with every leader's
+/// guard so the entry is removed wherever the leader resolves.
+pub(crate) type FlightMap = Arc<Mutex<HashMap<ScoreKey, Arc<Flight>>>>;
+
+/// Held by a flight's leader. Completing it releases the followers;
+/// dropping it un-registers the flight — and completes it as failed
+/// first if the leader never resolved, so followers can never park
+/// forever on an abandoned leader.
+pub(crate) struct FlightGuard {
+    map: FlightMap,
+    key: ScoreKey,
+    flight: Arc<Flight>,
+}
+
+impl FlightGuard {
+    pub(crate) fn new(map: FlightMap, key: ScoreKey, flight: Arc<Flight>) -> FlightGuard {
+        FlightGuard { map, key, flight }
+    }
+
+    pub(crate) fn complete(&self, score: Option<f64>) {
+        self.flight.complete(score);
+    }
+}
+
+impl Drop for FlightGuard {
+    fn drop(&mut self) {
+        self.flight.complete(None);
+        let mut map = self.map.lock().expect("flight map poisoned");
+        // Only remove our own flight: a follower that fell back and
+        // became a fresh leader may have re-registered the key.
+        if map
+            .get(&self.key)
+            .is_some_and(|current| Arc::ptr_eq(current, &self.flight))
+        {
+            map.remove(&self.key);
+        }
+    }
 }
 
 /// One sub-burst of an in-flight batch: the rows it carries (positions
@@ -112,6 +221,50 @@ impl PendingWork<f64> for ScorePending<'_> {
                 None
             }
         }
+    }
+}
+
+/// A follower parked on another request's in-flight score: resolves from
+/// the leader's [`Flight`] without touching the network; falls back to
+/// its own full resolution (fresh membership snapshot, preference-order
+/// walk, cache fill) only when the leader failed — a leader's io failure
+/// must not fan out into N failures.
+pub(crate) struct CoalescedPending<'r> {
+    router: &'r Router,
+    model: String,
+    line: String,
+    key: Option<ScoreKey>,
+    flight: Arc<Flight>,
+}
+
+impl CoalescedPending<'_> {
+    fn settle(&self, outcome: Option<f64>) -> Result<f64> {
+        match outcome {
+            Some(score) => Ok(score),
+            None => self.router.resolve_score(
+                &self.router.membership(),
+                &self.model,
+                &self.line,
+                self.key.clone(),
+            ),
+        }
+    }
+}
+
+impl PendingWork<f64> for CoalescedPending<'_> {
+    fn poll(&mut self) -> Option<Result<f64>> {
+        let outcome = self.flight.peek()?;
+        Some(self.settle(outcome))
+    }
+
+    fn wait(&mut self) -> Result<f64> {
+        let outcome = self.flight.wait();
+        self.settle(outcome)
+    }
+
+    fn wait_deadline(&mut self, deadline: Instant) -> Option<Result<f64>> {
+        let outcome = self.flight.wait_deadline(deadline)?;
+        Some(self.settle(outcome))
     }
 }
 
@@ -287,6 +440,22 @@ pub(crate) fn pending_score<'r>(
         router,
         net: Some(net),
         finish: Some(finish),
+    })
+}
+
+pub(crate) fn coalesced_score<'r>(
+    router: &'r Router,
+    model: String,
+    line: String,
+    key: Option<ScoreKey>,
+    flight: Arc<Flight>,
+) -> Ticket<'r, f64> {
+    Ticket::pending(CoalescedPending {
+        router,
+        model,
+        line,
+        key,
+        flight,
     })
 }
 

@@ -14,6 +14,12 @@
 //! EPOCH <name>                  -> OK <name> generation=<g> digest=<hex>
 //! METRICS                       -> OK <escaped Prometheus-style text>
 //! TRACE <id>                    -> OK <escaped span-tree text>
+//! CATALOG                       -> OK epoch=<e> writer=<w> digest=<hex>
+//!                                  (or OK none when no catalog is held)
+//! CATALOG FULL                  -> OK <escaped catalog text> (or OK none)
+//! SYNC <nbytes>                 -> OK epoch=<e> writer=<w> digest=<hex> applied=<0|1>
+//!   (like PUSH, the header is followed by exactly <nbytes> bytes of
+//!    catalog text; the server merges it by version order)
 //! QUIT                          -> OK bye (server closes the connection)
 //! anything else                 -> ERR <message>
 //! ```
@@ -33,6 +39,16 @@
 //! [`ModelBundle`](pfr_core::persistence::ModelBundle) text over the wire
 //! as a counted payload instead of naming a path the server must be able
 //! to read. `PUSH` requests are counted under the `load` stats verb.
+//!
+//! `CATALOG` and `SYNC` make every backend a **replication point for the
+//! router tier's placement catalog** (`pfr-control`): a router publishes
+//! its catalog with `SYNC` (a counted payload, merged here by the
+//! catalog's `(epoch, writer, digest)` total order), polls peers'
+//! versions digest-first with `CATALOG`, and fetches the full text with
+//! `CATALOG FULL` only when the summary differs. Backends never interpret
+//! the roster or placements — they store, order and serve the value, so a
+//! restarted router can bootstrap its whole control-plane state from any
+//! backend it can reach.
 //!
 //! `HEALTH` and `EPOCH` exist for the routing tier (`pfr-router`): `HEALTH`
 //! is the liveness probe its circuit breakers feed on (`queue=` is the
@@ -123,6 +139,18 @@ pub enum Request {
     Trace {
         /// The trace id to look up.
         id: u64,
+    },
+    /// Report the held placement catalog: its version summary, or with
+    /// `full` the entire escaped catalog text.
+    Catalog {
+        /// Whether the full catalog text was requested (`CATALOG FULL`).
+        full: bool,
+    },
+    /// Merge a pushed placement catalog (counted payload of `nbytes`
+    /// bytes follows the header line) by version order.
+    Sync {
+        /// Exact payload length announced by the header line.
+        nbytes: usize,
     },
     /// Close the connection.
     Quit,
@@ -248,6 +276,25 @@ pub fn parse_request(line: &str) -> Result<Request> {
                 .ok_or_else(|| ServeError::Protocol(format!("'{}' is not a trace id", parts[0])))?;
             Ok(Request::Trace { id })
         }
+        "CATALOG" => match parts.as_slice() {
+            [] => Ok(Request::Catalog { full: false }),
+            [arg] if arg.eq_ignore_ascii_case("FULL") => Ok(Request::Catalog { full: true }),
+            _ => Err(ServeError::Protocol("usage: CATALOG [FULL]".to_string())),
+        },
+        "SYNC" => {
+            if parts.len() != 1 {
+                return Err(ServeError::Protocol("usage: SYNC <nbytes>".to_string()));
+            }
+            let nbytes = parts[0].parse::<usize>().map_err(|_| {
+                ServeError::Protocol(format!("'{}' is not a payload length", parts[0]))
+            })?;
+            if nbytes == 0 || nbytes > MAX_PUSH_BYTES {
+                return Err(ServeError::Protocol(format!(
+                    "payload length {nbytes} is outside 1..={MAX_PUSH_BYTES}"
+                )));
+            }
+            Ok(Request::Sync { nbytes })
+        }
         "QUIT" => Ok(Request::Quit),
         other => Err(ServeError::Protocol(format!("unknown verb '{other}'"))),
     }
@@ -328,10 +375,26 @@ mod tests {
                 name: "risk".to_string()
             }
         );
+        assert_eq!(
+            parse_request("CATALOG").unwrap(),
+            Request::Catalog { full: false }
+        );
+        assert_eq!(
+            parse_request("CATALOG FULL").unwrap(),
+            Request::Catalog { full: true }
+        );
+        assert_eq!(
+            parse_request("SYNC 128").unwrap(),
+            Request::Sync { nbytes: 128 }
+        );
         assert_eq!(parse_request("QUIT").unwrap(), Request::Quit);
         // Verbs are case-insensitive, arguments are not.
         assert_eq!(parse_request("stats").unwrap(), Request::Stats);
         assert_eq!(parse_request("health").unwrap(), Request::Health);
+        assert_eq!(
+            parse_request("catalog full").unwrap(),
+            Request::Catalog { full: true }
+        );
     }
 
     #[test]
@@ -361,6 +424,13 @@ mod tests {
             "TRACE nothex",
             "TRACE 0",
             "TRACE a b",
+            "CATALOG extra words",
+            "CATALOG PARTIAL",
+            "SYNC",
+            "SYNC notanumber",
+            "SYNC 0",
+            "SYNC -1",
+            "SYNC 1 2",
             "FROB risk 1 2",
         ] {
             assert!(parse_request(bad).is_err(), "'{bad}' should be rejected");

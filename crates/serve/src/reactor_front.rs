@@ -168,6 +168,21 @@ struct PendingPush {
     span: Option<ActiveSpan>,
 }
 
+/// A counted-payload header parsed mid-connection; the connection is in
+/// payload mode until the announced bytes arrive, and the response is
+/// owed at the recorded seq.
+enum PendingPayload {
+    /// `PUSH <name> <nbytes>`: install the bundle on the worker pool.
+    Push(PendingPush),
+    /// `SYNC <nbytes>`: merge the offered placement catalog inline (the
+    /// catalog is a control-plane-sized value; parsing it costs less
+    /// than a pool round trip).
+    Sync {
+        /// Sequence number the response is owed at.
+        seq: u64,
+    },
+}
+
 /// Per-connection reactor state.
 struct ClientConn {
     stream: TcpStream,
@@ -180,9 +195,9 @@ struct ClientConn {
     ready: BTreeMap<u64, String>,
     /// In-flight asynchronous requests.
     pending: HashMap<u64, PendingMeta>,
-    /// A `PUSH` header was parsed at this seq for this model name; the
+    /// A counted-payload header (`PUSH`/`SYNC`) was parsed; the
     /// connection is in payload mode until the counted bytes arrive.
-    pending_push: Option<PendingPush>,
+    pending_payload: Option<PendingPayload>,
     /// `QUIT` was parsed at this seq: stop parsing, close once emitted.
     quit_at: Option<u64>,
     /// The peer half-closed; finish in-flight work, flush, then close.
@@ -201,7 +216,7 @@ impl ClientConn {
             next_write: 0,
             ready: BTreeMap::new(),
             pending: HashMap::new(),
-            pending_push: None,
+            pending_payload: None,
             quit_at: None,
             read_closed: false,
             want_read: false,
@@ -622,6 +637,22 @@ impl Reactor {
                 stats.stats.record(start.elapsed(), outcome.is_ok());
                 self.emit(token, seq, render(outcome));
             }
+            Ok(Request::Catalog { full }) => {
+                let start = Instant::now();
+                stats.inflight_enter();
+                let payload = server::handle_catalog(&context, full);
+                stats.inflight_exit();
+                stats.catalog.record(start.elapsed(), true);
+                self.emit(token, seq, protocol::ok_response(&payload));
+            }
+            Ok(Request::Sync { nbytes }) => {
+                // Header parsed; switch the connection into payload mode.
+                // The merge itself runs when the bytes arrive.
+                if let Some(conn) = self.conns.get_mut(&token) {
+                    conn.pending_payload = Some(PendingPayload::Sync { seq });
+                    conn.line.expect_payload(nbytes);
+                }
+            }
             Ok(Request::Score {
                 name,
                 features,
@@ -644,30 +675,47 @@ impl Reactor {
                 // preserved by construction).
                 let span = context.begin_span(trace, "serve/PUSH");
                 if let Some(conn) = self.conns.get_mut(&token) {
-                    conn.pending_push = Some(PendingPush {
+                    conn.pending_payload = Some(PendingPayload::Push(PendingPush {
                         seq,
                         name,
                         trace,
                         span,
-                    });
+                    }));
                     conn.line.expect_payload(nbytes);
                 }
             }
         }
     }
 
-    /// The counted payload a `PUSH` header announced has fully arrived:
-    /// register the bundle on the worker pool (parsing bundle text is real
-    /// work that must not stall the reactor).
+    /// The counted payload a `PUSH`/`SYNC` header announced has fully
+    /// arrived. `SYNC` merges the catalog inline; `PUSH` registers the
+    /// bundle on the worker pool (parsing bundle text is real work that
+    /// must not stall the reactor).
     fn process_payload(&mut self, token: u64, payload: Vec<u8>) {
         let Some(conn) = self.conns.get_mut(&token) else {
             return;
         };
-        let Some(push) = conn.pending_push.take() else {
-            // A payload frame without a pending PUSH cannot happen — the
-            // only expect_payload call sites set pending_push first — but
-            // dropping it beats emitting a response at a phantom seq.
+        let Some(pending) = conn.pending_payload.take() else {
+            // A payload frame without a pending header cannot happen — the
+            // only expect_payload call sites set pending_payload first —
+            // but dropping it beats emitting a response at a phantom seq.
             return;
+        };
+        let push = match pending {
+            PendingPayload::Sync { seq } => {
+                let context = Arc::clone(&self.context);
+                let start = Instant::now();
+                context.stats.inflight_enter();
+                let outcome = server::handle_sync(&context, &payload);
+                context.stats.inflight_exit();
+                context
+                    .stats
+                    .catalog
+                    .record(start.elapsed(), outcome.is_ok());
+                self.emit(token, seq, render(outcome));
+                return;
+            }
+            PendingPayload::Push(push) => push,
         };
         let PendingPush {
             seq,

@@ -331,6 +331,11 @@ pub(crate) struct ServeContext {
     /// Slow-request log threshold (see
     /// [`ServerConfig::slow_trace_threshold`]).
     pub(crate) slow_threshold: Option<Duration>,
+    /// The replicated placement catalog this backend stores for the
+    /// router tier (`CATALOG`/`SYNC` verbs). The server never interprets
+    /// it — it orders, stores and serves the value so that a restarted
+    /// router can bootstrap its control-plane state from any backend.
+    pub(crate) catalog: Mutex<Option<pfr_control::Catalog>>,
 }
 
 impl ServeContext {
@@ -567,6 +572,7 @@ impl Server {
             span_ring,
             sampler: Sampler::new(config.trace_sample_every),
             slow_threshold: config.slow_trace_threshold,
+            catalog: Mutex::new(None),
         });
         let shutdown = Arc::new(AtomicBool::new(false));
         let front = match config.frontend {
@@ -732,6 +738,18 @@ impl Server {
             .lock()
             .expect("recovery lock poisoned") = Some(report);
         Ok(report)
+    }
+
+    /// The version of the replicated placement catalog this backend
+    /// currently stores (`None` until a router has `SYNC`ed one) — the
+    /// in-process view of what the `CATALOG` verb reports.
+    pub fn catalog_version(&self) -> Option<pfr_control::Version> {
+        self.context
+            .catalog
+            .lock()
+            .expect("catalog lock poisoned")
+            .as_ref()
+            .map(|c| c.version())
     }
 
     /// The report of the last [`Server::recover_from_journal`], if one ran.
@@ -902,6 +920,26 @@ fn handle_connection(stream: TcpStream, context: &ServeContext, shutdown: &Atomi
                 }
                 (response, false)
             }
+            // SYNC carries a counted payload too: read it off the stream
+            // here for the same framing reason as PUSH.
+            Ok(Request::Sync { nbytes }) => {
+                let start = Instant::now();
+                let _inflight = context.stats.track_inflight();
+                let mut payload = vec![0u8; nbytes];
+                if reader.read_exact(&mut payload).is_err() {
+                    return;
+                }
+                let outcome = handle_sync(context, &payload);
+                context
+                    .stats
+                    .catalog
+                    .record(start.elapsed(), outcome.is_ok());
+                let response = match outcome {
+                    Ok(payload) => protocol::ok_response(&payload),
+                    Err(e) => protocol::err_response(&e),
+                };
+                (response, false)
+            }
             parsed => respond(parsed, context, &context.span_ring),
         };
         if writer.write_all(response.as_bytes()).is_err()
@@ -953,8 +991,13 @@ fn respond(parsed: Result<Request>, context: &ServeContext, ring: &SpanRing) -> 
                 Request::Epoch { name } => (&context.stats.epoch, handle_epoch(context, &name)),
                 Request::Metrics => (&context.stats.stats, Ok(context.metrics_payload())),
                 Request::Trace { id } => (&context.stats.stats, context.trace_payload(id)),
+                Request::Catalog { full } => {
+                    (&context.stats.catalog, Ok(handle_catalog(context, full)))
+                }
                 Request::Quit => unreachable!("handled above"),
-                Request::Push { .. } => unreachable!("intercepted by the connection loop"),
+                Request::Push { .. } | Request::Sync { .. } => {
+                    unreachable!("intercepted by the connection loop")
+                }
             };
             verb_stats.record(start.elapsed(), outcome.is_ok());
             if let Some(span) = span {
@@ -1065,6 +1108,50 @@ pub(crate) fn handle_push(
         s.event("install");
     }
     Ok(loaded_payload(&model))
+}
+
+/// `CATALOG [FULL]`: reports the stored placement catalog's version
+/// summary (digest-first anti-entropy probes this), or — with `FULL` —
+/// hands over the whole catalog text escaped onto one line so a peer
+/// router can bootstrap from it. A backend that has never been `SYNC`ed
+/// answers `none`.
+pub(crate) fn handle_catalog(context: &ServeContext, full: bool) -> String {
+    let guard = context.catalog.lock().expect("catalog lock poisoned");
+    match guard.as_ref() {
+        None => "none".to_string(),
+        Some(catalog) if full => pfr_control::escape(&catalog.to_text()),
+        Some(catalog) => catalog.version().summary(),
+    }
+}
+
+/// `SYNC <nbytes>` + payload: offers a catalog to this backend. The
+/// offered value replaces the stored one only when it supersedes it under
+/// the [`pfr_control::Version`] total order — highest version wins, so
+/// concurrent routers pushing stale catalogs can never roll the store
+/// back. The response reports the post-merge holder state and whether the
+/// offer was applied.
+pub(crate) fn handle_sync(context: &ServeContext, payload: &[u8]) -> Result<String> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| ServeError::Protocol("SYNC payload is not valid utf-8".to_string()))?;
+    let offered =
+        pfr_control::Catalog::from_text(text).map_err(|e| ServeError::Protocol(e.to_string()))?;
+    let mut guard = context.catalog.lock().expect("catalog lock poisoned");
+    let applied = match guard.as_ref() {
+        Some(held) if !offered.supersedes(held) => false,
+        _ => {
+            *guard = Some(offered);
+            true
+        }
+    };
+    let version = guard
+        .as_ref()
+        .expect("catalog present after merge")
+        .version();
+    Ok(format!(
+        "{} applied={}",
+        version.summary(),
+        u8::from(applied)
+    ))
 }
 
 /// The shared `LOAD`/`PUSH` success payload.
@@ -1606,6 +1693,93 @@ mod tests {
         assert_eq!(server.stats().cache_hits(), x.rows() as u64);
         let _ = std::fs::remove_file(&log_path);
         server.shutdown();
+    }
+
+    /// Writes a `SYNC` frame (header + counted catalog payload) and reads
+    /// the one response line.
+    fn sync_request(addr: SocketAddr, text: &str) -> String {
+        let stream = TcpStream::connect(addr).unwrap();
+        stream.set_nodelay(true).unwrap();
+        let mut reader = BufReader::new(stream.try_clone().unwrap());
+        let mut writer = stream;
+        write!(writer, "SYNC {}\n{text}", text.len()).unwrap();
+        writer.flush().unwrap();
+        let mut response = String::new();
+        reader.read_line(&mut response).unwrap();
+        response.trim_end().to_string()
+    }
+
+    #[test]
+    fn catalog_and_sync_replicate_the_control_plane_on_both_front_ends() {
+        let (bundle, _) = toy_bundle();
+        let text = persistence::bundle_to_string(&bundle);
+        let mut catalog = pfr_control::Catalog::new(9);
+        catalog.add_member(9, 0, "127.0.0.1:9000".to_string());
+        catalog.upsert_placement(9, "risk", &text).unwrap();
+        let mut transcripts = Vec::new();
+        for frontend in [
+            Frontend::Threaded,
+            Frontend::reactor(1),
+            Frontend::reactor(4),
+        ] {
+            let server = Server::spawn(ServerConfig {
+                frontend,
+                ..ServerConfig::default()
+            })
+            .unwrap();
+            // A fresh backend stores nothing.
+            let mut responses = request(
+                server.addr(),
+                &["CATALOG".to_string(), "CATALOG FULL".to_string()],
+            );
+            assert_eq!(responses[0], "OK none", "{frontend:?}");
+            assert_eq!(responses[1], "OK none", "{frontend:?}");
+            assert!(server.catalog_version().is_none());
+            // Offer the catalog: applied, and the response reports the
+            // post-merge holder state.
+            responses.push(sync_request(server.addr(), &catalog.to_text()));
+            assert_eq!(
+                responses[2],
+                format!("OK {} applied=1", catalog.version().summary()),
+                "{frontend:?}"
+            );
+            assert_eq!(server.catalog_version(), Some(catalog.version()));
+            // The digest probe and the full pull reflect the stored value;
+            // the pulled text round-trips to an identical catalog.
+            responses.extend(request(
+                server.addr(),
+                &["CATALOG".to_string(), "CATALOG FULL".to_string()],
+            ));
+            assert_eq!(
+                responses[3],
+                format!("OK {}", catalog.version().summary()),
+                "{frontend:?}"
+            );
+            let pulled = responses[4].strip_prefix("OK ").unwrap();
+            let adopted = pfr_control::Catalog::from_text(&pfr_control::unescape(pulled)).unwrap();
+            assert_eq!(adopted, catalog);
+            // A stale offer is refused (applied=0) and the store keeps the
+            // newer value; garbage payloads are rejected outright.
+            let stale = pfr_control::Catalog::new(3);
+            responses.push(sync_request(server.addr(), &stale.to_text()));
+            assert_eq!(
+                responses[5],
+                format!("OK {} applied=0", catalog.version().summary()),
+                "{frontend:?}"
+            );
+            responses.push(sync_request(server.addr(), "not a catalog\n"));
+            assert!(responses[6].starts_with("ERR"), "{}", responses[6]);
+            assert_eq!(server.catalog_version(), Some(catalog.version()));
+            assert_eq!(server.stats().catalog.requests(), 7, "{frontend:?}");
+            assert_eq!(server.stats().catalog.errors(), 1, "{frontend:?}");
+            transcripts.push(responses);
+            server.shutdown();
+        }
+        assert_eq!(
+            transcripts[0], transcripts[1],
+            "the front ends must replicate the catalog byte-for-byte identically"
+        );
+        assert_eq!(transcripts[1], transcripts[2]);
     }
 
     #[test]

@@ -80,6 +80,10 @@ pub struct ServerStats {
     pub health: VerbStats,
     /// `EPOCH` verb counters.
     pub epoch: VerbStats,
+    /// `CATALOG`/`SYNC` verb counters — the control-plane replication
+    /// traffic, kept out of the data-path verbs so anti-entropy chatter
+    /// cannot distort scoring figures.
+    pub catalog: VerbStats,
     cache_hits: AtomicU64,
     cache_misses: AtomicU64,
     batches: AtomicU64,
@@ -212,7 +216,7 @@ impl ServerStats {
         self.per_verb().iter().map(|(_, verb)| verb.errors()).sum()
     }
 
-    fn per_verb(&self) -> [(&'static str, &VerbStats); 6] {
+    fn per_verb(&self) -> [(&'static str, &VerbStats); 7] {
         [
             ("load", &self.load),
             ("score", &self.score),
@@ -220,6 +224,7 @@ impl ServerStats {
             ("stats", &self.stats),
             ("health", &self.health),
             ("epoch", &self.epoch),
+            ("catalog", &self.catalog),
         ]
     }
 
@@ -298,6 +303,7 @@ impl ServerStats {
              score_p50_ns={} score_p99_ns={} score_p999_ns={} \
              transform_requests={} transform_errors={} transform_mean_ns={} \
              stats_requests={} health_requests={} epoch_requests={} \
+             catalog_requests={} \
              cache_hits={} cache_misses={} \
              batches={} mean_batch={} max_batch={}",
             self.connections(),
@@ -320,6 +326,7 @@ impl ServerStats {
             self.stats.requests(),
             self.health.requests(),
             self.epoch.requests(),
+            self.catalog.requests(),
             self.cache_hits(),
             self.cache_misses(),
             batches,
@@ -339,6 +346,7 @@ fn pick_verb(name: &str) -> fn(&ServerStats) -> &VerbStats {
         "stats" => |s| &s.stats,
         "health" => |s| &s.health,
         "epoch" => |s| &s.epoch,
+        "catalog" => |s| &s.catalog,
         other => unreachable!("unknown verb '{other}'"),
     }
 }

@@ -4,6 +4,10 @@
 //! tier from concurrent client threads, kill a backend mid-traffic — then
 //! *heal the cluster live*: join a replacement backend, retire the dead
 //! one, and watch placements reconcile while every score stays bit-exact —
+//! then go **multi-router**: a second router bootstraps the entire
+//! replicated placement catalog from a single seed address (and a
+//! hard-killed-and-restarted one recovers the same way), agreeing with the
+//! first router on the exact catalog version with no shared filesystem —
 //! then drive thousands of in-flight scores from one caller thread through
 //! the asynchronous ticket/completion-queue API.
 //!
@@ -34,7 +38,7 @@
 
 use pfr::journal::JournalConfig;
 use pfr::pipeline::{FairPipeline, FairPipelineConfig};
-use pfr::router::{BreakerConfig, LocalCluster, RouterConfig};
+use pfr::router::{BreakerConfig, LocalCluster, Router, RouterConfig};
 use pfr::serve::ServerConfig;
 use pfr_data::{split, synthetic, Dataset};
 use pfr_graph::{fairness, SparseGraph};
@@ -203,7 +207,43 @@ fn main() {
     }
     println!("post-heal scores verified bit-exact against offline inference");
 
-    // 6. The asynchronous submission API: ONE caller thread keeps thousands
+    // 6. Multi-router: a SECOND router connects to ONE seed address and
+    //    bootstraps the entire replicated catalog — roster and placement —
+    //    from the cluster itself (`CATALOG`/`SYNC` anti-entropy). No shared
+    //    filesystem, no config replay; both routers hold the exact same
+    //    catalog version and serve bit-identical scores.
+    let seed = [addr];
+    let router2 = Router::connect(&seed, RouterConfig::default())
+        .expect("second router bootstraps from one seed address");
+    assert_eq!(router2.catalog_version(), router.catalog_version());
+    assert_eq!(router2.membership().ids(), router.membership().ids());
+    assert_eq!(
+        router2.verify("admissions").expect("replicas agree"),
+        digest,
+        "both routers must see the same placed content"
+    );
+    let score = router2
+        .score("admissions", &rows[5])
+        .expect("second router serves");
+    assert_eq!(score.to_bits(), expected[5].to_bits());
+    println!(
+        "second router bootstrapped from {addr} alone: {}, members {:?}, scores bit-exact",
+        router2.catalog_version().summary(),
+        router2.membership().ids()
+    );
+    //    Hard-kill it (drop — no graceful handoff) and restart: the
+    //    catalog comes back from the peers, identical again.
+    drop(router2);
+    let router3 =
+        Router::connect(&seed, RouterConfig::default()).expect("restarted router bootstraps again");
+    assert_eq!(router3.catalog_version(), router.catalog_version());
+    println!(
+        "hard-killed and restarted: catalog recovered from peers, {}",
+        router3.catalog_version().summary()
+    );
+    drop(router3);
+
+    // 7. The asynchronous submission API: ONE caller thread keeps thousands
     //    of scores in flight at once. `submit_score` returns immediately
     //    with a tag; the completion queue delivers results as replicas
     //    answer, and every resolution runs the same failover/cache path as
@@ -234,17 +274,20 @@ fn main() {
         start.elapsed().as_secs_f64() * 1e3
     );
 
-    // 7. The tier's own accounting.
+    // 8. The tier's own accounting.
     let stats = router.stats();
     println!(
-        "router stats: routed={} failovers={} scatters={} retried_rows={} hot_hits={} hot_misses={} probes={}",
+        "router stats: routed={} failovers={} scatters={} retried_rows={} hot_hits={} hot_misses={} coalesced={} probes={} sync_rounds={} repair_pushes={}",
         stats.routed(),
         stats.failovers(),
         stats.scatters(),
         stats.retried_rows(),
         stats.hot_cache_hits(),
         stats.hot_cache_misses(),
-        stats.probes()
+        stats.coalesced(),
+        stats.probes(),
+        stats.sync_rounds(),
+        stats.repair_pushes()
     );
     for backend in router.backends() {
         println!(
@@ -258,7 +301,7 @@ fn main() {
     }
     println!("surviving backends: {}/4 booted", cluster.live());
 
-    // 8. With `--metrics`: one traced request's span tree, then the
+    // 9. With `--metrics`: one traced request's span tree, then the
     //    cluster-wide merged scrape.
     if std::env::args().any(|a| a == "--metrics") {
         let (score, trace_id) = router

@@ -65,6 +65,7 @@
 pub mod pipeline;
 
 pub use pfr_baselines as baselines;
+pub use pfr_control as control;
 pub use pfr_core as core;
 pub use pfr_data as data;
 pub use pfr_eval as eval;

@@ -1,0 +1,318 @@
+//! The replicated-placement-catalog acceptance suite: multiple routers
+//! over one backend cluster converge to identical `(epoch, roster,
+//! placements)` views through the `CATALOG`/`SYNC` anti-entropy protocol
+//! — with no shared filesystem and no config replay.
+//!
+//! Three scenarios, straight from the issue's acceptance list:
+//!
+//! 1. **Convergence + bootstrap** — a second router connected to a single
+//!    seed address bootstraps the whole catalog (including a member the
+//!    first router added after boot), membership churn initiated on
+//!    *either* router converges on both, and a hard-killed-and-restarted
+//!    router rebuilds everything from its peers. Responses from every
+//!    router stay bitwise identical to offline inference.
+//! 2. **Readmission repair** — a placement that skips a breaker-open
+//!    backend is healed after the breaker re-admits it: the next sync
+//!    round digest-checks the returning replica and `PUSH`es exactly the
+//!    missing content, exactly once (a second round is a no-op because
+//!    the digest now matches).
+//! 3. **Stampede coalescing** — 100 concurrent identical cold-key misses
+//!    cost the backend tier exactly one `SCORE` round trip; the other 99
+//!    callers ride the leader's flight or the hot cache, all bitwise
+//!    equal.
+
+use pfr::core::persistence::ModelBundle;
+use pfr::pipeline::{FairPipeline, FairPipelineConfig};
+use pfr::router::{BreakerConfig, ConnConfig, LocalCluster, Router, RouterConfig, TransportMode};
+use pfr::serve::{Frontend, ServerConfig};
+use pfr_data::{split, synthetic, Dataset};
+use pfr_graph::{fairness, SparseGraph};
+use std::sync::{Arc, Barrier};
+use std::time::{Duration, Instant};
+
+fn fairness_graph(ds: &Dataset) -> SparseGraph {
+    let scores: Vec<f64> = ds
+        .side_information()
+        .iter()
+        .map(|s| s.unwrap_or(0.0))
+        .collect();
+    fairness::between_group_quantile_graph(ds.groups(), &scores, 5).unwrap()
+}
+
+/// Offline ground truth shared by every scenario: a fitted pipeline's
+/// bundle, the raw test rows, and the bit-exact expected probabilities.
+fn trained_fixture() -> (ModelBundle, Vec<Vec<f64>>, Vec<f64>) {
+    let dataset = synthetic::generate_default(91).unwrap();
+    let split = split::train_test_split(&dataset, 0.3, 91).unwrap();
+    let train = dataset.subset(&split.train).unwrap();
+    let test = dataset.subset(&split.test).unwrap();
+    let fitted = FairPipeline::new(FairPipelineConfig {
+        gamma: 0.9,
+        ..FairPipelineConfig::default()
+    })
+    .fit(&train, &fairness_graph(&train))
+    .unwrap();
+    let expected = fitted.predict_proba(&test).unwrap();
+    let (raw, _) = test.features_with_protected().unwrap();
+    let rows: Vec<Vec<f64>> = (0..raw.rows()).map(|i| raw.row(i).to_vec()).collect();
+    (fitted.into_bundle().unwrap(), rows, expected)
+}
+
+fn wait_for(what: &str, timeout: Duration, mut cond: impl FnMut() -> bool) {
+    let deadline = Instant::now() + timeout;
+    while !cond() {
+        assert!(
+            Instant::now() < deadline,
+            "timed out after {timeout:?} waiting for {what}"
+        );
+        std::thread::sleep(Duration::from_millis(5));
+    }
+}
+
+fn test_config() -> RouterConfig {
+    RouterConfig {
+        replication: 2,
+        breaker: BreakerConfig {
+            failure_threshold: 3,
+            probation: Duration::from_millis(250),
+        },
+        conn: ConnConfig {
+            connect_timeout: Duration::from_millis(250),
+            io_timeout: Duration::from_secs(5),
+            max_idle: 8,
+        },
+        transport: TransportMode::Reactor,
+        health_interval: Some(Duration::from_millis(25)),
+        // Scenarios drive anti-entropy explicitly via `sync_now` so every
+        // assertion is deterministic; the first scenario re-enables the
+        // background worker on one router to prove the thread converges
+        // on its own too.
+        sync_interval: None,
+        ..RouterConfig::default()
+    }
+}
+
+/// Every router must hold the identical catalog version, membership and
+/// replica set, and serve bitwise-identical scores for the same rows.
+fn assert_converged(routers: &[&Router], model: &str, rows: &[Vec<f64>], expected: &[f64]) {
+    let reference = routers[0];
+    let version = reference.catalog_version();
+    let ids = reference.membership().ids();
+    let replicas = reference.replica_set(model);
+    let digest = reference.verify(model).unwrap();
+    for router in routers {
+        assert_eq!(router.catalog_version(), version, "catalog versions differ");
+        assert_eq!(router.control_epoch(), version.epoch);
+        assert_eq!(router.membership().ids(), ids, "rosters differ");
+        assert_eq!(router.replica_set(model), replicas, "replica sets differ");
+        assert_eq!(router.verify(model).unwrap(), digest, "digests differ");
+        for (i, row) in rows.iter().take(5).enumerate() {
+            let got = router.score(model, row).unwrap();
+            assert_eq!(
+                got.to_bits(),
+                expected[i].to_bits(),
+                "routed score {got} differs from offline prediction for row {i}"
+            );
+        }
+    }
+}
+
+/// Scenario 1: two routers over one cluster converge after churn from
+/// either side, and a hard-killed-and-restarted router bootstraps its
+/// entire catalog from cluster peers.
+#[test]
+fn two_routers_converge_and_a_restarted_router_bootstraps_from_peers() {
+    let (bundle, rows, expected) = trained_fixture();
+    let mut cluster = LocalCluster::boot(
+        3,
+        ServerConfig {
+            frontend: Frontend::reactor(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+
+    // Router A drives the cluster through its background sync worker —
+    // the thread must keep A converged without any explicit sync calls.
+    let router_a = cluster
+        .router(RouterConfig {
+            sync_interval: Some(Duration::from_millis(25)),
+            ..test_config()
+        })
+        .unwrap();
+    assert_eq!(router_a.push("admissions", &bundle).unwrap(), 2);
+    let addr = cluster.add_backend().unwrap();
+    let added = router_a.add_backend(addr).unwrap();
+    assert_eq!(router_a.membership().len(), 4);
+
+    // Router B connects to ONE seed address and must bootstrap the whole
+    // four-member roster and the placement from the replicated catalog.
+    let router_b = Router::connect(&cluster.addrs()[..1], test_config()).unwrap();
+    assert_eq!(router_b.membership().len(), 4, "bootstrap missed members");
+    assert_ne!(router_a.writer_id(), router_b.writer_id());
+    assert_converged(&[&router_a, &router_b], "admissions", &rows, &expected);
+
+    // Churn initiated on B: remove the member A added. A must observe the
+    // higher catalog epoch through its background worker alone.
+    router_b.remove_backend(added).unwrap();
+    assert_eq!(router_b.membership().len(), 3);
+    let target = router_b.catalog_version();
+    wait_for(
+        "router A to adopt the post-churn catalog",
+        Duration::from_secs(5),
+        || router_a.catalog_version() == target,
+    );
+    assert_converged(&[&router_a, &router_b], "admissions", &rows, &expected);
+    assert!(
+        router_a.stats().sync_rounds() >= 1,
+        "background worker never ran a sync round"
+    );
+
+    // Hard-kill router B (drop = no graceful handoff, its private state
+    // is gone). A fresh router over a different seed address rebuilds the
+    // identical view purely from what the backends replicated.
+    let version_before = router_b.catalog_version();
+    drop(router_b);
+    let router_b2 = Router::connect(&cluster.addrs()[1..2], test_config()).unwrap();
+    assert_eq!(router_b2.catalog_version(), version_before);
+    assert_converged(&[&router_a, &router_b2], "admissions", &rows, &expected);
+}
+
+/// Scenario 2: a breaker-open backend is skipped at placement time and
+/// digest-check-repaired after re-admission — exactly once.
+#[test]
+fn readmitted_backend_is_repaired_exactly_once() {
+    let (bundle, _rows, _expected) = trained_fixture();
+    let cluster = LocalCluster::boot(
+        3,
+        ServerConfig {
+            frontend: Frontend::reactor(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let router = cluster.router(test_config()).unwrap();
+    assert_eq!(router.push("admissions", &bundle).unwrap(), 2);
+    let digest = router.verify("admissions").unwrap();
+
+    // Trip the breaker on one replica by hand (the server itself stays
+    // up, so health probes will re-admit it after probation). The loop
+    // guards against a concurrent probe resetting the failure streak.
+    let victim = router.replica_set("admissions")[0];
+    let backend = router.backend(victim).unwrap();
+    while !backend.breaker().is_open() {
+        backend.breaker().record_failure();
+    }
+    let readmissions_before = backend.breaker().readmissions();
+
+    // Find a second model whose replica set includes the open backend and
+    // place it: the open replica must be skipped, not written through.
+    let name = (0..256)
+        .map(|i| format!("risk-{i}"))
+        .find(|n| router.replica_set(n).contains(&victim))
+        .expect("no candidate model hashed onto the victim");
+    assert_eq!(
+        router.push(&name, &bundle).unwrap(),
+        1,
+        "placement wrote through a breaker-open backend"
+    );
+
+    // The prober re-admits the victim after probation; the next sync
+    // round digest-checks it and pushes exactly the missing placement.
+    wait_for(
+        "the health prober to re-admit the victim",
+        Duration::from_secs(5),
+        || backend.breaker().readmissions() > readmissions_before,
+    );
+    assert_eq!(router.stats().repair_pushes(), 0);
+    router.sync_now();
+    assert_eq!(
+        router.stats().repair_pushes(),
+        1,
+        "repair did not push exactly the one missing placement"
+    );
+    assert_eq!(router.verify(&name).unwrap().len(), 16);
+    assert_eq!(router.verify("admissions").unwrap(), digest);
+
+    // Idempotence: the victim's serving generation and the repair counter
+    // must not move on a second round — the digest check short-circuits.
+    let epoch_line = backend.exchange(&format!("EPOCH {name}")).unwrap();
+    assert!(
+        epoch_line.contains("generation="),
+        "unexpected EPOCH payload: {epoch_line}"
+    );
+    router.sync_now();
+    router.sync_now();
+    assert_eq!(router.stats().repair_pushes(), 1, "repair re-pushed");
+    assert_eq!(
+        backend.exchange(&format!("EPOCH {name}")).unwrap(),
+        epoch_line
+    );
+
+    // The repair PUSH is observable: the counter rides the metrics text.
+    assert!(router
+        .metrics()
+        .contains("pfr_control_repair_pushes_total 1"));
+}
+
+/// Scenario 3: 100 concurrent identical cold-key misses cost the backend
+/// tier exactly one `SCORE` round trip.
+#[test]
+fn cold_key_stampede_coalesces_to_one_backend_round_trip() {
+    let (bundle, rows, expected) = trained_fixture();
+    let cluster = LocalCluster::boot(
+        3,
+        ServerConfig {
+            frontend: Frontend::reactor(1),
+            ..ServerConfig::default()
+        },
+    )
+    .unwrap();
+    let router = Arc::new(cluster.router(test_config()).unwrap());
+    assert_eq!(router.push("admissions", &bundle).unwrap(), 2);
+    router.verify("admissions").unwrap();
+
+    let backend_scores = |cluster: &LocalCluster| -> u64 {
+        (0..cluster.len())
+            .filter_map(|i| cluster.server(i))
+            .map(|s| s.stats().score.requests())
+            .sum()
+    };
+    let before = backend_scores(&cluster);
+
+    const CALLERS: usize = 100;
+    let row = Arc::new(rows[0].clone());
+    let barrier = Arc::new(Barrier::new(CALLERS));
+    let handles: Vec<_> = (0..CALLERS)
+        .map(|_| {
+            let router = Arc::clone(&router);
+            let row = Arc::clone(&row);
+            let barrier = Arc::clone(&barrier);
+            std::thread::spawn(move || {
+                barrier.wait();
+                router.score("admissions", &row).unwrap()
+            })
+        })
+        .collect();
+    for handle in handles {
+        let got = handle.join().unwrap();
+        assert_eq!(
+            got.to_bits(),
+            expected[0].to_bits(),
+            "stampede answer diverged from offline prediction"
+        );
+    }
+
+    assert_eq!(
+        backend_scores(&cluster) - before,
+        1,
+        "the stampede reached the backend tier more than once"
+    );
+    let stats = router.stats();
+    assert_eq!(
+        stats.coalesced() + stats.hot_cache_hits(),
+        (CALLERS - 1) as u64,
+        "every non-leader must ride the flight or the hot cache"
+    );
+    assert!(router.metrics().contains("pfr_router_coalesced_total"));
+}
